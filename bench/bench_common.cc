@@ -1,0 +1,197 @@
+#include "bench/bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "adapt/predictor.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sparse/suite.hh"
+
+namespace sadapt::bench {
+
+namespace {
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::atof(v) : fallback;
+}
+
+std::string
+modelDir()
+{
+    const char *v = std::getenv("SPARSEADAPT_MODEL_DIR");
+    return v != nullptr ? v : "bench_results/models";
+}
+
+} // namespace
+
+double
+datasetScale()
+{
+    return envDouble("SPARSEADAPT_BENCH_SCALE", 0.12);
+}
+
+double
+spmspvScale()
+{
+    return std::min(1.0, 4.0 * datasetScale());
+}
+
+Workload
+suiteSpMSpV(const std::string &id, MemType l1_type,
+            double mem_bandwidth)
+{
+    const double scale = spmspvScale();
+    CsrMatrix m = makeSuiteMatrix(id, scale);
+    Rng rng(0x5adaull * 31 + m.rows());
+    SparseVector x = SparseVector::random(m.cols(), 0.5, rng);
+    WorkloadOptions wo;
+    wo.l1Type = l1_type;
+    wo.memBandwidth = mem_bandwidth;
+    // Keep the epoch count paper-like: FLOPs scale linearly with the
+    // dataset, so the 500 FP-op epoch (Section 5.4) scales too.
+    wo.epochFpOps = std::max<std::uint64_t>(
+        100, static_cast<std::uint64_t>(500 * scale));
+    return makeSpMSpVWorkload(id, m, x, wo);
+}
+
+Workload
+suiteSpMSpM(const std::string &id, MemType l1_type,
+            double mem_bandwidth, SystemShape shape)
+{
+    const double scale = datasetScale();
+    CsrMatrix m = makeSuiteMatrix(id, scale);
+    WorkloadOptions wo;
+    wo.l1Type = l1_type;
+    wo.memBandwidth = mem_bandwidth;
+    wo.shape = shape;
+    wo.epochFpOps = std::max<std::uint64_t>(
+        250, static_cast<std::uint64_t>(5000 * scale));
+    return makeSpMSpMWorkload(id, m, wo);
+}
+
+std::size_t
+sampleCount()
+{
+    return static_cast<std::size_t>(
+        envDouble("SPARSEADAPT_SAMPLES", 24));
+}
+
+const Predictor &
+predictorFor(OptMode mode, MemType l1_type)
+{
+    static std::map<std::pair<int, int>, Predictor> cache;
+    const auto key = std::make_pair(static_cast<int>(mode),
+                                    static_cast<int>(l1_type));
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const std::string path = modelDir() + "/" +
+        (mode == OptMode::EnergyEfficient ? "ee" : "pp") + "_" +
+        (l1_type == MemType::Cache ? "cache" : "spm") + ".model";
+    {
+        std::ifstream in(path);
+        if (in) {
+            inform("loading cached predictor: " + path);
+            return cache.emplace(key, Predictor::load(in))
+                .first->second;
+        }
+    }
+
+    inform("training predictor (" + optModeName(mode) + ", " +
+           (l1_type == MemType::Cache ? "cache" : "SPM") +
+           ") -- cached to " + path);
+    TrainerOptions opts;
+    opts.mode = mode;
+    opts.l1Type = l1_type;
+    opts.spmspmDims = {128, 256};
+    opts.spmspvDims = {256, 512};
+    opts.densities = {0.004, 0.016, 0.064};
+    opts.bandwidths = {0.1e9, 1e9, 10e9};
+    opts.search.randomSamples = 12;
+    opts.search.neighborCap = 24;
+    opts.seed = 17;
+    const TrainingSet set = buildTrainingSet(opts);
+
+    Predictor pred;
+    Rng rng(23);
+    auto report = pred.train(set, rng);
+    for (std::size_t i = 0; i < numParams; ++i) {
+        inform(str("  ", paramName(allParams()[i]),
+                   ": cv-accuracy ", Table::num(report.cvAccuracy[i], 3),
+                   " depth ", report.chosen[i].maxDepth));
+    }
+
+    std::filesystem::create_directories(modelDir());
+    std::ofstream out(path);
+    pred.save(out);
+    return cache.emplace(key, std::move(pred)).first->second;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        SADAPT_ASSERT(v > 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+ratio(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_reference)
+{
+    std::printf("\n==========================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_reference.c_str());
+    std::printf("scale=%.2f samples=%zu\n", datasetScale(),
+                sampleCount());
+    std::printf("============================================"
+                "====================\n");
+}
+
+void
+printPaperComparison(const std::string &what, double measured,
+                     const std::string &paper_reported)
+{
+    std::printf("  %-52s %6.2fx  (paper: %s)\n", what.c_str(), measured,
+                paper_reported.c_str());
+}
+
+std::string
+csvPath(const std::string &name)
+{
+    std::filesystem::create_directories("bench_results");
+    return "bench_results/" + name + ".csv";
+}
+
+ComparisonOptions
+defaultComparison(OptMode mode, PolicyKind policy, double tolerance)
+{
+    ComparisonOptions co;
+    co.mode = mode;
+    co.oracleSamples = sampleCount();
+    co.policy = Policy(policy, tolerance);
+    co.seed = 11;
+    return co;
+}
+
+} // namespace sadapt::bench

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness: scale knobs, a
+ * cached trained predictor per (mode, L1 type), gain-table printing,
+ * and CSV output under bench_results/.
+ *
+ * Environment knobs:
+ *  - SPARSEADAPT_BENCH_SCALE  dataset scale factor (default 0.12; 1.0
+ *    reproduces the paper's full Table 5 sizes but takes hours on one
+ *    core).
+ *  - SPARSEADAPT_SAMPLES      configurations sampled for the ideal /
+ *    oracle schemes (default 24; paper's artifact uses 256).
+ *  - SPARSEADAPT_MODEL_DIR    cache directory for trained predictors
+ *    (default bench_results/models).
+ */
+
+#ifndef SADAPT_BENCH_BENCH_COMMON_HH
+#define SADAPT_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "adapt/runner.hh"
+#include "common/table.hh"
+
+namespace sadapt::bench {
+
+/** Dataset scale factor from the environment. */
+double datasetScale();
+
+/** SpMSpV datasets tolerate a larger scale (traces are lighter). */
+double spmspvScale();
+
+/**
+ * Build a suite SpMSpV workload (50%-dense random vector,
+ * Section 6.1.1) at the bench scale. Epoch size scales with the
+ * dataset so the epoch count stays paper-like.
+ */
+Workload suiteSpMSpV(const std::string &id, MemType l1_type,
+                     double mem_bandwidth = 1e9);
+
+/** Build a suite SpMSpM workload (C = A * A^T, Section 6.1.2). */
+Workload suiteSpMSpM(const std::string &id, MemType l1_type,
+                     double mem_bandwidth = 1e9,
+                     SystemShape shape = SystemShape{2, 8});
+
+/** Oracle/ideal candidate sample count from the environment. */
+std::size_t sampleCount();
+
+/**
+ * Train (or load from the on-disk cache) the predictor for one
+ * operating mode and L1 memory type. The training sweep is a reduced
+ * Table 3 sweep; see DESIGN.md for the substitution rationale.
+ */
+const Predictor &predictorFor(OptMode mode, MemType l1_type);
+
+/** Geometric mean of a vector of positive gains. */
+double geomean(const std::vector<double> &values);
+
+/** Ratio helper guarding against division by zero. */
+double ratio(double num, double den);
+
+/** Print a separator + bench header with the paper reference. */
+void printHeader(const std::string &title,
+                 const std::string &paper_reference);
+
+/**
+ * Print one line comparing a measured aggregate against the value the
+ * paper reports, e.g. "GM efficiency vs Baseline: 1.74x (paper: 1.8x)".
+ */
+void printPaperComparison(const std::string &what, double measured,
+                          const std::string &paper_reported);
+
+/** bench_results/<name>.csv path (directory created on demand). */
+std::string csvPath(const std::string &name);
+
+/** Default comparison options for the current bench scale. */
+ComparisonOptions defaultComparison(OptMode mode, PolicyKind policy,
+                                    double tolerance = 0.4);
+
+} // namespace sadapt::bench
+
+#endif // SADAPT_BENCH_BENCH_COMMON_HH

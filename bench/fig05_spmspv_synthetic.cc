@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 5: SpMSpV gains over Baseline on the synthetic datasets
+ * (U1-U3 uniform, P1-P3 power-law) with L1 as cache, in
+ * Power-Performance (GFLOPS and GFLOPS/W panels) and Energy-Efficient
+ * (GFLOPS/W panel) modes.
+ *
+ * Paper-reported anchors: in Power-Performance mode SparseAdapt gains
+ * 1.8x performance over Baseline, is 3.5x more energy-efficient than
+ * Max Cfg while staying within 34% of its performance, and is 6%
+ * better / 1.6x faster than Best Avg. In Energy-Efficient mode it
+ * gains 1.5-1.9x efficiency over Baseline while Max Cfg is 2.9x less
+ * efficient than Baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/csv.hh"
+#include "sparse/suite.hh"
+
+using namespace sadapt;
+using namespace sadapt::bench;
+
+namespace {
+
+void
+runMode(OptMode mode, CsvWriter &csv)
+{
+    const Predictor &pred = predictorFor(mode, MemType::Cache);
+    Table table;
+    table.header({"Matrix", "Base GF", "Base GF/W", "SA GF(x)",
+                  "SA GF/W(x)", "BestAvg GF/W(x)", "Max GF/W(x)",
+                  "Max GF(x)"});
+    std::vector<double> sa_perf, sa_eff, max_eff, best_eff, max_perf,
+        sa_vs_max_eff, sa_vs_max_perf, sa_vs_best_eff, sa_vs_best_perf;
+
+    for (const std::string &id : syntheticIds()) {
+        Workload wl = suiteSpMSpV(id, MemType::Cache);
+        Comparison cmp(wl, &pred,
+                       defaultComparison(mode, PolicyKind::Hybrid,
+                                         0.4));
+        const auto base = cmp.baseline();
+        const auto best = cmp.bestAvg();
+        const auto max = cmp.maxCfg();
+        const auto sa = cmp.sparseAdapt();
+
+        sa_perf.push_back(ratio(sa.gflops(), base.gflops()));
+        sa_eff.push_back(
+            ratio(sa.gflopsPerWatt(), base.gflopsPerWatt()));
+        best_eff.push_back(
+            ratio(best.gflopsPerWatt(), base.gflopsPerWatt()));
+        max_eff.push_back(
+            ratio(max.gflopsPerWatt(), base.gflopsPerWatt()));
+        max_perf.push_back(ratio(max.gflops(), base.gflops()));
+        sa_vs_max_eff.push_back(
+            ratio(sa.gflopsPerWatt(), max.gflopsPerWatt()));
+        sa_vs_max_perf.push_back(ratio(sa.gflops(), max.gflops()));
+        sa_vs_best_eff.push_back(
+            ratio(sa.gflopsPerWatt(), best.gflopsPerWatt()));
+        sa_vs_best_perf.push_back(ratio(sa.gflops(), best.gflops()));
+
+        table.row({id, Table::num(base.gflops(), 3),
+                   Table::num(base.gflopsPerWatt(), 3),
+                   Table::gain(sa_perf.back()),
+                   Table::gain(sa_eff.back()),
+                   Table::gain(best_eff.back()),
+                   Table::gain(max_eff.back()),
+                   Table::gain(max_perf.back())});
+        csv.cell(optModeName(mode)).cell(id)
+            .cell(base.gflops()).cell(base.gflopsPerWatt())
+            .cell(sa.gflops()).cell(sa.gflopsPerWatt())
+            .cell(best.gflops()).cell(best.gflopsPerWatt())
+            .cell(max.gflops()).cell(max.gflopsPerWatt());
+        csv.endRow();
+    }
+
+    std::printf("\n--- %s mode ---\n", optModeName(mode).c_str());
+    table.print();
+    std::printf("\nGeometric-mean comparisons:\n");
+    if (mode == OptMode::PowerPerformance) {
+        printPaperComparison("SparseAdapt GFLOPS vs Baseline",
+                             geomean(sa_perf), "1.8x");
+        printPaperComparison("SparseAdapt GFLOPS/W vs Max Cfg",
+                             geomean(sa_vs_max_eff), "3.5x");
+        printPaperComparison("SparseAdapt GFLOPS vs Max Cfg",
+                             geomean(sa_vs_max_perf),
+                             "within 34% (0.66x+)");
+        printPaperComparison("SparseAdapt GFLOPS/W vs Best Avg",
+                             geomean(sa_vs_best_eff), "1.06x");
+        printPaperComparison("SparseAdapt GFLOPS vs Best Avg",
+                             geomean(sa_vs_best_perf), "1.6x");
+    } else {
+        printPaperComparison("SparseAdapt GFLOPS/W vs Baseline",
+                             geomean(sa_eff), "1.5-1.9x");
+        printPaperComparison("Max Cfg GFLOPS/W vs Baseline",
+                             geomean(max_eff),
+                             "0.34x (2.9x less efficient)");
+        printPaperComparison("Best Avg GFLOPS/W vs Baseline",
+                             geomean(best_eff), "1.1x");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 5: SpMSpV on synthetic matrices (L1 cache)",
+                "Pal et al., MICRO'21, Figure 5 / Section 6.1.1");
+    CsvWriter csv(csvPath("fig05_spmspv_synthetic"));
+    csv.row({"mode", "matrix", "base_gflops", "base_gfw", "sa_gflops",
+             "sa_gfw", "bestavg_gflops", "bestavg_gfw", "max_gflops",
+             "max_gfw"});
+    runMode(OptMode::PowerPerformance, csv);
+    runMode(OptMode::EnergyEfficient, csv);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 7: SpMSpV gains over Baseline on the real-world stand-ins
+ * R09-R16, Power-Performance mode, with L1 configured (a) as cache
+ * and (b) as scratchpad (the compile-time choice of Section 3.4; each
+ * mode is compared against its own Table 4 Best Avg).
+ *
+ * Paper-reported anchors (Section 6.1.4): SparseAdapt performance is
+ * 1.3x Best Avg for L1 cache and 1.9x for L1 SPM, 1.2x better than
+ * Max Cfg in both, while being 4.3x (cache) and 6.2x (SPM) more
+ * energy-efficient than Max Cfg; cache-mode performance is 1.5x
+ * Baseline with ~20% more energy.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/csv.hh"
+#include "sparse/suite.hh"
+
+using namespace sadapt;
+using namespace sadapt::bench;
+
+namespace {
+
+void
+runL1Mode(MemType l1, CsvWriter &csv)
+{
+    const OptMode mode = OptMode::PowerPerformance;
+    const Predictor &pred = predictorFor(mode, l1);
+    const char *label = l1 == MemType::Cache ? "cache" : "SPM";
+    Table table;
+    table.header({"Matrix", "Base GF", "SA GF(x)", "SA GF/W(x)",
+                  "BestAvg GF(x)", "Max GF(x)"});
+    std::vector<double> sa_vs_best_perf, sa_vs_max_perf,
+        sa_vs_max_eff, sa_perf, sa_energy_vs_base;
+
+    for (const std::string &id : spmspvRealWorldIds()) {
+        Workload wl = suiteSpMSpV(id, l1);
+        Comparison cmp(wl, &pred,
+                       defaultComparison(mode, PolicyKind::Hybrid,
+                                         0.4));
+        const auto base = cmp.baseline();
+        const auto best = cmp.bestAvg();
+        const auto max = cmp.maxCfg();
+        const auto sa = cmp.sparseAdapt();
+
+        sa_vs_best_perf.push_back(ratio(sa.gflops(), best.gflops()));
+        sa_vs_max_perf.push_back(ratio(sa.gflops(), max.gflops()));
+        sa_vs_max_eff.push_back(
+            ratio(sa.gflopsPerWatt(), max.gflopsPerWatt()));
+        sa_perf.push_back(ratio(sa.gflops(), base.gflops()));
+        sa_energy_vs_base.push_back(ratio(sa.energy, base.energy));
+
+        table.row({id, Table::num(base.gflops(), 3),
+                   Table::gain(sa_perf.back()),
+                   Table::gain(ratio(sa.gflopsPerWatt(),
+                                     base.gflopsPerWatt())),
+                   Table::gain(ratio(best.gflops(), base.gflops())),
+                   Table::gain(ratio(max.gflops(), base.gflops()))});
+        csv.cell(label).cell(id)
+            .cell(base.gflops()).cell(base.gflopsPerWatt())
+            .cell(sa.gflops()).cell(sa.gflopsPerWatt())
+            .cell(best.gflops()).cell(best.gflopsPerWatt())
+            .cell(max.gflops()).cell(max.gflopsPerWatt());
+        csv.endRow();
+    }
+
+    std::printf("\n--- L1 as %s (Power-Performance mode) ---\n",
+                label);
+    table.print();
+    std::printf("\nGeometric-mean comparisons:\n");
+    if (l1 == MemType::Cache) {
+        printPaperComparison("SparseAdapt GFLOPS vs Best Avg",
+                             geomean(sa_vs_best_perf), "1.3x");
+        printPaperComparison("SparseAdapt GFLOPS vs Max Cfg",
+                             geomean(sa_vs_max_perf), "1.2x");
+        printPaperComparison("SparseAdapt GFLOPS/W vs Max Cfg",
+                             geomean(sa_vs_max_eff), "4.3x");
+        printPaperComparison("SparseAdapt GFLOPS vs Baseline",
+                             geomean(sa_perf), "1.5x");
+        printPaperComparison("SparseAdapt energy vs Baseline",
+                             geomean(sa_energy_vs_base),
+                             "~1.2x (20% more)");
+    } else {
+        printPaperComparison("SparseAdapt GFLOPS vs Best Avg",
+                             geomean(sa_vs_best_perf), "1.9x");
+        printPaperComparison("SparseAdapt GFLOPS vs Max Cfg",
+                             geomean(sa_vs_max_perf), "1.2x");
+        printPaperComparison("SparseAdapt GFLOPS/W vs Max Cfg",
+                             geomean(sa_vs_max_eff), "6.2x");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 7: SpMSpV on real-world matrices, "
+                "L1 cache vs scratchpad",
+                "Pal et al., MICRO'21, Figure 7 / Section 6.1.4");
+    CsvWriter csv(csvPath("fig07_spmspv_l1modes"));
+    csv.row({"l1_mode", "matrix", "base_gflops", "base_gfw",
+             "sa_gflops", "sa_gfw", "bestavg_gflops", "bestavg_gfw",
+             "max_gflops", "max_gfw"});
+    runL1Mode(MemType::Cache, csv);
+    runL1Mode(MemType::Spm, csv);
+    return 0;
+}

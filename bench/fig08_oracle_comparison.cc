@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 8: SparseAdapt vs the upper-bound schemes (Ideal Static,
+ * Ideal Greedy, Oracle) on SpMSpM over R01-R08 (L1 cache), both
+ * modes, all reported as gains over Baseline.
+ *
+ * Paper-reported anchors (Section 6.2): SparseAdapt is within 13% of
+ * Oracle performance in Power-Performance mode and within 5% of its
+ * efficiency in both modes; dynamic reconfiguration headroom over
+ * Ideal Static is 1.3-1.8x in GFLOPS/W; SparseAdapt is within 3% of
+ * Ideal Greedy's efficiency in Energy-Efficient mode.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/csv.hh"
+#include "sparse/suite.hh"
+
+using namespace sadapt;
+using namespace sadapt::bench;
+
+namespace {
+
+void
+runMode(OptMode mode, CsvWriter &csv)
+{
+    const Predictor &pred = predictorFor(mode, MemType::Cache);
+    Table table;
+    table.header({"Matrix", "IdealStatic GF/W(x)", "Greedy GF/W(x)",
+                  "Oracle GF/W(x)", "SA GF/W(x)", "SA GF(x)",
+                  "Oracle GF(x)"});
+    std::vector<double> sa_vs_oracle_perf, sa_vs_oracle_eff,
+        oracle_vs_static_eff, sa_vs_greedy_eff;
+
+    for (const std::string &id : spmspmRealWorldIds()) {
+        Workload wl = suiteSpMSpM(id, MemType::Cache);
+        Comparison cmp(wl, &pred,
+                       defaultComparison(mode,
+                                         PolicyKind::Conservative));
+        const auto base = cmp.baseline();
+        const auto stat = cmp.idealStatic();
+        const auto greedy = cmp.idealGreedy();
+        const auto oracle = cmp.oracle();
+        const auto sa = cmp.sparseAdapt();
+
+        auto eff = [&](const ScheduleEval &e) {
+            return ratio(e.gflopsPerWatt(), base.gflopsPerWatt());
+        };
+        auto perf = [&](const ScheduleEval &e) {
+            return ratio(e.gflops(), base.gflops());
+        };
+        sa_vs_oracle_perf.push_back(
+            ratio(sa.gflops(), oracle.gflops()));
+        sa_vs_oracle_eff.push_back(
+            ratio(sa.gflopsPerWatt(), oracle.gflopsPerWatt()));
+        oracle_vs_static_eff.push_back(
+            ratio(oracle.gflopsPerWatt(), stat.gflopsPerWatt()));
+        sa_vs_greedy_eff.push_back(
+            ratio(sa.gflopsPerWatt(), greedy.gflopsPerWatt()));
+
+        table.row({id, Table::gain(eff(stat)),
+                   Table::gain(eff(greedy)), Table::gain(eff(oracle)),
+                   Table::gain(eff(sa)), Table::gain(perf(sa)),
+                   Table::gain(perf(oracle))});
+        csv.cell(optModeName(mode)).cell(id)
+            .cell(eff(stat)).cell(eff(greedy)).cell(eff(oracle))
+            .cell(eff(sa)).cell(perf(sa)).cell(perf(oracle));
+        csv.endRow();
+    }
+
+    std::printf("\n--- %s mode (gains over Baseline) ---\n",
+                optModeName(mode).c_str());
+    table.print();
+    std::printf("\nGeometric-mean comparisons:\n");
+    if (mode == OptMode::PowerPerformance) {
+        printPaperComparison("SparseAdapt GFLOPS vs Oracle",
+                             geomean(sa_vs_oracle_perf),
+                             "within 13% (0.87x+)");
+        printPaperComparison("SparseAdapt GFLOPS/W vs Oracle",
+                             geomean(sa_vs_oracle_eff),
+                             "within 5% (0.95x+)");
+    } else {
+        printPaperComparison("SparseAdapt GFLOPS/W vs Oracle",
+                             geomean(sa_vs_oracle_eff),
+                             "within 5% (0.95x+)");
+        printPaperComparison("SparseAdapt GFLOPS/W vs Ideal Greedy",
+                             geomean(sa_vs_greedy_eff),
+                             "within 3% (0.97x+)");
+    }
+    printPaperComparison("Oracle GFLOPS/W vs Ideal Static",
+                         geomean(oracle_vs_static_eff), "1.3-1.8x");
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 8: SparseAdapt vs Ideal Static / Greedy / "
+                "Oracle (SpMSpM)",
+                "Pal et al., MICRO'21, Figure 8 / Section 6.2");
+    CsvWriter csv(csvPath("fig08_oracle_comparison"));
+    csv.row({"mode", "matrix", "idealstatic_eff_x", "greedy_eff_x",
+             "oracle_eff_x", "sa_eff_x", "sa_perf_x",
+             "oracle_perf_x"});
+    runMode(OptMode::PowerPerformance, csv);
+    runMode(OptMode::EnergyEfficient, csv);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 10: relative (Gini) importance of each class of performance
+ * counters for each trained per-parameter model, in both operating
+ * modes with L1 as cache.
+ *
+ * Paper-reported anchors (Section 6.3.2): counters probing the L1
+ * R-DCache and the memory controller are the most important across
+ * the models.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "adapt/telemetry.hh"
+#include "bench/bench_common.hh"
+#include "common/csv.hh"
+
+using namespace sadapt;
+using namespace sadapt::bench;
+
+namespace {
+
+const std::vector<FeatureGroup> &
+groupList()
+{
+    static const std::vector<FeatureGroup> groups = {
+        FeatureGroup::ConfigParams, FeatureGroup::L1RDCache,
+        FeatureGroup::L2RDCache, FeatureGroup::RXBar,
+        FeatureGroup::Cores, FeatureGroup::MemoryController,
+    };
+    return groups;
+}
+
+void
+runMode(OptMode mode, CsvWriter &csv,
+        std::map<FeatureGroup, double> &counter_totals)
+{
+    const Predictor &pred = predictorFor(mode, MemType::Cache);
+    Table table;
+    std::vector<std::string> head = {"Model"};
+    for (FeatureGroup g : groupList())
+        head.push_back(featureGroupName(g));
+    table.header(head);
+
+    for (Param p : allParams()) {
+        const auto imp = pred.featureImportance(p);
+        std::map<FeatureGroup, double> by_group;
+        for (std::size_t i = 0; i < imp.size(); ++i)
+            by_group[telemetryFeatureGroups()[i]] += imp[i];
+        std::vector<std::string> row = {paramName(p)};
+        for (FeatureGroup g : groupList()) {
+            row.push_back(Table::num(by_group[g], 3));
+            csv.cell(optModeName(mode)).cell(paramName(p))
+                .cell(featureGroupName(g)).cell(by_group[g]);
+            csv.endRow();
+            if (g != FeatureGroup::ConfigParams)
+                counter_totals[g] += by_group[g];
+        }
+        table.row(row);
+    }
+    std::printf("\n--- %s mode ---\n", optModeName(mode).c_str());
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 10: per-model Gini importance of counter "
+                "classes (L1 cache)",
+                "Pal et al., MICRO'21, Figure 10 / Section 6.3.2");
+    CsvWriter csv(csvPath("fig10_feature_importance"));
+    csv.row({"mode", "model", "group", "importance"});
+
+    std::map<FeatureGroup, double> counter_totals;
+    runMode(OptMode::PowerPerformance, csv, counter_totals);
+    runMode(OptMode::EnergyEfficient, csv, counter_totals);
+
+    std::printf("\nTotal counter-class importance across all models "
+                "(both modes):\n");
+    for (FeatureGroup g : groupList()) {
+        if (g == FeatureGroup::ConfigParams)
+            continue;
+        std::printf("  %-16s %.3f\n", featureGroupName(g).c_str(),
+                    counter_totals[g]);
+    }
+    std::printf("(paper: L1 R-DCache and memory-controller counters "
+                "dominate)\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 12: scalability across system sizes. GFLOPS/W gains over
+ * Baseline in Energy-Efficient mode for SpMSpM (R01-R08, L1 cache) on
+ * 2x8, 2x16, 4x8 and 4x16 systems (tiles x GPEs/tile), using the
+ * predictor trained for the 2x8 system without retraining, at a fixed
+ * 1 GB/s bandwidth.
+ *
+ * Paper-reported anchor: mean gains of 1.7-2.0x across the four
+ * system sizes, with DVFS benefits dominating as the system grows.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "sparse/suite.hh"
+
+using namespace sadapt;
+using namespace sadapt::bench;
+
+int
+main()
+{
+    printHeader("Figure 12: system-size scaling (SpMSpM, "
+                "Energy-Efficient, no retraining)",
+                "Pal et al., MICRO'21, Figure 12 / Section 6.5");
+    const OptMode mode = OptMode::EnergyEfficient;
+    const Predictor &pred = predictorFor(mode, MemType::Cache);
+
+    CsvWriter csv(csvPath("fig12_system_size"));
+    csv.row({"system", "matrix", "sa_gfw_gain"});
+
+    Table table;
+    std::vector<std::string> head = {"System"};
+    for (const auto &id : spmspmRealWorldIds())
+        head.push_back(id);
+    head.push_back("GM");
+    table.header(head);
+
+    std::vector<double> gm_per_system;
+    for (SystemShape shape : {SystemShape{2, 8}, SystemShape{2, 16},
+                              SystemShape{4, 8}, SystemShape{4, 16}}) {
+        std::vector<std::string> row = {
+            str(shape.tiles, "x", shape.gpesPerTile)};
+        std::vector<double> gains;
+        for (const std::string &id : spmspmRealWorldIds()) {
+            Workload wl = suiteSpMSpM(id, MemType::Cache, 1e9, shape);
+            Comparison cmp(wl, &pred,
+                           defaultComparison(
+                               mode, PolicyKind::Conservative));
+            const double gain =
+                ratio(cmp.sparseAdapt().gflopsPerWatt(),
+                      cmp.baseline().gflopsPerWatt());
+            gains.push_back(gain);
+            row.push_back(Table::num(gain, 2));
+            csv.cell(row.front()).cell(id).cell(gain);
+            csv.endRow();
+        }
+        gm_per_system.push_back(geomean(gains));
+        row.push_back(Table::num(gm_per_system.back(), 2));
+        table.row(row);
+    }
+    table.print();
+    std::printf("\nGeometric-mean comparisons:\n");
+    for (std::size_t i = 0; i < gm_per_system.size(); ++i) {
+        static const char *names[] = {"2x8", "2x16", "4x8", "4x16"};
+        printPaperComparison(
+            str("SparseAdapt GFLOPS/W vs Baseline (", names[i], ")"),
+            gm_per_system[i], "1.7-2.0x");
+    }
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate components: cache
+ * bank accesses, crossbar arbitration, prefetcher training, trace
+ * replay throughput of the Transmuter engine, decision-tree
+ * inference, and the reference SpGEMM. These bound the simulation
+ * throughput the figure-level benches rely on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "adapt/telemetry.hh"
+#include "common/rng.hh"
+#include "kernels/spmspv.hh"
+#include "ml/decision_tree.hh"
+#include "sim/cache.hh"
+#include "sim/prefetcher.hh"
+#include "sim/transmuter.hh"
+#include "sim/xbar.hh"
+#include "sparse/generators.hh"
+#include "sparse/reference.hh"
+
+using namespace sadapt;
+
+namespace {
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    CacheBank bank(static_cast<std::uint32_t>(state.range(0)));
+    for (Addr a = 0; a < 4096; a += 64)
+        bank.access(a, false);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bank.access(a, false));
+        a = (a + 64) % 4096;
+    }
+}
+BENCHMARK(BM_CacheAccessHit)->Arg(4096)->Arg(65536);
+
+void
+BM_CacheAccessStreamingMiss(benchmark::State &state)
+{
+    CacheBank bank(4096);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bank.access(a, true));
+        a += 64;
+    }
+}
+BENCHMARK(BM_CacheAccessStreamingMiss);
+
+void
+BM_XbarRequest(benchmark::State &state)
+{
+    Crossbar xbar(8, 1);
+    Cycles now = 0;
+    std::uint32_t port = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(xbar.request(port, now, 1));
+        port = (port + 3) % 8;
+        ++now;
+    }
+}
+BENCHMARK(BM_XbarRequest);
+
+void
+BM_PrefetcherObserve(benchmark::State &state)
+{
+    StridePrefetcher pf(8);
+    std::vector<Addr> out;
+    Addr a = 0;
+    for (auto _ : state) {
+        out.clear();
+        pf.observe(7, a, out);
+        benchmark::DoNotOptimize(out.data());
+        a += 64;
+    }
+}
+BENCHMARK(BM_PrefetcherObserve);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    Rng rng(1);
+    CscMatrix a(makeRmat(512, 8000, rng));
+    SparseVector x = SparseVector::random(512, 0.5, rng);
+    auto build = buildSpMSpV(a, x, SystemShape{2, 8}, MemType::Cache);
+    RunParams rp;
+    Transmuter sim(rp);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.run(build.trace, baselineConfig()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(build.trace.totalOps()));
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+
+void
+BM_TreePredict(benchmark::State &state)
+{
+    Rng rng(2);
+    Dataset data(telemetryFeatureNames());
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<double> f(numTelemetryFeatures());
+        for (auto &v : f)
+            v = rng.uniform();
+        data.add(f, rng.below(5));
+    }
+    DecisionTreeClassifier tree;
+    TreeParams tp;
+    tp.maxDepth = 12;
+    tree.fit(data, tp);
+    std::vector<double> probe(numTelemetryFeatures(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.predict(probe));
+}
+BENCHMARK(BM_TreePredict);
+
+void
+BM_ReferenceSpGemm(benchmark::State &state)
+{
+    Rng rng(3);
+    CsrMatrix a = makeUniformRandom(256, 4000, rng);
+    CscMatrix ac(a);
+    CsrMatrix b = a.transposed();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(referenceSpGemm(ac, b));
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_ReferenceSpGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_RmatGeneration(benchmark::State &state)
+{
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            makeRmat(1 << 12, 40000, rng));
+    state.SetItemsProcessed(state.iterations() * 40000);
+}
+BENCHMARK(BM_RmatGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

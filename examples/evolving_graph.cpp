@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The paper's second motivation (Section 1): "compile-time
+ * optimizations fail if the dataset evolves over time ... common in
+ * the world of social networks, where connections between users form
+ * and break in real-time."
+ *
+ * This example simulates exactly that: a social graph grows across
+ * segments (new R-MAT edges arrive between bursts of SpMSpV queries).
+ * A static configuration chosen as the best for the *initial* graph
+ * is compared against SparseAdapt reacting online — no retraining, no
+ * re-profiling — across the whole evolving run.
+ *
+ * Run: ./build/examples/evolving_graph
+ */
+
+#include <cstdio>
+
+#include "adapt/runner.hh"
+#include "common/rng.hh"
+#include "kernels/spmspv.hh"
+#include "sparse/csc.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+using namespace sadapt;
+
+namespace {
+
+/** Merge extra R-MAT edges into an existing graph. */
+CsrMatrix
+grow(const CsrMatrix &g, std::uint64_t new_edges, Rng &rng)
+{
+    CooMatrix coo = g.toCoo();
+    const CsrMatrix extra = makeRmat(g.rows(), new_edges, rng);
+    for (std::uint32_t r = 0; r < extra.rows(); ++r) {
+        auto cols = extra.rowCols(r);
+        auto vals = extra.rowVals(r);
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            coo.add(r, cols[i], vals[i]);
+    }
+    coo.coalesce();
+    return CsrMatrix(coo);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint32_t n = 1024;
+    const int segments = 4;
+    Rng rng(99);
+    CsrMatrix graph = makeRmat(n, 4000, rng);
+
+    // The full evolving workload: a burst of SpMSpV queries per
+    // segment, with the graph gaining edges between segments.
+    Trace evolution(SystemShape{2, 8});
+    std::vector<Trace> segment_traces;
+    for (int s = 0; s < segments; ++s) {
+        SparseVector q = SparseVector::random(n, 0.5, rng);
+        auto build = buildSpMSpV(CscMatrix(graph), q,
+                                 SystemShape{2, 8}, MemType::Cache);
+        std::printf("segment %d: %zu edges, query touches %.0f "
+                    "FP-ops\n",
+                    s, graph.nnz(), build.flops);
+        segment_traces.push_back(build.trace);
+        evolution.append(build.trace);
+        if (s + 1 < segments)
+            graph = grow(graph, 3000, rng);
+    }
+
+    Workload wl;
+    wl.name = "evolving";
+    wl.trace = std::move(evolution);
+    wl.params.epochFpOps = 150;
+
+    // "Compile-time" choice: the ideal static config for segment 0.
+    Workload seg0;
+    seg0.name = "segment0";
+    seg0.trace = segment_traces.front();
+    seg0.params.epochFpOps = 150;
+    ComparisonOptions co0;
+    co0.oracleSamples = 16;
+    Comparison first(seg0, nullptr, co0);
+    const HwConfig compile_time =
+        idealStaticConfig(first.db(), first.candidates(),
+                          OptMode::EnergyEfficient);
+    std::printf("\ncompile-time best (for the initial graph): %s\n",
+                compile_time.label().c_str());
+
+    // SparseAdapt online over the whole evolution.
+    std::printf("training predictor...\n");
+    TrainerOptions topts;
+    topts.includeSpMSpM = false;
+    topts.spmspvDims = {256, 512};
+    topts.densities = {0.005, 0.02};
+    topts.bandwidths = {1e9};
+    topts.search.randomSamples = 10;
+    Predictor pred;
+    Rng train_rng(7);
+    pred.train(buildTrainingSet(topts), train_rng);
+
+    ComparisonOptions co;
+    co.mode = OptMode::EnergyEfficient;
+    co.oracleSamples = 16;
+    co.policy = Policy(PolicyKind::Hybrid, 0.4);
+    Comparison cmp(wl, &pred, co);
+    const auto frozen = cmp.staticEval(compile_time);
+    const auto sa = cmp.sparseAdapt();
+
+    std::printf("\n%-28s %10s %12s %9s\n", "scheme", "GFLOPS",
+                "GFLOPS/W", "switches");
+    std::printf("%-28s %10.4f %12.3f %9u\n",
+                "frozen compile-time config", frozen.gflops(),
+                frozen.gflopsPerWatt(), 0u);
+    std::printf("%-28s %10.4f %12.3f %9u\n", "SparseAdapt (online)",
+                sa.gflops(), sa.gflopsPerWatt(), sa.reconfigCount);
+    std::printf("\nAs the graph grows, the frozen choice drifts off "
+                "its sweet spot; SparseAdapt\ntracks it: %.2fx "
+                "energy-efficiency over the compile-time "
+                "configuration.\n",
+                sa.gflopsPerWatt() / frozen.gflopsPerWatt());
+    return 0;
+}

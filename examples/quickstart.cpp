@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: simulate one sparse kernel on the Transmuter model and
+ * let SparseAdapt reconfigure the hardware at runtime.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ *
+ * The walk-through:
+ *  1. generate a power-law sparse matrix (R-MAT),
+ *  2. build the SpMSpV device workload (functional trace),
+ *  3. train a small SparseAdapt predictor,
+ *  4. compare a static Baseline execution against SparseAdapt.
+ */
+
+#include <cstdio>
+
+#include "adapt/runner.hh"
+#include "common/rng.hh"
+#include "sparse/generators.hh"
+
+using namespace sadapt;
+
+int
+main()
+{
+    // 1. A power-law matrix and a 50%-dense sparse vector.
+    Rng rng(1);
+    CsrMatrix matrix = makeRmat(/*dim=*/2048, /*nnz=*/20000, rng);
+    SparseVector x = SparseVector::random(matrix.cols(), 0.5, rng);
+    std::printf("matrix: %ux%u, %zu nonzeros\n", matrix.rows(),
+                matrix.cols(), matrix.nnz());
+
+    // 2. The device workload: a functional trace of SpMSpV on a
+    //    2-tile x 8-GPE Transmuter with 1 GB/s of memory bandwidth.
+    WorkloadOptions wopts; // paper defaults (Section 5.2)
+    Workload workload = makeSpMSpVWorkload("quickstart", matrix, x,
+                                           wopts);
+    std::printf("trace: %llu ops, %.0f FP-ops\n",
+                static_cast<unsigned long long>(
+                    workload.trace.totalOps()),
+                workload.trace.totalFlops());
+
+    // 3. Train the predictive model on a small uniform-random sweep
+    //    (Table 3 methodology, reduced for the example).
+    std::printf("training the predictor (takes ~a minute)...\n");
+    TrainerOptions topts;
+    topts.mode = OptMode::EnergyEfficient;
+    topts.includeSpMSpM = false;
+    topts.spmspvDims = {256, 512};
+    topts.densities = {0.005, 0.02};
+    topts.bandwidths = {1e9};
+    topts.search.randomSamples = 10;
+    Predictor predictor;
+    Rng train_rng(2);
+    predictor.train(buildTrainingSet(topts), train_rng);
+
+    // 4. Evaluate: static Baseline vs SparseAdapt (hybrid policy).
+    ComparisonOptions copts;
+    copts.mode = OptMode::EnergyEfficient;
+    copts.oracleSamples = 16;
+    copts.policy = Policy(PolicyKind::Hybrid, 0.4);
+    Comparison cmp(workload, &predictor, copts);
+
+    const ScheduleEval base = cmp.baseline();
+    const ScheduleEval sa = cmp.sparseAdapt();
+    std::printf("\n%-14s %10s %12s %8s\n", "scheme", "GFLOPS",
+                "GFLOPS/W", "switches");
+    std::printf("%-14s %10.4f %12.3f %8u\n", "Baseline",
+                base.gflops(), base.gflopsPerWatt(), 0u);
+    std::printf("%-14s %10.4f %12.3f %8u\n", "SparseAdapt",
+                sa.gflops(), sa.gflopsPerWatt(), sa.reconfigCount);
+    std::printf("\nSparseAdapt: %.2fx performance, %.2fx "
+                "energy-efficiency over the static baseline.\n",
+                sa.gflops() / base.gflops(),
+                sa.gflopsPerWatt() / base.gflopsPerWatt());
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Control schemes compared in the evaluation (Section 5.3):
+ *
+ *  - Ideal Static: best single configuration from a sampled set,
+ *    chosen with full knowledge of the program and dataset.
+ *  - Ideal Greedy: per-epoch locally optimal dynamic reconfiguration.
+ *  - Oracle: globally optimal configuration sequence over the sampled
+ *    set, solved as a shortest-path / dynamic program over the
+ *    epoch x configuration DAG (Appendix A.7 step 7).
+ *  - ProfileAdapt (Dubach et al. 2010): the prior scheme, which must
+ *    detour through a profiling configuration (Figure 3b); naive
+ *    (every epoch) and ideal (only on phase/config changes) variants.
+ *  - SparseAdapt: the paper's contribution — predictor + hysteresis
+ *    policy driven by per-epoch telemetry.
+ */
+
+#ifndef SADAPT_ADAPT_CONTROLLERS_HH
+#define SADAPT_ADAPT_CONTROLLERS_HH
+
+#include <span>
+
+#include "adapt/epoch_db.hh"
+#include "adapt/policy.hh"
+#include "adapt/predictor.hh"
+
+namespace sadapt {
+
+/**
+ * Ideal Static: the candidate whose whole-program static metric is
+ * highest (hypothetical perfect compile-time predictor).
+ */
+HwConfig idealStaticConfig(EpochDb &db,
+                           std::span<const HwConfig> candidates,
+                           OptMode mode);
+
+/**
+ * Ideal Greedy: at each epoch boundary pick the candidate that
+ * maximizes the *next epoch's* metric including the transition
+ * penalty from the current configuration.
+ */
+Schedule idealGreedySchedule(EpochDb &db,
+                             std::span<const HwConfig> candidates,
+                             OptMode mode,
+                             const ReconfigCostModel &cost_model,
+                             const HwConfig &initial);
+
+/**
+ * Oracle: globally optimal sequence over the candidate set.
+ * Energy-Efficient mode minimizes total energy (additive -> exact
+ * shortest path). Power-Performance maximizes F^3/(T^2 E) with fixed
+ * F, i.e. minimizes T^2 E, which is non-additive: a label-correcting
+ * Pareto dynamic program over (T, E) pairs is used (the paper's
+ * "modified Dijkstra"), pruned to a bounded frontier.
+ */
+Schedule oracleSchedule(EpochDb &db,
+                        std::span<const HwConfig> candidates,
+                        OptMode mode,
+                        const ReconfigCostModel &cost_model,
+                        const HwConfig &initial);
+
+/**
+ * SparseAdapt: stitched execution where, at each epoch end, the
+ * predictor reads the just-finished epoch's counters (under the
+ * configuration that actually ran it) and the policy filters the
+ * predicted switch (Appendix A.7 step 5).
+ */
+Schedule sparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
+                             const Policy &policy, OptMode mode,
+                             const ReconfigCostModel &cost_model,
+                             const HwConfig &initial);
+
+/** Options of the ProfileAdapt emulation (Appendix A.7 step 8). */
+struct ProfileAdaptOptions
+{
+    /** The profiling configuration (each parameter maximal). */
+    HwConfig profilingConfig;
+
+    /**
+     * Fraction of an epoch spent executing in the profiling
+     * configuration before switching to the selected one.
+     */
+    double profilingFraction = 0.25;
+
+    /**
+     * Ideal variant: detour through the profiling configuration only
+     * on epochs where the selected configuration changes (assumes an
+     * external phase detector — unrealistic for implicit phases).
+     */
+    bool ideal = false;
+};
+
+/**
+ * Evaluate ProfileAdapt applied to a base (Ideal Greedy) schedule:
+ * reconfiguration into and out of the profiling configuration is
+ * charged, and the profiling fraction of the epoch runs under the
+ * profiling configuration (still performing useful work).
+ */
+ScheduleEval evaluateProfileAdapt(EpochDb &db, const Schedule &base,
+                                  const ReconfigCostModel &cost_model,
+                                  OptMode mode, const HwConfig &initial,
+                                  const ProfileAdaptOptions &opts);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_CONTROLLERS_HH

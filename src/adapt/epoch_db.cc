@@ -1,0 +1,120 @@
+#include "adapt/epoch_db.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+EpochDb::EpochDb(const Workload &workload)
+    : wl(workload), sim(workload.params)
+{
+}
+
+std::uint64_t
+EpochDb::key(const HwConfig &cfg)
+{
+    return (static_cast<std::uint64_t>(
+                cfg.l1Type == MemType::Spm ? 1 : 0) << 32) |
+        cfg.encode();
+}
+
+const SimResult &
+EpochDb::result(const HwConfig &cfg)
+{
+    const std::uint64_t k = key(cfg);
+    auto it = cache.find(k);
+    if (it != cache.end())
+        return it->second;
+    SimResult res = sim.run(wl.trace, cfg);
+    if (!cache.empty()) {
+        SADAPT_ASSERT(res.epochs.size() ==
+                          cache.begin()->second.epochs.size(),
+                      "epoch boundaries must align across configs");
+    }
+    return cache.emplace(k, std::move(res)).first->second;
+}
+
+const std::vector<EpochRecord> &
+EpochDb::epochs(const HwConfig &cfg)
+{
+    return result(cfg).epochs;
+}
+
+std::size_t
+EpochDb::numEpochs()
+{
+    if (cache.empty())
+        result(baselineConfig(wl.l1Type));
+    return cache.begin()->second.epochs.size();
+}
+
+double
+ScheduleEval::gflops() const
+{
+    return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+}
+
+double
+ScheduleEval::gflopsPerWatt() const
+{
+    return energy > 0.0 ? flops / energy / 1e9 : 0.0;
+}
+
+double
+ScheduleEval::metric(OptMode mode) const
+{
+    return metricValue(mode, flops, seconds, energy);
+}
+
+namespace {
+
+ScheduleEval
+stitch(EpochDb &db, const Schedule &schedule,
+       const ReconfigCostModel &cost_model, OptMode mode,
+       const HwConfig &initial, int phase_filter)
+{
+    SADAPT_ASSERT(schedule.configs.size() == db.numEpochs(),
+                  "schedule length must equal epoch count");
+    const bool ee = mode == OptMode::EnergyEfficient;
+    ScheduleEval ev;
+    HwConfig current = initial;
+    for (std::size_t e = 0; e < schedule.configs.size(); ++e) {
+        const HwConfig &cfg = schedule.configs[e];
+        if (!(cfg == current)) {
+            const ReconfigCost rc = cost_model.cost(current, cfg, ee);
+            ev.reconfigSeconds += rc.seconds;
+            ev.reconfigEnergy += rc.energy;
+            ev.seconds += rc.seconds;
+            ev.energy += rc.energy;
+            ++ev.reconfigCount;
+            current = cfg;
+        }
+        const EpochRecord &rec = db.epochs(cfg)[e];
+        if (phase_filter >= 0 && rec.phase != phase_filter)
+            continue;
+        ev.flops += rec.flops;
+        ev.seconds += rec.seconds;
+        ev.energy += rec.totalEnergy();
+    }
+    return ev;
+}
+
+} // namespace
+
+ScheduleEval
+evaluateSchedule(EpochDb &db, const Schedule &schedule,
+                 const ReconfigCostModel &cost_model, OptMode mode,
+                 const HwConfig &initial)
+{
+    return stitch(db, schedule, cost_model, mode, initial, -1);
+}
+
+ScheduleEval
+evaluateScheduleForPhase(EpochDb &db, const Schedule &schedule,
+                         const ReconfigCostModel &cost_model,
+                         OptMode mode, const HwConfig &initial,
+                         int phase)
+{
+    return stitch(db, schedule, cost_model, mode, initial, phase);
+}
+
+} // namespace sadapt

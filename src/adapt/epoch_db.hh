@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-configuration epoch database and the stitching engine.
+ *
+ * Following the paper's artifact methodology (Appendix A.7, steps 4-8),
+ * each workload is simulated in its entirety once per visited hardware
+ * configuration, recording per-epoch time/energy/counters. Because
+ * epochs are delimited by FP-op counts, their boundaries align across
+ * configurations, so any dynamic reconfiguration scheme can be
+ * evaluated exactly by stitching per-epoch segments together and
+ * charging reconfiguration penalties at the seams.
+ */
+
+#ifndef SADAPT_ADAPT_EPOCH_DB_HH
+#define SADAPT_ADAPT_EPOCH_DB_HH
+
+#include <unordered_map>
+
+#include "adapt/metrics.hh"
+#include "adapt/workload.hh"
+#include "sim/reconfig.hh"
+#include "sim/schedule.hh"
+
+namespace sadapt {
+
+/**
+ * Lazily memoized full-run simulations of one workload, one per
+ * hardware configuration.
+ */
+class EpochDb
+{
+  public:
+    explicit EpochDb(const Workload &workload);
+
+    /** Full simulation result under one configuration (memoized). */
+    const SimResult &result(const HwConfig &cfg);
+
+    /** Per-epoch records under one configuration. */
+    const std::vector<EpochRecord> &epochs(const HwConfig &cfg);
+
+    /** Number of epochs (identical for every configuration). */
+    std::size_t numEpochs();
+
+    /** Number of configurations simulated so far. */
+    std::size_t simulatedConfigs() const { return cache.size(); }
+
+    const Workload &workload() const { return wl; }
+
+  private:
+    const Workload &wl;
+    Transmuter sim;
+    std::unordered_map<std::uint64_t, SimResult> cache;
+
+    static std::uint64_t key(const HwConfig &cfg);
+};
+
+/** Aggregate outcome of a stitched schedule. */
+struct ScheduleEval
+{
+    double flops = 0.0;
+    Seconds seconds = 0.0;       //!< total, including reconfigurations
+    Joules energy = 0.0;         //!< total, including reconfigurations
+    Seconds reconfigSeconds = 0.0;
+    Joules reconfigEnergy = 0.0;
+    std::uint32_t reconfigCount = 0;
+
+    double gflops() const;
+    double gflopsPerWatt() const;
+    double metric(OptMode mode) const;
+};
+
+/**
+ * Stitch a schedule: sum the chosen configuration's epoch segments and
+ * charge a reconfiguration penalty at every configuration change
+ * (including the initial switch away from `initial`, if any).
+ */
+ScheduleEval evaluateSchedule(EpochDb &db, const Schedule &schedule,
+                              const ReconfigCostModel &cost_model,
+                              OptMode mode, const HwConfig &initial);
+
+/**
+ * Stitch a schedule restricted to the epochs of one explicit phase
+ * (others contribute nothing); used to compute per-phase metrics.
+ */
+ScheduleEval evaluateScheduleForPhase(EpochDb &db,
+                                      const Schedule &schedule,
+                                      const ReconfigCostModel &cost_model,
+                                      OptMode mode,
+                                      const HwConfig &initial, int phase);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_EPOCH_DB_HH

@@ -1,0 +1,175 @@
+#include "adapt/history.hh"
+
+#include "adapt/telemetry.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+std::size_t
+numHistoryFeatures()
+{
+    return numParams + 2 * PerfCounterSample::count();
+}
+
+const std::vector<std::string> &
+historyFeatureNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n = telemetryFeatureNames();
+        for (const auto &c : PerfCounterSample::names())
+            n.push_back("delta_" + c);
+        return n;
+    }();
+    return names;
+}
+
+std::vector<double>
+buildHistoryFeatures(const HwConfig &cfg, const PerfCounterSample &cur,
+                     const PerfCounterSample &prev)
+{
+    std::vector<double> f = buildFeatures(cfg, cur);
+    const auto c = cur.toVector();
+    const auto p = prev.toVector();
+    for (std::size_t i = 0; i < c.size(); ++i)
+        f.push_back(c[i] - p[i]);
+    return f;
+}
+
+namespace {
+
+/** TrainingSet whose datasets use the history feature layout. */
+TrainingSet
+emptyHistorySet()
+{
+    TrainingSet set;
+    for (std::size_t i = 0; i < numParams; ++i)
+        set.perParam[i] = Dataset(historyFeatureNames());
+    return set;
+}
+
+} // namespace
+
+TrainingSet
+buildHistoryTrainingSet(EpochDb &db, OptMode mode,
+                        std::size_t num_samples, Rng &rng)
+{
+    TrainingSet set = emptyHistorySet();
+    const ConfigSpace space(db.workload().l1Type);
+    const std::vector<HwConfig> samples =
+        space.sample(num_samples, rng);
+    const std::size_t epochs = db.numEpochs();
+    if (epochs < 3)
+        return set;
+
+    // Per-epoch locally-best candidate (ignoring transition costs —
+    // the policy handles those at runtime).
+    std::vector<HwConfig> best_at(epochs, samples.front());
+    for (std::size_t e = 0; e < epochs; ++e) {
+        double best_metric = -1.0;
+        for (const HwConfig &c : samples) {
+            const EpochRecord &rec = db.epochs(c)[e];
+            const double m = metricValue(mode, rec.flops, rec.seconds,
+                                         rec.totalEnergy());
+            if (m > best_metric) {
+                best_metric = m;
+                best_at[e] = c;
+            }
+        }
+    }
+    for (const HwConfig &c : samples) {
+        const auto &recs = db.epochs(c);
+        for (std::size_t t = 1; t + 1 < epochs; ++t) {
+            set.add(buildHistoryFeatures(c, recs[t].counters,
+                                         recs[t - 1].counters),
+                    best_at[t + 1]);
+        }
+    }
+    return set;
+}
+
+void
+mergeTrainingSets(TrainingSet &into, const TrainingSet &from)
+{
+    for (std::size_t i = 0; i < numParams; ++i) {
+        SADAPT_ASSERT(into.perParam[i].numFeatures() ==
+                          from.perParam[i].numFeatures(),
+                      "training set feature layouts differ");
+        const Dataset &src = from.perParam[i];
+        for (std::size_t r = 0; r < src.size(); ++r) {
+            auto f = src.features(r);
+            into.perParam[i].add({f.begin(), f.end()}, src.label(r));
+        }
+    }
+}
+
+void
+HistoryPredictor::train(const TrainingSet &set, const TreeParams &params)
+{
+    SADAPT_ASSERT(set.size() > 0, "empty history training set");
+    for (std::size_t i = 0; i < numParams; ++i)
+        trees[i].fit(set.perParam[i], params);
+}
+
+HwConfig
+HistoryPredictor::predict(const HwConfig &current,
+                          const PerfCounterSample &cur,
+                          const PerfCounterSample &prev) const
+{
+    SADAPT_ASSERT(trained(), "predict on an untrained predictor");
+    const std::vector<double> f =
+        buildHistoryFeatures(current, cur, prev);
+    HwConfig out = current;
+    for (std::size_t i = 0; i < numParams; ++i) {
+        const Param p = allParams()[i];
+        out = withParam(out, p,
+                        std::min(trees[i].predict(f),
+                                 paramCardinality(p) - 1));
+    }
+    return out;
+}
+
+bool
+HistoryPredictor::trained() const
+{
+    for (const auto &t : trees)
+        if (!t.trained())
+            return false;
+    return true;
+}
+
+const DecisionTreeClassifier &
+HistoryPredictor::tree(Param p) const
+{
+    return trees[static_cast<std::size_t>(p)];
+}
+
+Schedule
+sparseAdaptHistorySchedule(EpochDb &db,
+                           const HistoryPredictor &predictor,
+                           const Policy &policy, OptMode mode,
+                           const ReconfigCostModel &cost_model,
+                           const HwConfig &initial)
+{
+    const bool ee = mode == OptMode::EnergyEfficient;
+    const std::size_t num_epochs = db.numEpochs();
+    Schedule schedule;
+    schedule.configs.reserve(num_epochs);
+    HwConfig current = initial;
+    PerfCounterSample prev{};
+    for (std::size_t e = 0; e < num_epochs; ++e) {
+        schedule.configs.push_back(current);
+        const EpochRecord &rec = db.epochs(current)[e];
+        // Epoch 0 has no history: the delta features are zero.
+        const PerfCounterSample &prior =
+            e == 0 ? rec.counters : prev;
+        const HwConfig predicted =
+            predictor.predict(current, rec.counters, prior);
+        current = policy.apply(current, predicted, rec.seconds,
+                               cost_model, ee);
+        prev = rec.counters;
+    }
+    return schedule;
+}
+
+} // namespace sadapt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * History-based prediction — the Section 7 ("Bridging the Gap with
+ * Oracle") extension implemented.
+ *
+ * The base SparseAdapt predictor sees only the last epoch's telemetry.
+ * This extension augments the feature vector with the *trend*: the
+ * difference between the last two epochs' counter samples, so the
+ * model can distinguish "entering a phase" from "inside a phase" —
+ * borrowing the history idea from branch prediction, as the paper
+ * suggests. Training examples are harvested from real execution
+ * sequences rather than steady-state phases, labelled with the
+ * locally-best configuration of the *next* epoch.
+ */
+
+#ifndef SADAPT_ADAPT_HISTORY_HH
+#define SADAPT_ADAPT_HISTORY_HH
+
+#include "adapt/policy.hh"
+#include "adapt/trainer.hh"
+#include "ml/decision_tree.hh"
+
+namespace sadapt {
+
+/** Number of history input features (params + 2x counters). */
+std::size_t numHistoryFeatures();
+
+/** History feature names, in buildHistoryFeatures() order. */
+const std::vector<std::string> &historyFeatureNames();
+
+/**
+ * Build the history feature vector: configuration parameters, the
+ * current epoch's counters, and the counter deltas vs the previous
+ * epoch.
+ */
+std::vector<double> buildHistoryFeatures(const HwConfig &cfg,
+                                         const PerfCounterSample &cur,
+                                         const PerfCounterSample &prev);
+
+/**
+ * Harvest sequence training examples from one workload: for each
+ * epoch t >= 1 and each sampled configuration c, the features are
+ * (c, counters_t(c), counters_t(c) - counters_{t-1}(c)) and the label
+ * is the candidate configuration with the best epoch-(t+1) metric.
+ *
+ * @param db epoch database of a training workload.
+ * @param mode optimization mode for the labels.
+ * @param num_samples configurations sampled as feature sources and
+ *        label candidates.
+ */
+TrainingSet buildHistoryTrainingSet(EpochDb &db, OptMode mode,
+                                    std::size_t num_samples, Rng &rng);
+
+/** Append another training set's rows (same feature layout). */
+void mergeTrainingSets(TrainingSet &into, const TrainingSet &from);
+
+/**
+ * Per-parameter decision-tree ensemble over history features.
+ */
+class HistoryPredictor
+{
+  public:
+    /** Fit all trees with one set of hyperparameters. */
+    void train(const TrainingSet &set, const TreeParams &params);
+
+    /** Predict the next-epoch configuration from two epochs of
+     * telemetry. */
+    HwConfig predict(const HwConfig &current,
+                     const PerfCounterSample &cur,
+                     const PerfCounterSample &prev) const;
+
+    bool trained() const;
+
+    const DecisionTreeClassifier &tree(Param p) const;
+
+  private:
+    std::array<DecisionTreeClassifier, numParams> trees;
+};
+
+/**
+ * SparseAdapt stitched schedule driven by the history predictor: the
+ * decision at the end of epoch e uses the telemetry of epochs e and
+ * e-1 under the configurations that actually ran them.
+ */
+Schedule sparseAdaptHistorySchedule(EpochDb &db,
+                                    const HistoryPredictor &predictor,
+                                    const Policy &policy, OptMode mode,
+                                    const ReconfigCostModel &cost_model,
+                                    const HwConfig &initial);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_HISTORY_HH

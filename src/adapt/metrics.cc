@@ -1,0 +1,40 @@
+#include "adapt/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+std::string
+optModeName(OptMode mode)
+{
+    return mode == OptMode::EnergyEfficient ? "Energy-Efficient"
+                                            : "Power-Performance";
+}
+
+double
+gflopsOf(double flops, Seconds seconds)
+{
+    return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+}
+
+double
+gflopsPerWattOf(double flops, Joules joules)
+{
+    return joules > 0.0 ? flops / joules / 1e9 : 0.0;
+}
+
+double
+metricValue(OptMode mode, double flops, Seconds seconds, Joules joules)
+{
+    if (seconds <= 0.0 || joules <= 0.0)
+        return 0.0;
+    const double gf = gflopsOf(flops, seconds);
+    const Watts watts = joules / seconds;
+    if (mode == OptMode::EnergyEfficient)
+        return gf / watts;
+    return gf * gf * gf / watts;
+}
+
+} // namespace sadapt

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Optimization modes and their objective metrics.
+ *
+ * SparseAdapt operates under one of two constraints (Section 1):
+ * Energy-Efficient mode maximizes GFLOPS/W (cloud/edge energy cost),
+ * Power-Performance mode maximizes GFLOPS^3/W (performance-weighted,
+ * akin to inverse energy-delay-squared).
+ */
+
+#ifndef SADAPT_ADAPT_METRICS_HH
+#define SADAPT_ADAPT_METRICS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/** The two operating modes of SparseAdapt. */
+enum class OptMode
+{
+    EnergyEfficient,  //!< maximize GFLOPS/W
+    PowerPerformance, //!< maximize GFLOPS^3/W
+};
+
+/** Human-readable mode name. */
+std::string optModeName(OptMode mode);
+
+/** GFLOPS for an aggregate (flops, time). */
+double gflopsOf(double flops, Seconds seconds);
+
+/** GFLOPS/W for an aggregate (flops, time, energy). */
+double gflopsPerWattOf(double flops, Joules joules);
+
+/**
+ * The mode's objective for an aggregate execution:
+ * GFLOPS/W in Energy-Efficient mode, GFLOPS^3/W in Power-Performance
+ * mode. Higher is better.
+ */
+double metricValue(OptMode mode, double flops, Seconds seconds,
+                   Joules joules);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_METRICS_HH

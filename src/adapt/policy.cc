@@ -1,0 +1,62 @@
+#include "adapt/policy.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+std::string
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Conservative: return "conservative";
+      case PolicyKind::Aggressive: return "aggressive";
+      case PolicyKind::Hybrid: return "hybrid";
+    }
+    panic("bad PolicyKind");
+}
+
+Policy::Policy(PolicyKind kind, double hybrid_tolerance)
+    : kindV(kind), toleranceV(hybrid_tolerance)
+{
+    SADAPT_ASSERT(hybrid_tolerance > 0.0, "tolerance must be positive");
+}
+
+HwConfig
+Policy::apply(const HwConfig &current, const HwConfig &predicted,
+              Seconds last_epoch_seconds,
+              const ReconfigCostModel &cost_model,
+              bool energy_efficient_mode) const
+{
+    if (kindV == PolicyKind::Aggressive)
+        return predicted;
+
+    HwConfig out = current;
+    for (Param p : allParams()) {
+        const std::uint32_t want = paramValue(predicted, p);
+        if (want == paramValue(current, p))
+            continue;
+        const HwConfig single = withParam(current, p, want);
+        const ReconfigCost rc =
+            cost_model.cost(current, single, energy_efficient_mode);
+        bool accept = false;
+        switch (kindV) {
+          case PolicyKind::Conservative:
+            // Never pay a flush: super-fine changes only.
+            accept = !rc.flushL1 && !rc.flushL2;
+            break;
+          case PolicyKind::Hybrid:
+            // Penalizes bursts of reconfiguration after short epochs
+            // but allows occasional expensive switches after long ones.
+            accept = rc.seconds <= toleranceV * last_epoch_seconds;
+            break;
+          case PolicyKind::Aggressive:
+            accept = true;
+            break;
+        }
+        if (accept)
+            out = withParam(out, p, want);
+    }
+    return out;
+}
+
+} // namespace sadapt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reconfiguration cost-aware hysteresis policies (Section 4.4):
+ * Conservative (never pay flush-class costs), Aggressive (always
+ * follow the prediction), Hybrid (pay a dimension's cost only if it is
+ * within a tolerance fraction of the previous epoch's elapsed time).
+ */
+
+#ifndef SADAPT_ADAPT_POLICY_HH
+#define SADAPT_ADAPT_POLICY_HH
+
+#include <string>
+
+#include "sim/reconfig.hh"
+
+namespace sadapt {
+
+/** The three hysteresis schemes of Section 4.4. */
+enum class PolicyKind
+{
+    Conservative,
+    Aggressive,
+    Hybrid,
+};
+
+/** Human-readable policy name. */
+std::string policyKindName(PolicyKind kind);
+
+/**
+ * Filters a predicted configuration against reconfiguration cost.
+ */
+class Policy
+{
+  public:
+    /**
+     * @param kind hysteresis scheme.
+     * @param hybrid_tolerance for Hybrid: maximum dimension
+     *        reconfiguration time as a fraction of the previous
+     *        epoch's elapsed time (Section 5.4 uses 40% for SpMSpV).
+     */
+    explicit Policy(PolicyKind kind, double hybrid_tolerance = 0.4);
+
+    /**
+     * Apply the policy: start from `current` and accept each predicted
+     * parameter change only if its cost passes the scheme's test.
+     *
+     * @param current configuration of the epoch that just ended.
+     * @param predicted model output for the next epoch.
+     * @param last_epoch_seconds elapsed time of the previous epoch.
+     * @param cost_model reconfiguration cost model.
+     * @param energy_efficient_mode flush-clock selection mode.
+     */
+    HwConfig apply(const HwConfig &current, const HwConfig &predicted,
+                   Seconds last_epoch_seconds,
+                   const ReconfigCostModel &cost_model,
+                   bool energy_efficient_mode) const;
+
+    PolicyKind kind() const { return kindV; }
+    double tolerance() const { return toleranceV; }
+
+  private:
+    PolicyKind kindV;
+    double toleranceV;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_POLICY_HH

@@ -1,0 +1,99 @@
+#include "adapt/predictor.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "adapt/telemetry.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+Predictor::TrainReport
+Predictor::train(const TrainingSet &set, Rng &rng)
+{
+    TrainReport report;
+    for (std::size_t i = 0; i < numParams; ++i) {
+        auto result = gridSearchTree(set.perParam[i], 3, rng);
+        report.chosen[i] = result.best;
+        report.cvAccuracy[i] = result.bestAccuracy;
+        trees[i].fit(set.perParam[i], result.best);
+    }
+    return report;
+}
+
+void
+Predictor::trainFixed(const TrainingSet &set, const TreeParams &params)
+{
+    for (std::size_t i = 0; i < numParams; ++i)
+        trees[i].fit(set.perParam[i], params);
+}
+
+void
+Predictor::trainPerParam(const TrainingSet &set,
+                         const std::array<TreeParams, numParams> &params)
+{
+    for (std::size_t i = 0; i < numParams; ++i)
+        trees[i].fit(set.perParam[i], params[i]);
+}
+
+HwConfig
+Predictor::predict(const HwConfig &current,
+                   const PerfCounterSample &counters) const
+{
+    SADAPT_ASSERT(trained(), "predict on an untrained predictor");
+    const std::vector<double> features =
+        buildFeatures(current, counters);
+    HwConfig out = current;
+    for (std::size_t i = 0; i < numParams; ++i) {
+        const Param p = allParams()[i];
+        const std::uint32_t v = std::min(
+            trees[i].predict(features), paramCardinality(p) - 1);
+        out = withParam(out, p, v);
+    }
+    return out;
+}
+
+const DecisionTreeClassifier &
+Predictor::tree(Param p) const
+{
+    return trees[static_cast<std::size_t>(p)];
+}
+
+std::vector<double>
+Predictor::featureImportance(Param p) const
+{
+    return tree(p).featureImportance();
+}
+
+bool
+Predictor::trained() const
+{
+    for (const auto &t : trees)
+        if (!t.trained())
+            return false;
+    return true;
+}
+
+void
+Predictor::save(std::ostream &out) const
+{
+    out << "predictor " << numParams << '\n';
+    for (const auto &t : trees)
+        t.save(out);
+}
+
+Predictor
+Predictor::load(std::istream &in)
+{
+    std::string magic;
+    std::size_t n = 0;
+    if (!(in >> magic >> n) || magic != "predictor" || n != numParams)
+        fatal("predictor: malformed header");
+    Predictor p;
+    for (auto &t : p.trees)
+        t = DecisionTreeClassifier::load(in);
+    return p;
+}
+
+} // namespace sadapt

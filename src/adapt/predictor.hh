@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The SparseAdapt predictive model: an ensemble of per-parameter
+ * decision trees (Sections 4.1 and 4.3), trained with k = 3-fold
+ * cross-validated hyperparameter selection (Section 5.1).
+ */
+
+#ifndef SADAPT_ADAPT_PREDICTOR_HH
+#define SADAPT_ADAPT_PREDICTOR_HH
+
+#include <array>
+#include <iosfwd>
+
+#include "adapt/trainer.hh"
+#include "ml/cross_validation.hh"
+
+namespace sadapt {
+
+/**
+ * One decision tree per runtime-reconfigurable parameter. Given the
+ * current configuration and the epoch's counter telemetry, predicts
+ * the best configuration for the next epoch.
+ */
+class Predictor
+{
+  public:
+    /** Per-parameter training diagnostics. */
+    struct TrainReport
+    {
+        std::array<TreeParams, numParams> chosen;
+        std::array<double, numParams> cvAccuracy{};
+    };
+
+    /**
+     * Train with per-parameter grid-searched hyperparameters
+     * (criterion, max_depth, min_samples_leaf; Section 5.1).
+     */
+    TrainReport train(const TrainingSet &set, Rng &rng);
+
+    /** Train all trees with fixed hyperparameters (no search). */
+    void trainFixed(const TrainingSet &set, const TreeParams &params);
+
+    /**
+     * Train with explicit per-parameter hyperparameters (the Figure 9
+     * model-complexity sweep varies one tree's depth at a time).
+     */
+    void trainPerParam(const TrainingSet &set,
+                       const std::array<TreeParams, numParams> &params);
+
+    /** Predict the next-epoch configuration (Section 4, Figure 3a). */
+    HwConfig predict(const HwConfig &current,
+                     const PerfCounterSample &counters) const;
+
+    /** Access one parameter's tree (for inspection/Figure 10). */
+    const DecisionTreeClassifier &tree(Param p) const;
+
+    /** Gini feature importance of one parameter's tree. */
+    std::vector<double> featureImportance(Param p) const;
+
+    bool trained() const;
+
+    /** Serialize the whole ensemble. */
+    void save(std::ostream &out) const;
+    static Predictor load(std::istream &in);
+
+  private:
+    std::array<DecisionTreeClassifier, numParams> trees;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_PREDICTOR_HH

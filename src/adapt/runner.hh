@@ -1,0 +1,95 @@
+/**
+ * @file
+ * High-level comparison runner: evaluates every control scheme of
+ * Section 5.3 on one workload, sharing the epoch database and sampled
+ * candidate set (Appendix A.7 step 4 uses S = 256 samples; the sample
+ * count here is configurable to fit single-core budgets).
+ */
+
+#ifndef SADAPT_ADAPT_RUNNER_HH
+#define SADAPT_ADAPT_RUNNER_HH
+
+#include <optional>
+
+#include "adapt/controllers.hh"
+
+namespace sadapt {
+
+/** Knobs of one scheme comparison. */
+struct ComparisonOptions
+{
+    OptMode mode = OptMode::EnergyEfficient;
+
+    /** S: random configurations sampled for the ideal/oracle schemes. */
+    std::size_t oracleSamples = 32;
+
+    /** Hysteresis policy for SparseAdapt (Section 5.4 defaults are
+     * per-kernel; callers set this explicitly). */
+    Policy policy{PolicyKind::Conservative};
+
+    /** ProfileAdapt emulation parameters. */
+    double profilingFraction = 0.25;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Evaluates all comparison points on one workload. Results are
+ * stitched from a shared EpochDb, so each hardware configuration is
+ * simulated at most once.
+ */
+class Comparison
+{
+  public:
+    /**
+     * @param workload must outlive the Comparison.
+     * @param predictor trained predictor for sparseAdapt(); may be
+     *        null if sparseAdapt() is never called.
+     */
+    Comparison(const Workload &workload, const Predictor *predictor,
+               const ComparisonOptions &opts);
+
+    /** Any static configuration, stitched (no reconfigurations). */
+    ScheduleEval staticEval(const HwConfig &cfg);
+
+    /** Table 4 static systems. */
+    ScheduleEval baseline();
+    ScheduleEval bestAvg();
+    ScheduleEval maxCfg();
+
+    /** Upper-bound schemes (Section 6.2). */
+    ScheduleEval idealStatic();
+    ScheduleEval idealGreedy();
+    ScheduleEval oracle();
+
+    /** The prior scheme (Section 6.4). */
+    ScheduleEval profileAdapt(bool ideal);
+
+    /** The paper's contribution. */
+    ScheduleEval sparseAdapt();
+
+    /** The SparseAdapt schedule itself (for timeline plots). */
+    const Schedule &sparseAdaptSchedule();
+
+    EpochDb &db() { return dbV; }
+    const std::vector<HwConfig> &candidates();
+    const ReconfigCostModel &costModel() const { return cost; }
+    const HwConfig &initialConfig() const { return initial; }
+
+  private:
+    const Workload &wl;
+    const Predictor *pred;
+    ComparisonOptions opts;
+    EpochDb dbV;
+    ReconfigCostModel cost;
+    HwConfig initial;
+    std::vector<HwConfig> candidatesV;
+    std::optional<Schedule> greedyCache;
+    std::optional<Schedule> sparseAdaptCache;
+
+    const Schedule &greedySchedule();
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_RUNNER_HH

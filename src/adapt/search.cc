@@ -1,0 +1,93 @@
+#include "adapt/search.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+double
+staticPhaseMetric(EpochDb &db, const HwConfig &cfg, OptMode mode,
+                  int phase)
+{
+    double flops = 0.0;
+    Seconds seconds = 0.0;
+    Joules energy = 0.0;
+    for (const auto &rec : db.epochs(cfg)) {
+        if (phase >= 0 && rec.phase != phase)
+            continue;
+        flops += rec.flops;
+        seconds += rec.seconds;
+        energy += rec.totalEnergy();
+    }
+    return metricValue(mode, flops, seconds, energy);
+}
+
+SearchOutcome
+findBestConfig(EpochDb &db, OptMode mode, int phase,
+               const SearchParams &params, Rng &rng)
+{
+    SADAPT_ASSERT(params.randomSamples >= 1, "need at least one sample");
+    const ConfigSpace space(db.workload().l1Type);
+
+    auto best_of = [&](const std::vector<HwConfig> &candidates,
+                       HwConfig seed, double seed_metric) {
+        HwConfig best = seed;
+        double best_metric = seed_metric;
+        for (const auto &cfg : candidates) {
+            const double m = staticPhaseMetric(db, cfg, mode, phase);
+            if (m > best_metric) {
+                best_metric = m;
+                best = cfg;
+            }
+        }
+        return std::pair<HwConfig, double>(best, best_metric);
+    };
+
+    SearchOutcome out;
+    // Step 1: random sampling.
+    out.sampled = space.sample(params.randomSamples, rng);
+    auto [rand_best, rand_metric] =
+        best_of(out.sampled, out.sampled.front(),
+                staticPhaseMetric(db, out.sampled.front(), mode,
+                                  phase));
+    out.bestRandom = rand_best;
+
+    // Step 2: neighbor evaluation around Y_rand.
+    HwConfig current = rand_best;
+    double current_metric = rand_metric;
+    if (params.neighborEval) {
+        std::vector<HwConfig> nbrs = space.neighbors(current);
+        if (nbrs.size() > params.neighborCap) {
+            rng.shuffle(nbrs);
+            nbrs.resize(params.neighborCap);
+        }
+        std::tie(current, current_metric) =
+            best_of(nbrs, current, current_metric);
+    }
+    out.bestNeighbor = current;
+
+    // Step 3: independent sweep along each dimension; combine the
+    // per-dimension argmaxes (conditional independence assumption).
+    if (params.dimensionSweep) {
+        HwConfig combined = current;
+        for (Param p : allParams()) {
+            double best_metric = -1.0;
+            std::uint32_t best_value = paramValue(current, p);
+            for (const HwConfig &cfg :
+                 space.sweepDimension(current, p)) {
+                const double m =
+                    staticPhaseMetric(db, cfg, mode, phase);
+                if (m > best_metric) {
+                    best_metric = m;
+                    best_value = paramValue(cfg, p);
+                }
+            }
+            combined = withParam(combined, p, best_value);
+        }
+        current = combined;
+    }
+    out.best = current;
+    return out;
+}
+
+} // namespace sadapt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The three-step "best configuration" search of Figure 4:
+ * 1) random sampling of K configurations, 2) evaluation of the
+ * hyper-sphere of neighbors around the best sample, 3) an independent
+ * sweep along each configuration dimension (exploiting the conditional
+ * independence assumption of Section 4.1).
+ */
+
+#ifndef SADAPT_ADAPT_SEARCH_HH
+#define SADAPT_ADAPT_SEARCH_HH
+
+#include "adapt/epoch_db.hh"
+
+namespace sadapt {
+
+class Rng;
+
+/** Knobs of the Figure 4 search. */
+struct SearchParams
+{
+    /** K: random configurations sampled in step 1. */
+    std::size_t randomSamples = 16;
+
+    /**
+     * Cap on neighbor evaluations in step 2 (the full hyper-sphere has
+     * up to 323 points; the paper runs this offline, we subsample).
+     */
+    std::size_t neighborCap = 48;
+
+    /** Skip steps 2/3 (for quick searches). */
+    bool neighborEval = true;
+    bool dimensionSweep = true;
+};
+
+/** Outcome of one best-config search for one program phase. */
+struct SearchOutcome
+{
+    HwConfig bestRandom; //!< Y_rand: best of the K samples
+    HwConfig bestNeighbor; //!< Y_neigh after step 2
+    HwConfig best;       //!< Y_sweep after the dimension sweep
+
+    /** The K random samples of step 1 (training-example sources). */
+    std::vector<HwConfig> sampled;
+};
+
+/**
+ * Metric of running the whole workload statically under cfg,
+ * restricted to the epochs of one phase (phase < 0 means all epochs).
+ */
+double staticPhaseMetric(EpochDb &db, const HwConfig &cfg, OptMode mode,
+                         int phase);
+
+/**
+ * Run the Figure 4 search for one phase of a workload.
+ *
+ * @param db epoch database of the (training) workload.
+ * @param phase explicit phase id to optimize for, or -1 for the whole
+ *        program.
+ */
+SearchOutcome findBestConfig(EpochDb &db, OptMode mode, int phase,
+                             const SearchParams &params, Rng &rng);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_SEARCH_HH

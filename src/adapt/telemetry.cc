@@ -1,0 +1,85 @@
+#include "adapt/telemetry.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+std::string
+featureGroupName(FeatureGroup g)
+{
+    switch (g) {
+      case FeatureGroup::ConfigParams: return "Config Params";
+      case FeatureGroup::L1RDCache: return "L1 R-DCache";
+      case FeatureGroup::L2RDCache: return "L2 R-DCache";
+      case FeatureGroup::RXBar: return "R-XBar";
+      case FeatureGroup::Cores: return "LCP/GPE Cores";
+      case FeatureGroup::MemoryController: return "Memory Ctrl";
+    }
+    panic("bad FeatureGroup");
+}
+
+std::size_t
+numTelemetryFeatures()
+{
+    return numParams + PerfCounterSample::count();
+}
+
+const std::vector<std::string> &
+telemetryFeatureNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (Param p : allParams())
+            n.push_back("cfg_" + paramName(p));
+        for (const auto &c : PerfCounterSample::names())
+            n.push_back(c);
+        return n;
+    }();
+    return names;
+}
+
+const std::vector<FeatureGroup> &
+telemetryFeatureGroups()
+{
+    static const std::vector<FeatureGroup> groups = [] {
+        std::vector<FeatureGroup> g(numParams,
+                                    FeatureGroup::ConfigParams);
+        for (CounterGroup cg : PerfCounterSample::groups()) {
+            switch (cg) {
+              case CounterGroup::L1RDCache:
+                g.push_back(FeatureGroup::L1RDCache);
+                break;
+              case CounterGroup::L2RDCache:
+                g.push_back(FeatureGroup::L2RDCache);
+                break;
+              case CounterGroup::RXBar:
+                g.push_back(FeatureGroup::RXBar);
+                break;
+              case CounterGroup::Cores:
+                g.push_back(FeatureGroup::Cores);
+                break;
+              case CounterGroup::MemoryController:
+                g.push_back(FeatureGroup::MemoryController);
+                break;
+            }
+        }
+        return g;
+    }();
+    return groups;
+}
+
+std::vector<double>
+buildFeatures(const HwConfig &cfg, const PerfCounterSample &counters)
+{
+    std::vector<double> f;
+    f.reserve(numTelemetryFeatures());
+    for (Param p : allParams()) {
+        const double card = paramCardinality(p);
+        f.push_back(paramValue(cfg, p) / (card - 1.0));
+    }
+    for (double c : counters.toVector())
+        f.push_back(c);
+    return f;
+}
+
+} // namespace sadapt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Telemetry pre-processing: feature-vector construction for the
+ * predictive model.
+ *
+ * The paper's key insight (Section 4.2) is to feed the *current
+ * configuration parameter values* back to the model alongside the
+ * performance counters; this removes ProfileAdapt's need for a
+ * profiling configuration and multiplies the usable training data.
+ */
+
+#ifndef SADAPT_ADAPT_TELEMETRY_HH
+#define SADAPT_ADAPT_TELEMETRY_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/counters.hh"
+
+namespace sadapt {
+
+/** Feature group labels for Figure 10 (counter classes + config). */
+enum class FeatureGroup
+{
+    ConfigParams,
+    L1RDCache,
+    L2RDCache,
+    RXBar,
+    Cores,
+    MemoryController,
+};
+
+/** Human-readable group name. */
+std::string featureGroupName(FeatureGroup g);
+
+/** Number of model input features (config params + counters). */
+std::size_t numTelemetryFeatures();
+
+/** Feature names, in buildFeatures() order. */
+const std::vector<std::string> &telemetryFeatureNames();
+
+/** Feature group per position, in buildFeatures() order. */
+const std::vector<FeatureGroup> &telemetryFeatureGroups();
+
+/**
+ * Build the model input vector: the six configuration parameter values
+ * (normalized to [0, 1]) followed by the normalized counter sample.
+ */
+std::vector<double> buildFeatures(const HwConfig &cfg,
+                                  const PerfCounterSample &counters);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_TELEMETRY_HH

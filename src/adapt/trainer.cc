@@ -1,0 +1,136 @@
+#include "adapt/trainer.hh"
+
+#include <cmath>
+
+#include "adapt/telemetry.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sparse/generators.hh"
+
+namespace sadapt {
+
+TrainingSet::TrainingSet()
+{
+    for (std::size_t i = 0; i < numParams; ++i)
+        perParam[i] = Dataset(telemetryFeatureNames());
+}
+
+void
+TrainingSet::add(const std::vector<double> &features,
+                 const HwConfig &best)
+{
+    for (std::size_t i = 0; i < numParams; ++i)
+        perParam[i].add(features, paramValue(best, allParams()[i]));
+}
+
+PerfCounterSample
+aggregateCounters(const std::vector<EpochRecord> &recs, int phase)
+{
+    PerfCounterSample avg;
+    std::vector<double> sums(PerfCounterSample::count(), 0.0);
+    double weight = 0.0;
+    for (const auto &rec : recs) {
+        if (phase >= 0 && rec.phase != phase)
+            continue;
+        const double w = static_cast<double>(rec.cycles);
+        const auto v = rec.counters.toVector();
+        for (std::size_t i = 0; i < v.size(); ++i)
+            sums[i] += v[i] * w;
+        weight += w;
+    }
+    if (weight <= 0.0)
+        return avg;
+    // Rebuild the sample from the averaged flat vector.
+    auto it = sums.begin();
+    auto next = [&] { return *it++ / weight; };
+    avg.l1AccessThroughput = next();
+    avg.l1Occupancy = next();
+    avg.l1MissRate = next();
+    avg.l1PrefetchPerAccess = next();
+    avg.l1CapNorm = next();
+    avg.l2AccessThroughput = next();
+    avg.l2Occupancy = next();
+    avg.l2MissRate = next();
+    avg.l2PrefetchPerAccess = next();
+    avg.l2CapNorm = next();
+    avg.l1XbarContentionRatio = next();
+    avg.l2XbarContentionRatio = next();
+    avg.gpeIpc = next();
+    avg.gpeFpIpc = next();
+    avg.lcpIpc = next();
+    avg.lcpFpIpc = next();
+    avg.clockNorm = next();
+    avg.memReadBwUtil = next();
+    avg.memWriteBwUtil = next();
+    return avg;
+}
+
+namespace {
+
+/** Generate training examples from every phase of one workload. */
+void
+harvestWorkload(const Workload &wl, const TrainerOptions &opts,
+                TrainingSet &set, Rng &rng)
+{
+    EpochDb db(wl);
+    const std::size_t num_phases = wl.trace.phaseNames().size();
+    for (std::size_t phase = 0; phase < num_phases; ++phase) {
+        SearchOutcome outcome = findBestConfig(
+            db, opts.mode, static_cast<int>(phase), opts.search, rng);
+        for (const HwConfig &sample : outcome.sampled) {
+            const PerfCounterSample counters = aggregateCounters(
+                db.epochs(sample), static_cast<int>(phase));
+            set.add(buildFeatures(sample, counters), outcome.best);
+        }
+    }
+}
+
+} // namespace
+
+TrainingSet
+buildTrainingSet(const TrainerOptions &opts)
+{
+    TrainingSet set;
+    Rng rng(opts.seed);
+
+    auto sweep = [&](bool spmspm, std::uint32_t dim) {
+        for (double density : opts.densities) {
+            const auto nnz = static_cast<std::uint64_t>(
+                std::llround(density * dim * double(dim)));
+            CsrMatrix m = makeUniformRandom(
+                dim, std::max<std::uint64_t>(nnz, dim), rng);
+            for (double bw : opts.bandwidths) {
+                WorkloadOptions wo;
+                wo.shape = opts.shape;
+                wo.memBandwidth = bw;
+                wo.l1Type = opts.l1Type;
+                if (spmspm) {
+                    harvestWorkload(
+                        makeSpMSpMWorkload(str("train-mm-", dim, "-",
+                                               density, "-", bw),
+                                           m, wo),
+                        opts, set, rng);
+                } else {
+                    SparseVector x = SparseVector::random(
+                        dim, opts.vectorDensity, rng);
+                    harvestWorkload(
+                        makeSpMSpVWorkload(str("train-mv-", dim, "-",
+                                               density, "-", bw),
+                                           m, x, wo),
+                        opts, set, rng);
+                }
+            }
+        }
+    };
+
+    if (opts.includeSpMSpM)
+        for (std::uint32_t dim : opts.spmspmDims)
+            sweep(true, dim);
+    if (opts.includeSpMSpV)
+        for (std::uint32_t dim : opts.spmspvDims)
+            sweep(false, dim);
+    SADAPT_ASSERT(set.size() > 0, "training sweep produced no examples");
+    return set;
+}
+
+} // namespace sadapt

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Training-set construction (Sections 4.2 and 5.1, Table 3).
+ *
+ * Uniform-random matrices (whole-phase behaviour is then uniform) are
+ * swept over dimension, density and external memory bandwidth; each
+ * sweep point is simulated under K sampled configurations and the
+ * Figure 4 search labels every sample with the phase's best
+ * configuration. The key Section 4.2 trick applies: the sample's own
+ * configuration parameters are part of its feature vector, so each
+ * phase yields K training examples rather than one.
+ */
+
+#ifndef SADAPT_ADAPT_TRAINER_HH
+#define SADAPT_ADAPT_TRAINER_HH
+
+#include <array>
+
+#include "adapt/search.hh"
+#include "ml/dataset.hh"
+
+namespace sadapt {
+
+/**
+ * One labelled dataset per configuration parameter (the predictive
+ * model is an ensemble of conditionally independent per-parameter
+ * functions, Section 4.1).
+ */
+struct TrainingSet
+{
+    std::array<Dataset, numParams> perParam;
+
+    std::size_t size() const { return perParam[0].size(); }
+
+    /** Append one example: features + the best config's labels. */
+    void add(const std::vector<double> &features, const HwConfig &best);
+
+    TrainingSet();
+};
+
+/** The Table 3 sweep, at configurable (reduced) scale. */
+struct TrainerOptions
+{
+    OptMode mode = OptMode::EnergyEfficient;
+    MemType l1Type = MemType::Cache;
+    SystemShape shape{2, 8};
+
+    bool includeSpMSpM = true;
+    bool includeSpMSpV = true;
+
+    /** Matrix dimensions per kernel (paper: 128->1k / 256->8k, x2). */
+    std::vector<std::uint32_t> spmspmDims{128, 256};
+    std::vector<std::uint32_t> spmspvDims{256, 512};
+
+    /** Matrix densities (paper: 0.2% -> 13%, x2). */
+    std::vector<double> densities{0.005, 0.02, 0.08};
+
+    /** External memory bandwidths in bytes/s (paper: 0.01->100 GB/s). */
+    std::vector<double> bandwidths{0.1e9, 1e9, 10e9};
+
+    /** Density of the SpMSpV input vector (Section 6.1.1: 50%). */
+    double vectorDensity = 0.5;
+
+    SearchParams search;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Aggregate the Table 2 counters over the epochs of one phase
+ * (cycle-weighted average); phase < 0 aggregates everything.
+ */
+PerfCounterSample aggregateCounters(const std::vector<EpochRecord> &recs,
+                                    int phase);
+
+/** Run the sweep and construct the training set. */
+TrainingSet buildTrainingSet(const TrainerOptions &opts);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_TRAINER_HH

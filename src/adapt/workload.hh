@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload = one device trace plus the system parameters it runs under.
+ * Convenience factories build the paper's kernels on suite datasets.
+ */
+
+#ifndef SADAPT_ADAPT_WORKLOAD_HH
+#define SADAPT_ADAPT_WORKLOAD_HH
+
+#include <string>
+
+#include "sim/transmuter.hh"
+#include "sparse/csr.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace sadapt {
+
+/** One simulatable workload instance. */
+struct Workload
+{
+    std::string name;
+    Trace trace;
+    RunParams params;
+
+    /** L1 memory type the trace was compiled for (Section 3.4). */
+    MemType l1Type = MemType::Cache;
+};
+
+/** Options shared by the workload factories. */
+struct WorkloadOptions
+{
+    SystemShape shape{2, 8};
+
+    /** Off-chip bandwidth (Section 5.2 default). */
+    double memBandwidth = 1e9;
+
+    /** L1 memory type (compile-time choice, Section 3.4). */
+    MemType l1Type = MemType::Cache;
+
+    /**
+     * Epoch size override in FP-ops per GPE; 0 selects the paper's
+     * kernel defaults (5k for SpMSpM, 500 for SpMSpV, Section 5.4).
+     */
+    std::uint64_t epochFpOps = 0;
+};
+
+/**
+ * OP-SpMSpM workload computing C = A * A^T (the Figure 6 experiment).
+ */
+Workload makeSpMSpMWorkload(const std::string &name, const CsrMatrix &a,
+                            const WorkloadOptions &opts);
+
+/**
+ * OP-SpMSpM workload with distinct operands, C = A * B.
+ */
+Workload makeSpMSpMWorkload(const std::string &name, const CsrMatrix &a,
+                            const CsrMatrix &b,
+                            const WorkloadOptions &opts);
+
+/**
+ * SpMSpV workload y = A * x (Figures 5 and 7). If x is empty, a
+ * uniform-random 50%-dense vector is generated (Section 6.1.1).
+ */
+Workload makeSpMSpVWorkload(const std::string &name, const CsrMatrix &a,
+                            const SparseVector &x,
+                            const WorkloadOptions &opts);
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_WORKLOAD_HH

@@ -1,0 +1,87 @@
+#include "common/csv.hh"
+
+#include <filesystem>
+#include <sstream>
+
+namespace sadapt {
+
+namespace {
+
+std::string
+escape(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string &path)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    out.open(path);
+}
+
+void
+CsvWriter::sep()
+{
+    if (rowStarted)
+        out << ',';
+    rowStarted = true;
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &value)
+{
+    sep();
+    out << escape(value);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(double value)
+{
+    sep();
+    std::ostringstream os;
+    os.precision(8);
+    os << value;
+    out << os.str();
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(long long value)
+{
+    sep();
+    out << value;
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    out << '\n';
+    rowStarted = false;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (const auto &c : cells)
+        cell(c);
+    endRow();
+}
+
+} // namespace sadapt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV writing, used by the benchmark harness to dump raw results.
+ */
+
+#ifndef SADAPT_COMMON_CSV_HH
+#define SADAPT_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sadapt {
+
+/**
+ * Writes rows of heterogeneous cells to a CSV file. Cells containing
+ * commas, quotes or newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open the target file for writing, creating parent directories.
+     * @param path file to create/overwrite.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Append one cell to the current row. */
+    CsvWriter &cell(const std::string &value);
+    CsvWriter &cell(double value);
+    CsvWriter &cell(long long value);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Convenience: write a full row of string cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** @return true if the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out); }
+
+  private:
+    std::ofstream out;
+    bool rowStarted = false;
+
+    void sep();
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_COMMON_CSV_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments);
+ * panic() is for conditions that indicate a bug in the library itself.
+ */
+
+#ifndef SADAPT_COMMON_LOGGING_HH
+#define SADAPT_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sadapt {
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr. */
+void warn(const std::string &msg);
+
+/** Report a user error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal error and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Lightweight printf-free formatting: str("a=", 1, " b=", 2.5).
+ */
+template <typename... Args>
+std::string
+str(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace sadapt
+
+/** Assertion that stays active in release builds. */
+#define SADAPT_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) \
+            ::sadapt::panic(::sadapt::str( \
+                __FILE__, ":", __LINE__, ": assertion failed: ", #cond, \
+                " -- ", msg)); \
+    } while (0)
+
+#endif // SADAPT_COMMON_LOGGING_HH

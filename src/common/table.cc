@@ -1,0 +1,68 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sadapt {
+
+void
+Table::header(const std::vector<std::string> &cells)
+{
+    head = cells;
+}
+
+void
+Table::row(const std::vector<std::string> &cells)
+{
+    rows.push_back(cells);
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto &r : rows)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            std::printf("%-*s", static_cast<int>(widths[i] + 2), c.c_str());
+        }
+        std::printf("\n");
+    };
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto &r : rows)
+        emit(r);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string
+Table::gain(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+} // namespace sadapt

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-width console table printing for the benchmark harness, so each
+ * bench binary can print the same rows/series the paper reports.
+ */
+
+#ifndef SADAPT_COMMON_TABLE_HH
+#define SADAPT_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sadapt {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(const std::vector<std::string> &cells);
+
+    /** Append a data row. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a multiplicative gain, e.g. "1.53x". */
+    static std::string gain(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_COMMON_TABLE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the SparseAdapt codebase.
+ */
+
+#ifndef SADAPT_COMMON_TYPES_HH
+#define SADAPT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sadapt {
+
+/** A simulated byte address in the device's physical address space. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles (at whatever clock is currently active). */
+using Cycles = std::uint64_t;
+
+/** Simulated wall-clock time, in seconds. */
+using Seconds = double;
+
+/** Energy, in joules. */
+using Joules = double;
+
+/** Power, in watts. */
+using Watts = double;
+
+/** Clock frequency, in hertz. */
+using Hertz = double;
+
+/** Size of a cache line, in bytes, across the whole memory hierarchy. */
+constexpr std::uint32_t lineSize = 64;
+
+/** Size of a single word (double-precision value or index), in bytes. */
+constexpr std::uint32_t wordSize = 8;
+
+} // namespace sadapt
+
+#endif // SADAPT_COMMON_TYPES_HH

@@ -1,0 +1,352 @@
+#include "graph/graph_algorithms.hh"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+#include "kernels/address_map.hh"
+#include "sparse/csc.hh"
+
+namespace sadapt {
+
+namespace {
+
+enum Pc : std::uint16_t
+{
+    PcFrontier = 1,
+    PcColPtr = 2,
+    PcARows = 3,
+    PcAVals = 4,
+    PcStateLd = 5,
+    PcStateSt = 6,
+    PcGather = 7,
+    PcOutW = 8,
+    PcSpmStage = 9,
+    PcLcpDispatch = 40,
+};
+
+/**
+ * Persistent device layout shared by all frontier iterations, so
+ * buffers keep stable addresses across iterations (as a real runtime
+ * would reuse its allocations).
+ */
+struct GraphLayout
+{
+    Addr frontier, colPtr, aRows, aVals, state, out, workq;
+
+    GraphLayout(AddressMap &mem, const CscMatrix &at)
+    {
+        frontier = mem.alloc("frontier", at.cols() * 2 * wordSize);
+        colPtr = mem.alloc("colptr", (at.cols() + 1) * wordSize);
+        aRows = mem.alloc(
+            "rows", std::max<std::size_t>(1, at.nnz()) * wordSize);
+        aVals = mem.alloc(
+            "vals", std::max<std::size_t>(1, at.nnz()) * wordSize);
+        state = mem.alloc("state", at.rows() * wordSize);
+        out = mem.alloc("out", at.rows() * 2 * wordSize);
+        workq = mem.alloc("workq", 64 * wordSize);
+    }
+};
+
+/**
+ * Emit one frontier expansion: for every frontier vertex, walk its
+ * out-edges (a column of A^T), read-modify-write the per-vertex state
+ * word, then gather the changed vertices. The functional update is
+ * provided by the caller through `relax`.
+ */
+template <typename Relax>
+double
+emitIteration(Trace &trace, const GraphLayout &lay, const CscMatrix &at,
+              const std::vector<std::uint32_t> &frontier,
+              SystemShape shape, bool spm, Relax relax,
+              std::vector<std::uint32_t> &changed)
+{
+    const std::uint32_t num_gpes = shape.numGpes();
+    double edges = 0;
+    std::vector<bool> changed_flag(at.rows(), false);
+    for (std::size_t e = 0; e < frontier.size(); ++e) {
+        const auto g = static_cast<std::uint32_t>(e % num_gpes);
+        const std::uint32_t tile = g / shape.gpesPerTile;
+        const std::uint32_t j = frontier[e];
+        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        trace.pushLcp(tile, {lay.workq + (e % 64) * wordSize,
+                             PcLcpDispatch, OpKind::Store});
+        trace.pushGpe(g, {lay.frontier + e * 2 * wordSize, PcFrontier,
+                          OpKind::Load});
+        trace.pushGpe(g, {lay.frontier + e * 2 * wordSize + wordSize,
+                          PcFrontier, OpKind::FpLoad});
+        trace.pushGpe(g, {lay.colPtr + j * wordSize, PcColPtr,
+                          OpKind::Load});
+        trace.pushGpe(g, {lay.colPtr + (j + 1) * wordSize, PcColPtr,
+                          OpKind::Load});
+        auto rows = at.colRows(j);
+        auto vals = at.colVals(j);
+        const std::uint64_t p0 = at.colPtr()[j];
+        edges += static_cast<double>(rows.size());
+        if (spm && !rows.empty()) {
+            const std::uint64_t bytes = rows.size() * 2 * wordSize;
+            const std::uint64_t lines =
+                (bytes + lineSize - 1) / lineSize;
+            for (std::uint64_t l = 0; l < lines; ++l) {
+                trace.pushGpe(g, {lay.aRows + p0 * wordSize +
+                                      l * lineSize,
+                                  PcSpmStage, OpKind::Load});
+                trace.pushGpe(g, {l * lineSize, 0, OpKind::SpmStore});
+                trace.pushGpe(g, {0, 0, OpKind::IntOp});
+            }
+        }
+        for (std::size_t p = 0; p < rows.size(); ++p) {
+            const std::uint32_t i = rows[p];
+            if (spm) {
+                trace.pushGpe(g, {p * wordSize, 0, OpKind::SpmLoad});
+                trace.pushGpe(g, {2048 + p * wordSize, 0,
+                                  OpKind::SpmLoad});
+            } else {
+                trace.pushGpe(g, {lay.aRows + (p0 + p) * wordSize,
+                                  PcARows, OpKind::Load});
+                trace.pushGpe(g, {lay.aVals + (p0 + p) * wordSize,
+                                  PcAVals, OpKind::FpLoad});
+            }
+            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // relax compute
+            trace.pushGpe(g, {lay.state + i * wordSize, PcStateLd,
+                              OpKind::FpLoad});
+            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // compare/update
+            trace.pushGpe(g, {lay.state + i * wordSize, PcStateSt,
+                              OpKind::FpStore});
+            if (relax(j, i, vals[p]) && !changed_flag[i]) {
+                changed_flag[i] = true;
+                changed.push_back(i);
+            }
+        }
+    }
+    // Gather changed vertices into the next frontier list.
+    std::uint64_t out_cursor = 0;
+    const std::uint32_t chunk =
+        (at.rows() + num_gpes - 1) / num_gpes;
+    for (std::uint32_t g = 0; g < num_gpes; ++g) {
+        const std::uint32_t lo = g * chunk;
+        const std::uint32_t hi =
+            std::min<std::uint32_t>(at.rows(), lo + chunk);
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            trace.pushGpe(g, {lay.state + i * wordSize, PcGather,
+                              OpKind::FpLoad});
+            trace.pushGpe(g, {0, 0, OpKind::IntOp});
+            if (changed_flag[i]) {
+                trace.pushGpe(g, {lay.out + out_cursor * 2 * wordSize,
+                                  PcOutW, OpKind::Store});
+                trace.pushGpe(g, {lay.out +
+                                      out_cursor * 2 * wordSize +
+                                      wordSize, PcOutW,
+                                  OpKind::FpStore});
+                ++out_cursor;
+            }
+        }
+    }
+    return edges;
+}
+
+} // namespace
+
+GraphBuild
+buildBfs(const CsrMatrix &adjacency, std::uint32_t source,
+         SystemShape shape, MemType l1_type)
+{
+    SADAPT_ASSERT(adjacency.rows() == adjacency.cols(),
+                  "adjacency matrix must be square");
+    SADAPT_ASSERT(source < adjacency.rows(), "source out of range");
+    const CscMatrix at(adjacency.transposed());
+    const bool spm = l1_type == MemType::Spm;
+
+    GraphBuild out;
+    out.trace = Trace(shape);
+    AddressMap mem;
+    const GraphLayout lay(mem, at);
+
+    out.levels.assign(adjacency.rows(), -1);
+    out.levels[source] = 0;
+    std::vector<std::uint32_t> frontier = {source};
+
+    while (!frontier.empty()) {
+        out.trace.beginPhase(str("bfs-iter-", out.iterations));
+        std::vector<std::uint32_t> next;
+        const auto level = static_cast<std::int32_t>(
+            out.iterations + 1);
+        out.edgesTraversed += emitIteration(
+            out.trace, lay, at, frontier, shape, spm,
+            [&](std::uint32_t, std::uint32_t i, double) {
+                if (out.levels[i] >= 0)
+                    return false;
+                out.levels[i] = level;
+                return true;
+            },
+            next);
+        frontier = std::move(next);
+        ++out.iterations;
+    }
+    return out;
+}
+
+GraphBuild
+buildSssp(const CsrMatrix &adjacency, std::uint32_t source,
+          SystemShape shape, MemType l1_type,
+          std::uint32_t max_iterations)
+{
+    SADAPT_ASSERT(adjacency.rows() == adjacency.cols(),
+                  "adjacency matrix must be square");
+    SADAPT_ASSERT(source < adjacency.rows(), "source out of range");
+    const CscMatrix at(adjacency.transposed());
+    const bool spm = l1_type == MemType::Spm;
+    constexpr double inf = std::numeric_limits<double>::infinity();
+
+    GraphBuild out;
+    out.trace = Trace(shape);
+    AddressMap mem;
+    const GraphLayout lay(mem, at);
+
+    out.distances.assign(adjacency.rows(), inf);
+    out.distances[source] = 0.0;
+    std::vector<std::uint32_t> frontier = {source};
+
+    while (!frontier.empty() && out.iterations < max_iterations) {
+        out.trace.beginPhase(str("sssp-iter-", out.iterations));
+        std::vector<std::uint32_t> next;
+        out.edgesTraversed += emitIteration(
+            out.trace, lay, at, frontier, shape, spm,
+            [&](std::uint32_t j, std::uint32_t i, double w) {
+                const double cand =
+                    out.distances[j] + std::abs(w);
+                if (cand < out.distances[i]) {
+                    out.distances[i] = cand;
+                    return true;
+                }
+                return false;
+            },
+            next);
+        frontier = std::move(next);
+        ++out.iterations;
+    }
+    return out;
+}
+
+GraphBuild
+buildConnectedComponents(const CsrMatrix &adjacency, SystemShape shape,
+                         MemType l1_type)
+{
+    SADAPT_ASSERT(adjacency.rows() == adjacency.cols(),
+                  "adjacency matrix must be square");
+    const CscMatrix at(adjacency.transposed());
+    const bool spm = l1_type == MemType::Spm;
+
+    GraphBuild out;
+    out.trace = Trace(shape);
+    AddressMap mem;
+    const GraphLayout lay(mem, at);
+
+    std::vector<std::uint32_t> label(adjacency.rows());
+    std::vector<std::uint32_t> frontier(adjacency.rows());
+    for (std::uint32_t v = 0; v < adjacency.rows(); ++v) {
+        label[v] = v;
+        frontier[v] = v;
+    }
+    // Reuse the distances field to expose the labels to callers.
+    while (!frontier.empty()) {
+        out.trace.beginPhase(str("cc-iter-", out.iterations));
+        std::vector<std::uint32_t> next;
+        out.edgesTraversed += emitIteration(
+            out.trace, lay, at, frontier, shape, spm,
+            [&](std::uint32_t j, std::uint32_t i, double) {
+                if (label[j] < label[i]) {
+                    label[i] = label[j];
+                    return true;
+                }
+                return false;
+            },
+            next);
+        frontier = std::move(next);
+        ++out.iterations;
+    }
+    out.distances.assign(label.begin(), label.end());
+    return out;
+}
+
+std::vector<std::uint32_t>
+referenceComponents(const CsrMatrix &adjacency)
+{
+    std::vector<std::uint32_t> parent(adjacency.rows());
+    for (std::uint32_t v = 0; v < parent.size(); ++v)
+        parent[v] = v;
+    // Union-find with path halving.
+    auto find = [&](std::uint32_t v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    for (std::uint32_t u = 0; u < adjacency.rows(); ++u) {
+        for (std::uint32_t v : adjacency.rowCols(u)) {
+            const std::uint32_t ru = find(u), rv = find(v);
+            if (ru != rv)
+                parent[std::max(ru, rv)] = std::min(ru, rv);
+        }
+    }
+    std::vector<std::uint32_t> label(adjacency.rows());
+    for (std::uint32_t v = 0; v < label.size(); ++v)
+        label[v] = find(v);
+    return label;
+}
+
+std::vector<std::int32_t>
+referenceBfs(const CsrMatrix &adjacency, std::uint32_t source)
+{
+    std::vector<std::int32_t> levels(adjacency.rows(), -1);
+    levels[source] = 0;
+    std::queue<std::uint32_t> q;
+    q.push(source);
+    while (!q.empty()) {
+        const std::uint32_t u = q.front();
+        q.pop();
+        for (std::uint32_t v : adjacency.rowCols(u)) {
+            if (levels[v] < 0) {
+                levels[v] = levels[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return levels;
+}
+
+std::vector<double>
+referenceSssp(const CsrMatrix &adjacency, std::uint32_t source)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(adjacency.rows(), inf);
+    dist[source] = 0.0;
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    pq.push({0.0, source});
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u])
+            continue;
+        auto cols = adjacency.rowCols(u);
+        auto vals = adjacency.rowVals(u);
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            const double cand = d + std::abs(vals[i]);
+            if (cand < dist[cols[i]]) {
+                dist[cols[i]] = cand;
+                pq.push({cand, cols[i]});
+            }
+        }
+    }
+    return dist;
+}
+
+double
+tepsOf(const GraphBuild &build, Seconds seconds)
+{
+    return seconds > 0.0 ? build.edgesTraversed / seconds : 0.0;
+}
+
+} // namespace sadapt

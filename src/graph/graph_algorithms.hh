@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Graph algorithms as iterative SpMSpV vertex programs, in the style
+ * of GraphMat (Section 6.1.3): breadth-first search and single-source
+ * shortest path. Each frontier iteration emits one explicit phase of
+ * device trace; the end-to-end metric is traversed edges per second
+ * per Watt (TEPS/W, Table 6).
+ */
+
+#ifndef SADAPT_GRAPH_GRAPH_ALGORITHMS_HH
+#define SADAPT_GRAPH_GRAPH_ALGORITHMS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/trace.hh"
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+/** Device trace plus the functional result of one graph algorithm. */
+struct GraphBuild
+{
+    Trace trace;
+    double edgesTraversed = 0; //!< for the TEPS metric
+    std::uint32_t iterations = 0;
+
+    /** BFS levels (-1 = unreachable); empty for SSSP. */
+    std::vector<std::int32_t> levels;
+
+    /** SSSP distances (+inf = unreachable); empty for BFS. */
+    std::vector<double> distances;
+};
+
+/**
+ * Breadth-first search from a source vertex over a directed graph
+ * given as an adjacency matrix (A[u][v] != 0 means edge u -> v). Each
+ * level expansion is one SpMSpV over A^T followed by masking of
+ * visited vertices.
+ */
+GraphBuild buildBfs(const CsrMatrix &adjacency, std::uint32_t source,
+                    SystemShape shape, MemType l1_type);
+
+/**
+ * Single-source shortest path (Bellman-Ford style frontier relaxation)
+ * with edge weights from the adjacency values (must be positive).
+ * Each iteration is one min-plus SpMSpV.
+ *
+ * @param max_iterations relaxation cap (graphs with long chains
+ *        converge slowly; the cap bounds the trace size).
+ */
+GraphBuild buildSssp(const CsrMatrix &adjacency, std::uint32_t source,
+                     SystemShape shape, MemType l1_type,
+                     std::uint32_t max_iterations = 64);
+
+/**
+ * Connected components by iterative label propagation: each vertex
+ * repeatedly adopts the minimum label among itself and its neighbors,
+ * one min-SpMSpV per round. The adjacency must be symmetric
+ * (undirected graph); use symmetrized() otherwise.
+ */
+GraphBuild buildConnectedComponents(const CsrMatrix &adjacency,
+                                    SystemShape shape,
+                                    MemType l1_type);
+
+/** Host reference components via union-find (labels = min vertex id
+ * in the component). */
+std::vector<std::uint32_t> referenceComponents(
+    const CsrMatrix &adjacency);
+
+/** Host reference BFS (levels; -1 = unreachable). */
+std::vector<std::int32_t> referenceBfs(const CsrMatrix &adjacency,
+                                       std::uint32_t source);
+
+/** Host reference SSSP via Dijkstra (+inf = unreachable). */
+std::vector<double> referenceSssp(const CsrMatrix &adjacency,
+                                  std::uint32_t source);
+
+/** Traversed-edges-per-second for an executed graph workload. */
+double tepsOf(const GraphBuild &build, Seconds seconds);
+
+} // namespace sadapt
+
+#endif // SADAPT_GRAPH_GRAPH_ALGORITHMS_HH

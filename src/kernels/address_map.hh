@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Device address-space layout for trace-emitting kernels.
+ *
+ * Kernels allocate named regions in the device's (simulated) physical
+ * address space with a simple bump allocator; the resulting addresses
+ * drive the cache/memory models, so the layout determines spatial
+ * locality exactly as a real binary's data layout would (the artifact
+ * appendix calls this out as the main source of run-to-run variance).
+ */
+
+#ifndef SADAPT_KERNELS_ADDRESS_MAP_HH
+#define SADAPT_KERNELS_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace sadapt {
+
+/**
+ * Line-aligned bump allocator over the device address space.
+ */
+class AddressMap
+{
+  public:
+    /** Allocate a named region; returns its base address. */
+    Addr
+    alloc(const std::string &name, std::uint64_t bytes)
+    {
+        SADAPT_ASSERT(!regions.contains(name),
+                      "duplicate region name: " + name);
+        const Addr aligned =
+            (cursor + lineSize - 1) / lineSize * lineSize;
+        regions[name] = aligned;
+        cursor = aligned + bytes;
+        return aligned;
+    }
+
+    /** Base address of a named region. */
+    Addr
+    base(const std::string &name) const
+    {
+        auto it = regions.find(name);
+        SADAPT_ASSERT(it != regions.end(),
+                      "unknown region name: " + name);
+        return it->second;
+    }
+
+    /** Total bytes spanned by all allocations. */
+    std::uint64_t footprint() const { return cursor; }
+
+  private:
+    Addr cursor = 0;
+    std::map<std::string, Addr> regions;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_KERNELS_ADDRESS_MAP_HH

@@ -1,0 +1,76 @@
+#include "kernels/conv.hh"
+
+#include "common/logging.hh"
+#include "kernels/address_map.hh"
+
+namespace sadapt {
+
+namespace {
+
+enum Pc : std::uint16_t
+{
+    PcImage = 1,
+    PcFilter = 2,
+    PcOut = 3,
+};
+
+} // namespace
+
+ConvBuild
+buildConv2d(const std::vector<double> &image, std::uint32_t height,
+            std::uint32_t width, const std::vector<double> &filter,
+            std::uint32_t fsize, SystemShape shape)
+{
+    SADAPT_ASSERT(image.size() == std::size_t(height) * width,
+                  "conv image shape mismatch");
+    SADAPT_ASSERT(filter.size() == std::size_t(fsize) * fsize,
+                  "conv filter shape mismatch");
+    SADAPT_ASSERT(height >= fsize && width >= fsize,
+                  "conv image smaller than filter");
+
+    Trace trace(shape);
+    AddressMap mem;
+    const Addr img = mem.alloc("image", image.size() * wordSize);
+    const Addr flt = mem.alloc("filter", filter.size() * wordSize);
+    const std::uint32_t oh = height - fsize + 1;
+    const std::uint32_t ow = width - fsize + 1;
+    const Addr out_base = mem.alloc("out",
+                                    std::size_t(oh) * ow * wordSize);
+
+    std::vector<double> out(std::size_t(oh) * ow, 0.0);
+    double flops = 0;
+    const std::uint32_t num_gpes = shape.numGpes();
+
+    trace.beginPhase("conv");
+    for (std::uint32_t y = 0; y < oh; ++y) {
+        const std::uint32_t g = y % num_gpes;
+        const std::uint32_t tile = g / shape.gpesPerTile;
+        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        for (std::uint32_t x = 0; x < ow; ++x) {
+            double acc = 0.0;
+            for (std::uint32_t fy = 0; fy < fsize; ++fy)
+                for (std::uint32_t fx = 0; fx < fsize; ++fx) {
+                    const std::size_t ii =
+                        std::size_t(y + fy) * width + (x + fx);
+                    trace.pushGpe(g, {img + ii * wordSize, PcImage,
+                                      OpKind::FpLoad});
+                    trace.pushGpe(g, {flt +
+                                          (std::size_t(fy) * fsize +
+                                           fx) * wordSize,
+                                      PcFilter, OpKind::FpLoad});
+                    trace.pushGpe(g, {0, 0, OpKind::FpOp});
+                    flops += 3;
+                    acc += image[ii] *
+                        filter[std::size_t(fy) * fsize + fx];
+                }
+            trace.pushGpe(g, {out_base +
+                                  (std::size_t(y) * ow + x) * wordSize,
+                              PcOut, OpKind::FpStore});
+            flops += 1;
+            out[std::size_t(y) * ow + x] = acc;
+        }
+    }
+    return ConvBuild{std::move(trace), std::move(out), flops};
+}
+
+} // namespace sadapt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * 2D convolution device kernel (valid padding, single channel), the
+ * second regular kernel of the Section 7 ablation.
+ */
+
+#ifndef SADAPT_KERNELS_CONV_HH
+#define SADAPT_KERNELS_CONV_HH
+
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace sadapt {
+
+/** Trace and functional result of one convolution. */
+struct ConvBuild
+{
+    Trace trace;
+    std::vector<double> output; //!< (h-f+1) x (w-f+1), row-major
+    double flops = 0;
+};
+
+/**
+ * Build the convolution trace. Output rows are distributed round-robin
+ * across GPEs; the filter is re-loaded per output (it stays resident
+ * in the cache model).
+ */
+ConvBuild buildConv2d(const std::vector<double> &image,
+                      std::uint32_t height, std::uint32_t width,
+                      const std::vector<double> &filter,
+                      std::uint32_t fsize, SystemShape shape);
+
+} // namespace sadapt
+
+#endif // SADAPT_KERNELS_CONV_HH

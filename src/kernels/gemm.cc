@@ -1,0 +1,76 @@
+#include "kernels/gemm.hh"
+
+#include "common/logging.hh"
+#include "kernels/address_map.hh"
+
+namespace sadapt {
+
+namespace {
+
+enum Pc : std::uint16_t
+{
+    PcA = 1,
+    PcB = 2,
+    PcC = 3,
+};
+
+} // namespace
+
+GemmBuild
+buildGemm(const std::vector<double> &a, const std::vector<double> &b,
+          std::uint32_t m, std::uint32_t k, std::uint32_t n,
+          SystemShape shape)
+{
+    SADAPT_ASSERT(a.size() == std::size_t(m) * k &&
+                  b.size() == std::size_t(k) * n,
+                  "GEMM operand shape mismatch");
+    Trace trace(shape);
+    AddressMap mem;
+    const Addr a_base = mem.alloc("a", a.size() * wordSize);
+    const Addr b_base = mem.alloc("b", b.size() * wordSize);
+    const Addr c_base = mem.alloc("c",
+                                  std::size_t(m) * n * wordSize);
+
+    std::vector<double> c(std::size_t(m) * n, 0.0);
+    double flops = 0;
+    const std::uint32_t num_gpes = shape.numGpes();
+    constexpr std::uint32_t block = 32;
+
+    trace.beginPhase("gemm");
+    for (std::uint32_t i = 0; i < m; ++i) {
+        const std::uint32_t g = i % num_gpes;
+        const std::uint32_t tile = g / shape.gpesPerTile;
+        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        for (std::uint32_t j0 = 0; j0 < n; j0 += block) {
+            const std::uint32_t j1 = std::min(n, j0 + block);
+            for (std::uint32_t p = 0; p < k; ++p) {
+                trace.pushGpe(g, {a_base +
+                                      (std::size_t(i) * k + p) *
+                                          wordSize,
+                                  PcA, OpKind::FpLoad});
+                flops += 1;
+                const double av = a[std::size_t(i) * k + p];
+                for (std::uint32_t j = j0; j < j1; ++j) {
+                    trace.pushGpe(g, {b_base +
+                                          (std::size_t(p) * n + j) *
+                                              wordSize,
+                                      PcB, OpKind::FpLoad});
+                    trace.pushGpe(g, {0, 0, OpKind::FpOp});
+                    flops += 2;
+                    c[std::size_t(i) * n + j] +=
+                        av * b[std::size_t(p) * n + j];
+                }
+            }
+            for (std::uint32_t j = j0; j < j1; ++j) {
+                trace.pushGpe(g, {c_base +
+                                      (std::size_t(i) * n + j) *
+                                          wordSize,
+                                  PcC, OpKind::FpStore});
+                flops += 1;
+            }
+        }
+    }
+    return GemmBuild{std::move(trace), std::move(c), flops};
+}
+
+} // namespace sadapt

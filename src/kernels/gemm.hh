@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dense GEMM device kernel, used for the Section 7 ablation showing
+ * that regular kernels gain little from dynamic reconfiguration
+ * (Ideal Static within <5% of Oracle).
+ */
+
+#ifndef SADAPT_KERNELS_GEMM_HH
+#define SADAPT_KERNELS_GEMM_HH
+
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace sadapt {
+
+/** Trace and functional result of one dense GEMM. */
+struct GemmBuild
+{
+    Trace trace;
+    std::vector<double> product; //!< row-major m x n
+    double flops = 0;
+};
+
+/**
+ * Build a blocked dense GEMM trace: C = A * B for row-major inputs.
+ * Output rows are distributed round-robin across GPEs; the inner loop
+ * streams a row of A against columns of B in 32-wide blocks.
+ */
+GemmBuild buildGemm(const std::vector<double> &a,
+                    const std::vector<double> &b, std::uint32_t m,
+                    std::uint32_t k, std::uint32_t n, SystemShape shape);
+
+} // namespace sadapt
+
+#endif // SADAPT_KERNELS_GEMM_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Inner-product SpGEMM with compression (the alternative algorithm
+ * Section 5.4 mentions via Sparse-TPU): C[i][j] is computed by
+ * intersecting row i of A (CSR) with column j of B (CSC), visiting
+ * only (i, j) pairs where both are nonempty. Outer-product SpMSpM is
+ * superior at the density levels the paper evaluates; this kernel
+ * exists to reproduce that comparison (see
+ * bench/ablation_algorithms).
+ */
+
+#ifndef SADAPT_KERNELS_INNER_SPGEMM_HH
+#define SADAPT_KERNELS_INNER_SPGEMM_HH
+
+#include "kernels/spmspm.hh"
+
+namespace sadapt {
+
+/**
+ * Build the inner-product SpGEMM trace: C = A * B with A in CSR and B
+ * in CSC. Output rows are dispatched round-robin across GPEs; each
+ * row-column intersection walks both sorted index lists.
+ */
+SpMSpMBuild buildInnerSpGemm(const CsrMatrix &a, const CscMatrix &b,
+                             SystemShape shape, MemType l1_type);
+
+} // namespace sadapt
+
+#endif // SADAPT_KERNELS_INNER_SPGEMM_HH

@@ -1,0 +1,290 @@
+#include "kernels/spmspm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/address_map.hh"
+#include "sparse/coo.hh"
+
+namespace sadapt {
+
+namespace {
+
+// Static access-site ids (prefetcher index table keys).
+enum Pc : std::uint16_t
+{
+    PcAColPtr = 1,
+    PcBRowPtr = 2,
+    PcARows = 3,
+    PcAVals = 4,
+    PcBCols = 5,
+    PcBVals = 6,
+    PcPartColsW = 7,
+    PcPartValsW = 8,
+    PcSpmStageLd = 10,
+    PcRowBase = 20,
+    PcPartColsR = 21,
+    PcPartValsR = 22,
+    PcSortLd = 23,
+    PcSortSt = 24,
+    PcCColsW = 25,
+    PcCValsW = 26,
+    PcLcpDispatch = 40,
+};
+
+/** Sort passes are capped to bound trace size for very long rows. */
+constexpr int maxSortPasses = 6;
+
+struct Builder
+{
+    const CscMatrix &a;
+    const CsrMatrix &b;
+    SystemShape shape;
+    bool spm;
+    Trace trace;
+    AddressMap mem;
+
+    Addr aColPtr, aRows, aVals, bRowPtr, bCols, bVals;
+    Addr partCols, partVals, rowBase, workQueue;
+    Addr cCols, cVals;
+
+    std::vector<std::uint64_t> rowOffset; //!< partial bucket bases
+    std::vector<std::uint64_t> rowCursor;
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> partials;
+
+    double multiplyFlops = 0, mergeFlops = 0;
+
+    Builder(const CscMatrix &a_, const CsrMatrix &b_, SystemShape sh,
+            bool spm_)
+        : a(a_), b(b_), shape(sh), spm(spm_), trace(sh)
+    {
+    }
+
+    void
+    gpe(std::uint32_t g, Addr addr, std::uint16_t pc, OpKind kind)
+    {
+        trace.pushGpe(g, {addr, pc, kind});
+    }
+
+    /** LCP work dispatch for one task assigned to gpe g. */
+    void
+    dispatch(std::uint32_t g, std::uint64_t task)
+    {
+        const std::uint32_t tile = g / shape.gpesPerTile;
+        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        trace.pushLcp(tile,
+                      {workQueue + (task % 64) * wordSize,
+                       PcLcpDispatch, OpKind::Store});
+    }
+
+    void
+    layout()
+    {
+        const std::uint32_t n = a.cols();
+        aColPtr = mem.alloc("a_colptr", (n + 1) * wordSize);
+        aRows = mem.alloc("a_rows", a.nnz() * wordSize);
+        aVals = mem.alloc("a_vals", a.nnz() * wordSize);
+        bRowPtr = mem.alloc("b_rowptr", (b.rows() + 1) * wordSize);
+        bCols = mem.alloc("b_cols", b.nnz() * wordSize);
+        bVals = mem.alloc("b_vals", b.nnz() * wordSize);
+
+        // Partial-product bucket capacity per output row:
+        // sum over k of [row i in col k of A] * nnz(row k of B).
+        rowOffset.assign(a.rows() + 1, 0);
+        for (std::uint32_t k = 0; k < a.cols(); ++k) {
+            const std::uint64_t bn = b.rowNnz(k);
+            for (std::uint32_t i : a.colRows(k))
+                rowOffset[i + 1] += bn;
+        }
+        for (std::uint32_t i = 0; i < a.rows(); ++i)
+            rowOffset[i + 1] += rowOffset[i];
+        const std::uint64_t slots = rowOffset[a.rows()];
+        partCols = mem.alloc("part_cols",
+                             std::max<std::uint64_t>(1, slots) *
+                                 wordSize);
+        partVals = mem.alloc("part_vals",
+                             std::max<std::uint64_t>(1, slots) *
+                                 wordSize);
+        rowBase = mem.alloc("row_base", (a.rows() + 1) * wordSize);
+        workQueue = mem.alloc("work_queue", 64 * wordSize);
+        // Output sized pessimistically at the partial count; only the
+        // merged prefix is written.
+        cCols = mem.alloc("c_cols",
+                          std::max<std::uint64_t>(1, slots) * wordSize);
+        cVals = mem.alloc("c_vals",
+                          std::max<std::uint64_t>(1, slots) * wordSize);
+        rowCursor.assign(rowOffset.begin(), rowOffset.end() - 1);
+        partials.assign(a.rows(), {});
+    }
+
+    void
+    multiplyPhase()
+    {
+        trace.beginPhase("multiply");
+        const std::uint32_t num_gpes = shape.numGpes();
+        for (std::uint32_t k = 0; k < a.cols(); ++k) {
+            const std::uint32_t g = k % num_gpes;
+            dispatch(g, k);
+            gpe(g, aColPtr + k * wordSize, PcAColPtr, OpKind::Load);
+            gpe(g, aColPtr + (k + 1) * wordSize, PcAColPtr,
+                OpKind::Load);
+            gpe(g, bRowPtr + k * wordSize, PcBRowPtr, OpKind::Load);
+            gpe(g, bRowPtr + (k + 1) * wordSize, PcBRowPtr,
+                OpKind::Load);
+            auto a_rows = a.colRows(k);
+            auto a_vals = a.colVals(k);
+            auto b_cols = b.rowCols(k);
+            auto b_vals = b.rowVals(k);
+            if (a_rows.empty() || b_cols.empty()) {
+                gpe(g, 0, 0, OpKind::IntOp);
+                continue;
+            }
+            if (spm)
+                stageBRowToSpm(g, k, b_cols.size());
+            const std::uint64_t ap0 = a.colPtr()[k];
+            const std::uint64_t bp0 = b.rowPtr()[k];
+            for (std::size_t p = 0; p < a_rows.size(); ++p) {
+                const std::uint32_t i = a_rows[p];
+                const double av = a_vals[p];
+                gpe(g, aRows + (ap0 + p) * wordSize, PcARows,
+                    OpKind::Load);
+                gpe(g, aVals + (ap0 + p) * wordSize, PcAVals,
+                    OpKind::FpLoad);
+                multiplyFlops += 1;
+                gpe(g, 0, 0, OpKind::IntOp); // cursor arithmetic
+                for (std::size_t q = 0; q < b_cols.size(); ++q) {
+                    if (spm) {
+                        // B row staged in the scratchpad.
+                        gpe(g, q * wordSize, 0, OpKind::SpmLoad);
+                        gpe(g, 2048 + q * wordSize, 0, OpKind::SpmLoad);
+                        multiplyFlops += 2;
+                    } else {
+                        gpe(g, bCols + (bp0 + q) * wordSize, PcBCols,
+                            OpKind::Load);
+                        gpe(g, bVals + (bp0 + q) * wordSize, PcBVals,
+                            OpKind::FpLoad);
+                        multiplyFlops += 1;
+                    }
+                    gpe(g, 0, 0, OpKind::FpOp); // a * b
+                    multiplyFlops += 1;
+                    const std::uint64_t slot = rowCursor[i]++;
+                    gpe(g, partCols + slot * wordSize, PcPartColsW,
+                        OpKind::Store);
+                    gpe(g, partVals + slot * wordSize, PcPartValsW,
+                        OpKind::FpStore);
+                    multiplyFlops += 1;
+                    partials[i].push_back({b_cols[q],
+                                           av * b_vals[q]});
+                }
+            }
+        }
+    }
+
+    /** SPM variant: DMA-style staging of row k of B into the GPE SPM. */
+    void
+    stageBRowToSpm(std::uint32_t g, std::uint32_t k,
+                   std::size_t b_count)
+    {
+        const std::uint64_t bytes = b_count * 2 * wordSize;
+        const std::uint64_t lines = (bytes + lineSize - 1) / lineSize;
+        const std::uint64_t bp0 = b.rowPtr()[k];
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            gpe(g, bCols + bp0 * wordSize + l * lineSize,
+                PcSpmStageLd, OpKind::Load);
+            gpe(g, l * lineSize, 0, OpKind::SpmStore);
+            gpe(g, 0, 0, OpKind::IntOp); // orchestration
+        }
+    }
+
+    CsrMatrix
+    mergePhase()
+    {
+        trace.beginPhase("merge");
+        const std::uint32_t num_gpes = shape.numGpes();
+        CooMatrix c(a.rows(), b.cols());
+        std::uint64_t out_cursor = 0;
+        for (std::uint32_t r = 0; r < a.rows(); ++r) {
+            auto &list = partials[r];
+            const std::uint32_t g = r % num_gpes;
+            dispatch(g, r);
+            gpe(g, rowBase + r * wordSize, PcRowBase, OpKind::Load);
+            gpe(g, 0, 0, OpKind::IntOp);
+            if (list.empty())
+                continue;
+            const std::uint64_t base = rowOffset[r];
+            const std::size_t m = list.size();
+            for (std::size_t e = 0; e < m; ++e) {
+                gpe(g, partCols + (base + e) * wordSize, PcPartColsR,
+                    OpKind::Load);
+                gpe(g, partVals + (base + e) * wordSize, PcPartValsR,
+                    OpKind::FpLoad);
+                mergeFlops += 1;
+            }
+            // Mergesort by column: log2(m) passes, each touching the
+            // whole run (capped to bound trace size for hub rows).
+            const int passes = std::min<int>(
+                maxSortPasses,
+                m > 1 ? static_cast<int>(std::ceil(std::log2(m))) : 0);
+            const bool local = spm && m * 2 * wordSize <= 4096;
+            for (int pass = 0; pass < passes; ++pass) {
+                for (std::size_t e = 0; e < m; ++e) {
+                    gpe(g, 0, 0, OpKind::IntOp); // compare
+                    if (local) {
+                        gpe(g, e * wordSize, 0, OpKind::SpmLoad);
+                        gpe(g, e * wordSize, 0, OpKind::SpmStore);
+                        mergeFlops += 2;
+                    } else {
+                        gpe(g, partVals + (base + e) * wordSize,
+                            PcSortLd, OpKind::Load);
+                        gpe(g, partVals + (base + e) * wordSize,
+                            PcSortSt, OpKind::Store);
+                    }
+                }
+            }
+            std::sort(list.begin(), list.end());
+            // Accumulate duplicates and emit the final row.
+            std::size_t w = 0;
+            while (w < m) {
+                std::uint32_t col = list[w].first;
+                double acc = list[w].second;
+                ++w;
+                while (w < m && list[w].first == col) {
+                    acc += list[w].second;
+                    gpe(g, 0, 0, OpKind::FpOp); // accumulate
+                    mergeFlops += 1;
+                    ++w;
+                }
+                if (acc != 0.0) {
+                    gpe(g, cCols + out_cursor * wordSize, PcCColsW,
+                        OpKind::Store);
+                    gpe(g, cVals + out_cursor * wordSize, PcCValsW,
+                        OpKind::FpStore);
+                    mergeFlops += 1;
+                    ++out_cursor;
+                    c.add(r, col, acc);
+                }
+            }
+        }
+        return CsrMatrix(c);
+    }
+};
+
+} // namespace
+
+SpMSpMBuild
+buildSpMSpM(const CscMatrix &a, const CsrMatrix &b, SystemShape shape,
+            MemType l1_type)
+{
+    SADAPT_ASSERT(a.cols() == b.rows(), "SpMSpM dimension mismatch");
+    Builder builder(a, b, shape, l1_type == MemType::Spm);
+    builder.layout();
+    builder.multiplyPhase();
+    CsrMatrix product = builder.mergePhase();
+
+    SpMSpMBuild out{std::move(builder.trace), std::move(product),
+                    builder.multiplyFlops, builder.mergeFlops};
+    return out;
+}
+
+} // namespace sadapt

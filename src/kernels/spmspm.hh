@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Outer-product SpMSpM device kernel (OuterSPACE / Transmuter
+ * algorithm, Sections 2.1 and 5.1).
+ *
+ * The kernel executes functionally and emits a two-phase trace:
+ *
+ *  - multiply: for each k, (column k of A in CSC) x (row k of B in CSR)
+ *    produces partial products scattered into per-output-row buckets;
+ *    columns are dispatched round-robin across GPEs by the LCPs.
+ *  - merge: each output row's partial-product list is mergesorted by
+ *    column and duplicates accumulated; rows are dispatched round-robin.
+ *
+ * The two explicit phases plus the per-column density variation give
+ * rise to the explicit and implicit phase changes of Figure 1.
+ */
+
+#ifndef SADAPT_KERNELS_SPMSPM_HH
+#define SADAPT_KERNELS_SPMSPM_HH
+
+#include "sim/config.hh"
+#include "sim/trace.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+/** Trace and functional result of one SpMSpM execution. */
+struct SpMSpMBuild
+{
+    Trace trace;
+    CsrMatrix product;       //!< C = A * B, numerically exact
+    double multiplyFlops = 0; //!< FP-ops emitted in the multiply phase
+    double mergeFlops = 0;    //!< FP-ops emitted in the merge phase
+};
+
+/**
+ * Build the outer-product SpMSpM trace.
+ *
+ * @param a left operand, CSC (Section 5.4 storage choice).
+ * @param b right operand, CSR.
+ * @param shape system shape (controls work partitioning).
+ * @param l1_type cache emits demand loads; SPM emits staging transfers
+ *        into the scratchpad plus SPM-local accesses (the "algorithm
+ *        variant" dimension of Table 3).
+ */
+SpMSpMBuild buildSpMSpM(const CscMatrix &a, const CsrMatrix &b,
+                        SystemShape shape, MemType l1_type);
+
+} // namespace sadapt
+
+#endif // SADAPT_KERNELS_SPMSPM_HH

@@ -1,0 +1,153 @@
+#include "kernels/spmspv.hh"
+
+#include "common/logging.hh"
+#include "kernels/address_map.hh"
+
+namespace sadapt {
+
+namespace {
+
+enum Pc : std::uint16_t
+{
+    PcXTuple = 1,
+    PcColPtr = 2,
+    PcARows = 3,
+    PcAVals = 4,
+    PcAccLd = 5,
+    PcAccSt = 6,
+    PcGather = 7,
+    PcOutW = 8,
+    PcSpmStage = 9,
+    PcLcpDispatch = 40,
+};
+
+} // namespace
+
+SpMSpVBuild
+buildSpMSpV(const CscMatrix &a, const SparseVector &x, SystemShape shape,
+            MemType l1_type)
+{
+    SADAPT_ASSERT(a.cols() == x.dim(), "SpMSpV dimension mismatch");
+    const bool spm = l1_type == MemType::Spm;
+    const std::uint32_t num_gpes = shape.numGpes();
+
+    Trace trace(shape);
+    AddressMap mem;
+    const Addr x_tuples = mem.alloc("x_tuples",
+                                    std::max<std::size_t>(1, x.nnz()) *
+                                        2 * wordSize);
+    const Addr col_ptr = mem.alloc("a_colptr",
+                                   (a.cols() + 1) * wordSize);
+    const Addr a_rows = mem.alloc(
+        "a_rows", std::max<std::size_t>(1, a.nnz()) * wordSize);
+    const Addr a_vals = mem.alloc(
+        "a_vals", std::max<std::size_t>(1, a.nnz()) * wordSize);
+    const Addr acc = mem.alloc("y_accumulator", a.rows() * wordSize);
+    const Addr out = mem.alloc("y_out", a.rows() * 2 * wordSize);
+    const Addr workq = mem.alloc("work_queue", 64 * wordSize);
+
+    std::vector<double> dense(a.rows(), 0.0);
+    std::vector<bool> touched(a.rows(), false);
+    double flops = 0;
+
+    auto dispatch = [&](std::uint32_t g, std::uint64_t task) {
+        const std::uint32_t tile = g / shape.gpesPerTile;
+        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        trace.pushLcp(tile, {workq + (task % 64) * wordSize,
+                             PcLcpDispatch, OpKind::Store});
+    };
+
+    // Multiply+merge in tandem: one task per nonzero of x.
+    trace.beginPhase("spmspv");
+    const auto &entries = x.entries();
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+        const std::uint32_t g =
+            static_cast<std::uint32_t>(e % num_gpes);
+        const std::uint32_t j = entries[e].index;
+        const double xv = entries[e].value;
+        dispatch(g, e);
+        trace.pushGpe(g, {x_tuples + e * 2 * wordSize, PcXTuple,
+                          OpKind::Load});
+        trace.pushGpe(g, {x_tuples + e * 2 * wordSize + wordSize,
+                          PcXTuple, OpKind::FpLoad});
+        flops += 1;
+        trace.pushGpe(g, {col_ptr + j * wordSize, PcColPtr,
+                          OpKind::Load});
+        trace.pushGpe(g, {col_ptr + (j + 1) * wordSize, PcColPtr,
+                          OpKind::Load});
+        auto rows = a.colRows(j);
+        auto vals = a.colVals(j);
+        const std::uint64_t p0 = a.colPtr()[j];
+        if (spm && !rows.empty()) {
+            // Stage the column's entries into the scratchpad first.
+            const std::uint64_t bytes = rows.size() * 2 * wordSize;
+            const std::uint64_t lines =
+                (bytes + lineSize - 1) / lineSize;
+            for (std::uint64_t l = 0; l < lines; ++l) {
+                trace.pushGpe(g, {a_rows + p0 * wordSize + l * lineSize,
+                                  PcSpmStage, OpKind::Load});
+                trace.pushGpe(g, {l * lineSize, 0, OpKind::SpmStore});
+                trace.pushGpe(g, {0, 0, OpKind::IntOp});
+            }
+        }
+        for (std::size_t p = 0; p < rows.size(); ++p) {
+            const std::uint32_t i = rows[p];
+            if (spm) {
+                trace.pushGpe(g, {p * wordSize, 0, OpKind::SpmLoad});
+                trace.pushGpe(g, {2048 + p * wordSize, 0,
+                                  OpKind::SpmLoad});
+                flops += 2;
+            } else {
+                trace.pushGpe(g, {a_rows + (p0 + p) * wordSize, PcARows,
+                                  OpKind::Load});
+                trace.pushGpe(g, {a_vals + (p0 + p) * wordSize, PcAVals,
+                                  OpKind::FpLoad});
+                flops += 1;
+            }
+            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // a * x
+            // Read-modify-write of the dense accumulator.
+            trace.pushGpe(g, {acc + i * wordSize, PcAccLd,
+                              OpKind::FpLoad});
+            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // accumulate
+            trace.pushGpe(g, {acc + i * wordSize, PcAccSt,
+                              OpKind::FpStore});
+            flops += 4; // mul, acc load, add, acc store
+            dense[i] += vals[p] * xv;
+            touched[i] = true;
+        }
+    }
+
+    // Gather/compaction: each GPE scans a contiguous chunk of the
+    // accumulator and appends nonzeros to the output tuple list.
+    std::uint64_t out_cursor = 0;
+    std::vector<SparseVector::Entry> result;
+    const std::uint32_t chunk =
+        (a.rows() + num_gpes - 1) / num_gpes;
+    for (std::uint32_t g = 0; g < num_gpes; ++g) {
+        const std::uint32_t lo = g * chunk;
+        const std::uint32_t hi =
+            std::min<std::uint32_t>(a.rows(), lo + chunk);
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            trace.pushGpe(g, {acc + i * wordSize, PcGather,
+                              OpKind::FpLoad});
+            flops += 1;
+            trace.pushGpe(g, {0, 0, OpKind::IntOp}); // zero test
+            if (touched[i] && dense[i] != 0.0) {
+                trace.pushGpe(g, {out + out_cursor * 2 * wordSize,
+                                  PcOutW, OpKind::Store});
+                trace.pushGpe(g,
+                              {out + out_cursor * 2 * wordSize +
+                                   wordSize, PcOutW, OpKind::FpStore});
+                flops += 1;
+                ++out_cursor;
+                result.push_back({i, dense[i]});
+            }
+        }
+    }
+
+    return SpMSpVBuild{std::move(trace),
+                       SparseVector(a.rows(), std::move(result)),
+                       flops};
+}
+
+} // namespace sadapt

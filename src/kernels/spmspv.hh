@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SpMSpV device kernel: y = A * x with A in CSC and x stored as an
+ * array of (index, value) tuples (Section 5.4).
+ *
+ * Unlike OP-SpMSpM, the multiply and merge steps happen in tandem
+ * (Section 5.1): products are accumulated directly into a dense
+ * accumulator region, followed by a gather/compaction pass.
+ */
+
+#ifndef SADAPT_KERNELS_SPMSPV_HH
+#define SADAPT_KERNELS_SPMSPV_HH
+
+#include "sim/config.hh"
+#include "sim/trace.hh"
+#include "sparse/csc.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace sadapt {
+
+/** Trace and functional result of one SpMSpV execution. */
+struct SpMSpVBuild
+{
+    Trace trace;
+    SparseVector result; //!< y = A * x, numerically exact
+    double flops = 0;
+};
+
+/**
+ * Build the SpMSpV trace.
+ *
+ * @param a the matrix, CSC.
+ * @param x the sparse input vector.
+ * @param shape system shape.
+ * @param l1_type cache or SPM algorithm variant.
+ */
+SpMSpVBuild buildSpMSpV(const CscMatrix &a, const SparseVector &x,
+                        SystemShape shape, MemType l1_type);
+
+} // namespace sadapt
+
+#endif // SADAPT_KERNELS_SPMSPV_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * k-fold cross-validation and hyperparameter grid search, matching the
+ * paper's training methodology (Section 5.1: k = 3 folds, sweeping
+ * criterion, max_depth and min_samples_leaf).
+ */
+
+#ifndef SADAPT_ML_CROSS_VALIDATION_HH
+#define SADAPT_ML_CROSS_VALIDATION_HH
+
+#include "ml/decision_tree.hh"
+
+namespace sadapt {
+
+class Rng;
+
+/**
+ * Mean held-out accuracy of a decision tree with the given
+ * hyperparameters under k-fold cross-validation.
+ */
+double crossValidateTree(const Dataset &data, const TreeParams &params,
+                         std::size_t k, Rng &rng);
+
+/** Result of a hyperparameter search. */
+struct GridSearchResult
+{
+    TreeParams best;
+    double bestAccuracy = 0.0;
+
+    /** Every evaluated point, for diagnostics. */
+    std::vector<std::pair<TreeParams, double>> evaluated;
+};
+
+/**
+ * Grid-search tree hyperparameters with k-fold CV. The default grid is
+ * the paper's swept set: both criteria, depths 2 -> 26 (x2 steps), and
+ * min_samples_leaf in {1, 4, 16}.
+ */
+GridSearchResult gridSearchTree(const Dataset &data, std::size_t k,
+                                Rng &rng);
+
+} // namespace sadapt
+
+#endif // SADAPT_ML_CROSS_VALIDATION_HH

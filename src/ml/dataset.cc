@@ -1,0 +1,81 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names(std::move(feature_names))
+{
+}
+
+void
+Dataset::add(std::vector<double> features, std::uint32_t label)
+{
+    SADAPT_ASSERT(features.size() == names.size(),
+                  "feature vector size mismatch");
+    data.insert(data.end(), features.begin(), features.end());
+    labels.push_back(label);
+}
+
+std::uint32_t
+Dataset::numClasses() const
+{
+    std::uint32_t max_label = 0;
+    for (auto l : labels)
+        max_label = std::max(max_label, l);
+    return labels.empty() ? 0 : max_label + 1;
+}
+
+std::span<const double>
+Dataset::features(std::size_t row) const
+{
+    return {data.data() + row * names.size(), names.size()};
+}
+
+Dataset
+Dataset::subset(const std::vector<std::size_t> &rows) const
+{
+    Dataset out(names);
+    for (std::size_t r : rows) {
+        auto f = features(r);
+        out.add({f.begin(), f.end()}, labels[r]);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::size_t>>
+Dataset::kFoldIndices(std::size_t k, Rng &rng) const
+{
+    SADAPT_ASSERT(k >= 2 && k <= size(), "bad fold count");
+    std::vector<std::size_t> order(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    std::vector<std::vector<std::size_t>> folds(k);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        folds[i % k].push_back(order[i]);
+    return folds;
+}
+
+void
+Dataset::writeCsv(const std::string &path) const
+{
+    CsvWriter w(path);
+    for (const auto &n : names)
+        w.cell(n);
+    w.cell(std::string("label"));
+    w.endRow();
+    for (std::size_t r = 0; r < size(); ++r) {
+        for (double f : features(r))
+            w.cell(f);
+        w.cell(static_cast<long long>(labels[r]));
+        w.endRow();
+    }
+}
+
+} // namespace sadapt

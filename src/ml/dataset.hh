@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tabular dataset container for the predictive-model training pipeline
+ * (Section 4.2): rows of real-valued features with integer class
+ * labels.
+ */
+
+#ifndef SADAPT_ML_DATASET_HH
+#define SADAPT_ML_DATASET_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sadapt {
+
+class Rng;
+
+/**
+ * A dense feature matrix plus one integer label column.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** Create an empty dataset with named feature columns. */
+    explicit Dataset(std::vector<std::string> feature_names);
+
+    /** Append one example. */
+    void add(std::vector<double> features, std::uint32_t label);
+
+    std::size_t size() const { return labels.size(); }
+    std::size_t numFeatures() const { return names.size(); }
+
+    /** Number of distinct label classes (max label + 1). */
+    std::uint32_t numClasses() const;
+
+    std::span<const double> features(std::size_t row) const;
+    std::uint32_t label(std::size_t row) const { return labels[row]; }
+
+    const std::vector<std::string> &featureNames() const
+    {
+        return names;
+    }
+
+    /** Subset by row indices. */
+    Dataset subset(const std::vector<std::size_t> &rows) const;
+
+    /**
+     * Deterministic k-fold split: returns, for each fold, the row
+     * indices of the held-out validation part.
+     */
+    std::vector<std::vector<std::size_t>> kFoldIndices(std::size_t k,
+                                                       Rng &rng) const;
+
+    /** Write as CSV (header + rows, label last) for external analysis. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> names;
+    std::vector<double> data; //!< row-major
+    std::vector<std::uint32_t> labels;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ML_DATASET_HH

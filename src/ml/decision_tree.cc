@@ -1,0 +1,245 @@
+#include "ml/decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+namespace {
+
+/** Impurity of a class histogram. */
+double
+impurity(const std::vector<double> &counts, double total,
+         Criterion criterion)
+{
+    if (total <= 0.0)
+        return 0.0;
+    double imp = criterion == Criterion::Gini ? 1.0 : 0.0;
+    for (double c : counts) {
+        if (c <= 0.0)
+            continue;
+        const double p = c / total;
+        if (criterion == Criterion::Gini)
+            imp -= p * p;
+        else
+            imp -= p * std::log2(p);
+    }
+    return imp;
+}
+
+std::uint32_t
+majority(const std::vector<double> &counts)
+{
+    return static_cast<std::uint32_t>(
+        std::max_element(counts.begin(), counts.end()) -
+        counts.begin());
+}
+
+} // namespace
+
+void
+DecisionTreeClassifier::fit(const Dataset &data, const TreeParams &params)
+{
+    SADAPT_ASSERT(data.size() > 0, "cannot fit on an empty dataset");
+    nodes.clear();
+    numFeaturesV = data.numFeatures();
+    std::vector<std::size_t> rows(data.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+    build(data, rows, 0, params);
+}
+
+std::int32_t
+DecisionTreeClassifier::build(const Dataset &data,
+                              std::vector<std::size_t> &rows,
+                              std::uint32_t depth,
+                              const TreeParams &params)
+{
+    const std::uint32_t num_classes = std::max(1u, data.numClasses());
+    std::vector<double> counts(num_classes, 0.0);
+    for (std::size_t r : rows)
+        counts[data.label(r)] += 1.0;
+    const double total = static_cast<double>(rows.size());
+    const double node_imp = impurity(counts, total, params.criterion);
+
+    auto make_leaf = [&] {
+        Node leaf;
+        leaf.leaf = true;
+        leaf.klass = majority(counts);
+        nodes.push_back(leaf);
+        return static_cast<std::int32_t>(nodes.size() - 1);
+    };
+
+    if (depth >= params.maxDepth || node_imp <= 0.0 ||
+        rows.size() < 2 * params.minSamplesLeaf) {
+        return make_leaf();
+    }
+
+    // Find the best (feature, threshold) split by scanning each
+    // feature's sorted values.
+    double best_gain = 0.0;
+    std::uint32_t best_feature = 0;
+    double best_threshold = 0.0;
+    std::vector<std::pair<double, std::uint32_t>> column(rows.size());
+    std::vector<double> left_counts(num_classes);
+
+    for (std::uint32_t f = 0; f < data.numFeatures(); ++f) {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            column[i] = {data.features(rows[i])[f],
+                         data.label(rows[i])};
+        std::sort(column.begin(), column.end());
+        std::fill(left_counts.begin(), left_counts.end(), 0.0);
+        for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+            left_counts[column[i].second] += 1.0;
+            if (column[i].first == column[i + 1].first)
+                continue; // not a valid cut point
+            const double n_left = static_cast<double>(i + 1);
+            const double n_right = total - n_left;
+            if (n_left < params.minSamplesLeaf ||
+                n_right < params.minSamplesLeaf)
+                continue;
+            std::vector<double> right_counts(num_classes);
+            for (std::uint32_t k = 0; k < num_classes; ++k)
+                right_counts[k] = counts[k] - left_counts[k];
+            const double gain = node_imp -
+                (n_left / total) *
+                    impurity(left_counts, n_left, params.criterion) -
+                (n_right / total) *
+                    impurity(right_counts, n_right, params.criterion);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold =
+                    0.5 * (column[i].first + column[i + 1].first);
+            }
+        }
+    }
+
+    if (best_gain <= params.minImpurityDecrease || best_gain <= 1e-12)
+        return make_leaf();
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : rows) {
+        if (data.features(r)[best_feature] <= best_threshold)
+            left_rows.push_back(r);
+        else
+            right_rows.push_back(r);
+    }
+    SADAPT_ASSERT(!left_rows.empty() && !right_rows.empty(),
+                  "degenerate split");
+    rows.clear();
+    rows.shrink_to_fit();
+
+    Node split;
+    split.leaf = false;
+    split.featureIdx = best_feature;
+    split.threshold = best_threshold;
+    split.klass = majority(counts);
+    split.importanceGain = best_gain * total;
+    nodes.push_back(split);
+    const auto idx = static_cast<std::int32_t>(nodes.size() - 1);
+    const std::int32_t l = build(data, left_rows, depth + 1, params);
+    const std::int32_t r = build(data, right_rows, depth + 1, params);
+    nodes[idx].left = l;
+    nodes[idx].right = r;
+    return idx;
+}
+
+std::uint32_t
+DecisionTreeClassifier::predict(std::span<const double> features) const
+{
+    SADAPT_ASSERT(trained(), "predict on an untrained tree");
+    SADAPT_ASSERT(features.size() == numFeaturesV,
+                  "feature vector size mismatch");
+    std::int32_t n = 0;
+    while (!nodes[n].leaf) {
+        n = features[nodes[n].featureIdx] <= nodes[n].threshold
+            ? nodes[n].left
+            : nodes[n].right;
+    }
+    return nodes[n].klass;
+}
+
+double
+DecisionTreeClassifier::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < data.size(); ++r)
+        correct += predict(data.features(r)) == data.label(r);
+    return static_cast<double>(correct) / data.size();
+}
+
+std::vector<double>
+DecisionTreeClassifier::featureImportance() const
+{
+    std::vector<double> imp(numFeaturesV, 0.0);
+    double sum = 0.0;
+    for (const auto &n : nodes) {
+        if (!n.leaf) {
+            imp[n.featureIdx] += n.importanceGain;
+            sum += n.importanceGain;
+        }
+    }
+    if (sum > 0.0)
+        for (auto &v : imp)
+            v /= sum;
+    return imp;
+}
+
+std::uint32_t
+DecisionTreeClassifier::depth() const
+{
+    // Iterative depth computation over the node array.
+    if (nodes.empty())
+        return 0;
+    std::vector<std::pair<std::int32_t, std::uint32_t>> stack = {{0, 0}};
+    std::uint32_t max_depth = 0;
+    while (!stack.empty()) {
+        auto [n, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        if (!nodes[n].leaf) {
+            stack.push_back({nodes[n].left, d + 1});
+            stack.push_back({nodes[n].right, d + 1});
+        }
+    }
+    return max_depth;
+}
+
+void
+DecisionTreeClassifier::save(std::ostream &out) const
+{
+    out.precision(17);
+    out << "tree " << numFeaturesV << ' ' << nodes.size() << '\n';
+    for (const auto &n : nodes) {
+        out << n.leaf << ' ' << n.featureIdx << ' ' << n.threshold
+            << ' ' << n.left << ' ' << n.right << ' ' << n.klass << ' '
+            << n.importanceGain << '\n';
+    }
+}
+
+DecisionTreeClassifier
+DecisionTreeClassifier::load(std::istream &in)
+{
+    std::string magic;
+    std::size_t num_features = 0, num_nodes = 0;
+    if (!(in >> magic >> num_features >> num_nodes) || magic != "tree")
+        fatal("decision tree: malformed header");
+    DecisionTreeClassifier tree;
+    tree.numFeaturesV = num_features;
+    tree.nodes.resize(num_nodes);
+    for (auto &n : tree.nodes) {
+        if (!(in >> n.leaf >> n.featureIdx >> n.threshold >> n.left >>
+              n.right >> n.klass >> n.importanceGain))
+            fatal("decision tree: truncated node list");
+    }
+    return tree;
+}
+
+} // namespace sadapt

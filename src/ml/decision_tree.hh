@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CART decision-tree classifier, the predictive model of Section 4.3.
+ *
+ * Supports the scikit-learn hyperparameters the paper sweeps
+ * (criterion, max_depth, min_samples_leaf), Gini feature importance
+ * (Section 6.3.2), and text serialization so trained ensembles can be
+ * cached between benchmark runs.
+ */
+
+#ifndef SADAPT_ML_DECISION_TREE_HH
+#define SADAPT_ML_DECISION_TREE_HH
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace sadapt {
+
+/** Split-quality criterion. */
+enum class Criterion
+{
+    Gini,
+    Entropy,
+};
+
+/** Training hyperparameters (the paper's swept set, Section 5.1). */
+struct TreeParams
+{
+    Criterion criterion = Criterion::Gini;
+    std::uint32_t maxDepth = 12;
+    std::uint32_t minSamplesLeaf = 1;
+
+    /**
+     * Minimum impurity decrease for a split to be kept (simple
+     * pre-pruning; the paper prunes its trees to fight overfitting).
+     */
+    double minImpurityDecrease = 0.0;
+};
+
+/**
+ * A single CART classification tree.
+ */
+class DecisionTreeClassifier
+{
+  public:
+    /** Fit on a dataset. Replaces any previous tree. */
+    void fit(const Dataset &data, const TreeParams &params);
+
+    /** Predict the class of one feature vector. */
+    std::uint32_t predict(std::span<const double> features) const;
+
+    /** Accuracy over a labelled dataset. */
+    double accuracy(const Dataset &data) const;
+
+    /**
+     * Gini importance: total impurity decrease contributed by each
+     * feature, normalized to sum to 1 (scikit-learn semantics).
+     */
+    std::vector<double> featureImportance() const;
+
+    std::uint32_t depth() const;
+    std::size_t nodeCount() const { return nodes.size(); }
+    bool trained() const { return !nodes.empty(); }
+
+    /** Serialize to a text stream. */
+    void save(std::ostream &out) const;
+
+    /** Deserialize from a text stream (fatal on malformed input). */
+    static DecisionTreeClassifier load(std::istream &in);
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        std::uint32_t featureIdx = 0;
+        double threshold = 0.0;
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+        std::uint32_t klass = 0;
+        double importanceGain = 0.0; //!< weighted impurity decrease
+    };
+
+    std::vector<Node> nodes;
+    std::size_t numFeaturesV = 0;
+
+    std::int32_t build(const Dataset &data,
+                       std::vector<std::size_t> &rows,
+                       std::uint32_t depth, const TreeParams &params);
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ML_DECISION_TREE_HH

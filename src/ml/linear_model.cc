@@ -1,0 +1,181 @@
+#include "ml/linear_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+namespace {
+
+/**
+ * Solve the symmetric positive-definite system A x = b with Gaussian
+ * elimination and partial pivoting (A is small: features + bias).
+ */
+std::vector<double>
+solve(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        SADAPT_ASSERT(std::abs(a[col][col]) > 1e-12,
+                      "singular normal equations");
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r][col] / a[col][col];
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n);
+    for (std::size_t r = n; r-- > 0;) {
+        double acc = b[r];
+        for (std::size_t c = r + 1; c < n; ++c)
+            acc -= a[r][c] * x[c];
+        x[r] = acc / a[r][r];
+    }
+    return x;
+}
+
+double
+sigmoid(double z)
+{
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+} // namespace
+
+void
+LinearRegression::fit(const Dataset &data, double lambda)
+{
+    SADAPT_ASSERT(data.size() > 0, "cannot fit on an empty dataset");
+    const std::size_t d = data.numFeatures() + 1; // bias column
+    std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+    std::vector<double> xty(d, 0.0);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        auto f = data.features(r);
+        const double y = data.label(r);
+        auto at = [&](std::size_t i) {
+            return i < f.size() ? f[i] : 1.0;
+        };
+        for (std::size_t i = 0; i < d; ++i) {
+            xty[i] += at(i) * y;
+            for (std::size_t j = 0; j < d; ++j)
+                xtx[i][j] += at(i) * at(j);
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i)
+        xtx[i][i] += lambda;
+    w = solve(std::move(xtx), std::move(xty));
+    maxLabel = data.numClasses() ? data.numClasses() - 1 : 0;
+}
+
+double
+LinearRegression::predictValue(std::span<const double> features) const
+{
+    SADAPT_ASSERT(trained() && features.size() + 1 == w.size(),
+                  "feature vector size mismatch");
+    double acc = w.back();
+    for (std::size_t i = 0; i < features.size(); ++i)
+        acc += w[i] * features[i];
+    return acc;
+}
+
+std::uint32_t
+LinearRegression::predict(std::span<const double> features) const
+{
+    const double v = std::round(predictValue(features));
+    if (v <= 0.0)
+        return 0;
+    return std::min<std::uint32_t>(static_cast<std::uint32_t>(v),
+                                   maxLabel);
+}
+
+double
+LinearRegression::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < data.size(); ++r)
+        correct += predict(data.features(r)) == data.label(r);
+    return static_cast<double>(correct) / data.size();
+}
+
+void
+LogisticRegression::fit(const Dataset &data, const Params &params)
+{
+    SADAPT_ASSERT(data.size() > 0, "cannot fit on an empty dataset");
+    const std::uint32_t classes = std::max(1u, data.numClasses());
+    const std::size_t d = data.numFeatures() + 1;
+    weights.assign(classes, std::vector<double>(d, 0.0));
+    const double inv_n = 1.0 / static_cast<double>(data.size());
+
+    for (std::uint32_t k = 0; k < classes; ++k) {
+        auto &wk = weights[k];
+        for (std::uint32_t it = 0; it < params.iterations; ++it) {
+            std::vector<double> grad(d, 0.0);
+            for (std::size_t r = 0; r < data.size(); ++r) {
+                auto f = data.features(r);
+                double z = wk.back();
+                for (std::size_t i = 0; i < f.size(); ++i)
+                    z += wk[i] * f[i];
+                const double err =
+                    sigmoid(z) - (data.label(r) == k ? 1.0 : 0.0);
+                for (std::size_t i = 0; i < f.size(); ++i)
+                    grad[i] += err * f[i];
+                grad.back() += err;
+            }
+            for (std::size_t i = 0; i < d; ++i) {
+                wk[i] -= params.learningRate *
+                    (grad[i] * inv_n + params.l2 * wk[i]);
+            }
+        }
+    }
+}
+
+double
+LogisticRegression::score(std::span<const double> features,
+                          std::uint32_t klass) const
+{
+    const auto &wk = weights[klass];
+    double z = wk.back();
+    for (std::size_t i = 0; i < features.size(); ++i)
+        z += wk[i] * features[i];
+    return z;
+}
+
+std::uint32_t
+LogisticRegression::predict(std::span<const double> features) const
+{
+    SADAPT_ASSERT(trained(), "predict on an untrained model");
+    std::uint32_t best = 0;
+    double best_score = score(features, 0);
+    for (std::uint32_t k = 1; k < weights.size(); ++k) {
+        const double s = score(features, k);
+        if (s > best_score) {
+            best_score = s;
+            best = k;
+        }
+    }
+    return best;
+}
+
+double
+LogisticRegression::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < data.size(); ++r)
+        correct += predict(data.features(r)) == data.label(r);
+    return static_cast<double>(correct) / data.size();
+}
+
+} // namespace sadapt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Linear and logistic regression, the models the paper evaluated and
+ * rejected in Section 4.3 ("the linear and logistic regression models
+ * gave us poor accuracies"). Included to reproduce that comparison.
+ */
+
+#ifndef SADAPT_ML_LINEAR_MODEL_HH
+#define SADAPT_ML_LINEAR_MODEL_HH
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace sadapt {
+
+/**
+ * Ridge-regularized linear regression fit by the normal equations.
+ * For classification, the real-valued output is rounded and clamped to
+ * the label range (regress-then-round, matching how a regression model
+ * would be pressed into service for ordinal configuration parameters).
+ */
+class LinearRegression
+{
+  public:
+    /**
+     * Fit weights minimizing ||Xw - y||^2 + lambda ||w||^2.
+     * @param lambda ridge regularization strength.
+     */
+    void fit(const Dataset &data, double lambda = 1e-6);
+
+    /** Real-valued prediction. */
+    double predictValue(std::span<const double> features) const;
+
+    /** Rounded, clamped class prediction. */
+    std::uint32_t predict(std::span<const double> features) const;
+
+    /** Classification accuracy via predict(). */
+    double accuracy(const Dataset &data) const;
+
+    const std::vector<double> &weights() const { return w; }
+    bool trained() const { return !w.empty(); }
+
+  private:
+    std::vector<double> w; //!< weights, bias last
+    std::uint32_t maxLabel = 0;
+};
+
+/**
+ * One-vs-rest multinomial logistic regression trained by batch
+ * gradient descent.
+ */
+class LogisticRegression
+{
+  public:
+    /** Training hyperparameters. */
+    struct Params
+    {
+        std::uint32_t iterations = 300;
+        double learningRate = 0.1;
+        double l2 = 1e-4;
+    };
+
+    void fit(const Dataset &data, const Params &params);
+
+    /** Fit with default hyperparameters. */
+    void fit(const Dataset &data) { fit(data, Params()); }
+
+    /** argmax over per-class scores. */
+    std::uint32_t predict(std::span<const double> features) const;
+
+    double accuracy(const Dataset &data) const;
+
+    bool trained() const { return !weights.empty(); }
+
+  private:
+    std::vector<std::vector<double>> weights; //!< per class, bias last
+    double score(std::span<const double> features,
+                 std::uint32_t klass) const;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ML_LINEAR_MODEL_HH

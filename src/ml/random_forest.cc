@@ -1,0 +1,73 @@
+#include "ml/random_forest.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+void
+RandomForestClassifier::fit(const Dataset &data,
+                            const ForestParams &params, Rng &rng)
+{
+    SADAPT_ASSERT(data.size() > 0, "cannot fit on an empty dataset");
+    trees.clear();
+    numClassesV = data.numClasses();
+    const auto n = static_cast<std::size_t>(
+        std::max<double>(1.0, params.sampleFraction * data.size()));
+    for (std::uint32_t t = 0; t < params.numTrees; ++t) {
+        std::vector<std::size_t> sample(n);
+        for (auto &s : sample)
+            s = rng.below(data.size());
+        Dataset boot = data.subset(sample);
+        DecisionTreeClassifier tree;
+        tree.fit(boot, params.tree);
+        trees.push_back(std::move(tree));
+    }
+}
+
+std::uint32_t
+RandomForestClassifier::predict(std::span<const double> features) const
+{
+    SADAPT_ASSERT(trained(), "predict on an untrained forest");
+    std::vector<std::uint32_t> votes(std::max(1u, numClassesV), 0);
+    for (const auto &t : trees)
+        ++votes[t.predict(features)];
+    return static_cast<std::uint32_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double
+RandomForestClassifier::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < data.size(); ++r)
+        correct += predict(data.features(r)) == data.label(r);
+    return static_cast<double>(correct) / data.size();
+}
+
+std::vector<double>
+RandomForestClassifier::featureImportance() const
+{
+    SADAPT_ASSERT(trained(), "importance of an untrained forest");
+    std::vector<double> sum;
+    for (const auto &t : trees) {
+        auto imp = t.featureImportance();
+        if (sum.empty())
+            sum.assign(imp.size(), 0.0);
+        for (std::size_t i = 0; i < imp.size(); ++i)
+            sum[i] += imp[i];
+    }
+    double total = 0.0;
+    for (double v : sum)
+        total += v;
+    if (total > 0.0)
+        for (auto &v : sum)
+            v /= total;
+    return sum;
+}
+
+} // namespace sadapt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Random-forest classifier: one of the alternatives evaluated in
+ * Section 4.3 (the paper found accuracy similar to single pruned trees
+ * and picked trees for their lower inference overhead).
+ */
+
+#ifndef SADAPT_ML_RANDOM_FOREST_HH
+#define SADAPT_ML_RANDOM_FOREST_HH
+
+#include "ml/decision_tree.hh"
+
+namespace sadapt {
+
+class Rng;
+
+/** Forest hyperparameters. */
+struct ForestParams
+{
+    std::uint32_t numTrees = 16;
+    TreeParams tree;
+
+    /** Bootstrap sample fraction per tree. */
+    double sampleFraction = 1.0;
+};
+
+/**
+ * Bagged ensemble of CART trees with majority voting.
+ */
+class RandomForestClassifier
+{
+  public:
+    /** Fit on a dataset with bootstrap resampling. */
+    void fit(const Dataset &data, const ForestParams &params, Rng &rng);
+
+    /** Majority-vote prediction. */
+    std::uint32_t predict(std::span<const double> features) const;
+
+    /** Accuracy over a labelled dataset. */
+    double accuracy(const Dataset &data) const;
+
+    /** Mean Gini importance across trees, normalized. */
+    std::vector<double> featureImportance() const;
+
+    std::size_t size() const { return trees.size(); }
+    bool trained() const { return !trees.empty(); }
+
+  private:
+    std::vector<DecisionTreeClassifier> trees;
+    std::uint32_t numClassesV = 0;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ML_RANDOM_FOREST_HH

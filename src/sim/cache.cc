@@ -1,0 +1,149 @@
+#include "sim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+CacheBank::CacheBank(std::uint32_t capacity_bytes, std::uint32_t assoc)
+    : capacityBytes(capacity_bytes), assocV(assoc)
+{
+    rebuild();
+}
+
+void
+CacheBank::rebuild()
+{
+    SADAPT_ASSERT(capacityBytes >= 1024 &&
+                  (capacityBytes & (capacityBytes - 1)) == 0,
+                  "cache capacity must be a power of two >= 1 kB");
+    const std::uint32_t num_lines = capacityBytes / lineSize;
+    SADAPT_ASSERT(num_lines % assocV == 0, "lines not divisible by assoc");
+    numSets = num_lines / assocV;
+    lines.assign(num_lines, Line{});
+    tick = 0;
+}
+
+std::uint32_t
+CacheBank::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(line_addr % numSets);
+}
+
+CacheBank::AccessResult
+CacheBank::access(Addr addr, bool write)
+{
+    const Addr line_addr = addr / lineSize;
+    const std::uint32_t set = setIndex(line_addr);
+    ++tick;
+    for (std::uint32_t w = 0; w < assocV; ++w) {
+        Line &l = lines[set * assocV + w];
+        if (l.valid && l.tag == line_addr) {
+            l.lastUse = tick;
+            l.dirty = l.dirty || write;
+            return {true, false, 0};
+        }
+    }
+    return fill(line_addr, write);
+}
+
+CacheBank::AccessResult
+CacheBank::fill(Addr line_addr, bool dirty)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~0ull;
+    for (std::uint32_t w = 0; w < assocV; ++w) {
+        Line &l = lines[set * assocV + w];
+        if (!l.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = w;
+        }
+    }
+    Line &v = lines[set * assocV + victim];
+    AccessResult res;
+    res.hit = false;
+    res.writeback = v.valid && v.dirty;
+    res.writebackAddr = v.tag * lineSize;
+    v.valid = true;
+    v.dirty = dirty;
+    v.tag = line_addr;
+    v.lastUse = tick;
+    return res;
+}
+
+CacheBank::AccessResult
+CacheBank::install(Addr addr)
+{
+    const Addr line_addr = addr / lineSize;
+    ++tick;
+    if (contains(addr)) {
+        return {true, false, 0};
+    }
+    return fill(line_addr, false);
+}
+
+bool
+CacheBank::contains(Addr addr) const
+{
+    const Addr line_addr = addr / lineSize;
+    const std::uint32_t set = setIndex(line_addr);
+    for (std::uint32_t w = 0; w < assocV; ++w) {
+        const Line &l = lines[set * assocV + w];
+        if (l.valid && l.tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheBank::setCapacity(std::uint32_t capacity_bytes)
+{
+    capacityBytes = capacity_bytes;
+    rebuild();
+}
+
+void
+CacheBank::invalidateAll()
+{
+    for (auto &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+double
+CacheBank::occupancy() const
+{
+    std::uint64_t valid = 0;
+    for (const auto &l : lines)
+        valid += l.valid;
+    return lines.empty() ? 0.0
+        : static_cast<double>(valid) / lines.size();
+}
+
+std::uint64_t
+CacheBank::dirtyLines() const
+{
+    std::uint64_t dirty = 0;
+    for (const auto &l : lines)
+        dirty += l.valid && l.dirty;
+    return dirty;
+}
+
+SpmBank::SpmBank(std::uint32_t capacity_bytes)
+    : capacityBytes(capacity_bytes)
+{
+}
+
+void
+SpmBank::access()
+{
+    ++accessCount;
+}
+
+} // namespace sadapt

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reconfigurable data-cache bank (R-DCache) model.
+ *
+ * Each logical bank is built from sub-banks so its capacity can change at
+ * runtime (Section 3.2.2). The model is a set-associative cache with LRU
+ * replacement and dirty bits; flush cost is handled by the
+ * reconfiguration cost model.
+ */
+
+#ifndef SADAPT_SIM_CACHE_HH
+#define SADAPT_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/**
+ * One R-DCache bank in cache mode.
+ */
+class CacheBank
+{
+  public:
+    /** Result of a cache access or fill. */
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false; //!< a dirty victim was evicted
+        Addr writebackAddr = 0; //!< line address of the victim
+    };
+
+    /**
+     * @param capacity_bytes bank capacity (power of two, >= 1 kB).
+     * @param assoc set associativity.
+     */
+    explicit CacheBank(std::uint32_t capacity_bytes,
+                       std::uint32_t assoc = 8);
+
+    /**
+     * Demand access to a byte address. On a miss the line is allocated
+     * (write-allocate) and the LRU victim is evicted.
+     */
+    AccessResult access(Addr addr, bool write);
+
+    /**
+     * Install a line without a demand access (prefetch fill). Returns
+     * hit=true if the line was already present (fill dropped).
+     */
+    AccessResult install(Addr addr);
+
+    /** @return true if the line holding addr is present. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Change the bank capacity. Contents are invalidated; the timing and
+     * energy cost of any required flush is modeled by ReconfigCostModel.
+     */
+    void setCapacity(std::uint32_t capacity_bytes);
+
+    /** Invalidate all lines (contents assumed flushed). */
+    void invalidateAll();
+
+    /** Fraction of valid lines (the occupancy counter of Table 2). */
+    double occupancy() const;
+
+    /** Number of dirty lines currently held. */
+    std::uint64_t dirtyLines() const;
+
+    std::uint32_t capacity() const { return capacityBytes; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t capacityBytes;
+    std::uint32_t assocV;
+    std::uint32_t numSets;
+    std::vector<Line> lines;
+    std::uint64_t tick = 0;
+
+    void rebuild();
+    std::uint32_t setIndex(Addr line_addr) const;
+    AccessResult fill(Addr line_addr, bool dirty);
+};
+
+/**
+ * One R-DCache bank in scratchpad (SPM) mode: software-managed, fixed
+ * single-cycle access, no tags and no misses. Occupancy tracking is
+ * word-granular and approximate.
+ */
+class SpmBank
+{
+  public:
+    explicit SpmBank(std::uint32_t capacity_bytes);
+
+    /** Record an access (for energy/throughput counters only). */
+    void access();
+
+    std::uint64_t accesses() const { return accessCount; }
+    void resetStats() { accessCount = 0; }
+    std::uint32_t capacity() const { return capacityBytes; }
+
+  private:
+    std::uint32_t capacityBytes;
+    std::uint64_t accessCount = 0;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_CACHE_HH

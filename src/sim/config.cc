@@ -1,0 +1,303 @@
+#include "sim/config.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 5> capBytes = {
+    4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024,
+};
+
+constexpr std::array<double, 6> clockHzTable = {
+    31.25e6, 62.5e6, 125e6, 250e6, 500e6, 1000e6,
+};
+
+constexpr std::array<std::uint32_t, 3> prefetchTable = {0, 4, 8};
+
+} // namespace
+
+std::uint32_t
+HwConfig::l1CapBytes() const
+{
+    return capBytes[l1CapIdx];
+}
+
+std::uint32_t
+HwConfig::l2CapBytes() const
+{
+    return capBytes[l2CapIdx];
+}
+
+Hertz
+HwConfig::clockHz() const
+{
+    return clockHzTable[clockIdx];
+}
+
+std::uint32_t
+HwConfig::prefetchDegree() const
+{
+    return prefetchTable[prefetchIdx];
+}
+
+std::string
+HwConfig::label() const
+{
+    auto mode = [](SharingMode m) {
+        return m == SharingMode::Shared ? "shr" : "prv";
+    };
+    return str(l1Type == MemType::Cache ? "cache" : "spm",
+               " L1:", l1CapBytes() / 1024, "kB/", mode(l1Sharing),
+               " L2:", l2CapBytes() / 1024, "kB/", mode(l2Sharing),
+               " ", clockHz() / 1e6, "MHz pf", prefetchDegree());
+}
+
+std::uint32_t
+HwConfig::encode() const
+{
+    std::uint32_t code = 0;
+    for (Param p : allParams())
+        code = code * paramCardinality(p) + paramValue(*this, p);
+    return code;
+}
+
+const std::vector<Param> &
+allParams()
+{
+    static const std::vector<Param> params = {
+        Param::L1Sharing, Param::L2Sharing, Param::L1Cap,
+        Param::L2Cap, Param::Clock, Param::Prefetch,
+    };
+    return params;
+}
+
+std::string
+paramName(Param p)
+{
+    switch (p) {
+      case Param::L1Sharing: return "l1_sharing";
+      case Param::L2Sharing: return "l2_sharing";
+      case Param::L1Cap: return "l1_capacity";
+      case Param::L2Cap: return "l2_capacity";
+      case Param::Clock: return "clock";
+      case Param::Prefetch: return "prefetch";
+    }
+    panic("bad Param");
+}
+
+std::uint32_t
+paramCardinality(Param p)
+{
+    switch (p) {
+      case Param::L1Sharing: return 2;
+      case Param::L2Sharing: return 2;
+      case Param::L1Cap: return capBytes.size();
+      case Param::L2Cap: return capBytes.size();
+      case Param::Clock: return clockHzTable.size();
+      case Param::Prefetch: return prefetchTable.size();
+    }
+    panic("bad Param");
+}
+
+std::uint32_t
+paramValue(const HwConfig &cfg, Param p)
+{
+    switch (p) {
+      case Param::L1Sharing:
+        return cfg.l1Sharing == SharingMode::Shared ? 0 : 1;
+      case Param::L2Sharing:
+        return cfg.l2Sharing == SharingMode::Shared ? 0 : 1;
+      case Param::L1Cap: return cfg.l1CapIdx;
+      case Param::L2Cap: return cfg.l2CapIdx;
+      case Param::Clock: return cfg.clockIdx;
+      case Param::Prefetch: return cfg.prefetchIdx;
+    }
+    panic("bad Param");
+}
+
+HwConfig
+withParam(const HwConfig &cfg, Param p, std::uint32_t value)
+{
+    SADAPT_ASSERT(value < paramCardinality(p), "param value out of range");
+    HwConfig out = cfg;
+    const auto v8 = static_cast<std::uint8_t>(value);
+    switch (p) {
+      case Param::L1Sharing:
+        out.l1Sharing =
+            value == 0 ? SharingMode::Shared : SharingMode::Private;
+        break;
+      case Param::L2Sharing:
+        out.l2Sharing =
+            value == 0 ? SharingMode::Shared : SharingMode::Private;
+        break;
+      case Param::L1Cap: out.l1CapIdx = v8; break;
+      case Param::L2Cap: out.l2CapIdx = v8; break;
+      case Param::Clock: out.clockIdx = v8; break;
+      case Param::Prefetch: out.prefetchIdx = v8; break;
+    }
+    return out;
+}
+
+CostClass
+paramCostClass(Param p)
+{
+    switch (p) {
+      case Param::Clock:
+      case Param::Prefetch:
+        return CostClass::SuperFine;
+      case Param::L1Sharing:
+      case Param::L2Sharing:
+      case Param::L1Cap:
+      case Param::L2Cap:
+        return CostClass::Fine;
+    }
+    panic("bad Param");
+}
+
+ConfigSpace::ConfigSpace(MemType l1_type)
+    : l1TypeV(l1_type)
+{
+}
+
+std::uint32_t
+ConfigSpace::size() const
+{
+    std::uint32_t n = 1;
+    for (Param p : allParams())
+        n *= paramCardinality(p);
+    return n;
+}
+
+HwConfig
+ConfigSpace::decode(std::uint32_t code) const
+{
+    SADAPT_ASSERT(code < size(), "config code out of range");
+    HwConfig cfg;
+    cfg.l1Type = l1TypeV;
+    const auto &params = allParams();
+    for (auto it = params.rbegin(); it != params.rend(); ++it) {
+        const std::uint32_t card = paramCardinality(*it);
+        cfg = withParam(cfg, *it, code % card);
+        code /= card;
+    }
+    return cfg;
+}
+
+std::vector<HwConfig>
+ConfigSpace::sample(std::size_t k, Rng &rng) const
+{
+    std::vector<HwConfig> out;
+    out.reserve(k);
+    for (std::size_t code : rng.sampleIndices(size(), k))
+        out.push_back(decode(static_cast<std::uint32_t>(code)));
+    return out;
+}
+
+std::vector<HwConfig>
+ConfigSpace::neighbors(const HwConfig &cfg) const
+{
+    // Enumerate the cartesian product of {v-1, v, v+1} (clamped, deduped)
+    // per parameter, excluding cfg itself.
+    std::vector<HwConfig> out;
+    std::vector<std::vector<std::uint32_t>> choices;
+    for (Param p : allParams()) {
+        const std::uint32_t v = paramValue(cfg, p);
+        const std::uint32_t card = paramCardinality(p);
+        std::vector<std::uint32_t> c;
+        if (v > 0)
+            c.push_back(v - 1);
+        c.push_back(v);
+        if (v + 1 < card)
+            c.push_back(v + 1);
+        choices.push_back(std::move(c));
+    }
+    std::vector<std::size_t> idx(choices.size(), 0);
+    while (true) {
+        HwConfig n = cfg;
+        const auto &params = allParams();
+        for (std::size_t i = 0; i < params.size(); ++i)
+            n = withParam(n, params[i], choices[i][idx[i]]);
+        if (!(n == cfg))
+            out.push_back(n);
+        // Odometer increment.
+        std::size_t i = 0;
+        while (i < idx.size() && ++idx[i] == choices[i].size()) {
+            idx[i] = 0;
+            ++i;
+        }
+        if (i == idx.size())
+            break;
+    }
+    return out;
+}
+
+std::vector<HwConfig>
+ConfigSpace::sweepDimension(const HwConfig &cfg, Param p) const
+{
+    std::vector<HwConfig> out;
+    for (std::uint32_t v = 0; v < paramCardinality(p); ++v)
+        out.push_back(withParam(cfg, p, v));
+    return out;
+}
+
+HwConfig
+baselineConfig(MemType l1_type)
+{
+    // Table 4: 4 kB shared L1, 4 kB shared L2, 1 GHz, prefetch degree 4.
+    HwConfig cfg;
+    cfg.l1Type = l1_type;
+    cfg.l1Sharing = SharingMode::Shared;
+    cfg.l2Sharing = SharingMode::Shared;
+    cfg.l1CapIdx = 0;
+    cfg.l2CapIdx = 0;
+    cfg.clockIdx = 5;
+    cfg.prefetchIdx = 1;
+    return cfg;
+}
+
+HwConfig
+bestAvgConfig(MemType l1_type)
+{
+    HwConfig cfg;
+    cfg.l1Type = l1_type;
+    if (l1_type == MemType::Cache) {
+        // Table 4: 4 kB private L1, 4 kB shared L2, 1 GHz, prefetch off.
+        cfg.l1Sharing = SharingMode::Private;
+        cfg.l2Sharing = SharingMode::Shared;
+        cfg.l1CapIdx = 0;
+        cfg.l2CapIdx = 0;
+        cfg.clockIdx = 5;
+        cfg.prefetchIdx = 0;
+    } else {
+        // Table 4: 4 kB private L1 SPM, 32 kB private L2, 500 MHz, pf 8.
+        cfg.l1Sharing = SharingMode::Private;
+        cfg.l2Sharing = SharingMode::Private;
+        cfg.l1CapIdx = 0;
+        cfg.l2CapIdx = 3;
+        cfg.clockIdx = 4;
+        cfg.prefetchIdx = 2;
+    }
+    return cfg;
+}
+
+HwConfig
+maxConfig(MemType l1_type)
+{
+    // Table 4: 64 kB shared L1, 64 kB shared L2, 1 GHz, prefetch 8.
+    HwConfig cfg;
+    cfg.l1Type = l1_type;
+    cfg.l1Sharing = SharingMode::Shared;
+    cfg.l2Sharing = SharingMode::Shared;
+    cfg.l1CapIdx = 4;
+    cfg.l2CapIdx = 4;
+    cfg.clockIdx = 5;
+    cfg.prefetchIdx = 2;
+    return cfg;
+}
+
+} // namespace sadapt

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Hardware configuration parameters of the Transmuter design (Table 1)
+ * and the configuration space SparseAdapt searches over.
+ */
+
+#ifndef SADAPT_SIM_CONFIG_HH
+#define SADAPT_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/** On-chip L1 memory type; selected at compile time (Section 3.4). */
+enum class MemType : std::uint8_t
+{
+    Cache,
+    Spm,
+};
+
+/** Resource sharing mode of a cache-crossbar layer. */
+enum class SharingMode : std::uint8_t
+{
+    Shared,
+    Private,
+};
+
+/**
+ * The runtime-reconfigurable hardware parameters (Table 1). The six
+ * runtime parameters are stored as indices into their value lists; the
+ * seventh (L1 memory type) is fixed at compile time per Section 3.4.
+ */
+struct HwConfig
+{
+    MemType l1Type = MemType::Cache;
+
+    SharingMode l1Sharing = SharingMode::Shared;
+    SharingMode l2Sharing = SharingMode::Shared;
+    std::uint8_t l1CapIdx = 0;    //!< 0..4 -> 4,8,16,32,64 kB per bank
+    std::uint8_t l2CapIdx = 0;    //!< 0..4 -> 4,8,16,32,64 kB per bank
+    std::uint8_t clockIdx = 5;    //!< 0..5 -> 31.25 MHz .. 1 GHz
+    std::uint8_t prefetchIdx = 1; //!< 0..2 -> degree 0 (off), 4, 8
+
+    /** L1 bank capacity in bytes. */
+    std::uint32_t l1CapBytes() const;
+
+    /** L2 bank capacity in bytes. */
+    std::uint32_t l2CapBytes() const;
+
+    /** System clock frequency in Hz. */
+    Hertz clockHz() const;
+
+    /** Prefetch degree (0 disables the prefetcher). */
+    std::uint32_t prefetchDegree() const;
+
+    /** Compact human-readable label, e.g. "L1:4kB/shr L2:64kB/prv ...". */
+    std::string label() const;
+
+    /** Dense encoding in [0, ConfigSpace::size()), used as a map key. */
+    std::uint32_t encode() const;
+
+    bool operator==(const HwConfig &other) const = default;
+};
+
+/**
+ * Identifiers of the six runtime-predicted configuration parameters.
+ * Order matters: it is the feature/label order used by the predictor.
+ */
+enum class Param : std::uint8_t
+{
+    L1Sharing,
+    L2Sharing,
+    L1Cap,
+    L2Cap,
+    Clock,
+    Prefetch,
+};
+
+/** Number of runtime-predicted parameters. */
+constexpr std::size_t numParams = 6;
+
+/** All runtime parameters, in canonical order. */
+const std::vector<Param> &allParams();
+
+/** Human-readable parameter name. */
+std::string paramName(Param p);
+
+/** Number of legal values of one parameter (Table 1). */
+std::uint32_t paramCardinality(Param p);
+
+/** Get the value index of one parameter from a config. */
+std::uint32_t paramValue(const HwConfig &cfg, Param p);
+
+/** Return a copy of cfg with one parameter set to a value index. */
+HwConfig withParam(const HwConfig &cfg, Param p, std::uint32_t value);
+
+/**
+ * Reconfiguration cost class of a parameter (Section 3.4 taxonomy).
+ */
+enum class CostClass : std::uint8_t
+{
+    SuperFine, //!< small fixed cost, no flush (clock, prefetch)
+    Fine,      //!< requires at most a cache flush (capacity, sharing)
+    Coarse,    //!< code change + flush (memory type; compile-time here)
+};
+
+/** Cost class of one runtime parameter. */
+CostClass paramCostClass(Param p);
+
+class Rng;
+
+/**
+ * The space of runtime configurations for a fixed L1 memory type.
+ * Provides enumeration, dense encoding, uniform sampling, hyper-sphere
+ * neighborhoods and per-dimension sweeps (Figure 4 methodology).
+ */
+class ConfigSpace
+{
+  public:
+    explicit ConfigSpace(MemType l1_type);
+
+    /** Number of runtime configurations (2*2*5*5*6*3 = 1800). */
+    std::uint32_t size() const;
+
+    /** The i-th configuration under the dense encoding. */
+    HwConfig decode(std::uint32_t code) const;
+
+    /** Sample k distinct configurations uniformly at random. */
+    std::vector<HwConfig> sample(std::size_t k, Rng &rng) const;
+
+    /**
+     * All configurations within the L-inf hyper-sphere of radius 1
+     * around cfg: each ordinal parameter moves at most one step, each
+     * categorical parameter may flip (excludes cfg itself).
+     */
+    std::vector<HwConfig> neighbors(const HwConfig &cfg) const;
+
+    /**
+     * The sweep of one parameter across all of its values, holding the
+     * other parameters of cfg fixed (includes cfg's own value).
+     */
+    std::vector<HwConfig> sweepDimension(const HwConfig &cfg,
+                                         Param p) const;
+
+    MemType l1Type() const { return l1TypeV; }
+
+  private:
+    MemType l1TypeV;
+};
+
+/** The Baseline static configuration of Table 4. */
+HwConfig baselineConfig(MemType l1_type = MemType::Cache);
+
+/** The Best Avg static configuration of Table 4 for an L1 type. */
+HwConfig bestAvgConfig(MemType l1_type);
+
+/** The Max Cfg static configuration of Table 4. */
+HwConfig maxConfig(MemType l1_type = MemType::Cache);
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_CONFIG_HH

@@ -1,0 +1,71 @@
+#include "sim/counters.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+std::size_t
+PerfCounterSample::count()
+{
+    return names().size();
+}
+
+const std::vector<std::string> &
+PerfCounterSample::names()
+{
+    static const std::vector<std::string> n = {
+        "l1_access_throughput", "l1_occupancy", "l1_miss_rate",
+        "l1_prefetch_per_access", "l1_cap_norm",
+        "l2_access_throughput", "l2_occupancy", "l2_miss_rate",
+        "l2_prefetch_per_access", "l2_cap_norm",
+        "l1_xbar_contention", "l2_xbar_contention",
+        "gpe_ipc", "gpe_fp_ipc", "lcp_ipc", "lcp_fp_ipc", "clock_norm",
+        "mem_read_bw_util", "mem_write_bw_util",
+    };
+    return n;
+}
+
+const std::vector<CounterGroup> &
+PerfCounterSample::groups()
+{
+    using CG = CounterGroup;
+    static const std::vector<CounterGroup> g = {
+        CG::L1RDCache, CG::L1RDCache, CG::L1RDCache, CG::L1RDCache,
+        CG::L1RDCache,
+        CG::L2RDCache, CG::L2RDCache, CG::L2RDCache, CG::L2RDCache,
+        CG::L2RDCache,
+        CG::RXBar, CG::RXBar,
+        CG::Cores, CG::Cores, CG::Cores, CG::Cores, CG::Cores,
+        CG::MemoryController, CG::MemoryController,
+    };
+    return g;
+}
+
+std::vector<double>
+PerfCounterSample::toVector() const
+{
+    return {
+        l1AccessThroughput, l1Occupancy, l1MissRate,
+        l1PrefetchPerAccess, l1CapNorm,
+        l2AccessThroughput, l2Occupancy, l2MissRate,
+        l2PrefetchPerAccess, l2CapNorm,
+        l1XbarContentionRatio, l2XbarContentionRatio,
+        gpeIpc, gpeFpIpc, lcpIpc, lcpFpIpc, clockNorm,
+        memReadBwUtil, memWriteBwUtil,
+    };
+}
+
+std::string
+counterGroupName(CounterGroup g)
+{
+    switch (g) {
+      case CounterGroup::L1RDCache: return "L1 R-DCache";
+      case CounterGroup::L2RDCache: return "L2 R-DCache";
+      case CounterGroup::RXBar: return "R-XBar";
+      case CounterGroup::Cores: return "LCP/GPE Cores";
+      case CounterGroup::MemoryController: return "Memory Ctrl";
+    }
+    panic("bad CounterGroup");
+}
+
+} // namespace sadapt

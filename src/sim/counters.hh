@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hardware performance counters (Table 2), spatially averaged across
+ * replicated blocks and normalized to the elapsed cycle count of the
+ * epoch by the runtime.
+ */
+
+#ifndef SADAPT_SIM_COUNTERS_HH
+#define SADAPT_SIM_COUNTERS_HH
+
+#include <string>
+#include <vector>
+
+namespace sadapt {
+
+/** Coarse grouping of counters, used for Figure 10. */
+enum class CounterGroup
+{
+    L1RDCache,
+    L2RDCache,
+    RXBar,
+    Cores,
+    MemoryController,
+};
+
+/**
+ * One normalized telemetry sample for an epoch. All values are spatial
+ * averages (per bank / per core) normalized per cycle where applicable.
+ */
+struct PerfCounterSample
+{
+    // R-DCache counters (Table 2, row 1), per level.
+    double l1AccessThroughput = 0.0; //!< accesses per cycle per bank
+    double l1Occupancy = 0.0;        //!< fraction of valid tags
+    double l1MissRate = 0.0;
+    double l1PrefetchPerAccess = 0.0;
+    double l1CapNorm = 0.0;          //!< current capacity / max capacity
+    double l2AccessThroughput = 0.0;
+    double l2Occupancy = 0.0;
+    double l2MissRate = 0.0;
+    double l2PrefetchPerAccess = 0.0;
+    double l2CapNorm = 0.0;
+
+    // R-XBar counters (Table 2, row 2).
+    double l1XbarContentionRatio = 0.0;
+    double l2XbarContentionRatio = 0.0;
+
+    // LCP/GPE core counters (Table 2, row 3).
+    double gpeIpc = 0.0;
+    double gpeFpIpc = 0.0;
+    double lcpIpc = 0.0;
+    double lcpFpIpc = 0.0;
+    double clockNorm = 0.0; //!< clock / nominal clock
+
+    // Memory controller counters (Table 2, row 4).
+    double memReadBwUtil = 0.0;
+    double memWriteBwUtil = 0.0;
+
+    /** Number of counters. */
+    static std::size_t count();
+
+    /** Counter names, in toVector() order. */
+    static const std::vector<std::string> &names();
+
+    /** Counter group per position, in toVector() order (Figure 10). */
+    static const std::vector<CounterGroup> &groups();
+
+    /** Flatten to a feature vector. */
+    std::vector<double> toVector() const;
+};
+
+/** Human-readable name of a counter group. */
+std::string counterGroupName(CounterGroup g);
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_COUNTERS_HH

@@ -1,0 +1,45 @@
+#include "sim/dvfs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+DvfsModel::DvfsModel(Hertz nominal_hz, double vdd, double vth)
+    : nominal(nominal_hz), vddV(vdd), vthV(vth)
+{
+    SADAPT_ASSERT(vdd > vth && vth > 0.0, "bad DVFS voltage constants");
+}
+
+double
+DvfsModel::voltageFor(Hertz target_hz) const
+{
+    SADAPT_ASSERT(target_hz > 0.0 && target_hz <= nominal * 1.0000001,
+                  "target frequency out of range");
+    // Solve (V - Vt)^2 / V = R for V, where R is the nominal ratio
+    // scaled by ftarget / f. Expanding gives the quadratic
+    // V^2 - (2 Vt + R) V + Vt^2 = 0.
+    const double r_nominal = (vddV - vthV) * (vddV - vthV) / vddV;
+    const double r = r_nominal * (target_hz / nominal);
+    const double b = 2.0 * vthV + r;
+    const double disc = b * b - 4.0 * vthV * vthV;
+    const double v = 0.5 * (b + std::sqrt(disc));
+    return std::max(v, 1.3 * vthV);
+}
+
+double
+DvfsModel::dynamicScale(Hertz target_hz) const
+{
+    const double ratio = voltageFor(target_hz) / vddV;
+    return ratio * ratio;
+}
+
+double
+DvfsModel::leakageScale(Hertz target_hz) const
+{
+    return voltageFor(target_hz) / vddV;
+}
+
+} // namespace sadapt

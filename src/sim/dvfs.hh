@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Global dynamic voltage-frequency scaling model (Section 3.2.1).
+ *
+ * A clock divider generates f, f/2, ..., f/2^5 from the 1 GHz system
+ * clock. For a target frequency the supply voltage is solved from the
+ * alpha-power law f proportional to (VDD - Vt)^2 / VDD, floored at
+ * 1.3 * Vt; dynamic power then scales by (Vtarget / VDD)^2.
+ */
+
+#ifndef SADAPT_SIM_DVFS_HH
+#define SADAPT_SIM_DVFS_HH
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/**
+ * DVFS calculator with the paper's empirical constants.
+ */
+class DvfsModel
+{
+  public:
+    /**
+     * @param nominal_hz nominal (maximum) clock frequency.
+     * @param vdd nominal supply voltage at the nominal frequency.
+     * @param vth threshold voltage.
+     */
+    DvfsModel(Hertz nominal_hz = 1e9, double vdd = 0.9, double vth = 0.3);
+
+    /**
+     * Supply voltage required for a target frequency, from
+     * f/ftarget = [(VDD-Vt)^2/VDD] / [(Vtar-Vt)^2/Vtar], floored at
+     * 1.3 * Vt (minimum for correct functionality).
+     */
+    double voltageFor(Hertz target_hz) const;
+
+    /**
+     * Multiplier applied to dynamic power/energy at a target frequency:
+     * (Vtarget / VDD)^2.
+     */
+    double dynamicScale(Hertz target_hz) const;
+
+    /**
+     * Multiplier applied to leakage power: approximately linear in the
+     * supply voltage, Vtarget / VDD.
+     */
+    double leakageScale(Hertz target_hz) const;
+
+    Hertz nominalHz() const { return nominal; }
+    double nominalVdd() const { return vddV; }
+    double thresholdV() const { return vthV; }
+
+  private:
+    Hertz nominal;
+    double vddV;
+    double vthV;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_DVFS_HH

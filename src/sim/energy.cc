@@ -1,0 +1,43 @@
+#include "sim/energy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+SramModel::SramModel(const EnergyParams &params)
+    : p(params)
+{
+}
+
+double
+SramModel::capScale(std::uint32_t capacity_bytes) const
+{
+    SADAPT_ASSERT(capacity_bytes >= 1024, "implausibly small SRAM bank");
+    return std::sqrt(static_cast<double>(capacity_bytes) / 4096.0);
+}
+
+Joules
+SramModel::readEnergy(std::uint32_t capacity_bytes, bool is_spm) const
+{
+    const double e = p.sramRead4k * capScale(capacity_bytes);
+    return is_spm ? e * p.spmFactor : e;
+}
+
+Joules
+SramModel::writeEnergy(std::uint32_t capacity_bytes, bool is_spm) const
+{
+    return readEnergy(capacity_bytes, is_spm) * p.sramWriteFactor;
+}
+
+Watts
+SramModel::leakage(std::uint32_t capacity_bytes, bool is_spm) const
+{
+    const double l =
+        p.sramLeak4k * static_cast<double>(capacity_bytes) / 4096.0;
+    // SPM power-gates the tag array; ~20% leakage saving.
+    return is_spm ? l * 0.8 : l;
+}
+
+} // namespace sadapt

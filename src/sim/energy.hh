@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Analytic energy/power model of the Transmuter system.
+ *
+ * The paper builds its power estimator from RTL synthesis reports
+ * (crossbars), Arm specification documents (cores) and CACTI (caches and
+ * SPM), scaled to 14 nm (Section 5.2). We replace those sources with an
+ * analytic model with the same scaling structure: SRAM access energy
+ * grows ~sqrt(capacity) and leakage ~capacity (CACTI behaviour), cores
+ * have per-op dynamic energies plus a per-active-cycle clock overhead,
+ * DRAM costs a fixed energy per byte, and DVFS scales dynamic terms by
+ * (V/VDD)^2 and leakage by V/VDD. Constants are chosen to land in the
+ * magnitude ranges the paper reports (e.g. flush energies of order uJ,
+ * system power of order 100 mW).
+ */
+
+#ifndef SADAPT_SIM_ENERGY_HH
+#define SADAPT_SIM_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/** Tunable constants of the energy model (all at nominal voltage). */
+struct EnergyParams
+{
+    /** SRAM read energy per access for a 4 kB bank, joules. */
+    Joules sramRead4k = 8e-12;
+
+    /** Write energy multiplier over read energy. */
+    double sramWriteFactor = 1.2;
+
+    /** SPM energy discount (tag array power-gated, Section 3.2.4). */
+    double spmFactor = 0.7;
+
+    /** SRAM leakage power per 4 kB of capacity, watts. */
+    Watts sramLeak4k = 2e-3;
+
+    /** GPE/LCP dynamic energy per integer op, joules. */
+    Joules intOpEnergy = 5e-12;
+
+    /** GPE/LCP dynamic energy per floating-point op, joules. */
+    Joules fpOpEnergy = 15e-12;
+
+    /** Per-core, per-cycle clock/pipeline overhead while powered on. */
+    Joules idleCycleEnergy = 0.6e-12;
+
+    /** Leakage power per core, watts. */
+    Watts coreLeak = 0.4e-3;
+
+    /** Crossbar traversal energy, joules. */
+    Joules xbarTraversal = 2e-12;
+
+    /** Extra arbitration energy per traversal in shared mode, joules. */
+    Joules xbarArbitration = 1e-12;
+
+    /** Crossbar leakage power (per crossbar), watts. */
+    Watts xbarLeak = 0.3e-3;
+
+    /** Main-memory (HBM channel) energy per byte transferred, joules. */
+    Joules dramPerByte = 25e-12;
+};
+
+/**
+ * CACTI-style SRAM scaling: energy and leakage as a function of bank
+ * capacity.
+ */
+class SramModel
+{
+  public:
+    explicit SramModel(const EnergyParams &params);
+
+    /** Read energy per access of a bank with the given capacity. */
+    Joules readEnergy(std::uint32_t capacity_bytes, bool is_spm) const;
+
+    /** Write energy per access of a bank with the given capacity. */
+    Joules writeEnergy(std::uint32_t capacity_bytes, bool is_spm) const;
+
+    /** Leakage power of one bank with the given capacity. */
+    Watts leakage(std::uint32_t capacity_bytes, bool is_spm) const;
+
+  private:
+    EnergyParams p;
+
+    double capScale(std::uint32_t capacity_bytes) const;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_ENERGY_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * High-bandwidth main-memory channel model.
+ *
+ * Line transfers serialize at the configured bandwidth, so a stream of
+ * misses naturally saturates the channel: time spent waiting for memory
+ * is frequency-independent (in seconds), which is the mechanism that
+ * makes DVFS profitable in memory-bound phases (Section 3.2.1). The
+ * evaluated system uses a reduced 1 GB/s to match the compute-to-memory
+ * ratio of the full Transmuter (Section 5.2).
+ */
+
+#ifndef SADAPT_SIM_MEMORY_HH
+#define SADAPT_SIM_MEMORY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/**
+ * A single bandwidth-limited memory channel with a fixed access latency.
+ */
+class MainMemory
+{
+  public:
+    /**
+     * @param bytes_per_sec channel bandwidth.
+     * @param access_latency fixed per-access latency, seconds.
+     */
+    explicit MainMemory(double bytes_per_sec,
+                        Seconds access_latency = 60e-9);
+
+    /**
+     * Transfer `bytes` starting no earlier than `now`.
+     *
+     * @param now earliest start time (seconds).
+     * @param bytes transfer size.
+     * @param write true for writes (writebacks), false for reads.
+     * @return completion time (seconds) including fixed latency.
+     */
+    Seconds transfer(Seconds now, std::uint32_t bytes, bool write);
+
+    double bandwidth() const { return bw; }
+
+    std::uint64_t bytesRead() const { return readBytes; }
+    std::uint64_t bytesWritten() const { return writtenBytes; }
+
+    void resetStats();
+
+    /** Time at which the channel becomes idle. */
+    Seconds busyUntil() const { return busy; }
+
+  private:
+    double bw;
+    Seconds latency;
+    Seconds busy = 0.0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writtenBytes = 0;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_MEMORY_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (Section 3.2.5). Aggressiveness (the
+ * number of cache lines prefetched ahead) is a runtime-reconfigurable
+ * parameter: 0 (off), 4 or 8.
+ */
+
+#ifndef SADAPT_SIM_PREFETCHER_HH
+#define SADAPT_SIM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/**
+ * Stride prefetcher with a direct-mapped, PC-indexed index table.
+ */
+class StridePrefetcher
+{
+  public:
+    /**
+     * @param degree lines to prefetch ahead per trained access (0 = off).
+     * @param table_entries number of index-table entries.
+     */
+    explicit StridePrefetcher(std::uint32_t degree,
+                              std::uint32_t table_entries = 64);
+
+    /**
+     * Observe a demand access. If the entry for this PC has a confirmed
+     * stride, appends up to degree prefetch target addresses to out.
+     *
+     * @param pc static identifier of the access site.
+     * @param addr accessed byte address.
+     * @param out receives prefetch target addresses (byte granularity).
+     */
+    void observe(std::uint16_t pc, Addr addr, std::vector<Addr> &out);
+
+    /** Change the prefetch degree at runtime. */
+    void setDegree(std::uint32_t degree) { degreeV = degree; }
+
+    std::uint32_t degree() const { return degreeV; }
+
+    /** Total prefetches issued since construction or resetStats(). */
+    std::uint64_t issued() const { return issuedCount; }
+
+    void resetStats() { issuedCount = 0; }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t pc = 0;
+        bool valid = false;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    std::uint32_t degreeV;
+    std::vector<Entry> table;
+    std::uint64_t issuedCount = 0;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_PREFETCHER_HH

@@ -1,0 +1,22 @@
+#include "sim/schedule.hh"
+
+namespace sadapt {
+
+Schedule
+Schedule::uniform(const HwConfig &cfg, std::size_t epochs)
+{
+    Schedule s;
+    s.configs.assign(epochs, cfg);
+    return s;
+}
+
+std::size_t
+Schedule::switchCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t e = 1; e < configs.size(); ++e)
+        n += !(configs[e] == configs[e - 1]);
+    return n;
+}
+
+} // namespace sadapt

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A dynamic execution schedule: the hardware configuration chosen for
+ * each epoch. Consumed both by the stitching evaluator
+ * (adapt/epoch_db) and by the live Transmuter::runSchedule mode.
+ */
+
+#ifndef SADAPT_SIM_SCHEDULE_HH
+#define SADAPT_SIM_SCHEDULE_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace sadapt {
+
+/**
+ * The configuration chosen for each epoch of a workload.
+ */
+struct Schedule
+{
+    std::vector<HwConfig> configs;
+
+    /** Static schedule: the same configuration for every epoch. */
+    static Schedule uniform(const HwConfig &cfg, std::size_t epochs);
+
+    /** Number of epoch boundaries where the configuration changes. */
+    std::size_t switchCount() const;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_SCHEDULE_HH

@@ -1,0 +1,82 @@
+#include "sim/trace.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+Trace::Trace(SystemShape shape)
+    : shapeV(shape),
+      gpeStreams(shape.numGpes()),
+      lcpStreams(shape.tiles)
+{
+}
+
+void
+Trace::beginPhase(const std::string &name)
+{
+    const Addr id = phases.size();
+    phases.push_back(name);
+    TraceOp marker{id, 0, OpKind::Phase};
+    for (auto &s : gpeStreams)
+        s.push_back(marker);
+    for (auto &s : lcpStreams)
+        s.push_back(marker);
+}
+
+const std::vector<TraceOp> &
+Trace::gpeStream(std::uint32_t g) const
+{
+    SADAPT_ASSERT(g < gpeStreams.size(), "gpe index out of range");
+    return gpeStreams[g];
+}
+
+const std::vector<TraceOp> &
+Trace::lcpStream(std::uint32_t t) const
+{
+    SADAPT_ASSERT(t < lcpStreams.size(), "tile index out of range");
+    return lcpStreams[t];
+}
+
+double
+Trace::totalFlops() const
+{
+    double flops = 0.0;
+    for (const auto &s : gpeStreams)
+        for (const auto &op : s)
+            flops += isFpKind(op.kind);
+    return flops;
+}
+
+std::uint64_t
+Trace::totalOps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : gpeStreams)
+        n += s.size();
+    for (const auto &s : lcpStreams)
+        n += s.size();
+    return n;
+}
+
+void
+Trace::append(const Trace &other)
+{
+    SADAPT_ASSERT(shapeV == other.shapeV,
+                  "cannot append traces of different shapes");
+    const Addr phase_base = phases.size();
+    for (const auto &name : other.phases)
+        phases.push_back(name);
+    auto fixup = [&](TraceOp op) {
+        if (op.kind == OpKind::Phase)
+            op.addr += phase_base;
+        return op;
+    };
+    for (std::uint32_t g = 0; g < gpeStreams.size(); ++g)
+        for (const auto &op : other.gpeStreams[g])
+            gpeStreams[g].push_back(fixup(op));
+    for (std::uint32_t t = 0; t < lcpStreams.size(); ++t)
+        for (const auto &op : other.lcpStreams[t])
+            lcpStreams[t].push_back(fixup(op));
+}
+
+} // namespace sadapt

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Device execution traces.
+ *
+ * Kernels execute functionally on the host and emit per-core operation
+ * streams; the Transmuter timing engine replays a trace under any
+ * hardware configuration. Because traces are functional, epoch
+ * boundaries (defined by FP-op counts, Section 4) align exactly across
+ * configurations, which makes the artifact's epoch-stitching methodology
+ * (Appendix A.7) exact.
+ */
+
+#ifndef SADAPT_SIM_TRACE_HH
+#define SADAPT_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/** Kind of one trace operation. */
+enum class OpKind : std::uint8_t
+{
+    IntOp,    //!< integer/bookkeeping instruction, 1 cycle
+    FpOp,     //!< floating-point arithmetic (counts toward FP-ops)
+    Load,     //!< integer/pointer load through the cache hierarchy
+    Store,    //!< integer/pointer store through the cache hierarchy
+    FpLoad,   //!< FP load (counts toward FP-ops per Table 2)
+    FpStore,  //!< FP store (counts toward FP-ops per Table 2)
+    SpmLoad,  //!< load from the local scratchpad (SPM L1 mode only)
+    SpmStore, //!< store to the local scratchpad (SPM L1 mode only)
+    Phase,    //!< explicit phase marker; addr = new phase id
+};
+
+/** @return true if the kind counts toward FP-op epoch accounting. */
+constexpr bool
+isFpKind(OpKind k)
+{
+    return k == OpKind::FpOp || k == OpKind::FpLoad ||
+        k == OpKind::FpStore;
+}
+
+/** @return true if the kind accesses the memory hierarchy. */
+constexpr bool
+isMemKind(OpKind k)
+{
+    return k == OpKind::Load || k == OpKind::Store ||
+        k == OpKind::FpLoad || k == OpKind::FpStore;
+}
+
+/** One operation of a core's execution stream. */
+struct TraceOp
+{
+    Addr addr = 0;        //!< byte address (or phase id for Phase ops)
+    std::uint16_t pc = 0; //!< static access-site id (prefetcher index)
+    OpKind kind = OpKind::IntOp;
+};
+
+/** System shape: tiles and GPEs per tile (Figure 12 sweeps these). */
+struct SystemShape
+{
+    std::uint32_t tiles = 2;
+    std::uint32_t gpesPerTile = 8;
+
+    std::uint32_t numGpes() const { return tiles * gpesPerTile; }
+
+    bool operator==(const SystemShape &other) const = default;
+};
+
+/**
+ * A complete device program trace: one op stream per GPE and one per
+ * LCP, plus named phases.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    explicit Trace(SystemShape shape);
+
+    const SystemShape &shape() const { return shapeV; }
+
+    /** Append an op to a GPE stream. */
+    void
+    pushGpe(std::uint32_t gpe, TraceOp op)
+    {
+        gpeStreams[gpe].push_back(op);
+    }
+
+    /** Append an op to an LCP (tile controller) stream. */
+    void
+    pushLcp(std::uint32_t tile, TraceOp op)
+    {
+        lcpStreams[tile].push_back(op);
+    }
+
+    /**
+     * Mark the start of a new named explicit phase on every core.
+     * Phase ids increase monotonically from 0.
+     */
+    void beginPhase(const std::string &name);
+
+    const std::vector<TraceOp> &gpeStream(std::uint32_t g) const;
+    const std::vector<TraceOp> &lcpStream(std::uint32_t t) const;
+
+    /** Names of the explicit phases, indexed by phase id. */
+    const std::vector<std::string> &phaseNames() const { return phases; }
+
+    /** Total FP-ops across all GPE streams. */
+    double totalFlops() const;
+
+    /** Total op count across all streams. */
+    std::uint64_t totalOps() const;
+
+    /** Append another trace's streams after this one (same shape). */
+    void append(const Trace &other);
+
+  private:
+    SystemShape shapeV;
+    std::vector<std::vector<TraceOp>> gpeStreams;
+    std::vector<std::vector<TraceOp>> lcpStreams;
+    std::vector<std::string> phases;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_TRACE_HH

@@ -1,0 +1,642 @@
+#include "sim/transmuter.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.hh"
+#include "sim/cache.hh"
+#include "sim/memory.hh"
+#include "sim/prefetcher.hh"
+#include "sim/reconfig.hh"
+#include "sim/xbar.hh"
+
+namespace sadapt {
+
+Seconds
+SimResult::totalSeconds() const
+{
+    Seconds t = 0.0;
+    for (const auto &e : epochs)
+        t += e.seconds;
+    return t;
+}
+
+Joules
+SimResult::totalEnergy() const
+{
+    Joules j = 0.0;
+    for (const auto &e : epochs)
+        j += e.totalEnergy();
+    return j;
+}
+
+double
+SimResult::totalFlops() const
+{
+    double f = 0.0;
+    for (const auto &e : epochs)
+        f += e.flops;
+    return f;
+}
+
+double
+SimResult::gflops() const
+{
+    const Seconds t = totalSeconds();
+    return t > 0.0 ? totalFlops() / t / 1e9 : 0.0;
+}
+
+double
+SimResult::gflopsPerWatt() const
+{
+    const Joules j = totalEnergy();
+    return j > 0.0 ? totalFlops() / j / 1e9 : 0.0;
+}
+
+Transmuter::Transmuter(const RunParams &params)
+    : paramsV(params)
+{
+    SADAPT_ASSERT(paramsV.shape.tiles > 0 && paramsV.shape.gpesPerTile > 0,
+                  "empty system shape");
+    SADAPT_ASSERT(paramsV.epochFpOps > 0, "epoch size must be positive");
+}
+
+namespace {
+
+/** SPM banks have fixed capacity (Table 1: not varied in SPM mode). */
+constexpr std::uint32_t spmBankBytes = 4 * 1024;
+
+/** L2 hit latency on top of crossbar traversal, cycles. */
+constexpr Cycles l2HitCycles = 6;
+
+/**
+ * All mutable simulation state for one run() call.
+ */
+struct Engine
+{
+    const RunParams &rp;
+    HwConfig cfg;
+    const DvfsModel &dvfs;
+    const Trace &trace;
+
+    std::uint32_t numGpes;
+    std::uint32_t tiles;
+    std::uint32_t gpesPerTile;
+    std::uint32_t numCores; //!< GPEs then LCPs
+
+    bool spmMode;
+    Hertz freq;
+    Seconds secPerCycle;
+    double dynScale;
+    Watts backgroundPower;
+
+    SramModel sram;
+    std::vector<CacheBank> l1;
+    std::vector<SpmBank> spm;
+    std::vector<CacheBank> l2;
+    std::vector<StridePrefetcher> l1Pf;
+    std::vector<StridePrefetcher> l2Pf;
+    std::vector<Crossbar> l1Xbar; //!< one per tile
+    Crossbar l2Xbar;
+    MainMemory mem;
+
+    std::vector<Addr> pfBuf; //!< scratch for prefetch targets
+
+    // Epoch accumulators (raw, unscaled energies).
+    struct Accum
+    {
+        std::uint64_t l1Acc = 0, l1Miss = 0, l1PfIssued = 0;
+        std::uint64_t l2Acc = 0, l2Miss = 0, l2PfIssued = 0;
+        std::uint64_t gpeOps = 0, gpeFpOps = 0;
+        std::uint64_t lcpOps = 0, lcpFpOps = 0;
+        Joules coreE = 0.0, cacheE = 0.0, xbarE = 0.0, dramE = 0.0;
+    } ac;
+
+    /** Phase each core is currently executing (per program order). */
+    std::vector<int> corePhase;
+
+    /** FP-ops executed per phase within the current epoch; the epoch is
+     * attributed to the phase where most of its FP work happened. */
+    std::vector<double> epochFpByPhase;
+
+    Engine(const RunParams &rp_, const HwConfig &cfg_,
+           const DvfsModel &dvfs_, const Trace &trace_)
+        : rp(rp_), cfg(cfg_), dvfs(dvfs_), trace(trace_),
+          numGpes(rp_.shape.numGpes()),
+          tiles(rp_.shape.tiles),
+          gpesPerTile(rp_.shape.gpesPerTile),
+          numCores(numGpes + tiles),
+          spmMode(cfg_.l1Type == MemType::Spm),
+          freq(cfg_.clockHz()),
+          secPerCycle(1.0 / cfg_.clockHz()),
+          dynScale(dvfs_.dynamicScale(cfg_.clockHz())),
+          sram(rp_.energy),
+          l2Xbar(tiles,
+                 cfg_.l2Sharing == SharingMode::Shared ? 1 : 0),
+          mem(rp_.memBandwidth)
+    {
+        if (spmMode) {
+            spm.assign(numGpes, SpmBank(spmBankBytes));
+        } else {
+            l1.assign(numGpes, CacheBank(cfg.l1CapBytes()));
+            l1Pf.assign(numGpes, StridePrefetcher(cfg.prefetchDegree()));
+        }
+        l2.assign(tiles, CacheBank(cfg.l2CapBytes()));
+        l2Pf.assign(tiles, StridePrefetcher(cfg.prefetchDegree()));
+        const Cycles l1_arb =
+            cfg.l1Sharing == SharingMode::Shared ? 1 : 0;
+        l1Xbar.assign(tiles, Crossbar(gpesPerTile, l1_arb));
+        backgroundPower = computeBackgroundPower();
+        corePhase.assign(numCores, 0);
+        epochFpByPhase.assign(
+            std::max<std::size_t>(1, trace.phaseNames().size()), 0.0);
+    }
+
+    Watts
+    computeBackgroundPower() const
+    {
+        const EnergyParams &ep = rp.energy;
+        Watts leak = numCores * ep.coreLeak;
+        if (spmMode)
+            leak += numGpes * sram.leakage(spmBankBytes, true);
+        else
+            leak += numGpes * sram.leakage(cfg.l1CapBytes(), false);
+        leak += tiles * sram.leakage(cfg.l2CapBytes(), false);
+        leak += (tiles + 1) * ep.xbarLeak;
+        const Watts idle_dyn =
+            numCores * ep.idleCycleEnergy * freq * dynScale;
+        return leak * dvfs.leakageScale(freq) + idle_dyn;
+    }
+
+    /**
+     * Live mid-run reconfiguration: resize/flush the affected cache
+     * levels, retune the prefetchers and crossbars, and switch the
+     * clock domain. Core-local times must be rescaled by the caller
+     * using the returned old->new cycle ratio.
+     */
+    double
+    reconfigure(const HwConfig &to, bool flush_l1, bool flush_l2)
+    {
+        SADAPT_ASSERT(to.l1Type == cfg.l1Type,
+                      "L1 memory type is a compile-time choice");
+        const Hertz old_freq = freq;
+        if (!spmMode) {
+            for (auto &bank : l1) {
+                if (to.l1CapBytes() != cfg.l1CapBytes())
+                    bank.setCapacity(to.l1CapBytes());
+                else if (flush_l1)
+                    bank.invalidateAll();
+            }
+            for (auto &pf : l1Pf)
+                pf.setDegree(to.prefetchDegree());
+        }
+        for (auto &bank : l2) {
+            if (to.l2CapBytes() != cfg.l2CapBytes())
+                bank.setCapacity(to.l2CapBytes());
+            else if (flush_l2)
+                bank.invalidateAll();
+        }
+        for (auto &pf : l2Pf)
+            pf.setDegree(to.prefetchDegree());
+        const Cycles l1_arb =
+            to.l1Sharing == SharingMode::Shared ? 1 : 0;
+        l1Xbar.assign(tiles, Crossbar(gpesPerTile, l1_arb));
+        l2Xbar = Crossbar(
+            tiles, to.l2Sharing == SharingMode::Shared ? 1 : 0);
+        cfg = to;
+        freq = cfg.clockHz();
+        secPerCycle = 1.0 / freq;
+        dynScale = dvfs.dynamicScale(freq);
+        backgroundPower = computeBackgroundPower();
+        return freq / old_freq;
+    }
+
+    /** Reconfiguration energy charged into the next closing epoch. */
+    Joules pendingPenaltyEnergy = 0.0;
+
+    /**
+     * Access the L2 layer. Updates cache state, energy and memory busy
+     * time; returns the latency in cycles (callers modeling write
+     * buffers / prefetch fills may ignore it).
+     */
+    Cycles
+    accessL2(std::uint32_t tile, Addr addr, bool write, std::uint16_t pc,
+             Cycles now, bool allow_prefetch)
+    {
+        const Addr line = addr / lineSize;
+        const std::uint32_t bank =
+            cfg.l2Sharing == SharingMode::Shared
+                ? static_cast<std::uint32_t>(line % tiles)
+                : tile;
+        const Cycles xdelay = l2Xbar.request(bank, now, 2);
+        ac.xbarE += rp.energy.xbarTraversal +
+            (cfg.l2Sharing == SharingMode::Shared
+                 ? rp.energy.xbarArbitration : 0.0);
+        ++ac.l2Acc;
+        ac.cacheE += write
+            ? sram.writeEnergy(cfg.l2CapBytes(), false)
+            : sram.readEnergy(cfg.l2CapBytes(), false);
+        auto res = l2[bank].access(addr, write);
+        Cycles lat = xdelay + l2HitCycles;
+        if (!res.hit) {
+            ++ac.l2Miss;
+            const Seconds t_req = (now + lat) * secPerCycle;
+            const Seconds done = mem.transfer(t_req, lineSize, false);
+            lat += static_cast<Cycles>(
+                std::ceil((done - t_req) * freq));
+            ac.dramE += lineSize * rp.energy.dramPerByte;
+            if (res.writeback) {
+                mem.transfer(t_req, lineSize, true);
+                ac.dramE += lineSize * rp.energy.dramPerByte;
+            }
+        }
+        if (allow_prefetch && cfg.prefetchDegree() > 0) {
+            pfBuf.clear();
+            l2Pf[bank].observe(pc, addr, pfBuf);
+            for (Addr a : pfBuf) {
+                ++ac.l2PfIssued;
+                if (l2[bank].contains(a))
+                    continue;
+                auto fill = l2[bank].install(a);
+                ac.cacheE += sram.writeEnergy(cfg.l2CapBytes(), false);
+                const Seconds t_pf = now * secPerCycle;
+                mem.transfer(t_pf, lineSize, false);
+                ac.dramE += lineSize * rp.energy.dramPerByte;
+                if (fill.writeback) {
+                    mem.transfer(t_pf, lineSize, true);
+                    ac.dramE += lineSize * rp.energy.dramPerByte;
+                }
+            }
+        }
+        return lat;
+    }
+
+    /** Demand access from a GPE through the L1 cache layer. */
+    Cycles
+    accessL1(std::uint32_t gpe, Addr addr, bool write, std::uint16_t pc,
+             Cycles now)
+    {
+        const std::uint32_t tile = gpe / gpesPerTile;
+        const Addr line = addr / lineSize;
+        std::uint32_t bank;
+        Cycles lat = 1;
+        if (cfg.l1Sharing == SharingMode::Shared) {
+            const auto local =
+                static_cast<std::uint32_t>(line % gpesPerTile);
+            lat += l1Xbar[tile].request(local, now, 1);
+            ac.xbarE += rp.energy.xbarTraversal +
+                rp.energy.xbarArbitration;
+            bank = tile * gpesPerTile + local;
+        } else {
+            bank = gpe;
+            ac.xbarE += rp.energy.xbarTraversal;
+        }
+        ++ac.l1Acc;
+        ac.cacheE += write
+            ? sram.writeEnergy(cfg.l1CapBytes(), false)
+            : sram.readEnergy(cfg.l1CapBytes(), false);
+        auto res = l1[bank].access(addr, write);
+        if (res.writeback) {
+            // Dirty victim drains to L2 through a write buffer: state,
+            // energy and bandwidth are charged but the core not stalled.
+            accessL2(tile, res.writebackAddr, true, 0, now, false);
+        }
+        if (!res.hit) {
+            ++ac.l1Miss;
+            lat += accessL2(tile, addr, false, pc, now + lat, true);
+        }
+        // L1 stride prefetcher: fills are non-blocking.
+        if (cfg.prefetchDegree() > 0) {
+            pfBuf.clear();
+            l1Pf[bank].observe(pc, addr, pfBuf);
+            const auto targets = pfBuf;
+            for (Addr a : targets) {
+                ++ac.l1PfIssued;
+                if (l1[bank].contains(a))
+                    continue;
+                auto fill = l1[bank].install(a);
+                ac.cacheE += sram.writeEnergy(cfg.l1CapBytes(), false);
+                if (fill.writeback)
+                    accessL2(tile, fill.writebackAddr, true, 0, now,
+                             false);
+                accessL2(tile, a, false, 0, now, false);
+            }
+        }
+        return lat;
+    }
+
+    /** Access from a GPE to its scratchpad bank (SPM L1 mode). */
+    Cycles
+    spmAccess(std::uint32_t gpe, Addr addr, bool write, Cycles now)
+    {
+        const std::uint32_t tile = gpe / gpesPerTile;
+        Cycles lat = 1;
+        std::uint32_t bank = gpe;
+        if (cfg.l1Sharing == SharingMode::Shared) {
+            const auto local = static_cast<std::uint32_t>(
+                (addr / lineSize) % gpesPerTile);
+            lat += l1Xbar[tile].request(local, now, 1);
+            ac.xbarE += rp.energy.xbarTraversal +
+                rp.energy.xbarArbitration;
+            bank = tile * gpesPerTile + local;
+        }
+        spm[bank].access();
+        ++ac.l1Acc;
+        ac.cacheE += write
+            ? sram.writeEnergy(spmBankBytes, true)
+            : sram.readEnergy(spmBankBytes, true);
+        return lat;
+    }
+
+    /**
+     * Execute one op for a core; returns its latency in cycles.
+     * Core ids < numGpes are GPEs; the rest are LCPs.
+     */
+    Cycles
+    execute(std::uint32_t core, const TraceOp &op, Cycles now)
+    {
+        const bool is_gpe = core < numGpes;
+        const EnergyParams &ep = rp.energy;
+        auto &ops = is_gpe ? ac.gpeOps : ac.lcpOps;
+        auto &fp_ops = is_gpe ? ac.gpeFpOps : ac.lcpFpOps;
+
+        switch (op.kind) {
+          case OpKind::Phase:
+            corePhase[core] = static_cast<int>(op.addr);
+            return 0;
+          case OpKind::IntOp:
+            ++ops;
+            ac.coreE += ep.intOpEnergy;
+            return 1;
+          case OpKind::FpOp:
+            ++ops;
+            ++fp_ops;
+            if (is_gpe)
+                epochFpByPhase[corePhase[core]] += 1.0;
+            ac.coreE += ep.fpOpEnergy;
+            return 2;
+          case OpKind::SpmLoad:
+          case OpKind::SpmStore: {
+            SADAPT_ASSERT(spmMode && is_gpe,
+                          "SPM op outside SPM mode GPE stream");
+            ++ops;
+            ++fp_ops; // SPM ops move FP words (counted per Table 2)
+            epochFpByPhase[corePhase[core]] += 1.0;
+            ac.coreE += ep.intOpEnergy;
+            return spmAccess(core, op.addr,
+                             op.kind == OpKind::SpmStore, now);
+          }
+          case OpKind::Load:
+          case OpKind::Store:
+          case OpKind::FpLoad:
+          case OpKind::FpStore: {
+            ++ops;
+            if (isFpKind(op.kind)) {
+                ++fp_ops;
+                if (is_gpe)
+                    epochFpByPhase[corePhase[core]] += 1.0;
+            }
+            ac.coreE += ep.intOpEnergy;
+            const bool write =
+                op.kind == OpKind::Store || op.kind == OpKind::FpStore;
+            if (is_gpe && !spmMode)
+                return accessL1(core, op.addr, write, op.pc, now);
+            // LCPs, and GPEs in SPM mode, access the L2 layer directly.
+            const std::uint32_t tile =
+                is_gpe ? core / gpesPerTile : core - numGpes;
+            return accessL2(tile, op.addr, write, op.pc, now, true);
+          }
+        }
+        panic("bad OpKind");
+    }
+
+    /** Build the Table 2 counter sample and close the epoch. */
+    EpochRecord
+    closeEpoch(std::uint32_t index, Cycles start, Cycles end)
+    {
+        EpochRecord rec;
+        rec.index = index;
+        rec.phase = static_cast<int>(
+            std::max_element(epochFpByPhase.begin(),
+                             epochFpByPhase.end()) -
+            epochFpByPhase.begin());
+        rec.cycles = std::max<Cycles>(1, end - start);
+        rec.seconds = rec.cycles * secPerCycle;
+        rec.flops = static_cast<double>(ac.gpeFpOps);
+
+        const double cyc = static_cast<double>(rec.cycles);
+        PerfCounterSample &c = rec.counters;
+        const std::uint32_t n_l1 = numGpes;
+        c.l1AccessThroughput = ac.l1Acc / cyc / n_l1;
+        c.l1MissRate = ac.l1Acc ? double(ac.l1Miss) / ac.l1Acc : 0.0;
+        c.l1PrefetchPerAccess =
+            ac.l1Acc ? double(ac.l1PfIssued) / ac.l1Acc : 0.0;
+        if (spmMode) {
+            c.l1Occupancy = 1.0;
+            c.l1CapNorm = double(spmBankBytes) / (64 * 1024);
+        } else {
+            double occ = 0.0;
+            for (const auto &b : l1)
+                occ += b.occupancy();
+            c.l1Occupancy = occ / l1.size();
+            c.l1CapNorm = double(cfg.l1CapBytes()) / (64 * 1024);
+        }
+        c.l2AccessThroughput = ac.l2Acc / cyc / tiles;
+        c.l2MissRate = ac.l2Acc ? double(ac.l2Miss) / ac.l2Acc : 0.0;
+        c.l2PrefetchPerAccess =
+            ac.l2Acc ? double(ac.l2PfIssued) / ac.l2Acc : 0.0;
+        double occ2 = 0.0;
+        for (const auto &b : l2)
+            occ2 += b.occupancy();
+        c.l2Occupancy = occ2 / l2.size();
+        c.l2CapNorm = double(cfg.l2CapBytes()) / (64 * 1024);
+
+        std::uint64_t xa = 0, xc = 0;
+        for (const auto &x : l1Xbar) {
+            xa += x.accesses();
+            xc += x.contentions();
+        }
+        c.l1XbarContentionRatio = xa ? double(xc) / xa : 0.0;
+        c.l2XbarContentionRatio = l2Xbar.contentionRatio();
+
+        c.gpeIpc = ac.gpeOps / cyc / numGpes;
+        c.gpeFpIpc = ac.gpeFpOps / cyc / numGpes;
+        c.lcpIpc = ac.lcpOps / cyc / tiles;
+        c.lcpFpIpc = ac.lcpFpOps / cyc / tiles;
+        c.clockNorm = freq / dvfs.nominalHz();
+
+        // Bandwidth utilization: only the part of this epoch's window
+        // where the channel was busy counts. Approximate with bytes
+        // moved this epoch over capacity of the epoch window.
+        const double window_bytes = mem.bandwidth() * rec.seconds;
+        c.memReadBwUtil =
+            std::min(1.0, mem.bytesRead() / std::max(1.0, window_bytes));
+        c.memWriteBwUtil = std::min(
+            1.0, mem.bytesWritten() / std::max(1.0, window_bytes));
+
+        rec.energy.core = ac.coreE * dynScale;
+        rec.energy.cache = ac.cacheE * dynScale;
+        rec.energy.xbar = ac.xbarE * dynScale;
+        rec.energy.dram = ac.dramE;
+        rec.energy.background = backgroundPower * rec.seconds;
+        rec.energy.background += pendingPenaltyEnergy;
+        pendingPenaltyEnergy = 0.0;
+
+        // Reset accumulators for the next epoch.
+        ac = Accum{};
+        std::fill(epochFpByPhase.begin(), epochFpByPhase.end(), 0.0);
+        for (auto &x : l1Xbar)
+            x.resetStats();
+        l2Xbar.resetStats();
+        mem.resetStats();
+        return rec;
+    }
+};
+
+} // namespace
+
+SimResult
+Transmuter::run(const Trace &trace, const HwConfig &cfg) const
+{
+    return runImpl(trace, cfg, nullptr, nullptr, true);
+}
+
+SimResult
+Transmuter::runSchedule(const Trace &trace, const Schedule &schedule,
+                        const ReconfigCostModel &cost_model,
+                        bool energy_efficient_mode) const
+{
+    SADAPT_ASSERT(!schedule.configs.empty(), "empty schedule");
+    return runImpl(trace, schedule.configs.front(), &schedule,
+                   &cost_model, energy_efficient_mode);
+}
+
+SimResult
+Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
+                    const Schedule *schedule,
+                    const ReconfigCostModel *cost_model,
+                    bool energy_efficient_mode) const
+{
+    SADAPT_ASSERT(trace.shape() == paramsV.shape,
+                  "trace shape does not match simulator shape");
+    Engine eng(paramsV, cfg, dvfs, trace);
+
+    SimResult result;
+    result.config = cfg;
+
+    const std::uint32_t num_cores = eng.numCores;
+    std::vector<std::size_t> cursor(num_cores, 0);
+    std::vector<Cycles> core_cycle(num_cores, 0);
+
+    auto stream = [&](std::uint32_t core) -> const std::vector<TraceOp> & {
+        return core < eng.numGpes
+            ? trace.gpeStream(core)
+            : trace.lcpStream(core - eng.numGpes);
+    };
+
+    using HeapEntry = std::pair<Cycles, std::uint32_t>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap;
+    std::uint32_t participants = 0;
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        if (!stream(c).empty()) {
+            heap.push({0, c});
+            ++participants;
+        }
+    }
+
+    // Phase markers are barriers: merge cannot start before every
+    // producer finished multiplying. A core arriving at a marker parks
+    // until all participating cores arrive.
+    const std::size_t num_phases = trace.phaseNames().size();
+    std::vector<std::uint32_t> barrier_arrivals(num_phases, 0);
+    std::vector<std::vector<std::uint32_t>> barrier_waiters(num_phases);
+    std::vector<Cycles> barrier_time(num_phases, 0);
+
+    const std::uint64_t epoch_fp_target =
+        paramsV.epochFpOps * eng.numGpes;
+    std::uint32_t epoch_index = 0;
+    Cycles epoch_start = 0;
+    Cycles max_cycle = 0;
+
+    while (!heap.empty()) {
+        const auto [now, core] = heap.top();
+        heap.pop();
+        const auto &ops = stream(core);
+        const TraceOp &op = ops[cursor[core]++];
+        const Cycles lat = eng.execute(core, op, now);
+        core_cycle[core] = now + lat;
+        max_cycle = std::max(max_cycle, core_cycle[core]);
+        if (op.kind == OpKind::Phase) {
+            const auto pid = static_cast<std::size_t>(op.addr);
+            barrier_time[pid] = std::max(barrier_time[pid], now);
+            if (++barrier_arrivals[pid] == participants) {
+                const Cycles release = barrier_time[pid];
+                max_cycle = std::max(max_cycle, release);
+                core_cycle[core] = release;
+                if (cursor[core] < ops.size())
+                    heap.push({release, core});
+                for (std::uint32_t w : barrier_waiters[pid]) {
+                    core_cycle[w] = release;
+                    if (cursor[w] < stream(w).size())
+                        heap.push({release, w});
+                }
+            } else {
+                barrier_waiters[pid].push_back(core);
+            }
+            continue;
+        }
+        if (cursor[core] < ops.size())
+            heap.push({core_cycle[core], core});
+
+        if (eng.ac.gpeFpOps >= epoch_fp_target) {
+            result.epochs.push_back(eng.closeEpoch(
+                epoch_index++, epoch_start, core_cycle[core]));
+            epoch_start = core_cycle[core];
+
+            if (schedule && epoch_index < schedule->configs.size() &&
+                !(schedule->configs[epoch_index] == eng.cfg)) {
+                // Live reconfiguration at the epoch boundary: charge
+                // the penalty as a global stall, rescale core-local
+                // cycle counts into the new clock domain, and rebuild
+                // the event heap. (Background power during the stall
+                // is charged by both the cost model and the epoch
+                // window — a small, documented overlap.)
+                const HwConfig &next = schedule->configs[epoch_index];
+                const ReconfigCost rc = cost_model->cost(
+                    eng.cfg, next, energy_efficient_mode);
+                const double ratio = eng.reconfigure(
+                    next, rc.flushL1, rc.flushL2);
+                eng.pendingPenaltyEnergy += rc.energy;
+                const auto penalty = static_cast<Cycles>(
+                    std::ceil(rc.seconds * eng.freq));
+                auto rescale = [&](Cycles t) {
+                    return static_cast<Cycles>(
+                        std::llround(double(t) * ratio));
+                };
+                std::vector<HeapEntry> entries;
+                while (!heap.empty()) {
+                    entries.push_back(heap.top());
+                    heap.pop();
+                }
+                for (auto &[t, c] : entries)
+                    heap.push({rescale(t) + penalty, c});
+                for (auto &t : core_cycle)
+                    t = rescale(t) + penalty;
+                for (auto &t : barrier_time)
+                    t = rescale(t);
+                epoch_start = rescale(epoch_start);
+                max_cycle = rescale(max_cycle) + penalty;
+            }
+        }
+    }
+    if (eng.ac.gpeFpOps > 0 || result.epochs.empty()) {
+        result.epochs.push_back(eng.closeEpoch(
+            epoch_index, epoch_start,
+            std::max(max_cycle, epoch_start + 1)));
+    }
+    return result;
+}
+
+} // namespace sadapt

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The Transmuter timing/energy simulator.
+ *
+ * Replays a functional Trace under a fixed HwConfig, interleaving core
+ * streams by earliest-local-cycle through a shared memory hierarchy
+ * (R-DCaches, R-XBars, stride prefetchers, one HBM channel), and
+ * produces one EpochRecord per FP-op epoch: elapsed cycles/seconds,
+ * energy breakdown, and the Table 2 performance-counter sample.
+ */
+
+#ifndef SADAPT_SIM_TRANSMUTER_HH
+#define SADAPT_SIM_TRANSMUTER_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/counters.hh"
+#include "sim/dvfs.hh"
+#include "sim/energy.hh"
+#include "sim/reconfig.hh"
+#include "sim/schedule.hh"
+#include "sim/trace.hh"
+
+namespace sadapt {
+
+/** Parameters of one simulated system instance. */
+struct RunParams
+{
+    SystemShape shape;
+
+    /** Off-chip memory bandwidth (Section 5.2 default: 1 GB/s). */
+    double memBandwidth = 1e9;
+
+    /**
+     * Epoch size in FP-ops per GPE (spatial average), Section 5.4:
+     * 5k for SpMSpM, 500 for SpMSpV.
+     */
+    std::uint64_t epochFpOps = 5000;
+
+    EnergyParams energy;
+};
+
+/** Per-epoch energy, split by component. */
+struct EnergyBreakdown
+{
+    Joules core = 0.0;       //!< GPE/LCP dynamic op energy
+    Joules cache = 0.0;      //!< R-DCache / SPM access energy
+    Joules xbar = 0.0;       //!< crossbar traversal energy
+    Joules dram = 0.0;       //!< HBM transfer energy
+    Joules background = 0.0; //!< leakage + per-cycle clock overhead
+
+    Joules
+    total() const
+    {
+        return core + cache + xbar + dram + background;
+    }
+};
+
+/** Timing, energy and telemetry of one epoch. */
+struct EpochRecord
+{
+    std::uint32_t index = 0;
+    int phase = 0;          //!< explicit phase id active in this epoch
+    Cycles cycles = 0;
+    Seconds seconds = 0.0;
+    double flops = 0.0;     //!< FP-ops executed (incl. FP loads/stores)
+    EnergyBreakdown energy;
+    PerfCounterSample counters;
+
+    Joules totalEnergy() const { return energy.total(); }
+
+    double
+    gflops() const
+    {
+        return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+    }
+};
+
+/** Result of replaying one trace under one configuration. */
+struct SimResult
+{
+    HwConfig config;
+    std::vector<EpochRecord> epochs;
+
+    Seconds totalSeconds() const;
+    Joules totalEnergy() const;
+    double totalFlops() const;
+
+    /** Average performance, GFLOPS. */
+    double gflops() const;
+
+    /** Average energy efficiency, GFLOPS/W. */
+    double gflopsPerWatt() const;
+};
+
+/**
+ * The simulator. Stateless between run() calls: each run models a fresh
+ * (cold) device execution under one configuration.
+ */
+class Transmuter
+{
+  public:
+    explicit Transmuter(const RunParams &params);
+
+    /**
+     * Replay a trace under a configuration.
+     *
+     * @param trace functional trace (shape must match RunParams).
+     * @param cfg the hardware configuration to model.
+     */
+    SimResult run(const Trace &trace, const HwConfig &cfg) const;
+
+    /**
+     * Live dynamic execution: replay the trace while switching to
+     * schedule.configs[e] at the start of epoch e, carrying cache
+     * state across epochs and applying flush/penalty effects in-band.
+     * This is the ground truth the epoch-stitching methodology
+     * (EpochDb/evaluateSchedule) approximates; see the
+     * StitchingValidation tests.
+     *
+     * @param schedule one configuration per epoch (length must match
+     *        the trace's epoch count; extra entries are ignored).
+     */
+    SimResult runSchedule(const Trace &trace, const Schedule &schedule,
+                          const ReconfigCostModel &cost_model,
+                          bool energy_efficient_mode) const;
+
+    const RunParams &params() const { return paramsV; }
+
+  private:
+    RunParams paramsV;
+    DvfsModel dvfs;
+
+    SimResult runImpl(const Trace &trace, const HwConfig &cfg,
+                      const Schedule *schedule,
+                      const ReconfigCostModel *cost_model,
+                      bool energy_efficient_mode) const;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_TRANSMUTER_HH

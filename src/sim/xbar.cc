@@ -1,0 +1,50 @@
+#include "sim/xbar.hh"
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+Crossbar::Crossbar(std::uint32_t num_ports, Cycles arb_cycles)
+    : arbCycles(arb_cycles), busyUntil(num_ports, 0)
+{
+    SADAPT_ASSERT(num_ports > 0, "crossbar needs at least one port");
+}
+
+Cycles
+Crossbar::request(std::uint32_t port, Cycles now, Cycles service)
+{
+    SADAPT_ASSERT(port < busyUntil.size(), "crossbar port out of range");
+    ++accessCount;
+    Cycles start = now;
+    if (busyUntil[port] > now) {
+        ++contentionCount;
+        start = busyUntil[port];
+    }
+    busyUntil[port] = start + service;
+    return (start - now) + arbCycles;
+}
+
+double
+Crossbar::contentionRatio() const
+{
+    return accessCount == 0 ? 0.0
+        : static_cast<double>(contentionCount) /
+          static_cast<double>(accessCount);
+}
+
+void
+Crossbar::resetStats()
+{
+    accessCount = 0;
+    contentionCount = 0;
+}
+
+void
+Crossbar::reset()
+{
+    for (auto &b : busyUntil)
+        b = 0;
+    resetStats();
+}
+
+} // namespace sadapt

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Swizzle-switch style reconfigurable crossbar (R-XBar) model.
+ *
+ * In shared mode requesters arbitrate for output ports (memory banks);
+ * the model tracks per-port busy windows and counts contention events,
+ * providing the contention-to-access ratio counter of Table 2.
+ */
+
+#ifndef SADAPT_SIM_XBAR_HH
+#define SADAPT_SIM_XBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sadapt {
+
+/**
+ * Crossbar with one busy-until window per output port.
+ */
+class Crossbar
+{
+  public:
+    /**
+     * @param num_ports number of output ports (downstream banks).
+     * @param arb_cycles arbitration latency added to every traversal.
+     */
+    Crossbar(std::uint32_t num_ports, Cycles arb_cycles);
+
+    /**
+     * Request a traversal to an output port starting no earlier than
+     * `now`, occupying the port for `service` cycles.
+     *
+     * @return the total added latency (arbitration + queuing delay).
+     */
+    Cycles request(std::uint32_t port, Cycles now, Cycles service);
+
+    std::uint64_t accesses() const { return accessCount; }
+    std::uint64_t contentions() const { return contentionCount; }
+
+    /** Contention-to-access ratio (Table 2); 0 when idle. */
+    double contentionRatio() const;
+
+    void resetStats();
+
+    /** Clear port busy state (used at reconfiguration boundaries). */
+    void reset();
+
+  private:
+    Cycles arbCycles;
+    std::vector<Cycles> busyUntil;
+    std::uint64_t accessCount = 0;
+    std::uint64_t contentionCount = 0;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_XBAR_HH

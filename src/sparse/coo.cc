@@ -1,0 +1,52 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+CooMatrix::CooMatrix(std::uint32_t rows, std::uint32_t cols)
+    : nRows(rows), nCols(cols)
+{
+}
+
+void
+CooMatrix::add(std::uint32_t row, std::uint32_t col, double value)
+{
+    SADAPT_ASSERT(row < nRows && col < nCols, "COO entry out of bounds");
+    entries.push_back({row, col, value});
+}
+
+void
+CooMatrix::coalesce()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    std::vector<Triplet> merged;
+    merged.reserve(entries.size());
+    for (const auto &t : entries) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().value += t.value;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    std::erase_if(merged, [](const Triplet &t) { return t.value == 0.0; });
+    entries = std::move(merged);
+}
+
+CooMatrix
+CooMatrix::transposed() const
+{
+    CooMatrix t(nCols, nRows);
+    t.entries.reserve(entries.size());
+    for (const auto &e : entries)
+        t.entries.push_back({e.col, e.row, e.value});
+    return t;
+}
+
+} // namespace sadapt

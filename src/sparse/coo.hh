@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix, used as a construction staging format.
+ */
+
+#ifndef SADAPT_SPARSE_COO_HH
+#define SADAPT_SPARSE_COO_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sadapt {
+
+/** One nonzero entry of a COO matrix. */
+struct Triplet
+{
+    std::uint32_t row;
+    std::uint32_t col;
+    double value;
+};
+
+/**
+ * A sparse matrix in coordinate (triplet) format. Duplicate entries are
+ * combined (summed) on demand; the triplet list is otherwise unordered.
+ */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+
+    /** Create an empty rows x cols matrix. */
+    CooMatrix(std::uint32_t rows, std::uint32_t cols);
+
+    /** Append one nonzero. Duplicates are allowed until coalesce(). */
+    void add(std::uint32_t row, std::uint32_t col, double value);
+
+    /**
+     * Sort entries in row-major order and sum duplicates. Entries whose
+     * combined value is exactly zero are dropped.
+     */
+    void coalesce();
+
+    std::uint32_t rows() const { return nRows; }
+    std::uint32_t cols() const { return nCols; }
+
+    /** @return number of stored triplets (call coalesce() first for NNZ). */
+    std::size_t nnz() const { return entries.size(); }
+
+    const std::vector<Triplet> &triplets() const { return entries; }
+
+    /** @return the transpose (swaps row/col of every entry). */
+    CooMatrix transposed() const;
+
+  private:
+    std::uint32_t nRows = 0;
+    std::uint32_t nCols = 0;
+    std::vector<Triplet> entries;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_COO_HH

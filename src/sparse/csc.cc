@@ -1,0 +1,76 @@
+#include "sparse/csc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+CscMatrix::CscMatrix(const CooMatrix &coo)
+{
+    buildFromCoo(coo);
+}
+
+CscMatrix::CscMatrix(const CsrMatrix &csr)
+{
+    buildFromCoo(csr.toCoo());
+}
+
+void
+CscMatrix::buildFromCoo(const CooMatrix &coo)
+{
+    nRows = coo.rows();
+    nCols = coo.cols();
+    CooMatrix sorted = coo;
+    sorted.coalesce();
+    // Column-major counting sort over the row-major coalesced triplets.
+    colPtrV.assign(nCols + 1, 0);
+    for (const auto &t : sorted.triplets())
+        colPtrV[t.col + 1]++;
+    for (std::uint32_t c = 0; c < nCols; ++c)
+        colPtrV[c + 1] += colPtrV[c];
+    rowIdx.resize(sorted.nnz());
+    vals.resize(sorted.nnz());
+    std::vector<std::uint64_t> cursor(colPtrV.begin(), colPtrV.end() - 1);
+    for (const auto &t : sorted.triplets()) {
+        const std::uint64_t slot = cursor[t.col]++;
+        rowIdx[slot] = t.row;
+        vals[slot] = t.value;
+    }
+    // Row-major iteration of sorted triplets yields sorted rows per column.
+}
+
+double
+CscMatrix::density() const
+{
+    if (nRows == 0 || nCols == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+        (static_cast<double>(nRows) * nCols);
+}
+
+std::span<const std::uint32_t>
+CscMatrix::colRows(std::uint32_t c) const
+{
+    return {rowIdx.data() + colPtrV[c], colPtrV[c + 1] - colPtrV[c]};
+}
+
+std::span<const double>
+CscMatrix::colVals(std::uint32_t c) const
+{
+    return {vals.data() + colPtrV[c], colPtrV[c + 1] - colPtrV[c]};
+}
+
+CooMatrix
+CscMatrix::toCoo() const
+{
+    CooMatrix coo(nRows, nCols);
+    for (std::uint32_t c = 0; c < nCols; ++c)
+        for (std::uint64_t i = colPtrV[c]; i < colPtrV[c + 1]; ++i)
+            coo.add(rowIdx[i], c, vals[i]);
+    return coo;
+}
+
+} // namespace sadapt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Compressed sparse column (CSC) matrix. The paper stores Matrix A of
+ * SpMSpM in CSC (Section 5.4), which outer-product SpGEMM walks by column.
+ */
+
+#ifndef SADAPT_SPARSE_CSC_HH
+#define SADAPT_SPARSE_CSC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sadapt {
+
+class CooMatrix;
+class CsrMatrix;
+
+/**
+ * A read-mostly CSC matrix: colPtr (cols+1), row indices, and values, with
+ * row indices sorted within each column.
+ */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Build from a COO matrix. */
+    explicit CscMatrix(const CooMatrix &coo);
+
+    /** Build from a CSR matrix. */
+    explicit CscMatrix(const CsrMatrix &csr);
+
+    std::uint32_t rows() const { return nRows; }
+    std::uint32_t cols() const { return nCols; }
+    std::size_t nnz() const { return rowIdx.size(); }
+
+    /** Fraction of entries that are nonzero. */
+    double density() const;
+
+    const std::vector<std::uint64_t> &colPtr() const { return colPtrV; }
+    const std::vector<std::uint32_t> &rowIndices() const { return rowIdx; }
+    const std::vector<double> &values() const { return vals; }
+
+    /** Number of nonzeros in one column. */
+    std::uint32_t
+    colNnz(std::uint32_t c) const
+    {
+        return static_cast<std::uint32_t>(colPtrV[c + 1] - colPtrV[c]);
+    }
+
+    /** Row indices of one column, as a span. */
+    std::span<const std::uint32_t> colRows(std::uint32_t c) const;
+
+    /** Values of one column, as a span. */
+    std::span<const double> colVals(std::uint32_t c) const;
+
+    /** Convert to COO. */
+    CooMatrix toCoo() const;
+
+  private:
+    std::uint32_t nRows = 0;
+    std::uint32_t nCols = 0;
+    std::vector<std::uint64_t> colPtrV;
+    std::vector<std::uint32_t> rowIdx;
+    std::vector<double> vals;
+
+    void buildFromCoo(const CooMatrix &coo);
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_CSC_HH

@@ -1,0 +1,75 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace sadapt {
+
+CsrMatrix::CsrMatrix(const CooMatrix &coo)
+    : nRows(coo.rows()), nCols(coo.cols())
+{
+    CooMatrix sorted = coo;
+    sorted.coalesce();
+    rowPtrV.assign(nRows + 1, 0);
+    colIdx.reserve(sorted.nnz());
+    vals.reserve(sorted.nnz());
+    for (const auto &t : sorted.triplets()) {
+        rowPtrV[t.row + 1]++;
+        colIdx.push_back(t.col);
+        vals.push_back(t.value);
+    }
+    for (std::uint32_t r = 0; r < nRows; ++r)
+        rowPtrV[r + 1] += rowPtrV[r];
+}
+
+double
+CsrMatrix::density() const
+{
+    if (nRows == 0 || nCols == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+        (static_cast<double>(nRows) * nCols);
+}
+
+std::span<const std::uint32_t>
+CsrMatrix::rowCols(std::uint32_t r) const
+{
+    return {colIdx.data() + rowPtrV[r], rowPtrV[r + 1] - rowPtrV[r]};
+}
+
+std::span<const double>
+CsrMatrix::rowVals(std::uint32_t r) const
+{
+    return {vals.data() + rowPtrV[r], rowPtrV[r + 1] - rowPtrV[r]};
+}
+
+double
+CsrMatrix::at(std::uint32_t r, std::uint32_t c) const
+{
+    SADAPT_ASSERT(r < nRows && c < nCols, "CSR index out of bounds");
+    auto cols = rowCols(r);
+    auto it = std::lower_bound(cols.begin(), cols.end(), c);
+    if (it == cols.end() || *it != c)
+        return 0.0;
+    return vals[rowPtrV[r] + (it - cols.begin())];
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(nRows, nCols);
+    for (std::uint32_t r = 0; r < nRows; ++r)
+        for (std::uint64_t i = rowPtrV[r]; i < rowPtrV[r + 1]; ++i)
+            coo.add(r, colIdx[i], vals[i]);
+    return coo;
+}
+
+CsrMatrix
+CsrMatrix::transposed() const
+{
+    return CsrMatrix(toCoo().transposed());
+}
+
+} // namespace sadapt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) matrix. The paper stores Matrix B of
+ * SpMSpM in CSR (Section 5.4).
+ */
+
+#ifndef SADAPT_SPARSE_CSR_HH
+#define SADAPT_SPARSE_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sadapt {
+
+class CooMatrix;
+class CscMatrix;
+
+/**
+ * A read-mostly CSR matrix: rowPtr (rows+1), column indices, and values,
+ * with column indices sorted within each row.
+ */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from a COO matrix (coalesces a copy internally). */
+    explicit CsrMatrix(const CooMatrix &coo);
+
+    std::uint32_t rows() const { return nRows; }
+    std::uint32_t cols() const { return nCols; }
+    std::size_t nnz() const { return colIdx.size(); }
+
+    /** Fraction of entries that are nonzero. */
+    double density() const;
+
+    const std::vector<std::uint64_t> &rowPtr() const { return rowPtrV; }
+    const std::vector<std::uint32_t> &colIndices() const { return colIdx; }
+    const std::vector<double> &values() const { return vals; }
+
+    /** Number of nonzeros in one row. */
+    std::uint32_t
+    rowNnz(std::uint32_t r) const
+    {
+        return static_cast<std::uint32_t>(rowPtrV[r + 1] - rowPtrV[r]);
+    }
+
+    /** Column indices of one row, as a span. */
+    std::span<const std::uint32_t> rowCols(std::uint32_t r) const;
+
+    /** Values of one row, as a span. */
+    std::span<const double> rowVals(std::uint32_t r) const;
+
+    /** Retrieve a single element (O(log rowNnz)); 0.0 if absent. */
+    double at(std::uint32_t r, std::uint32_t c) const;
+
+    /** Convert to COO. */
+    CooMatrix toCoo() const;
+
+    /** Transpose (yields the CSR of the transposed matrix). */
+    CsrMatrix transposed() const;
+
+    bool operator==(const CsrMatrix &other) const = default;
+
+  private:
+    friend class CscMatrix;
+
+    std::uint32_t nRows = 0;
+    std::uint32_t nCols = 0;
+    std::vector<std::uint64_t> rowPtrV;
+    std::vector<std::uint32_t> colIdx;
+    std::vector<double> vals;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_CSR_HH

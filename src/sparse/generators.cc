@@ -1,0 +1,239 @@
+#include "sparse/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sparse/coo.hh"
+
+namespace sadapt {
+
+namespace {
+
+/** Pack (row, col) into a single 64-bit key for dedup. */
+std::uint64_t
+key(std::uint32_t r, std::uint32_t c)
+{
+    return (static_cast<std::uint64_t>(r) << 32) | c;
+}
+
+/**
+ * Insert up to max_tries random positions produced by gen() until the
+ * matrix holds nnz unique entries.
+ */
+template <typename Gen>
+CsrMatrix
+fillUnique(std::uint32_t rows, std::uint32_t cols, std::uint64_t nnz,
+           Rng &rng, Gen gen)
+{
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(rows) * cols;
+    nnz = std::min(nnz, capacity);
+    CooMatrix coo(rows, cols);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(nnz * 2);
+    std::uint64_t tries = 0;
+    const std::uint64_t max_tries = nnz * 64 + 1024;
+    while (seen.size() < nnz && tries < max_tries) {
+        ++tries;
+        auto [r, c] = gen();
+        if (r >= rows || c >= cols)
+            continue;
+        if (seen.insert(key(r, c)).second)
+            coo.add(r, c, rng.uniform(0.1, 1.0));
+    }
+    return CsrMatrix(coo);
+}
+
+} // namespace
+
+CsrMatrix
+makeUniformRandom(std::uint32_t dim, std::uint64_t nnz, Rng &rng)
+{
+    return fillUnique(dim, dim, nnz, rng, [&] {
+        return std::pair<std::uint32_t, std::uint32_t>(
+            static_cast<std::uint32_t>(rng.below(dim)),
+            static_cast<std::uint32_t>(rng.below(dim)));
+    });
+}
+
+CsrMatrix
+makeRmat(std::uint32_t dim, std::uint64_t nnz, Rng &rng)
+{
+    return makeRmat(dim, nnz, 0.1, 0.4, 0.1, rng);
+}
+
+CsrMatrix
+makeRmat(std::uint32_t dim, std::uint64_t nnz, double a, double b, double c,
+         Rng &rng)
+{
+    SADAPT_ASSERT(a + b + c <= 1.0 + 1e-9, "R-MAT probabilities exceed 1");
+    // Non-power-of-two dimensions are handled by generating within the
+    // next power of two and rejecting out-of-range coordinates (done by
+    // fillUnique), which preserves the recursive skew of the pattern.
+    int levels = 0;
+    while ((1u << levels) < dim)
+        ++levels;
+    return fillUnique(dim, dim, nnz, rng, [&] {
+        std::uint32_t r = 0, col = 0;
+        for (int l = 0; l < levels; ++l) {
+            const double p = rng.uniform();
+            r <<= 1;
+            col <<= 1;
+            if (p < a) {
+                // top-left quadrant: nothing to add
+            } else if (p < a + b) {
+                col |= 1; // top-right
+            } else if (p < a + b + c) {
+                r |= 1; // bottom-left
+            } else {
+                r |= 1;
+                col |= 1; // bottom-right
+            }
+        }
+        return std::pair<std::uint32_t, std::uint32_t>(r, col);
+    });
+}
+
+CsrMatrix
+makeBanded(std::uint32_t dim, std::uint64_t nnz, std::uint32_t bandwidth,
+           Rng &rng)
+{
+    SADAPT_ASSERT(bandwidth >= 1, "band must be at least 1 wide");
+    return fillUnique(dim, dim, nnz, rng, [&] {
+        const auto r = static_cast<std::uint32_t>(rng.below(dim));
+        const std::int64_t off =
+            rng.range(-static_cast<std::int64_t>(bandwidth), bandwidth);
+        const std::int64_t c = static_cast<std::int64_t>(r) + off;
+        return std::pair<std::uint32_t, std::uint32_t>(
+            r, c < 0 || c >= dim ? dim : static_cast<std::uint32_t>(c));
+    });
+}
+
+CsrMatrix
+makeBlockDiagonal(std::uint32_t dim, std::uint64_t nnz, std::uint32_t block,
+                  Rng &rng)
+{
+    SADAPT_ASSERT(block >= 1 && block <= dim, "bad block size");
+    const std::uint32_t nblocks = (dim + block - 1) / block;
+    return fillUnique(dim, dim, nnz, rng, [&] {
+        const auto b = static_cast<std::uint32_t>(rng.below(nblocks));
+        const std::uint32_t base = b * block;
+        const std::uint32_t span =
+            std::min(block, dim - base);
+        return std::pair<std::uint32_t, std::uint32_t>(
+            base + static_cast<std::uint32_t>(rng.below(span)),
+            base + static_cast<std::uint32_t>(rng.below(span)));
+    });
+}
+
+CsrMatrix
+makeArrowhead(std::uint32_t dim, std::uint64_t nnz,
+              std::uint32_t arrow_width, Rng &rng)
+{
+    SADAPT_ASSERT(arrow_width >= 1 && arrow_width < dim,
+                  "bad arrow width");
+    // ~40% of entries land in the dense arrow rows/columns; the remainder
+    // is a narrow band, matching optimal-control sparsity plots.
+    const std::uint32_t band = std::max<std::uint32_t>(2, dim / 256);
+    return fillUnique(dim, dim, nnz, rng, [&] {
+        const double p = rng.uniform();
+        if (p < 0.2) { // dense top rows
+            return std::pair<std::uint32_t, std::uint32_t>(
+                static_cast<std::uint32_t>(rng.below(arrow_width)),
+                static_cast<std::uint32_t>(rng.below(dim)));
+        } else if (p < 0.4) { // dense left columns
+            return std::pair<std::uint32_t, std::uint32_t>(
+                static_cast<std::uint32_t>(rng.below(dim)),
+                static_cast<std::uint32_t>(rng.below(arrow_width)));
+        }
+        const auto r = static_cast<std::uint32_t>(rng.below(dim));
+        const std::int64_t c = static_cast<std::int64_t>(r) +
+            rng.range(-static_cast<std::int64_t>(band), band);
+        return std::pair<std::uint32_t, std::uint32_t>(
+            r, c < 0 || c >= dim ? dim : static_cast<std::uint32_t>(c));
+    });
+}
+
+CsrMatrix
+makeMesh2d(std::uint32_t dim, std::uint64_t nnz, Rng &rng)
+{
+    const auto side = static_cast<std::uint32_t>(
+        std::max(2.0, std::floor(std::sqrt(static_cast<double>(dim)))));
+    return fillUnique(dim, dim, nnz, rng, [&] {
+        const auto v = static_cast<std::uint32_t>(rng.below(dim));
+        // Pick one of the 5-point-stencil neighbours of v on a side x side
+        // grid (out-of-range neighbours get rejected by fillUnique).
+        static const std::int64_t offs[5] = {0, 1, -1, 0, 0};
+        const int pick = static_cast<int>(rng.below(5));
+        std::int64_t c = static_cast<std::int64_t>(v);
+        if (pick < 3)
+            c += offs[pick];
+        else if (pick == 3)
+            c += side;
+        else
+            c -= side;
+        return std::pair<std::uint32_t, std::uint32_t>(
+            v, c < 0 || c >= dim ? dim : static_cast<std::uint32_t>(c));
+    });
+}
+
+CsrMatrix
+makeStripStructured(std::uint32_t dim, double overall_density,
+                    std::uint32_t num_dense_cols, Rng &rng)
+{
+    SADAPT_ASSERT(num_dense_cols < dim, "too many dense columns");
+    CooMatrix coo(dim, dim);
+    std::unordered_set<std::uint64_t> seen;
+
+    // Evenly spaced dense separator columns, filled ~90% dense.
+    std::vector<bool> is_dense(dim, false);
+    for (std::uint32_t i = 0; i < num_dense_cols; ++i) {
+        const std::uint32_t c =
+            (i + 1) * dim / (num_dense_cols + 1);
+        is_dense[c] = true;
+        for (std::uint32_t r = 0; r < dim; ++r) {
+            if (rng.chance(0.9)) {
+                seen.insert(key(r, c));
+                coo.add(r, c, rng.uniform(0.1, 1.0));
+            }
+        }
+    }
+
+    // Fill the sparse strips up to the overall density target.
+    const auto target = static_cast<std::uint64_t>(
+        overall_density * dim * dim);
+    std::uint64_t tries = 0;
+    const std::uint64_t max_tries = target * 64 + 1024;
+    while (seen.size() < target && tries < max_tries) {
+        ++tries;
+        const auto r = static_cast<std::uint32_t>(rng.below(dim));
+        const auto c = static_cast<std::uint32_t>(rng.below(dim));
+        if (is_dense[c])
+            continue;
+        if (seen.insert(key(r, c)).second)
+            coo.add(r, c, rng.uniform(0.1, 1.0));
+    }
+    return CsrMatrix(coo);
+}
+
+CsrMatrix
+symmetrized(const CsrMatrix &a, Rng &rng)
+{
+    CooMatrix coo(a.rows(), a.cols());
+    std::unordered_set<std::uint64_t> seen;
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        auto cols = a.rowCols(r);
+        for (std::uint32_t c : cols) {
+            if (seen.insert(key(r, c)).second)
+                coo.add(r, c, rng.uniform(0.1, 1.0));
+            if (seen.insert(key(c, r)).second)
+                coo.add(c, r, rng.uniform(0.1, 1.0));
+        }
+    }
+    return CsrMatrix(coo);
+}
+
+} // namespace sadapt

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * The uniform-random and R-MAT generators follow Section 5.4 of the paper
+ * (R-MAT with A = C = 0.1, B = 0.4). The structural generators (banded,
+ * block, arrowhead, mesh, strip) produce stand-ins for the real-world
+ * SuiteSparse/SNAP matrices of Table 5, matching their dimensions, NNZ
+ * counts and structure classes.
+ */
+
+#ifndef SADAPT_SPARSE_GENERATORS_HH
+#define SADAPT_SPARSE_GENERATORS_HH
+
+#include <cstdint>
+
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+class Rng;
+
+/**
+ * Uniform-random square matrix with approximately the requested NNZ,
+ * generated like scipy.sparse.random.
+ */
+CsrMatrix makeUniformRandom(std::uint32_t dim, std::uint64_t nnz, Rng &rng);
+
+/**
+ * R-MAT power-law matrix (Chakrabarti et al. 2004) with the paper's
+ * parameters A = C = 0.1, B = 0.4 (D = 0.4).
+ */
+CsrMatrix makeRmat(std::uint32_t dim, std::uint64_t nnz, Rng &rng);
+
+/**
+ * R-MAT with caller-supplied quadrant probabilities (a + b + c <= 1).
+ */
+CsrMatrix makeRmat(std::uint32_t dim, std::uint64_t nnz, double a, double b,
+                   double c, Rng &rng);
+
+/**
+ * Banded matrix: nonzeros only within +/- bandwidth of the diagonal
+ * (CFD / structural-problem shape: EX3, bcsstk08, crack).
+ */
+CsrMatrix makeBanded(std::uint32_t dim, std::uint64_t nnz,
+                     std::uint32_t bandwidth, Rng &rng);
+
+/**
+ * Block-diagonal matrix with dense-ish random blocks (chemistry shape:
+ * Si2, bayer09).
+ */
+CsrMatrix makeBlockDiagonal(std::uint32_t dim, std::uint64_t nnz,
+                            std::uint32_t block, Rng &rng);
+
+/**
+ * Arrowhead matrix: a banded core plus dense first rows/columns (optimal
+ * control shape: spaceStation, kineticBatchReactor).
+ */
+CsrMatrix makeArrowhead(std::uint32_t dim, std::uint64_t nnz,
+                        std::uint32_t arrow_width, Rng &rng);
+
+/**
+ * 2D 5-point mesh adjacency with random perturbation (2D/3D problem
+ * shape: nopoly, crack). dim should be a perfect square or close.
+ */
+CsrMatrix makeMesh2d(std::uint32_t dim, std::uint64_t nnz, Rng &rng);
+
+/**
+ * The Figure 1 motivation matrix: mostly-sparse strips separated by a few
+ * dense columns (and matching dense rows in the transpose), so that
+ * outer-product SpMSpM alternates between dense and sparse implicit
+ * phases.
+ *
+ * @param dim matrix dimension.
+ * @param overall_density target total density (paper uses 20%).
+ * @param num_dense_cols number of dense separator columns (paper: strips
+ *        separated by dense columns; 8 strips => 7-8 separators).
+ */
+CsrMatrix makeStripStructured(std::uint32_t dim, double overall_density,
+                              std::uint32_t num_dense_cols, Rng &rng);
+
+/** Symmetrize: returns A + A^T pattern (values re-randomized). */
+CsrMatrix symmetrized(const CsrMatrix &a, Rng &rng);
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_GENERATORS_HH

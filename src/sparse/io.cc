@@ -1,0 +1,94 @@
+#include "sparse/io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace sadapt {
+
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("matrix market: empty stream");
+    std::istringstream banner(line);
+    std::string mm, object, format, field, symmetry;
+    banner >> mm >> object >> format >> field >> symmetry;
+    if (mm != "%%MatrixMarket" || object != "matrix")
+        fatal("matrix market: bad banner: " + line);
+    if (format != "coordinate")
+        fatal("matrix market: only coordinate format supported");
+    const bool pattern = field == "pattern";
+    if (field != "real" && field != "integer" && !pattern)
+        fatal("matrix market: unsupported field type: " + field);
+    const bool symmetric = symmetry == "symmetric";
+    if (!symmetric && symmetry != "general")
+        fatal("matrix market: unsupported symmetry: " + symmetry);
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream header(line);
+    std::uint64_t rows = 0, cols = 0, nnz = 0;
+    if (!(header >> rows >> cols >> nnz))
+        fatal("matrix market: bad size line: " + line);
+
+    CooMatrix coo(static_cast<std::uint32_t>(rows),
+                  static_cast<std::uint32_t>(cols));
+    for (std::uint64_t i = 0; i < nnz; ++i) {
+        std::uint64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!(in >> r >> c))
+            fatal("matrix market: truncated entry list");
+        if (!pattern && !(in >> v))
+            fatal("matrix market: truncated entry list");
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            fatal("matrix market: entry out of bounds");
+        coo.add(static_cast<std::uint32_t>(r - 1),
+                static_cast<std::uint32_t>(c - 1), v);
+        if (symmetric && r != c)
+            coo.add(static_cast<std::uint32_t>(c - 1),
+                    static_cast<std::uint32_t>(r - 1), v);
+    }
+    return CsrMatrix(coo);
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("matrix market: cannot open " + path);
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(const CsrMatrix &m, std::ostream &out)
+{
+    out.precision(17); // round-trip exact for doubles
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+    for (std::uint32_t r = 0; r < m.rows(); ++r) {
+        auto cols = m.rowCols(r);
+        auto vals = m.rowVals(r);
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            out << (r + 1) << ' ' << (cols[i] + 1) << ' ' << vals[i]
+                << '\n';
+    }
+}
+
+void
+writeMatrixMarketFile(const CsrMatrix &m, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("matrix market: cannot open " + path + " for writing");
+    writeMatrixMarket(m, out);
+}
+
+} // namespace sadapt

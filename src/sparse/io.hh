@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Matrix Market (.mtx) I/O, so the real SuiteSparse/SNAP matrices of
+ * Table 5 can be dropped in as replacements for the synthetic stand-ins.
+ */
+
+#ifndef SADAPT_SPARSE_IO_HH
+#define SADAPT_SPARSE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+/**
+ * Read a Matrix Market coordinate-format matrix (real/integer/pattern;
+ * general or symmetric). Pattern entries receive value 1.0. Calls fatal()
+ * on malformed input.
+ */
+CsrMatrix readMatrixMarket(std::istream &in);
+
+/** Read a Matrix Market file from a path. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write a matrix in Matrix Market coordinate real general format. */
+void writeMatrixMarket(const CsrMatrix &m, std::ostream &out);
+
+/** Write a matrix to a Matrix Market file at a path. */
+void writeMatrixMarketFile(const CsrMatrix &m, const std::string &path);
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_IO_HH

@@ -1,0 +1,83 @@
+#include "sparse/reference.hh"
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace sadapt {
+
+CsrMatrix
+referenceSpGemm(const CscMatrix &a, const CsrMatrix &b)
+{
+    SADAPT_ASSERT(a.cols() == b.rows(), "SpGEMM inner dimension mismatch");
+    CooMatrix c(a.rows(), b.cols());
+    // Outer-product formulation: for each k, (column k of A) x (row k of B)
+    for (std::uint32_t k = 0; k < a.cols(); ++k) {
+        auto a_rows = a.colRows(k);
+        auto a_vals = a.colVals(k);
+        auto b_cols = b.rowCols(k);
+        auto b_vals = b.rowVals(k);
+        for (std::size_t i = 0; i < a_rows.size(); ++i)
+            for (std::size_t j = 0; j < b_cols.size(); ++j)
+                c.add(a_rows[i], b_cols[j], a_vals[i] * b_vals[j]);
+    }
+    c.coalesce();
+    return CsrMatrix(c);
+}
+
+SparseVector
+referenceSpMSpV(const CscMatrix &a, const SparseVector &x)
+{
+    SADAPT_ASSERT(a.cols() == x.dim(), "SpMSpV dimension mismatch");
+    std::vector<SparseVector::Entry> raw;
+    for (const auto &xe : x.entries()) {
+        auto rows = a.colRows(xe.index);
+        auto vals = a.colVals(xe.index);
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            raw.push_back({rows[i], vals[i] * xe.value});
+    }
+    return SparseVector(a.rows(), std::move(raw));
+}
+
+std::vector<double>
+referenceGemm(const std::vector<double> &a, const std::vector<double> &b,
+              std::uint32_t m, std::uint32_t k, std::uint32_t n)
+{
+    SADAPT_ASSERT(a.size() == std::size_t(m) * k, "GEMM A shape mismatch");
+    SADAPT_ASSERT(b.size() == std::size_t(k) * n, "GEMM B shape mismatch");
+    std::vector<double> c(std::size_t(m) * n, 0.0);
+    for (std::uint32_t i = 0; i < m; ++i)
+        for (std::uint32_t p = 0; p < k; ++p) {
+            const double av = a[std::size_t(i) * k + p];
+            for (std::uint32_t j = 0; j < n; ++j)
+                c[std::size_t(i) * n + j] += av * b[std::size_t(p) * n + j];
+        }
+    return c;
+}
+
+std::vector<double>
+referenceConv2d(const std::vector<double> &image, std::uint32_t height,
+                std::uint32_t width, const std::vector<double> &filter,
+                std::uint32_t fsize)
+{
+    SADAPT_ASSERT(image.size() == std::size_t(height) * width,
+                  "conv image shape mismatch");
+    SADAPT_ASSERT(filter.size() == std::size_t(fsize) * fsize,
+                  "conv filter shape mismatch");
+    SADAPT_ASSERT(height >= fsize && width >= fsize,
+                  "conv image smaller than filter");
+    const std::uint32_t oh = height - fsize + 1;
+    const std::uint32_t ow = width - fsize + 1;
+    std::vector<double> out(std::size_t(oh) * ow, 0.0);
+    for (std::uint32_t y = 0; y < oh; ++y)
+        for (std::uint32_t x = 0; x < ow; ++x) {
+            double acc = 0.0;
+            for (std::uint32_t fy = 0; fy < fsize; ++fy)
+                for (std::uint32_t fx = 0; fx < fsize; ++fx)
+                    acc += image[std::size_t(y + fy) * width + (x + fx)] *
+                        filter[std::size_t(fy) * fsize + fx];
+            out[std::size_t(y) * ow + x] = acc;
+        }
+    return out;
+}
+
+} // namespace sadapt

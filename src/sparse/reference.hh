@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference (host-side, untimed) implementations of the sparse kernels.
+ *
+ * These are the golden models: the trace-emitting device kernels in
+ * src/kernels/ must produce numerically identical results.
+ */
+
+#ifndef SADAPT_SPARSE_REFERENCE_HH
+#define SADAPT_SPARSE_REFERENCE_HH
+
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace sadapt {
+
+/**
+ * Reference SpGEMM: C = A * B, with A in CSC and B in CSR, computed via
+ * outer products (the algorithm of OuterSPACE / Transmuter).
+ */
+CsrMatrix referenceSpGemm(const CscMatrix &a, const CsrMatrix &b);
+
+/**
+ * Reference SpMSpV: y = A * x with A in CSC and x sparse.
+ */
+SparseVector referenceSpMSpV(const CscMatrix &a, const SparseVector &x);
+
+/**
+ * Reference dense GEMM used to validate the regular-kernel ablation:
+ * C = A * B for row-major dense matrices.
+ */
+std::vector<double> referenceGemm(const std::vector<double> &a,
+                                  const std::vector<double> &b,
+                                  std::uint32_t m, std::uint32_t k,
+                                  std::uint32_t n);
+
+/**
+ * Reference 2D convolution (single channel, valid padding) used to
+ * validate the Conv device kernel.
+ */
+std::vector<double> referenceConv2d(const std::vector<double> &image,
+                                    std::uint32_t height,
+                                    std::uint32_t width,
+                                    const std::vector<double> &filter,
+                                    std::uint32_t fsize);
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_REFERENCE_HH

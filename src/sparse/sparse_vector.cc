@@ -1,0 +1,84 @@
+#include "sparse/sparse_vector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sadapt {
+
+SparseVector::SparseVector(std::uint32_t dim)
+    : dimension(dim)
+{
+}
+
+SparseVector::SparseVector(std::uint32_t dim, std::vector<Entry> raw)
+    : dimension(dim)
+{
+    std::sort(raw.begin(), raw.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.index < b.index;
+              });
+    for (const auto &e : raw) {
+        SADAPT_ASSERT(e.index < dim, "sparse vector index out of bounds");
+        if (!elems.empty() && elems.back().index == e.index)
+            elems.back().value += e.value;
+        else
+            elems.push_back(e);
+    }
+    std::erase_if(elems, [](const Entry &e) { return e.value == 0.0; });
+}
+
+SparseVector
+SparseVector::random(std::uint32_t dim, double density, Rng &rng)
+{
+    std::vector<Entry> raw;
+    const auto target = static_cast<std::size_t>(density * dim);
+    for (std::size_t idx : rng.sampleIndices(dim, std::min<std::size_t>(
+             target, dim))) {
+        raw.push_back({static_cast<std::uint32_t>(idx),
+                       rng.uniform(0.1, 1.0)});
+    }
+    return SparseVector(dim, std::move(raw));
+}
+
+double
+SparseVector::density() const
+{
+    return dimension == 0 ? 0.0
+        : static_cast<double>(nnz()) / dimension;
+}
+
+void
+SparseVector::accumulate(std::uint32_t index, double value)
+{
+    SADAPT_ASSERT(index < dimension, "sparse vector index out of bounds");
+    auto it = std::lower_bound(
+        elems.begin(), elems.end(), index,
+        [](const Entry &e, std::uint32_t i) { return e.index < i; });
+    if (it != elems.end() && it->index == index)
+        it->value += value;
+    else
+        elems.insert(it, {index, value});
+}
+
+double
+SparseVector::at(std::uint32_t index) const
+{
+    auto it = std::lower_bound(
+        elems.begin(), elems.end(), index,
+        [](const Entry &e, std::uint32_t i) { return e.index < i; });
+    if (it == elems.end() || it->index != index)
+        return 0.0;
+    return it->value;
+}
+
+void
+SparseVector::maskOut(const std::vector<bool> &mask)
+{
+    std::erase_if(elems, [&](const Entry &e) {
+        return e.index < mask.size() && mask[e.index];
+    });
+}
+
+} // namespace sadapt

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse vector as an array of (index, value) tuples, the layout the paper
+ * uses for the B operand of SpMSpV (Section 5.4).
+ */
+
+#ifndef SADAPT_SPARSE_SPARSE_VECTOR_HH
+#define SADAPT_SPARSE_SPARSE_VECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sadapt {
+
+class Rng;
+
+/**
+ * A sparse vector of doubles with sorted, unique indices.
+ */
+class SparseVector
+{
+  public:
+    /** One stored element. */
+    struct Entry
+    {
+        std::uint32_t index;
+        double value;
+
+        bool operator==(const Entry &other) const = default;
+    };
+
+    SparseVector() = default;
+
+    /** An empty vector of the given logical dimension. */
+    explicit SparseVector(std::uint32_t dim);
+
+    /** Build from entries; sorts and sums duplicates. */
+    SparseVector(std::uint32_t dim, std::vector<Entry> raw);
+
+    /** Generate a uniform-random vector with the given density. */
+    static SparseVector random(std::uint32_t dim, double density, Rng &rng);
+
+    std::uint32_t dim() const { return dimension; }
+    std::size_t nnz() const { return elems.size(); }
+    double density() const;
+
+    const std::vector<Entry> &entries() const { return elems; }
+
+    /** Insert-or-accumulate a value at an index. O(nnz) worst case. */
+    void accumulate(std::uint32_t index, double value);
+
+    /** Value at an index (0.0 if absent), O(log nnz). */
+    double at(std::uint32_t index) const;
+
+    /** Remove entries whose index is present in the given mask. */
+    void maskOut(const std::vector<bool> &mask);
+
+    bool operator==(const SparseVector &other) const = default;
+
+  private:
+    std::uint32_t dimension = 0;
+    std::vector<Entry> elems;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_SPARSE_VECTOR_HH

@@ -1,0 +1,75 @@
+#include "sparse/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+MatrixStats
+computeStats(const CsrMatrix &m)
+{
+    MatrixStats s;
+    s.rows = m.rows();
+    s.cols = m.cols();
+    s.nnz = m.nnz();
+    s.density = m.density();
+    if (s.rows == 0 || s.nnz == 0)
+        return s;
+
+    std::vector<std::uint32_t> row_nnz(s.rows);
+    double sum = 0.0;
+    for (std::uint32_t r = 0; r < s.rows; ++r) {
+        row_nnz[r] = m.rowNnz(r);
+        sum += row_nnz[r];
+        s.maxRowNnz = std::max(s.maxRowNnz, row_nnz[r]);
+    }
+    s.meanRowNnz = sum / s.rows;
+
+    double var = 0.0;
+    for (auto n : row_nnz) {
+        const double d = n - s.meanRowNnz;
+        var += d * d;
+    }
+    var /= s.rows;
+    s.rowNnzCv = s.meanRowNnz > 0.0 ? std::sqrt(var) / s.meanRowNnz : 0.0;
+
+    // Gini coefficient via the sorted-rank formula.
+    std::sort(row_nnz.begin(), row_nnz.end());
+    double weighted = 0.0;
+    for (std::uint32_t i = 0; i < s.rows; ++i)
+        weighted += static_cast<double>(i + 1) * row_nnz[i];
+    s.rowNnzGini =
+        (2.0 * weighted) / (s.rows * sum) -
+        (static_cast<double>(s.rows) + 1.0) / s.rows;
+
+    double band_sum = 0.0;
+    std::uint64_t near_diag = 0;
+    const double diag_window = std::max(1.0, 0.01 * s.rows);
+    for (std::uint32_t r = 0; r < s.rows; ++r) {
+        for (std::uint32_t c : m.rowCols(r)) {
+            const double d = std::abs(
+                static_cast<double>(c) - static_cast<double>(r));
+            band_sum += d;
+            if (d <= diag_window)
+                ++near_diag;
+        }
+    }
+    s.normalizedBandwidth =
+        band_sum / static_cast<double>(s.nnz) / std::max(1u, s.rows);
+    s.diagonalLocality =
+        static_cast<double>(near_diag) / static_cast<double>(s.nnz);
+    return s;
+}
+
+std::string
+MatrixStats::summary() const
+{
+    return str(rows, "x", cols, " nnz=", nnz,
+               " density=", density,
+               " gini=", rowNnzGini,
+               " diagLoc=", diagonalLocality);
+}
+
+} // namespace sadapt

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structural statistics of sparse matrices, used by the evaluation suite
+ * to characterize datasets (Table 5) and by tests as property oracles.
+ */
+
+#ifndef SADAPT_SPARSE_STATS_HH
+#define SADAPT_SPARSE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+/** Aggregated structural statistics for one matrix. */
+struct MatrixStats
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint64_t nnz = 0;
+    double density = 0.0;
+
+    /** Mean / max nonzeros per row. */
+    double meanRowNnz = 0.0;
+    std::uint32_t maxRowNnz = 0;
+
+    /** Coefficient of variation of row NNZ (0 = perfectly uniform). */
+    double rowNnzCv = 0.0;
+
+    /** Gini coefficient of the row-NNZ distribution (1 = power law-ish). */
+    double rowNnzGini = 0.0;
+
+    /** Mean |col - row| over nonzeros, normalized by dimension. */
+    double normalizedBandwidth = 0.0;
+
+    /** Fraction of nonzeros within 1% of the diagonal. */
+    double diagonalLocality = 0.0;
+
+    /** Render a one-line human-readable summary. */
+    std::string summary() const;
+};
+
+/** Compute structural statistics of a CSR matrix. */
+MatrixStats computeStats(const CsrMatrix &m);
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_STATS_HH

@@ -1,0 +1,147 @@
+#include "sparse/suite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sparse/generators.hh"
+
+namespace sadapt {
+
+const std::vector<SuiteEntry> &
+suiteEntries()
+{
+    using SC = StructureClass;
+    static const std::vector<SuiteEntry> entries = {
+        // Synthetic (Table 5, top): dimension 8192 with growing NNZ.
+        {"U1", "uniform-25k", "Synthetic", SC::Uniform, 8192, 25000},
+        {"U2", "uniform-50k", "Synthetic", SC::Uniform, 8192, 50000},
+        {"U3", "uniform-100k", "Synthetic", SC::Uniform, 8192, 100000},
+        {"P1", "rmat-25k", "Synthetic", SC::PowerLaw, 8192, 25000},
+        {"P2", "rmat-50k", "Synthetic", SC::PowerLaw, 8192, 50000},
+        {"P3", "rmat-100k", "Synthetic", SC::PowerLaw, 8192, 100000},
+        // Real-world stand-ins (Table 5, bottom). Dimensions/NNZ follow
+        // the paper; the structure class follows the application domain.
+        {"R01", "California (stand-in)", "Directed Graph",
+         SC::PowerLaw, 9700, 16200},
+        {"R02", "Si2 (stand-in)", "Quant. Chemistry",
+         SC::BlockDiag, 800, 17800},
+        {"R03", "bayer09 (stand-in)", "Chemical Simulation",
+         SC::BlockDiag, 3100, 11800},
+        {"R04", "bcsstk08 (stand-in)", "Structural Problem",
+         SC::Banded, 1100, 13000},
+        {"R05", "coater1 (stand-in)", "Comp. Fluid Dyn.",
+         SC::Banded, 1300, 19500},
+        {"R06", "gemat12 (stand-in)", "Power Network",
+         SC::Mesh2d, 4900, 33000},
+        {"R07", "p2p-Gnutella08 (stand-in)", "Directed Graph",
+         SC::PowerLaw, 6300, 20800},
+        {"R08", "spaceStation_11 (stand-in)", "Optimal Control",
+         SC::Arrowhead, 1400, 19000},
+        {"R09", "EX3 (stand-in)", "Comp. Fluid Dyn.",
+         SC::Banded, 1800, 52700},
+        {"R10", "Oregon-1 (stand-in)", "Undirected Graph",
+         SC::PowerLawSym, 11500, 46800},
+        {"R11", "as-22july06 (stand-in)", "Undirected Graph",
+         SC::PowerLawSym, 23000, 96900},
+        {"R12", "crack (stand-in)", "2D/3D Problem",
+         SC::Mesh2d, 10200, 60800},
+        {"R13", "kineticBatchReactor_3 (stand-in)", "Optimal Control",
+         SC::Arrowhead, 5100, 53200},
+        {"R14", "nopoly (stand-in)", "Undirected Graph",
+         SC::PowerLawSym, 10800, 70800},
+        {"R15", "soc-sign-bitcoin-otc (stand-in)", "Directed Graph",
+         SC::PowerLaw, 5900, 35600},
+        {"R16", "wiki-Vote_11 (stand-in)", "Directed Graph",
+         SC::PowerLaw, 8300, 103700},
+    };
+    return entries;
+}
+
+const SuiteEntry &
+suiteEntry(const std::string &id)
+{
+    for (const auto &e : suiteEntries())
+        if (e.id == id)
+            return e;
+    fatal("unknown suite dataset id: " + id);
+}
+
+namespace {
+
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &id)
+{
+    std::uint64_t h = seed * 0x9e3779b97f4a7c15ull;
+    for (char c : id)
+        h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
+    return h;
+}
+
+} // namespace
+
+CsrMatrix
+makeSuiteMatrix(const std::string &id, double scale, std::uint64_t seed)
+{
+    const SuiteEntry &e = suiteEntry(id);
+    SADAPT_ASSERT(scale > 0.0 && scale <= 1.0,
+                  "suite scale must be in (0, 1]");
+    const auto dim = std::max<std::uint32_t>(
+        64, static_cast<std::uint32_t>(std::lround(e.dim * scale)));
+    // Scaling NNZ proportionally keeps the mean degree (and thus the
+    // per-row work distribution shape) constant.
+    const auto nnz = std::max<std::uint64_t>(
+        dim, static_cast<std::uint64_t>(std::llround(e.nnz * scale)));
+    Rng rng(mixSeed(seed, id));
+
+    switch (e.klass) {
+      case StructureClass::Uniform:
+        return makeUniformRandom(dim, nnz, rng);
+      case StructureClass::PowerLaw:
+        return makeRmat(dim, nnz, rng);
+      case StructureClass::PowerLawSym:
+        // Generate half the edges, then symmetrize to the target NNZ.
+        return symmetrized(makeRmat(dim, nnz / 2, rng), rng);
+      case StructureClass::Banded:
+        return makeBanded(
+            dim, nnz,
+            std::max<std::uint32_t>(
+                2, static_cast<std::uint32_t>(
+                    1.2 * static_cast<double>(nnz) / dim)),
+            rng);
+      case StructureClass::BlockDiag:
+        return makeBlockDiagonal(
+            dim, nnz,
+            std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(
+                    2.0 * static_cast<double>(nnz) / dim)),
+            rng);
+      case StructureClass::Arrowhead:
+        return makeArrowhead(
+            dim, nnz, std::max<std::uint32_t>(2, dim / 64), rng);
+      case StructureClass::Mesh2d:
+        return makeMesh2d(dim, nnz, rng);
+    }
+    fatal("unhandled structure class");
+}
+
+std::vector<std::string>
+spmspmRealWorldIds()
+{
+    return {"R01", "R02", "R03", "R04", "R05", "R06", "R07", "R08"};
+}
+
+std::vector<std::string>
+spmspvRealWorldIds()
+{
+    return {"R09", "R10", "R11", "R12", "R13", "R14", "R15", "R16"};
+}
+
+std::vector<std::string>
+syntheticIds()
+{
+    return {"U1", "U2", "U3", "P1", "P2", "P3"};
+}
+
+} // namespace sadapt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The evaluation dataset suite of Table 5.
+ *
+ * Synthetic datasets U1-U3 (uniform) and P1-P3 (power-law) are generated
+ * exactly as the paper describes. The real-world SuiteSparse/SNAP matrices
+ * R01-R16 are not redistributable here, so each is replaced by a synthetic
+ * stand-in of the same dimension, NNZ count and structure class (see
+ * DESIGN.md, substitution table). A Matrix Market file can be supplied to
+ * override any stand-in with the genuine matrix.
+ */
+
+#ifndef SADAPT_SPARSE_SUITE_HH
+#define SADAPT_SPARSE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace sadapt {
+
+/** Structure class of a suite matrix, used to pick the generator. */
+enum class StructureClass
+{
+    Uniform,      //!< uniform random (U1-U3)
+    PowerLaw,     //!< R-MAT directed power-law graph
+    PowerLawSym,  //!< symmetrized R-MAT (undirected graph)
+    Banded,       //!< narrow band around the diagonal (CFD, structural)
+    BlockDiag,    //!< dense-ish diagonal blocks (chemistry)
+    Arrowhead,    //!< band + dense border rows/cols (optimal control)
+    Mesh2d,       //!< 5-point stencil mesh (2D/3D problems)
+};
+
+/** Descriptor of one suite dataset (one row of Table 5). */
+struct SuiteEntry
+{
+    std::string id;          //!< e.g. "U1", "P3", "R07"
+    std::string name;        //!< e.g. "p2p-Gnutella08 (stand-in)"
+    std::string domain;      //!< application domain from Table 5
+    StructureClass klass;
+    std::uint32_t dim;       //!< paper-reported dimension
+    std::uint64_t nnz;       //!< paper-reported NNZ
+};
+
+/** @return the descriptors of all Table 5 datasets, in ID order. */
+const std::vector<SuiteEntry> &suiteEntries();
+
+/** @return the descriptor with the given ID; fatal() if unknown. */
+const SuiteEntry &suiteEntry(const std::string &id);
+
+/**
+ * Materialize a suite dataset.
+ *
+ * @param id Table 5 dataset ID ("U1".."U3", "P1".."P3", "R01".."R16").
+ * @param scale multiplier applied to both dimension and NNZ (degree is
+ *        preserved). 1.0 reproduces the paper's sizes; benches use smaller
+ *        scales to fit single-core simulation budgets.
+ * @param seed RNG seed (dataset ID is mixed in, so different IDs at the
+ *        same seed differ).
+ */
+CsrMatrix makeSuiteMatrix(const std::string &id, double scale = 1.0,
+                          std::uint64_t seed = 1);
+
+/** IDs used for SpMSpM evaluation (Figure 6): R01-R08. */
+std::vector<std::string> spmspmRealWorldIds();
+
+/** IDs used for SpMSpV / graph evaluation (Figure 7, Table 6): R09-R16. */
+std::vector<std::string> spmspvRealWorldIds();
+
+/** Synthetic IDs (Figure 5): U1-U3, P1-P3. */
+std::vector<std::string> syntheticIds();
+
+} // namespace sadapt
+
+#endif // SADAPT_SPARSE_SUITE_HH

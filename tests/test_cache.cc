@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the R-DCache bank model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "sim/cache.hh"
+
+using namespace sadapt;
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheBank c(4096);
+    auto r1 = c.access(0x1000, false);
+    EXPECT_FALSE(r1.hit);
+    auto r2 = c.access(0x1000, false);
+    EXPECT_TRUE(r2.hit);
+    // Same line, different word.
+    auto r3 = c.access(0x1008, false);
+    EXPECT_TRUE(r3.hit);
+}
+
+TEST(Cache, WriteSetsDirtyAndEvictionWritesBack)
+{
+    CacheBank c(1024, 1); // direct-mapped, 16 lines
+    c.access(0x0, true);  // dirty line at set 0
+    // Evict by accessing another line mapping to set 0 (stride = 16
+    // lines = 1024 bytes).
+    auto r = c.access(1024, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.writebackAddr, 0u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    CacheBank c(1024, 1);
+    c.access(0x0, false);
+    auto r = c.access(1024, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    CacheBank c(1024, 2); // 16 lines, 8 sets, 2 ways
+    const Addr set_stride = 8 * lineSize; // lines mapping to set 0
+    c.access(0 * set_stride, false);
+    c.access(1 * set_stride, false);
+    c.access(0 * set_stride, false); // refresh way A
+    c.access(2 * set_stride, false); // should evict line 1
+    EXPECT_TRUE(c.contains(0 * set_stride));
+    EXPECT_FALSE(c.contains(1 * set_stride));
+    EXPECT_TRUE(c.contains(2 * set_stride));
+}
+
+TEST(Cache, InstallDropsIfPresent)
+{
+    CacheBank c(4096);
+    c.access(0x40, false);
+    auto r = c.install(0x40);
+    EXPECT_TRUE(r.hit);
+}
+
+TEST(Cache, InstallBringsLineIn)
+{
+    CacheBank c(4096);
+    auto r = c.install(0x80);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(c.contains(0x80));
+    // Prefetched lines are clean.
+    EXPECT_EQ(c.dirtyLines(), 0u);
+}
+
+TEST(Cache, OccupancyGrowsToFull)
+{
+    CacheBank c(1024);
+    EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+    for (Addr a = 0; a < 1024; a += lineSize)
+        c.access(a, false);
+    EXPECT_DOUBLE_EQ(c.occupancy(), 1.0);
+}
+
+TEST(Cache, DirtyLineCountTracksWrites)
+{
+    CacheBank c(4096);
+    c.access(0x0, true);
+    c.access(0x40, true);
+    c.access(0x80, false);
+    EXPECT_EQ(c.dirtyLines(), 2u);
+}
+
+TEST(Cache, SetCapacityInvalidates)
+{
+    CacheBank c(4096);
+    c.access(0x0, true);
+    c.setCapacity(8192);
+    EXPECT_EQ(c.capacity(), 8192u);
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+}
+
+TEST(Cache, InvalidateAllClearsDirty)
+{
+    CacheBank c(4096);
+    c.access(0x0, true);
+    c.invalidateAll();
+    EXPECT_EQ(c.dirtyLines(), 0u);
+    EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(Cache, CapacityAffectsMissRateOnWorkingSet)
+{
+    // A 8 kB working set fits a 16 kB bank but thrashes a 4 kB bank.
+    auto misses = [](std::uint32_t cap) {
+        CacheBank c(cap);
+        int miss = 0;
+        for (int rep = 0; rep < 4; ++rep)
+            for (Addr a = 0; a < 8192; a += lineSize)
+                miss += !c.access(a, false).hit;
+        return miss;
+    };
+    EXPECT_GT(misses(4096), misses(16384));
+    EXPECT_EQ(misses(16384), 128); // only cold misses
+}
+
+TEST(CacheDeathTest, RejectsNonPowerOfTwoCapacity)
+{
+    EXPECT_DEATH(CacheBank c(5000), "power of two");
+}

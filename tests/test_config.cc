@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the hardware configuration space (Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "sim/config.hh"
+
+using namespace sadapt;
+
+TEST(HwConfig, TableOneValueLists)
+{
+    HwConfig cfg;
+    cfg.l1CapIdx = 0;
+    EXPECT_EQ(cfg.l1CapBytes(), 4096u);
+    cfg.l1CapIdx = 4;
+    EXPECT_EQ(cfg.l1CapBytes(), 65536u);
+    cfg.clockIdx = 0;
+    EXPECT_DOUBLE_EQ(cfg.clockHz(), 31.25e6);
+    cfg.clockIdx = 5;
+    EXPECT_DOUBLE_EQ(cfg.clockHz(), 1e9);
+    cfg.prefetchIdx = 0;
+    EXPECT_EQ(cfg.prefetchDegree(), 0u);
+    cfg.prefetchIdx = 2;
+    EXPECT_EQ(cfg.prefetchDegree(), 8u);
+}
+
+TEST(HwConfig, SpaceSizeMatchesTableOne)
+{
+    // 2 * 2 * 5 * 5 * 6 * 3 = 1800 per L1 type; 3600 total with the
+    // compile-time L1 type (Table 1's total count).
+    ConfigSpace space(MemType::Cache);
+    EXPECT_EQ(space.size(), 1800u);
+}
+
+TEST(HwConfig, EncodeDecodeRoundTrip)
+{
+    ConfigSpace space(MemType::Cache);
+    for (std::uint32_t code = 0; code < space.size(); ++code) {
+        const HwConfig cfg = space.decode(code);
+        EXPECT_EQ(cfg.encode(), code);
+    }
+}
+
+TEST(HwConfig, EncodeIsInjective)
+{
+    ConfigSpace space(MemType::Spm);
+    std::set<std::uint32_t> codes;
+    for (std::uint32_t c = 0; c < space.size(); ++c)
+        codes.insert(space.decode(c).encode());
+    EXPECT_EQ(codes.size(), space.size());
+}
+
+TEST(HwConfig, WithParamRoundTrip)
+{
+    const HwConfig cfg = baselineConfig();
+    for (Param p : allParams()) {
+        for (std::uint32_t v = 0; v < paramCardinality(p); ++v) {
+            const HwConfig mod = withParam(cfg, p, v);
+            EXPECT_EQ(paramValue(mod, p), v);
+            // Other parameters untouched.
+            for (Param q : allParams()) {
+                if (q != p) {
+                    EXPECT_EQ(paramValue(mod, q), paramValue(cfg, q));
+                }
+            }
+        }
+    }
+}
+
+TEST(HwConfig, SampleReturnsDistinctConfigs)
+{
+    ConfigSpace space(MemType::Cache);
+    Rng rng(1);
+    auto sample = space.sample(64, rng);
+    std::set<std::uint32_t> codes;
+    for (const auto &cfg : sample)
+        codes.insert(cfg.encode());
+    EXPECT_EQ(codes.size(), 64u);
+}
+
+TEST(HwConfig, NeighborsAreWithinOneStep)
+{
+    ConfigSpace space(MemType::Cache);
+    const HwConfig cfg = baselineConfig();
+    auto nbrs = space.neighbors(cfg);
+    EXPECT_FALSE(nbrs.empty());
+    for (const auto &n : nbrs) {
+        EXPECT_FALSE(n == cfg);
+        for (Param p : allParams()) {
+            const int dv = static_cast<int>(paramValue(n, p)) -
+                static_cast<int>(paramValue(cfg, p));
+            EXPECT_LE(std::abs(dv), 1);
+        }
+    }
+}
+
+TEST(HwConfig, NeighborCountOfInteriorPoint)
+{
+    // An interior point (all ordinal params away from their edges) has
+    // 3^m - 1 neighbors for m = 6 params... but the categorical params
+    // only have 2 values, so 2 * 2 * 3 * 3 * 3 * 3 - 1 = 323.
+    ConfigSpace space(MemType::Cache);
+    HwConfig cfg = baselineConfig();
+    cfg.l1CapIdx = 2;
+    cfg.l2CapIdx = 2;
+    cfg.clockIdx = 3;
+    cfg.prefetchIdx = 1;
+    EXPECT_EQ(space.neighbors(cfg).size(), 2u * 2 * 3 * 3 * 3 * 3 - 1);
+}
+
+TEST(HwConfig, SweepDimensionCoversAllValues)
+{
+    ConfigSpace space(MemType::Cache);
+    const HwConfig cfg = maxConfig();
+    auto sweep = space.sweepDimension(cfg, Param::Clock);
+    EXPECT_EQ(sweep.size(), 6u);
+    std::set<std::uint32_t> values;
+    for (const auto &s : sweep)
+        values.insert(paramValue(s, Param::Clock));
+    EXPECT_EQ(values.size(), 6u);
+}
+
+TEST(HwConfig, StandardConfigsMatchTableFour)
+{
+    const HwConfig base = baselineConfig();
+    EXPECT_EQ(base.l1CapBytes(), 4096u);
+    EXPECT_EQ(base.l1Sharing, SharingMode::Shared);
+    EXPECT_EQ(base.prefetchDegree(), 4u);
+    EXPECT_DOUBLE_EQ(base.clockHz(), 1e9);
+
+    const HwConfig best_cache = bestAvgConfig(MemType::Cache);
+    EXPECT_EQ(best_cache.l1Sharing, SharingMode::Private);
+    EXPECT_EQ(best_cache.prefetchDegree(), 0u);
+
+    const HwConfig best_spm = bestAvgConfig(MemType::Spm);
+    EXPECT_EQ(best_spm.l2CapBytes(), 32768u);
+    EXPECT_EQ(best_spm.l2Sharing, SharingMode::Private);
+    EXPECT_DOUBLE_EQ(best_spm.clockHz(), 500e6);
+    EXPECT_EQ(best_spm.prefetchDegree(), 8u);
+
+    const HwConfig max = maxConfig();
+    EXPECT_EQ(max.l1CapBytes(), 65536u);
+    EXPECT_EQ(max.l2CapBytes(), 65536u);
+    EXPECT_EQ(max.prefetchDegree(), 8u);
+}
+
+TEST(HwConfig, CostClassTaxonomy)
+{
+    EXPECT_EQ(paramCostClass(Param::Clock), CostClass::SuperFine);
+    EXPECT_EQ(paramCostClass(Param::Prefetch), CostClass::SuperFine);
+    EXPECT_EQ(paramCostClass(Param::L1Cap), CostClass::Fine);
+    EXPECT_EQ(paramCostClass(Param::L1Sharing), CostClass::Fine);
+}
+
+TEST(HwConfig, LabelMentionsKeyFields)
+{
+    const std::string label = maxConfig().label();
+    EXPECT_NE(label.find("64kB"), std::string::npos);
+    EXPECT_NE(label.find("1000MHz"), std::string::npos);
+}

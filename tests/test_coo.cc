@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the COO staging format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hh"
+
+using namespace sadapt;
+
+TEST(Coo, StartsEmpty)
+{
+    CooMatrix m(4, 5);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 5u);
+    EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(Coo, CoalesceSortsRowMajor)
+{
+    CooMatrix m(3, 3);
+    m.add(2, 1, 1.0);
+    m.add(0, 2, 2.0);
+    m.add(0, 0, 3.0);
+    m.coalesce();
+    const auto &t = m.triplets();
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0].row, 0u);
+    EXPECT_EQ(t[0].col, 0u);
+    EXPECT_EQ(t[1].row, 0u);
+    EXPECT_EQ(t[1].col, 2u);
+    EXPECT_EQ(t[2].row, 2u);
+    EXPECT_EQ(t[2].col, 1u);
+}
+
+TEST(Coo, CoalesceSumsDuplicates)
+{
+    CooMatrix m(2, 2);
+    m.add(1, 1, 1.5);
+    m.add(1, 1, 2.5);
+    m.add(0, 0, 1.0);
+    m.coalesce();
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.triplets()[1].value, 4.0);
+}
+
+TEST(Coo, CoalesceDropsExactZeros)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0);
+    m.add(0, 0, -1.0);
+    m.add(1, 0, 2.0);
+    m.coalesce();
+    ASSERT_EQ(m.nnz(), 1u);
+    EXPECT_EQ(m.triplets()[0].row, 1u);
+}
+
+TEST(Coo, TransposeSwapsIndices)
+{
+    CooMatrix m(2, 3);
+    m.add(0, 2, 7.0);
+    CooMatrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    ASSERT_EQ(t.nnz(), 1u);
+    EXPECT_EQ(t.triplets()[0].row, 2u);
+    EXPECT_EQ(t.triplets()[0].col, 0u);
+    EXPECT_DOUBLE_EQ(t.triplets()[0].value, 7.0);
+}
+
+TEST(CooDeathTest, OutOfBoundsAddPanics)
+{
+    CooMatrix m(2, 2);
+    EXPECT_DEATH(m.add(2, 0, 1.0), "out of bounds");
+}

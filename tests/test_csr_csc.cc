@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for CSR/CSC formats, conversions and round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sparse/coo.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+#include "sparse/generators.hh"
+
+using namespace sadapt;
+
+namespace {
+
+CooMatrix
+smallExample()
+{
+    // [ 1 0 2 ]
+    // [ 0 0 0 ]
+    // [ 3 4 0 ]
+    CooMatrix m(3, 3);
+    m.add(0, 0, 1.0);
+    m.add(0, 2, 2.0);
+    m.add(2, 0, 3.0);
+    m.add(2, 1, 4.0);
+    return m;
+}
+
+} // namespace
+
+TEST(Csr, BuildsFromCoo)
+{
+    CsrMatrix m(smallExample());
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.rowNnz(0), 2u);
+    EXPECT_EQ(m.rowNnz(1), 0u);
+    EXPECT_EQ(m.rowNnz(2), 2u);
+}
+
+TEST(Csr, AtReturnsValuesAndZeros)
+{
+    CsrMatrix m(smallExample());
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(Csr, RowSpansAreSorted)
+{
+    Rng rng(1);
+    CsrMatrix m = makeUniformRandom(64, 512, rng);
+    for (std::uint32_t r = 0; r < m.rows(); ++r) {
+        auto cols = m.rowCols(r);
+        for (std::size_t i = 1; i < cols.size(); ++i)
+            EXPECT_LT(cols[i - 1], cols[i]);
+    }
+}
+
+TEST(Csr, DensityMatchesDefinition)
+{
+    CsrMatrix m(smallExample());
+    EXPECT_DOUBLE_EQ(m.density(), 4.0 / 9.0);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity)
+{
+    Rng rng(2);
+    CsrMatrix m = makeUniformRandom(32, 128, rng);
+    EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Csr, TransposeSwapsAt)
+{
+    CsrMatrix m(smallExample());
+    CsrMatrix t = m.transposed();
+    for (std::uint32_t r = 0; r < 3; ++r)
+        for (std::uint32_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c), t.at(c, r));
+}
+
+TEST(Csc, BuildsFromCoo)
+{
+    CscMatrix m(smallExample());
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.colNnz(0), 2u);
+    EXPECT_EQ(m.colNnz(1), 1u);
+    EXPECT_EQ(m.colNnz(2), 1u);
+}
+
+TEST(Csc, ColumnSpansSortedByRow)
+{
+    Rng rng(3);
+    CscMatrix m(makeUniformRandom(64, 512, rng));
+    for (std::uint32_t c = 0; c < m.cols(); ++c) {
+        auto rows = m.colRows(c);
+        for (std::size_t i = 1; i < rows.size(); ++i)
+            EXPECT_LT(rows[i - 1], rows[i]);
+    }
+}
+
+TEST(Csc, AgreesWithCsrElementwise)
+{
+    Rng rng(4);
+    CsrMatrix csr = makeUniformRandom(48, 300, rng);
+    CscMatrix csc(csr);
+    for (std::uint32_t c = 0; c < csc.cols(); ++c) {
+        auto rows = csc.colRows(c);
+        auto vals = csc.colVals(c);
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            EXPECT_DOUBLE_EQ(csr.at(rows[i], c), vals[i]);
+    }
+    EXPECT_EQ(csc.nnz(), csr.nnz());
+}
+
+TEST(Csc, RoundTripThroughCooPreservesCsr)
+{
+    Rng rng(5);
+    CsrMatrix csr = makeUniformRandom(40, 200, rng);
+    CscMatrix csc(csr);
+    CsrMatrix back(csc.toCoo());
+    EXPECT_EQ(back, csr);
+}
+
+TEST(Csr, EmptyMatrixHasZeroDensity)
+{
+    CsrMatrix m;
+    EXPECT_DOUBLE_EQ(m.density(), 0.0);
+    EXPECT_EQ(m.nnz(), 0u);
+}

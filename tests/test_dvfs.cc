@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the DVFS model (Section 3.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dvfs.hh"
+
+using namespace sadapt;
+
+TEST(Dvfs, NominalFrequencyNeedsNominalVoltage)
+{
+    DvfsModel m;
+    EXPECT_NEAR(m.voltageFor(1e9), 0.9, 1e-9);
+    EXPECT_NEAR(m.dynamicScale(1e9), 1.0, 1e-9);
+    EXPECT_NEAR(m.leakageScale(1e9), 1.0, 1e-9);
+}
+
+TEST(Dvfs, VoltageMonotonicInFrequency)
+{
+    DvfsModel m;
+    double prev = 0.0;
+    for (Hertz f : {31.25e6, 62.5e6, 125e6, 250e6, 500e6, 1e9}) {
+        const double v = m.voltageFor(f);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Dvfs, VoltageFlooredAtThirtyPercentAboveVth)
+{
+    DvfsModel m(1e9, 0.9, 0.3);
+    // At very low frequency the solved voltage drops below the floor.
+    EXPECT_DOUBLE_EQ(m.voltageFor(1e6), 1.3 * 0.3);
+}
+
+TEST(Dvfs, DynamicScaleIsSquaredVoltageRatio)
+{
+    DvfsModel m;
+    const Hertz f = 125e6;
+    const double v = m.voltageFor(f);
+    EXPECT_NEAR(m.dynamicScale(f), (v / 0.9) * (v / 0.9), 1e-12);
+    EXPECT_LT(m.dynamicScale(f), 0.5);
+}
+
+TEST(Dvfs, SatisfiesAlphaPowerLawAboveFloor)
+{
+    DvfsModel m(1e9, 0.9, 0.3);
+    // f proportional to (V - Vt)^2 / V: check ratio at 500 MHz.
+    const double v = m.voltageFor(500e6);
+    ASSERT_GT(v, 1.3 * 0.3);
+    const double r_nom = (0.9 - 0.3) * (0.9 - 0.3) / 0.9;
+    const double r_tar = (v - 0.3) * (v - 0.3) / v;
+    EXPECT_NEAR(r_tar / r_nom, 0.5, 1e-9);
+}
+
+TEST(DvfsDeathTest, RejectsOutOfRangeFrequency)
+{
+    DvfsModel m;
+    EXPECT_DEATH(m.voltageFor(2e9), "out of range");
+    EXPECT_DEATH(m.voltageFor(0.0), "out of range");
+}

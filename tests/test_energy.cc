@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tests for the SRAM/energy scaling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+
+using namespace sadapt;
+
+TEST(Sram, ReadEnergyGrowsWithCapacity)
+{
+    SramModel m{EnergyParams{}};
+    EXPECT_LT(m.readEnergy(4096, false), m.readEnergy(65536, false));
+    // sqrt scaling: 16x capacity => 4x energy.
+    EXPECT_NEAR(m.readEnergy(65536, false) / m.readEnergy(4096, false),
+                4.0, 1e-9);
+}
+
+TEST(Sram, WriteCostsMoreThanRead)
+{
+    SramModel m{EnergyParams{}};
+    EXPECT_GT(m.writeEnergy(4096, false), m.readEnergy(4096, false));
+}
+
+TEST(Sram, SpmCheaperThanCache)
+{
+    SramModel m{EnergyParams{}};
+    EXPECT_LT(m.readEnergy(4096, true), m.readEnergy(4096, false));
+    EXPECT_LT(m.leakage(4096, true), m.leakage(4096, false));
+}
+
+TEST(Sram, LeakageLinearInCapacity)
+{
+    SramModel m{EnergyParams{}};
+    EXPECT_NEAR(m.leakage(65536, false) / m.leakage(4096, false), 16.0,
+                1e-9);
+}
+
+TEST(SramDeathTest, RejectsTinyBank)
+{
+    SramModel m{EnergyParams{}};
+    EXPECT_DEATH(m.readEnergy(128, false), "implausibly small");
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the epoch database and the schedule stitching engine
+ * (Appendix A.7 methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "adapt/epoch_db.hh"
+#include "common/rng.hh"
+#include "sparse/generators.hh"
+
+using namespace sadapt;
+
+namespace {
+
+Workload
+smallWorkload(std::uint64_t epoch_fp = 100)
+{
+    static Rng rng(1);
+    CsrMatrix a = makeUniformRandom(128, 1200, rng);
+    WorkloadOptions wo;
+    wo.epochFpOps = epoch_fp;
+    SparseVector x = SparseVector::random(128, 0.5, rng);
+    return makeSpMSpVWorkload("test", a, x, wo);
+}
+
+} // namespace
+
+TEST(EpochDb, MemoizesSimulations)
+{
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    EXPECT_EQ(db.simulatedConfigs(), 0u);
+    db.result(baselineConfig());
+    EXPECT_EQ(db.simulatedConfigs(), 1u);
+    db.result(baselineConfig());
+    EXPECT_EQ(db.simulatedConfigs(), 1u);
+    db.result(maxConfig());
+    EXPECT_EQ(db.simulatedConfigs(), 2u);
+}
+
+TEST(EpochDb, EpochCountsAlign)
+{
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    const std::size_t n = db.numEpochs();
+    EXPECT_GT(n, 2u);
+    EXPECT_EQ(db.epochs(maxConfig()).size(), n);
+    EXPECT_EQ(db.epochs(bestAvgConfig(MemType::Cache)).size(), n);
+}
+
+TEST(Schedule, UniformAndSwitchCount)
+{
+    Schedule s = Schedule::uniform(baselineConfig(), 5);
+    EXPECT_EQ(s.configs.size(), 5u);
+    EXPECT_EQ(s.switchCount(), 0u);
+    s.configs[2] = maxConfig();
+    EXPECT_EQ(s.switchCount(), 2u); // in and out
+}
+
+TEST(EvaluateSchedule, StaticMatchesRawSimulation)
+{
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    ReconfigCostModel cost(wl.params.shape, wl.params.memBandwidth);
+    const HwConfig cfg = baselineConfig();
+    ScheduleEval ev = evaluateSchedule(
+        db, Schedule::uniform(cfg, db.numEpochs()), cost,
+        OptMode::EnergyEfficient, cfg);
+    const SimResult &raw = db.result(cfg);
+    EXPECT_DOUBLE_EQ(ev.flops, raw.totalFlops());
+    EXPECT_DOUBLE_EQ(ev.seconds, raw.totalSeconds());
+    EXPECT_DOUBLE_EQ(ev.energy, raw.totalEnergy());
+    EXPECT_EQ(ev.reconfigCount, 0u);
+}
+
+TEST(EvaluateSchedule, ChargesReconfigurationAtSeams)
+{
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    ReconfigCostModel cost(wl.params.shape, wl.params.memBandwidth);
+    Schedule s = Schedule::uniform(baselineConfig(), db.numEpochs());
+    ASSERT_GE(s.configs.size(), 3u);
+    s.configs[1] = maxConfig(); // two seams
+    ScheduleEval ev = evaluateSchedule(db, s, cost,
+                                       OptMode::EnergyEfficient,
+                                       baselineConfig());
+    EXPECT_EQ(ev.reconfigCount, 2u);
+    EXPECT_GT(ev.reconfigSeconds, 0.0);
+    EXPECT_GT(ev.reconfigEnergy, 0.0);
+
+    // Totals exceed the stitched epochs alone by exactly the penalty.
+    ScheduleEval base = evaluateSchedule(
+        db, Schedule::uniform(baselineConfig(), db.numEpochs()), cost,
+        OptMode::EnergyEfficient, baselineConfig());
+    EXPECT_GT(ev.seconds - ev.reconfigSeconds, 0.0);
+    EXPECT_NE(ev.seconds, base.seconds);
+}
+
+TEST(EvaluateSchedule, InitialSwitchCharged)
+{
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    ReconfigCostModel cost(wl.params.shape, wl.params.memBandwidth);
+    ScheduleEval ev = evaluateSchedule(
+        db, Schedule::uniform(maxConfig(), db.numEpochs()), cost,
+        OptMode::EnergyEfficient, baselineConfig());
+    EXPECT_EQ(ev.reconfigCount, 1u);
+}
+
+TEST(EvaluateSchedule, PhaseFilterPartitionsTotals)
+{
+    // SpMSpM has two phases; filtered evals must sum to the full one
+    // (minus reconfig charges, which the filter keeps).
+    Rng rng(2);
+    CsrMatrix a = makeUniformRandom(64, 500, rng);
+    WorkloadOptions wo;
+    wo.epochFpOps = 100;
+    Workload wl = makeSpMSpMWorkload("mm", a, wo);
+    EpochDb db(wl);
+    ReconfigCostModel cost(wl.params.shape, wl.params.memBandwidth);
+    const Schedule s =
+        Schedule::uniform(baselineConfig(), db.numEpochs());
+    auto all = evaluateSchedule(db, s, cost,
+                                OptMode::EnergyEfficient,
+                                baselineConfig());
+    auto p0 = evaluateScheduleForPhase(db, s, cost,
+                                       OptMode::EnergyEfficient,
+                                       baselineConfig(), 0);
+    auto p1 = evaluateScheduleForPhase(db, s, cost,
+                                       OptMode::EnergyEfficient,
+                                       baselineConfig(), 1);
+    EXPECT_GT(p0.flops, 0.0);
+    EXPECT_GT(p1.flops, 0.0);
+    EXPECT_NEAR(p0.flops + p1.flops, all.flops, 1e-9);
+    EXPECT_NEAR(p0.seconds + p1.seconds, all.seconds, 1e-12);
+}
+
+TEST(ScheduleEval, MetricConsistency)
+{
+    ScheduleEval ev;
+    ev.flops = 4e9;
+    ev.seconds = 2.0;
+    ev.energy = 8.0;
+    EXPECT_DOUBLE_EQ(ev.gflops(), 2.0);
+    EXPECT_DOUBLE_EQ(ev.gflopsPerWatt(), 0.5);
+    EXPECT_DOUBLE_EQ(ev.metric(OptMode::EnergyEfficient), 0.5);
+    EXPECT_DOUBLE_EQ(ev.metric(OptMode::PowerPerformance), 2.0);
+}

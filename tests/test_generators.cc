@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests and structural property checks for the synthetic matrix
+ * generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "sparse/csc.hh"
+#include "sparse/generators.hh"
+#include "sparse/stats.hh"
+
+using namespace sadapt;
+
+TEST(Generators, UniformHitsTargetNnz)
+{
+    Rng rng(1);
+    CsrMatrix m = makeUniformRandom(256, 4096, rng);
+    EXPECT_EQ(m.nnz(), 4096u);
+    EXPECT_EQ(m.rows(), 256u);
+}
+
+TEST(Generators, UniformClampedToCapacity)
+{
+    Rng rng(2);
+    CsrMatrix m = makeUniformRandom(8, 1000, rng);
+    EXPECT_EQ(m.nnz(), 64u);
+}
+
+TEST(Generators, UniformRowNnzNearlyUniform)
+{
+    Rng rng(3);
+    CsrMatrix m = makeUniformRandom(512, 16384, rng);
+    const MatrixStats s = computeStats(m);
+    // Poisson-ish: CV should be small for a uniform pattern.
+    EXPECT_LT(s.rowNnzCv, 0.5);
+    EXPECT_LT(s.rowNnzGini, 0.35);
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    // The paper's R-MAT parameters (A = C = 0.1, B = 0.4, D = 0.4) give
+    // P(col bit = 1) = B + D = 0.8 per level, so the *column* marginal is
+    // power-law-skewed; measure Gini on the transpose.
+    Rng rng(4);
+    CsrMatrix uni = makeUniformRandom(1024, 16384, rng).transposed();
+    CsrMatrix rm = makeRmat(1024, 16384, rng).transposed();
+    const MatrixStats su = computeStats(uni);
+    const MatrixStats sr = computeStats(rm);
+    EXPECT_GT(sr.rowNnzGini, su.rowNnzGini + 0.2);
+    EXPECT_GT(sr.maxRowNnz, 2 * su.maxRowNnz);
+}
+
+TEST(Generators, RmatNonPowerOfTwoDimension)
+{
+    Rng rng(5);
+    CsrMatrix m = makeRmat(1000, 8000, rng);
+    EXPECT_EQ(m.rows(), 1000u);
+    EXPECT_GT(m.nnz(), 7000u); // rejection may slightly undershoot tries
+    for (std::uint32_t r = 0; r < m.rows(); ++r)
+        for (auto c : m.rowCols(r))
+            EXPECT_LT(c, 1000u);
+}
+
+TEST(Generators, BandedStaysInBand)
+{
+    Rng rng(6);
+    const std::uint32_t band = 9;
+    CsrMatrix m = makeBanded(300, 3000, band, rng);
+    for (std::uint32_t r = 0; r < m.rows(); ++r)
+        for (auto c : m.rowCols(r))
+            EXPECT_LE(std::abs(static_cast<long>(c) - static_cast<long>(r)),
+                      static_cast<long>(band));
+}
+
+TEST(Generators, BlockDiagonalStaysInBlocks)
+{
+    Rng rng(7);
+    const std::uint32_t block = 16;
+    CsrMatrix m = makeBlockDiagonal(128, 2000, block, rng);
+    for (std::uint32_t r = 0; r < m.rows(); ++r)
+        for (auto c : m.rowCols(r))
+            EXPECT_EQ(r / block, c / block);
+}
+
+TEST(Generators, ArrowheadHasDenseBorder)
+{
+    Rng rng(8);
+    CsrMatrix m = makeArrowhead(512, 8192, 16, rng);
+    const MatrixStats s = computeStats(m);
+    // First rows should be much denser than the average row.
+    std::uint64_t border = 0;
+    for (std::uint32_t r = 0; r < 16; ++r)
+        border += m.rowNnz(r);
+    EXPECT_GT(static_cast<double>(border) / 16.0, 2.0 * s.meanRowNnz);
+}
+
+TEST(Generators, MeshIsDiagonallyLocal)
+{
+    Rng rng(9);
+    CsrMatrix m = makeMesh2d(1024, 5000, rng);
+    const MatrixStats s = computeStats(m);
+    EXPECT_LT(s.normalizedBandwidth, 0.05);
+}
+
+TEST(Generators, StripStructuredHasDenseColumns)
+{
+    Rng rng(10);
+    CsrMatrix m = makeStripStructured(128, 0.2, 7, rng);
+    EXPECT_NEAR(m.density(), 0.2, 0.05);
+    CscMatrix csc(m);
+    // Count columns that are >50% dense: should be ~7.
+    int dense_cols = 0;
+    for (std::uint32_t c = 0; c < 128; ++c)
+        if (csc.colNnz(c) > 64)
+            ++dense_cols;
+    EXPECT_EQ(dense_cols, 7);
+}
+
+TEST(Generators, SymmetrizedIsSymmetricPattern)
+{
+    Rng rng(11);
+    CsrMatrix m = symmetrized(makeRmat(256, 2000, rng), rng);
+    for (std::uint32_t r = 0; r < m.rows(); ++r)
+        for (auto c : m.rowCols(r))
+            EXPECT_NE(m.at(c, r), 0.0);
+}
+
+TEST(Generators, DeterministicForSameSeed)
+{
+    Rng a(99), b(99);
+    EXPECT_EQ(makeRmat(512, 4096, a), makeRmat(512, 4096, b));
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for BFS/SSSP as iterative SpMSpV vertex programs (Table 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "graph/graph_algorithms.hh"
+#include "sim/transmuter.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+using namespace sadapt;
+
+namespace {
+
+constexpr SystemShape shape{2, 8};
+
+CsrMatrix
+chainGraph(std::uint32_t n)
+{
+    CooMatrix coo(n, n);
+    for (std::uint32_t i = 0; i + 1 < n; ++i)
+        coo.add(i, i + 1, 1.0);
+    return CsrMatrix(coo);
+}
+
+} // namespace
+
+TEST(Bfs, LevelsMatchReferenceOnRandomGraph)
+{
+    Rng rng(1);
+    CsrMatrix g = makeRmat(128, 1000, rng);
+    auto build = buildBfs(g, 0, shape, MemType::Cache);
+    EXPECT_EQ(build.levels, referenceBfs(g, 0));
+}
+
+TEST(Bfs, ChainHasLinearLevels)
+{
+    CsrMatrix g = chainGraph(10);
+    auto build = buildBfs(g, 0, shape, MemType::Cache);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(build.levels[i], static_cast<std::int32_t>(i));
+    // Nine expansions reach vertex 9; a tenth processes the final
+    // frontier (finding nothing) before the loop terminates.
+    EXPECT_EQ(build.iterations, 10u);
+}
+
+TEST(Bfs, UnreachableVerticesStayMinusOne)
+{
+    CooMatrix coo(6, 6);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 2, 1.0);
+    // 3,4,5 isolated.
+    auto build = buildBfs(CsrMatrix(coo), 0, shape, MemType::Cache);
+    EXPECT_EQ(build.levels[2], 2);
+    EXPECT_EQ(build.levels[3], -1);
+    EXPECT_EQ(build.levels[5], -1);
+}
+
+TEST(Bfs, EdgesTraversedCountsFrontierOutDegrees)
+{
+    CsrMatrix g = chainGraph(5);
+    auto build = buildBfs(g, 0, shape, MemType::Cache);
+    // Each frontier vertex has out-degree 1 except the last: 4 edges.
+    EXPECT_DOUBLE_EQ(build.edgesTraversed, 4.0);
+}
+
+TEST(Bfs, OnePhasePerIteration)
+{
+    Rng rng(2);
+    CsrMatrix g = makeRmat(64, 400, rng);
+    auto build = buildBfs(g, 0, shape, MemType::Cache);
+    EXPECT_EQ(build.trace.phaseNames().size(), build.iterations);
+}
+
+TEST(Bfs, SpmVariantSameLevels)
+{
+    Rng rng(3);
+    CsrMatrix g = makeRmat(128, 900, rng);
+    auto cache = buildBfs(g, 0, shape, MemType::Cache);
+    auto spm = buildBfs(g, 0, shape, MemType::Spm);
+    EXPECT_EQ(cache.levels, spm.levels);
+}
+
+TEST(Bfs, RunsOnSimulator)
+{
+    Rng rng(4);
+    CsrMatrix g = makeRmat(128, 1000, rng);
+    auto build = buildBfs(g, 0, shape, MemType::Cache);
+    RunParams rp;
+    rp.shape = shape;
+    rp.epochFpOps = 500;
+    Transmuter sim(rp);
+    auto res = sim.run(build.trace, baselineConfig());
+    EXPECT_GT(res.totalSeconds(), 0.0);
+    EXPECT_GT(tepsOf(build, res.totalSeconds()), 0.0);
+}
+
+TEST(Sssp, DistancesMatchDijkstraOnRandomGraph)
+{
+    Rng rng(5);
+    CsrMatrix g = makeRmat(128, 1200, rng);
+    auto build = buildSssp(g, 0, shape, MemType::Cache, 256);
+    const auto want = referenceSssp(g, 0);
+    ASSERT_EQ(build.distances.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        if (std::isinf(want[i]))
+            EXPECT_TRUE(std::isinf(build.distances[i]));
+        else
+            EXPECT_NEAR(build.distances[i], want[i], 1e-9);
+    }
+}
+
+TEST(Sssp, ChainDistancesAccumulate)
+{
+    CsrMatrix g = chainGraph(8);
+    auto build = buildSssp(g, 0, shape, MemType::Cache);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(build.distances[i], static_cast<double>(i), 1e-12);
+}
+
+TEST(Sssp, IterationCapBoundsTrace)
+{
+    CsrMatrix g = chainGraph(50);
+    auto build = buildSssp(g, 0, shape, MemType::Cache, 5);
+    EXPECT_EQ(build.iterations, 5u);
+    // Distances beyond the cap remain infinite.
+    EXPECT_TRUE(std::isinf(build.distances[49]));
+}
+
+TEST(Sssp, FindsShorterOfTwoPaths)
+{
+    // 0 -> 1 -> 2 (cost 0.2 + 0.2) vs direct 0 -> 2 (cost 0.9).
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 0.2);
+    coo.add(1, 2, 0.2);
+    coo.add(0, 2, 0.9);
+    auto build = buildSssp(CsrMatrix(coo), 0, shape, MemType::Cache);
+    EXPECT_NEAR(build.distances[2], 0.4, 1e-12);
+}
+
+TEST(ConnectedComponents, MatchesUnionFindOnUndirectedGraph)
+{
+    Rng rng(20);
+    CsrMatrix g = symmetrized(makeRmat(128, 400, rng), rng);
+    auto build = buildConnectedComponents(g, shape, MemType::Cache);
+    const auto want = referenceComponents(g);
+    ASSERT_EQ(build.distances.size(), want.size());
+    for (std::size_t v = 0; v < want.size(); ++v)
+        EXPECT_DOUBLE_EQ(build.distances[v],
+                         static_cast<double>(want[v]));
+}
+
+TEST(ConnectedComponents, IsolatedVerticesKeepOwnLabel)
+{
+    CooMatrix coo(6, 6);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(3, 4, 1.0);
+    coo.add(4, 3, 1.0);
+    auto build = buildConnectedComponents(CsrMatrix(coo), shape,
+                                          MemType::Cache);
+    EXPECT_DOUBLE_EQ(build.distances[0], 0.0);
+    EXPECT_DOUBLE_EQ(build.distances[1], 0.0);
+    EXPECT_DOUBLE_EQ(build.distances[2], 2.0);
+    EXPECT_DOUBLE_EQ(build.distances[3], 3.0);
+    EXPECT_DOUBLE_EQ(build.distances[4], 3.0);
+    EXPECT_DOUBLE_EQ(build.distances[5], 5.0);
+}
+
+TEST(ConnectedComponents, ConvergesAndCountsEdges)
+{
+    Rng rng(21);
+    CsrMatrix g = symmetrized(makeRmat(256, 1500, rng), rng);
+    auto build = buildConnectedComponents(g, shape, MemType::Cache);
+    EXPECT_GT(build.iterations, 0u);
+    // Round 1 alone touches every vertex's full neighborhood.
+    EXPECT_GE(build.edgesTraversed, static_cast<double>(g.nnz()));
+    EXPECT_EQ(build.trace.phaseNames().size(), build.iterations);
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for Matrix Market I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "sparse/generators.hh"
+#include "sparse/io.hh"
+
+using namespace sadapt;
+
+TEST(MatrixMarket, RoundTripPreservesMatrix)
+{
+    Rng rng(1);
+    CsrMatrix m = makeUniformRandom(64, 512, rng);
+    std::stringstream buf;
+    writeMatrixMarket(m, buf);
+    CsrMatrix back = readMatrixMarket(buf);
+    EXPECT_EQ(back, m);
+}
+
+TEST(MatrixMarket, ReadsGeneralRealFixture)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 4 2\n"
+        "1 1 1.5\n"
+        "3 4 -2.0\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(m.at(2, 3), -2.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 1.0\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 3u); // off-diagonal mirrored, diagonal not
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 5.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 2), 1.0);
+}
+
+TEST(MatrixMarket, PatternEntriesGetUnitValues)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarketDeathTest, RejectsBadBanner)
+{
+    std::istringstream in("%%NotMatrixMarket whatever\n1 1 0\n");
+    EXPECT_EXIT(readMatrixMarket(in), testing::ExitedWithCode(1),
+                "bad banner");
+}
+
+TEST(MatrixMarketDeathTest, RejectsOutOfBoundsEntry)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in), testing::ExitedWithCode(1),
+                "out of bounds");
+}
+
+TEST(MatrixMarket, FileRoundTrip)
+{
+    Rng rng(2);
+    CsrMatrix m = makeRmat(128, 600, rng);
+    const std::string path = "test_io_roundtrip.mtx";
+    writeMatrixMarketFile(m, path);
+    CsrMatrix back = readMatrixMarketFile(path);
+    EXPECT_EQ(back, m);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the optimization-mode metrics and telemetry features.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adapt/metrics.hh"
+#include "adapt/telemetry.hh"
+
+using namespace sadapt;
+
+TEST(Metrics, GflopsPerWattDefinition)
+{
+    // 2e9 flops in 1 s at 4 J -> 2 GFLOPS, 4 W -> 0.5 GFLOPS/W.
+    EXPECT_DOUBLE_EQ(metricValue(OptMode::EnergyEfficient, 2e9, 1.0,
+                                 4.0),
+                     0.5);
+}
+
+TEST(Metrics, PowerPerformanceCubesGflops)
+{
+    // 2 GFLOPS at 4 W -> 8 / 4 = 2 GFLOPS^3/W.
+    EXPECT_DOUBLE_EQ(metricValue(OptMode::PowerPerformance, 2e9, 1.0,
+                                 4.0),
+                     2.0);
+}
+
+TEST(Metrics, PowerPerformanceRewardsSpeedMoreThanEnergy)
+{
+    // Halving runtime at equal energy helps PP mode more than halving
+    // energy at equal runtime.
+    const double base =
+        metricValue(OptMode::PowerPerformance, 1e9, 1.0, 1.0);
+    const double faster =
+        metricValue(OptMode::PowerPerformance, 1e9, 0.5, 1.0);
+    const double leaner =
+        metricValue(OptMode::PowerPerformance, 1e9, 1.0, 0.5);
+    EXPECT_GT(faster, leaner);
+    EXPECT_GT(leaner, base);
+    // EE mode is indifferent to speed at fixed energy.
+    EXPECT_DOUBLE_EQ(
+        metricValue(OptMode::EnergyEfficient, 1e9, 0.5, 1.0),
+        metricValue(OptMode::EnergyEfficient, 1e9, 1.0, 1.0));
+}
+
+TEST(Metrics, DegenerateInputsYieldZero)
+{
+    EXPECT_DOUBLE_EQ(metricValue(OptMode::EnergyEfficient, 1e9, 0.0,
+                                 1.0),
+                     0.0);
+    EXPECT_DOUBLE_EQ(metricValue(OptMode::PowerPerformance, 1e9, 1.0,
+                                 0.0),
+                     0.0);
+}
+
+TEST(Metrics, ModeNames)
+{
+    EXPECT_EQ(optModeName(OptMode::EnergyEfficient),
+              "Energy-Efficient");
+    EXPECT_EQ(optModeName(OptMode::PowerPerformance),
+              "Power-Performance");
+}
+
+TEST(Telemetry, FeatureVectorShape)
+{
+    EXPECT_EQ(numTelemetryFeatures(),
+              numParams + PerfCounterSample::count());
+    EXPECT_EQ(telemetryFeatureNames().size(), numTelemetryFeatures());
+    EXPECT_EQ(telemetryFeatureGroups().size(), numTelemetryFeatures());
+    const auto f = buildFeatures(baselineConfig(), PerfCounterSample{});
+    EXPECT_EQ(f.size(), numTelemetryFeatures());
+}
+
+TEST(Telemetry, ConfigParamsNormalizedToUnitRange)
+{
+    const auto lo = buildFeatures(
+        ConfigSpace(MemType::Cache).decode(0), PerfCounterSample{});
+    const auto hi = buildFeatures(
+        ConfigSpace(MemType::Cache).decode(1799), PerfCounterSample{});
+    for (std::size_t i = 0; i < numParams; ++i) {
+        EXPECT_DOUBLE_EQ(lo[i], 0.0);
+        EXPECT_DOUBLE_EQ(hi[i], 1.0);
+    }
+}
+
+TEST(Telemetry, CounterValuesPassThrough)
+{
+    PerfCounterSample c;
+    c.l1MissRate = 0.25;
+    c.memReadBwUtil = 0.75;
+    const auto f = buildFeatures(baselineConfig(), c);
+    // Find by name to avoid hard-coding positions.
+    const auto &names = telemetryFeatureNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "l1_miss_rate") {
+            EXPECT_DOUBLE_EQ(f[i], 0.25);
+        }
+        if (names[i] == "mem_read_bw_util") {
+            EXPECT_DOUBLE_EQ(f[i], 0.75);
+        }
+    }
+}
+
+TEST(Telemetry, GroupsStartWithConfigParams)
+{
+    const auto &groups = telemetryFeatureGroups();
+    for (std::size_t i = 0; i < numParams; ++i)
+        EXPECT_EQ(groups[i], FeatureGroup::ConfigParams);
+    EXPECT_EQ(groups[numParams], FeatureGroup::L1RDCache);
+    EXPECT_EQ(groups.back(), FeatureGroup::MemoryController);
+}

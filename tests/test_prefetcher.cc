@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the PC-indexed stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/prefetcher.hh"
+
+using namespace sadapt;
+
+namespace {
+
+std::vector<Addr>
+drive(StridePrefetcher &pf, std::uint16_t pc,
+      const std::vector<Addr> &addrs)
+{
+    std::vector<Addr> out;
+    for (Addr a : addrs)
+        pf.observe(pc, a, out);
+    return out;
+}
+
+} // namespace
+
+TEST(Prefetcher, DisabledIssuesNothing)
+{
+    StridePrefetcher pf(0);
+    auto out = drive(pf, 1, {0, 64, 128, 192, 256});
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.issued(), 0u);
+}
+
+TEST(Prefetcher, StrideTrainsAfterTwoConfirmations)
+{
+    StridePrefetcher pf(4);
+    std::vector<Addr> out;
+    pf.observe(1, 0, out);    // allocate
+    pf.observe(1, 64, out);   // learn stride
+    EXPECT_TRUE(out.empty());
+    pf.observe(1, 128, out);  // confidence 1
+    EXPECT_TRUE(out.empty());
+    pf.observe(1, 192, out);  // confidence 2 -> issue
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 192u + 64u);
+    EXPECT_EQ(out[3], 192u + 4 * 64u);
+}
+
+TEST(Prefetcher, DegreeControlsFanout)
+{
+    StridePrefetcher pf8(8);
+    auto out = drive(pf8, 1, {0, 64, 128, 192});
+    EXPECT_EQ(out.size(), 8u);
+    EXPECT_EQ(pf8.issued(), 8u);
+}
+
+TEST(Prefetcher, RandomPatternNeverTrains)
+{
+    StridePrefetcher pf(8);
+    auto out = drive(pf, 3, {0, 640, 64, 8192, 120, 77777, 320});
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, SubLineStridePromotedToLine)
+{
+    StridePrefetcher pf(2);
+    // 8-byte stride walks: prefetch whole lines ahead.
+    auto out = drive(pf, 2, {0, 8, 16, 24});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 24u + 64u);
+    EXPECT_EQ(out[1], 24u + 128u);
+}
+
+TEST(Prefetcher, NegativeStrideSupported)
+{
+    StridePrefetcher pf(1);
+    auto out = drive(pf, 4, {4096, 4032, 3968, 3904});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 3904u - 64u);
+}
+
+TEST(Prefetcher, NegativeStrideStopsAtZero)
+{
+    StridePrefetcher pf(8);
+    auto out = drive(pf, 4, {192, 128, 64, 0});
+    // Prefetches below address zero are suppressed.
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, DistinctPcsTrackedIndependently)
+{
+    StridePrefetcher pf(2, 64);
+    std::vector<Addr> out;
+    for (int i = 0; i < 4; ++i) {
+        pf.observe(1, i * 64, out);
+        pf.observe(2, 100000 + i * 128, out);
+    }
+    // Both streams trained.
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Prefetcher, SetDegreeTakesEffect)
+{
+    StridePrefetcher pf(0);
+    std::vector<Addr> out;
+    drive(pf, 1, {0, 64, 128});
+    pf.setDegree(4);
+    pf.observe(1, 192, out);
+    EXPECT_EQ(out.size(), 4u);
+}

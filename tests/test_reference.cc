@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the reference (golden) kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/reference.hh"
+
+using namespace sadapt;
+
+namespace {
+
+/** Dense O(n^3) SpGEMM oracle for small matrices. */
+CsrMatrix
+denseOracleGemm(const CsrMatrix &a, const CsrMatrix &b)
+{
+    CooMatrix c(a.rows(), b.cols());
+    for (std::uint32_t i = 0; i < a.rows(); ++i)
+        for (std::uint32_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::uint32_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            if (acc != 0.0)
+                c.add(i, j, acc);
+        }
+    return CsrMatrix(c);
+}
+
+} // namespace
+
+TEST(ReferenceSpGemm, MatchesDenseOracleOnRandom)
+{
+    Rng rng(1);
+    CsrMatrix a = makeUniformRandom(24, 100, rng);
+    CsrMatrix b = makeUniformRandom(24, 100, rng);
+    CsrMatrix got = referenceSpGemm(CscMatrix(a), b);
+    CsrMatrix want = denseOracleGemm(a, b);
+    ASSERT_EQ(got.nnz(), want.nnz());
+    for (std::uint32_t r = 0; r < 24; ++r)
+        for (std::uint32_t c = 0; c < 24; ++c)
+            EXPECT_NEAR(got.at(r, c), want.at(r, c), 1e-12);
+}
+
+TEST(ReferenceSpGemm, IdentityIsNeutral)
+{
+    Rng rng(2);
+    CsrMatrix a = makeUniformRandom(16, 64, rng);
+    CooMatrix eye(16, 16);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        eye.add(i, i, 1.0);
+    CsrMatrix got = referenceSpGemm(CscMatrix(a), CsrMatrix(eye));
+    for (std::uint32_t r = 0; r < 16; ++r)
+        for (std::uint32_t c = 0; c < 16; ++c)
+            EXPECT_NEAR(got.at(r, c), a.at(r, c), 1e-12);
+}
+
+TEST(ReferenceSpGemm, EmptyOperandYieldsEmptyResult)
+{
+    CooMatrix empty(8, 8);
+    Rng rng(3);
+    CsrMatrix b = makeUniformRandom(8, 16, rng);
+    CsrMatrix got = referenceSpGemm(CscMatrix(empty), b);
+    EXPECT_EQ(got.nnz(), 0u);
+}
+
+TEST(ReferenceSpMSpV, MatchesDenseOracle)
+{
+    Rng rng(4);
+    CsrMatrix a = makeUniformRandom(32, 128, rng);
+    SparseVector x = SparseVector::random(32, 0.4, rng);
+    SparseVector y = referenceSpMSpV(CscMatrix(a), x);
+    for (std::uint32_t r = 0; r < 32; ++r) {
+        double acc = 0.0;
+        for (std::uint32_t c = 0; c < 32; ++c)
+            acc += a.at(r, c) * x.at(c);
+        EXPECT_NEAR(y.at(r), acc, 1e-12);
+    }
+}
+
+TEST(ReferenceSpMSpV, EmptyVectorYieldsEmptyResult)
+{
+    Rng rng(5);
+    CsrMatrix a = makeUniformRandom(16, 48, rng);
+    SparseVector x(16);
+    SparseVector y = referenceSpMSpV(CscMatrix(a), x);
+    EXPECT_EQ(y.nnz(), 0u);
+}
+
+TEST(ReferenceGemm, SmallKnownProduct)
+{
+    // [1 2] [5 6]   [19 22]
+    // [3 4] [7 8] = [43 50]
+    auto c = referenceGemm({1, 2, 3, 4}, {5, 6, 7, 8}, 2, 2, 2);
+    EXPECT_DOUBLE_EQ(c[0], 19);
+    EXPECT_DOUBLE_EQ(c[1], 22);
+    EXPECT_DOUBLE_EQ(c[2], 43);
+    EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(ReferenceConv2d, IdentityFilter)
+{
+    std::vector<double> img = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<double> f = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+    auto out = referenceConv2d(img, 3, 3, f, 3);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0], 5.0);
+}
+
+TEST(ReferenceConv2d, BoxFilterSums)
+{
+    std::vector<double> img(16, 1.0);
+    std::vector<double> f(4, 1.0);
+    auto out = referenceConv2d(img, 4, 4, f, 2);
+    ASSERT_EQ(out.size(), 9u);
+    for (double v : out)
+        EXPECT_DOUBLE_EQ(v, 4.0);
+}

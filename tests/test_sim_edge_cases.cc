@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Edge-case and robustness tests for the Transmuter engine: empty and
+ * degenerate traces, extreme shapes and bandwidths, and barrier
+ * timing semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/transmuter.hh"
+
+using namespace sadapt;
+
+namespace {
+
+RunParams
+paramsFor(SystemShape shape, double bw = 1e9,
+          std::uint64_t epoch = 1000)
+{
+    RunParams rp;
+    rp.shape = shape;
+    rp.memBandwidth = bw;
+    rp.epochFpOps = epoch;
+    return rp;
+}
+
+} // namespace
+
+TEST(TransmuterEdge, EmptyTraceYieldsOneEmptyEpoch)
+{
+    const SystemShape shape{2, 8};
+    Transmuter sim(paramsFor(shape));
+    auto res = sim.run(Trace(shape), baselineConfig());
+    ASSERT_EQ(res.epochs.size(), 1u);
+    EXPECT_DOUBLE_EQ(res.totalFlops(), 0.0);
+    EXPECT_GT(res.totalEnergy(), 0.0); // background power still burns
+}
+
+TEST(TransmuterEdge, SingleCoreSystem)
+{
+    const SystemShape shape{1, 1};
+    Trace t(shape);
+    for (int i = 0; i < 200; ++i) {
+        t.pushGpe(0, {static_cast<Addr>(i) * 8, 1, OpKind::FpLoad});
+        t.pushGpe(0, {0, 0, OpKind::FpOp});
+    }
+    Transmuter sim(paramsFor(shape, 1e9, 100));
+    auto res = sim.run(t, baselineConfig());
+    EXPECT_DOUBLE_EQ(res.totalFlops(), 400.0);
+    EXPECT_GE(res.epochs.size(), 3u);
+}
+
+TEST(TransmuterEdge, LcpOnlyTraceRuns)
+{
+    const SystemShape shape{2, 4};
+    Trace t(shape);
+    for (int i = 0; i < 50; ++i) {
+        t.pushLcp(0, {static_cast<Addr>(i) * 64, 1, OpKind::Store});
+        t.pushLcp(1, {0, 0, OpKind::IntOp});
+    }
+    Transmuter sim(paramsFor(shape));
+    auto res = sim.run(t, baselineConfig());
+    ASSERT_EQ(res.epochs.size(), 1u);
+    EXPECT_GT(res.epochs[0].counters.lcpIpc, 0.0);
+    EXPECT_DOUBLE_EQ(res.epochs[0].counters.gpeIpc, 0.0);
+}
+
+TEST(TransmuterEdge, ExtremeBandwidthsBracketRuntime)
+{
+    const SystemShape shape{2, 8};
+    Trace t(shape);
+    std::uint64_t x = 99;
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        for (int i = 0; i < 300; ++i) {
+            x = x * 6364136223846793005ull + 1;
+            t.pushGpe(g, {(x >> 20) % (8u << 20), 2, OpKind::FpLoad});
+        }
+    Transmuter starved(paramsFor(shape, 0.01e9));
+    Transmuter flooded(paramsFor(shape, 1000e9));
+    const auto slow = starved.run(t, baselineConfig());
+    const auto fast = flooded.run(t, baselineConfig());
+    EXPECT_GT(slow.totalSeconds(), 10.0 * fast.totalSeconds());
+    EXPECT_DOUBLE_EQ(slow.totalFlops(), fast.totalFlops());
+}
+
+TEST(TransmuterEdge, BarrierHoldsFastCoresForSlowOnes)
+{
+    // GPE 0 does 1000 compute ops in phase 0; everyone else does 1.
+    // After the phase-1 barrier all cores restart together, so the
+    // total runtime is ~(1000 + phase-1 work), not interleaved.
+    const SystemShape shape{1, 4};
+    Trace t(shape);
+    t.beginPhase("unbalanced");
+    for (int i = 0; i < 1000; ++i)
+        t.pushGpe(0, {0, 0, OpKind::IntOp});
+    for (std::uint32_t g = 1; g < 4; ++g)
+        t.pushGpe(g, {0, 0, OpKind::IntOp});
+    t.beginPhase("after");
+    for (std::uint32_t g = 0; g < 4; ++g)
+        for (int i = 0; i < 100; ++i)
+            t.pushGpe(g, {0, 0, OpKind::FpOp});
+
+    Transmuter sim(paramsFor(shape, 1e9, 1u << 30));
+    auto res = sim.run(t, baselineConfig());
+    // 1000 int ops @1 cyc + 100 fp ops @2 cyc, at 1 GHz.
+    const double expect_cycles = 1000.0 + 200.0;
+    const double got_cycles = res.totalSeconds() * 1e9;
+    EXPECT_NEAR(got_cycles, expect_cycles, 25.0);
+}
+
+TEST(TransmuterEdge, FlopConservationAcrossShapes)
+{
+    for (SystemShape shape : {SystemShape{1, 4}, SystemShape{2, 8},
+                              SystemShape{4, 16}}) {
+        Trace t(shape);
+        for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+            for (int i = 0; i < 64; ++i)
+                t.pushGpe(g, {0, 0, OpKind::FpOp});
+        Transmuter sim(paramsFor(shape, 1e9, 16));
+        auto res = sim.run(t, baselineConfig());
+        EXPECT_DOUBLE_EQ(res.totalFlops(), 64.0 * shape.numGpes());
+    }
+}
+
+TEST(TransmuterEdge, LowestClockStillCompletes)
+{
+    const SystemShape shape{2, 8};
+    Trace t(shape);
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        for (int i = 0; i < 50; ++i)
+            t.pushGpe(g, {static_cast<Addr>(i) * 64, 1,
+                          OpKind::FpLoad});
+    HwConfig slowest = baselineConfig();
+    slowest.clockIdx = 0; // 31.25 MHz
+    Transmuter sim(paramsFor(shape));
+    auto res = sim.run(t, slowest);
+    EXPECT_GT(res.totalSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(res.epochs.back().counters.clockNorm, 0.03125);
+}
+
+TEST(TransmuterEdge, GflopsMetricsConsistent)
+{
+    const SystemShape shape{2, 8};
+    Trace t(shape);
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        for (int i = 0; i < 500; ++i)
+            t.pushGpe(g, {0, 0, OpKind::FpOp});
+    Transmuter sim(paramsFor(shape));
+    auto res = sim.run(t, baselineConfig());
+    EXPECT_NEAR(res.gflops(),
+                res.totalFlops() / res.totalSeconds() / 1e9, 1e-12);
+    EXPECT_NEAR(res.gflopsPerWatt(),
+                res.totalFlops() / res.totalEnergy() / 1e9, 1e-12);
+}

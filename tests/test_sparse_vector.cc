@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the sparse vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sparse/sparse_vector.hh"
+
+using namespace sadapt;
+
+TEST(SparseVector, BuildSortsAndMerges)
+{
+    SparseVector v(10, {{5, 1.0}, {2, 2.0}, {5, 3.0}});
+    ASSERT_EQ(v.nnz(), 2u);
+    EXPECT_EQ(v.entries()[0].index, 2u);
+    EXPECT_EQ(v.entries()[1].index, 5u);
+    EXPECT_DOUBLE_EQ(v.entries()[1].value, 4.0);
+}
+
+TEST(SparseVector, BuildDropsZeroSums)
+{
+    SparseVector v(10, {{3, 1.0}, {3, -1.0}, {1, 2.0}});
+    ASSERT_EQ(v.nnz(), 1u);
+    EXPECT_EQ(v.entries()[0].index, 1u);
+}
+
+TEST(SparseVector, AtReturnsValueOrZero)
+{
+    SparseVector v(8, {{1, 5.0}, {6, 7.0}});
+    EXPECT_DOUBLE_EQ(v.at(1), 5.0);
+    EXPECT_DOUBLE_EQ(v.at(6), 7.0);
+    EXPECT_DOUBLE_EQ(v.at(0), 0.0);
+    EXPECT_DOUBLE_EQ(v.at(7), 0.0);
+}
+
+TEST(SparseVector, AccumulateInsertsSorted)
+{
+    SparseVector v(10);
+    v.accumulate(5, 1.0);
+    v.accumulate(2, 2.0);
+    v.accumulate(5, 3.0);
+    ASSERT_EQ(v.nnz(), 2u);
+    EXPECT_EQ(v.entries()[0].index, 2u);
+    EXPECT_DOUBLE_EQ(v.at(5), 4.0);
+}
+
+TEST(SparseVector, RandomHitsTargetDensity)
+{
+    Rng rng(1);
+    SparseVector v = SparseVector::random(1000, 0.5, rng);
+    EXPECT_NEAR(v.density(), 0.5, 0.01);
+    // All indices in range and strictly increasing.
+    for (std::size_t i = 1; i < v.entries().size(); ++i)
+        EXPECT_LT(v.entries()[i - 1].index, v.entries()[i].index);
+    EXPECT_LT(v.entries().back().index, 1000u);
+}
+
+TEST(SparseVector, MaskOutRemovesMarkedIndices)
+{
+    SparseVector v(6, {{0, 1.0}, {2, 2.0}, {4, 3.0}});
+    std::vector<bool> mask(6, false);
+    mask[2] = true;
+    mask[4] = true;
+    v.maskOut(mask);
+    ASSERT_EQ(v.nnz(), 1u);
+    EXPECT_EQ(v.entries()[0].index, 0u);
+}
+
+TEST(SparseVector, DensityOfEmptyDimensionIsZero)
+{
+    SparseVector v;
+    EXPECT_DOUBLE_EQ(v.density(), 0.0);
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for matrix structural statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/stats.hh"
+
+using namespace sadapt;
+
+TEST(Stats, EmptyMatrix)
+{
+    MatrixStats s = computeStats(CsrMatrix(CooMatrix(4, 4)));
+    EXPECT_EQ(s.nnz, 0u);
+    EXPECT_DOUBLE_EQ(s.density, 0.0);
+    EXPECT_DOUBLE_EQ(s.meanRowNnz, 0.0);
+}
+
+TEST(Stats, DiagonalMatrix)
+{
+    CooMatrix coo(10, 10);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        coo.add(i, i, 1.0);
+    MatrixStats s = computeStats(CsrMatrix(coo));
+    EXPECT_EQ(s.nnz, 10u);
+    EXPECT_DOUBLE_EQ(s.meanRowNnz, 1.0);
+    EXPECT_EQ(s.maxRowNnz, 1u);
+    EXPECT_DOUBLE_EQ(s.rowNnzCv, 0.0);
+    EXPECT_NEAR(s.rowNnzGini, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.normalizedBandwidth, 0.0);
+    EXPECT_DOUBLE_EQ(s.diagonalLocality, 1.0);
+}
+
+TEST(Stats, SingleDenseRowHasHighGini)
+{
+    CooMatrix coo(64, 64);
+    for (std::uint32_t c = 0; c < 64; ++c)
+        coo.add(0, c, 1.0);
+    MatrixStats s = computeStats(CsrMatrix(coo));
+    EXPECT_GT(s.rowNnzGini, 0.9);
+    EXPECT_EQ(s.maxRowNnz, 64u);
+}
+
+TEST(Stats, OffDiagonalBandwidth)
+{
+    CooMatrix coo(100, 100);
+    for (std::uint32_t i = 0; i < 50; ++i)
+        coo.add(i, i + 50, 1.0);
+    MatrixStats s = computeStats(CsrMatrix(coo));
+    EXPECT_NEAR(s.normalizedBandwidth, 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(s.diagonalLocality, 0.0);
+}
+
+TEST(Stats, DensityConsistentWithMatrix)
+{
+    Rng rng(1);
+    CsrMatrix m = makeUniformRandom(128, 1024, rng);
+    MatrixStats s = computeStats(m);
+    EXPECT_DOUBLE_EQ(s.density, m.density());
+    EXPECT_EQ(s.nnz, m.nnz());
+}
+
+TEST(Stats, SummaryMentionsShape)
+{
+    Rng rng(2);
+    MatrixStats s = computeStats(makeUniformRandom(32, 64, rng));
+    EXPECT_NE(s.summary().find("32x32"), std::string::npos);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the Table 5 evaluation dataset suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hh"
+#include "sparse/suite.hh"
+
+using namespace sadapt;
+
+TEST(Suite, AllTableFiveIdsPresent)
+{
+    EXPECT_EQ(suiteEntries().size(), 6u + 16u);
+    for (const auto &id : {"U1", "P3", "R01", "R16"})
+        EXPECT_EQ(suiteEntry(id).id, id);
+}
+
+TEST(Suite, SpmspmAndSpmsvSplits)
+{
+    EXPECT_EQ(spmspmRealWorldIds().size(), 8u);
+    EXPECT_EQ(spmspmRealWorldIds().front(), "R01");
+    EXPECT_EQ(spmspvRealWorldIds().size(), 8u);
+    EXPECT_EQ(spmspvRealWorldIds().back(), "R16");
+    EXPECT_EQ(syntheticIds().size(), 6u);
+}
+
+TEST(Suite, FullScaleMatchesPaperSizes)
+{
+    CsrMatrix u1 = makeSuiteMatrix("U1", 1.0);
+    EXPECT_EQ(u1.rows(), 8192u);
+    EXPECT_EQ(u1.nnz(), 25000u);
+}
+
+TEST(Suite, ScalingPreservesDegree)
+{
+    CsrMatrix full = makeSuiteMatrix("U2", 1.0);
+    CsrMatrix half = makeSuiteMatrix("U2", 0.5);
+    const double deg_full =
+        static_cast<double>(full.nnz()) / full.rows();
+    const double deg_half =
+        static_cast<double>(half.nnz()) / half.rows();
+    EXPECT_NEAR(deg_half, deg_full, 0.3);
+    EXPECT_NEAR(half.rows(), 4096u, 8);
+}
+
+TEST(Suite, PowerLawStandInsAreSkewed)
+{
+    const MatrixStats p = computeStats(makeSuiteMatrix("R10", 0.25));
+    const MatrixStats b = computeStats(makeSuiteMatrix("R09", 0.25));
+    EXPECT_GT(p.rowNnzGini, b.rowNnzGini);
+}
+
+TEST(Suite, BandedStandInIsDiagonallyLocal)
+{
+    // R09 (EX3) "consists of local connections only" per Section 6.1.3:
+    // nonzeros hug the diagonal, unlike the power-law graph stand-ins.
+    const MatrixStats banded = computeStats(makeSuiteMatrix("R09", 0.25));
+    const MatrixStats graph = computeStats(makeSuiteMatrix("R10", 0.25));
+    EXPECT_LT(banded.normalizedBandwidth, 0.1);
+    EXPECT_GT(banded.diagonalLocality, 4.0 * graph.diagonalLocality);
+}
+
+TEST(Suite, DifferentIdsDifferAtSameSeed)
+{
+    CsrMatrix a = makeSuiteMatrix("U1", 0.1, 7);
+    CsrMatrix b = makeSuiteMatrix("P1", 0.1, 7);
+    EXPECT_NE(a, b);
+}
+
+TEST(Suite, DeterministicForSeed)
+{
+    EXPECT_EQ(makeSuiteMatrix("R07", 0.2, 3),
+              makeSuiteMatrix("R07", 0.2, 3));
+}
+
+TEST(SuiteDeathTest, UnknownIdIsFatal)
+{
+    EXPECT_EXIT(makeSuiteMatrix("R99"), testing::ExitedWithCode(1),
+                "unknown suite dataset");
+}

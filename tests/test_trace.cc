@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the device trace container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+using namespace sadapt;
+
+TEST(Trace, ShapeAndStreams)
+{
+    Trace t(SystemShape{2, 4});
+    EXPECT_EQ(t.shape().numGpes(), 8u);
+    t.pushGpe(3, {0x10, 1, OpKind::FpLoad});
+    t.pushLcp(1, {0, 0, OpKind::IntOp});
+    EXPECT_EQ(t.gpeStream(3).size(), 1u);
+    EXPECT_EQ(t.lcpStream(1).size(), 1u);
+    EXPECT_EQ(t.gpeStream(0).size(), 0u);
+}
+
+TEST(Trace, FlopCountingIncludesFpLoadsAndStores)
+{
+    Trace t(SystemShape{1, 2});
+    t.pushGpe(0, {0, 0, OpKind::FpOp});
+    t.pushGpe(0, {0, 0, OpKind::FpLoad});
+    t.pushGpe(0, {0, 0, OpKind::FpStore});
+    t.pushGpe(1, {0, 0, OpKind::IntOp});
+    t.pushGpe(1, {0, 0, OpKind::Load});
+    EXPECT_DOUBLE_EQ(t.totalFlops(), 3.0);
+    EXPECT_EQ(t.totalOps(), 5u);
+}
+
+TEST(Trace, PhaseMarkersBroadcastToAllCores)
+{
+    Trace t(SystemShape{2, 2});
+    t.beginPhase("multiply");
+    t.pushGpe(0, {0, 0, OpKind::IntOp});
+    t.beginPhase("merge");
+    EXPECT_EQ(t.phaseNames().size(), 2u);
+    EXPECT_EQ(t.phaseNames()[1], "merge");
+    // Every GPE stream has both markers.
+    for (std::uint32_t g = 0; g < 4; ++g) {
+        int markers = 0;
+        for (const auto &op : t.gpeStream(g))
+            markers += op.kind == OpKind::Phase;
+        EXPECT_EQ(markers, 2);
+    }
+    // Marker addr encodes the phase id.
+    EXPECT_EQ(t.gpeStream(1)[0].addr, 0u);
+    EXPECT_EQ(t.gpeStream(1)[1].addr, 1u);
+}
+
+TEST(Trace, AppendOffsetsPhaseIds)
+{
+    Trace a(SystemShape{1, 1});
+    a.beginPhase("first");
+    a.pushGpe(0, {0, 0, OpKind::IntOp});
+
+    Trace b(SystemShape{1, 1});
+    b.beginPhase("second");
+    b.pushGpe(0, {0, 0, OpKind::FpOp});
+
+    a.append(b);
+    EXPECT_EQ(a.phaseNames().size(), 2u);
+    const auto &s = a.gpeStream(0);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[2].kind, OpKind::Phase);
+    EXPECT_EQ(s[2].addr, 1u); // re-based phase id
+    EXPECT_DOUBLE_EQ(a.totalFlops(), 1.0);
+}
+
+TEST(TraceDeathTest, AppendRejectsShapeMismatch)
+{
+    Trace a(SystemShape{1, 2});
+    Trace b(SystemShape{2, 2});
+    EXPECT_DEATH(a.append(b), "different shapes");
+}

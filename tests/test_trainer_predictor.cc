@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the training pipeline and the predictor ensemble
+ * (Sections 4.2, 4.3, 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adapt/predictor.hh"
+#include "adapt/telemetry.hh"
+#include "common/rng.hh"
+
+using namespace sadapt;
+
+namespace {
+
+/** A very small Table 3 sweep, shared across tests in this file. */
+const TrainingSet &
+tinyTrainingSet()
+{
+    static const TrainingSet set = [] {
+        TrainerOptions opts;
+        opts.includeSpMSpM = false;
+        opts.spmspvDims = {128};
+        opts.densities = {0.02, 0.08};
+        opts.bandwidths = {1e9};
+        opts.search.randomSamples = 6;
+        opts.search.neighborCap = 8;
+        return buildTrainingSet(opts);
+    }();
+    return set;
+}
+
+} // namespace
+
+TEST(Trainer, ProducesExamplesPerSampleAndPhase)
+{
+    const TrainingSet &set = tinyTrainingSet();
+    // 2 sweep points x 1 phase x K=6 samples = 12 examples.
+    EXPECT_EQ(set.size(), 12u);
+    for (std::size_t i = 0; i < numParams; ++i) {
+        EXPECT_EQ(set.perParam[i].size(), set.size());
+        EXPECT_EQ(set.perParam[i].numFeatures(),
+                  numTelemetryFeatures());
+    }
+}
+
+TEST(Trainer, LabelsWithinParamCardinality)
+{
+    const TrainingSet &set = tinyTrainingSet();
+    for (std::size_t i = 0; i < numParams; ++i) {
+        const Param p = allParams()[i];
+        for (std::size_t r = 0; r < set.perParam[i].size(); ++r)
+            EXPECT_LT(set.perParam[i].label(r), paramCardinality(p));
+    }
+}
+
+TEST(Trainer, AggregateCountersWeightsByCycles)
+{
+    std::vector<EpochRecord> recs(2);
+    recs[0].cycles = 100;
+    recs[0].counters.l1MissRate = 0.1;
+    recs[1].cycles = 300;
+    recs[1].counters.l1MissRate = 0.5;
+    const PerfCounterSample avg = aggregateCounters(recs, -1);
+    EXPECT_NEAR(avg.l1MissRate, (0.1 * 100 + 0.5 * 300) / 400.0,
+                1e-12);
+}
+
+TEST(Trainer, AggregateCountersFiltersPhase)
+{
+    std::vector<EpochRecord> recs(2);
+    recs[0].cycles = 100;
+    recs[0].phase = 0;
+    recs[0].counters.l2MissRate = 0.2;
+    recs[1].cycles = 100;
+    recs[1].phase = 1;
+    recs[1].counters.l2MissRate = 0.8;
+    EXPECT_DOUBLE_EQ(aggregateCounters(recs, 1).l2MissRate, 0.8);
+    EXPECT_DOUBLE_EQ(aggregateCounters(recs, 0).l2MissRate, 0.2);
+}
+
+TEST(Predictor, TrainsAndPredictsValidConfigs)
+{
+    Predictor pred;
+    TreeParams tp;
+    tp.maxDepth = 8;
+    pred.trainFixed(tinyTrainingSet(), tp);
+    EXPECT_TRUE(pred.trained());
+    PerfCounterSample counters;
+    counters.memReadBwUtil = 0.9;
+    const HwConfig out = pred.predict(baselineConfig(), counters);
+    EXPECT_LT(out.encode(), ConfigSpace(MemType::Cache).size());
+    EXPECT_EQ(out.l1Type, MemType::Cache);
+}
+
+TEST(Predictor, FitsItsTrainingSet)
+{
+    Predictor pred;
+    TreeParams tp;
+    tp.maxDepth = 16;
+    pred.trainFixed(tinyTrainingSet(), tp);
+    // With unpruned trees, training accuracy should be high for every
+    // parameter's tree.
+    for (Param p : allParams()) {
+        const auto idx = static_cast<std::size_t>(p);
+        EXPECT_GT(pred.tree(p).accuracy(
+                      tinyTrainingSet().perParam[idx]),
+                  0.85)
+            << paramName(p);
+    }
+}
+
+TEST(Predictor, FeatureImportanceSumsToOne)
+{
+    Predictor pred;
+    pred.trainFixed(tinyTrainingSet(), TreeParams{});
+    for (Param p : allParams()) {
+        auto imp = pred.featureImportance(p);
+        ASSERT_EQ(imp.size(), numTelemetryFeatures());
+        double sum = 0.0;
+        for (double v : imp)
+            sum += v;
+        // A stump with no splits has zero importance; otherwise 1.
+        EXPECT_TRUE(sum == 0.0 || std::abs(sum - 1.0) < 1e-9);
+    }
+}
+
+TEST(Predictor, SaveLoadRoundTrip)
+{
+    Predictor pred;
+    pred.trainFixed(tinyTrainingSet(), TreeParams{});
+    std::stringstream buf;
+    pred.save(buf);
+    Predictor loaded = Predictor::load(buf);
+    EXPECT_TRUE(loaded.trained());
+    PerfCounterSample counters;
+    counters.l1MissRate = 0.3;
+    EXPECT_EQ(loaded.predict(maxConfig(), counters),
+              pred.predict(maxConfig(), counters));
+}
+
+TEST(Predictor, GridSearchTrainingRuns)
+{
+    Predictor pred;
+    Rng rng(5);
+    auto report = pred.train(tinyTrainingSet(), rng);
+    EXPECT_TRUE(pred.trained());
+    for (std::size_t i = 0; i < numParams; ++i) {
+        EXPECT_GT(report.cvAccuracy[i], 0.0);
+        EXPECT_LE(report.cvAccuracy[i], 1.0);
+    }
+}
+
+TEST(PredictorDeathTest, LoadRejectsGarbage)
+{
+    std::istringstream in("bogus 6");
+    EXPECT_EXIT(Predictor::load(in), testing::ExitedWithCode(1),
+                "malformed header");
+}

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the Transmuter timing/energy engine, including the
+ * behavioural properties the paper's mechanisms rely on: DVFS is cheap
+ * when memory-bound, cache capacity cuts misses for fitting working
+ * sets, and prefetching helps streams but wastes bandwidth on random
+ * access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/transmuter.hh"
+
+using namespace sadapt;
+
+namespace {
+
+constexpr SystemShape shape{2, 8};
+
+/** Trace where every GPE streams sequentially through its own region. */
+Trace
+streamingTrace(std::uint64_t loads_per_gpe, Addr stride = 8)
+{
+    Trace t(shape);
+    t.beginPhase("stream");
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g) {
+        const Addr base = 1u << 24 | (static_cast<Addr>(g) << 20);
+        for (std::uint64_t i = 0; i < loads_per_gpe; ++i) {
+            t.pushGpe(g, {base + i * stride, 1, OpKind::FpLoad});
+            t.pushGpe(g, {0, 0, OpKind::FpOp});
+        }
+    }
+    return t;
+}
+
+/** Trace of pseudo-random accesses over a large region (thrashes). */
+Trace
+randomTrace(std::uint64_t loads_per_gpe, Addr region = 16u << 20)
+{
+    Trace t(shape);
+    t.beginPhase("random");
+    std::uint64_t x = 0x1234567;
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g) {
+        for (std::uint64_t i = 0; i < loads_per_gpe; ++i) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            t.pushGpe(g, {(x >> 16) % region, 2, OpKind::FpLoad});
+            t.pushGpe(g, {0, 0, OpKind::FpOp});
+        }
+    }
+    return t;
+}
+
+/** Trace that repeatedly walks a small per-GPE working set. */
+Trace
+workingSetTrace(std::uint32_t set_bytes, int reps)
+{
+    Trace t(shape);
+    t.beginPhase("ws");
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g) {
+        const Addr base = static_cast<Addr>(g) << 24;
+        for (int r = 0; r < reps; ++r)
+            for (Addr a = 0; a < set_bytes; a += 64)
+                t.pushGpe(g, {base + a, 3, OpKind::FpLoad});
+    }
+    return t;
+}
+
+RunParams
+defaultParams(std::uint64_t epoch_fp = 1u << 30)
+{
+    RunParams rp;
+    rp.shape = shape;
+    rp.memBandwidth = 1e9;
+    rp.epochFpOps = epoch_fp; // single epoch unless overridden
+    return rp;
+}
+
+} // namespace
+
+TEST(Transmuter, ProducesAtLeastOneEpoch)
+{
+    Transmuter sim(defaultParams());
+    auto res = sim.run(streamingTrace(100), baselineConfig());
+    ASSERT_FALSE(res.epochs.empty());
+    EXPECT_GT(res.totalSeconds(), 0.0);
+    EXPECT_GT(res.totalEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(res.totalFlops(), 2.0 * 100 * shape.numGpes());
+}
+
+TEST(Transmuter, EpochBoundariesRespectFpTarget)
+{
+    auto rp = defaultParams(50); // 50 FP ops per GPE per epoch
+    Transmuter sim(rp);
+    auto res = sim.run(streamingTrace(500), baselineConfig());
+    // 2 FP ops per iteration * 500 = 1000 per GPE -> ~20 epochs.
+    EXPECT_GE(res.epochs.size(), 18u);
+    EXPECT_LE(res.epochs.size(), 22u);
+    // All but the last epoch carry >= the FP target.
+    for (std::size_t i = 0; i + 1 < res.epochs.size(); ++i)
+        EXPECT_GE(res.epochs[i].flops, 50.0 * shape.numGpes());
+}
+
+TEST(Transmuter, EpochFlopsAlignAcrossConfigs)
+{
+    // The core stitching invariant: FP-op epoch boundaries are
+    // config-independent.
+    auto rp = defaultParams(100);
+    Transmuter sim(rp);
+    const Trace t = randomTrace(400);
+    auto a = sim.run(t, baselineConfig());
+    auto b = sim.run(t, maxConfig());
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.epochs[i].flops, b.epochs[i].flops);
+}
+
+TEST(Transmuter, CountersWithinValidRanges)
+{
+    auto rp = defaultParams(100);
+    Transmuter sim(rp);
+    auto res = sim.run(randomTrace(300), baselineConfig());
+    for (const auto &e : res.epochs) {
+        const auto &c = e.counters;
+        EXPECT_GE(c.l1MissRate, 0.0);
+        EXPECT_LE(c.l1MissRate, 1.0);
+        EXPECT_GE(c.l2MissRate, 0.0);
+        EXPECT_LE(c.l2MissRate, 1.0);
+        EXPECT_GE(c.l1Occupancy, 0.0);
+        EXPECT_LE(c.l1Occupancy, 1.0);
+        EXPECT_LE(c.memReadBwUtil, 1.0);
+        EXPECT_LE(c.memWriteBwUtil, 1.0);
+        EXPECT_GT(c.clockNorm, 0.0);
+        EXPECT_LE(c.clockNorm, 1.0);
+        EXPECT_LE(c.gpeIpc, 1.0);
+    }
+}
+
+TEST(Transmuter, BiggerL1EliminatesThrashingMisses)
+{
+    Transmuter sim(defaultParams());
+    // 8 kB per-GPE working set: thrashes 4 kB banks, fits 16 kB+.
+    const Trace t = workingSetTrace(8192, 8);
+    HwConfig small = baselineConfig();
+    small.l1Sharing = SharingMode::Private;
+    small.prefetchIdx = 0;
+    HwConfig big = small;
+    big.l1CapIdx = 2; // 16 kB
+    auto rs = sim.run(t, small);
+    auto rb = sim.run(t, big);
+    EXPECT_GT(rs.epochs[0].counters.l1MissRate,
+              5.0 * rb.epochs[0].counters.l1MissRate);
+    EXPECT_LT(rb.totalSeconds(), rs.totalSeconds());
+}
+
+TEST(Transmuter, MemoryBoundPhaseToleratesDvfs)
+{
+    // Random traffic at 1 GB/s is bandwidth-bound: halving the clock
+    // should barely change runtime but cut energy.
+    Transmuter sim(defaultParams());
+    const Trace t = randomTrace(2000);
+    HwConfig fast = baselineConfig();
+    fast.prefetchIdx = 0;
+    HwConfig slow = fast;
+    slow.clockIdx = 3; // 250 MHz
+    auto rf = sim.run(t, fast);
+    auto rs = sim.run(t, slow);
+    EXPECT_LT(rs.totalSeconds(), 1.35 * rf.totalSeconds());
+    EXPECT_LT(rs.totalEnergy(), 0.75 * rf.totalEnergy());
+}
+
+TEST(Transmuter, ComputeBoundPhaseSlowsWithDvfs)
+{
+    // A cache-resident working set is compute-bound: halving the clock
+    // roughly doubles the runtime. Plenty of bandwidth so cold misses
+    // do not dominate the measurement.
+    auto rp = defaultParams();
+    rp.memBandwidth = 100e9;
+    Transmuter sim(rp);
+    const Trace t = workingSetTrace(2048, 64);
+    HwConfig fast = baselineConfig();
+    fast.l1Sharing = SharingMode::Private;
+    HwConfig slow = fast;
+    slow.clockIdx = 4; // 500 MHz
+    auto rf = sim.run(t, fast);
+    auto rs = sim.run(t, slow);
+    EXPECT_GT(rs.totalSeconds(), 1.7 * rf.totalSeconds());
+}
+
+TEST(Transmuter, PrefetcherHelpsStreamsAndHurtsRandom)
+{
+    Transmuter sim(defaultParams());
+    HwConfig off = baselineConfig();
+    off.l1Sharing = SharingMode::Private;
+    off.prefetchIdx = 0;
+    HwConfig on = off;
+    on.prefetchIdx = 2;
+
+    const Trace stream = streamingTrace(2000, 64);
+    auto s_off = sim.run(stream, off);
+    auto s_on = sim.run(stream, on);
+    EXPECT_LT(s_on.epochs[0].counters.l1MissRate,
+              s_off.epochs[0].counters.l1MissRate);
+
+    const Trace rnd = randomTrace(2000);
+    auto r_off = sim.run(rnd, off);
+    auto r_on = sim.run(rnd, on);
+    // Useless prefetches burn DRAM energy on unstructured data.
+    EXPECT_GE(r_on.totalEnergy(), r_off.totalEnergy());
+}
+
+TEST(Transmuter, SharedL1SeesContention)
+{
+    Transmuter sim(defaultParams());
+    const Trace t = randomTrace(500, 1u << 14);
+    HwConfig shared = baselineConfig();
+    shared.prefetchIdx = 0;
+    HwConfig priv = shared;
+    priv.l1Sharing = SharingMode::Private;
+    auto rs = sim.run(t, shared);
+    auto rp = sim.run(t, priv);
+    EXPECT_GT(rs.epochs[0].counters.l1XbarContentionRatio,
+              rp.epochs[0].counters.l1XbarContentionRatio);
+}
+
+TEST(Transmuter, SpmModeUsesScratchpad)
+{
+    Trace t(shape);
+    t.beginPhase("spm");
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        for (int i = 0; i < 100; ++i)
+            t.pushGpe(g, {static_cast<Addr>(i * 8), 1,
+                          OpKind::SpmLoad});
+    Transmuter sim(defaultParams());
+    HwConfig cfg = bestAvgConfig(MemType::Spm);
+    auto res = sim.run(t, cfg);
+    ASSERT_FALSE(res.epochs.empty());
+    EXPECT_DOUBLE_EQ(res.epochs[0].counters.l1MissRate, 0.0);
+    EXPECT_GT(res.epochs[0].counters.l1AccessThroughput, 0.0);
+}
+
+TEST(Transmuter, PhaseIdsReportedPerEpoch)
+{
+    Trace t(shape);
+    t.beginPhase("one");
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        for (int i = 0; i < 100; ++i)
+            t.pushGpe(g, {0, 0, OpKind::FpOp});
+    t.beginPhase("two");
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        for (int i = 0; i < 100; ++i)
+            t.pushGpe(g, {0, 0, OpKind::FpOp});
+    auto rp = defaultParams(50);
+    Transmuter sim(rp);
+    auto res = sim.run(t, baselineConfig());
+    ASSERT_GE(res.epochs.size(), 2u);
+    EXPECT_EQ(res.epochs.front().phase, 0);
+    EXPECT_EQ(res.epochs.back().phase, 1);
+}
+
+TEST(Transmuter, EnergyBreakdownComponentsNonNegative)
+{
+    Transmuter sim(defaultParams());
+    auto res = sim.run(streamingTrace(500), maxConfig());
+    for (const auto &e : res.epochs) {
+        EXPECT_GE(e.energy.core, 0.0);
+        EXPECT_GE(e.energy.cache, 0.0);
+        EXPECT_GE(e.energy.xbar, 0.0);
+        EXPECT_GE(e.energy.dram, 0.0);
+        EXPECT_GT(e.energy.background, 0.0);
+        EXPECT_NEAR(e.totalEnergy(),
+                    e.energy.core + e.energy.cache + e.energy.xbar +
+                        e.energy.dram + e.energy.background,
+                    1e-15);
+    }
+}
+
+TEST(Transmuter, DeterministicReplay)
+{
+    Transmuter sim(defaultParams(100));
+    const Trace t = randomTrace(300);
+    auto a = sim.run(t, baselineConfig());
+    auto b = sim.run(t, baselineConfig());
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    EXPECT_DOUBLE_EQ(a.totalSeconds(), b.totalSeconds());
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+}
+
+TEST(TransmuterDeathTest, ShapeMismatchIsFatal)
+{
+    Transmuter sim(defaultParams());
+    Trace t(SystemShape{1, 4});
+    EXPECT_DEATH(sim.run(t, baselineConfig()), "shape");
+}

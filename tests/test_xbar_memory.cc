@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the crossbar and main-memory models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "sim/xbar.hh"
+
+using namespace sadapt;
+
+TEST(Xbar, NoContentionWhenPortsFree)
+{
+    Crossbar x(4, 1);
+    EXPECT_EQ(x.request(0, 100, 1), 1u); // arb only
+    EXPECT_EQ(x.request(1, 100, 1), 1u); // different port
+    EXPECT_EQ(x.contentions(), 0u);
+    EXPECT_EQ(x.accesses(), 2u);
+}
+
+TEST(Xbar, BackToBackSamePortQueues)
+{
+    Crossbar x(2, 1);
+    x.request(0, 100, 5);         // busy until 105
+    const Cycles d = x.request(0, 101, 5);
+    EXPECT_EQ(d, (105 - 101) + 1); // wait + arb
+    EXPECT_EQ(x.contentions(), 1u);
+    EXPECT_DOUBLE_EQ(x.contentionRatio(), 0.5);
+}
+
+TEST(Xbar, LaterRequestSeesFreePort)
+{
+    Crossbar x(2, 0);
+    x.request(0, 0, 3);
+    EXPECT_EQ(x.request(0, 10, 3), 0u);
+    EXPECT_EQ(x.contentions(), 0u);
+}
+
+TEST(Xbar, ResetStatsKeepsBusyState)
+{
+    Crossbar x(1, 0);
+    x.request(0, 0, 100);
+    x.resetStats();
+    EXPECT_EQ(x.accesses(), 0u);
+    // Port still busy from before.
+    EXPECT_GT(x.request(0, 1, 1), 0u);
+}
+
+TEST(Xbar, FullResetClearsBusyState)
+{
+    Crossbar x(1, 0);
+    x.request(0, 0, 100);
+    x.reset();
+    EXPECT_EQ(x.request(0, 1, 1), 0u);
+}
+
+TEST(Memory, TransfersSerializeAtBandwidth)
+{
+    MainMemory mem(64.0, 0.0); // 64 B/s => 1 line per second
+    const Seconds t1 = mem.transfer(0.0, 64, false);
+    EXPECT_DOUBLE_EQ(t1, 1.0);
+    const Seconds t2 = mem.transfer(0.0, 64, false);
+    EXPECT_DOUBLE_EQ(t2, 2.0); // queued behind the first
+}
+
+TEST(Memory, LatencyAddedAfterTransfer)
+{
+    MainMemory mem(64.0, 0.5);
+    EXPECT_DOUBLE_EQ(mem.transfer(0.0, 64, false), 1.5);
+    // Latency is not bandwidth: the channel frees at 1.0.
+    EXPECT_DOUBLE_EQ(mem.busyUntil(), 1.0);
+}
+
+TEST(Memory, IdleChannelStartsImmediately)
+{
+    MainMemory mem(64.0, 0.0);
+    mem.transfer(0.0, 64, false);
+    const Seconds t = mem.transfer(10.0, 64, false);
+    EXPECT_DOUBLE_EQ(t, 11.0);
+}
+
+TEST(Memory, ReadWriteBytesTracked)
+{
+    MainMemory mem(1e9);
+    mem.transfer(0.0, 64, false);
+    mem.transfer(0.0, 64, false);
+    mem.transfer(0.0, 64, true);
+    EXPECT_EQ(mem.bytesRead(), 128u);
+    EXPECT_EQ(mem.bytesWritten(), 64u);
+    mem.resetStats();
+    EXPECT_EQ(mem.bytesRead(), 0u);
+}
+
+TEST(Memory, HigherBandwidthFinishesSooner)
+{
+    MainMemory slow(1e9), fast(100e9);
+    EXPECT_GT(slow.transfer(0.0, 4096, false),
+              fast.transfer(0.0, 4096, false));
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Command-line driver: run any kernel on any dataset under every
+ * control scheme and print the comparison table.
+ *
+ *   sparseadapt_cli --kernel spmspv --dataset P3 --mode ee
+ *   sparseadapt_cli --kernel spmspm --matrix path/to/matrix.mtx \
+ *                   --scale 0.5 --samples 48 --policy hybrid \
+ *                   --tolerance 0.2 --bandwidth 2e9 --model pp.model
+ *
+ * Datasets are Table 5 suite ids (U1-U3, P1-P3, R01-R16) or a Matrix
+ * Market file via --matrix. Without --model, SparseAdapt is skipped
+ * and only the static/ideal/oracle schemes run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "adapt/runner.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "sparse/io.hh"
+#include "sparse/stats.hh"
+#include "sparse/suite.hh"
+
+using namespace sadapt;
+
+namespace {
+
+struct CliOptions
+{
+    std::string kernel = "spmspv";
+    std::string dataset = "P3";
+    std::string matrixFile;
+    std::string modelFile;
+    std::string policy = "hybrid";
+    double tolerance = 0.4;
+    double scale = 0.25;
+    double bandwidth = 1e9;
+    std::size_t samples = 24;
+    OptMode mode = OptMode::EnergyEfficient;
+    MemType l1 = MemType::Cache;
+    std::uint64_t seed = 1;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --kernel spmspm|spmspv     kernel to run (default spmspv)\n"
+        "  --dataset <id>             Table 5 suite id (default P3)\n"
+        "  --matrix <file.mtx>        Matrix Market file instead\n"
+        "  --scale <f>                suite dataset scale (default "
+        "0.25)\n"
+        "  --mode ee|pp               objective (default ee)\n"
+        "  --l1 cache|spm             L1 memory type (default cache)\n"
+        "  --bandwidth <B/s>          off-chip bandwidth (default "
+        "1e9)\n"
+        "  --samples <n>              oracle candidate samples "
+        "(default 24)\n"
+        "  --policy conservative|aggressive|hybrid (default hybrid)\n"
+        "  --tolerance <f>            hybrid tolerance (default 0.4)\n"
+        "  --model <file>             trained predictor (enables "
+        "SparseAdapt)\n"
+        "  --seed <n>                 RNG seed (default 1)\n",
+        argv0);
+    std::exit(2);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--kernel") {
+            o.kernel = need(i);
+        } else if (arg == "--dataset") {
+            o.dataset = need(i);
+        } else if (arg == "--matrix") {
+            o.matrixFile = need(i);
+        } else if (arg == "--scale") {
+            o.scale = std::atof(need(i));
+        } else if (arg == "--mode") {
+            const std::string m = need(i);
+            o.mode = m == "pp" ? OptMode::PowerPerformance
+                               : OptMode::EnergyEfficient;
+        } else if (arg == "--l1") {
+            o.l1 = std::string(need(i)) == "spm" ? MemType::Spm
+                                                 : MemType::Cache;
+        } else if (arg == "--bandwidth") {
+            o.bandwidth = std::atof(need(i));
+        } else if (arg == "--samples") {
+            o.samples = std::atoi(need(i));
+        } else if (arg == "--policy") {
+            o.policy = need(i);
+        } else if (arg == "--tolerance") {
+            o.tolerance = std::atof(need(i));
+        } else if (arg == "--model") {
+            o.modelFile = need(i);
+        } else if (arg == "--seed") {
+            o.seed = std::atoll(need(i));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+PolicyKind
+policyKindOf(const std::string &name)
+{
+    if (name == "conservative")
+        return PolicyKind::Conservative;
+    if (name == "aggressive")
+        return PolicyKind::Aggressive;
+    if (name == "hybrid")
+        return PolicyKind::Hybrid;
+    fatal("unknown policy: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions o = parse(argc, argv);
+
+    CsrMatrix matrix = o.matrixFile.empty()
+        ? makeSuiteMatrix(o.dataset, o.scale, o.seed)
+        : readMatrixMarketFile(o.matrixFile);
+    std::printf("dataset: %s\n", computeStats(matrix).summary().c_str());
+
+    WorkloadOptions wo;
+    wo.l1Type = o.l1;
+    wo.memBandwidth = o.bandwidth;
+    Workload wl;
+    if (o.kernel == "spmspm") {
+        if (matrix.rows() != matrix.cols())
+            fatal("spmspm (C = A*A^T) needs a square matrix");
+        wl = makeSpMSpMWorkload("cli", matrix, wo);
+    } else if (o.kernel == "spmspv") {
+        Rng rng(o.seed);
+        SparseVector x =
+            SparseVector::random(matrix.cols(), 0.5, rng);
+        wl = makeSpMSpVWorkload("cli", matrix, x, wo);
+    } else {
+        fatal("unknown kernel: " + o.kernel);
+    }
+    std::printf("kernel: %s, %llu trace ops, %.0f FP-ops, mode %s\n",
+                o.kernel.c_str(),
+                static_cast<unsigned long long>(wl.trace.totalOps()),
+                wl.trace.totalFlops(), optModeName(o.mode).c_str());
+
+    std::optional<Predictor> pred;
+    if (!o.modelFile.empty()) {
+        std::ifstream in(o.modelFile);
+        if (!in)
+            fatal("cannot open model file: " + o.modelFile);
+        pred = Predictor::load(in);
+    }
+
+    ComparisonOptions co;
+    co.mode = o.mode;
+    co.oracleSamples = o.samples;
+    co.policy = Policy(policyKindOf(o.policy), o.tolerance);
+    co.seed = o.seed;
+    Comparison cmp(wl, pred ? &*pred : nullptr, co);
+
+    Table table;
+    table.header({"scheme", "GFLOPS", "GFLOPS/W", "metric",
+                  "switches"});
+    auto row = [&](const char *name, const ScheduleEval &ev) {
+        table.row({name, Table::num(ev.gflops(), 4),
+                   Table::num(ev.gflopsPerWatt(), 3),
+                   Table::num(ev.metric(o.mode), 4),
+                   Table::num(ev.reconfigCount, 0)});
+    };
+    row("Baseline", cmp.baseline());
+    row("Best Avg", cmp.bestAvg());
+    row("Max Cfg", cmp.maxCfg());
+    row("Ideal Static", cmp.idealStatic());
+    row("Ideal Greedy", cmp.idealGreedy());
+    row("Oracle", cmp.oracle());
+    row("ProfileAdapt (naive)", cmp.profileAdapt(false));
+    row("ProfileAdapt (ideal)", cmp.profileAdapt(true));
+    if (pred)
+        row("SparseAdapt", cmp.sparseAdapt());
+    table.print();
+    if (!pred)
+        std::printf("\n(no --model given: SparseAdapt row skipped; "
+                    "train one with the bench harness)\n");
+    return 0;
+}
