@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_algorithms.dir/ablation_algorithms.cc.o"
+  "CMakeFiles/ablation_algorithms.dir/ablation_algorithms.cc.o.d"
+  "ablation_algorithms"
+  "ablation_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

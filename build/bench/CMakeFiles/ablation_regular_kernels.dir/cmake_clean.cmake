@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regular_kernels.dir/ablation_regular_kernels.cc.o"
+  "CMakeFiles/ablation_regular_kernels.dir/ablation_regular_kernels.cc.o.d"
+  "ablation_regular_kernels"
+  "ablation_regular_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regular_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stitching.dir/ablation_stitching.cc.o"
+  "CMakeFiles/ablation_stitching.dir/ablation_stitching.cc.o.d"
+  "ablation_stitching"
+  "ablation_stitching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stitching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_spmspv_synthetic.dir/fig05_spmspv_synthetic.cc.o"
+  "CMakeFiles/fig05_spmspv_synthetic.dir/fig05_spmspv_synthetic.cc.o.d"
+  "fig05_spmspv_synthetic"
+  "fig05_spmspv_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_spmspv_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

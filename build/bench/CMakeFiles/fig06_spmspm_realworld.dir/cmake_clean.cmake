@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_spmspm_realworld.dir/fig06_spmspm_realworld.cc.o"
+  "CMakeFiles/fig06_spmspm_realworld.dir/fig06_spmspm_realworld.cc.o.d"
+  "fig06_spmspm_realworld"
+  "fig06_spmspm_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_spmspm_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_spmspm_realworld.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_spmspv_l1modes.dir/fig07_spmspv_l1modes.cc.o"
+  "CMakeFiles/fig07_spmspv_l1modes.dir/fig07_spmspv_l1modes.cc.o.d"
+  "fig07_spmspv_l1modes"
+  "fig07_spmspv_l1modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_spmspv_l1modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

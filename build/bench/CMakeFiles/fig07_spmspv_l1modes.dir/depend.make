@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_spmspv_l1modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_model_complexity.dir/fig09_model_complexity.cc.o"
+  "CMakeFiles/fig09_model_complexity.dir/fig09_model_complexity.cc.o.d"
+  "fig09_model_complexity"
+  "fig09_model_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_model_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

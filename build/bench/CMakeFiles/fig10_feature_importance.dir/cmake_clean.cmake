@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_feature_importance.dir/fig10_feature_importance.cc.o"
+  "CMakeFiles/fig10_feature_importance.dir/fig10_feature_importance.cc.o.d"
+  "fig10_feature_importance"
+  "fig10_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

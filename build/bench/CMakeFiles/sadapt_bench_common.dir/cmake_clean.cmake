@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/sadapt_bench_common.dir/bench_common.cc.o.d"
+  "libsadapt_bench_common.a"
+  "libsadapt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsadapt_bench_common.a"
+)

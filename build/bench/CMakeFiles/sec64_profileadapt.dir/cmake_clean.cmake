@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_profileadapt.dir/sec64_profileadapt.cc.o"
+  "CMakeFiles/sec64_profileadapt.dir/sec64_profileadapt.cc.o.d"
+  "sec64_profileadapt"
+  "sec64_profileadapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_profileadapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

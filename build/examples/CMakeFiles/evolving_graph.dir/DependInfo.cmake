@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/evolving_graph.cpp" "examples/CMakeFiles/evolving_graph.dir/evolving_graph.cpp.o" "gcc" "examples/CMakeFiles/evolving_graph.dir/evolving_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adapt/CMakeFiles/sadapt_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sadapt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sadapt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sadapt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sadapt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sadapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/controllers.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/controllers.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/controllers.cc.o.d"
+  "/root/repo/src/adapt/epoch_db.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/epoch_db.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/epoch_db.cc.o.d"
+  "/root/repo/src/adapt/history.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/history.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/history.cc.o.d"
+  "/root/repo/src/adapt/metrics.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/metrics.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/metrics.cc.o.d"
+  "/root/repo/src/adapt/policy.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/policy.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/policy.cc.o.d"
+  "/root/repo/src/adapt/predictor.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/predictor.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/predictor.cc.o.d"
+  "/root/repo/src/adapt/runner.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/runner.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/runner.cc.o.d"
+  "/root/repo/src/adapt/search.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/search.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/search.cc.o.d"
+  "/root/repo/src/adapt/telemetry.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/telemetry.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/telemetry.cc.o.d"
+  "/root/repo/src/adapt/trainer.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/trainer.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/trainer.cc.o.d"
+  "/root/repo/src/adapt/workload.cc" "src/adapt/CMakeFiles/sadapt_adapt.dir/workload.cc.o" "gcc" "src/adapt/CMakeFiles/sadapt_adapt.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sadapt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sadapt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sadapt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sadapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

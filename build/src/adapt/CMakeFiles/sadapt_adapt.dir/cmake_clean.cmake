@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_adapt.dir/controllers.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/controllers.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/epoch_db.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/epoch_db.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/history.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/history.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/metrics.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/metrics.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/policy.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/policy.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/predictor.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/predictor.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/runner.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/runner.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/search.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/search.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/telemetry.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/telemetry.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/trainer.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/trainer.cc.o.d"
+  "CMakeFiles/sadapt_adapt.dir/workload.cc.o"
+  "CMakeFiles/sadapt_adapt.dir/workload.cc.o.d"
+  "libsadapt_adapt.a"
+  "libsadapt_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_common.dir/csv.cc.o"
+  "CMakeFiles/sadapt_common.dir/csv.cc.o.d"
+  "CMakeFiles/sadapt_common.dir/logging.cc.o"
+  "CMakeFiles/sadapt_common.dir/logging.cc.o.d"
+  "CMakeFiles/sadapt_common.dir/rng.cc.o"
+  "CMakeFiles/sadapt_common.dir/rng.cc.o.d"
+  "CMakeFiles/sadapt_common.dir/table.cc.o"
+  "CMakeFiles/sadapt_common.dir/table.cc.o.d"
+  "libsadapt_common.a"
+  "libsadapt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

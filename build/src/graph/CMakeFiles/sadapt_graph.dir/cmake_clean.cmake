@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_graph.dir/graph_algorithms.cc.o"
+  "CMakeFiles/sadapt_graph.dir/graph_algorithms.cc.o.d"
+  "libsadapt_graph.a"
+  "libsadapt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

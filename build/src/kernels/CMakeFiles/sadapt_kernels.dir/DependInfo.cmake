@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv.cc" "src/kernels/CMakeFiles/sadapt_kernels.dir/conv.cc.o" "gcc" "src/kernels/CMakeFiles/sadapt_kernels.dir/conv.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/sadapt_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/sadapt_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/inner_spgemm.cc" "src/kernels/CMakeFiles/sadapt_kernels.dir/inner_spgemm.cc.o" "gcc" "src/kernels/CMakeFiles/sadapt_kernels.dir/inner_spgemm.cc.o.d"
+  "/root/repo/src/kernels/spmspm.cc" "src/kernels/CMakeFiles/sadapt_kernels.dir/spmspm.cc.o" "gcc" "src/kernels/CMakeFiles/sadapt_kernels.dir/spmspm.cc.o.d"
+  "/root/repo/src/kernels/spmspv.cc" "src/kernels/CMakeFiles/sadapt_kernels.dir/spmspv.cc.o" "gcc" "src/kernels/CMakeFiles/sadapt_kernels.dir/spmspv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sadapt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sadapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_kernels.dir/conv.cc.o"
+  "CMakeFiles/sadapt_kernels.dir/conv.cc.o.d"
+  "CMakeFiles/sadapt_kernels.dir/gemm.cc.o"
+  "CMakeFiles/sadapt_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/sadapt_kernels.dir/inner_spgemm.cc.o"
+  "CMakeFiles/sadapt_kernels.dir/inner_spgemm.cc.o.d"
+  "CMakeFiles/sadapt_kernels.dir/spmspm.cc.o"
+  "CMakeFiles/sadapt_kernels.dir/spmspm.cc.o.d"
+  "CMakeFiles/sadapt_kernels.dir/spmspv.cc.o"
+  "CMakeFiles/sadapt_kernels.dir/spmspv.cc.o.d"
+  "libsadapt_kernels.a"
+  "libsadapt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/sadapt_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/sadapt_ml.dir/dataset.cc.o"
+  "CMakeFiles/sadapt_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/sadapt_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/sadapt_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/sadapt_ml.dir/linear_model.cc.o"
+  "CMakeFiles/sadapt_ml.dir/linear_model.cc.o.d"
+  "CMakeFiles/sadapt_ml.dir/random_forest.cc.o"
+  "CMakeFiles/sadapt_ml.dir/random_forest.cc.o.d"
+  "libsadapt_ml.a"
+  "libsadapt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsadapt_ml.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/sadapt_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/sadapt_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/sim/CMakeFiles/sadapt_sim.dir/counters.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/counters.cc.o.d"
+  "/root/repo/src/sim/dvfs.cc" "src/sim/CMakeFiles/sadapt_sim.dir/dvfs.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/dvfs.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/sadapt_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/sadapt_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/prefetcher.cc" "src/sim/CMakeFiles/sadapt_sim.dir/prefetcher.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/prefetcher.cc.o.d"
+  "/root/repo/src/sim/reconfig.cc" "src/sim/CMakeFiles/sadapt_sim.dir/reconfig.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/reconfig.cc.o.d"
+  "/root/repo/src/sim/schedule.cc" "src/sim/CMakeFiles/sadapt_sim.dir/schedule.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/schedule.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/sadapt_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/transmuter.cc" "src/sim/CMakeFiles/sadapt_sim.dir/transmuter.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/transmuter.cc.o.d"
+  "/root/repo/src/sim/xbar.cc" "src/sim/CMakeFiles/sadapt_sim.dir/xbar.cc.o" "gcc" "src/sim/CMakeFiles/sadapt_sim.dir/xbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sadapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_sim.dir/cache.cc.o"
+  "CMakeFiles/sadapt_sim.dir/cache.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/config.cc.o"
+  "CMakeFiles/sadapt_sim.dir/config.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/counters.cc.o"
+  "CMakeFiles/sadapt_sim.dir/counters.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/dvfs.cc.o"
+  "CMakeFiles/sadapt_sim.dir/dvfs.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/energy.cc.o"
+  "CMakeFiles/sadapt_sim.dir/energy.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/memory.cc.o"
+  "CMakeFiles/sadapt_sim.dir/memory.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/prefetcher.cc.o"
+  "CMakeFiles/sadapt_sim.dir/prefetcher.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/reconfig.cc.o"
+  "CMakeFiles/sadapt_sim.dir/reconfig.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/schedule.cc.o"
+  "CMakeFiles/sadapt_sim.dir/schedule.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/trace.cc.o"
+  "CMakeFiles/sadapt_sim.dir/trace.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/transmuter.cc.o"
+  "CMakeFiles/sadapt_sim.dir/transmuter.cc.o.d"
+  "CMakeFiles/sadapt_sim.dir/xbar.cc.o"
+  "CMakeFiles/sadapt_sim.dir/xbar.cc.o.d"
+  "libsadapt_sim.a"
+  "libsadapt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/coo.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/coo.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/csc.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/generators.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/generators.cc.o.d"
+  "/root/repo/src/sparse/io.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/io.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/io.cc.o.d"
+  "/root/repo/src/sparse/reference.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/reference.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/reference.cc.o.d"
+  "/root/repo/src/sparse/sparse_vector.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/sparse_vector.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/sparse/stats.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/stats.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/stats.cc.o.d"
+  "/root/repo/src/sparse/suite.cc" "src/sparse/CMakeFiles/sadapt_sparse.dir/suite.cc.o" "gcc" "src/sparse/CMakeFiles/sadapt_sparse.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sadapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadapt_sparse.dir/coo.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/coo.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/csc.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/csc.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/csr.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/generators.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/generators.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/io.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/io.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/reference.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/reference.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/sparse_vector.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/stats.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/stats.cc.o.d"
+  "CMakeFiles/sadapt_sparse.dir/suite.cc.o"
+  "CMakeFiles/sadapt_sparse.dir/suite.cc.o.d"
+  "libsadapt_sparse.a"
+  "libsadapt_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadapt_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_differential.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_cache_differential.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_cache_differential.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_controllers.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_controllers.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_controllers.cc.o.d"
+  "/root/repo/tests/test_coo.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_coo.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_coo.cc.o.d"
+  "/root/repo/tests/test_csr_csc.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_csr_csc.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_csr_csc.cc.o.d"
+  "/root/repo/tests/test_csv_table.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_csv_table.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_csv_table.cc.o.d"
+  "/root/repo/tests/test_dvfs.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_dvfs.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_dvfs.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_epoch_db.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_epoch_db.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_epoch_db.cc.o.d"
+  "/root/repo/tests/test_generators.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_generators.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_generators.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_history.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_history.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_history.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_io.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_io.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_io.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_metrics_telemetry.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_metrics_telemetry.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_metrics_telemetry.cc.o.d"
+  "/root/repo/tests/test_ml.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_ml.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_ml.cc.o.d"
+  "/root/repo/tests/test_oracle_bruteforce.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_oracle_bruteforce.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_oracle_bruteforce.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_reconfig.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_reconfig.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_reconfig.cc.o.d"
+  "/root/repo/tests/test_reference.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_reference.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_reference.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_search_policy.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_search_policy.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_search_policy.cc.o.d"
+  "/root/repo/tests/test_sim_edge_cases.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_sim_edge_cases.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_sim_edge_cases.cc.o.d"
+  "/root/repo/tests/test_sparse_vector.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_sparse_vector.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_sparse_vector.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stitching_validation.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_stitching_validation.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_stitching_validation.cc.o.d"
+  "/root/repo/tests/test_suite.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_suite.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_suite.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trainer_predictor.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_trainer_predictor.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_trainer_predictor.cc.o.d"
+  "/root/repo/tests/test_transmuter.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_transmuter.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_transmuter.cc.o.d"
+  "/root/repo/tests/test_workload_runner.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_workload_runner.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_workload_runner.cc.o.d"
+  "/root/repo/tests/test_xbar_memory.cc" "tests/CMakeFiles/sparseadapt_tests.dir/test_xbar_memory.cc.o" "gcc" "tests/CMakeFiles/sparseadapt_tests.dir/test_xbar_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sadapt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sadapt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sadapt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sadapt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/sadapt_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sadapt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

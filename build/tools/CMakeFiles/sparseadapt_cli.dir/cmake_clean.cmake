@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparseadapt_cli.dir/sparseadapt_cli.cc.o"
+  "CMakeFiles/sparseadapt_cli.dir/sparseadapt_cli.cc.o.d"
+  "sparseadapt_cli"
+  "sparseadapt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparseadapt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
