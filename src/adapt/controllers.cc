@@ -272,6 +272,89 @@ sparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
     return schedule;
 }
 
+RobustAdaptResult
+robustSparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
+                          const Policy &policy, OptMode mode,
+                          const ReconfigCostModel &cost_model,
+                          const HwConfig &initial,
+                          FaultInjector *faults,
+                          const RobustAdaptOptions &opts)
+{
+    const bool ee = mode == OptMode::EnergyEfficient;
+    const std::size_t num_epochs = db.numEpochs();
+    const HwConfig safe = baselineConfig(initial.l1Type);
+
+    TelemetryGuard guard(opts.guard);
+    Watchdog watchdog(opts.watchdog);
+
+    RobustAdaptResult out;
+    out.schedule.configs.reserve(num_epochs);
+    HwConfig current = initial;
+    for (std::size_t e = 0; e < num_epochs; ++e) {
+        out.schedule.configs.push_back(current);
+        const EpochRecord &rec = db.epochs(current)[e];
+        const auto epoch = static_cast<std::uint32_t>(e);
+
+        std::optional<PerfCounterSample> received = faults
+            ? faults->filterSample(epoch, rec.counters)
+            : std::optional<PerfCounterSample>(rec.counters);
+
+        HwConfig commanded = current;
+        if (!opts.useGuard) {
+            // Naive loop: a missing sample reads as all-zero counters
+            // (stuck telemetry register); corruption feeds the
+            // predictor verbatim.
+            const PerfCounterSample sample =
+                received.value_or(PerfCounterSample{});
+            commanded = policy.apply(
+                current, predictor.predict(current, sample),
+                rec.seconds, cost_model, ee);
+        } else {
+            PerfCounterSample sample;
+            bool usable = false;
+            if (!received) {
+                guard.recordMissing();
+            } else {
+                sample = *received;
+                const GuardReport report = guard.inspect(sample);
+                if (report.verdict == SampleVerdict::Bad) {
+                    // Discard; fall back to last-known-good features.
+                    if (guard.lastKnownGood()) {
+                        sample = *guard.lastKnownGood();
+                        usable = true;
+                    }
+                } else {
+                    usable = true;
+                }
+            }
+
+            const double realized = metricValue(
+                mode, rec.flops, rec.seconds, rec.totalEnergy());
+            const Watchdog::Decision wd =
+                watchdog.observe(realized, usable);
+            if (wd.revert)
+                commanded = safe;
+            else if (wd.hold || !usable)
+                commanded = current;
+            else
+                commanded = policy.apply(
+                    current, predictor.predict(current, sample),
+                    rec.seconds, cost_model, ee);
+        }
+
+        current = faults
+            ? faults->applyCommand(epoch, current, commanded)
+            : commanded;
+    }
+
+    if (faults)
+        out.faults = faults->stats();
+    out.guard = guard.stats();
+    out.watchdogReverts = watchdog.reverts();
+    out.watchdogHeldEpochs = watchdog.heldEpochs();
+    return out;
+}
+
 ScheduleEval
 evaluateProfileAdapt(EpochDb &db, const Schedule &base,
                      const ReconfigCostModel &cost_model, OptMode mode,

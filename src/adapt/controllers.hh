@@ -21,8 +21,10 @@
 #include <span>
 
 #include "adapt/epoch_db.hh"
+#include "adapt/guard.hh"
 #include "adapt/policy.hh"
 #include "adapt/predictor.hh"
+#include "sim/faults.hh"
 
 namespace sadapt {
 
@@ -69,6 +71,52 @@ Schedule sparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
                              const Policy &policy, OptMode mode,
                              const ReconfigCostModel &cost_model,
                              const HwConfig &initial);
+
+/** Degraded-mode controls of the robust SparseAdapt loop. */
+struct RobustAdaptOptions
+{
+    GuardOptions guard;
+    WatchdogOptions watchdog;
+
+    /**
+     * Enable the TelemetryGuard + Watchdog defenses. When false the
+     * controller is the naive unguarded loop: corrupted samples feed
+     * the predictor verbatim and a missing sample reads as all-zero
+     * counters (a stuck telemetry register).
+     */
+    bool useGuard = true;
+};
+
+/** Outcome of one robust SparseAdapt run. */
+struct RobustAdaptResult
+{
+    /** Configuration actually in effect each epoch (post fault). */
+    Schedule schedule;
+
+    FaultStats faults;
+    GuardStats guard;
+    std::uint64_t watchdogReverts = 0;
+    std::uint64_t watchdogHeldEpochs = 0;
+};
+
+/**
+ * SparseAdapt with a faultable telemetry/command path and the
+ * degraded-mode defenses of adapt/guard.hh. With `faults == nullptr`
+ * and defenses enabled on clean telemetry, behaves like
+ * sparseAdaptSchedule() (the guard passes clean samples through).
+ *
+ * Per epoch: the epoch's counters travel through the fault injector,
+ * then the guard classifies/repairs them; the watchdog observes the
+ * epoch's realized efficiency and can hold the configuration (missing
+ * telemetry) or revert to baselineConfig() after K consecutive
+ * degraded epochs; finally the (possibly faulty) command path decides
+ * the configuration that actually takes effect.
+ */
+RobustAdaptResult robustSparseAdaptSchedule(
+    EpochDb &db, const Predictor &predictor, const Policy &policy,
+    OptMode mode, const ReconfigCostModel &cost_model,
+    const HwConfig &initial, FaultInjector *faults,
+    const RobustAdaptOptions &opts = RobustAdaptOptions{});
 
 /** Options of the ProfileAdapt emulation (Appendix A.7 step 8). */
 struct ProfileAdaptOptions

@@ -1,0 +1,228 @@
+#include "adapt/guard.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+std::string
+sampleVerdictName(SampleVerdict v)
+{
+    switch (v) {
+      case SampleVerdict::Ok: return "ok";
+      case SampleVerdict::Suspect: return "suspect";
+      case SampleVerdict::Bad: return "bad";
+    }
+    panic("bad SampleVerdict");
+}
+
+TelemetryGuard::TelemetryGuard(const GuardOptions &opts)
+    : optsV(opts), historyV(PerfCounterSample::count())
+{
+    SADAPT_ASSERT(optsV.historyWindow >= 2, "history window too small");
+    SADAPT_ASSERT(optsV.madThreshold > 0.0 && optsV.badFraction > 0.0,
+                  "guard thresholds must be positive");
+}
+
+void
+TelemetryGuard::reset()
+{
+    statsV = GuardStats{};
+    for (auto &h : historyV)
+        h.clear();
+    lastGoodV.reset();
+}
+
+namespace {
+
+double
+medianOf(std::vector<double> v)
+{
+    SADAPT_ASSERT(!v.empty(), "median of empty history");
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    double m = v[mid];
+    if (v.size() % 2 == 0) {
+        std::nth_element(v.begin(), v.begin() + mid - 1,
+                         v.begin() + mid);
+        m = 0.5 * (m + v[mid - 1]);
+    }
+    return m;
+}
+
+} // namespace
+
+void
+TelemetryGuard::admit(const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        historyV[i].push_back(values[i]);
+        if (historyV[i].size() > optsV.historyWindow)
+            historyV[i].pop_front();
+    }
+}
+
+GuardReport
+TelemetryGuard::inspect(PerfCounterSample &sample)
+{
+    const auto &bounds = counterBounds();
+    std::vector<double> v = sample.toVector();
+    std::vector<double> repaired = v;
+    // What enters the rolling history. Physically impossible values
+    // are replaced by their repair; in-bounds statistical outliers are
+    // admitted raw, so a *sustained* level shift (a legitimate phase
+    // change) moves the median within ~window/2 epochs and stops being
+    // flagged, while an isolated spike is imputed away.
+    std::vector<double> admitted = v;
+    GuardReport report;
+
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        std::vector<double> hist(historyV[i].begin(),
+                                 historyV[i].end());
+        const bool have_hist = hist.size() >= optsV.minHistory;
+        const double med = hist.empty() ? 0.0 : medianOf(hist);
+        double limit = 0.0;
+        if (have_hist) {
+            std::vector<double> dev(hist.size());
+            for (std::size_t j = 0; j < hist.size(); ++j)
+                dev[j] = std::abs(hist[j] - med);
+            const double mad = medianOf(std::move(dev));
+            const double span = bounds[i].hi - bounds[i].lo;
+            limit = std::max(optsV.madThreshold * mad,
+                             optsV.absoluteFloor * span);
+        }
+
+        // Physical invariants: finite, inside the counter's hard range.
+        if (!std::isfinite(v[i]) || !bounds[i].contains(v[i])) {
+            report.flagged.push_back(i);
+            double rep = std::isfinite(v[i])
+                ? std::clamp(v[i], bounds[i].lo, bounds[i].hi)
+                : (hist.empty() ? bounds[i].lo : med);
+            // A wild spike clamps to the bound but carries no real
+            // information; when the clamped value is itself a
+            // statistical outlier, impute from history instead.
+            if (have_hist && std::abs(rep - med) > limit)
+                rep = med;
+            repaired[i] = rep;
+            admitted[i] = rep;
+            continue;
+        }
+
+        // Rolling median/MAD outlier filter.
+        if (have_hist && std::abs(v[i] - med) > limit) {
+            report.flagged.push_back(i);
+            repaired[i] = med; // impute from history
+        }
+    }
+
+    if (report.flagged.empty()) {
+        report.verdict = SampleVerdict::Ok;
+        ++statsV.samplesOk;
+        admit(v);
+        lastGoodV = sample;
+        return report;
+    }
+
+    const double frac = static_cast<double>(report.flagged.size()) /
+        static_cast<double>(v.size());
+    if (frac > optsV.badFraction) {
+        // Too much of the sample is implausible to trust any of it.
+        report.verdict = SampleVerdict::Bad;
+        ++statsV.samplesDiscarded;
+        return report;
+    }
+
+    report.verdict = SampleVerdict::Suspect;
+    ++statsV.samplesClamped;
+    sample = counterSampleFromVector(repaired);
+    admit(admitted);
+    lastGoodV = sample;
+    return report;
+}
+
+void
+TelemetryGuard::recordMissing()
+{
+    ++statsV.samplesMissing;
+}
+
+Watchdog::Watchdog(const WatchdogOptions &opts)
+    : optsV(opts)
+{
+    SADAPT_ASSERT(optsV.degradedLimit >= 1, "degraded limit too small");
+    SADAPT_ASSERT(optsV.efficiencyFloor > 0.0 &&
+                      optsV.efficiencyFloor < 1.0,
+                  "efficiency floor must be in (0, 1)");
+    SADAPT_ASSERT(optsV.referenceAlpha > 0.0 &&
+                      optsV.referenceAlpha <= 1.0,
+                  "reference alpha must be in (0, 1]");
+}
+
+void
+Watchdog::reset()
+{
+    stateV = WatchdogState::Normal;
+    referenceV = 0.0;
+    haveReference = false;
+    degradedStreak = 0;
+    holdRemaining = 0;
+    revertsV = 0;
+    heldV = 0;
+}
+
+Watchdog::Decision
+Watchdog::observe(double realized_metric, bool telemetry_ok)
+{
+    if (stateV == WatchdogState::Reverted) {
+        ++heldV;
+        if (holdRemaining > 0)
+            --holdRemaining;
+        if (holdRemaining == 0) {
+            // Hysteresis expired: re-enter adaptation with a fresh
+            // reference seeded by the baseline's realized efficiency.
+            stateV = WatchdogState::Normal;
+            referenceV = realized_metric;
+            haveReference = realized_metric > 0.0;
+            degradedStreak = 0;
+        }
+        return {false, true};
+    }
+
+    const bool degraded = haveReference &&
+        realized_metric < optsV.efficiencyFloor * referenceV;
+    if (degraded) {
+        ++degradedStreak;
+    } else {
+        degradedStreak = 0;
+        // Only healthy epochs move the reference, so a collapsing
+        // configuration can't drag the bar down with it.
+        if (realized_metric > 0.0) {
+            referenceV = haveReference
+                ? optsV.referenceAlpha * realized_metric +
+                    (1.0 - optsV.referenceAlpha) * referenceV
+                : realized_metric;
+            haveReference = true;
+        }
+    }
+
+    if (degradedStreak >= optsV.degradedLimit) {
+        stateV = WatchdogState::Reverted;
+        holdRemaining = optsV.holdEpochs;
+        degradedStreak = 0;
+        ++revertsV;
+        ++heldV;
+        return {false, true};
+    }
+
+    if (!telemetry_ok) {
+        // No trustworthy counters this epoch: hold the configuration
+        // rather than predict from garbage.
+        ++heldV;
+        return {true, false};
+    }
+    return {false, false};
+}
+
+} // namespace sadapt

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Degraded-mode defenses for the SparseAdapt control loop.
+ *
+ * TelemetryGuard validates each incoming PerfCounterSample against the
+ * physical invariants of the counters (finite, non-negative, rates in
+ * [0, 1], throughputs below issue-width caps — counterBounds()) and a
+ * rolling per-counter median/MAD outlier filter, classifying it as
+ *
+ *  - OK:      passes every check; used as-is and admitted to history.
+ *  - SUSPECT: a few counters violate bounds or are statistical
+ *             outliers; those counters are clamped/imputed from the
+ *             rolling median and the repaired sample is used.
+ *  - BAD:     too much of the sample is implausible; it is discarded
+ *             and the last-known-good sample is reused instead.
+ *
+ * Watchdog closes the loop on the actuation side: it tracks realized
+ * efficiency per epoch (host-side measurement, independent of the
+ * counter telemetry), holds the current configuration when telemetry is
+ * missing, and after K consecutive degraded epochs reverts to the safe
+ * baseline configuration, re-entering adaptation only after a
+ * hysteresis hold.
+ */
+
+#ifndef SADAPT_ADAPT_GUARD_HH
+#define SADAPT_ADAPT_GUARD_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hh"
+
+namespace sadapt {
+
+/** Classification of one telemetry sample. */
+enum class SampleVerdict : std::uint8_t
+{
+    Ok,
+    Suspect,
+    Bad,
+};
+
+/** Human-readable verdict name. */
+std::string sampleVerdictName(SampleVerdict v);
+
+/** Tuning knobs of the telemetry guard. */
+struct GuardOptions
+{
+    /** Rolling history window per counter, epochs. */
+    std::size_t historyWindow = 8;
+
+    /** Outlier threshold: |x - median| > k * MAD flags a counter. */
+    double madThreshold = 8.0;
+
+    /**
+     * Absolute deviation floor, as a fraction of the counter's
+     * physical range: deviations below it are never outliers, so
+     * near-constant counters (tiny MAD) don't false-positive on
+     * legitimate phase changes.
+     */
+    double absoluteFloor = 0.10;
+
+    /** Epochs of history required before the MAD filter engages. */
+    std::size_t minHistory = 4;
+
+    /** More flagged counters than this fraction makes the sample BAD. */
+    double badFraction = 0.25;
+};
+
+/** Guard outcome counters, surfaced in run summary tables. */
+struct GuardStats
+{
+    std::uint64_t samplesOk = 0;
+    std::uint64_t samplesClamped = 0;  //!< SUSPECT: repaired in place
+    std::uint64_t samplesDiscarded = 0; //!< BAD: last-known-good reused
+    std::uint64_t samplesMissing = 0;   //!< no telemetry arrived at all
+};
+
+/** Outcome of inspecting one sample. */
+struct GuardReport
+{
+    SampleVerdict verdict = SampleVerdict::Ok;
+
+    /** Indices (toVector() order) of counters that were repaired. */
+    std::vector<std::size_t> flagged;
+};
+
+/**
+ * Stateful per-run sample validator. Feed each epoch's received sample
+ * through inspect(); when no sample arrived, call recordMissing().
+ */
+class TelemetryGuard
+{
+  public:
+    explicit TelemetryGuard(const GuardOptions &opts = GuardOptions{});
+
+    /**
+     * Validate and, for SUSPECT samples, repair `sample` in place.
+     * BAD samples are left untouched; callers should fall back to
+     * lastKnownGood().
+     */
+    GuardReport inspect(PerfCounterSample &sample);
+
+    /** Account for an epoch whose telemetry never arrived. */
+    void recordMissing();
+
+    /** The most recent OK/repaired sample, if any. */
+    const std::optional<PerfCounterSample> &lastKnownGood() const
+    {
+        return lastGoodV;
+    }
+
+    const GuardStats &stats() const { return statsV; }
+    const GuardOptions &options() const { return optsV; }
+
+    void reset();
+
+  private:
+    GuardOptions optsV;
+    GuardStats statsV;
+    std::vector<std::deque<double>> historyV; //!< per counter
+    std::optional<PerfCounterSample> lastGoodV;
+
+    void admit(const std::vector<double> &values);
+};
+
+/** Tuning knobs of the controller watchdog. */
+struct WatchdogOptions
+{
+    /** Consecutive degraded epochs before reverting to baseline. */
+    std::size_t degradedLimit = 4;
+
+    /**
+     * An epoch is degraded when its realized metric falls below this
+     * fraction of the rolling reference.
+     */
+    double efficiencyFloor = 0.5;
+
+    /** Epochs to hold the baseline before re-entering adaptation. */
+    std::size_t holdEpochs = 4;
+
+    /** EWMA weight of the newest epoch in the rolling reference. */
+    double referenceAlpha = 0.25;
+};
+
+/** Watchdog operating state. */
+enum class WatchdogState : std::uint8_t
+{
+    Normal,   //!< adaptation active
+    Reverted, //!< holding the baseline configuration
+};
+
+/**
+ * Realized-efficiency watchdog. Call observe() once per epoch with the
+ * metric the epoch actually achieved; the decision says whether the
+ * controller may adapt, must hold, or must revert to baseline.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogOptions &opts = WatchdogOptions{});
+
+    struct Decision
+    {
+        /** Keep the current configuration; skip prediction entirely. */
+        bool hold = false;
+
+        /** Switch to (or stay at) the baseline configuration. */
+        bool revert = false;
+    };
+
+    /**
+     * @param realized_metric the epoch's achieved objective value.
+     * @param telemetry_ok false when the epoch's sample was missing or
+     *        discarded; the controller then holds its configuration.
+     */
+    Decision observe(double realized_metric, bool telemetry_ok);
+
+    WatchdogState state() const { return stateV; }
+    std::uint64_t reverts() const { return revertsV; }
+    std::uint64_t heldEpochs() const { return heldV; }
+    double reference() const { return referenceV; }
+
+    void reset();
+
+  private:
+    WatchdogOptions optsV;
+    WatchdogState stateV = WatchdogState::Normal;
+    double referenceV = 0.0;
+    bool haveReference = false;
+    std::size_t degradedStreak = 0;
+    std::size_t holdRemaining = 0;
+    std::uint64_t revertsV = 0;
+    std::uint64_t heldV = 0;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_ADAPT_GUARD_HH

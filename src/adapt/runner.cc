@@ -1,5 +1,7 @@
 #include "adapt/runner.hh"
 
+#include <unordered_set>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
 
@@ -24,13 +26,13 @@ Comparison::candidates()
         candidatesV = space.sample(opts.oracleSamples, rng);
         // Always include the standard static systems so the ideal
         // schemes are never worse than them.
+        std::unordered_set<std::uint32_t> codes;
+        for (const auto &c : candidatesV)
+            codes.insert(c.encode());
         for (const HwConfig &std_cfg :
              {baselineConfig(wl.l1Type), bestAvgConfig(wl.l1Type),
               maxConfig(wl.l1Type)}) {
-            bool present = false;
-            for (const auto &c : candidatesV)
-                present = present || c == std_cfg;
-            if (!present)
+            if (codes.insert(std_cfg.encode()).second)
                 candidatesV.push_back(std_cfg);
         }
     }
@@ -124,6 +126,31 @@ Comparison::sparseAdapt()
 {
     return evaluateSchedule(dbV, sparseAdaptSchedule(), cost,
                             opts.mode, initial);
+}
+
+Comparison::RobustEval
+Comparison::sparseAdaptRobust(const FaultSpec &spec, bool guarded,
+                              const RobustAdaptOptions &robust_opts)
+{
+    SADAPT_ASSERT(pred != nullptr && pred->trained(),
+                  "sparseAdaptRobust() needs a trained predictor");
+    std::optional<FaultInjector> injector;
+    if (spec.enabled())
+        injector.emplace(spec);
+    RobustAdaptOptions ro = robust_opts;
+    ro.useGuard = guarded;
+    RobustAdaptResult res = robustSparseAdaptSchedule(
+        dbV, *pred, opts.policy, opts.mode, cost, initial,
+        injector ? &*injector : nullptr, ro);
+
+    RobustEval out;
+    out.eval = evaluateSchedule(dbV, res.schedule, cost, opts.mode,
+                                initial);
+    out.faults = res.faults;
+    out.guard = res.guard;
+    out.watchdogReverts = res.watchdogReverts;
+    out.watchdogHeldEpochs = res.watchdogHeldEpochs;
+    return out;
 }
 
 } // namespace sadapt

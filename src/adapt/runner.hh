@@ -71,6 +71,26 @@ class Comparison
     /** The SparseAdapt schedule itself (for timeline plots). */
     const Schedule &sparseAdaptSchedule();
 
+    /** SparseAdapt under fault injection, with degraded-mode stats. */
+    struct RobustEval
+    {
+        ScheduleEval eval;
+        FaultStats faults;
+        GuardStats guard;
+        std::uint64_t watchdogReverts = 0;
+        std::uint64_t watchdogHeldEpochs = 0;
+    };
+
+    /**
+     * Run the robust SparseAdapt loop under a fault specification and
+     * stitch the resulting schedule. `guarded == false` disables the
+     * TelemetryGuard/Watchdog defenses (the naive loop), for
+     * robustness comparisons. Deterministic per (spec, workload).
+     */
+    RobustEval sparseAdaptRobust(
+        const FaultSpec &spec, bool guarded = true,
+        const RobustAdaptOptions &robust_opts = RobustAdaptOptions{});
+
     EpochDb &db() { return dbV; }
     const std::vector<HwConfig> &candidates();
     const ReconfigCostModel &costModel() const { return cost; }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lightweight recoverable-error types for library-level code.
+ *
+ * fatal() (logging.hh) terminates the process and is reserved for CLI
+ * entry points; library code that can encounter bad *input* (malformed
+ * matrix files, unparsable configuration specs, invalid fault specs)
+ * returns a Status or Result<T> instead, so long-running services built
+ * on the library can reject one request without dying.
+ */
+
+#ifndef SADAPT_COMMON_STATUS_HH
+#define SADAPT_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+/** Success or a descriptive error message. */
+class Status
+{
+  public:
+    /** The OK status. */
+    Status() = default;
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(std::string message)
+    {
+        Status s;
+        s.msgV = std::move(message);
+        s.failedV = true;
+        return s;
+    }
+
+    bool isOk() const { return !failedV; }
+    explicit operator bool() const { return isOk(); }
+
+    /** Error message; empty for OK. */
+    const std::string &message() const { return msgV; }
+
+  private:
+    std::string msgV;
+    bool failedV = false;
+};
+
+/**
+ * A value or a descriptive error. Callers either test ok() and read
+ * value(), or funnel the error upward; valueOrDie() bridges to the
+ * legacy fatal() behaviour at process entry points.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /*implicit*/ Result(T value)
+        : valueV(std::move(value))
+    {
+    }
+
+    /*implicit*/ Result(Status status)
+        : statusV(std::move(status))
+    {
+        SADAPT_ASSERT(!statusV.isOk(),
+                      "Result constructed from an OK status");
+    }
+
+    static Result error(std::string message)
+    {
+        return Result(Status::error(std::move(message)));
+    }
+
+    bool isOk() const { return valueV.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status &status() const { return statusV; }
+    const std::string &message() const { return statusV.message(); }
+
+    T &
+    value()
+    {
+        SADAPT_ASSERT(isOk(), "value() on an error Result");
+        return *valueV;
+    }
+
+    const T &
+    value() const
+    {
+        SADAPT_ASSERT(isOk(), "value() on an error Result");
+        return *valueV;
+    }
+
+    /** Extract the value, or exit via fatal() with the error message. */
+    T
+    valueOrDie() &&
+    {
+        if (!isOk())
+            fatal(statusV.message());
+        return std::move(*valueV);
+    }
+
+  private:
+    std::optional<T> valueV;
+    Status statusV;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_COMMON_STATUS_HH

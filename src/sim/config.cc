@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include <array>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -297,6 +298,154 @@ maxConfig(MemType l1_type)
     cfg.l2CapIdx = 4;
     cfg.clockIdx = 5;
     cfg.prefetchIdx = 2;
+    return cfg;
+}
+
+namespace {
+
+/** Index of value in a table, or -1 when absent. */
+template <typename Table, typename V>
+int
+tableIndex(const Table &table, V value)
+{
+    for (std::size_t i = 0; i < table.size(); ++i)
+        if (table[i] == value)
+            return static_cast<int>(i);
+    return -1;
+}
+
+Status
+applyPreset(HwConfig &cfg, const std::string &name)
+{
+    const MemType t = cfg.l1Type;
+    if (name == "baseline")
+        cfg = baselineConfig(t);
+    else if (name == "bestavg")
+        cfg = bestAvgConfig(t);
+    else if (name == "max")
+        cfg = maxConfig(t);
+    else
+        return Status::error(str("unknown config preset '", name,
+                                 "' (expected baseline, bestavg or "
+                                 "max, or key=value pairs)"));
+    return Status::ok();
+}
+
+Result<SharingMode>
+parseSharing(const std::string &key, const std::string &value)
+{
+    if (value == "shared" || value == "shr")
+        return SharingMode::Shared;
+    if (value == "private" || value == "prv")
+        return SharingMode::Private;
+    return Result<SharingMode>::error(
+        str("bad ", key, " '", value,
+            "' (expected shared/shr or private/prv)"));
+}
+
+} // namespace
+
+Result<HwConfig>
+parseConfig(const std::string &text)
+{
+    HwConfig cfg = baselineConfig();
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos <= text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string item = text.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding whitespace.
+        const auto b = item.find_first_not_of(" \t");
+        if (b == std::string::npos) {
+            if (first && pos > text.size())
+                break; // wholly empty spec -> baseline
+            first = false;
+            continue;
+        }
+        item = item.substr(b, item.find_last_not_of(" \t") - b + 1);
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            if (!first) {
+                return Result<HwConfig>::error(
+                    str("config preset '", item,
+                        "' must be the first element"));
+            }
+            const Status s = applyPreset(cfg, item);
+            if (!s.isOk())
+                return Result<HwConfig>::error(s.message());
+            first = false;
+            continue;
+        }
+        first = false;
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key.empty() || value.empty()) {
+            return Result<HwConfig>::error(
+                str("empty key or value in config item '", item, "'"));
+        }
+
+        if (key == "type") {
+            if (value == "cache") {
+                cfg.l1Type = MemType::Cache;
+            } else if (value == "spm") {
+                cfg.l1Type = MemType::Spm;
+            } else {
+                return Result<HwConfig>::error(
+                    str("bad type '", value,
+                        "' (expected cache or spm)"));
+            }
+        } else if (key == "l1_sharing" || key == "l2_sharing") {
+            auto mode = parseSharing(key, value);
+            if (!mode.isOk())
+                return Result<HwConfig>::error(mode.message());
+            (key == "l1_sharing" ? cfg.l1Sharing : cfg.l2Sharing) =
+                mode.value();
+        } else if (key == "l1_cap" || key == "l2_cap") {
+            char *rest = nullptr;
+            const double kb = std::strtod(value.c_str(), &rest);
+            const int idx = tableIndex(
+                capBytes, static_cast<std::uint32_t>(kb * 1024.0));
+            if (rest == value.c_str() || *rest != '\0' || idx < 0) {
+                return Result<HwConfig>::error(
+                    str("bad ", key, " '", value,
+                        "' (expected 4, 8, 16, 32 or 64 kB)"));
+            }
+            (key == "l1_cap" ? cfg.l1CapIdx : cfg.l2CapIdx) =
+                static_cast<std::uint8_t>(idx);
+        } else if (key == "clock") {
+            char *rest = nullptr;
+            const double mhz = std::strtod(value.c_str(), &rest);
+            const int idx = tableIndex(clockHzTable, mhz * 1e6);
+            if (rest == value.c_str() || *rest != '\0' || idx < 0) {
+                return Result<HwConfig>::error(
+                    str("bad clock '", value,
+                        "' (expected 31.25, 62.5, 125, 250, 500 or "
+                        "1000 MHz)"));
+            }
+            cfg.clockIdx = static_cast<std::uint8_t>(idx);
+        } else if (key == "prefetch") {
+            char *rest = nullptr;
+            const long deg = std::strtol(value.c_str(), &rest, 10);
+            const int idx = tableIndex(
+                prefetchTable, static_cast<std::uint32_t>(deg));
+            if (rest == value.c_str() || *rest != '\0' || deg < 0 ||
+                idx < 0) {
+                return Result<HwConfig>::error(
+                    str("bad prefetch '", value,
+                        "' (expected 0, 4 or 8)"));
+            }
+            cfg.prefetchIdx = static_cast<std::uint8_t>(idx);
+        } else {
+            return Result<HwConfig>::error(
+                str("unknown config key '", key,
+                    "' (expected type, l1_sharing, l2_sharing, "
+                    "l1_cap, l2_cap, clock or prefetch)"));
+        }
+    }
     return cfg;
 }
 

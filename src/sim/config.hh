@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace sadapt {
@@ -160,6 +161,24 @@ HwConfig bestAvgConfig(MemType l1_type);
 
 /** The Max Cfg static configuration of Table 4. */
 HwConfig maxConfig(MemType l1_type = MemType::Cache);
+
+/**
+ * Parse a configuration spec string into a HwConfig.
+ *
+ * The spec is either one of the Table 4 preset names ("baseline",
+ * "bestavg", "max"), or a comma-separated list of key=value pairs
+ * applied on top of the baseline:
+ *
+ *   type=cache|spm          l1_sharing=shared|private (also shr|prv)
+ *   l2_sharing=...          l1_cap=4|8|16|32|64   (kB per bank)
+ *   l2_cap=...              clock=31.25|62.5|125|250|500|1000  (MHz)
+ *   prefetch=0|4|8
+ *
+ * A preset name may also appear as the first element and be refined,
+ * e.g. "max,clock=500". Returns a descriptive error for unknown keys,
+ * unknown presets or out-of-table values; never exits.
+ */
+Result<HwConfig> parseConfig(const std::string &text);
 
 } // namespace sadapt
 

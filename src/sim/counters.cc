@@ -55,6 +55,67 @@ PerfCounterSample::toVector() const
     };
 }
 
+const std::vector<CounterBounds> &
+counterBounds()
+{
+    // Loose physical caps: a bank serves at most one access per cycle
+    // (throughput <= 1); prefetchers issue at most `degree` fills per
+    // trigger (degree <= 8); cores are single-issue (IPC <= 1) but LCP
+    // streams are normalized per tile, so leave generous headroom.
+    static const std::vector<CounterBounds> b = {
+        {0.0, 4.0},  // l1_access_throughput
+        {0.0, 1.0},  // l1_occupancy
+        {0.0, 1.0},  // l1_miss_rate
+        {0.0, 8.0},  // l1_prefetch_per_access
+        {0.0, 1.0},  // l1_cap_norm
+        {0.0, 16.0}, // l2_access_throughput
+        {0.0, 1.0},  // l2_occupancy
+        {0.0, 1.0},  // l2_miss_rate
+        {0.0, 8.0},  // l2_prefetch_per_access
+        {0.0, 1.0},  // l2_cap_norm
+        {0.0, 1.0},  // l1_xbar_contention
+        {0.0, 1.0},  // l2_xbar_contention
+        {0.0, 4.0},  // gpe_ipc
+        {0.0, 4.0},  // gpe_fp_ipc
+        {0.0, 16.0}, // lcp_ipc
+        {0.0, 16.0}, // lcp_fp_ipc
+        {0.0, 1.0},  // clock_norm
+        {0.0, 1.0},  // mem_read_bw_util
+        {0.0, 1.0},  // mem_write_bw_util
+    };
+    SADAPT_ASSERT(b.size() == PerfCounterSample::names().size(),
+                  "counter bounds out of sync with counter list");
+    return b;
+}
+
+PerfCounterSample
+counterSampleFromVector(const std::vector<double> &v)
+{
+    SADAPT_ASSERT(v.size() == PerfCounterSample::count(),
+                  "counter vector has wrong length");
+    PerfCounterSample c;
+    c.l1AccessThroughput = v[0];
+    c.l1Occupancy = v[1];
+    c.l1MissRate = v[2];
+    c.l1PrefetchPerAccess = v[3];
+    c.l1CapNorm = v[4];
+    c.l2AccessThroughput = v[5];
+    c.l2Occupancy = v[6];
+    c.l2MissRate = v[7];
+    c.l2PrefetchPerAccess = v[8];
+    c.l2CapNorm = v[9];
+    c.l1XbarContentionRatio = v[10];
+    c.l2XbarContentionRatio = v[11];
+    c.gpeIpc = v[12];
+    c.gpeFpIpc = v[13];
+    c.lcpIpc = v[14];
+    c.lcpFpIpc = v[15];
+    c.clockNorm = v[16];
+    c.memReadBwUtil = v[17];
+    c.memWriteBwUtil = v[18];
+    return c;
+}
+
 std::string
 counterGroupName(CounterGroup g)
 {

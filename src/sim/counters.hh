@@ -72,6 +72,31 @@ struct PerfCounterSample
 /** Human-readable name of a counter group. */
 std::string counterGroupName(CounterGroup g);
 
+/**
+ * Physical validity range of one counter, used by the telemetry guard
+ * to reject corrupted samples. Rates, occupancies, contention ratios
+ * and bandwidth utilizations are fractions in [0, 1] by construction;
+ * throughput/IPC counters are non-negative and bounded by issue width
+ * and port counts; clockNorm by the top divider setting.
+ */
+struct CounterBounds
+{
+    double lo = 0.0;
+    double hi = 1.0;
+
+    bool
+    contains(double v) const
+    {
+        return v >= lo && v <= hi;
+    }
+};
+
+/** Per-counter physical bounds, in PerfCounterSample::toVector() order. */
+const std::vector<CounterBounds> &counterBounds();
+
+/** Inverse of PerfCounterSample::toVector(); v.size() must be count(). */
+PerfCounterSample counterSampleFromVector(const std::vector<double> &v);
+
 } // namespace sadapt
 
 #endif // SADAPT_SIM_COUNTERS_HH

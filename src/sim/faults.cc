@@ -1,0 +1,272 @@
+#include "sim/faults.hh"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/reconfig.hh"
+
+namespace sadapt {
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DropSample: return "drop";
+      case FaultKind::CorruptCounter: return "corrupt";
+      case FaultKind::DelaySample: return "delay";
+      case FaultKind::FailReconfig: return "reconfig";
+    }
+    panic("bad FaultKind");
+}
+
+std::string
+corruptionKindName(CorruptionKind kind)
+{
+    switch (kind) {
+      case CorruptionKind::BitFlip: return "bit-flip";
+      case CorruptionKind::ScaleSpike: return "scale-spike";
+      case CorruptionKind::StuckAtZero: return "stuck-at-zero";
+      case CorruptionKind::StaleRepeat: return "stale-repeat";
+    }
+    panic("bad CorruptionKind");
+}
+
+bool
+FaultSpec::enabled() const
+{
+    return combinedRate() > 0.0;
+}
+
+double
+FaultSpec::combinedRate() const
+{
+    return dropRate + corruptRate + delayRate + reconfigFailRate;
+}
+
+FaultSpec
+FaultSpec::uniform(double rate, std::uint64_t seed)
+{
+    FaultSpec s;
+    s.dropRate = s.corruptRate = s.delayRate = s.reconfigFailRate = rate;
+    s.seed = seed;
+    return s;
+}
+
+Result<FaultSpec>
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec s;
+    std::istringstream in(text);
+    std::string pair;
+    while (std::getline(in, pair, ',')) {
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            return Result<FaultSpec>::error(
+                "fault spec: expected key=value, got '" + pair + "'");
+        const std::string key = pair.substr(0, eq);
+        const std::string val = pair.substr(eq + 1);
+        char *end = nullptr;
+        const double num = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0' || !std::isfinite(num))
+            return Result<FaultSpec>::error(
+                "fault spec: bad number '" + val + "' for key '" + key +
+                "'");
+        if (key == "seed") {
+            if (num < 0)
+                return Result<FaultSpec>::error(
+                    "fault spec: seed must be non-negative");
+            s.seed = static_cast<std::uint64_t>(num);
+            continue;
+        }
+        if (key == "max_delay") {
+            if (num < 1)
+                return Result<FaultSpec>::error(
+                    "fault spec: max_delay must be >= 1");
+            s.maxDelayEpochs = static_cast<std::uint32_t>(num);
+            continue;
+        }
+        if (num < 0.0 || num > 1.0)
+            return Result<FaultSpec>::error(
+                "fault spec: rate for '" + key +
+                "' must be in [0, 1], got " + val);
+        if (key == "drop")
+            s.dropRate = num;
+        else if (key == "corrupt")
+            s.corruptRate = num;
+        else if (key == "delay")
+            s.delayRate = num;
+        else if (key == "reconfig")
+            s.reconfigFailRate = num;
+        else
+            return Result<FaultSpec>::error(
+                "fault spec: unknown key '" + key + "'");
+    }
+    return s;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    return str("drop=", dropRate, ",corrupt=", corruptRate,
+               ",delay=", delayRate, ",reconfig=", reconfigFailRate,
+               ",max_delay=", maxDelayEpochs, ",seed=", seed);
+}
+
+namespace {
+
+/** SplitMix64 finalizer: decorrelates (seed, epoch, channel) tuples. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double
+toUnit(std::uint64_t x)
+{
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultSpec &spec)
+    : specV(spec)
+{
+    SADAPT_ASSERT(spec.dropRate >= 0.0 && spec.dropRate <= 1.0 &&
+                      spec.corruptRate >= 0.0 &&
+                      spec.corruptRate <= 1.0 &&
+                      spec.delayRate >= 0.0 && spec.delayRate <= 1.0 &&
+                      spec.reconfigFailRate >= 0.0 &&
+                      spec.reconfigFailRate <= 1.0,
+                  "fault rates must be probabilities");
+    SADAPT_ASSERT(spec.maxDelayEpochs >= 1, "max delay must be >= 1");
+}
+
+double
+FaultInjector::channelUniform(std::uint32_t epoch,
+                              std::uint32_t channel) const
+{
+    const std::uint64_t h = mix64(
+        mix64(specV.seed ^ (std::uint64_t(epoch) << 20)) ^
+        (std::uint64_t(channel) + 1));
+    return toUnit(h);
+}
+
+void
+FaultInjector::reset()
+{
+    statsV = FaultStats{};
+    eventsV.clear();
+    historyV.clear();
+}
+
+std::optional<PerfCounterSample>
+FaultInjector::filterSample(std::uint32_t epoch,
+                            const PerfCounterSample &truth)
+{
+    SADAPT_ASSERT(epoch == historyV.size(),
+                  "samples must be filtered once per epoch, in order");
+    historyV.push_back(truth);
+
+    if (channelUniform(epoch, 0) < specV.dropRate) {
+        ++statsV.faultsInjected;
+        ++statsV.samplesDropped;
+        eventsV.push_back({epoch, FaultKind::DropSample, ""});
+        return std::nullopt;
+    }
+
+    PerfCounterSample delivered = truth;
+    if (channelUniform(epoch, 1) < specV.delayRate) {
+        const auto slip = 1 + static_cast<std::uint32_t>(
+            channelUniform(epoch, 2) * specV.maxDelayEpochs);
+        ++statsV.faultsInjected;
+        ++statsV.samplesDelayed;
+        eventsV.push_back({epoch, FaultKind::DelaySample,
+                           str("slip=", slip)});
+        if (slip > epoch)
+            return std::nullopt; // nothing delivered yet this early
+        delivered = historyV[epoch - slip];
+    }
+
+    if (channelUniform(epoch, 3) < specV.corruptRate) {
+        std::vector<double> v = delivered.toVector();
+        const auto idx = static_cast<std::size_t>(
+            channelUniform(epoch, 4) * v.size());
+        const auto kind = static_cast<CorruptionKind>(
+            static_cast<int>(channelUniform(epoch, 5) * 4));
+        switch (kind) {
+          case CorruptionKind::BitFlip: {
+            // Flip one high bit of the encoding: exponent-range flips
+            // produce the huge/denormal/NaN values a real single-event
+            // upset on the telemetry link would.
+            std::uint64_t bits;
+            std::memcpy(&bits, &v[idx], sizeof(bits));
+            const int bit = 48 + static_cast<int>(
+                channelUniform(epoch, 6) * 15);
+            bits ^= 1ull << bit;
+            std::memcpy(&v[idx], &bits, sizeof(bits));
+            break;
+          }
+          case CorruptionKind::ScaleSpike:
+            v[idx] *= 1000.0;
+            break;
+          case CorruptionKind::StuckAtZero:
+            v[idx] = 0.0;
+            break;
+          case CorruptionKind::StaleRepeat:
+            v[idx] = epoch > 0 ? historyV[epoch - 1].toVector()[idx]
+                               : 0.0;
+            break;
+        }
+        ++statsV.faultsInjected;
+        ++statsV.samplesCorrupted;
+        eventsV.push_back(
+            {epoch, FaultKind::CorruptCounter,
+             str(PerfCounterSample::names()[idx], ":",
+                 corruptionKindName(kind))});
+        delivered = counterSampleFromVector(v);
+    }
+    return delivered;
+}
+
+HwConfig
+FaultInjector::applyCommand(std::uint32_t epoch,
+                            const HwConfig &current,
+                            const HwConfig &commanded)
+{
+    if (commanded == current)
+        return commanded; // no command issued, nothing to fail
+    if (channelUniform(epoch, 16) >= specV.reconfigFailRate)
+        return commanded;
+
+    ++statsV.faultsInjected;
+    ++statsV.reconfigFailures;
+    if (channelUniform(epoch, 17) < 0.5) {
+        // Wholesale rollback: the device stays where it was.
+        eventsV.push_back(
+            {epoch, FaultKind::FailReconfig, "rollback"});
+        return current;
+    }
+    // Partial application: one changed parameter is missed.
+    std::vector<std::size_t> changed;
+    const auto &params = allParams();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (paramValue(current, params[i]) !=
+            paramValue(commanded, params[i]))
+            changed.push_back(i);
+    }
+    const std::size_t miss = changed[static_cast<std::size_t>(
+        channelUniform(epoch, 18) * changed.size())];
+    eventsV.push_back({epoch, FaultKind::FailReconfig,
+                       str("miss:", paramName(params[miss]))});
+    return partialReconfig(current, commanded, 1u << miss);
+}
+
+} // namespace sadapt

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic fault injection for the GPE→LCP→host telemetry path
+ * and the host→device reconfiguration command path.
+ *
+ * The SparseAdapt control loop (Section 4) assumes a clean
+ * PerfCounterSample arrives every epoch and that every reconfiguration
+ * command takes effect. The FaultInjector models the ways reality
+ * breaks that assumption:
+ *
+ *  - drop:    an epoch's telemetry sample is lost entirely.
+ *  - corrupt: individual counters are perturbed (bit-flip in the
+ *             double's encoding, x1000 scale spike, stuck-at-zero, or
+ *             a stale repeat of the previous epoch's value).
+ *  - delay:   sample delivery slips by 1..maxDelayEpochs epochs; the
+ *             host sees an old sample attributed to the current epoch.
+ *  - reconfig: a reconfiguration command fails, either rolled back
+ *             wholesale (device stays in the old configuration) or
+ *             partially applied (one changed parameter is missed).
+ *
+ * All decisions are pure functions of (seed, epoch, channel) via a
+ * SplitMix64 hash, so a run is reproducible from its spec and
+ * independent of query order. The fault path is strictly opt-in: a
+ * null/disabled injector leaves every sample and command untouched.
+ */
+
+#ifndef SADAPT_SIM_FAULTS_HH
+#define SADAPT_SIM_FAULTS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "sim/config.hh"
+#include "sim/counters.hh"
+
+namespace sadapt {
+
+/** The fault classes the injector can produce. */
+enum class FaultKind : std::uint8_t
+{
+    DropSample,
+    CorruptCounter,
+    DelaySample,
+    FailReconfig,
+};
+
+/** Human-readable fault kind name. */
+std::string faultKindName(FaultKind kind);
+
+/** The counter corruption flavours. */
+enum class CorruptionKind : std::uint8_t
+{
+    BitFlip,     //!< flip one high bit of the IEEE-754 encoding
+    ScaleSpike,  //!< multiply by 1000
+    StuckAtZero, //!< force to 0.0
+    StaleRepeat, //!< replace with the previous epoch's value
+};
+
+/** Human-readable corruption kind name. */
+std::string corruptionKindName(CorruptionKind kind);
+
+/**
+ * Per-run fault configuration. Rates are independent per-epoch
+ * probabilities of each fault class firing.
+ */
+struct FaultSpec
+{
+    double dropRate = 0.0;
+    double corruptRate = 0.0;
+    double delayRate = 0.0;
+    double reconfigFailRate = 0.0;
+
+    /** Maximum delivery slip of a delayed sample, epochs. */
+    std::uint32_t maxDelayEpochs = 3;
+
+    std::uint64_t seed = 1;
+
+    /** True if any fault class can fire. */
+    bool enabled() const;
+
+    /** Sum of the four per-epoch rates (the "combined fault rate"). */
+    double combinedRate() const;
+
+    /** Spec with every fault class at the same rate. */
+    static FaultSpec uniform(double rate, std::uint64_t seed = 1);
+
+    /**
+     * Parse a spec string of comma-separated key=value pairs, e.g.
+     * "drop=0.01,corrupt=0.05,delay=0.01,reconfig=0.02,seed=7".
+     * Unknown keys, unparsable numbers and rates outside [0, 1] are
+     * recoverable errors.
+     */
+    static Result<FaultSpec> parse(const std::string &text);
+
+    /** Inverse of parse(). */
+    std::string toString() const;
+};
+
+/** One injected fault, for event logs and debugging. */
+struct FaultEvent
+{
+    std::uint32_t epoch = 0;
+    FaultKind kind = FaultKind::DropSample;
+    std::string detail;
+};
+
+/** Aggregate fault counts, surfaced in run summary tables. */
+struct FaultStats
+{
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t samplesDropped = 0;
+    std::uint64_t samplesCorrupted = 0;
+    std::uint64_t samplesDelayed = 0;
+    std::uint64_t reconfigFailures = 0;
+};
+
+/**
+ * Stateful per-run injector. Feed it the true telemetry sample of each
+ * epoch in order via filterSample(), and every reconfiguration command
+ * via applyCommand().
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec);
+
+    /**
+     * Telemetry-path faults for one epoch. Returns the sample the host
+     * actually receives: std::nullopt when dropped (or when a delayed
+     * sample has not arrived yet), a stale sample when delayed, or a
+     * sample with corrupted counters. Call once per epoch, in order.
+     */
+    std::optional<PerfCounterSample>
+    filterSample(std::uint32_t epoch, const PerfCounterSample &truth);
+
+    /**
+     * Command-path faults: the configuration the device actually ends
+     * up in when `commanded` is requested from `current`. A failed
+     * command either rolls back to `current` or misses one changed
+     * parameter (partialReconfig).
+     */
+    HwConfig applyCommand(std::uint32_t epoch, const HwConfig &current,
+                          const HwConfig &commanded);
+
+    const FaultSpec &spec() const { return specV; }
+    const FaultStats &stats() const { return statsV; }
+    const std::vector<FaultEvent> &events() const { return eventsV; }
+
+    /** Clear stats, event log and sample history (fresh run). */
+    void reset();
+
+  private:
+    FaultSpec specV;
+    FaultStats statsV;
+    std::vector<FaultEvent> eventsV;
+
+    /** True samples of past epochs, for delay and stale-repeat. */
+    std::vector<PerfCounterSample> historyV;
+
+    double channelUniform(std::uint32_t epoch,
+                          std::uint32_t channel) const;
+};
+
+} // namespace sadapt
+
+#endif // SADAPT_SIM_FAULTS_HH

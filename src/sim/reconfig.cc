@@ -7,6 +7,20 @@
 
 namespace sadapt {
 
+HwConfig
+partialReconfig(const HwConfig &from, const HwConfig &to,
+                std::uint32_t missed_mask)
+{
+    HwConfig out = to;
+    const auto &params = allParams();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (missed_mask & (1u << i))
+            out = withParam(out, params[i],
+                            paramValue(from, params[i]));
+    }
+    return out;
+}
+
 ReconfigCostModel::ReconfigCostModel(SystemShape shape,
                                      double mem_bandwidth,
                                      const EnergyParams &energy)

@@ -22,6 +22,16 @@
 
 namespace sadapt {
 
+/**
+ * The configuration a device lands in when a reconfiguration command
+ * from `from` to `to` is only partially applied: parameters whose bit
+ * (by allParams() position) is set in `missed_mask` keep their `from`
+ * value. Used by the fault injector to model single-parameter command
+ * misses.
+ */
+HwConfig partialReconfig(const HwConfig &from, const HwConfig &to,
+                         std::uint32_t missed_mask);
+
 /** Time/energy penalty of one reconfiguration. */
 struct ReconfigCost
 {

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "sim/cache.hh"
+#include "sim/faults.hh"
 #include "sim/memory.hh"
 #include "sim/prefetcher.hh"
 #include "sim/reconfig.hh"
@@ -499,24 +500,50 @@ struct Engine
 SimResult
 Transmuter::run(const Trace &trace, const HwConfig &cfg) const
 {
-    return runImpl(trace, cfg, nullptr, nullptr, true);
+    return runImpl(trace, cfg, nullptr, nullptr, true, nullptr);
 }
 
 SimResult
 Transmuter::runSchedule(const Trace &trace, const Schedule &schedule,
                         const ReconfigCostModel &cost_model,
-                        bool energy_efficient_mode) const
+                        bool energy_efficient_mode,
+                        FaultInjector *faults) const
 {
     SADAPT_ASSERT(!schedule.configs.empty(), "empty schedule");
     return runImpl(trace, schedule.configs.front(), &schedule,
-                   &cost_model, energy_efficient_mode);
+                   &cost_model, energy_efficient_mode, faults);
 }
+
+namespace {
+
+/**
+ * Telemetry-path fault injection on a just-closed epoch: the record
+ * keeps its true timing/energy (those are physical), but the counter
+ * sample the host would read is dropped/delayed/corrupted in-band.
+ */
+void
+injectTelemetryFaults(FaultInjector *faults, EpochRecord &rec)
+{
+    if (faults == nullptr)
+        return;
+    const auto delivered = faults->filterSample(rec.index,
+                                                rec.counters);
+    if (delivered) {
+        rec.counters = *delivered;
+    } else {
+        rec.counters = PerfCounterSample{};
+        rec.telemetryValid = false;
+    }
+}
+
+} // namespace
 
 SimResult
 Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
                     const Schedule *schedule,
                     const ReconfigCostModel *cost_model,
-                    bool energy_efficient_mode) const
+                    bool energy_efficient_mode,
+                    FaultInjector *faults) const
 {
     SADAPT_ASSERT(trace.shape() == paramsV.shape,
                   "trace shape does not match simulator shape");
@@ -593,17 +620,23 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
         if (eng.ac.gpeFpOps >= epoch_fp_target) {
             result.epochs.push_back(eng.closeEpoch(
                 epoch_index++, epoch_start, core_cycle[core]));
+            injectTelemetryFaults(faults, result.epochs.back());
             epoch_start = core_cycle[core];
 
-            if (schedule && epoch_index < schedule->configs.size() &&
-                !(schedule->configs[epoch_index] == eng.cfg)) {
+            HwConfig next = eng.cfg;
+            if (schedule && epoch_index < schedule->configs.size()) {
+                next = schedule->configs[epoch_index];
+                if (faults != nullptr)
+                    next = faults->applyCommand(epoch_index, eng.cfg,
+                                                next);
+            }
+            if (!(next == eng.cfg)) {
                 // Live reconfiguration at the epoch boundary: charge
                 // the penalty as a global stall, rescale core-local
                 // cycle counts into the new clock domain, and rebuild
                 // the event heap. (Background power during the stall
                 // is charged by both the cost model and the epoch
                 // window — a small, documented overlap.)
-                const HwConfig &next = schedule->configs[epoch_index];
                 const ReconfigCost rc = cost_model->cost(
                     eng.cfg, next, energy_efficient_mode);
                 const double ratio = eng.reconfigure(
@@ -635,6 +668,7 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
         result.epochs.push_back(eng.closeEpoch(
             epoch_index, epoch_start,
             std::max(max_cycle, epoch_start + 1)));
+        injectTelemetryFaults(faults, result.epochs.back());
     }
     return result;
 }

@@ -24,6 +24,8 @@
 
 namespace sadapt {
 
+class FaultInjector;
+
 /** Parameters of one simulated system instance. */
 struct RunParams
 {
@@ -67,6 +69,12 @@ struct EpochRecord
     double flops = 0.0;     //!< FP-ops executed (incl. FP loads/stores)
     EnergyBreakdown energy;
     PerfCounterSample counters;
+
+    /**
+     * False when fault injection dropped this epoch's telemetry (the
+     * counters are then zeroed). Always true without an injector.
+     */
+    bool telemetryValid = true;
 
     Joules totalEnergy() const { return energy.total(); }
 
@@ -121,10 +129,17 @@ class Transmuter
      *
      * @param schedule one configuration per epoch (length must match
      *        the trace's epoch count; extra entries are ignored).
+     * @param faults optional fault injector: telemetry-path faults
+     *        perturb each closing epoch's counters in-band, and
+     *        command-path faults can divert the epoch-boundary
+     *        reconfiguration away from the scheduled configuration.
+     *        Null leaves behaviour bit-identical to the fault-free
+     *        path.
      */
     SimResult runSchedule(const Trace &trace, const Schedule &schedule,
                           const ReconfigCostModel &cost_model,
-                          bool energy_efficient_mode) const;
+                          bool energy_efficient_mode,
+                          FaultInjector *faults = nullptr) const;
 
     const RunParams &params() const { return paramsV; }
 
@@ -135,7 +150,8 @@ class Transmuter
     SimResult runImpl(const Trace &trace, const HwConfig &cfg,
                       const Schedule *schedule,
                       const ReconfigCostModel *cost_model,
-                      bool energy_efficient_mode) const;
+                      bool energy_efficient_mode,
+                      FaultInjector *faults) const;
 };
 
 } // namespace sadapt

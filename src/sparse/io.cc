@@ -1,6 +1,10 @@
 #include "sparse/io.hh"
 
+#include <cmath>
+#include <cstdlib>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -8,25 +12,51 @@
 
 namespace sadapt {
 
-CsrMatrix
-readMatrixMarket(std::istream &in)
+namespace {
+
+using MatrixResult = Result<CsrMatrix>;
+
+MatrixResult
+parseError(const std::string &what)
+{
+    return MatrixResult::error("matrix market: " + what);
+}
+
+/**
+ * Describe the token at the stream's failure point, for error
+ * messages ("got 'abc'" vs a bare truncation).
+ */
+std::string
+failedToken(std::istream &in)
+{
+    in.clear();
+    std::string token;
+    if (in >> token)
+        return "non-numeric token '" + token + "'";
+    return "truncated entry list";
+}
+
+} // namespace
+
+Result<CsrMatrix>
+tryReadMatrixMarket(std::istream &in)
 {
     std::string line;
     if (!std::getline(in, line))
-        fatal("matrix market: empty stream");
+        return parseError("empty stream");
     std::istringstream banner(line);
     std::string mm, object, format, field, symmetry;
     banner >> mm >> object >> format >> field >> symmetry;
     if (mm != "%%MatrixMarket" || object != "matrix")
-        fatal("matrix market: bad banner: " + line);
+        return parseError("bad banner: " + line);
     if (format != "coordinate")
-        fatal("matrix market: only coordinate format supported");
+        return parseError("only coordinate format supported");
     const bool pattern = field == "pattern";
     if (field != "real" && field != "integer" && !pattern)
-        fatal("matrix market: unsupported field type: " + field);
+        return parseError("unsupported field type: " + field);
     const bool symmetric = symmetry == "symmetric";
     if (!symmetric && symmetry != "general")
-        fatal("matrix market: unsupported symmetry: " + symmetry);
+        return parseError("unsupported symmetry: " + symmetry);
 
     // Skip comments.
     while (std::getline(in, line)) {
@@ -36,7 +66,26 @@ readMatrixMarket(std::istream &in)
     std::istringstream header(line);
     std::uint64_t rows = 0, cols = 0, nnz = 0;
     if (!(header >> rows >> cols >> nnz))
-        fatal("matrix market: bad size line: " + line);
+        return parseError("bad size line: " + line);
+
+    // Indices are stored as 32-bit; a size line beyond that (or an
+    // entry count no matrix of this shape can hold) is either
+    // corruption or a matrix this simulator cannot represent. Reject
+    // it here instead of silently truncating the casts below.
+    constexpr std::uint64_t maxDim =
+        std::numeric_limits<std::uint32_t>::max();
+    if (rows > maxDim || cols > maxDim) {
+        return parseError(
+            str("dimensions ", rows, " x ", cols,
+                " overflow the 32-bit index space"));
+    }
+    if ((rows == 0 || cols == 0) && nnz > 0)
+        return parseError("nonzero entries in an empty matrix");
+    if (rows > 0 && nnz > rows * cols) { // product fits in 64 bits
+        return parseError(
+            str("entry count ", nnz, " exceeds matrix capacity ",
+                rows, " x ", cols));
+    }
 
     CooMatrix coo(static_cast<std::uint32_t>(rows),
                   static_cast<std::uint32_t>(cols));
@@ -44,11 +93,24 @@ readMatrixMarket(std::istream &in)
         std::uint64_t r = 0, c = 0;
         double v = 1.0;
         if (!(in >> r >> c))
-            fatal("matrix market: truncated entry list");
-        if (!pattern && !(in >> v))
-            fatal("matrix market: truncated entry list");
+            return parseError(failedToken(in));
+        if (!pattern) {
+            // istream's num_get rejects "nan"/"inf"; read the token
+            // and parse with strtod so they get the right diagnosis.
+            std::string tok;
+            if (!(in >> tok))
+                return parseError("truncated entry list");
+            char *end = nullptr;
+            v = std::strtod(tok.c_str(), &end);
+            if (end == tok.c_str() || *end != '\0')
+                return parseError("non-numeric token '" + tok + "'");
+            if (!std::isfinite(v)) {
+                return parseError(
+                    str("non-finite value at entry ", i + 1));
+            }
+        }
         if (r < 1 || r > rows || c < 1 || c > cols)
-            fatal("matrix market: entry out of bounds");
+            return parseError("entry out of bounds");
         coo.add(static_cast<std::uint32_t>(r - 1),
                 static_cast<std::uint32_t>(c - 1), v);
         if (symmetric && r != c)
@@ -58,13 +120,25 @@ readMatrixMarket(std::istream &in)
     return CsrMatrix(coo);
 }
 
-CsrMatrix
-readMatrixMarketFile(const std::string &path)
+Result<CsrMatrix>
+tryReadMatrixMarketFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("matrix market: cannot open " + path);
-    return readMatrixMarket(in);
+        return parseError("cannot open " + path);
+    return tryReadMatrixMarket(in);
+}
+
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    return tryReadMatrixMarket(in).valueOrDie();
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    return tryReadMatrixMarketFile(path).valueOrDie();
 }
 
 void

@@ -10,18 +10,28 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hh"
 #include "sparse/csr.hh"
 
 namespace sadapt {
 
 /**
  * Read a Matrix Market coordinate-format matrix (real/integer/pattern;
- * general or symmetric). Pattern entries receive value 1.0. Calls fatal()
- * on malformed input.
+ * general or symmetric). Pattern entries receive value 1.0. Returns a
+ * descriptive error for malformed input: bad banner, unsupported
+ * format, dimensions or entry counts that overflow the 32-bit index
+ * space, non-numeric entries, out-of-bounds coordinates, and NaN/Inf
+ * values.
  */
+Result<CsrMatrix> tryReadMatrixMarket(std::istream &in);
+
+/** Read a Matrix Market file from a path (recoverable error). */
+Result<CsrMatrix> tryReadMatrixMarketFile(const std::string &path);
+
+/** As tryReadMatrixMarket, but calls fatal() on malformed input. */
 CsrMatrix readMatrixMarket(std::istream &in);
 
-/** Read a Matrix Market file from a path. */
+/** As tryReadMatrixMarketFile, but calls fatal() on any error. */
 CsrMatrix readMatrixMarketFile(const std::string &path);
 
 /** Write a matrix in Matrix Market coordinate real general format. */

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "adapt/runner.hh"
 #include "adapt/telemetry.hh"
 #include "common/rng.hh"
@@ -194,4 +196,138 @@ TEST(Controllers, EvaluationsSharesOneDb)
     cmp.oracle();
     // 10 samples + up to 3 standard configs.
     EXPECT_LE(cmp.db().simulatedConfigs(), 13u);
+}
+
+TEST(Controllers, CandidatesContainNoDuplicates)
+{
+    Workload wl = controllerWorkload();
+    ComparisonOptions co = optionsFor(OptMode::EnergyEfficient);
+    co.oracleSamples = 64;
+    Comparison cmp(wl, nullptr, co);
+    const auto &cands = cmp.candidates();
+    std::set<std::uint32_t> codes;
+    for (const HwConfig &c : cands)
+        codes.insert(c.encode());
+    EXPECT_EQ(codes.size(), cands.size());
+    // The standard static systems are always present.
+    EXPECT_TRUE(codes.count(baselineConfig(wl.l1Type).encode()));
+    EXPECT_TRUE(codes.count(bestAvgConfig(wl.l1Type).encode()));
+    EXPECT_TRUE(codes.count(maxConfig(wl.l1Type).encode()));
+}
+
+namespace {
+
+/** One small trained predictor, shared by the robust-loop tests. */
+const Predictor &
+robustPredictor()
+{
+    static const Predictor pred = [] {
+        TrainerOptions opts;
+        opts.mode = OptMode::EnergyEfficient;
+        opts.includeSpMSpM = false;
+        opts.spmspvDims = {256};
+        opts.densities = {0.01, 0.04};
+        opts.bandwidths = {1e9};
+        opts.search.randomSamples = 8;
+        opts.search.neighborCap = 10;
+        opts.seed = 91;
+        Predictor p;
+        p.trainFixed(buildTrainingSet(opts), TreeParams{});
+        return p;
+    }();
+    return pred;
+}
+
+} // namespace
+
+TEST(RobustControllers, UnguardedNoFaultMatchesPlainSparseAdapt)
+{
+    // With no injector and the guard disabled, the robust loop is the
+    // plain SparseAdapt loop: bit-identical schedule.
+    Workload wl = controllerWorkload();
+    const Predictor &pred = robustPredictor();
+
+    Comparison cmp(wl, &pred, optionsFor(OptMode::EnergyEfficient));
+    const Schedule &plain = cmp.sparseAdaptSchedule();
+    const auto robust =
+        cmp.sparseAdaptRobust(FaultSpec{}, /*guarded=*/false);
+
+    RobustAdaptOptions ro;
+    ro.useGuard = false;
+    const RobustAdaptResult direct = robustSparseAdaptSchedule(
+        cmp.db(), pred, Policy(PolicyKind::Conservative),
+        OptMode::EnergyEfficient, cmp.costModel(),
+        cmp.initialConfig(), nullptr, ro);
+    ASSERT_EQ(direct.schedule.configs.size(), plain.configs.size());
+    for (std::size_t e = 0; e < plain.configs.size(); ++e)
+        EXPECT_EQ(direct.schedule.configs[e], plain.configs[e]);
+    EXPECT_EQ(robust.faults.faultsInjected, 0u);
+}
+
+TEST(RobustControllers, GuardedNoFaultStaysCloseToPlain)
+{
+    // On clean telemetry the guard should be near-transparent; a small
+    // loss from occasionally imputing a legitimate phase change is
+    // acceptable, a collapse is not.
+    Workload wl = controllerWorkload();
+    const Predictor &pred = robustPredictor();
+    Comparison cmp(wl, &pred, optionsFor(OptMode::EnergyEfficient));
+
+    const double plain =
+        cmp.sparseAdapt().metric(OptMode::EnergyEfficient);
+    const auto guarded = cmp.sparseAdaptRobust(FaultSpec{}, true);
+    EXPECT_GE(guarded.eval.metric(OptMode::EnergyEfficient),
+              0.9 * plain);
+}
+
+TEST(RobustControllers, DeterministicUnderFixedSeed)
+{
+    Workload wl = controllerWorkload();
+    const Predictor &pred = robustPredictor();
+    Comparison cmp(wl, &pred, optionsFor(OptMode::EnergyEfficient));
+
+    const FaultSpec spec = FaultSpec::uniform(0.1, 5);
+    const auto a = cmp.sparseAdaptRobust(spec, true);
+    const auto b = cmp.sparseAdaptRobust(spec, true);
+    EXPECT_DOUBLE_EQ(a.eval.metric(OptMode::EnergyEfficient),
+                     b.eval.metric(OptMode::EnergyEfficient));
+    EXPECT_EQ(a.faults.faultsInjected, b.faults.faultsInjected);
+    EXPECT_EQ(a.guard.samplesClamped, b.guard.samplesClamped);
+    EXPECT_EQ(a.watchdogReverts, b.watchdogReverts);
+}
+
+TEST(RobustControllers, AllTelemetryLostHoldsInitialConfig)
+{
+    Workload wl = controllerWorkload();
+    const Predictor &pred = robustPredictor();
+    Comparison cmp(wl, &pred, optionsFor(OptMode::EnergyEfficient));
+
+    FaultSpec spec;
+    spec.dropRate = 1.0;
+    RobustAdaptOptions ro;
+    FaultInjector injector(spec);
+    const RobustAdaptResult r = robustSparseAdaptSchedule(
+        cmp.db(), pred, Policy(PolicyKind::Conservative),
+        OptMode::EnergyEfficient, cmp.costModel(),
+        cmp.initialConfig(), &injector, ro);
+    EXPECT_EQ(r.guard.samplesMissing, cmp.db().numEpochs());
+    for (const HwConfig &cfg : r.schedule.configs)
+        EXPECT_EQ(cfg, cmp.initialConfig());
+}
+
+TEST(RobustControllers, GuardedNotWorseThanUnguardedUnderHeavyFaults)
+{
+    Workload wl = controllerWorkload();
+    const Predictor &pred = robustPredictor();
+    Comparison cmp(wl, &pred, optionsFor(OptMode::EnergyEfficient));
+
+    double guarded_sum = 0.0, unguarded_sum = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const FaultSpec spec = FaultSpec::uniform(0.05, seed);
+        guarded_sum += cmp.sparseAdaptRobust(spec, true)
+                           .eval.metric(OptMode::EnergyEfficient);
+        unguarded_sum += cmp.sparseAdaptRobust(spec, false)
+                             .eval.metric(OptMode::EnergyEfficient);
+    }
+    EXPECT_GE(guarded_sum, unguarded_sum);
 }

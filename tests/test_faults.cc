@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the deterministic fault injector and its spec parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/faults.hh"
+#include "sim/reconfig.hh"
+
+using namespace sadapt;
+
+namespace {
+
+/** A plausible, in-bounds telemetry sample with a per-epoch signature. */
+PerfCounterSample
+sampleFor(std::uint32_t epoch)
+{
+    PerfCounterSample s;
+    s.l1AccessThroughput = 0.5;
+    s.l1Occupancy = 0.6;
+    s.l1MissRate = 0.2;
+    s.l1CapNorm = 0.0625;
+    s.l2AccessThroughput = 0.3;
+    s.l2Occupancy = 0.4;
+    s.l2MissRate = 0.5;
+    s.l2CapNorm = 0.0625;
+    s.gpeIpc = 0.4 + 0.001 * epoch; // distinguishes epochs
+    s.gpeFpIpc = 0.1;
+    s.lcpIpc = 0.2;
+    s.clockNorm = 1.0;
+    s.memReadBwUtil = 0.7;
+    s.memWriteBwUtil = 0.2;
+    return s;
+}
+
+} // namespace
+
+TEST(FaultSpec, ParsesKeyValuePairs)
+{
+    auto r = FaultSpec::parse(
+        "drop=0.01,corrupt=0.05,delay=0.02,reconfig=0.03,"
+        "max_delay=5,seed=7");
+    ASSERT_TRUE(r.isOk()) << r.message();
+    const FaultSpec s = r.value();
+    EXPECT_DOUBLE_EQ(s.dropRate, 0.01);
+    EXPECT_DOUBLE_EQ(s.corruptRate, 0.05);
+    EXPECT_DOUBLE_EQ(s.delayRate, 0.02);
+    EXPECT_DOUBLE_EQ(s.reconfigFailRate, 0.03);
+    EXPECT_EQ(s.maxDelayEpochs, 5u);
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_TRUE(s.enabled());
+    EXPECT_NEAR(s.combinedRate(), 0.11, 1e-12);
+}
+
+TEST(FaultSpec, EmptySpecIsDisabled)
+{
+    auto r = FaultSpec::parse("");
+    ASSERT_TRUE(r.isOk());
+    EXPECT_FALSE(r.value().enabled());
+}
+
+TEST(FaultSpec, RejectsMalformedInput)
+{
+    EXPECT_FALSE(FaultSpec::parse("drop").isOk());
+    EXPECT_FALSE(FaultSpec::parse("drop=abc").isOk());
+    EXPECT_FALSE(FaultSpec::parse("drop=1.5").isOk());
+    EXPECT_FALSE(FaultSpec::parse("drop=-0.1").isOk());
+    EXPECT_FALSE(FaultSpec::parse("bogus=0.1").isOk());
+    EXPECT_FALSE(FaultSpec::parse("max_delay=0").isOk());
+    EXPECT_FALSE(FaultSpec::parse("seed=-1").isOk());
+    // The message should say what was wrong.
+    EXPECT_NE(FaultSpec::parse("bogus=0.1").message().find("bogus"),
+              std::string::npos);
+}
+
+TEST(FaultSpec, ToStringRoundTrips)
+{
+    const FaultSpec s = FaultSpec::uniform(0.05, 42);
+    auto r = FaultSpec::parse(s.toString());
+    ASSERT_TRUE(r.isOk()) << r.message();
+    EXPECT_DOUBLE_EQ(r.value().dropRate, s.dropRate);
+    EXPECT_DOUBLE_EQ(r.value().corruptRate, s.corruptRate);
+    EXPECT_EQ(r.value().seed, s.seed);
+    EXPECT_EQ(r.value().maxDelayEpochs, s.maxDelayEpochs);
+}
+
+TEST(FaultInjector, DisabledSpecPassesEverythingThrough)
+{
+    FaultInjector inj(FaultSpec{});
+    for (std::uint32_t e = 0; e < 50; ++e) {
+        auto got = inj.filterSample(e, sampleFor(e));
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->toVector(), sampleFor(e).toVector());
+    }
+    const HwConfig cur = baselineConfig();
+    const HwConfig cmd = maxConfig();
+    EXPECT_EQ(inj.applyCommand(50, cur, cmd), cmd);
+    EXPECT_EQ(inj.stats().faultsInjected, 0u);
+    EXPECT_TRUE(inj.events().empty());
+}
+
+TEST(FaultInjector, DeterministicUnderFixedSeed)
+{
+    const FaultSpec spec = FaultSpec::uniform(0.2, 9);
+    FaultInjector a(spec), b(spec);
+    for (std::uint32_t e = 0; e < 200; ++e) {
+        auto ra = a.filterSample(e, sampleFor(e));
+        auto rb = b.filterSample(e, sampleFor(e));
+        ASSERT_EQ(ra.has_value(), rb.has_value()) << "epoch " << e;
+        if (ra) {
+            const auto va = ra->toVector(), vb = rb->toVector();
+            for (std::size_t i = 0; i < va.size(); ++i) {
+                // NaN-tolerant equality (bit flips can produce NaN).
+                if (std::isnan(va[i]))
+                    EXPECT_TRUE(std::isnan(vb[i]));
+                else
+                    EXPECT_EQ(va[i], vb[i]);
+            }
+        }
+        EXPECT_EQ(a.applyCommand(e, baselineConfig(), maxConfig()),
+                  b.applyCommand(e, baselineConfig(), maxConfig()));
+    }
+    EXPECT_EQ(a.stats().faultsInjected, b.stats().faultsInjected);
+    EXPECT_EQ(a.stats().samplesDropped, b.stats().samplesDropped);
+    EXPECT_EQ(a.stats().samplesCorrupted, b.stats().samplesCorrupted);
+    EXPECT_EQ(a.stats().samplesDelayed, b.stats().samplesDelayed);
+    EXPECT_EQ(a.stats().reconfigFailures, b.stats().reconfigFailures);
+    EXPECT_GT(a.stats().faultsInjected, 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer)
+{
+    FaultInjector a(FaultSpec::uniform(0.2, 1));
+    FaultInjector b(FaultSpec::uniform(0.2, 2));
+    for (std::uint32_t e = 0; e < 100; ++e) {
+        a.filterSample(e, sampleFor(e));
+        b.filterSample(e, sampleFor(e));
+    }
+    EXPECT_NE(a.stats().faultsInjected, b.stats().faultsInjected);
+}
+
+TEST(FaultInjector, DropRateOneDropsEverySample)
+{
+    FaultSpec spec;
+    spec.dropRate = 1.0;
+    FaultInjector inj(spec);
+    for (std::uint32_t e = 0; e < 20; ++e)
+        EXPECT_FALSE(inj.filterSample(e, sampleFor(e)).has_value());
+    EXPECT_EQ(inj.stats().samplesDropped, 20u);
+    EXPECT_EQ(inj.stats().faultsInjected, 20u);
+}
+
+TEST(FaultInjector, DelayDeliversAnOlderSample)
+{
+    FaultSpec spec;
+    spec.delayRate = 1.0;
+    spec.maxDelayEpochs = 1; // slip is always exactly 1
+    FaultInjector inj(spec);
+    // Epoch 0 has nothing older to deliver.
+    EXPECT_FALSE(inj.filterSample(0, sampleFor(0)).has_value());
+    for (std::uint32_t e = 1; e < 10; ++e) {
+        auto got = inj.filterSample(e, sampleFor(e));
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->toVector(), sampleFor(e - 1).toVector());
+    }
+    EXPECT_EQ(inj.stats().samplesDelayed, 10u);
+}
+
+TEST(FaultInjector, CorruptRateOnePerturbsOneCounter)
+{
+    FaultSpec spec;
+    spec.corruptRate = 1.0;
+    FaultInjector inj(spec);
+    std::size_t changed_counters = 0;
+    for (std::uint32_t e = 0; e < 50; ++e) {
+        const PerfCounterSample truth = sampleFor(e);
+        auto got = inj.filterSample(e, truth);
+        ASSERT_TRUE(got.has_value());
+        const auto tv = truth.toVector(), gv = got->toVector();
+        std::size_t diff = 0;
+        for (std::size_t i = 0; i < tv.size(); ++i)
+            if (!(gv[i] == tv[i])) // NaN counts as different
+                ++diff;
+        EXPECT_LE(diff, 1u); // exactly one counter is targeted
+        changed_counters += diff;
+    }
+    EXPECT_EQ(inj.stats().samplesCorrupted, 50u);
+    // Corrupting an already-zero or stale-identical counter can be a
+    // no-op, so not every corruption is visible — but most must be.
+    EXPECT_GT(changed_counters, 25u);
+}
+
+TEST(FaultInjector, ReconfigFailureNeverYieldsCommanded)
+{
+    FaultSpec spec;
+    spec.reconfigFailRate = 1.0;
+    FaultInjector inj(spec);
+    const HwConfig cur = baselineConfig();
+    const HwConfig cmd = maxConfig();
+    for (std::uint32_t e = 0; e < 30; ++e) {
+        const HwConfig got = inj.applyCommand(e, cur, cmd);
+        EXPECT_FALSE(got == cmd);
+    }
+    EXPECT_EQ(inj.stats().reconfigFailures, 30u);
+}
+
+TEST(FaultInjector, NoCommandMeansNoFailure)
+{
+    FaultSpec spec;
+    spec.reconfigFailRate = 1.0;
+    FaultInjector inj(spec);
+    const HwConfig cur = baselineConfig();
+    EXPECT_EQ(inj.applyCommand(0, cur, cur), cur);
+    EXPECT_EQ(inj.stats().reconfigFailures, 0u);
+}
+
+TEST(FaultInjector, ResetClearsState)
+{
+    FaultInjector inj(FaultSpec::uniform(0.5, 3));
+    for (std::uint32_t e = 0; e < 20; ++e)
+        inj.filterSample(e, sampleFor(e));
+    EXPECT_GT(inj.stats().faultsInjected, 0u);
+    inj.reset();
+    EXPECT_EQ(inj.stats().faultsInjected, 0u);
+    EXPECT_TRUE(inj.events().empty());
+    // History restarts at epoch 0.
+    inj.filterSample(0, sampleFor(0));
+}
+
+TEST(PartialReconfig, MissedMaskKeepsOldValues)
+{
+    const HwConfig from = baselineConfig();
+    const HwConfig to = maxConfig();
+    // Miss nothing: full application.
+    EXPECT_EQ(partialReconfig(from, to, 0u), to);
+    // Miss everything: no application.
+    EXPECT_EQ(partialReconfig(from, to, 0x3fu), from);
+    // Miss only the L1 capacity (param index 2).
+    const HwConfig got = partialReconfig(from, to, 1u << 2);
+    EXPECT_EQ(got.l1CapIdx, from.l1CapIdx);
+    EXPECT_EQ(got.l2CapIdx, to.l2CapIdx);
+    EXPECT_EQ(got.prefetchIdx, to.prefetchIdx);
+}

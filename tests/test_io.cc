@@ -82,6 +82,125 @@ TEST(MatrixMarketDeathTest, RejectsOutOfBoundsEntry)
                 "out of bounds");
 }
 
+namespace {
+
+/** Run tryReadMatrixMarket and expect an error containing `what`. */
+void
+expectParseError(const std::string &text, const std::string &what)
+{
+    std::istringstream in(text);
+    auto r = tryReadMatrixMarket(in);
+    ASSERT_FALSE(r.isOk()) << "accepted: " << text;
+    EXPECT_NE(r.message().find(what), std::string::npos)
+        << "message was: " << r.message();
+}
+
+} // namespace
+
+TEST(MatrixMarketRecoverable, ErrorsAreReturnedNotFatal)
+{
+    expectParseError("%%NotMatrixMarket whatever\n1 1 0\n",
+                     "bad banner");
+    expectParseError("", "empty stream");
+    expectParseError("%%MatrixMarket matrix array real general\n",
+                     "coordinate");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+        "field");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n",
+        "symmetry");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\nnot a size\n",
+        "size line");
+}
+
+TEST(MatrixMarketRecoverable, RejectsOverflowingDimensions)
+{
+    // 2^33 rows cannot be indexed with 32-bit row ids.
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "8589934592 10 1\n"
+        "1 1 1.0\n",
+        "overflow");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "10 8589934592 1\n"
+        "1 1 1.0\n",
+        "overflow");
+}
+
+TEST(MatrixMarketRecoverable, RejectsImpossibleEntryCount)
+{
+    // 2x2 matrix cannot hold 5 entries; a huge nnz would otherwise
+    // drive a multi-gigabyte allocation before the entry loop fails.
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 5\n"
+        "1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n",
+        "exceeds matrix capacity");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "0 0 3\n",
+        "empty matrix");
+}
+
+TEST(MatrixMarketRecoverable, RejectsNonNumericEntries)
+{
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 x 1.0\n",
+        "non-numeric token 'x'");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 abc\n",
+        "non-numeric token 'abc'");
+}
+
+TEST(MatrixMarketRecoverable, RejectsNonFiniteValues)
+{
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 nan\n",
+        "non-finite value");
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 inf\n",
+        "non-finite value");
+}
+
+TEST(MatrixMarketRecoverable, RejectsTruncatedEntryList)
+{
+    expectParseError(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n",
+        "truncated");
+}
+
+TEST(MatrixMarketRecoverable, GoodInputStillParses)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 4 2\n"
+        "1 1 1.5\n"
+        "3 4 -2.0\n");
+    auto r = tryReadMatrixMarket(in);
+    ASSERT_TRUE(r.isOk()) << r.message();
+    EXPECT_EQ(r.value().nnz(), 2u);
+}
+
+TEST(MatrixMarketRecoverable, MissingFileIsRecoverable)
+{
+    auto r = tryReadMatrixMarketFile("/nonexistent/matrix.mtx");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_NE(r.message().find("cannot open"), std::string::npos);
+}
+
 TEST(MatrixMarket, FileRoundTrip)
 {
     Rng rng(2);

@@ -24,6 +24,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "sim/config.hh"
+#include "sim/faults.hh"
 #include "sparse/io.hh"
 #include "sparse/stats.hh"
 #include "sparse/suite.hh"
@@ -39,6 +41,8 @@ struct CliOptions
     std::string matrixFile;
     std::string modelFile;
     std::string policy = "hybrid";
+    std::string faultSpec;
+    std::string staticConfig;
     double tolerance = 0.4;
     double scale = 0.25;
     double bandwidth = 1e9;
@@ -68,6 +72,12 @@ usage(const char *argv0)
         "  --tolerance <f>            hybrid tolerance (default 0.4)\n"
         "  --model <file>             trained predictor (enables "
         "SparseAdapt)\n"
+        "  --faults <spec>            fault injection, e.g. "
+        "drop=0.01,corrupt=0.05\n"
+        "                             (adds guarded/unguarded "
+        "SparseAdapt rows)\n"
+        "  --config <spec>            extra static config row, e.g. "
+        "type=spm,l1_cap=32\n"
         "  --seed <n>                 RNG seed (default 1)\n",
         argv0);
     std::exit(2);
@@ -109,6 +119,10 @@ parse(int argc, char **argv)
             o.tolerance = std::atof(need(i));
         } else if (arg == "--model") {
             o.modelFile = need(i);
+        } else if (arg == "--faults") {
+            o.faultSpec = need(i);
+        } else if (arg == "--config") {
+            o.staticConfig = need(i);
         } else if (arg == "--seed") {
             o.seed = std::atoll(need(i));
         } else {
@@ -171,6 +185,26 @@ main(int argc, char **argv)
         pred = Predictor::load(in);
     }
 
+    // The library parsers return recoverable Results; the CLI is the
+    // place where a bad spec should still terminate the run.
+    std::optional<HwConfig> customCfg;
+    if (!o.staticConfig.empty()) {
+        auto r = parseConfig(o.staticConfig);
+        if (!r.isOk())
+            fatal("--config: " + r.message());
+        customCfg = r.value();
+    }
+    std::optional<FaultSpec> faults;
+    if (!o.faultSpec.empty()) {
+        auto r = FaultSpec::parse(o.faultSpec);
+        if (!r.isOk())
+            fatal("--faults: " + r.message());
+        faults = r.value();
+        if (!pred)
+            fatal("--faults needs --model (it exercises the "
+                  "SparseAdapt control loop)");
+    }
+
     ComparisonOptions co;
     co.mode = o.mode;
     co.oracleSamples = o.samples;
@@ -195,9 +229,43 @@ main(int argc, char **argv)
     row("Oracle", cmp.oracle());
     row("ProfileAdapt (naive)", cmp.profileAdapt(false));
     row("ProfileAdapt (ideal)", cmp.profileAdapt(true));
+    if (customCfg)
+        row(("Static [" + customCfg->label() + "]").c_str(),
+            cmp.staticEval(*customCfg));
     if (pred)
         row("SparseAdapt", cmp.sparseAdapt());
+    std::optional<Comparison::RobustEval> guarded, unguarded;
+    if (faults) {
+        guarded = cmp.sparseAdaptRobust(*faults, true);
+        unguarded = cmp.sparseAdaptRobust(*faults, false);
+        row("SparseAdapt (guarded)", guarded->eval);
+        row("SparseAdapt (unguarded)", unguarded->eval);
+    }
     table.print();
+    if (faults) {
+        std::printf("\nfault injection: %s\n",
+                    faults->toString().c_str());
+        std::printf("  faults injected   %llu (dropped %llu, "
+                    "corrupted %llu, delayed %llu, reconfig %llu)\n",
+                    (unsigned long long)guarded->faults.faultsInjected,
+                    (unsigned long long)guarded->faults.samplesDropped,
+                    (unsigned long long)
+                        guarded->faults.samplesCorrupted,
+                    (unsigned long long)guarded->faults.samplesDelayed,
+                    (unsigned long long)
+                        guarded->faults.reconfigFailures);
+        std::printf("  guard verdicts    ok %llu, clamped %llu, "
+                    "discarded %llu, missing %llu\n",
+                    (unsigned long long)guarded->guard.samplesOk,
+                    (unsigned long long)guarded->guard.samplesClamped,
+                    (unsigned long long)
+                        guarded->guard.samplesDiscarded,
+                    (unsigned long long)guarded->guard.samplesMissing);
+        std::printf("  watchdog          reverts %llu, held epochs "
+                    "%llu\n",
+                    (unsigned long long)guarded->watchdogReverts,
+                    (unsigned long long)guarded->watchdogHeldEpochs);
+    }
     if (!pred)
         std::printf("\n(no --model given: SparseAdapt row skipped; "
                     "train one with the bench harness)\n");
