@@ -1,0 +1,128 @@
+#include "analysis/finding.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace sadapt::analysis {
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    panic("bad Severity");
+}
+
+std::string
+Finding::format() const
+{
+    std::string loc = file;
+    if (line > 0)
+        loc += str(":", line);
+    return str(loc, ": [", severityName(severity), "] ", checkId,
+               ": ", message);
+}
+
+std::string
+Finding::key() const
+{
+    std::string loc = file;
+    if (line > 0)
+        loc += str(":", line);
+    return str(checkId, " ", loc);
+}
+
+void
+Report::add(std::string check_id, std::string file, std::uint64_t line,
+            Severity severity, std::string message)
+{
+    add(Finding{std::move(check_id), std::move(file), line, severity,
+                std::move(message)});
+}
+
+std::size_t
+Report::errorCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(findingsV.begin(), findingsV.end(),
+                      [](const Finding &f) {
+                          return f.severity == Severity::Error;
+                      }));
+}
+
+std::size_t
+Report::warningCount() const
+{
+    return findingsV.size() - errorCount();
+}
+
+void
+Report::applyBaseline(const std::vector<std::string> &baseline_keys)
+{
+    const std::unordered_set<std::string> keys(baseline_keys.begin(),
+                                               baseline_keys.end());
+    const std::size_t before = findingsV.size();
+    std::erase_if(findingsV, [&](const Finding &f) {
+        return keys.contains(f.key());
+    });
+    suppressedV += before - findingsV.size();
+}
+
+void
+Report::sort()
+{
+    std::stable_sort(findingsV.begin(), findingsV.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.checkId < b.checkId;
+                     });
+}
+
+void
+Report::merge(Report other)
+{
+    for (auto &f : other.findingsV)
+        findingsV.push_back(std::move(f));
+    suppressedV += other.suppressedV;
+}
+
+void
+Report::print(std::ostream &out) const
+{
+    for (const auto &f : findingsV)
+        out << f.format() << '\n';
+    out << "sadapt-check: " << errorCount() << " error(s), "
+        << warningCount() << " warning(s)";
+    if (suppressedV > 0)
+        out << ", " << suppressedV << " baseline-suppressed";
+    out << '\n';
+}
+
+Result<std::vector<std::string>>
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::error("cannot open baseline file: " + path);
+    std::vector<std::string> keys;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        const auto end = line.find_last_not_of(" \t\r");
+        keys.push_back(line.substr(start, end - start + 1));
+    }
+    return keys;
+}
+
+} // namespace sadapt::analysis

@@ -1,0 +1,367 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace sadapt::analysis {
+
+namespace {
+
+struct Token
+{
+    enum class Kind
+    {
+        Ident,  //!< identifier or keyword
+        Number, //!< numeric literal (verbatim text)
+        Punct,  //!< operator/punctuator, longest-match
+    };
+
+    Kind kind;
+    std::string text;
+    std::uint64_t line;
+};
+
+/** Multi-char punctuators the checks care about; rest lex per-char. */
+bool
+isPunctPair(char a, char b)
+{
+    static const std::unordered_set<std::string> pairs = {
+        "==", "!=", "<=", ">=", "->", "::", "&&", "||", "<<", ">>",
+        "+=", "-=", "*=", "/=", "++", "--",
+    };
+    return pairs.contains(std::string{a, b});
+}
+
+/**
+ * Lex C++ source into a token stream with line numbers, discarding
+ * comments, string literals (including raw strings) and character
+ * literals. Good enough for token-level rules; not a full lexer.
+ */
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    std::uint64_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    auto bump = [&](char c) {
+        if (c == '\n')
+            ++line;
+    };
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            bump(c);
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(src[i] == '*' && src[i + 1] == '/')) {
+                bump(src[i]);
+                ++i;
+            }
+            i = std::min(n, i + 2);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(')
+                delim += src[j++];
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = src.find(close, j);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close.size();
+            for (std::size_t k = i; k < end && k < n; ++k)
+                bump(src[k]);
+            i = end;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                bump(src[i]);
+                ++i;
+            }
+            ++i; // closing quote
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_'))
+                ++j;
+            out.push_back(
+                {Token::Kind::Ident, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '.' || src[j] == '\'' ||
+                    ((src[j] == '+' || src[j] == '-') && j > i &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            out.push_back(
+                {Token::Kind::Number, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (i + 1 < n && isPunctPair(c, src[i + 1])) {
+            out.push_back(
+                {Token::Kind::Punct, src.substr(i, 2), line});
+            i += 2;
+            continue;
+        }
+        out.push_back({Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+/** True for numeric-literal text with floating-point type. */
+bool
+isFloatLiteral(const std::string &text)
+{
+    if (text.size() > 1 && (text[1] == 'x' || text[1] == 'X')) {
+        // Hex: floating only with a p-exponent (0x1.8p3).
+        return text.find('p') != std::string::npos ||
+            text.find('P') != std::string::npos;
+    }
+    if (text.back() == 'f' || text.back() == 'F' ||
+        text.find('.') != std::string::npos)
+        return true;
+    return text.find('e') != std::string::npos ||
+        text.find('E') != std::string::npos;
+}
+
+/**
+ * Functions whose Status/Result return value must never be discarded.
+ * Qualified entries ("FaultSpec::parse") match only when preceded by
+ * the qualifier; bare entries match the identifier anywhere.
+ */
+const std::vector<std::string> &
+statusRegistry()
+{
+    static const std::vector<std::string> names = {
+        "parseConfig",
+        "tryReadMatrixMarket",
+        "tryReadMatrixMarketFile",
+        "readTraceText",
+        "readTraceTextFile",
+        "tryPushGpe",
+        "tryPushLcp",
+        "loadBaseline",
+        "FaultSpec::parse",
+    };
+    return names;
+}
+
+/** True when path (already '/'-normalized) is under a directory. */
+bool
+underDir(const std::string &rel_path, const std::string &dir)
+{
+    return rel_path.rfind(dir + "/", 0) == 0 ||
+        rel_path.find("/" + dir + "/") != std::string::npos;
+}
+
+} // namespace
+
+Report
+lintSource(const std::string &source, const std::string &rel_path)
+{
+    Report report;
+    const std::vector<Token> toks = lex(source);
+    const bool float_eq_scope =
+        underDir(rel_path, "sim") || underDir(rel_path, "adapt");
+
+    auto tok = [&](std::size_t i) -> const Token * {
+        return i < toks.size() ? &toks[i] : nullptr;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+
+        // lint-banned-call: rand/srand/time used as a free function.
+        if (t.kind == Token::Kind::Ident &&
+            (t.text == "rand" || t.text == "srand" ||
+             t.text == "time")) {
+            const Token *next = tok(i + 1);
+            const Token *prev = i > 0 ? &toks[i - 1] : nullptr;
+            // Exclude member calls (x.time()) and class-qualified
+            // statics; std:: and global :: still count as banned.
+            bool member = prev != nullptr &&
+                (prev->text == "." || prev->text == "->");
+            if (prev != nullptr && prev->text == "::" && i >= 2 &&
+                toks[i - 2].kind == Token::Kind::Ident &&
+                toks[i - 2].text != "std")
+                member = true;
+            if (next && next->text == "(" && !member) {
+                report.add(
+                    "lint-banned-call", rel_path, t.line,
+                    Severity::Error,
+                    str("call to ", t.text, "(): use common/rng for "
+                        "randomness and simulated clocks for time"));
+            }
+        }
+
+        // lint-naked-new: any new-expression.
+        if (t.kind == Token::Kind::Ident && t.text == "new") {
+            const Token *next = tok(i + 1);
+            if (next &&
+                (next->kind == Token::Kind::Ident ||
+                 next->text == "(")) {
+                report.add("lint-naked-new", rel_path, t.line,
+                           Severity::Error,
+                           "naked new-expression: use containers or "
+                           "std::make_unique");
+            }
+        }
+
+        // lint-float-eq: ==/!= with a float-literal operand.
+        if (float_eq_scope && t.kind == Token::Kind::Punct &&
+            (t.text == "==" || t.text == "!=")) {
+            const Token *prev = i > 0 ? &toks[i - 1] : nullptr;
+            const Token *next = tok(i + 1);
+            const bool prev_float = prev &&
+                prev->kind == Token::Kind::Number &&
+                isFloatLiteral(prev->text);
+            const bool next_float = next &&
+                next->kind == Token::Kind::Number &&
+                isFloatLiteral(next->text);
+            if (prev_float || next_float) {
+                report.add(
+                    "lint-float-eq", rel_path, t.line, Severity::Error,
+                    str("exact floating-point ", t.text,
+                        " comparison: compare against a tolerance "
+                        "or restructure"));
+            }
+        }
+
+        // lint-unchecked-status: registry call as a bare
+        // expression statement.
+        if (t.kind == Token::Kind::Ident) {
+            bool matches = false;
+            std::size_t call_start = i; // first token of the call
+            for (const std::string &entry : statusRegistry()) {
+                const auto sep = entry.find("::");
+                if (sep == std::string::npos) {
+                    matches = t.text == entry;
+                } else if (t.text == entry.substr(sep + 2) && i >= 2 &&
+                           toks[i - 1].text == "::" &&
+                           toks[i - 2].text == entry.substr(0, sep)) {
+                    matches = true;
+                    call_start = i - 2;
+                }
+                if (matches)
+                    break;
+            }
+            const Token *next = tok(i + 1);
+            if (matches && next && next->text == "(") {
+                // Statement start: preceded by ; { } or nothing.
+                const Token *before = call_start > 0
+                    ? &toks[call_start - 1]
+                    : nullptr;
+                const bool stmt_start = before == nullptr ||
+                    before->text == ";" || before->text == "{" ||
+                    before->text == "}";
+                if (stmt_start) {
+                    // Find the matching ')' and check for ';'.
+                    std::size_t depth = 0;
+                    std::size_t j = i + 1;
+                    for (; j < toks.size(); ++j) {
+                        if (toks[j].text == "(")
+                            ++depth;
+                        else if (toks[j].text == ")" && --depth == 0)
+                            break;
+                    }
+                    const Token *after = tok(j + 1);
+                    if (after && after->text == ";") {
+                        report.add(
+                            "lint-unchecked-status", rel_path, t.line,
+                            Severity::Error,
+                            str("discarded Status/Result of ", t.text,
+                                "(): check isOk() or propagate"));
+                    }
+                }
+            }
+        }
+    }
+    report.sort();
+    return report;
+}
+
+Report
+lintFile(const std::string &path, const std::string &root)
+{
+    std::ifstream in(path);
+    if (!in) {
+        Report report;
+        report.add("lint-io", path, 0, Severity::Error,
+                   "cannot open source file");
+        return report;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string rel = path;
+    const std::string prefix = root.empty() || root == "."
+        ? std::string()
+        : (root.back() == '/' ? root : root + "/");
+    if (!prefix.empty() && rel.rfind(prefix, 0) == 0)
+        rel = rel.substr(prefix.size());
+    return lintSource(buf.str(), rel);
+}
+
+Report
+lintTree(const std::string &dir, const std::string &root)
+{
+    namespace fs = std::filesystem;
+    Report report;
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file())
+            continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+            ext == ".h")
+            files.push_back(it->path().string());
+    }
+    if (ec) {
+        report.add("lint-io", dir, 0, Severity::Error,
+                   "cannot walk directory: " + ec.message());
+        return report;
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string &f : files)
+        report.merge(lintFile(f, root));
+    return report;
+}
+
+} // namespace sadapt::analysis

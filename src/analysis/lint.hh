@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Token-based source lint for repo-specific C++ rules.
+ *
+ * A small hand-rolled lexer (no libclang dependency) strips comments
+ * and literals and checks the token stream for the repo's rules:
+ *
+ *  - lint-banned-call: no rand()/srand()/time() in src/ — all
+ *    randomness goes through common/rng (deterministic, seedable)
+ *    and all timing through the simulated clock.
+ *  - lint-naked-new: no naked new-expressions in src/; containers or
+ *    std::make_unique own every allocation.
+ *  - lint-float-eq: no ==/!= against floating-point literals in
+ *    sim/ and adapt/, where cycle/energy arithmetic makes exact
+ *    equality a latent bug.
+ *  - lint-unchecked-status: a registry of Status/Result-returning
+ *    functions whose value must not be discarded; catches the
+ *    expression-statement pattern even in code paths the compiler's
+ *    [[nodiscard]] does not reach (uninstantiated templates).
+ *
+ * Findings are keyed by file:line relative to the lint root, so the
+ * baseline file stays stable across checkouts.
+ */
+
+#ifndef SADAPT_ANALYSIS_LINT_HH
+#define SADAPT_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+
+namespace sadapt::analysis {
+
+/** Lint one source buffer; `rel_path` scopes path-dependent rules. */
+Report lintSource(const std::string &source,
+                  const std::string &rel_path);
+
+/** Lint one file on disk, reported relative to `root`. */
+Report lintFile(const std::string &path, const std::string &root);
+
+/**
+ * Recursively lint every .cc/.hh file under `dir`, reporting paths
+ * relative to `root` (pass root == dir to lint a whole tree).
+ */
+Report lintTree(const std::string &dir, const std::string &root);
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_LINT_HH

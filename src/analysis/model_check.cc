@@ -1,0 +1,522 @@
+#include "analysis/model_check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "adapt/telemetry.hh"
+#include "common/logging.hh"
+#include "sim/config.hh"
+#include "sim/counters.hh"
+
+namespace sadapt::analysis {
+
+const std::vector<FeatureDomain> &
+telemetryFeatureDomains()
+{
+    static const std::vector<FeatureDomain> domains = [] {
+        std::vector<FeatureDomain> d;
+        d.reserve(numTelemetryFeatures());
+        // Config parameters are normalized to [0, 1] by buildFeatures.
+        for (std::size_t i = 0; i < numParams; ++i)
+            d.push_back({0.0, 1.0});
+        for (const CounterBounds &b : counterBounds())
+            d.push_back({b.lo, b.hi});
+        SADAPT_ASSERT(d.size() == numTelemetryFeatures(),
+                      "feature domains out of sync with schema");
+        return d;
+    }();
+    return domains;
+}
+
+namespace {
+
+/** Upper bound on plausible node counts; beyond this, reject early. */
+constexpr std::uint64_t maxModelNodes = 1u << 20;
+
+struct RawNode
+{
+    int leaf = 1;
+    std::uint64_t featureIdx = 0;
+    double threshold = 0.0;
+    std::int64_t left = -1;
+    std::int64_t right = -1;
+    std::uint64_t klass = 0;
+    double importanceGain = 0.0;
+};
+
+struct RawTree
+{
+    std::uint64_t numFeatures = 0;
+    std::uint64_t headerLine = 0;
+    std::vector<RawNode> nodes;
+    std::vector<std::uint64_t> nodeLines; //!< source line per node
+};
+
+/** Line-oriented reader that keeps a 1-based line counter. */
+class LineReader
+{
+  public:
+    explicit LineReader(std::istream &in)
+        : inV(in)
+    {
+    }
+
+    bool
+    next(std::string &line)
+    {
+        while (std::getline(inV, line)) {
+            ++linenoV;
+            if (line.find_first_not_of(" \t\r") != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+    std::uint64_t lineno() const { return linenoV; }
+
+  private:
+    std::istream &inV;
+    std::uint64_t linenoV = 0;
+};
+
+/**
+ * Parse a "tree F N" header from an already-read line. Returns the
+ * node count, or nullopt after reporting.
+ */
+std::optional<std::uint64_t>
+parseTreeHeader(const std::string &line, std::uint64_t lineno,
+                const std::string &name, Report &report, RawTree &tree)
+{
+    std::istringstream hs(line);
+    std::string magic;
+    std::uint64_t num_nodes = 0;
+    if (!(hs >> magic >> tree.numFeatures >> num_nodes) ||
+        magic != "tree") {
+        report.add("model-header", name, lineno, Severity::Error,
+                   "malformed tree header (expected 'tree "
+                   "<features> <nodes>')");
+        return std::nullopt;
+    }
+    tree.headerLine = lineno;
+    if (num_nodes == 0) {
+        report.add("model-empty", name, lineno, Severity::Error,
+                   "tree with zero nodes");
+        return std::nullopt;
+    }
+    if (num_nodes > maxModelNodes) {
+        report.add("model-header", name, lineno, Severity::Error,
+                   str("implausible node count ", num_nodes));
+        return std::nullopt;
+    }
+    return num_nodes;
+}
+
+/** Parse the N node records following a tree header. */
+bool
+parseTreeBody(LineReader &reader, std::uint64_t num_nodes,
+              const std::string &name, Report &report, RawTree &tree)
+{
+    std::string line;
+    tree.nodes.reserve(num_nodes);
+    for (std::uint64_t i = 0; i < num_nodes; ++i) {
+        if (!reader.next(line)) {
+            report.add("model-truncated", name, reader.lineno(),
+                       Severity::Error,
+                       str("node list ends at ", i, " of ", num_nodes,
+                           " nodes"));
+            return false;
+        }
+        std::istringstream ns(line);
+        RawNode n;
+        // The threshold is read as a token and converted with
+        // strtod(): ostream prints NaN/Inf thresholds as "nan"/"inf",
+        // which istream extraction rejects, and those must reach the
+        // model-threshold-finite check instead of dying here.
+        std::string thr;
+        if (!(ns >> n.leaf >> n.featureIdx >> thr >> n.left >>
+              n.right >> n.klass >> n.importanceGain)) {
+            report.add("model-node-record", name, reader.lineno(),
+                       Severity::Error, "malformed node record");
+            return false;
+        }
+        char *thr_end = nullptr;
+        n.threshold = std::strtod(thr.c_str(), &thr_end);
+        if (thr_end == thr.c_str() || *thr_end != '\0') {
+            report.add("model-node-record", name, reader.lineno(),
+                       Severity::Error,
+                       str("bad threshold '", thr, "'"));
+            return false;
+        }
+        if (n.leaf != 0 && n.leaf != 1) {
+            report.add("model-node-record", name, reader.lineno(),
+                       Severity::Error,
+                       str("leaf flag must be 0 or 1, got ", n.leaf));
+            return false;
+        }
+        tree.nodes.push_back(n);
+        tree.nodeLines.push_back(reader.lineno());
+    }
+    return true;
+}
+
+/** Read header line + body: one complete "tree" block. */
+bool
+parseTree(LineReader &reader, const std::string &name, Report &report,
+          RawTree &tree)
+{
+    std::string line;
+    if (!reader.next(line)) {
+        report.add("model-truncated", name, reader.lineno(),
+                   Severity::Error, "missing tree header");
+        return false;
+    }
+    const auto num_nodes =
+        parseTreeHeader(line, reader.lineno(), name, report, tree);
+    return num_nodes &&
+        parseTreeBody(reader, *num_nodes, name, report, tree);
+}
+
+/**
+ * Structural pass: child links, reachability, cycles. Returns true
+ * when the node array forms a proper tree rooted at node 0 (the
+ * value-level passes below require that).
+ */
+bool
+checkStructure(const RawTree &tree, const std::string &name,
+               Report &report)
+{
+    const auto n = static_cast<std::int64_t>(tree.nodes.size());
+    bool sound = true;
+    std::vector<int> parents(tree.nodes.size(), 0);
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+        const RawNode &node = tree.nodes[i];
+        if (node.leaf)
+            continue;
+        for (const std::int64_t child : {node.left, node.right}) {
+            if (child < 0 || child >= n) {
+                report.add("model-child-dangling", name,
+                           tree.nodeLines[i], Severity::Error,
+                           str("split node ", i,
+                               " references child ", child,
+                               " outside [0, ", n, ")"));
+                sound = false;
+            } else if (child == static_cast<std::int64_t>(i)) {
+                report.add("model-cycle", name, tree.nodeLines[i],
+                           Severity::Error,
+                           str("node ", i, " is its own child"));
+                sound = false;
+            } else {
+                ++parents[child];
+            }
+        }
+        if (node.left == node.right && node.left >= 0 &&
+            node.left < n) {
+            report.add("model-child-dangling", name,
+                       tree.nodeLines[i], Severity::Error,
+                       str("split node ", i, " has identical left "
+                           "and right children"));
+            sound = false;
+        }
+    }
+    if (!sound)
+        return false;
+
+    for (std::size_t i = 1; i < parents.size(); ++i) {
+        if (parents[i] > 1) {
+            report.add("model-cycle", name, tree.nodeLines[i],
+                       Severity::Error,
+                       str("node ", i, " has ", parents[i],
+                           " parents (shared subtree or cycle)"));
+            sound = false;
+        }
+    }
+    if (parents[0] != 0) {
+        report.add("model-cycle", name, tree.nodeLines[0],
+                   Severity::Error,
+                   "root node is referenced as a child");
+        sound = false;
+    }
+    if (!sound)
+        return false;
+
+    // With every non-root node having exactly <= 1 parent and the
+    // root none, unreachable nodes are exactly those with 0 parents.
+    bool dead = false;
+    for (std::size_t i = 1; i < parents.size(); ++i) {
+        if (parents[i] == 0) {
+            report.add("model-dead-node", name, tree.nodeLines[i],
+                       Severity::Error,
+                       str("node ", i,
+                           " is unreachable from the root"));
+            dead = true;
+        }
+    }
+    return !dead;
+}
+
+/** Domain/value pass: features, thresholds, leaf predictions. */
+void
+checkValues(const RawTree &tree, const std::string &name,
+            std::optional<Param> target, Report &report)
+{
+    const auto &domains = telemetryFeatureDomains();
+    const bool schema_tree = tree.numFeatures == domains.size();
+    if (!schema_tree) {
+        report.add("model-feature-count", name, tree.headerLine,
+                   Severity::Error,
+                   str("tree declares ", tree.numFeatures,
+                       " features; the telemetry schema has ",
+                       domains.size()));
+    }
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+        const RawNode &node = tree.nodes[i];
+        if (node.importanceGain < 0.0) {
+            report.add("model-importance-negative", name,
+                       tree.nodeLines[i], Severity::Warning,
+                       str("node ", i, " has negative importance gain ",
+                           node.importanceGain));
+        }
+        if (node.leaf) {
+            if (target && node.klass >= paramCardinality(*target)) {
+                report.add(
+                    "model-leaf-domain", name, tree.nodeLines[i],
+                    Severity::Error,
+                    str("leaf predicts value ", node.klass,
+                        " for parameter ", paramName(*target),
+                        " (cardinality ",
+                        paramCardinality(*target), ")"));
+            }
+            continue;
+        }
+        if (node.featureIdx >= tree.numFeatures) {
+            report.add("model-feature-range", name, tree.nodeLines[i],
+                       Severity::Error,
+                       str("split on feature ", node.featureIdx,
+                           " but the tree declares ",
+                           tree.numFeatures, " features"));
+            continue;
+        }
+        if (!std::isfinite(node.threshold)) {
+            report.add("model-threshold-finite", name,
+                       tree.nodeLines[i], Severity::Error,
+                       str("non-finite split threshold at node ", i));
+            continue;
+        }
+        if (schema_tree) {
+            const FeatureDomain &d = domains[node.featureIdx];
+            if (node.threshold < d.lo || node.threshold > d.hi) {
+                report.add(
+                    "model-threshold-domain", name, tree.nodeLines[i],
+                    Severity::Error,
+                    str("threshold ", node.threshold, " on feature '",
+                        telemetryFeatureNames()[node.featureIdx],
+                        "' is outside its physical domain [", d.lo,
+                        ", ", d.hi, "]"));
+            }
+        }
+    }
+}
+
+/**
+ * Reachability pass: propagate per-feature intervals from the root
+ * and flag branches no input inside the feature domains can take.
+ * Requires a structurally sound tree and a schema-sized feature set.
+ */
+void
+checkReachability(const RawTree &tree, const std::string &name,
+                  Report &report)
+{
+    const auto &schema = telemetryFeatureDomains();
+    if (tree.numFeatures != schema.size())
+        return;
+    struct Item
+    {
+        std::int64_t node;
+        std::vector<FeatureDomain> box;
+    };
+    std::vector<Item> stack;
+    stack.push_back({0, {schema.begin(), schema.end()}});
+    while (!stack.empty()) {
+        Item item = std::move(stack.back());
+        stack.pop_back();
+        const RawNode &node = tree.nodes[item.node];
+        if (node.leaf)
+            continue;
+        if (node.featureIdx >= tree.numFeatures ||
+            !std::isfinite(node.threshold))
+            continue; // already reported by checkValues
+        const FeatureDomain &d = item.box[node.featureIdx];
+        // predict() goes left when feature <= threshold.
+        const bool left_feasible = d.lo <= node.threshold;
+        const bool right_feasible = node.threshold < d.hi;
+        if (!left_feasible || !right_feasible) {
+            report.add(
+                "model-unreachable-branch", name,
+                tree.nodeLines[item.node], Severity::Error,
+                str("the ", left_feasible ? "right" : "left",
+                    " branch of node ", item.node,
+                    " is unreachable: feature '",
+                    telemetryFeatureNames()[node.featureIdx],
+                    "' is confined to [", d.lo, ", ", d.hi,
+                    "] here but the split threshold is ",
+                    node.threshold));
+        }
+        if (left_feasible) {
+            Item l{node.left, item.box};
+            l.box[node.featureIdx].hi =
+                std::min(l.box[node.featureIdx].hi, node.threshold);
+            stack.push_back(std::move(l));
+        }
+        if (right_feasible) {
+            Item r{node.right, std::move(item.box)};
+            r.box[node.featureIdx].lo =
+                std::max(r.box[node.featureIdx].lo, node.threshold);
+            stack.push_back(std::move(r));
+        }
+    }
+}
+
+/**
+ * Redundancy pass: flag splits whose two subtrees are structurally
+ * identical (the split can never change the prediction). Signatures
+ * are computed bottom-up with an explicit stack.
+ */
+void
+checkDuplicateSubtrees(const RawTree &tree, const std::string &name,
+                       Report &report)
+{
+    std::vector<std::string> sig(tree.nodes.size());
+    std::vector<std::int64_t> order;
+    std::vector<std::int64_t> stack = {0};
+    std::vector<char> expanded(tree.nodes.size(), 0);
+    while (!stack.empty()) {
+        const std::int64_t n = stack.back();
+        const RawNode &node = tree.nodes[n];
+        if (node.leaf || expanded[n]) {
+            stack.pop_back();
+            order.push_back(n);
+            continue;
+        }
+        expanded[n] = 1;
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+    }
+    for (const std::int64_t n : order) {
+        const RawNode &node = tree.nodes[n];
+        if (node.leaf) {
+            sig[n] = str("L", node.klass);
+        } else {
+            sig[n] = str("S", node.featureIdx, "@", node.threshold,
+                         "(", sig[node.left], ",", sig[node.right],
+                         ")");
+            if (sig[node.left] == sig[node.right]) {
+                report.add("model-duplicate-subtree", name,
+                           tree.nodeLines[n], Severity::Warning,
+                           str("both branches of node ", n,
+                               " are identical subtrees; the split "
+                               "is redundant"));
+            }
+        }
+    }
+}
+
+void
+checkOneTree(const RawTree &tree, const std::string &name,
+             std::optional<Param> target, Report &report)
+{
+    checkValues(tree, name, target, report);
+    if (!checkStructure(tree, name, report))
+        return;
+    checkReachability(tree, name, report);
+    checkDuplicateSubtrees(tree, name, report);
+}
+
+} // namespace
+
+Report
+checkModelStream(std::istream &in, const std::string &name)
+{
+    Report report;
+    LineReader reader(in);
+    std::string line;
+    if (!reader.next(line)) {
+        report.add("model-header", name, 0, Severity::Error,
+                   "empty model file");
+        return report;
+    }
+    std::istringstream hs(line);
+    std::string magic;
+    hs >> magic;
+
+    if (magic == "predictor") {
+        std::uint64_t count = 0;
+        if (!(hs >> count)) {
+            report.add("model-header", name, reader.lineno(),
+                       Severity::Error,
+                       "malformed predictor header");
+            return report;
+        }
+        if (count != numParams) {
+            report.add("model-param-count", name, reader.lineno(),
+                       Severity::Error,
+                       str("ensemble declares ", count,
+                           " trees; the parameter space has ",
+                           numParams));
+            // The per-parameter mapping is meaningless; still try to
+            // verify whatever trees follow as standalone trees.
+        }
+        for (std::uint64_t i = 0; i < count; ++i) {
+            RawTree tree;
+            if (!parseTree(reader, name, report, tree))
+                return report;
+            std::optional<Param> target;
+            if (count == numParams)
+                target = allParams()[i];
+            checkOneTree(tree, name, target, report);
+        }
+        if (reader.next(line)) {
+            report.add("model-trailing", name, reader.lineno(),
+                       Severity::Warning,
+                       "trailing content after the last tree");
+        }
+        return report;
+    }
+
+    if (magic == "tree") {
+        RawTree tree;
+        const auto num_nodes = parseTreeHeader(
+            line, reader.lineno(), name, report, tree);
+        if (num_nodes &&
+            parseTreeBody(reader, *num_nodes, name, report, tree))
+            checkOneTree(tree, name, std::nullopt, report);
+        return report;
+    }
+
+    report.add("model-header", name, reader.lineno(), Severity::Error,
+               "unknown model magic '" + magic +
+                   "' (expected 'predictor' or 'tree')");
+    return report;
+}
+
+Report
+checkModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        Report report;
+        report.add("model-io", path, 0, Severity::Error,
+                   "cannot open model file");
+        return report;
+    }
+    Report report = checkModelStream(in, path);
+    report.sort();
+    return report;
+}
+
+} // namespace sadapt::analysis

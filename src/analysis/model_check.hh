@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static verifier for decision-tree model files.
+ *
+ * The predictor ensemble is loaded from text files that nothing else
+ * validates: DecisionTreeClassifier::load() dies on syntax errors but
+ * accepts any semantically broken tree (dangling children, split
+ * thresholds no telemetry feature can ever reach, leaf predictions
+ * outside a parameter's legal values). This checker re-parses model
+ * files tolerantly and verifies them against the reconfiguration
+ * parameter space (sim/config) and the telemetry feature schema
+ * (adapt/telemetry), reporting findings instead of dying.
+ *
+ * Invariants checked, per tree:
+ *  - header feature count matches the telemetry schema
+ *  - node records well-formed, node count matches the header
+ *  - child indices in range, every node reachable from the root
+ *    exactly once (no cycles, no shared or dead subtrees)
+ *  - feature indices inside the schema
+ *  - split thresholds finite and inside the feature's physical domain
+ *  - branches reachable under interval propagation of feature domains
+ *  - leaf predictions inside the target parameter's cardinality
+ *    (ensemble files, where the tree-to-parameter mapping is known)
+ *  - no split whose two subtrees are structurally identical
+ */
+
+#ifndef SADAPT_ANALYSIS_MODEL_CHECK_HH
+#define SADAPT_ANALYSIS_MODEL_CHECK_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+
+namespace sadapt::analysis {
+
+/** Closed physical interval a telemetry feature can take. */
+struct FeatureDomain
+{
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+/**
+ * Physical domain of every model input feature, in buildFeatures()
+ * order: the six normalized configuration parameters (each [0, 1])
+ * followed by the counters with their counterBounds() ranges.
+ */
+const std::vector<FeatureDomain> &telemetryFeatureDomains();
+
+/**
+ * Verify one model file. Accepts both ensemble files ("predictor N"
+ * followed by N trees) and standalone tree files ("tree F N").
+ */
+Report checkModelFile(const std::string &path);
+
+/** As checkModelFile on an open stream; `name` labels findings. */
+Report checkModelStream(std::istream &in, const std::string &name);
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_MODEL_CHECK_HH

@@ -1,0 +1,149 @@
+#include "analysis/spec_check.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "sim/config.hh"
+#include "sim/faults.hh"
+
+namespace sadapt::analysis {
+
+Report
+checkConfigSpec(const std::string &spec, const std::string &name,
+                std::uint64_t line)
+{
+    Report report;
+    auto parsed = parseConfig(spec);
+    if (!parsed) {
+        report.add("config-parse", name, line, Severity::Error,
+                   str("'", spec, "': ", parsed.message()));
+        return report;
+    }
+    const std::string round = parsed.value().toSpec();
+    auto reparsed = parseConfig(round);
+    if (!reparsed) {
+        report.add("config-roundtrip", name, line, Severity::Error,
+                   str("serialized form '", round,
+                       "' fails to re-parse: ", reparsed.message()));
+    } else if (!(reparsed.value() == parsed.value())) {
+        report.add("config-roundtrip", name, line, Severity::Error,
+                   str("'", spec, "' round-trips to a different "
+                       "configuration ('", round, "')"));
+    }
+    return report;
+}
+
+Report
+checkFaultSpec(const std::string &spec, const std::string &name,
+               std::uint64_t line)
+{
+    Report report;
+    auto parsed = FaultSpec::parse(spec);
+    if (!parsed) {
+        report.add("faults-parse", name, line, Severity::Error,
+                   str("'", spec, "': ", parsed.message()));
+        return report;
+    }
+    const std::string round = parsed.value().toString();
+    auto reparsed = FaultSpec::parse(round);
+    if (!reparsed) {
+        report.add("faults-roundtrip", name, line, Severity::Error,
+                   str("serialized form '", round,
+                       "' fails to re-parse: ", reparsed.message()));
+        return report;
+    }
+    const FaultSpec &a = parsed.value();
+    const FaultSpec &b = reparsed.value();
+    const bool same = a.dropRate == b.dropRate &&
+        a.corruptRate == b.corruptRate &&
+        a.delayRate == b.delayRate &&
+        a.reconfigFailRate == b.reconfigFailRate &&
+        a.maxDelayEpochs == b.maxDelayEpochs && a.seed == b.seed;
+    if (!same) {
+        report.add("faults-roundtrip", name, line, Severity::Error,
+                   str("'", spec, "' round-trips to a different "
+                       "fault spec ('", round, "')"));
+    }
+    return report;
+}
+
+Report
+checkSpecFile(const std::string &path)
+{
+    Report report;
+    std::ifstream in(path);
+    if (!in) {
+        report.add("spec-io", path, 0, Severity::Error,
+                   "cannot open spec file");
+        return report;
+    }
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        const auto end = line.find_last_not_of(" \t\r");
+        const std::string entry = line.substr(start, end - start + 1);
+        auto strip = [](std::string s) {
+            const auto p = s.find_first_not_of(" \t");
+            return p == std::string::npos ? std::string() : s.substr(p);
+        };
+        if (entry.rfind("config:", 0) == 0) {
+            report.merge(checkConfigSpec(strip(entry.substr(7)), path,
+                                         lineno));
+        } else if (entry.rfind("faults:", 0) == 0) {
+            report.merge(checkFaultSpec(strip(entry.substr(7)), path,
+                                        lineno));
+        } else {
+            report.add("spec-syntax", path, lineno, Severity::Error,
+                       "expected 'config: <spec>' or "
+                       "'faults: <spec>'");
+        }
+    }
+    report.sort();
+    return report;
+}
+
+Report
+checkConfigSpaceInvariants()
+{
+    Report report;
+    for (const MemType type : {MemType::Cache, MemType::Spm}) {
+        const ConfigSpace space(type);
+        const std::string label =
+            type == MemType::Cache ? "cache" : "spm";
+        for (std::uint32_t code = 0; code < space.size(); ++code) {
+            const HwConfig cfg = space.decode(code);
+            if (cfg.encode() != code) {
+                report.add(
+                    "config-encode", str("<config-space/", label, ">"),
+                    0, Severity::Error,
+                    str("decode(", code, ").encode() == ",
+                        cfg.encode()));
+                break; // one witness per space is enough
+            }
+            auto round = parseConfig(cfg.toSpec());
+            if (!round || !(round.value() == cfg)) {
+                report.add(
+                    "config-roundtrip",
+                    str("<config-space/", label, ">"), 0,
+                    Severity::Error,
+                    str("config ", code, " ('", cfg.toSpec(),
+                        "') does not survive toSpec/parseConfig"));
+                break;
+            }
+        }
+    }
+    for (const char *preset : {"baseline", "bestavg", "max"}) {
+        if (!parseConfig(preset)) {
+            report.add("config-preset", "<presets>", 0,
+                       Severity::Error,
+                       str("preset '", preset, "' fails to parse"));
+        }
+    }
+    return report;
+}
+
+} // namespace sadapt::analysis

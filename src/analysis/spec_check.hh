@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Validator for configuration and fault-injection spec strings.
+ *
+ * Spec strings reach the system from CLI flags, experiment scripts
+ * and saved run manifests; a typo'd key silently falls back to an
+ * error only at run time. This checker batch-validates spec-list
+ * files ahead of time and additionally round-trips every spec
+ * (parse -> serialize -> parse) so the parser and serializer cannot
+ * drift apart. checkConfigSpaceInvariants() self-checks the dense
+ * config encoding over the whole 1800-point space.
+ */
+
+#ifndef SADAPT_ANALYSIS_SPEC_CHECK_HH
+#define SADAPT_ANALYSIS_SPEC_CHECK_HH
+
+#include <string>
+
+#include "analysis/finding.hh"
+
+namespace sadapt::analysis {
+
+/** Validate one "config: ..." spec (parse + round-trip). */
+Report checkConfigSpec(const std::string &spec,
+                       const std::string &name, std::uint64_t line);
+
+/** Validate one "faults: ..." spec (parse + round-trip). */
+Report checkFaultSpec(const std::string &spec, const std::string &name,
+                      std::uint64_t line);
+
+/**
+ * Validate a spec-list file: one spec per line, prefixed "config:"
+ * or "faults:"; '#' comments and blank lines are ignored.
+ */
+Report checkSpecFile(const std::string &path);
+
+/**
+ * Self-check the configuration space: encode/decode round-trips over
+ * every configuration, preset parsability, and toSpec() inversion.
+ */
+Report checkConfigSpaceInvariants();
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_SPEC_CHECK_HH

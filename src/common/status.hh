@@ -21,7 +21,7 @@
 namespace sadapt {
 
 /** Success or a descriptive error message. */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** The OK status. */
@@ -55,7 +55,7 @@ class Status
  * legacy fatal() behaviour at process entry points.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /*implicit*/ Result(T value)

@@ -58,6 +58,21 @@ HwConfig::label() const
                " ", clockHz() / 1e6, "MHz pf", prefetchDegree());
 }
 
+std::string
+HwConfig::toSpec() const
+{
+    auto mode = [](SharingMode m) {
+        return m == SharingMode::Shared ? "shared" : "private";
+    };
+    return str("type=", l1Type == MemType::Cache ? "cache" : "spm",
+               ",l1_sharing=", mode(l1Sharing),
+               ",l2_sharing=", mode(l2Sharing),
+               ",l1_cap=", l1CapBytes() / 1024,
+               ",l2_cap=", l2CapBytes() / 1024,
+               ",clock=", clockHz() / 1e6,
+               ",prefetch=", prefetchDegree());
+}
+
 std::uint32_t
 HwConfig::encode() const
 {

@@ -61,6 +61,12 @@ struct HwConfig
     /** Compact human-readable label, e.g. "L1:4kB/shr L2:64kB/prv ...". */
     std::string label() const;
 
+    /**
+     * Machine-readable spec string accepted by parseConfig(); the
+     * round trip parseConfig(cfg.toSpec()) reproduces cfg exactly.
+     */
+    std::string toSpec() const;
+
     /** Dense encoding in [0, ConfigSpace::size()), used as a map key. */
     std::uint32_t encode() const;
 
@@ -178,7 +184,7 @@ HwConfig maxConfig(MemType l1_type = MemType::Cache);
  * e.g. "max,clock=500". Returns a descriptive error for unknown keys,
  * unknown presets or out-of-table values; never exits.
  */
-Result<HwConfig> parseConfig(const std::string &text);
+[[nodiscard]] Result<HwConfig> parseConfig(const std::string &text);
 
 } // namespace sadapt
 

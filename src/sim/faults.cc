@@ -111,9 +111,13 @@ FaultSpec::parse(const std::string &text)
 std::string
 FaultSpec::toString() const
 {
-    return str("drop=", dropRate, ",corrupt=", corruptRate,
-               ",delay=", delayRate, ",reconfig=", reconfigFailRate,
-               ",max_delay=", maxDelayEpochs, ",seed=", seed);
+    // Full double precision so parse(toString()) is exact.
+    std::ostringstream os;
+    os.precision(17);
+    os << "drop=" << dropRate << ",corrupt=" << corruptRate
+       << ",delay=" << delayRate << ",reconfig=" << reconfigFailRate
+       << ",max_delay=" << maxDelayEpochs << ",seed=" << seed;
+    return os.str();
 }
 
 namespace {

@@ -93,7 +93,7 @@ struct FaultSpec
      * Unknown keys, unparsable numbers and rates outside [0, 1] are
      * recoverable errors.
      */
-    static Result<FaultSpec> parse(const std::string &text);
+    [[nodiscard]] static Result<FaultSpec> parse(const std::string &text);
 
     /** Inverse of parse(). */
     std::string toString() const;

@@ -40,7 +40,12 @@ struct ReconfigCost
     bool flushL1 = false;
     bool flushL2 = false;
 
-    bool isZero() const { return seconds == 0.0 && energy == 0.0; }
+    /**
+     * True when the transition carries no penalty at all. Costs are
+     * sums of non-negative terms, so "no penalty" is exactly "no
+     * term contributed" — test with <= instead of exact equality.
+     */
+    bool isZero() const { return seconds <= 0.0 && energy <= 0.0; }
 };
 
 /**

@@ -1,5 +1,10 @@
 #include "sim/trace.hh"
 
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace sadapt {
@@ -21,6 +26,12 @@ Trace::beginPhase(const std::string &name)
         s.push_back(marker);
     for (auto &s : lcpStreams)
         s.push_back(marker);
+}
+
+void
+Trace::registerPhase(std::string name)
+{
+    phases.push_back(std::move(name));
 }
 
 const std::vector<TraceOp> &
@@ -58,6 +69,26 @@ Trace::totalOps() const
     return n;
 }
 
+Status
+Trace::tryPushGpe(std::uint32_t gpe, TraceOp op)
+{
+    if (gpe >= gpeStreams.size())
+        return Status::error(str("gpe id ", gpe, " out of range (",
+                                 gpeStreams.size(), " GPEs)"));
+    gpeStreams[gpe].push_back(op);
+    return Status::ok();
+}
+
+Status
+Trace::tryPushLcp(std::uint32_t tile, TraceOp op)
+{
+    if (tile >= lcpStreams.size())
+        return Status::error(str("tile id ", tile, " out of range (",
+                                 lcpStreams.size(), " tiles)"));
+    lcpStreams[tile].push_back(op);
+    return Status::ok();
+}
+
 void
 Trace::append(const Trace &other)
 {
@@ -77,6 +108,252 @@ Trace::append(const Trace &other)
     for (std::uint32_t t = 0; t < lcpStreams.size(); ++t)
         for (const auto &op : other.lcpStreams[t])
             lcpStreams[t].push_back(fixup(op));
+}
+
+std::string
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::IntOp: return "int";
+      case OpKind::FpOp: return "fp";
+      case OpKind::Load: return "ld";
+      case OpKind::Store: return "st";
+      case OpKind::FpLoad: return "fpld";
+      case OpKind::FpStore: return "fpst";
+      case OpKind::SpmLoad: return "spmld";
+      case OpKind::SpmStore: return "spmst";
+      case OpKind::Phase: return "phase";
+    }
+    panic("bad OpKind");
+}
+
+std::optional<OpKind>
+opKindFromName(const std::string &name)
+{
+    if (name == "int") return OpKind::IntOp;
+    if (name == "fp") return OpKind::FpOp;
+    if (name == "ld") return OpKind::Load;
+    if (name == "st") return OpKind::Store;
+    if (name == "fpld") return OpKind::FpLoad;
+    if (name == "fpst") return OpKind::FpStore;
+    if (name == "spmld") return OpKind::SpmLoad;
+    if (name == "spmst") return OpKind::SpmStore;
+    if (name == "phase") return OpKind::Phase;
+    return std::nullopt;
+}
+
+namespace {
+
+/** Max GPE count accepted from a trace header (Figure 12 tops at 64). */
+constexpr std::uint64_t maxTraceGpes = 4096;
+
+Status
+traceError(std::uint64_t line, const std::string &what)
+{
+    return Status::error(str("trace line ", line, ": ", what));
+}
+
+} // namespace
+
+Result<TraceText>
+readTraceText(std::istream &in)
+{
+    std::string line;
+    std::uint64_t lineno = 0;
+    auto next_line = [&]() -> bool {
+        while (std::getline(in, line)) {
+            ++lineno;
+            const auto pos = line.find_first_not_of(" \t\r");
+            if (pos == std::string::npos || line[pos] == '#')
+                continue; // blank or comment
+            return true;
+        }
+        return false;
+    };
+
+    if (!next_line() || line != "sadapt-trace v1")
+        return Status::error(
+            "trace: missing 'sadapt-trace v1' magic line");
+
+    TraceText out;
+    SystemShape shape;
+    bool have_shape = false;
+    std::uint64_t num_phases = 0;
+    bool saw_end = false;
+    std::vector<std::string> phase_names;
+    // One flag per stream so duplicate declarations are caught.
+    std::vector<bool> gpe_seen, lcp_seen;
+
+    while (next_line()) {
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        if (word == "end") {
+            saw_end = true;
+            break;
+        }
+        if (word == "shape") {
+            if (have_shape)
+                return traceError(lineno, "duplicate shape directive");
+            std::uint64_t tiles = 0, gpes = 0;
+            if (!(ls >> tiles >> gpes) || tiles == 0 || gpes == 0)
+                return traceError(lineno, "malformed shape");
+            if (tiles * gpes > maxTraceGpes)
+                return traceError(
+                    lineno, str("shape ", tiles, "x", gpes,
+                                " exceeds ", maxTraceGpes, " GPEs"));
+            shape.tiles = static_cast<std::uint32_t>(tiles);
+            shape.gpesPerTile = static_cast<std::uint32_t>(gpes);
+            out.trace = Trace(shape);
+            gpe_seen.assign(shape.numGpes(), false);
+            lcp_seen.assign(shape.tiles, false);
+            have_shape = true;
+            continue;
+        }
+        if (word == "footprint" || word == "epoch_fpops" ||
+            word == "epochs") {
+            std::uint64_t v = 0;
+            if (!(ls >> v))
+                return traceError(lineno, "malformed " + word);
+            if (word == "footprint")
+                out.footprint = v;
+            else if (word == "epoch_fpops")
+                out.epochFpOps = v;
+            else
+                out.declaredEpochs = v;
+            continue;
+        }
+        if (word == "phase") {
+            std::uint64_t id = 0;
+            std::string name;
+            if (!(ls >> id >> std::ws) || !std::getline(ls, name) ||
+                name.empty())
+                return traceError(lineno, "malformed phase");
+            if (id != num_phases)
+                return traceError(
+                    lineno, str("phase id ", id, " out of order "
+                                "(expected ", num_phases, ")"));
+            ++num_phases;
+            phase_names.push_back(std::move(name));
+            continue;
+        }
+        if (word == "stream") {
+            if (!have_shape)
+                return traceError(lineno, "stream before shape");
+            std::string core;
+            std::uint64_t id = 0, nops = 0;
+            if (!(ls >> core >> id >> nops) ||
+                (core != "gpe" && core != "lcp"))
+                return traceError(lineno, "malformed stream header");
+            const bool is_gpe = core == "gpe";
+            const std::uint64_t limit =
+                is_gpe ? shape.numGpes() : shape.tiles;
+            if (id >= limit)
+                return traceError(
+                    lineno, str(core, " id ", id, " out of range (",
+                                limit, " ", core, "s)"));
+            auto &seen = is_gpe ? gpe_seen : lcp_seen;
+            if (seen[id])
+                return traceError(
+                    lineno, str("duplicate ", core, " stream ", id));
+            seen[id] = true;
+
+            std::int64_t last_t = -1;
+            for (std::uint64_t i = 0; i < nops; ++i) {
+                if (!next_line())
+                    return traceError(
+                        lineno, str("truncated ", core, " stream ",
+                                    id, ": ", i, " of ", nops,
+                                    " ops"));
+                std::istringstream os(line);
+                std::int64_t t = 0;
+                std::string kind;
+                std::uint64_t addr = 0, pc = 0;
+                if (!(os >> t >> kind >> addr >> pc))
+                    return traceError(lineno, "malformed op record");
+                if (pc > 0xffff)
+                    return traceError(
+                        lineno, str("pc ", pc, " exceeds the 16-bit "
+                                    "access-site id space"));
+                if (t <= last_t)
+                    return traceError(
+                        lineno, str("non-monotone timestamp ", t,
+                                    " (previous ", last_t, ")"));
+                last_t = t;
+                const auto k = opKindFromName(kind);
+                if (!k)
+                    return traceError(lineno,
+                                      "unknown op kind '" + kind +
+                                          "'");
+                if (*k == OpKind::Phase && addr >= num_phases)
+                    return traceError(
+                        lineno, str("phase op references undeclared "
+                                    "phase id ", addr));
+                TraceOp op{addr, static_cast<std::uint16_t>(pc), *k};
+                const Status s = is_gpe
+                    ? out.trace.tryPushGpe(
+                          static_cast<std::uint32_t>(id), op)
+                    : out.trace.tryPushLcp(
+                          static_cast<std::uint32_t>(id), op);
+                if (!s)
+                    return traceError(lineno, s.message());
+            }
+            continue;
+        }
+        return traceError(lineno, "unknown directive '" + word + "'");
+    }
+
+    if (!have_shape)
+        return Status::error("trace: missing shape directive");
+    if (!saw_end)
+        return Status::error("trace: missing 'end' terminator");
+    // Register the declared phases so phaseNames() lines up. The
+    // phase markers themselves were replayed verbatim above.
+    for (auto &name : phase_names)
+        out.trace.registerPhase(std::move(name));
+    return out;
+}
+
+Result<TraceText>
+readTraceTextFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::error("cannot open trace file: " + path);
+    return readTraceText(in);
+}
+
+void
+writeTraceText(const Trace &trace, std::ostream &out,
+               std::uint64_t footprint, std::uint64_t epoch_fpops,
+               std::uint64_t declared_epochs)
+{
+    const SystemShape &shape = trace.shape();
+    out << "sadapt-trace v1\n";
+    out << "shape " << shape.tiles << ' ' << shape.gpesPerTile
+        << '\n';
+    if (footprint)
+        out << "footprint " << footprint << '\n';
+    if (epoch_fpops)
+        out << "epoch_fpops " << epoch_fpops << '\n';
+    if (declared_epochs)
+        out << "epochs " << declared_epochs << '\n';
+    const auto &phases = trace.phaseNames();
+    for (std::size_t i = 0; i < phases.size(); ++i)
+        out << "phase " << i << ' ' << phases[i] << '\n';
+    auto emit = [&](const char *core, std::uint32_t id,
+                    const std::vector<TraceOp> &ops) {
+        out << "stream " << core << ' ' << id << ' ' << ops.size()
+            << '\n';
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            out << i << ' ' << opKindName(ops[i].kind) << ' '
+                << ops[i].addr << ' ' << ops[i].pc << '\n';
+    };
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        emit("gpe", g, trace.gpeStream(g));
+    for (std::uint32_t t = 0; t < shape.tiles; ++t)
+        emit("lcp", t, trace.lcpStream(t));
+    out << "end\n";
 }
 
 } // namespace sadapt

@@ -14,9 +14,12 @@
 #define SADAPT_SIM_TRACE_HH
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace sadapt {
@@ -83,10 +86,12 @@ class Trace
 
     const SystemShape &shape() const { return shapeV; }
 
-    /** Append an op to a GPE stream. */
+    /** Append an op to a GPE stream (asserts on a bad GPE id). */
     void
     pushGpe(std::uint32_t gpe, TraceOp op)
     {
+        SADAPT_ASSERT(gpe < gpeStreams.size(),
+                      "gpe index out of range");
         gpeStreams[gpe].push_back(op);
     }
 
@@ -94,14 +99,28 @@ class Trace
     void
     pushLcp(std::uint32_t tile, TraceOp op)
     {
+        SADAPT_ASSERT(tile < lcpStreams.size(),
+                      "tile index out of range");
         lcpStreams[tile].push_back(op);
     }
+
+    /** As pushGpe, but a bad GPE id is a recoverable error. */
+    [[nodiscard]] Status tryPushGpe(std::uint32_t gpe, TraceOp op);
+
+    /** As pushLcp, but a bad tile id is a recoverable error. */
+    [[nodiscard]] Status tryPushLcp(std::uint32_t tile, TraceOp op);
 
     /**
      * Mark the start of a new named explicit phase on every core.
      * Phase ids increase monotonically from 0.
      */
     void beginPhase(const std::string &name);
+
+    /**
+     * Register a phase name without emitting markers; used by trace
+     * deserialization, where the markers are already in the streams.
+     */
+    void registerPhase(std::string name);
 
     const std::vector<TraceOp> &gpeStream(std::uint32_t g) const;
     const std::vector<TraceOp> &lcpStream(std::uint32_t t) const;
@@ -124,6 +143,60 @@ class Trace
     std::vector<std::vector<TraceOp>> lcpStreams;
     std::vector<std::string> phases;
 };
+
+/** Short mnemonic of an op kind in the text trace format. */
+std::string opKindName(OpKind k);
+
+/** Inverse of opKindName(); empty for an unknown mnemonic. */
+std::optional<OpKind> opKindFromName(const std::string &name);
+
+/**
+ * A trace plus the file-level metadata carried by the text format:
+ * the device address-space footprint the emitting kernel allocated,
+ * the FP-op epoch length the run was scheduled with, and the epoch
+ * count the producer claims the trace covers (0 when unstated).
+ */
+struct TraceText
+{
+    Trace trace;
+    std::uint64_t footprint = 0;
+    std::uint64_t epochFpOps = 0;
+    std::uint64_t declaredEpochs = 0;
+};
+
+/**
+ * Parse the text trace format:
+ *
+ *   sadapt-trace v1
+ *   shape <tiles> <gpes_per_tile>
+ *   footprint <bytes>          (optional)
+ *   epoch_fpops <n>            (optional)
+ *   epochs <n>                 (optional)
+ *   phase <id> <name>          (one per explicit phase, ids dense)
+ *   stream gpe|lcp <id> <n_ops>
+ *   <timestamp> <kind> <addr> <pc>      (n_ops lines per stream)
+ *   end
+ *
+ * Kinds are int|fp|ld|st|fpld|fpst|spmld|spmst|phase. Timestamps are
+ * issue cycles and must be strictly increasing within a stream.
+ * Malformed headers, unknown directives or kinds, out-of-range GPE or
+ * tile ids, duplicate streams, non-monotone timestamps, phase ops
+ * referencing undeclared phase ids, and truncated files are all
+ * recoverable errors — never asserts.
+ */
+Result<TraceText> readTraceText(std::istream &in);
+
+/** readTraceText() from a file path. */
+Result<TraceText> readTraceTextFile(const std::string &path);
+
+/**
+ * Write a trace in the text format; timestamps are the per-stream op
+ * issue indices. The inverse of readTraceText() up to metadata.
+ */
+void writeTraceText(const Trace &trace, std::ostream &out,
+                    std::uint64_t footprint = 0,
+                    std::uint64_t epoch_fpops = 0,
+                    std::uint64_t declared_epochs = 0);
 
 } // namespace sadapt
 

@@ -65,9 +65,6 @@ Transmuter::Transmuter(const RunParams &params)
 
 namespace {
 
-/** SPM banks have fixed capacity (Table 1: not varied in SPM mode). */
-constexpr std::uint32_t spmBankBytes = 4 * 1024;
-
 /** L2 hit latency on top of crossbar traversal, cycles. */
 constexpr Cycles l2HitCycles = 6;
 

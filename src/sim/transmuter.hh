@@ -26,6 +26,13 @@ namespace sadapt {
 
 class FaultInjector;
 
+/**
+ * Per-GPE scratchpad bank size in SPM L1 mode (Section 3.4: the SPM
+ * address space is bank-local, so every SPM op address must fall
+ * inside one bank).
+ */
+constexpr std::uint32_t spmBankBytes = 4 * 1024;
+
 /** Parameters of one simulated system instance. */
 struct RunParams
 {

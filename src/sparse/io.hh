@@ -23,10 +23,11 @@ namespace sadapt {
  * space, non-numeric entries, out-of-bounds coordinates, and NaN/Inf
  * values.
  */
-Result<CsrMatrix> tryReadMatrixMarket(std::istream &in);
+[[nodiscard]] Result<CsrMatrix> tryReadMatrixMarket(std::istream &in);
 
 /** Read a Matrix Market file from a path (recoverable error). */
-Result<CsrMatrix> tryReadMatrixMarketFile(const std::string &path);
+[[nodiscard]] Result<CsrMatrix>
+tryReadMatrixMarketFile(const std::string &path);
 
 /** As tryReadMatrixMarket, but calls fatal() on malformed input. */
 CsrMatrix readMatrixMarket(std::istream &in);

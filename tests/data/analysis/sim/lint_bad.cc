@@ -1,0 +1,21 @@
+// Lint fixture: every rule fires at least once. Never compiled.
+#include <cstdlib>
+#include <ctime>
+
+#include "sim/config.hh"
+
+namespace sadapt {
+
+double
+sampleAndCompare(double rate)
+{
+    std::srand(time(nullptr)); // lint-banned-call (time)
+    double *buf = new double[4]; // lint-naked-new
+    buf[0] = rand() % 100; // lint-banned-call (rand)
+    if (rate == 0.5) // lint-float-eq
+        return buf[0];
+    parseConfig("baseline"); // lint-unchecked-status
+    return rate;
+}
+
+} // namespace sadapt

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Source-lint tests: each token rule fires on its target pattern,
+ * stays quiet on the idiomatic alternative, and baseline suppression
+ * hides accepted findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hh"
+
+using namespace sadapt::analysis;
+
+namespace {
+
+bool
+hasCheck(const Report &r, const std::string &check_id)
+{
+    for (const auto &f : r.findings())
+        if (f.checkId == check_id)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(Lint, BannedCallsFlagged)
+{
+    const Report r = lintSource("int x = rand();\n"
+                                "std::srand(1);\n"
+                                "auto t = ::time(nullptr);\n",
+                                "src/sim/x.cc");
+    EXPECT_EQ(r.errorCount(), 3u);
+    EXPECT_TRUE(hasCheck(r, "lint-banned-call"));
+}
+
+TEST(Lint, BannedCallExclusions)
+{
+    // Member calls and non-std class-qualified statics are fine; so
+    // are mentions inside comments and strings.
+    const Report r =
+        lintSource("clock.time();\n"
+                    "timer->time();\n"
+                    "Stopwatch::time();\n"
+                    "// rand() in a comment\n"
+                    "const char *s = \"call time(2) here\";\n"
+                    "int random_value = 0; // 'rand' prefix ident\n",
+                    "src/sim/x.cc");
+    EXPECT_TRUE(r.clean()) << r.errorCount();
+    EXPECT_FALSE(hasCheck(r, "lint-banned-call"));
+}
+
+TEST(Lint, NakedNewFlagged)
+{
+    const Report r = lintSource("double *p = new double[4];\n",
+                                "src/common/x.cc");
+    EXPECT_TRUE(hasCheck(r, "lint-naked-new"));
+    EXPECT_TRUE(
+        lintSource("auto p = std::make_unique<double[]>(4);\n",
+                   "src/common/x.cc")
+            .clean());
+}
+
+TEST(Lint, FloatEqScopedToSimAndAdapt)
+{
+    const std::string code = "if (rate == 0.5) { fix(); }\n";
+    EXPECT_TRUE(hasCheck(lintSource(code, "src/sim/x.cc"),
+                         "lint-float-eq"));
+    EXPECT_TRUE(hasCheck(lintSource(code, "src/adapt/x.cc"),
+                         "lint-float-eq"));
+    // Out of scope: sparse kernels compare exact sentinel values.
+    EXPECT_FALSE(hasCheck(lintSource(code, "src/sparse/x.cc"),
+                          "lint-float-eq"));
+    // Integer comparisons never fire.
+    EXPECT_FALSE(hasCheck(lintSource("if (n == 5) {}\n",
+                                     "src/sim/x.cc"),
+                          "lint-float-eq"));
+}
+
+TEST(Lint, FloatEqLiteralShapes)
+{
+    for (const char *code :
+         {"a == 1.0;", "a != 2.f;", "1e-9 == a;", "a == 0x1.8p3;"}) {
+        EXPECT_TRUE(
+            hasCheck(lintSource(code, "src/sim/x.cc"), "lint-float-eq"))
+            << code;
+    }
+    for (const char *code : {"a == 0x10;", "a == 42;", "a == 'c';"}) {
+        EXPECT_FALSE(
+            hasCheck(lintSource(code, "src/sim/x.cc"), "lint-float-eq"))
+            << code;
+    }
+}
+
+TEST(Lint, UncheckedStatusFlagged)
+{
+    const Report r = lintSource("void f() {\n"
+                                "    parseConfig(\"baseline\");\n"
+                                "    FaultSpec::parse(\"none\");\n"
+                                "}\n",
+                                "src/sim/x.cc");
+    EXPECT_EQ(r.errorCount(), 2u);
+    EXPECT_TRUE(hasCheck(r, "lint-unchecked-status"));
+}
+
+TEST(Lint, CheckedStatusNotFlagged)
+{
+    const Report r =
+        lintSource("void f() {\n"
+                    "    auto c = parseConfig(\"baseline\");\n"
+                    "    if (!parseConfig(\"max\")) { return; }\n"
+                    "    return parseConfig(\"bestavg\");\n"
+                    "}\n",
+                    "src/sim/x.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-unchecked-status"));
+}
+
+TEST(Lint, FixtureFileTripsEveryRule)
+{
+    const Report r = lintFile(
+        std::string(SADAPT_TEST_DATA_DIR) + "/analysis/sim/lint_bad.cc",
+        SADAPT_TEST_DATA_DIR);
+    EXPECT_TRUE(hasCheck(r, "lint-banned-call"));
+    EXPECT_TRUE(hasCheck(r, "lint-naked-new"));
+    EXPECT_TRUE(hasCheck(r, "lint-float-eq"));
+    EXPECT_TRUE(hasCheck(r, "lint-unchecked-status"));
+    // Paths are reported relative to the lint root.
+    for (const auto &f : r.findings())
+        EXPECT_EQ(f.file.rfind("analysis/", 0), 0u) << f.file;
+}
+
+TEST(Lint, BaselineSuppressesByKey)
+{
+    Report r = lintSource("int x = rand();\n", "src/sim/x.cc");
+    ASSERT_EQ(r.errorCount(), 1u);
+    const std::string key = r.findings()[0].key();
+    r.applyBaseline({key});
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.findings().size(), 0u);
+    EXPECT_EQ(r.suppressedCount(), 1u);
+}
+
+TEST(Lint, LexerSkipsRawStringsAndKeepsLineNumbers)
+{
+    const Report r = lintSource(
+        "const char *doc = R\"(rand() time() new Foo)\";\n"
+        "int a = 0;\n"
+        "int y = rand();\n",
+        "src/sim/x.cc");
+    ASSERT_EQ(r.errorCount(), 1u);
+    EXPECT_EQ(r.findings()[0].line, 3u);
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Model-verifier tests: known-good trees pass, each seeded corruption
+ * produces its expected diagnostic, and a freshly trained predictor
+ * ensemble verifies clean end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adapt/predictor.hh"
+#include "adapt/telemetry.hh"
+#include "analysis/model_check.hh"
+#include "common/rng.hh"
+
+using namespace sadapt;
+using namespace sadapt::analysis;
+
+namespace {
+
+bool
+hasCheck(const Report &r, const std::string &check_id)
+{
+    for (const auto &f : r.findings())
+        if (f.checkId == check_id)
+            return true;
+    return false;
+}
+
+Report
+checkString(const std::string &text)
+{
+    std::istringstream in(text);
+    return checkModelStream(in, "<input>");
+}
+
+/** A valid standalone tree over the telemetry schema. */
+std::string
+goodTree()
+{
+    return "tree 25 3\n"
+           "0 8 0.35 1 2 0 0.25\n"
+           "1 0 0 -1 -1 0 0\n"
+           "1 0 0 -1 -1 1 0\n";
+}
+
+} // namespace
+
+TEST(ModelCheck, GoodTreePasses)
+{
+    const Report r = checkString(goodTree());
+    EXPECT_TRUE(r.clean()) << r.findings().size();
+    EXPECT_EQ(r.findings().size(), 0u);
+}
+
+TEST(ModelCheck, FeatureDomainsMatchSchema)
+{
+    EXPECT_EQ(telemetryFeatureDomains().size(),
+              numTelemetryFeatures());
+    // Config-parameter features are normalized.
+    for (std::size_t i = 0; i < numParams; ++i) {
+        EXPECT_EQ(telemetryFeatureDomains()[i].lo, 0.0);
+        EXPECT_EQ(telemetryFeatureDomains()[i].hi, 1.0);
+    }
+}
+
+TEST(ModelCheck, OutOfDomainThreshold)
+{
+    // Feature 2 is a normalized config param confined to [0, 1].
+    const Report r = checkString("tree 25 3\n"
+                                 "0 2 7.5 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-threshold-domain"));
+}
+
+TEST(ModelCheck, DanglingChildIndex)
+{
+    const Report r = checkString("tree 25 3\n"
+                                 "0 8 0.35 1 5 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-child-dangling"));
+}
+
+TEST(ModelCheck, WrongFeatureCount)
+{
+    const Report r = checkString("tree 7 3\n"
+                                 "0 2 0.35 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-feature-count"));
+}
+
+TEST(ModelCheck, FeatureIndexOutOfRange)
+{
+    const Report r = checkString("tree 25 3\n"
+                                 "0 99 0.35 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-feature-range"));
+}
+
+TEST(ModelCheck, NonFiniteThreshold)
+{
+    const Report r = checkString("tree 25 3\n"
+                                 "0 8 nan 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-threshold-finite"));
+}
+
+TEST(ModelCheck, UnreachableBranch)
+{
+    // Left subtree is confined to feature2 <= 0.4; a deeper split at
+    // 0.6 can then never go right.
+    const Report r = checkString("tree 25 5\n"
+                                 "0 2 0.4 1 2 0 0.25\n"
+                                 "0 2 0.6 3 4 0 0.1\n"
+                                 "1 0 0 -1 -1 1 0\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-unreachable-branch"));
+}
+
+TEST(ModelCheck, DeadNode)
+{
+    const Report r = checkString("tree 25 4\n"
+                                 "0 8 0.35 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n"
+                                 "1 0 0 -1 -1 1 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-dead-node"));
+}
+
+TEST(ModelCheck, CycleDetected)
+{
+    // Node 1 points back at the root: root gains a parent.
+    const Report r = checkString("tree 25 3\n"
+                                 "0 8 0.35 1 2 0 0.25\n"
+                                 "0 9 1.0 0 2 0 0.1\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-cycle"));
+}
+
+TEST(ModelCheck, DuplicateSubtreeIsWarning)
+{
+    const Report r = checkString("tree 25 3\n"
+                                 "0 8 0.35 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 1 0\n"
+                                 "1 0 0 -1 -1 1 0\n");
+    EXPECT_TRUE(r.clean()); // warning, not error
+    EXPECT_TRUE(hasCheck(r, "model-duplicate-subtree"));
+    EXPECT_EQ(r.warningCount(), 1u);
+}
+
+TEST(ModelCheck, TruncatedNodeList)
+{
+    const Report r = checkString("tree 25 3\n"
+                                 "0 8 0.35 1 2 0 0.25\n"
+                                 "1 0 0 -1 -1 0 0\n");
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-truncated"));
+}
+
+TEST(ModelCheck, MalformedHeader)
+{
+    EXPECT_TRUE(hasCheck(checkString("bogus 1 2\n"), "model-header"));
+    EXPECT_TRUE(hasCheck(checkString(""), "model-header"));
+    EXPECT_TRUE(
+        hasCheck(checkString("predictor two\n"), "model-header"));
+}
+
+TEST(ModelCheck, EnsembleParamCount)
+{
+    const Report r =
+        checkString("predictor 4\n" + goodTree() + goodTree() +
+                    goodTree() + goodTree());
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-param-count"));
+}
+
+TEST(ModelCheck, EnsembleLeafOutsideCardinality)
+{
+    // Tree 0 predicts L1Sharing (cardinality 2); class 9 is illegal.
+    std::string text = "predictor 6\n";
+    text += "tree 25 3\n"
+            "0 8 0.35 1 2 0 0.25\n"
+            "1 0 0 -1 -1 0 0\n"
+            "1 0 0 -1 -1 9 0\n";
+    for (int i = 1; i < 6; ++i)
+        text += goodTree();
+    const Report r = checkString(text);
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(hasCheck(r, "model-leaf-domain"));
+}
+
+/**
+ * End-to-end: a predictor trained by the real pipeline and saved by
+ * the real serializer must verify clean (no errors).
+ */
+TEST(ModelCheck, TrainedPredictorVerifiesClean)
+{
+    Rng rng(7);
+    TrainingSet set;
+    const ConfigSpace space(MemType::Cache);
+    for (int i = 0; i < 60; ++i) {
+        const HwConfig cfg = space.decode(rng.below(space.size()));
+        PerfCounterSample c;
+        c.l1MissRate = rng.uniform();
+        c.l2MissRate = rng.uniform();
+        c.gpeIpc = rng.uniform();
+        c.memReadBwUtil = rng.uniform();
+        const HwConfig best = space.decode(rng.below(space.size()));
+        set.add(buildFeatures(cfg, c), best);
+    }
+    Predictor p;
+    TreeParams params;
+    params.maxDepth = 4;
+    p.trainFixed(set, params);
+
+    std::stringstream buf;
+    p.save(buf);
+    const Report r = checkModelStream(buf, "<trained>");
+    for (const auto &f : r.findings())
+        EXPECT_NE(f.severity, Severity::Error) << f.format();
+    EXPECT_TRUE(r.clean());
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pre-PR gate: build with sanitizers + -Werror, run the sadapt-check
+# static analysis suite over sources and committed artifacts, then run
+# the analysis-labeled tests. See ROADMAP.md ("Pre-PR gate").
+#
+#   tools/run_checks.sh [build-dir]
+#
+# Exits nonzero on the first failing stage.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-checks}"
+
+echo "== configure ($build_dir: SADAPT_SANITIZE=ON SADAPT_WERROR=ON)"
+cmake -B "$build_dir" -S "$repo_root" \
+    -DSADAPT_SANITIZE=ON -DSADAPT_WERROR=ON > /dev/null
+
+echo "== build"
+cmake --build "$build_dir" -j > /dev/null
+
+echo "== sadapt_check: sources, models, traces, specs"
+"$build_dir/tools/sadapt_check" all \
+    --root "$repo_root" \
+    --src "$repo_root/src" \
+    --model "$repo_root/tests/data/analysis/good.model" \
+    --trace "$repo_root/tests/data/analysis/good.trace" \
+    --specs "$repo_root/tests/data/analysis/good_specs.txt" \
+    --baseline "$repo_root/tools/sadapt_check.baseline"
+
+echo "== ctest -L analysis"
+ctest --test-dir "$build_dir" -L analysis --output-on-failure -j "$(nproc)"
+
+echo "== all checks passed"
