@@ -191,7 +191,124 @@ defaultComparison(OptMode mode, PolicyKind policy, double tolerance)
     co.oracleSamples = sampleCount();
     co.policy = Policy(policy, tolerance);
     co.seed = 11;
+    co.observer = benchObserver();
     return co;
+}
+
+obs::RunObserver *
+benchObserver()
+{
+    struct State
+    {
+        obs::RunObserver observer;
+        bool active = false;
+    };
+    static State state;
+    static bool initialized = false;
+    if (!initialized) {
+        initialized = true;
+        const char *journal = std::getenv("SPARSEADAPT_JOURNAL");
+        const char *metrics = std::getenv("SPARSEADAPT_METRICS");
+        if (journal != nullptr) {
+            const Status st = state.observer.openJournal(journal);
+            if (!st.isOk())
+                fatal("SPARSEADAPT_JOURNAL: " + st.message());
+            state.active = true;
+        }
+        if (metrics != nullptr)
+            state.active = true;
+    }
+    return state.active ? &state.observer : nullptr;
+}
+
+void
+writeObserverOutputs()
+{
+    obs::RunObserver *observer = benchObserver();
+    if (observer == nullptr)
+        return;
+    const char *metrics = std::getenv("SPARSEADAPT_METRICS");
+    if (metrics != nullptr) {
+        std::ofstream out(metrics);
+        if (!out)
+            fatal(str("SPARSEADAPT_METRICS: cannot create ", metrics));
+        observer->metrics().writeText(out);
+        inform(str("metrics snapshot: ", metrics));
+    }
+    if (observer->journal() != nullptr) {
+        observer->flush();
+        inform(str("journal: ", std::getenv("SPARSEADAPT_JOURNAL"),
+                   " (", observer->journal()->eventsWritten(),
+                   " events)"));
+    }
+}
+
+namespace {
+
+/** Escape a string for embedding in a JSON document. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+BenchReport::BenchReport(const std::string &name)
+    : nameV(name), startV(std::chrono::steady_clock::now())
+{
+}
+
+void
+BenchReport::add(const std::string &kernel, const std::string &config,
+                 double gflops, double gflops_per_watt)
+{
+    entriesV.push_back(Entry{kernel, config, gflops, gflops_per_watt});
+}
+
+void
+BenchReport::write() const
+{
+    std::filesystem::create_directories("bench_results");
+    const std::string path = "bench_results/BENCH_" + nameV + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot create " + path);
+        return;
+    }
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startV)
+            .count();
+#ifdef SADAPT_GIT_REV
+    const char *rev = SADAPT_GIT_REV;
+#else
+    const char *rev = "unknown";
+#endif
+    out << "{\n";
+    out << "  \"bench\": \"" << jsonEscape(nameV) << "\",\n";
+    out << "  \"git_rev\": \"" << jsonEscape(rev) << "\",\n";
+    out << "  \"host_wall_seconds\": " << wall << ",\n";
+    out << "  \"scale\": " << datasetScale() << ",\n";
+    out << "  \"samples\": " << sampleCount() << ",\n";
+    out << "  \"results\": [";
+    for (std::size_t i = 0; i < entriesV.size(); ++i) {
+        const Entry &e = entriesV[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"kernel\": \"" << jsonEscape(e.kernel)
+            << "\", \"config\": \"" << jsonEscape(e.config)
+            << "\", \"gflops\": " << e.gflops
+            << ", \"gflops_per_watt\": " << e.gflopsPerWatt << "}";
+    }
+    out << "\n  ]\n}\n";
+    inform("bench report: " + path);
 }
 
 } // namespace sadapt::bench

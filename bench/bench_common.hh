@@ -12,16 +12,22 @@
  *    oracle schemes (default 24; paper's artifact uses 256).
  *  - SPARSEADAPT_MODEL_DIR    cache directory for trained predictors
  *    (default bench_results/models).
+ *  - SPARSEADAPT_JOURNAL      write the observability event journal
+ *    of every control-loop run to this file.
+ *  - SPARSEADAPT_METRICS      write the metrics registry snapshot to
+ *    this file at bench exit.
  */
 
 #ifndef SADAPT_BENCH_BENCH_COMMON_HH
 #define SADAPT_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "adapt/runner.hh"
 #include "common/table.hh"
+#include "obs/observer.hh"
 
 namespace sadapt::bench {
 
@@ -77,6 +83,53 @@ std::string csvPath(const std::string &name);
 /** Default comparison options for the current bench scale. */
 ComparisonOptions defaultComparison(OptMode mode, PolicyKind policy,
                                     double tolerance = 0.4);
+
+/**
+ * Process-wide observer configured from SPARSEADAPT_JOURNAL /
+ * SPARSEADAPT_METRICS; null when neither variable is set.
+ * defaultComparison() attaches it, so every bench journals its
+ * control-loop runs for free.
+ */
+obs::RunObserver *benchObserver();
+
+/**
+ * Flush the journal and write the metrics snapshot of benchObserver().
+ * Call once at the end of main(); a no-op when observability is off.
+ */
+void writeObserverOutputs();
+
+/**
+ * Machine-readable companion to the CSVs: collects one record per
+ * (kernel, config) measurement and writes
+ * bench_results/BENCH_<name>.json with the git revision and the host
+ * wall-clock seconds the bench took. Host time never feeds back into
+ * the simulation; it is provenance only.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(const std::string &name);
+
+    /** Record one measurement (gflops/W <= 0 means "not measured"). */
+    void add(const std::string &kernel, const std::string &config,
+             double gflops, double gflops_per_watt);
+
+    /** Write bench_results/BENCH_<name>.json. */
+    void write() const;
+
+  private:
+    struct Entry
+    {
+        std::string kernel;
+        std::string config;
+        double gflops;
+        double gflopsPerWatt;
+    };
+
+    std::string nameV;
+    std::vector<Entry> entriesV;
+    std::chrono::steady_clock::time_point startV;
+};
 
 } // namespace sadapt::bench
 

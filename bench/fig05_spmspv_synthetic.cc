@@ -25,7 +25,7 @@ using namespace sadapt::bench;
 namespace {
 
 void
-runMode(OptMode mode, CsvWriter &csv)
+runMode(OptMode mode, CsvWriter &csv, BenchReport &report)
 {
     const Predictor &pred = predictorFor(mode, MemType::Cache);
     Table table;
@@ -73,6 +73,12 @@ runMode(OptMode mode, CsvWriter &csv)
             .cell(best.gflops()).cell(best.gflopsPerWatt())
             .cell(max.gflops()).cell(max.gflopsPerWatt());
         csv.endRow();
+        const std::string tag =
+            "matrix=" + id + ",mode=" + optModeName(mode);
+        report.add("spmspv", tag + ",scheme=baseline", base.gflops(),
+                   base.gflopsPerWatt());
+        report.add("spmspv", tag + ",scheme=sparseadapt", sa.gflops(),
+                   sa.gflopsPerWatt());
     }
 
     std::printf("\n--- %s mode ---\n", optModeName(mode).c_str());
@@ -109,10 +115,13 @@ main()
     printHeader("Figure 5: SpMSpV on synthetic matrices (L1 cache)",
                 "Pal et al., MICRO'21, Figure 5 / Section 6.1.1");
     CsvWriter csv(csvPath("fig05_spmspv_synthetic"));
+    BenchReport report("fig05_spmspv_synthetic");
     csv.row({"mode", "matrix", "base_gflops", "base_gfw", "sa_gflops",
              "sa_gfw", "bestavg_gflops", "bestavg_gfw", "max_gflops",
              "max_gfw"});
-    runMode(OptMode::PowerPerformance, csv);
-    runMode(OptMode::EnergyEfficient, csv);
+    runMode(OptMode::PowerPerformance, csv, report);
+    runMode(OptMode::EnergyEfficient, csv, report);
+    report.write();
+    writeObserverOutputs();
     return 0;
 }

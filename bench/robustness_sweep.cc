@@ -59,6 +59,7 @@ sweepWorkload(const std::string &id, MemType l1_type)
 struct SweepPoint
 {
     double metric = 0.0; //!< mean over seeds
+    double gflops = 0.0; //!< mean over seeds
     FaultStats faults;
     GuardStats guard;
     std::uint64_t watchdogReverts = 0;
@@ -76,6 +77,7 @@ sweepPoint(Comparison &cmp, double combined_rate, bool guarded)
             FaultSpec::uniform(combined_rate / 4.0, seed);
         const auto r = cmp.sparseAdaptRobust(spec, guarded);
         pt.metric += r.eval.metric(OptMode::EnergyEfficient);
+        pt.gflops += r.eval.gflops();
         pt.faults.faultsInjected += r.faults.faultsInjected;
         pt.faults.samplesDropped += r.faults.samplesDropped;
         pt.faults.samplesCorrupted += r.faults.samplesCorrupted;
@@ -90,6 +92,7 @@ sweepPoint(Comparison &cmp, double combined_rate, bool guarded)
             break; // fault-free is deterministic; one run suffices
     }
     pt.metric /= static_cast<double>(n);
+    pt.gflops /= static_cast<double>(n);
     return pt;
 }
 
@@ -105,6 +108,7 @@ main()
     const Predictor &pred =
         predictorFor(OptMode::EnergyEfficient, MemType::Cache);
     CsvWriter csv(csvPath("robustness_sweep"));
+    BenchReport report("robustness_sweep");
     csv.row({"matrix", "rate", "arm", "gflops_per_watt", "retention",
              "faults_injected", "samples_dropped", "samples_delayed",
              "samples_corrupted", "samples_clamped",
@@ -146,6 +150,10 @@ main()
                     .cell(double(pt[arm].faults.reconfigFailures))
                     .cell(double(pt[arm].watchdogReverts));
                 csv.endRow();
+                report.add("spmspv",
+                           str("matrix=", id, ",rate=", rate, ",arm=",
+                               arm == 0 ? "guarded" : "unguarded"),
+                           pt[arm].gflops, pt[arm].metric);
             }
             table.row({Table::num(100.0 * rate, 0) + "%",
                        Table::num(pt[0].metric, 3),
@@ -194,5 +202,7 @@ main()
     }
     std::printf("\nRobustness criteria: %s\n",
                 pass ? "PASS" : "FAIL");
+    report.write();
+    writeObserverOutputs();
     return pass ? 0 : 1;
 }

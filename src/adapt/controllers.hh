@@ -24,6 +24,7 @@
 #include "adapt/guard.hh"
 #include "adapt/policy.hh"
 #include "adapt/predictor.hh"
+#include "obs/observer.hh"
 #include "sim/faults.hh"
 
 namespace sadapt {
@@ -66,11 +67,17 @@ Schedule oracleSchedule(EpochDb &db,
  * predictor reads the just-finished epoch's counters (under the
  * configuration that actually ran it) and the policy filters the
  * predicted switch (Appendix A.7 step 5).
+ *
+ * `observer` (optional) receives the decision audit trail — epoch,
+ * prediction, policy and reconfig events plus adapt/ metrics — and is
+ * a pure observer: the returned schedule is bit-identical with or
+ * without one attached.
  */
 Schedule sparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
                              const Policy &policy, OptMode mode,
                              const ReconfigCostModel &cost_model,
-                             const HwConfig &initial);
+                             const HwConfig &initial,
+                             obs::RunObserver *observer = nullptr);
 
 /** Degraded-mode controls of the robust SparseAdapt loop. */
 struct RobustAdaptOptions
@@ -116,7 +123,8 @@ RobustAdaptResult robustSparseAdaptSchedule(
     EpochDb &db, const Predictor &predictor, const Policy &policy,
     OptMode mode, const ReconfigCostModel &cost_model,
     const HwConfig &initial, FaultInjector *faults,
-    const RobustAdaptOptions &opts = RobustAdaptOptions{});
+    const RobustAdaptOptions &opts = RobustAdaptOptions{},
+    obs::RunObserver *observer = nullptr);
 
 /** Options of the ProfileAdapt emulation (Appendix A.7 step 8). */
 struct ProfileAdaptOptions

@@ -44,6 +44,16 @@ class EpochDb
     /** Number of configurations simulated so far. */
     std::size_t simulatedConfigs() const { return cache.size(); }
 
+    /**
+     * Export sim/ metrics from every future (non-memoized) simulation
+     * into a registry. Attach before the first result()/epochs() call
+     * to cover the whole run; null detaches.
+     */
+    void attachMetrics(obs::MetricRegistry *metrics)
+    {
+        sim.setMetrics(metrics);
+    }
+
     const Workload &workload() const { return wl; }
 
   private:

@@ -148,6 +148,16 @@ TelemetryGuard::recordMissing()
     ++statsV.samplesMissing;
 }
 
+std::string
+watchdogStateName(WatchdogState s)
+{
+    switch (s) {
+      case WatchdogState::Normal: return "normal";
+      case WatchdogState::Reverted: return "reverted";
+    }
+    panic("bad WatchdogState");
+}
+
 Watchdog::Watchdog(const WatchdogOptions &opts)
     : optsV(opts)
 {
@@ -172,6 +182,20 @@ Watchdog::reset()
     heldV = 0;
 }
 
+void
+Watchdog::transition(WatchdogState next)
+{
+    const WatchdogState from = stateV;
+    stateV = next;
+    if (obsV == nullptr)
+        return;
+    obsV->emit("adapt/watchdog", "watchdog",
+               {{"from", watchdogStateName(from)},
+                {"to", watchdogStateName(next)},
+                {"reverts", static_cast<std::int64_t>(revertsV)},
+                {"held_epochs", static_cast<std::int64_t>(heldV)}});
+}
+
 Watchdog::Decision
 Watchdog::observe(double realized_metric, bool telemetry_ok)
 {
@@ -182,10 +206,10 @@ Watchdog::observe(double realized_metric, bool telemetry_ok)
         if (holdRemaining == 0) {
             // Hysteresis expired: re-enter adaptation with a fresh
             // reference seeded by the baseline's realized efficiency.
-            stateV = WatchdogState::Normal;
             referenceV = realized_metric;
             haveReference = realized_metric > 0.0;
             degradedStreak = 0;
+            transition(WatchdogState::Normal);
         }
         return {false, true};
     }
@@ -208,11 +232,11 @@ Watchdog::observe(double realized_metric, bool telemetry_ok)
     }
 
     if (degradedStreak >= optsV.degradedLimit) {
-        stateV = WatchdogState::Reverted;
         holdRemaining = optsV.holdEpochs;
         degradedStreak = 0;
         ++revertsV;
         ++heldV;
+        transition(WatchdogState::Reverted);
         return {false, true};
     }
 

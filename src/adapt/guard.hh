@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hh"
 #include "sim/counters.hh"
 
 namespace sadapt {
@@ -153,6 +154,9 @@ enum class WatchdogState : std::uint8_t
     Reverted, //!< holding the baseline configuration
 };
 
+/** Human-readable watchdog state name. */
+std::string watchdogStateName(WatchdogState s);
+
 /**
  * Realized-efficiency watchdog. Call observe() once per epoch with the
  * metric the epoch actually achieved; the decision says whether the
@@ -179,6 +183,16 @@ class Watchdog
      */
     Decision observe(double realized_metric, bool telemetry_ok);
 
+    /**
+     * Journal every state transition (exactly one "watchdog" event per
+     * Normal <-> Reverted edge) through an observer. Pure observer:
+     * attaching one never changes a decision. Null detaches.
+     */
+    void attachObserver(obs::RunObserver *observer)
+    {
+        obsV = observer;
+    }
+
     WatchdogState state() const { return stateV; }
     std::uint64_t reverts() const { return revertsV; }
     std::uint64_t heldEpochs() const { return heldV; }
@@ -188,7 +202,11 @@ class Watchdog
 
   private:
     WatchdogOptions optsV;
+    obs::RunObserver *obsV = nullptr;
     WatchdogState stateV = WatchdogState::Normal;
+
+    /** Move to `next`, emitting the transition event if journaled. */
+    void transition(WatchdogState next);
     double referenceV = 0.0;
     bool haveReference = false;
     std::size_t degradedStreak = 0;

@@ -27,10 +27,19 @@ Policy::apply(const HwConfig &current, const HwConfig &predicted,
               const ReconfigCostModel &cost_model,
               bool energy_efficient_mode) const
 {
-    if (kindV == PolicyKind::Aggressive)
-        return predicted;
+    return applyDetailed(current, predicted, last_epoch_seconds,
+                         cost_model, energy_efficient_mode)
+        .config;
+}
 
-    HwConfig out = current;
+PolicyOutcome
+Policy::applyDetailed(const HwConfig &current, const HwConfig &predicted,
+                      Seconds last_epoch_seconds,
+                      const ReconfigCostModel &cost_model,
+                      bool energy_efficient_mode) const
+{
+    PolicyOutcome out;
+    out.config = current;
     for (Param p : allParams()) {
         const std::uint32_t want = paramValue(predicted, p);
         if (want == paramValue(current, p))
@@ -53,9 +62,16 @@ Policy::apply(const HwConfig &current, const HwConfig &predicted,
             accept = true;
             break;
         }
+        out.decisions.push_back(
+            {p, paramValue(current, p), want, accept, rc});
         if (accept)
-            out = withParam(out, p, want);
+            out.config = withParam(out.config, p, want);
     }
+    // Aggressive follows the prediction wholesale (including any field
+    // outside the per-parameter loop), exactly as before the audit
+    // trail existed.
+    if (kindV == PolicyKind::Aggressive)
+        out.config = predicted;
     return out;
 }
 

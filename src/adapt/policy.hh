@@ -10,6 +10,7 @@
 #define SADAPT_ADAPT_POLICY_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/reconfig.hh"
 
@@ -25,6 +26,23 @@ enum class PolicyKind
 
 /** Human-readable policy name. */
 std::string policyKindName(PolicyKind kind);
+
+/** One per-parameter hysteresis verdict of Policy::applyDetailed(). */
+struct PolicyDecision
+{
+    Param param = Param::L1Sharing;
+    std::uint32_t from = 0; //!< current value index
+    std::uint32_t to = 0;   //!< predicted value index
+    bool accepted = false;
+    ReconfigCost cost; //!< single-dimension reconfiguration cost
+};
+
+/** Filtered configuration plus the per-parameter audit trail. */
+struct PolicyOutcome
+{
+    HwConfig config;
+    std::vector<PolicyDecision> decisions; //!< one per differing param
+};
 
 /**
  * Filters a predicted configuration against reconfiguration cost.
@@ -54,6 +72,18 @@ class Policy
                    Seconds last_epoch_seconds,
                    const ReconfigCostModel &cost_model,
                    bool energy_efficient_mode) const;
+
+    /**
+     * apply() plus the decision audit trail: one PolicyDecision per
+     * parameter where prediction and current configuration differ.
+     * apply() is implemented on top of this, so the chosen
+     * configuration is identical whether or not the trail is read.
+     */
+    PolicyOutcome applyDetailed(const HwConfig &current,
+                                const HwConfig &predicted,
+                                Seconds last_epoch_seconds,
+                                const ReconfigCostModel &cost_model,
+                                bool energy_efficient_mode) const;
 
     PolicyKind kind() const { return kindV; }
     double tolerance() const { return toleranceV; }

@@ -15,6 +15,8 @@ Comparison::Comparison(const Workload &workload,
            workload.params.energy),
       initial(baselineConfig(workload.l1Type))
 {
+    if (opts.observer != nullptr)
+        dbV.attachMetrics(&opts.observer->metrics());
 }
 
 const std::vector<HwConfig> &
@@ -116,7 +118,8 @@ Comparison::sparseAdaptSchedule()
                   "sparseAdapt() needs a trained predictor");
     if (!sparseAdaptCache) {
         sparseAdaptCache = ::sadapt::sparseAdaptSchedule(
-            dbV, *pred, opts.policy, opts.mode, cost, initial);
+            dbV, *pred, opts.policy, opts.mode, cost, initial,
+            opts.observer);
     }
     return *sparseAdaptCache;
 }
@@ -141,7 +144,7 @@ Comparison::sparseAdaptRobust(const FaultSpec &spec, bool guarded,
     ro.useGuard = guarded;
     RobustAdaptResult res = robustSparseAdaptSchedule(
         dbV, *pred, opts.policy, opts.mode, cost, initial,
-        injector ? &*injector : nullptr, ro);
+        injector ? &*injector : nullptr, ro, opts.observer);
 
     RobustEval out;
     out.eval = evaluateSchedule(dbV, res.schedule, cost, opts.mode,

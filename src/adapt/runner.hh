@@ -31,6 +31,14 @@ struct ComparisonOptions
     double profilingFraction = 0.25;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Optional observability sink (not owned; must outlive the
+     * Comparison). When set, the shared EpochDb exports sim/ metrics
+     * into it and the SparseAdapt loops journal their decision trail.
+     * Pure observer: every ScheduleEval is identical without it.
+     */
+    obs::RunObserver *observer = nullptr;
 };
 
 /**

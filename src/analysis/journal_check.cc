@@ -1,0 +1,196 @@
+#include "analysis/journal_check.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hh"
+#include "sim/config.hh"
+
+namespace sadapt::analysis {
+
+namespace {
+
+/** Look up a Param by its journal slug (paramName()). */
+std::optional<Param>
+paramBySlug(const std::string &slug)
+{
+    for (Param p : allParams()) {
+        if (paramName(p) == slug)
+            return p;
+    }
+    return std::nullopt;
+}
+
+/** A config-spec field must parse back into a legal HwConfig. */
+void
+checkSpecField(Report &report, const obs::JournalEvent &ev,
+               std::string_view key, const std::string &name)
+{
+    const auto spec = ev.strField(key);
+    if (!spec) {
+        report.add("journal-missing-field", name, ev.seq + 1,
+                   Severity::Error,
+                   "'" + ev.type + "' event lacks string field '" +
+                       std::string(key) + "'");
+        return;
+    }
+    const Result<HwConfig> cfg = parseConfig(*spec);
+    if (!cfg.isOk()) {
+        report.add("journal-bad-config", name, ev.seq + 1,
+                   Severity::Error,
+                   "'" + ev.type + "' event field '" +
+                       std::string(key) +
+                       "' is not a legal config spec: " +
+                       cfg.message());
+    }
+}
+
+void
+checkPolicyEvent(Report &report, const obs::JournalEvent &ev,
+                 const std::string &name)
+{
+    const auto slug = ev.strField("param");
+    if (!slug) {
+        report.add("journal-missing-field", name, ev.seq + 1,
+                   Severity::Error,
+                   "'policy' event lacks string field 'param'");
+        return;
+    }
+    const auto p = paramBySlug(*slug);
+    if (!p) {
+        report.add("journal-bad-param", name, ev.seq + 1,
+                   Severity::Error,
+                   "'policy' event names unknown parameter '" + *slug +
+                       "'");
+        return;
+    }
+    const std::int64_t card = paramCardinality(*p);
+    for (const char *key : {"from", "to"}) {
+        const auto v = ev.intField(key);
+        if (!v) {
+            report.add("journal-missing-field", name, ev.seq + 1,
+                       Severity::Error,
+                       "'policy' event lacks integer field '" +
+                           std::string(key) + "'");
+        } else if (*v < 0 || *v >= card) {
+            report.add("journal-bad-param-value", name, ev.seq + 1,
+                       Severity::Error,
+                       str("'policy' event value ", *v,
+                           " out of range for parameter '", *slug,
+                           "' (cardinality ", card, ")"));
+        }
+    }
+}
+
+void
+checkPredictionEvent(Report &report, const obs::JournalEvent &ev,
+                     const std::string &name)
+{
+    for (Param p : allParams()) {
+        const auto v = ev.intField(paramName(p));
+        if (!v)
+            continue; // per-tree fields are optional
+        const std::int64_t card = paramCardinality(p);
+        if (*v < 0 || *v >= card) {
+            report.add("journal-bad-param-value", name, ev.seq + 1,
+                       Severity::Error,
+                       str("'prediction' event value ", *v,
+                           " out of range for parameter '",
+                           paramName(p), "' (cardinality ", card,
+                           ")"));
+        }
+    }
+}
+
+} // namespace
+
+Report
+checkJournalEvents(const std::vector<obs::JournalEvent> &events,
+                   const std::string &name)
+{
+    Report report;
+    const std::vector<std::string> &types = obs::journalEventTypes();
+
+    std::uint64_t expect_seq = 0;
+    std::uint64_t last_epoch = 0;
+    double segment_t = 0.0;
+    bool first = true;
+    for (const obs::JournalEvent &ev : events) {
+        if (ev.seq != expect_seq) {
+            report.add("journal-seq-gap", name, ev.seq + 1,
+                       Severity::Error,
+                       str("sequence number ", ev.seq, " (expected ",
+                           expect_seq, ")"));
+            expect_seq = ev.seq; // resync to keep later checks useful
+        }
+        ++expect_seq;
+
+        if (std::find(types.begin(), types.end(), ev.type) ==
+            types.end()) {
+            report.add("journal-unknown-type", name, ev.seq + 1,
+                       Severity::Warning,
+                       "unknown event type '" + ev.type + "'");
+        }
+
+        // Epoch ids are monotone within a control-loop segment; a
+        // reset to 0 starts a new segment (one journal may hold
+        // several loops).
+        const bool new_segment = !first && ev.epoch == 0 &&
+            last_epoch > 0;
+        if (new_segment)
+            segment_t = 0.0;
+        if (!first && !new_segment && ev.epoch < last_epoch) {
+            report.add("journal-epoch-regression", name, ev.seq + 1,
+                       Severity::Error,
+                       str("epoch id ", ev.epoch,
+                           " regresses below ", last_epoch,
+                           " without a segment reset"));
+        }
+        if (ev.simTime < 0.0) {
+            report.add("journal-negative-time", name, ev.seq + 1,
+                       Severity::Error, "negative sim-time");
+        } else if (!new_segment && ev.simTime + 1e-12 < segment_t) {
+            report.add("journal-time-regression", name, ev.seq + 1,
+                       Severity::Error,
+                       str("sim-time ", ev.simTime,
+                           " regresses below ", segment_t));
+        }
+        segment_t = std::max(segment_t, ev.simTime);
+        last_epoch = ev.epoch;
+        first = false;
+
+        if (ev.type == "reconfig") {
+            checkSpecField(report, ev, "from", name);
+            checkSpecField(report, ev, "to", name);
+        } else if (ev.type == "epoch") {
+            checkSpecField(report, ev, "cfg", name);
+        } else if (ev.type == "policy") {
+            checkPolicyEvent(report, ev, name);
+        } else if (ev.type == "prediction") {
+            checkPredictionEvent(report, ev, name);
+        }
+    }
+    return report;
+}
+
+Report
+checkJournalFile(const std::string &path)
+{
+    Report report;
+    const Result<obs::JournalRead> read = obs::readJournalFile(path);
+    if (!read.isOk()) {
+        report.add("journal-parse", path, 0, Severity::Error,
+                   read.message());
+        return report;
+    }
+    if (read.value().truncated) {
+        report.add("journal-truncated", path,
+                   read.value().events.size() + 1, Severity::Warning,
+                   "final line is a partial record (torn append); "
+                   "events before it were recovered");
+    }
+    report.merge(checkJournalEvents(read.value().events, path));
+    return report;
+}
+
+} // namespace sadapt::analysis

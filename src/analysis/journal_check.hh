@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Validator for observability event journals (obs/journal.hh).
+ *
+ * A journal is the audit trail other tooling (sadapt_report, bench
+ * post-processing) trusts blindly, so this checker enforces what the
+ * writer promises: parsable schema-v1 JSONL with contiguous sequence
+ * numbers, epoch ids that are monotone within each control-loop
+ * segment (a reset to 0 starts a new segment — one journal may hold
+ * several loops, e.g. guarded + unguarded robust runs), known event
+ * types, and reconfig/policy/prediction events that reference legal
+ * configuration parameter values (re-using the sim/config machinery
+ * that bounds the space).
+ */
+
+#ifndef SADAPT_ANALYSIS_JOURNAL_CHECK_HH
+#define SADAPT_ANALYSIS_JOURNAL_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "obs/journal.hh"
+
+namespace sadapt::analysis {
+
+/** Validate already-parsed journal events (name used in findings). */
+Report checkJournalEvents(const std::vector<obs::JournalEvent> &events,
+                          const std::string &name);
+
+/** Read and validate a journal file. */
+Report checkJournalFile(const std::string &path);
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_JOURNAL_CHECK_HH

@@ -5,16 +5,69 @@
 
 namespace sadapt {
 
+namespace {
+
+/**
+ * The threshold is read from SADAPT_LOG_LEVEL exactly once; a value
+ * below 0 marks "not yet initialized". Kept as a plain int so the
+ * lazy init needs no dynamic initialization order guarantees.
+ */
+int levelV = -1;
+
+LogLevel
+currentLevel()
+{
+    if (levelV < 0) {
+        const char *env = std::getenv("SADAPT_LOG_LEVEL");
+        levelV = static_cast<int>(
+            env ? parseLogLevel(env) : LogLevel::Info);
+    }
+    return static_cast<LogLevel>(levelV);
+}
+
+} // namespace
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "warn")
+        return LogLevel::Warn;
+    return LogLevel::Info;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelV = static_cast<int>(level);
+}
+
+void
+debug(const std::string &msg)
+{
+    if (currentLevel() <= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (currentLevel() <= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (currentLevel() <= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void

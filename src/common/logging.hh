@@ -14,10 +14,37 @@
 
 namespace sadapt {
 
-/** Print an informational message to stderr. */
+/**
+ * Severity levels for the diagnostic stream. Messages below the
+ * global threshold are suppressed; fatal()/panic() always print.
+ */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+};
+
+/** Parse "debug"/"info"/"warn" (case-sensitive); Info on no match. */
+LogLevel parseLogLevel(const std::string &name);
+
+/**
+ * The process-wide threshold. Initialized lazily from the
+ * SADAPT_LOG_LEVEL environment variable (debug|info|warn) on first
+ * use; defaults to Info so debug() is silent unless asked for.
+ */
+LogLevel logLevel();
+
+/** Override the threshold programmatically (wins over the env var). */
+void setLogLevel(LogLevel level);
+
+/** Print a debug message to stderr (suppressed unless Debug). */
+void debug(const std::string &msg);
+
+/** Print an informational message to stderr (suppressed above Info). */
 void inform(const std::string &msg);
 
-/** Print a warning message to stderr. */
+/** Print a warning message to stderr (suppressed above Warn). */
 void warn(const std::string &msg);
 
 /** Report a user error and exit(1). */

@@ -111,4 +111,15 @@ class [[nodiscard]] Result
 
 } // namespace sadapt
 
+/**
+ * Evaluate an expression yielding a Status and early-return it from
+ * the enclosing Status-returning function when it is an error.
+ */
+#define SADAPT_TRY_STATUS(expr)                                       \
+    do {                                                              \
+        ::sadapt::Status sadapt_try_status_ = (expr);                 \
+        if (!sadapt_try_status_.isOk())                               \
+            return sadapt_try_status_;                                \
+    } while (false)
+
 #endif // SADAPT_COMMON_STATUS_HH

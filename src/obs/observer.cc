@@ -1,0 +1,48 @@
+#include "obs/observer.hh"
+
+#include <fstream>
+#include <ostream>
+
+namespace sadapt::obs {
+
+void
+RunObserver::attachJournal(std::ostream &out)
+{
+    ownedOutV.reset();
+    writerV = std::make_unique<JournalWriter>(out);
+}
+
+Status
+RunObserver::openJournal(const std::string &path)
+{
+    auto out = std::make_unique<std::ofstream>(path);
+    if (!*out)
+        return Status::error("cannot create journal: " + path);
+    ownedOutV = std::move(out);
+    writerV = std::make_unique<JournalWriter>(*ownedOutV);
+    return Status::ok();
+}
+
+void
+RunObserver::emit(std::string path, std::string type,
+                  std::vector<std::pair<std::string, FieldValue>> fields)
+{
+    if (!writerV)
+        return;
+    JournalEvent ev;
+    ev.epoch = epochV;
+    ev.simTime = simTimeV;
+    ev.path = std::move(path);
+    ev.type = std::move(type);
+    ev.fields = std::move(fields);
+    writerV->write(std::move(ev));
+}
+
+void
+RunObserver::flush()
+{
+    if (ownedOutV)
+        ownedOutV->flush();
+}
+
+} // namespace sadapt::obs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RunObserver: the single handle a run threads through the simulator
+ * and the adaptation loop to collect observability data.
+ *
+ * It bundles the metrics registry and an optional journal writer and
+ * carries the current epoch id / simulated time so emitting components
+ * don't have to. Every hook site takes a `RunObserver *` that may be
+ * null; a null observer must cost one branch and change nothing —
+ * the control loop's decisions are identical with and without one
+ * attached (enforced by tests/test_obs_determinism.cc).
+ */
+
+#ifndef SADAPT_OBS_OBSERVER_HH
+#define SADAPT_OBS_OBSERVER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+#include "obs/journal.hh"
+#include "obs/metrics.hh"
+
+namespace sadapt::obs {
+
+/** Per-run observability context: metrics + optional journal. */
+class RunObserver
+{
+  public:
+    RunObserver() = default;
+
+    // The observer hands out instrument references; moving it would
+    // invalidate the journal's stream pointer bookkeeping.
+    RunObserver(const RunObserver &) = delete;
+    RunObserver &operator=(const RunObserver &) = delete;
+
+    /** The run's metric registry (always available). */
+    MetricRegistry &metrics() { return metricsV; }
+    const MetricRegistry &metrics() const { return metricsV; }
+
+    /** Start journaling to a caller-owned stream (e.g. for tests). */
+    void attachJournal(std::ostream &out);
+
+    /** Start journaling to a file; fails if it cannot be created. */
+    [[nodiscard]] Status openJournal(const std::string &path);
+
+    /** The journal writer, or null when no journal is attached. */
+    JournalWriter *journal() { return writerV.get(); }
+
+    /**
+     * Enter an epoch: events emitted until the next call are stamped
+     * with this epoch id and the simulated time at its start.
+     */
+    void
+    beginEpoch(std::uint64_t epoch, double sim_time)
+    {
+        epochV = epoch;
+        simTimeV = sim_time;
+    }
+
+    std::uint64_t epoch() const { return epochV; }
+    double simTime() const { return simTimeV; }
+
+    /**
+     * Append one event stamped with the current epoch context; a
+     * no-op when no journal is attached.
+     */
+    void emit(std::string path, std::string type,
+              std::vector<std::pair<std::string, FieldValue>> fields =
+                  {});
+
+    /** Flush the journal stream (no-op without a journal). */
+    void flush();
+
+  private:
+    MetricRegistry metricsV;
+    std::unique_ptr<std::ofstream> ownedOutV;
+    std::unique_ptr<JournalWriter> writerV;
+    std::uint64_t epochV = 0;
+    double simTimeV = 0.0;
+};
+
+} // namespace sadapt::obs
+
+#endif // SADAPT_OBS_OBSERVER_HH

@@ -1,0 +1,35 @@
+#include "obs/prof.hh"
+
+#include <ostream>
+
+namespace sadapt::obs {
+
+ProfRegistry &
+ProfRegistry::instance()
+{
+    static ProfRegistry reg;
+    return reg;
+}
+
+std::vector<ProfSite>
+ProfRegistry::snapshot() const
+{
+    std::vector<ProfSite> out;
+    out.reserve(sites.size());
+    for (const auto &[name, site] : sites)
+        out.push_back(site);
+    return out;
+}
+
+void
+ProfRegistry::writeProfileText(std::ostream &out) const
+{
+    out << "sadapt-prof v1\n";
+    for (const auto &[name, site] : sites) {
+        out << "site " << name << " calls " << site.calls
+            << " total_ns " << site.totalNs << '\n';
+    }
+    out << "end\n";
+}
+
+} // namespace sadapt::obs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scoped host wall-time profiling for the trace-replay engine.
+ *
+ * SADAPT_PROF_SCOPE("sim/replay/heap") opens an RAII timer that
+ * charges the scope's monotonic-clock duration to a named site in the
+ * process-wide ProfRegistry. The whole facility compiles to nothing
+ * unless the build enables it (cmake -DSADAPT_PROF=ON, which defines
+ * SADAPT_ENABLE_PROF): wall-clock reads are host-dependent, so they
+ * are kept out of default builds and out of every deterministic
+ * artifact (metrics snapshots, journals). Profile data only ever
+ * reaches the separate writeProfileText() dump.
+ */
+
+#ifndef SADAPT_OBS_PROF_HH
+#define SADAPT_OBS_PROF_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sadapt::obs {
+
+/** Aggregated wall-time for one profiled site. */
+struct ProfSite
+{
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t totalNs = 0;
+};
+
+/**
+ * Process-wide accumulator of profiled scopes. Not thread-safe: the
+ * replay engine is single-threaded, and profiling is a development
+ * switch, not a production feature.
+ */
+class ProfRegistry
+{
+  public:
+    static ProfRegistry &instance();
+
+    void
+    record(const std::string &name, std::uint64_t ns)
+    {
+        ProfSite &s = sites[name];
+        s.name = name;
+        ++s.calls;
+        s.totalNs += ns;
+    }
+
+    /** All sites, sorted by name. */
+    std::vector<ProfSite> snapshot() const;
+
+    void reset() { sites.clear(); }
+
+    /**
+     * Human-readable dump:
+     *
+     *   sadapt-prof v1
+     *   site sim/replay/heap calls 12 total_ns 48211
+     *   end
+     */
+    void writeProfileText(std::ostream &out) const;
+
+  private:
+    ProfRegistry() = default;
+
+    std::map<std::string, ProfSite> sites;
+};
+
+/** RAII timer charging its lifetime to a ProfRegistry site. */
+class ProfScope
+{
+  public:
+    explicit ProfScope(const char *name)
+        : nameV(name), startV(std::chrono::steady_clock::now())
+    {
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+    ~ProfScope()
+    {
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - startV)
+                .count();
+        ProfRegistry::instance().record(
+            nameV, static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+    }
+
+  private:
+    const char *nameV;
+    std::chrono::steady_clock::time_point startV;
+};
+
+} // namespace sadapt::obs
+
+#define SADAPT_PROF_CONCAT2(a, b) a##b
+#define SADAPT_PROF_CONCAT(a, b) SADAPT_PROF_CONCAT2(a, b)
+
+#ifdef SADAPT_ENABLE_PROF
+#define SADAPT_PROF_SCOPE(name)                                       \
+    ::sadapt::obs::ProfScope SADAPT_PROF_CONCAT(sadapt_prof_scope_,   \
+                                                __LINE__)(name)
+#else
+#define SADAPT_PROF_SCOPE(name)                                       \
+    do {                                                              \
+    } while (false)
+#endif
+
+#endif // SADAPT_OBS_PROF_HH

@@ -1,0 +1,296 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace sadapt::obs {
+
+namespace {
+
+/** Fixed short decimal for report tables (deterministic). */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+fieldText(const FieldValue &v)
+{
+    if (std::holds_alternative<std::int64_t>(v))
+        return std::to_string(std::get<std::int64_t>(v));
+    if (std::holds_alternative<double>(v))
+        return num(std::get<double>(v));
+    if (std::holds_alternative<bool>(v))
+        return std::get<bool>(v) ? "true" : "false";
+    return std::get<std::string>(v);
+}
+
+std::string
+fieldOr(const JournalEvent &ev, std::string_view key,
+        const std::string &fallback)
+{
+    const FieldValue *v = ev.field(key);
+    return v != nullptr ? fieldText(*v) : fallback;
+}
+
+} // namespace
+
+void
+renderTimeline(const std::vector<JournalEvent> &events,
+               std::ostream &out)
+{
+    out << "== decision timeline ==\n";
+    bool any = false;
+    for (const JournalEvent &ev : events) {
+        if (ev.type == "run")
+            continue;
+        any = true;
+        if (ev.type == "epoch") {
+            out << "epoch " << ev.epoch << " t=" << num(ev.simTime)
+                << "s cfg=" << fieldOr(ev, "cfg", "?")
+                << " seconds=" << fieldOr(ev, "seconds", "?")
+                << " metric=" << fieldOr(ev, "metric", "?") << '\n';
+        } else if (ev.type == "prediction") {
+            out << "  prediction:";
+            for (const auto &[k, v] : ev.fields) {
+                if (k != "cfg")
+                    out << ' ' << k << '=' << fieldText(v);
+            }
+            out << '\n';
+        } else if (ev.type == "policy") {
+            out << "  policy: " << fieldOr(ev, "param", "?") << ' '
+                << fieldOr(ev, "from", "?") << "->"
+                << fieldOr(ev, "to", "?") << ' '
+                << (ev.boolField("accepted").value_or(false)
+                        ? "accepted"
+                        : "vetoed")
+                << " (cost " << fieldOr(ev, "cost_s", "?") << "s"
+                << (ev.boolField("flush").value_or(false) ? ", flush"
+                                                          : "")
+                << ")\n";
+        } else if (ev.type == "reconfig") {
+            out << "  reconfig: " << fieldOr(ev, "from", "?")
+                << " -> " << fieldOr(ev, "to", "?") << " (cost "
+                << fieldOr(ev, "cost_s", "?") << "s, "
+                << fieldOr(ev, "cost_j", "?") << "J)\n";
+        } else if (ev.type == "guard") {
+            out << "  guard: " << fieldOr(ev, "verdict", "?")
+                << " (flagged " << fieldOr(ev, "flagged", "0")
+                << ")\n";
+        } else if (ev.type == "watchdog") {
+            out << "  watchdog: " << fieldOr(ev, "from", "?")
+                << " -> " << fieldOr(ev, "to", "?") << '\n';
+        } else if (ev.type == "fault") {
+            out << "  fault: " << fieldOr(ev, "kind", "?") << ' '
+                << fieldOr(ev, "detail", "") << '\n';
+        } else {
+            out << "  " << ev.type << " (" << ev.path << ")\n";
+        }
+    }
+    if (!any)
+        out << "(no events)\n";
+}
+
+void
+renderReconfigSummary(const std::vector<JournalEvent> &events,
+                      std::ostream &out)
+{
+    struct ParamTally
+    {
+        std::uint64_t proposed = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t vetoed = 0;
+    };
+    std::map<std::string, ParamTally> per_param;
+    std::uint64_t applied = 0;
+    double applied_cost_s = 0.0, applied_cost_j = 0.0;
+    for (const JournalEvent &ev : events) {
+        if (ev.type == "policy") {
+            ParamTally &t = per_param[fieldOr(ev, "param", "?")];
+            ++t.proposed;
+            if (ev.boolField("accepted").value_or(false))
+                ++t.accepted;
+            else
+                ++t.vetoed;
+        } else if (ev.type == "reconfig") {
+            ++applied;
+            applied_cost_s += ev.numField("cost_s").value_or(0.0);
+            applied_cost_j += ev.numField("cost_j").value_or(0.0);
+        }
+    }
+
+    out << "== reconfiguration summary ==\n";
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-12s %9s %9s %9s\n", "param",
+                  "proposed", "accepted", "vetoed");
+    out << line;
+    for (const auto &[param, t] : per_param) {
+        std::snprintf(line, sizeof(line), "%-12s %9llu %9llu %9llu\n",
+                      param.c_str(),
+                      static_cast<unsigned long long>(t.proposed),
+                      static_cast<unsigned long long>(t.accepted),
+                      static_cast<unsigned long long>(t.vetoed));
+        out << line;
+    }
+    if (per_param.empty())
+        out << "(no policy decisions)\n";
+    out << "applied reconfigurations: " << applied << " (cost "
+        << num(applied_cost_s) << "s, " << num(applied_cost_j)
+        << "J)\n";
+}
+
+void
+renderMetricRollups(const std::vector<MetricSample> &metrics,
+                    std::ostream &out)
+{
+    out << "== metrics ==\n";
+    if (metrics.empty()) {
+        out << "(no metrics)\n";
+        return;
+    }
+    // Group by top-level path component; samples arrive name-sorted
+    // from readMetricsText, so groups are contiguous.
+    std::vector<MetricSample> sorted = metrics;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    std::string group;
+    for (const MetricSample &m : sorted) {
+        const std::size_t slash = m.name.find('/');
+        const std::string g = slash == std::string::npos
+            ? std::string("(root)")
+            : m.name.substr(0, slash);
+        if (g != group) {
+            group = g;
+            out << "[" << group << "]\n";
+        }
+        out << "  " << m.name << " = ";
+        switch (m.kind) {
+          case MetricKind::Counter:
+            out << m.counterValue;
+            break;
+          case MetricKind::Gauge:
+            out << num(m.gaugeValue);
+            break;
+          case MetricKind::Histogram: {
+            out << "count " << m.histCount << " sum " << m.histSum;
+            if (m.histCount > 0)
+                out << " mean "
+                    << num(static_cast<double>(m.histSum) /
+                           static_cast<double>(m.histCount));
+            break;
+          }
+        }
+        out << '\n';
+    }
+}
+
+void
+renderReport(const std::vector<JournalEvent> &events,
+             const std::vector<MetricSample> &metrics,
+             std::ostream &out)
+{
+    out << "sadapt-report\n";
+    for (const JournalEvent &ev : events) {
+        if (ev.type != "run")
+            continue;
+        out << "run:";
+        for (const auto &[k, v] : ev.fields)
+            out << ' ' << k << '=' << fieldText(v);
+        out << '\n';
+    }
+    out << "events: " << events.size() << "\n\n";
+    renderTimeline(events, out);
+    out << '\n';
+    renderReconfigSummary(events, out);
+    out << '\n';
+    renderMetricRollups(metrics, out);
+}
+
+namespace {
+
+void
+appendTraceString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out += c;
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+writeChromeTrace(const std::vector<JournalEvent> &events,
+                 std::ostream &out)
+{
+    // One virtual process, two tracks: epochs (tid 0) as duration
+    // slices, control events (tid 1) as instants. Simulated seconds
+    // map to trace microseconds.
+    constexpr double us = 1e6;
+    out << "{\"traceEvents\":[\n";
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"sparseadapt\"}},\n";
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"epochs\"}},\n";
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":1,\"args\":{\"name\":\"control\"}}";
+    for (const JournalEvent &ev : events) {
+        std::string line;
+        if (ev.type == "epoch") {
+            const double dur =
+                ev.numField("seconds").value_or(0.0) * us;
+            line += "{\"name\":";
+            appendTraceString(line,
+                              "epoch " + std::to_string(ev.epoch));
+            line += ",\"cat\":\"epoch\",\"ph\":\"X\",\"ts\":";
+            line += num(ev.simTime * us);
+            line += ",\"dur\":";
+            line += num(dur);
+            line += ",\"pid\":1,\"tid\":0,\"args\":{\"cfg\":";
+            appendTraceString(line, fieldOr(ev, "cfg", "?"));
+            line += ",\"metric\":";
+            appendTraceString(line, fieldOr(ev, "metric", "?"));
+            line += "}}";
+        } else if (ev.type == "reconfig" || ev.type == "watchdog" ||
+                   ev.type == "fault") {
+            line += "{\"name\":";
+            if (ev.type == "reconfig") {
+                appendTraceString(line, "reconfig");
+            } else if (ev.type == "watchdog") {
+                appendTraceString(line,
+                                  "watchdog " +
+                                      fieldOr(ev, "to", "?"));
+            } else {
+                appendTraceString(line,
+                                  "fault " + fieldOr(ev, "kind", "?"));
+            }
+            line += ",\"cat\":";
+            appendTraceString(line, ev.type);
+            line += ",\"ph\":\"i\",\"s\":\"g\",\"ts\":";
+            line += num(ev.simTime * us);
+            line += ",\"pid\":1,\"tid\":1,\"args\":{\"epoch\":";
+            line += std::to_string(ev.epoch);
+            line += "}}";
+        } else {
+            continue;
+        }
+        out << ",\n" << line;
+    }
+    out << "\n]}\n";
+}
+
+} // namespace sadapt::obs

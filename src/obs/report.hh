@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Rendering of observability artifacts (journal + metrics snapshot)
+ * into the human-readable report and the Chrome-trace export that
+ * tools/sadapt_report.cc serves. Library functions so tests can
+ * golden-file the output without spawning the CLI.
+ */
+
+#ifndef SADAPT_OBS_REPORT_HH
+#define SADAPT_OBS_REPORT_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/journal.hh"
+#include "obs/metrics.hh"
+
+namespace sadapt::obs {
+
+/**
+ * Per-epoch decision timeline: every epoch on one line, with the
+ * predictions, hysteresis decisions, reconfigurations and guard /
+ * watchdog activity of that epoch indented beneath it.
+ */
+void renderTimeline(const std::vector<JournalEvent> &events,
+                    std::ostream &out);
+
+/**
+ * Reconfiguration summary table: per parameter, how many switches the
+ * predictor proposed and how many the hysteresis policy accepted or
+ * vetoed, plus the applied-reconfiguration totals.
+ */
+void renderReconfigSummary(const std::vector<JournalEvent> &events,
+                           std::ostream &out);
+
+/** Metric roll-ups grouped by top-level component. */
+void renderMetricRollups(const std::vector<MetricSample> &metrics,
+                         std::ostream &out);
+
+/**
+ * The full report: run header, timeline, reconfiguration summary and
+ * metric roll-ups. Either input may be empty.
+ */
+void renderReport(const std::vector<JournalEvent> &events,
+                  const std::vector<MetricSample> &metrics,
+                  std::ostream &out);
+
+/**
+ * Chrome-trace (chrome://tracing / Perfetto "traceEvents") JSON:
+ * epochs become duration ("X") slices on a virtual track and applied
+ * reconfigurations become instant ("i") events, with simulated time
+ * mapped to microseconds.
+ */
+void writeChromeTrace(const std::vector<JournalEvent> &events,
+                      std::ostream &out);
+
+} // namespace sadapt::obs
+
+#endif // SADAPT_OBS_REPORT_HH

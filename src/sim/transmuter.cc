@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "obs/prof.hh"
 #include "sim/cache.hh"
 #include "sim/faults.hh"
 #include "sim/memory.hh"
@@ -77,6 +78,9 @@ struct Engine
     HwConfig cfg;
     const DvfsModel &dvfs;
     const Trace &trace;
+
+    /** Optional per-epoch metric export target (pure observer). */
+    obs::MetricRegistry *metrics = nullptr;
 
     std::uint32_t numGpes;
     std::uint32_t tiles;
@@ -176,6 +180,7 @@ struct Engine
     double
     reconfigure(const HwConfig &to, bool flush_l1, bool flush_l2)
     {
+        SADAPT_PROF_SCOPE("sim/replay/reconfigure");
         SADAPT_ASSERT(to.l1Type == cfg.l1Type,
                       "L1 memory type is a compile-time choice");
         const Hertz old_freq = freq;
@@ -413,6 +418,7 @@ struct Engine
     EpochRecord
     closeEpoch(std::uint32_t index, Cycles start, Cycles end)
     {
+        SADAPT_PROF_SCOPE("sim/replay/close_epoch");
         EpochRecord rec;
         rec.index = index;
         rec.phase = static_cast<int>(
@@ -481,6 +487,9 @@ struct Engine
         rec.energy.background += pendingPenaltyEnergy;
         pendingPenaltyEnergy = 0.0;
 
+        if (metrics != nullptr)
+            exportMetrics(rec, xa, xc);
+
         // Reset accumulators for the next epoch.
         ac = Accum{};
         std::fill(epochFpByPhase.begin(), epochFpByPhase.end(), 0.0);
@@ -489,6 +498,33 @@ struct Engine
         l2Xbar.resetStats();
         mem.resetStats();
         return rec;
+    }
+
+    /** Roll this epoch's accumulators into the metrics registry. */
+    void
+    exportMetrics(const EpochRecord &rec, std::uint64_t l1_xbar_acc,
+                  std::uint64_t l1_xbar_cont)
+    {
+        obs::MetricRegistry &m = *metrics;
+        m.counter("sim/l1/accesses").add(ac.l1Acc);
+        m.counter("sim/l1/misses").add(ac.l1Miss);
+        m.counter("sim/l1/prefetches").add(ac.l1PfIssued);
+        m.counter("sim/l2/accesses").add(ac.l2Acc);
+        m.counter("sim/l2/misses").add(ac.l2Miss);
+        m.counter("sim/l2/prefetches").add(ac.l2PfIssued);
+        m.counter("sim/xbar/l1_accesses").add(l1_xbar_acc);
+        m.counter("sim/xbar/l1_contentions").add(l1_xbar_cont);
+        m.counter("sim/xbar/l2_accesses").add(l2Xbar.accesses());
+        m.counter("sim/xbar/l2_contentions").add(l2Xbar.contentions());
+        m.counter("sim/mem/bytes_read")
+            .add(static_cast<std::uint64_t>(mem.bytesRead()));
+        m.counter("sim/mem/bytes_written")
+            .add(static_cast<std::uint64_t>(mem.bytesWritten()));
+        m.counter("sim/core/gpe_ops").add(ac.gpeOps);
+        m.counter("sim/core/gpe_fp_ops").add(ac.gpeFpOps);
+        m.counter("sim/core/lcp_ops").add(ac.lcpOps);
+        m.histogram("sim/epoch_cycles").observe(rec.cycles);
+        m.gauge("sim/dvfs/clock_norm").set(rec.counters.clockNorm);
     }
 };
 
@@ -544,7 +580,9 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
 {
     SADAPT_ASSERT(trace.shape() == paramsV.shape,
                   "trace shape does not match simulator shape");
+    SADAPT_PROF_SCOPE("sim/replay/run");
     Engine eng(paramsV, cfg, dvfs, trace);
+    eng.metrics = metricsV;
 
     SimResult result;
     result.config = cfg;

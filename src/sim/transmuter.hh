@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "sim/config.hh"
 #include "sim/counters.hh"
 #include "sim/dvfs.hh"
@@ -150,9 +151,22 @@ class Transmuter
 
     const RunParams &params() const { return paramsV; }
 
+    /**
+     * Register the simulator's components (caches, xbar, memory,
+     * prefetchers, DVFS) into a metrics registry; every subsequent
+     * run exports per-epoch totals under sim/. Pure observer — the
+     * simulated timing/energy is bit-identical with or without one
+     * attached. Null detaches.
+     */
+    void setMetrics(obs::MetricRegistry *metrics)
+    {
+        metricsV = metrics;
+    }
+
   private:
     RunParams paramsV;
     DvfsModel dvfs;
+    obs::MetricRegistry *metricsV = nullptr;
 
     SimResult runImpl(const Trace &trace, const HwConfig &cfg,
                       const Schedule *schedule,

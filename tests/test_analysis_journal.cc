@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the journal validator (analysis/journal_check.hh): the
+ * schema/monotonicity/config-legality rules on in-memory events and
+ * the file-level behaviour on committed fixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/journal_check.hh"
+
+using namespace sadapt;
+using namespace sadapt::analysis;
+using sadapt::obs::FieldValue;
+using sadapt::obs::JournalEvent;
+
+namespace {
+
+constexpr const char *kGoodSpec =
+    "type=cache,l1_sharing=private,l2_sharing=shared,l1_cap=4,"
+    "l2_cap=64,clock=250,prefetch=0";
+
+JournalEvent
+event(std::uint64_t seq, std::uint64_t epoch, double t,
+      const char *type,
+      std::vector<std::pair<std::string, FieldValue>> fields = {})
+{
+    JournalEvent ev;
+    ev.seq = seq;
+    ev.epoch = epoch;
+    ev.simTime = t;
+    ev.path = "adapt/test";
+    ev.type = type;
+    ev.fields = std::move(fields);
+    return ev;
+}
+
+bool
+hasFinding(const Report &report, const std::string &check_id)
+{
+    for (const Finding &f : report.findings()) {
+        if (f.checkId == check_id)
+            return true;
+    }
+    return false;
+}
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(SADAPT_TEST_DATA_DIR) + "/analysis/" + name;
+}
+
+} // namespace
+
+TEST(JournalCheck, CleanEventStreamHasNoFindings)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 0, 0.0, "run"),
+        event(1, 0, 0.0, "epoch", {{"cfg", std::string(kGoodSpec)}}),
+        event(2, 1, 0.5, "epoch", {{"cfg", std::string(kGoodSpec)}}),
+        // Second control loop: epoch ids restart, sim clock restarts.
+        event(3, 0, 0.0, "epoch", {{"cfg", std::string(kGoodSpec)}}),
+        event(4, 1, 0.4, "guard",
+              {{"verdict", std::string("ok")},
+               {"flagged", std::int64_t{0}}}),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(r.clean()) << r.findings().size();
+}
+
+TEST(JournalCheck, SequenceGapReported)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 0, 0.0, "run"),
+        event(2, 0, 0.0, "run"),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-seq-gap"));
+}
+
+TEST(JournalCheck, EpochRegressionWithoutResetReported)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 3, 0.0, "epoch", {{"cfg", std::string(kGoodSpec)}}),
+        event(1, 2, 0.1, "epoch", {{"cfg", std::string(kGoodSpec)}}),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-epoch-regression"));
+}
+
+TEST(JournalCheck, TimeRegressionWithinSegmentReported)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 0, 1.0, "run"),
+        event(1, 1, 0.5, "run"),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-time-regression"));
+}
+
+TEST(JournalCheck, NegativeTimeReported)
+{
+    std::vector<JournalEvent> events = {event(0, 0, -0.5, "run")};
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-negative-time"));
+}
+
+TEST(JournalCheck, UnknownEventTypeIsAWarning)
+{
+    std::vector<JournalEvent> events = {event(0, 0, 0.0, "telemetry")};
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-unknown-type"));
+    EXPECT_TRUE(r.clean()); // warnings don't fail the check
+}
+
+TEST(JournalCheck, IllegalConfigSpecReported)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 0, 0.0, "reconfig",
+              {{"from", std::string(kGoodSpec)},
+               {"to", std::string("type=cache,l1_cap=7")}}),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-bad-config"));
+}
+
+TEST(JournalCheck, MissingReconfigFieldReported)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 0, 0.0, "reconfig",
+              {{"from", std::string(kGoodSpec)}}),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    EXPECT_TRUE(hasFinding(r, "journal-missing-field"));
+}
+
+TEST(JournalCheck, PolicyParamValidation)
+{
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "policy",
+                  {{"param", std::string("warp_width")},
+                   {"from", std::int64_t{0}},
+                   {"to", std::int64_t{1}}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-bad-param"));
+    }
+    {
+        // l1_capacity has 5 legal values (indices 0..4).
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "policy",
+                  {{"param", std::string("l1_capacity")},
+                   {"from", std::int64_t{0}},
+                   {"to", std::int64_t{5}}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-bad-param-value"));
+    }
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "policy",
+                  {{"param", std::string("clock")},
+                   {"from", std::int64_t{1}},
+                   {"to", std::int64_t{3}}}),
+        };
+        EXPECT_TRUE(checkJournalEvents(events, "mem").clean());
+    }
+}
+
+TEST(JournalCheck, PredictionFieldsRangeChecked)
+{
+    std::vector<JournalEvent> events = {
+        event(0, 0, 0.0, "prediction",
+              {{"prefetch", std::int64_t{3}}}), // cardinality 3
+    };
+    EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                           "journal-bad-param-value"));
+}
+
+TEST(JournalCheck, GoodFixtureIsClean)
+{
+    const Report r = checkJournalFile(fixture("good.journal"));
+    for (const Finding &f : r.findings())
+        ADD_FAILURE() << f.checkId << ": " << f.message;
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(JournalCheck, TruncatedFixtureWarnsButRecovers)
+{
+    const Report r = checkJournalFile(fixture("truncated.journal"));
+    EXPECT_TRUE(hasFinding(r, "journal-truncated"));
+    EXPECT_TRUE(r.clean()); // torn append is recoverable
+}
+
+TEST(JournalCheck, BadFixturesFail)
+{
+    EXPECT_FALSE(
+        checkJournalFile(fixture("bad_epoch.journal")).clean());
+    EXPECT_FALSE(
+        checkJournalFile(fixture("bad_config.journal")).clean());
+    EXPECT_FALSE(
+        checkJournalFile(fixture("corrupt.journal")).clean());
+}
+
+TEST(JournalCheck, UnreadableFileIsAParseError)
+{
+    const Report r = checkJournalFile(fixture("does_not_exist.jsonl"));
+    EXPECT_TRUE(hasFinding(r, "journal-parse"));
+}

@@ -8,11 +8,14 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "adapt/guard.hh"
 #include "adapt/policy.hh"
 #include "adapt/predictor.hh"
 #include "adapt/telemetry.hh"
+#include "obs/journal.hh"
+#include "obs/observer.hh"
 
 using namespace sadapt;
 
@@ -262,6 +265,59 @@ TEST(Watchdog, HoldsBaselineForHysteresisThenResumes)
     EXPECT_EQ(wd.state(), WatchdogState::Normal);
     EXPECT_FALSE(wd.observe(0.9, true).revert);
     EXPECT_NEAR(wd.reference(), 0.9, 0.05);
+}
+
+TEST(Watchdog, EveryTripEmitsExactlyOneTransitionEvent)
+{
+    // Degraded-mode transitions are part of the audit trail: each
+    // Normal -> Reverted trip (and each recovery) must appear as
+    // exactly one journaled watchdog event.
+    std::ostringstream journal;
+    obs::RunObserver observer;
+    observer.attachJournal(journal);
+
+    WatchdogOptions opts;
+    opts.degradedLimit = 2;
+    opts.holdEpochs = 2;
+    Watchdog wd(opts);
+    wd.attachObserver(&observer);
+
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 5; ++i)
+            wd.observe(1.0, true);
+        // Collapse until the watchdog trips, then ride out the hold.
+        for (int i = 0; wd.state() == WatchdogState::Normal && i < 20;
+             ++i)
+            wd.observe(0.1, true);
+        ASSERT_EQ(wd.state(), WatchdogState::Reverted);
+        for (int i = 0;
+             wd.state() == WatchdogState::Reverted && i < 20; ++i)
+            wd.observe(0.9, true);
+        ASSERT_EQ(wd.state(), WatchdogState::Normal);
+    }
+    EXPECT_EQ(wd.reverts(), 3u);
+
+    std::istringstream in(journal.str());
+    const auto read = sadapt::obs::readJournal(in);
+    ASSERT_TRUE(read.isOk()) << read.message();
+    std::size_t to_reverted = 0, to_normal = 0;
+    for (const auto &ev : read.value().events) {
+        ASSERT_EQ(ev.type, "watchdog");
+        ASSERT_EQ(ev.path, "adapt/watchdog");
+        const auto to = ev.strField("to");
+        ASSERT_TRUE(to.has_value());
+        if (*to == "reverted") {
+            ++to_reverted;
+            EXPECT_EQ(ev.strField("from"), "normal");
+        } else {
+            ++to_normal;
+            EXPECT_EQ(*to, "normal");
+            EXPECT_EQ(ev.strField("from"), "reverted");
+        }
+    }
+    // Exactly one event per edge: 3 trips, 3 recoveries.
+    EXPECT_EQ(to_reverted, wd.reverts());
+    EXPECT_EQ(to_normal, 3u);
 }
 
 TEST(Watchdog, CollapseDoesNotDragReferenceDown)

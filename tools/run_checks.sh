@@ -18,16 +18,18 @@ cmake -B "$build_dir" -S "$repo_root" \
 echo "== build"
 cmake --build "$build_dir" -j > /dev/null
 
-echo "== sadapt_check: sources, models, traces, specs"
+echo "== sadapt_check: sources, models, traces, specs, journals"
 "$build_dir/tools/sadapt_check" all \
     --root "$repo_root" \
     --src "$repo_root/src" \
     --model "$repo_root/tests/data/analysis/good.model" \
     --trace "$repo_root/tests/data/analysis/good.trace" \
     --specs "$repo_root/tests/data/analysis/good_specs.txt" \
+    --journal "$repo_root/tests/data/analysis/good.journal" \
     --baseline "$repo_root/tools/sadapt_check.baseline"
 
-echo "== ctest -L analysis"
-ctest --test-dir "$build_dir" -L analysis --output-on-failure -j "$(nproc)"
+echo "== ctest -L analysis|obs"
+ctest --test-dir "$build_dir" -L 'analysis|obs' --output-on-failure \
+    -j "$(nproc)"
 
 echo "== all checks passed"

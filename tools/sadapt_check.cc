@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/finding.hh"
+#include "analysis/journal_check.hh"
 #include "analysis/lint.hh"
 #include "analysis/model_check.hh"
 #include "analysis/spec_check.hh"
@@ -44,6 +45,7 @@ usage()
         "  model <file>...    verify decision-tree model files\n"
         "  trace <file>...    validate operation trace files\n"
         "  specs <file>...    validate config/fault spec-list files\n"
+        "  journal <file>...  validate observability event journals\n"
         "  config-space       self-check the config space encoding\n"
         "  lint <path>...     lint .cc/.hh files or directories\n"
         "  all                run everything (see options)\n"
@@ -55,6 +57,8 @@ usage()
         "  --model <file>     (all) verify this model; repeatable\n"
         "  --trace <file>     (all) validate this trace; repeatable\n"
         "  --specs <file>     (all) validate this spec list; "
+        "repeatable\n"
+        "  --journal <file>   (all) validate this journal; "
         "repeatable\n");
     std::exit(2);
 }
@@ -69,6 +73,7 @@ struct Options
     std::vector<std::string> models;
     std::vector<std::string> traces;
     std::vector<std::string> specs;
+    std::vector<std::string> journals;
 };
 
 Options
@@ -97,6 +102,8 @@ parseArgs(int argc, char **argv)
             o.traces.push_back(need(i));
         else if (arg == "--specs")
             o.specs.push_back(need(i));
+        else if (arg == "--journal")
+            o.journals.push_back(need(i));
         else if (arg.rfind("--", 0) == 0)
             usage();
         else
@@ -142,6 +149,11 @@ main(int argc, char **argv)
             usage();
         for (const auto &f : o.args)
             report.merge(checkSpecFile(f));
+    } else if (o.subcommand == "journal") {
+        if (o.args.empty())
+            usage();
+        for (const auto &f : o.args)
+            report.merge(checkJournalFile(f));
     } else if (o.subcommand == "config-space") {
         report.merge(checkConfigSpaceInvariants());
     } else if (o.subcommand == "lint") {
@@ -157,6 +169,8 @@ main(int argc, char **argv)
             report.merge(checkTraceFile(f));
         for (const auto &f : o.specs)
             report.merge(checkSpecFile(f));
+        for (const auto &f : o.journals)
+            report.merge(checkJournalFile(f));
     } else {
         usage();
     }

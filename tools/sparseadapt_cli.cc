@@ -24,6 +24,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "obs/observer.hh"
 #include "sim/config.hh"
 #include "sim/faults.hh"
 #include "sparse/io.hh"
@@ -43,6 +44,8 @@ struct CliOptions
     std::string policy = "hybrid";
     std::string faultSpec;
     std::string staticConfig;
+    std::string journalFile;
+    std::string metricsFile;
     double tolerance = 0.4;
     double scale = 0.25;
     double bandwidth = 1e9;
@@ -78,6 +81,10 @@ usage(const char *argv0)
         "SparseAdapt rows)\n"
         "  --config <spec>            extra static config row, e.g. "
         "type=spm,l1_cap=32\n"
+        "  --journal <file.jsonl>     write the decision event "
+        "journal\n"
+        "  --metrics <file>           write the metrics registry "
+        "snapshot\n"
         "  --seed <n>                 RNG seed (default 1)\n",
         argv0);
     std::exit(2);
@@ -123,6 +130,10 @@ parse(int argc, char **argv)
             o.faultSpec = need(i);
         } else if (arg == "--config") {
             o.staticConfig = need(i);
+        } else if (arg == "--journal") {
+            o.journalFile = need(i);
+        } else if (arg == "--metrics") {
+            o.metricsFile = need(i);
         } else if (arg == "--seed") {
             o.seed = std::atoll(need(i));
         } else {
@@ -205,11 +216,29 @@ main(int argc, char **argv)
                   "SparseAdapt control loop)");
     }
 
+    obs::RunObserver observer;
+    const bool observing =
+        !o.journalFile.empty() || !o.metricsFile.empty();
+    if (!o.journalFile.empty()) {
+        const Status st = observer.openJournal(o.journalFile);
+        if (!st.isOk())
+            fatal("--journal: " + st.message());
+        observer.emit("cli", "run",
+                      {{"kernel", o.kernel},
+                       {"dataset",
+                        o.matrixFile.empty() ? o.dataset
+                                             : o.matrixFile},
+                       {"mode", optModeName(o.mode)},
+                       {"policy", o.policy},
+                       {"seed", static_cast<std::int64_t>(o.seed)}});
+    }
+
     ComparisonOptions co;
     co.mode = o.mode;
     co.oracleSamples = o.samples;
     co.policy = Policy(policyKindOf(o.policy), o.tolerance);
     co.seed = o.seed;
+    co.observer = observing ? &observer : nullptr;
     Comparison cmp(wl, pred ? &*pred : nullptr, co);
 
     Table table;
@@ -269,5 +298,22 @@ main(int argc, char **argv)
     if (!pred)
         std::printf("\n(no --model given: SparseAdapt row skipped; "
                     "train one with the bench harness)\n");
+
+    if (!o.metricsFile.empty()) {
+        std::ofstream out(o.metricsFile);
+        if (!out)
+            fatal("--metrics: cannot create " + o.metricsFile);
+        observer.metrics().writeText(out);
+        std::printf("\nmetrics snapshot: %s\n", o.metricsFile.c_str());
+    }
+    if (!o.journalFile.empty()) {
+        observer.flush();
+        std::printf("%sjournal: %s (%llu events; inspect with "
+                    "sadapt_report)\n",
+                    o.metricsFile.empty() ? "\n" : "",
+                    o.journalFile.c_str(),
+                    static_cast<unsigned long long>(
+                        observer.journal()->eventsWritten()));
+    }
     return 0;
 }
