@@ -10,6 +10,7 @@
 #include "adapt/predictor.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/threading.hh"
 #include "sparse/suite.hh"
 
 namespace sadapt::bench {
@@ -82,6 +83,35 @@ sampleCount()
 {
     return static_cast<std::size_t>(
         envDouble("SPARSEADAPT_SAMPLES", 24));
+}
+
+unsigned
+benchJobs()
+{
+    return defaultJobs();
+}
+
+std::vector<HwConfig>
+standardStatics(MemType l1_type)
+{
+    return {baselineConfig(l1_type), bestAvgConfig(l1_type),
+            maxConfig(l1_type)};
+}
+
+void
+prefetchConfigs(Comparison &cmp, std::span<const HwConfig> cfgs,
+                BenchReport *report)
+{
+    const std::size_t before = cmp.db().simulatedConfigs();
+    const auto start = std::chrono::steady_clock::now();
+    cmp.db().ensure(cfgs);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (report != nullptr)
+        report->noteSweep(wall,
+                          cmp.db().simulatedConfigs() - before);
 }
 
 const Predictor &
@@ -191,6 +221,7 @@ defaultComparison(OptMode mode, PolicyKind policy, double tolerance)
     co.oracleSamples = sampleCount();
     co.policy = Policy(policy, tolerance);
     co.seed = 11;
+    co.jobs = benchJobs();
     co.observer = benchObserver();
     return co;
 }
@@ -274,6 +305,13 @@ BenchReport::add(const std::string &kernel, const std::string &config,
 }
 
 void
+BenchReport::noteSweep(double wall_seconds, std::uint64_t configs)
+{
+    sweepSecondsV += wall_seconds;
+    configsSimulatedV += configs;
+}
+
+void
 BenchReport::write() const
 {
     std::filesystem::create_directories("bench_results");
@@ -298,6 +336,9 @@ BenchReport::write() const
     out << "  \"host_wall_seconds\": " << wall << ",\n";
     out << "  \"scale\": " << datasetScale() << ",\n";
     out << "  \"samples\": " << sampleCount() << ",\n";
+    out << "  \"jobs\": " << benchJobs() << ",\n";
+    out << "  \"sweep_wall_seconds\": " << sweepSecondsV << ",\n";
+    out << "  \"configs_simulated\": " << configsSimulatedV << ",\n";
     out << "  \"results\": [";
     for (std::size_t i = 0; i < entriesV.size(); ++i) {
         const Entry &e = entriesV[i];

@@ -10,6 +10,9 @@
  *    core).
  *  - SPARSEADAPT_SAMPLES      configurations sampled for the ideal /
  *    oracle schemes (default 24; paper's artifact uses 256).
+ *  - SPARSEADAPT_JOBS         parallel replay workers for the config
+ *    sweeps (default: all hardware threads). Results are identical
+ *    for any value; only wall-clock time changes.
  *  - SPARSEADAPT_MODEL_DIR    cache directory for trained predictors
  *    (default bench_results/models).
  *  - SPARSEADAPT_JOURNAL      write the observability event journal
@@ -22,6 +25,8 @@
 #define SADAPT_BENCH_BENCH_COMMON_HH
 
 #include <chrono>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +57,12 @@ Workload suiteSpMSpM(const std::string &id, MemType l1_type,
 
 /** Oracle/ideal candidate sample count from the environment. */
 std::size_t sampleCount();
+
+/** Sweep worker count: SPARSEADAPT_JOBS or all hardware threads. */
+unsigned benchJobs();
+
+/** The Table 4 static systems (Baseline, BestAvg, Max). */
+std::vector<HwConfig> standardStatics(MemType l1_type);
 
 /**
  * Train (or load from the on-disk cache) the predictor for one
@@ -114,6 +125,13 @@ class BenchReport
     void add(const std::string &kernel, const std::string &config,
              double gflops, double gflops_per_watt);
 
+    /**
+     * Account one parallel sweep: host wall seconds spent and the
+     * number of configurations actually simulated (cache misses).
+     * Accumulated into "sweep_wall_seconds" / "configs_simulated".
+     */
+    void noteSweep(double wall_seconds, std::uint64_t configs);
+
     /** Write bench_results/BENCH_<name>.json. */
     void write() const;
 
@@ -129,7 +147,18 @@ class BenchReport
     std::string nameV;
     std::vector<Entry> entriesV;
     std::chrono::steady_clock::time_point startV;
+    double sweepSecondsV = 0.0;
+    std::uint64_t configsSimulatedV = 0;
 };
+
+/**
+ * Batch-replay a candidate set through a Comparison's epoch database
+ * (Comparison's jobs setting decides the parallelism) and account the
+ * sweep into `report` when non-null. Call before evaluation loops so
+ * their cache misses become one parallel batch.
+ */
+void prefetchConfigs(Comparison &cmp, std::span<const HwConfig> cfgs,
+                     BenchReport *report = nullptr);
 
 } // namespace sadapt::bench
 

@@ -40,6 +40,9 @@ runMode(OptMode mode, CsvWriter &csv, BenchReport &report)
         Comparison cmp(wl, &pred,
                        defaultComparison(mode, PolicyKind::Hybrid,
                                          0.4));
+        // Replay the static-config grid as one parallel batch.
+        const auto statics = standardStatics(MemType::Cache);
+        prefetchConfigs(cmp, statics, &report);
         const auto base = cmp.baseline();
         const auto best = cmp.bestAvg();
         const auto max = cmp.maxCfg();

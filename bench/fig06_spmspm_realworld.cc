@@ -23,7 +23,7 @@ using namespace sadapt::bench;
 namespace {
 
 void
-runMode(OptMode mode, CsvWriter &csv)
+runMode(OptMode mode, CsvWriter &csv, BenchReport &report)
 {
     const Predictor &pred = predictorFor(mode, MemType::Cache);
     Table table;
@@ -37,6 +37,9 @@ runMode(OptMode mode, CsvWriter &csv)
         Comparison cmp(wl, &pred,
                        defaultComparison(mode,
                                          PolicyKind::Conservative));
+        // Replay the static-config grid as one parallel batch.
+        const auto statics = standardStatics(MemType::Cache);
+        prefetchConfigs(cmp, statics, &report);
         const auto base = cmp.baseline();
         const auto best = cmp.bestAvg();
         const auto max = cmp.maxCfg();
@@ -64,6 +67,12 @@ runMode(OptMode mode, CsvWriter &csv)
             .cell(best.gflops()).cell(best.gflopsPerWatt())
             .cell(max.gflops()).cell(max.gflopsPerWatt());
         csv.endRow();
+        const std::string tag =
+            "matrix=" + id + ",mode=" + optModeName(mode);
+        report.add("spmspm", tag + ",scheme=baseline", base.gflops(),
+                   base.gflopsPerWatt());
+        report.add("spmspm", tag + ",scheme=sparseadapt", sa.gflops(),
+                   sa.gflopsPerWatt());
     }
 
     std::printf("\n--- %s mode ---\n", optModeName(mode).c_str());
@@ -96,7 +105,10 @@ main()
     csv.row({"mode", "matrix", "base_gflops", "base_gfw", "sa_gflops",
              "sa_gfw", "bestavg_gflops", "bestavg_gfw", "max_gflops",
              "max_gfw"});
-    runMode(OptMode::PowerPerformance, csv);
-    runMode(OptMode::EnergyEfficient, csv);
+    BenchReport report("fig06_spmspm_realworld");
+    runMode(OptMode::PowerPerformance, csv, report);
+    runMode(OptMode::EnergyEfficient, csv, report);
+    report.write();
+    writeObserverOutputs();
     return 0;
 }

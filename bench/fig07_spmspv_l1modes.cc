@@ -24,7 +24,7 @@ using namespace sadapt::bench;
 namespace {
 
 void
-runL1Mode(MemType l1, CsvWriter &csv)
+runL1Mode(MemType l1, CsvWriter &csv, BenchReport &report)
 {
     const OptMode mode = OptMode::PowerPerformance;
     const Predictor &pred = predictorFor(mode, l1);
@@ -40,6 +40,9 @@ runL1Mode(MemType l1, CsvWriter &csv)
         Comparison cmp(wl, &pred,
                        defaultComparison(mode, PolicyKind::Hybrid,
                                          0.4));
+        // Replay the static-config grid as one parallel batch.
+        const auto statics = standardStatics(l1);
+        prefetchConfigs(cmp, statics, &report);
         const auto base = cmp.baseline();
         const auto best = cmp.bestAvg();
         const auto max = cmp.maxCfg();
@@ -64,6 +67,12 @@ runL1Mode(MemType l1, CsvWriter &csv)
             .cell(best.gflops()).cell(best.gflopsPerWatt())
             .cell(max.gflops()).cell(max.gflopsPerWatt());
         csv.endRow();
+        const std::string tag =
+            str("matrix=", id, ",l1=", label);
+        report.add("spmspv", tag + ",scheme=baseline", base.gflops(),
+                   base.gflopsPerWatt());
+        report.add("spmspv", tag + ",scheme=sparseadapt", sa.gflops(),
+                   sa.gflopsPerWatt());
     }
 
     std::printf("\n--- L1 as %s (Power-Performance mode) ---\n",
@@ -104,7 +113,10 @@ main()
     csv.row({"l1_mode", "matrix", "base_gflops", "base_gfw",
              "sa_gflops", "sa_gfw", "bestavg_gflops", "bestavg_gfw",
              "max_gflops", "max_gfw"});
-    runL1Mode(MemType::Cache, csv);
-    runL1Mode(MemType::Spm, csv);
+    BenchReport report("fig07_spmspv_l1modes");
+    runL1Mode(MemType::Cache, csv, report);
+    runL1Mode(MemType::Spm, csv, report);
+    report.write();
+    writeObserverOutputs();
     return 0;
 }

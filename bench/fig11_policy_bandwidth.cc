@@ -26,7 +26,7 @@ using namespace sadapt::bench;
 namespace {
 
 void
-policySweep(CsvWriter &csv)
+policySweep(CsvWriter &csv, BenchReport &report)
 {
     const OptMode mode = OptMode::PowerPerformance;
     const Predictor &pred = predictorFor(mode, MemType::Cache);
@@ -43,6 +43,8 @@ policySweep(CsvWriter &csv)
         auto eval = [&](PolicyKind kind, double tol) {
             Comparison cmp(wl, &pred,
                            defaultComparison(mode, kind, tol));
+            const auto statics = standardStatics(MemType::Cache);
+            prefetchConfigs(cmp, statics, &report);
             const double gain = ratio(
                 cmp.sparseAdapt().metric(mode),
                 cmp.baseline().metric(mode));
@@ -64,7 +66,7 @@ policySweep(CsvWriter &csv)
 }
 
 void
-bandwidthSweep(CsvWriter &csv)
+bandwidthSweep(CsvWriter &csv, BenchReport &report)
 {
     const OptMode mode = OptMode::EnergyEfficient;
     const Predictor &pred = predictorFor(mode, MemType::Cache);
@@ -80,6 +82,8 @@ bandwidthSweep(CsvWriter &csv)
         Comparison cmp(wl, &pred,
                        defaultComparison(mode, PolicyKind::Hybrid,
                                          0.4));
+        const auto statics = standardStatics(MemType::Cache);
+        prefetchConfigs(cmp, statics, &report);
         const auto sa = cmp.sparseAdapt();
         const double vs_base =
             ratio(sa.gflopsPerWatt(), cmp.baseline().gflopsPerWatt());
@@ -118,7 +122,10 @@ main()
     CsvWriter csv(csvPath("fig11_policy_bandwidth"));
     csv.row({"matrix_or_kind", "policy_or_bw", "tolerance_or_unused",
              "gain"});
-    policySweep(csv);
-    bandwidthSweep(csv);
+    BenchReport report("fig11_policy_bandwidth");
+    policySweep(csv, report);
+    bandwidthSweep(csv, report);
+    report.write();
+    writeObserverOutputs();
     return 0;
 }

@@ -31,6 +31,7 @@ main()
 
     CsvWriter csv(csvPath("fig12_system_size"));
     csv.row({"system", "matrix", "sa_gfw_gain"});
+    BenchReport report("fig12_system_size");
 
     Table table;
     std::vector<std::string> head = {"System"};
@@ -50,10 +51,16 @@ main()
             Comparison cmp(wl, &pred,
                            defaultComparison(
                                mode, PolicyKind::Conservative));
+            const auto statics = standardStatics(MemType::Cache);
+            prefetchConfigs(cmp, statics, &report);
+            const auto sa = cmp.sparseAdapt();
             const double gain =
-                ratio(cmp.sparseAdapt().gflopsPerWatt(),
+                ratio(sa.gflopsPerWatt(),
                       cmp.baseline().gflopsPerWatt());
             gains.push_back(gain);
+            report.add(str("spmspm/", id, "/", row.front()),
+                       "sparseadapt", sa.gflops(),
+                       sa.gflopsPerWatt());
             row.push_back(Table::num(gain, 2));
             csv.cell(row.front()).cell(id).cell(gain);
             csv.endRow();
@@ -70,5 +77,7 @@ main()
             str("SparseAdapt GFLOPS/W vs Baseline (", names[i], ")"),
             gm_per_system[i], "1.7-2.0x");
     }
+    report.write();
+    writeObserverOutputs();
     return 0;
 }

@@ -13,6 +13,7 @@ idealStaticConfig(EpochDb &db, std::span<const HwConfig> candidates,
                   OptMode mode)
 {
     SADAPT_ASSERT(!candidates.empty(), "no candidates");
+    db.ensure(candidates);
     HwConfig best = candidates.front();
     double best_metric = -1.0;
     for (const HwConfig &cfg : candidates) {
@@ -34,6 +35,7 @@ idealGreedySchedule(EpochDb &db, std::span<const HwConfig> candidates,
                     const HwConfig &initial)
 {
     SADAPT_ASSERT(!candidates.empty(), "no candidates");
+    db.ensure(candidates);
     const bool ee = mode == OptMode::EnergyEfficient;
     const std::size_t num_epochs = db.numEpochs();
     Schedule schedule;
@@ -244,6 +246,7 @@ oracleSchedule(EpochDb &db, std::span<const HwConfig> candidates,
                const HwConfig &initial)
 {
     SADAPT_ASSERT(!candidates.empty(), "no candidates");
+    db.ensure(candidates);
     if (mode == OptMode::EnergyEfficient)
         return oracleEnergy(db, candidates, cost_model, initial);
     return oraclePowerPerf(db, candidates, cost_model, initial);

@@ -1,6 +1,11 @@
 #include "adapt/epoch_db.hh"
 
+#include <unordered_set>
+#include <vector>
+
 #include "common/logging.hh"
+#include "common/threading.hh"
+#include "obs/metrics.hh"
 
 namespace sadapt {
 
@@ -12,25 +17,85 @@ EpochDb::EpochDb(const Workload &workload)
 std::uint64_t
 EpochDb::key(const HwConfig &cfg)
 {
-    return (static_cast<std::uint64_t>(
-                cfg.l1Type == MemType::Spm ? 1 : 0) << 32) |
-        cfg.encode();
+    // The dense ConfigSpace code is injective over the runtime
+    // parameters; the L1 memory type is fixed per workload (asserted
+    // at every simulation), so it needs no bits of its own.
+    return cfg.encode();
+}
+
+HwConfig
+EpochDb::keyConfig(std::uint64_t key) const
+{
+    return ConfigSpace(wl.l1Type).decode(
+        static_cast<std::uint32_t>(key));
 }
 
 const SimResult &
-EpochDb::result(const HwConfig &cfg)
+EpochDb::commit(std::uint64_t key, SimResult res)
 {
-    const std::uint64_t k = key(cfg);
-    auto it = cache.find(k);
-    if (it != cache.end())
-        return it->second;
-    SimResult res = sim.run(wl.trace, cfg);
     if (!cache.empty()) {
         SADAPT_ASSERT(res.epochs.size() ==
                           cache.begin()->second.epochs.size(),
                       "epoch boundaries must align across configs");
     }
-    return cache.emplace(k, std::move(res)).first->second;
+    return cache.emplace(key, std::move(res)).first->second;
+}
+
+const SimResult &
+EpochDb::result(const HwConfig &cfg)
+{
+    SADAPT_ASSERT(cfg.l1Type == wl.l1Type,
+                  "config L1 memory type must match the workload");
+    const std::uint64_t k = key(cfg);
+    auto it = cache.find(k);
+    if (it != cache.end())
+        return it->second;
+    return commit(k, sim.run(wl.trace, cfg));
+}
+
+void
+EpochDb::ensure(std::span<const HwConfig> cfgs)
+{
+    // Collect the missing configurations, deduplicated, in request
+    // order: that order is the commit order below, so cache insertion
+    // order (and with it every downstream observation) matches what a
+    // serial result() loop over `cfgs` would produce.
+    std::vector<std::pair<std::uint64_t, HwConfig>> missing;
+    std::unordered_set<std::uint64_t> queued;
+    for (const HwConfig &cfg : cfgs) {
+        SADAPT_ASSERT(cfg.l1Type == wl.l1Type,
+                      "config L1 memory type must match the workload");
+        const std::uint64_t k = key(cfg);
+        if (!cache.contains(k) && queued.insert(k).second)
+            missing.emplace_back(k, cfg);
+    }
+    if (jobsV <= 1 || missing.size() <= 1) {
+        // Exact serial path: same calls result() itself would make.
+        for (const auto &[k, cfg] : missing)
+            result(cfg);
+        return;
+    }
+
+    // Replay concurrently: tasks share only the immutable trace; each
+    // gets its own Transmuter and (when metrics are attached) its own
+    // registry shard. Nothing shared is written until the barrier.
+    std::vector<SimResult> results(missing.size());
+    std::vector<obs::MetricRegistry> shards(
+        metricsV != nullptr ? missing.size() : 0);
+    parallelFor(missing.size(), jobsV, [&](std::size_t i) {
+        Transmuter task_sim(wl.params);
+        if (metricsV != nullptr)
+            task_sim.setMetrics(&shards[i]);
+        results[i] = task_sim.run(wl.trace, missing[i].second);
+    });
+
+    // Barrier passed: commit results and fold metric shards in
+    // request order, reproducing the serial run exactly.
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        commit(missing[i].first, std::move(results[i]));
+        if (metricsV != nullptr)
+            metricsV->merge(shards[i]);
+    }
 }
 
 const std::vector<EpochRecord> &

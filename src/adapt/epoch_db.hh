@@ -9,11 +9,19 @@
  * configurations, so any dynamic reconfiguration scheme can be
  * evaluated exactly by stitching per-epoch segments together and
  * charging reconfiguration penalties at the seams.
+ *
+ * Full-trace replays of distinct configurations are independent given
+ * the shared immutable Trace, so the database exposes a batch
+ * ensure() API that replays missing configurations concurrently (one
+ * Transmuter per task) and commits the results in request order — the
+ * memoized state, exported metrics and every downstream ScheduleEval
+ * are bit-identical to a jobs=1 run (DESIGN.md section 9).
  */
 
 #ifndef SADAPT_ADAPT_EPOCH_DB_HH
 #define SADAPT_ADAPT_EPOCH_DB_HH
 
+#include <span>
 #include <unordered_map>
 
 #include "adapt/metrics.hh"
@@ -32,6 +40,25 @@ class EpochDb
   public:
     explicit EpochDb(const Workload &workload);
 
+    /**
+     * Replay parallelism for ensure(): jobs <= 1 is the exact serial
+     * path (and the default); higher values replay missing
+     * configurations on a pool of that many workers.
+     */
+    void setJobs(unsigned jobs) { jobsV = jobs > 0 ? jobs : 1; }
+    unsigned jobs() const { return jobsV; }
+
+    /**
+     * Pre-announce a candidate set: simulate every configuration of
+     * `cfgs` not yet in the cache, using up to jobs() concurrent
+     * replays, and commit the results in request order. Calling
+     * ensure() before a loop of result()/epochs() calls turns the
+     * loop's serial cache misses into one parallel batch; with
+     * jobs() == 1 it simulates serially in the same order and is
+     * behaviorally identical to not calling it at all.
+     */
+    void ensure(std::span<const HwConfig> cfgs);
+
     /** Full simulation result under one configuration (memoized). */
     const SimResult &result(const HwConfig &cfg);
 
@@ -49,19 +76,36 @@ class EpochDb
      * into a registry. Attach before the first result()/epochs() call
      * to cover the whole run; null detaches.
      */
-    void attachMetrics(obs::MetricRegistry *metrics)
+    void
+    attachMetrics(obs::MetricRegistry *metrics)
     {
+        metricsV = metrics;
         sim.setMetrics(metrics);
     }
 
     const Workload &workload() const { return wl; }
 
+    /**
+     * Cache key of a configuration: the dense ConfigSpace encoding
+     * (exactly HwConfig::encode(), proven injective over the whole
+     * space by the analysis-suite encode self-check), so keys
+     * round-trip back to the configuration via keyConfig(). All
+     * configurations of one database share the workload's compile-time
+     * L1 memory type (asserted on every simulation).
+     */
+    static std::uint64_t key(const HwConfig &cfg);
+
+    /** Decode a cache key back to its configuration. */
+    HwConfig keyConfig(std::uint64_t key) const;
+
   private:
     const Workload &wl;
     Transmuter sim;
+    unsigned jobsV = 1;
+    obs::MetricRegistry *metricsV = nullptr;
     std::unordered_map<std::uint64_t, SimResult> cache;
 
-    static std::uint64_t key(const HwConfig &cfg);
+    const SimResult &commit(std::uint64_t key, SimResult res);
 };
 
 /** Aggregate outcome of a stitched schedule. */

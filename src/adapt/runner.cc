@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/threading.hh"
 
 namespace sadapt {
 
@@ -17,6 +18,7 @@ Comparison::Comparison(const Workload &workload,
 {
     if (opts.observer != nullptr)
         dbV.attachMetrics(&opts.observer->metrics());
+    dbV.setJobs(opts.jobs > 0 ? opts.jobs : defaultJobs());
 }
 
 const std::vector<HwConfig> &

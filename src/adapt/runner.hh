@@ -33,6 +33,14 @@ struct ComparisonOptions
     std::uint64_t seed = 1;
 
     /**
+     * Replay workers for the shared EpochDb's batch sweeps: 1 forces
+     * the exact serial path, 0 resolves to defaultJobs()
+     * (SPARSEADAPT_JOBS or the hardware thread count). Any value
+     * yields bit-identical results (DESIGN.md section 9).
+     */
+    unsigned jobs = 1;
+
+    /**
      * Optional observability sink (not owned; must outlive the
      * Comparison). When set, the shared EpochDb exports sim/ metrics
      * into it and the SparseAdapt loops journal their decision trail.

@@ -44,8 +44,11 @@ findBestConfig(EpochDb &db, OptMode mode, int phase,
     };
 
     SearchOutcome out;
-    // Step 1: random sampling.
+    // Step 1: random sampling. Each step announces its candidate set
+    // up front so the database can replay cache misses in parallel;
+    // the argmax loops below then hit only memoized results.
     out.sampled = space.sample(params.randomSamples, rng);
+    db.ensure(out.sampled);
     auto [rand_best, rand_metric] =
         best_of(out.sampled, out.sampled.front(),
                 staticPhaseMetric(db, out.sampled.front(), mode,
@@ -61,6 +64,7 @@ findBestConfig(EpochDb &db, OptMode mode, int phase,
             rng.shuffle(nbrs);
             nbrs.resize(params.neighborCap);
         }
+        db.ensure(nbrs);
         std::tie(current, current_metric) =
             best_of(nbrs, current, current_metric);
     }
@@ -69,6 +73,14 @@ findBestConfig(EpochDb &db, OptMode mode, int phase,
     // Step 3: independent sweep along each dimension; combine the
     // per-dimension argmaxes (conditional independence assumption).
     if (params.dimensionSweep) {
+        // All dimensions sweep away from the same center, so their
+        // union is known before any is evaluated — one batch.
+        std::vector<HwConfig> sweeps;
+        for (Param p : allParams()) {
+            const auto dim = space.sweepDimension(current, p);
+            sweeps.insert(sweeps.end(), dim.begin(), dim.end());
+        }
+        db.ensure(sweeps);
         HwConfig combined = current;
         for (Param p : allParams()) {
             double best_metric = -1.0;

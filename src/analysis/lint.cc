@@ -199,6 +199,10 @@ lintSource(const std::string &source, const std::string &rel_path)
     const std::vector<Token> toks = lex(source);
     const bool float_eq_scope =
         underDir(rel_path, "sim") || underDir(rel_path, "adapt");
+    // common/threading.{hh,cc} is the one home allowed to touch raw
+    // std::thread; everything else goes through its pool.
+    const bool threading_home =
+        rel_path.find("common/threading") != std::string::npos;
 
     auto tok = [&](std::size_t i) -> const Token * {
         return i < toks.size() ? &toks[i] : nullptr;
@@ -227,6 +231,39 @@ lintSource(const std::string &source, const std::string &rel_path)
                     Severity::Error,
                     str("call to ", t.text, "(): use common/rng for "
                         "randomness and simulated clocks for time"));
+            }
+        }
+
+        // lint-naked-thread: raw thread spawning (or detaching)
+        // outside common/threading, which owns every worker thread.
+        if (!threading_home && t.kind == Token::Kind::Ident &&
+            t.text == "std") {
+            const Token *colons = tok(i + 1);
+            const Token *name = tok(i + 2);
+            if (colons && colons->text == "::" && name &&
+                name->kind == Token::Kind::Ident &&
+                (name->text == "thread" || name->text == "jthread" ||
+                 name->text == "async")) {
+                report.add(
+                    "lint-naked-thread", rel_path, name->line,
+                    Severity::Error,
+                    str("std::", name->text, ": spawn workers through "
+                        "common/threading (ThreadPool/parallelFor)"));
+            }
+        }
+        if (!threading_home && t.kind == Token::Kind::Punct &&
+            (t.text == "." || t.text == "->")) {
+            const Token *name = tok(i + 1);
+            const Token *paren = tok(i + 2);
+            if (name && name->kind == Token::Kind::Ident &&
+                name->text == "detach" && paren &&
+                paren->text == "(") {
+                report.add(
+                    "lint-naked-thread", rel_path, name->line,
+                    Severity::Error,
+                    "detach(): detached threads escape the pool's "
+                    "drain-on-destroy guarantee; join via "
+                    "common/threading instead");
             }
         }
 

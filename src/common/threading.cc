@@ -1,0 +1,143 @@
+#include "common/threading.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sadapt {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SPARSEADAPT_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        return static_cast<unsigned>(std::clamp(v, 1L, 256L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs, std::size_t queue_cap)
+    : queueCap(queue_cap > 0 ? queue_cap : 4 * std::size_t{jobs})
+{
+    SADAPT_ASSERT(jobs >= 1, "thread pool needs at least one worker");
+    workers.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cvIdle.wait(lock, [this] { return inFlight == 0; });
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cvSpace.wait(lock, [this] { return queue.size() < queueCap; });
+        queue.push_back(std::move(task));
+        ++inFlight;
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cvIdle.wait(lock, [this] { return inFlight == 0; });
+        err = std::exchange(firstError, nullptr);
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::recordException(std::exception_ptr e)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!firstError)
+        firstError = e;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvTask.wait(lock,
+                        [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        cvSpace.notify_one();
+        try {
+            task();
+        } catch (...) {
+            recordException(std::current_exception());
+        }
+        bool drained = false;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            drained = --inFlight == 0;
+        }
+        if (drained)
+            cvIdle.notify_all();
+    }
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs <= 1 || n <= 1) {
+        // The exact serial path: no pool, no locks, caller's thread.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, n));
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.submit([&] {
+            for (;;) {
+                if (failed.load(std::memory_order_relaxed))
+                    return;
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    throw; // captured by the pool as firstError
+                }
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace sadapt

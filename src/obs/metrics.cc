@@ -73,6 +73,24 @@ MetricRegistry::histogram(const std::string &name)
     return entry(name, MetricKind::Histogram).histV;
 }
 
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    for (const Entry &e : other.entries) {
+        switch (e.kind) {
+          case MetricKind::Counter:
+            counter(e.name).add(e.counterV.value());
+            break;
+          case MetricKind::Gauge:
+            gauge(e.name).set(e.gaugeV.value());
+            break;
+          case MetricKind::Histogram:
+            histogram(e.name).merge(e.histV);
+            break;
+        }
+    }
+}
+
 std::optional<MetricKind>
 MetricRegistry::kindOf(const std::string &name) const
 {

@@ -91,6 +91,16 @@ class Histogram
     std::uint64_t sum() const { return sumV; }
     std::uint64_t bucketCount(std::size_t b) const { return buckets[b]; }
 
+    /** Bucket-wise accumulate another histogram into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        for (std::size_t b = 0; b < numBuckets; ++b)
+            buckets[b] += other.buckets[b];
+        countV += other.countV;
+        sumV += other.sumV;
+    }
+
   private:
     std::array<std::uint64_t, numBuckets> buckets{};
     std::uint64_t countV = 0;
@@ -114,6 +124,17 @@ class MetricRegistry
 
     /** Kind of a registered name; nullopt when never registered. */
     std::optional<MetricKind> kindOf(const std::string &name) const;
+
+    /**
+     * Fold another registry into this one: counters add, histograms
+     * add bucket-wise, gauges take the other registry's value
+     * (last-write-wins, so merging shards in request order reproduces
+     * a serial run's final value). Requesting an existing name as a
+     * different kind panics, as with the accessors. Used by the
+     * parallel sweep engine to commit per-worker metric shards at its
+     * deterministic merge points (DESIGN.md section 9).
+     */
+    void merge(const MetricRegistry &other);
 
     std::size_t size() const { return entries.size(); }
 

@@ -102,12 +102,18 @@ Trace::append(const Trace &other)
             op.addr += phase_base;
         return op;
     };
-    for (std::uint32_t g = 0; g < gpeStreams.size(); ++g)
+    for (std::uint32_t g = 0; g < gpeStreams.size(); ++g) {
+        gpeStreams[g].reserve(gpeStreams[g].size() +
+                              other.gpeStreams[g].size());
         for (const auto &op : other.gpeStreams[g])
             gpeStreams[g].push_back(fixup(op));
-    for (std::uint32_t t = 0; t < lcpStreams.size(); ++t)
+    }
+    for (std::uint32_t t = 0; t < lcpStreams.size(); ++t) {
+        lcpStreams[t].reserve(lcpStreams[t].size() +
+                              other.lcpStreams[t].size());
         for (const auto &op : other.lcpStreams[t])
             lcpStreams[t].push_back(fixup(op));
+    }
 }
 
 std::string

@@ -313,8 +313,9 @@ struct Engine
         if (cfg.prefetchDegree() > 0) {
             pfBuf.clear();
             l1Pf[bank].observe(pc, addr, pfBuf);
-            const auto targets = pfBuf;
-            for (Addr a : targets) {
+            // Iterating pfBuf directly is safe: the accessL2() calls
+            // below pass allow_prefetch=false, so none touches it.
+            for (Addr a : pfBuf) {
                 ++ac.l1PfIssued;
                 if (l1[bank].contains(a))
                     continue;
@@ -586,6 +587,11 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
 
     SimResult result;
     result.config = cfg;
+    if (paramsV.epochFpOps > 0) {
+        result.epochs.reserve(static_cast<std::size_t>(
+            trace.totalFlops() /
+                double(paramsV.epochFpOps * eng.numGpes)) + 2);
+    }
 
     const std::uint32_t num_cores = eng.numCores;
     std::vector<std::size_t> cursor(num_cores, 0);
@@ -618,6 +624,7 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
 
     const std::uint64_t epoch_fp_target =
         paramsV.epochFpOps * eng.numGpes;
+    std::vector<HeapEntry> rescaled; //!< heap-rebuild scratch
     std::uint32_t epoch_index = 0;
     Cycles epoch_start = 0;
     Cycles max_cycle = 0;
@@ -683,12 +690,12 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
                     return static_cast<Cycles>(
                         std::llround(double(t) * ratio));
                 };
-                std::vector<HeapEntry> entries;
+                rescaled.clear();
                 while (!heap.empty()) {
-                    entries.push_back(heap.top());
+                    rescaled.push_back(heap.top());
                     heap.pop();
                 }
-                for (auto &[t, c] : entries)
+                for (auto &[t, c] : rescaled)
                     heap.push({rescale(t) + penalty, c});
                 for (auto &t : core_cycle)
                     t = rescale(t) + penalty;

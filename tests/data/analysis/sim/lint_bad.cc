@@ -1,6 +1,7 @@
 // Lint fixture: every rule fires at least once. Never compiled.
 #include <cstdlib>
 #include <ctime>
+#include <thread>
 
 #include "sim/config.hh"
 
@@ -15,6 +16,8 @@ sampleAndCompare(double rate)
     if (rate == 0.5) // lint-float-eq
         return buf[0];
     parseConfig("baseline"); // lint-unchecked-status
+    std::thread worker([] {}); // lint-naked-thread (std::thread)
+    worker.detach(); // lint-naked-thread (detach)
     return rate;
 }
 

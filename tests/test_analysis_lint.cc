@@ -61,6 +61,37 @@ TEST(Lint, NakedNewFlagged)
             .clean());
 }
 
+TEST(Lint, NakedThreadFlagged)
+{
+    const Report r = lintSource("void f() {\n"
+                                "    std::thread t([] {});\n"
+                                "    t.detach();\n"
+                                "    auto fut = std::async(work);\n"
+                                "}\n",
+                                "src/sim/x.cc");
+    EXPECT_EQ(r.errorCount(), 3u);
+    EXPECT_TRUE(hasCheck(r, "lint-naked-thread"));
+}
+
+TEST(Lint, NakedThreadExemptsThreadingHome)
+{
+    const std::string code = "std::vector<std::thread> workers;\n";
+    // The pool implementation is the one legitimate home.
+    EXPECT_FALSE(hasCheck(lintSource(code, "src/common/threading.cc"),
+                          "lint-naked-thread"));
+    EXPECT_FALSE(hasCheck(lintSource(code, "src/common/threading.hh"),
+                          "lint-naked-thread"));
+    EXPECT_TRUE(hasCheck(lintSource(code, "src/sim/x.cc"),
+                         "lint-naked-thread"));
+    // std::this_thread (get_id/yield) is inspection, not spawning,
+    // and detach-like member names without a call are not detach().
+    EXPECT_FALSE(
+        hasCheck(lintSource("std::this_thread::yield();\n"
+                            "auto d = opts.detach;\n",
+                            "src/sim/x.cc"),
+                 "lint-naked-thread"));
+}
+
 TEST(Lint, FloatEqScopedToSimAndAdapt)
 {
     const std::string code = "if (rate == 0.5) { fix(); }\n";
@@ -124,6 +155,7 @@ TEST(Lint, FixtureFileTripsEveryRule)
     EXPECT_TRUE(hasCheck(r, "lint-naked-new"));
     EXPECT_TRUE(hasCheck(r, "lint-float-eq"));
     EXPECT_TRUE(hasCheck(r, "lint-unchecked-status"));
+    EXPECT_TRUE(hasCheck(r, "lint-naked-thread"));
     // Paths are reported relative to the lint root.
     for (const auto &f : r.findings())
         EXPECT_EQ(f.file.rfind("analysis/", 0), 0u) << f.file;

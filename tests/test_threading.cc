@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Units for the thread pool and parallelFor of src/common/threading:
+ * task completion, the jobs<=1 exact-serial contract, bounded-queue
+ * backpressure, and first-exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/threading.hh"
+
+using namespace sadapt;
+
+TEST(DefaultJobs, HonorsEnvironmentOverride)
+{
+    ::setenv("SPARSEADAPT_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    ::setenv("SPARSEADAPT_JOBS", "0", 1);
+    EXPECT_EQ(defaultJobs(), 1u); // clamped to at least one worker
+    ::unsetenv("SPARSEADAPT_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(ParallelFor, SerialPathRunsInOrderOnCallerThread)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    parallelFor(17, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    std::vector<std::size_t> want(17);
+    std::iota(want.begin(), want.end(), 0);
+    EXPECT_EQ(order, want);
+}
+
+TEST(ParallelFor, SingleItemStaysSerialForAnyJobs)
+{
+    const auto caller = std::this_thread::get_id();
+    std::size_t calls = 0;
+    parallelFor(1, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelFor, ZeroItemsNeverInvokesBody)
+{
+    parallelFor(0, 8, [](std::size_t) { FAIL() << "body called"; });
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t n = 200;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, 8, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, PropagatesExceptionSerial)
+{
+    EXPECT_THROW(parallelFor(10, 1,
+                             [](std::size_t i) {
+                                 if (i == 4)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesExceptionParallel)
+{
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(parallelFor(100, 4,
+                             [&](std::size_t i) {
+                                 ++ran;
+                                 if (i == 37)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // Short-circuits: the failure flag stops idle workers early, so
+    // not every remaining index needs to run (but some already did).
+    EXPECT_GE(ran.load(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesAllTasks)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(2, /*queue_cap=*/2);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstExceptionThenRecovers)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("first"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error was consumed; the pool keeps working afterwards.
+    std::atomic<int> done{0};
+    pool.submit([&] { ++done; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&] { ++done; });
+        // No wait(): the destructor must finish the queue first.
+    }
+    EXPECT_EQ(done.load(), 32);
+}

@@ -3,9 +3,10 @@
 # static analysis suite over sources and committed artifacts, then run
 # the analysis-labeled tests. See ROADMAP.md ("Pre-PR gate").
 #
-#   tools/run_checks.sh [build-dir]
+#   tools/run_checks.sh [build-dir] [tsan-build-dir]
 #
-# Exits nonzero on the first failing stage.
+# Exits nonzero on the first failing stage. The final stage rebuilds
+# the threading-labeled suite under ThreadSanitizer in its own tree.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,6 +31,21 @@ echo "== sadapt_check: sources, models, traces, specs, journals"
 
 echo "== ctest -L analysis|obs"
 ctest --test-dir "$build_dir" -L 'analysis|obs' --output-on-failure \
+    -j "$(nproc)"
+
+# ThreadSanitizer gate for the parallel sweep engine: TSan excludes
+# ASan, so it gets its own build tree, and only the threading-labeled
+# suite (thread pool units + jobs=N determinism) needs rebuilding.
+tsan_dir="${2:-$repo_root/build-tsan}"
+echo "== configure ($tsan_dir: SADAPT_SANITIZE=thread SADAPT_WERROR=ON)"
+cmake -B "$tsan_dir" -S "$repo_root" \
+    -DSADAPT_SANITIZE=thread -DSADAPT_WERROR=ON > /dev/null
+
+echo "== build sadapt_parallel_tests (TSan)"
+cmake --build "$tsan_dir" -j --target sadapt_parallel_tests > /dev/null
+
+echo "== ctest -L threading (TSan)"
+ctest --test-dir "$tsan_dir" -L threading --output-on-failure \
     -j "$(nproc)"
 
 echo "== all checks passed"

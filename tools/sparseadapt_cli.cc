@@ -50,6 +50,7 @@ struct CliOptions
     double scale = 0.25;
     double bandwidth = 1e9;
     std::size_t samples = 24;
+    unsigned jobs = 0; //!< 0: defaultJobs() (SPARSEADAPT_JOBS / cores)
     OptMode mode = OptMode::EnergyEfficient;
     MemType l1 = MemType::Cache;
     std::uint64_t seed = 1;
@@ -85,7 +86,11 @@ usage(const char *argv0)
         "journal\n"
         "  --metrics <file>           write the metrics registry "
         "snapshot\n"
-        "  --seed <n>                 RNG seed (default 1)\n",
+        "  --seed <n>                 RNG seed (default 1)\n"
+        "  --jobs <n>                 parallel sweep replays (default\n"
+        "                             $SPARSEADAPT_JOBS or all cores;\n"
+        "                             results are identical for any "
+        "n)\n",
         argv0);
     std::exit(2);
 }
@@ -134,6 +139,8 @@ parse(int argc, char **argv)
             o.journalFile = need(i);
         } else if (arg == "--metrics") {
             o.metricsFile = need(i);
+        } else if (arg == "--jobs") {
+            o.jobs = std::atoi(need(i));
         } else if (arg == "--seed") {
             o.seed = std::atoll(need(i));
         } else {
@@ -238,6 +245,7 @@ main(int argc, char **argv)
     co.oracleSamples = o.samples;
     co.policy = Policy(policyKindOf(o.policy), o.tolerance);
     co.seed = o.seed;
+    co.jobs = o.jobs;
     co.observer = observing ? &observer : nullptr;
     Comparison cmp(wl, pred ? &*pred : nullptr, co);
 
