@@ -105,6 +105,10 @@ prefetchConfigs(Comparison &cmp, std::span<const HwConfig> cfgs,
     const std::size_t before = cmp.db().simulatedConfigs();
     const auto start = std::chrono::steady_clock::now();
     cmp.db().ensure(cfgs);
+    // Sweep phase boundary: make every replay of this batch durable,
+    // so a killed bench resumes with only the missing cells.
+    if (store::EpochStore *st = cmp.db().epochStore())
+        st->flush();
     const double wall =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
@@ -223,7 +227,36 @@ defaultComparison(OptMode mode, PolicyKind policy, double tolerance)
     co.seed = 11;
     co.jobs = benchJobs();
     co.observer = benchObserver();
+    co.store = benchStore();
     return co;
+}
+
+store::EpochStore *
+benchStore()
+{
+    static store::EpochStore epoch_store;
+    static bool initialized = false;
+    static bool active = false;
+    if (!initialized) {
+        initialized = true;
+        const char *path = std::getenv("SPARSEADAPT_STORE");
+        if (path != nullptr && path[0] != '\0') {
+            // Counters only, attached before open() so the open-time
+            // stats are exported too; the journal is deliberately not
+            // wired up (bench journals must be byte-identical across
+            // cold and warm runs).
+            if (obs::RunObserver *observer = benchObserver())
+                epoch_store.attachMetrics(&observer->metrics());
+            const Status st = epoch_store.open(path);
+            if (!st.isOk())
+                fatal("SPARSEADAPT_STORE: " + st.message());
+            inform(str("epoch store: ", path, " (",
+                       epoch_store.stats().diskResults,
+                       " results on disk)"));
+            active = true;
+        }
+    }
+    return active ? &epoch_store : nullptr;
 }
 
 obs::RunObserver *
@@ -255,6 +288,8 @@ benchObserver()
 void
 writeObserverOutputs()
 {
+    if (store::EpochStore *st = benchStore())
+        st->flush();
     obs::RunObserver *observer = benchObserver();
     if (observer == nullptr)
         return;
@@ -339,6 +374,20 @@ BenchReport::write() const
     out << "  \"jobs\": " << benchJobs() << ",\n";
     out << "  \"sweep_wall_seconds\": " << sweepSecondsV << ",\n";
     out << "  \"configs_simulated\": " << configsSimulatedV << ",\n";
+    {
+        // Store provenance: zeros and an empty path when no store is
+        // attached, so the schema is stable either way.
+        const store::EpochStore *st = benchStore();
+        const std::uint64_t hits = st != nullptr ? st->stats().hits : 0;
+        const std::uint64_t misses =
+            st != nullptr ? st->stats().misses : 0;
+        const std::string store_path =
+            st != nullptr ? st->stats().path : "";
+        out << "  \"store_hits\": " << hits << ",\n";
+        out << "  \"store_misses\": " << misses << ",\n";
+        out << "  \"store_path\": \"" << jsonEscape(store_path)
+            << "\",\n";
+    }
     out << "  \"results\": [";
     for (std::size_t i = 0; i < entriesV.size(); ++i) {
         const Entry &e = entriesV[i];

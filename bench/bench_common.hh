@@ -19,6 +19,10 @@
  *    of every control-loop run to this file.
  *  - SPARSEADAPT_METRICS      write the metrics registry snapshot to
  *    this file at bench exit.
+ *  - SPARSEADAPT_STORE        persistent epoch-result store file: the
+ *    config sweeps warm-start from it and checkpoint into it, so a
+ *    re-run (or a run killed mid-sweep) replays only missing
+ *    configurations. Results are bit-identical with or without it.
  */
 
 #ifndef SADAPT_BENCH_BENCH_COMMON_HH
@@ -104,8 +108,19 @@ ComparisonOptions defaultComparison(OptMode mode, PolicyKind policy,
 obs::RunObserver *benchObserver();
 
 /**
+ * Process-wide persistent epoch store opened from SPARSEADAPT_STORE;
+ * null when the variable is unset. defaultComparison() attaches it,
+ * so every bench sweep warm-starts and checkpoints for free. Exports
+ * store/ counters into benchObserver()'s metrics when both are
+ * active, but never journals (journal bytes stay identical across
+ * cold and warm runs).
+ */
+store::EpochStore *benchStore();
+
+/**
  * Flush the journal and write the metrics snapshot of benchObserver().
  * Call once at the end of main(); a no-op when observability is off.
+ * Also checkpoints benchStore() when one is open.
  */
 void writeObserverOutputs();
 
@@ -114,7 +129,9 @@ void writeObserverOutputs();
  * (kernel, config) measurement and writes
  * bench_results/BENCH_<name>.json with the git revision and the host
  * wall-clock seconds the bench took. Host time never feeds back into
- * the simulation; it is provenance only.
+ * the simulation; it is provenance only. When a persistent store is
+ * active the report also carries its hit/miss totals and path
+ * ("store_hits" / "store_misses" / "store_path"), sampled at write().
  */
 class BenchReport
 {

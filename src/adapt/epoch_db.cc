@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/threading.hh"
 #include "obs/metrics.hh"
+#include "store/fingerprint.hh"
 
 namespace sadapt {
 
@@ -41,6 +42,24 @@ EpochDb::commit(std::uint64_t key, SimResult res)
     return cache.emplace(key, std::move(res)).first->second;
 }
 
+void
+EpochDb::attachStore(store::EpochStore *epoch_store)
+{
+    storeV = epoch_store;
+    fingerprintV = epoch_store != nullptr
+        ? store::workloadFingerprint(wl.trace, wl.params, wl.l1Type)
+        : 0;
+}
+
+const SimResult &
+EpochDb::simulateAndCommit(std::uint64_t key, const HwConfig &cfg)
+{
+    SimResult res = sim.run(wl.trace, cfg);
+    if (storeV != nullptr)
+        storeV->put(fingerprintV, cfg, res);
+    return commit(key, std::move(res));
+}
+
 const SimResult &
 EpochDb::result(const HwConfig &cfg)
 {
@@ -50,7 +69,12 @@ EpochDb::result(const HwConfig &cfg)
     auto it = cache.find(k);
     if (it != cache.end())
         return it->second;
-    return commit(k, sim.run(wl.trace, cfg));
+    if (storeV != nullptr) {
+        if (std::optional<SimResult> hit = storeV->get(fingerprintV,
+                                                       cfg))
+            return commit(k, std::move(*hit));
+    }
+    return simulateAndCommit(k, cfg);
 }
 
 void
@@ -59,26 +83,53 @@ EpochDb::ensure(std::span<const HwConfig> cfgs)
     // Collect the missing configurations, deduplicated, in request
     // order: that order is the commit order below, so cache insertion
     // order (and with it every downstream observation) matches what a
-    // serial result() loop over `cfgs` would produce.
-    std::vector<std::pair<std::uint64_t, HwConfig>> missing;
+    // serial result() loop over `cfgs` would produce. An attached
+    // store is consulted here, still in request order, so its
+    // hit/miss accounting and LRU state are jobs-independent; only
+    // true misses reach the parallel replay below.
+    struct Pending
+    {
+        std::uint64_t key;
+        HwConfig cfg;
+        std::optional<SimResult> fromStore;
+    };
+    std::vector<Pending> pending;
     std::unordered_set<std::uint64_t> queued;
+    std::size_t toSimulate = 0;
     for (const HwConfig &cfg : cfgs) {
         SADAPT_ASSERT(cfg.l1Type == wl.l1Type,
                       "config L1 memory type must match the workload");
         const std::uint64_t k = key(cfg);
-        if (!cache.contains(k) && queued.insert(k).second)
-            missing.emplace_back(k, cfg);
+        if (cache.contains(k) || !queued.insert(k).second)
+            continue;
+        std::optional<SimResult> hit;
+        if (storeV != nullptr)
+            hit = storeV->get(fingerprintV, cfg);
+        if (!hit.has_value())
+            ++toSimulate;
+        pending.push_back(Pending{k, cfg, std::move(hit)});
     }
-    if (jobsV <= 1 || missing.size() <= 1) {
-        // Exact serial path: same calls result() itself would make.
-        for (const auto &[k, cfg] : missing)
-            result(cfg);
+    if (jobsV <= 1 || toSimulate <= 1) {
+        // Exact serial path: same simulator, same order a result()
+        // loop would use (its store lookups are resolved above).
+        for (Pending &p : pending) {
+            if (p.fromStore.has_value())
+                commit(p.key, std::move(*p.fromStore));
+            else
+                simulateAndCommit(p.key, p.cfg);
+        }
         return;
     }
 
-    // Replay concurrently: tasks share only the immutable trace; each
-    // gets its own Transmuter and (when metrics are attached) its own
-    // registry shard. Nothing shared is written until the barrier.
+    // Replay the true misses concurrently: tasks share only the
+    // immutable trace; each gets its own Transmuter and (when metrics
+    // are attached) its own registry shard. Nothing shared is written
+    // until the barrier.
+    std::vector<std::size_t> missing;
+    missing.reserve(toSimulate);
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        if (!pending[i].fromStore.has_value())
+            missing.push_back(i);
     std::vector<SimResult> results(missing.size());
     std::vector<obs::MetricRegistry> shards(
         metricsV != nullptr ? missing.size() : 0);
@@ -86,15 +137,26 @@ EpochDb::ensure(std::span<const HwConfig> cfgs)
         Transmuter task_sim(wl.params);
         if (metricsV != nullptr)
             task_sim.setMetrics(&shards[i]);
-        results[i] = task_sim.run(wl.trace, missing[i].second);
+        results[i] = task_sim.run(wl.trace, pending[missing[i]].cfg);
     });
 
-    // Barrier passed: commit results and fold metric shards in
-    // request order, reproducing the serial run exactly.
-    for (std::size_t i = 0; i < missing.size(); ++i) {
-        commit(missing[i].first, std::move(results[i]));
+    // Barrier passed: commit store hits and fresh replays interleaved
+    // in request order, folding metric shards and checkpointing each
+    // replay into the store at its commit point — so the cache, the
+    // metrics and the store file bytes all reproduce the serial run
+    // exactly.
+    std::size_t next = 0;
+    for (Pending &p : pending) {
+        if (p.fromStore.has_value()) {
+            commit(p.key, std::move(*p.fromStore));
+            continue;
+        }
+        if (storeV != nullptr)
+            storeV->put(fingerprintV, p.cfg, results[next]);
+        commit(p.key, std::move(results[next]));
         if (metricsV != nullptr)
-            metricsV->merge(shards[i]);
+            metricsV->merge(shards[next]);
+        ++next;
     }
 }
 

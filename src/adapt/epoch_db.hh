@@ -28,6 +28,7 @@
 #include "adapt/workload.hh"
 #include "sim/reconfig.hh"
 #include "sim/schedule.hh"
+#include "store/epoch_store.hh"
 
 namespace sadapt {
 
@@ -86,6 +87,25 @@ class EpochDb
     const Workload &workload() const { return wl; }
 
     /**
+     * Warm-start from (and checkpoint into) a persistent epoch store.
+     * Every subsequent cache miss consults the store under this
+     * workload's fingerprint before replaying, and every replay is
+     * written back at its commit point — in request order, so the
+     * store file's bytes are identical for any jobs() setting. Null
+     * detaches. The store outlives the database (caller-owned).
+     */
+    void attachStore(store::EpochStore *epoch_store);
+
+    /** The attached store, or null. */
+    store::EpochStore *epochStore() const { return storeV; }
+
+    /**
+     * The workload fingerprint used to address the attached store;
+     * 0 until a store is attached.
+     */
+    std::uint64_t storeFingerprint() const { return fingerprintV; }
+
+    /**
      * Cache key of a configuration: the dense ConfigSpace encoding
      * (exactly HwConfig::encode(), proven injective over the whole
      * space by the analysis-suite encode self-check), so keys
@@ -103,9 +123,15 @@ class EpochDb
     Transmuter sim;
     unsigned jobsV = 1;
     obs::MetricRegistry *metricsV = nullptr;
+    store::EpochStore *storeV = nullptr;
+    std::uint64_t fingerprintV = 0;
     std::unordered_map<std::uint64_t, SimResult> cache;
 
     const SimResult &commit(std::uint64_t key, SimResult res);
+
+    /** Replay cfg on the member simulator, checkpoint it, commit it. */
+    const SimResult &simulateAndCommit(std::uint64_t key,
+                                       const HwConfig &cfg);
 };
 
 /** Aggregate outcome of a stitched schedule. */

@@ -18,6 +18,8 @@ Comparison::Comparison(const Workload &workload,
 {
     if (opts.observer != nullptr)
         dbV.attachMetrics(&opts.observer->metrics());
+    if (opts.store != nullptr)
+        dbV.attachStore(opts.store);
     dbV.setJobs(opts.jobs > 0 ? opts.jobs : defaultJobs());
 }
 

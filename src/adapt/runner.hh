@@ -47,6 +47,15 @@ struct ComparisonOptions
      * Pure observer: every ScheduleEval is identical without it.
      */
     obs::RunObserver *observer = nullptr;
+
+    /**
+     * Optional persistent epoch store (not owned; must be open and
+     * outlive the Comparison). When set, the shared EpochDb
+     * warm-starts every sweep from it and checkpoints every replay
+     * into it; every served result is bit-identical to the replay it
+     * memoizes, so ScheduleEvals are unchanged (DESIGN.md section 10).
+     */
+    store::EpochStore *store = nullptr;
 };
 
 /**

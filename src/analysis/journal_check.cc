@@ -102,6 +102,35 @@ checkPredictionEvent(Report &report, const obs::JournalEvent &ev,
     }
 }
 
+void
+checkStoreEvent(Report &report, const obs::JournalEvent &ev,
+                const std::string &name)
+{
+    const auto op = ev.strField("op");
+    if (!op) {
+        report.add("journal-missing-field", name, ev.seq + 1,
+                   Severity::Error,
+                   "'store' event lacks string field 'op'");
+        return;
+    }
+    if (*op != "open" && *op != "flush") {
+        report.add("journal-bad-store-op", name, ev.seq + 1,
+                   Severity::Error,
+                   "'store' event op '" + *op +
+                       "' is neither 'open' nor 'flush'");
+    }
+    // Both ops carry cumulative non-negative tallies.
+    for (const char *key : {"disk_records", "disk_results"}) {
+        const auto v = ev.intField(key);
+        if (v && *v < 0) {
+            report.add("journal-bad-store-stat", name, ev.seq + 1,
+                       Severity::Error,
+                       str("'store' event field '", key,
+                           "' is negative (", *v, ")"));
+        }
+    }
+}
+
 } // namespace
 
 Report
@@ -168,6 +197,8 @@ checkJournalEvents(const std::vector<obs::JournalEvent> &events,
             checkPolicyEvent(report, ev, name);
         } else if (ev.type == "prediction") {
             checkPredictionEvent(report, ev, name);
+        } else if (ev.type == "store") {
+            checkStoreEvent(report, ev, name);
         }
     }
     return report;

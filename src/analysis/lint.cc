@@ -203,6 +203,11 @@ lintSource(const std::string &source, const std::string &rel_path)
     // std::thread; everything else goes through its pool.
     const bool threading_home =
         rel_path.find("common/threading") != std::string::npos;
+    // store/record_log.{hh,cc} is the one home allowed to touch raw
+    // file streams; the rest of store/ goes through RecordLog's
+    // framed, CRC-guarded appends.
+    const bool store_raw_io_scope = underDir(rel_path, "store") &&
+        rel_path.find("store/record_log") == std::string::npos;
 
     auto tok = [&](std::size_t i) -> const Token * {
         return i < toks.size() ? &toks[i] : nullptr;
@@ -265,6 +270,20 @@ lintSource(const std::string &source, const std::string &rel_path)
                     "drain-on-destroy guarantee; join via "
                     "common/threading instead");
             }
+        }
+
+        // lint-store-raw-io: raw file I/O in store/ outside the
+        // framed-record writer.
+        if (store_raw_io_scope && t.kind == Token::Kind::Ident &&
+            (t.text == "fopen" || t.text == "fwrite" ||
+             t.text == "fread" || t.text == "fprintf" ||
+             t.text == "fputs" || t.text == "FILE" ||
+             t.text == "ofstream" || t.text == "ifstream" ||
+             t.text == "fstream" || t.text == "filebuf")) {
+            report.add(
+                "lint-store-raw-io", rel_path, t.line, Severity::Error,
+                str(t.text, ": store files are written only through "
+                            "store/record_log's framed CRC records"));
         }
 
         // lint-naked-new: any new-expression.

@@ -21,6 +21,10 @@
  *    functions whose value must not be discarded; catches the
  *    expression-statement pattern even in code paths the compiler's
  *    [[nodiscard]] does not reach (uninstantiated templates).
+ *  - lint-store-raw-io: no raw file I/O (fopen/fwrite/FILE or the
+ *    std fstream family) in store/ outside store/record_log — every
+ *    byte of a store file must pass through the framed, CRC-guarded
+ *    record writer, or crash-safety silently evaporates.
  *
  * Findings are keyed by file:line relative to the lint root, so the
  * baseline file stays stable across checkouts.

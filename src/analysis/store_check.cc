@@ -1,0 +1,125 @@
+#include "analysis/store_check.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "store/epoch_store.hh"
+#include "store/record_log.hh"
+
+namespace sadapt::analysis {
+
+Report
+checkStoreFile(const std::string &path, std::uint64_t expected_salt)
+{
+    Report report;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.add("store-io", path, 0, Severity::Error,
+                   "cannot open store file");
+        return report;
+    }
+
+    // Pure scan: the validator must never repair (truncate) the file
+    // it is judging, so it uses scanRecordStream directly instead of
+    // EpochStore::open().
+    const store::ScanResult scan = store::scanRecordStream(in);
+    if (!scan.headerOk) {
+        if (scan.formatVersion != 0 &&
+            scan.formatVersion != store::recordLogFormatVersion) {
+            report.add("store-version", path, 0, Severity::Error,
+                       str("container format version ",
+                           scan.formatVersion, " (this build reads ",
+                           store::recordLogFormatVersion, ")"));
+        } else {
+            report.add("store-magic", path, 0, Severity::Error,
+                       "not a sadapt store file (bad header magic)");
+        }
+        return report;
+    }
+    if (scan.corruptRecords > 0) {
+        report.add("store-crc", path, 0, Severity::Error,
+                   str(scan.corruptRecords,
+                       " record(s) fail their payload CRC (skipped "
+                       "at run time; compact() drops them)"));
+    }
+    if (scan.tornTailBytes > 0) {
+        report.add("store-torn-tail", path, scan.records.size() + 1,
+                   Severity::Warning,
+                   str(scan.tornTailBytes,
+                       " trailing byte(s) after the last intact "
+                       "frame (torn append; open() truncates them)"));
+    }
+
+    // Cross-record key consistency, mirroring EpochStore's index.
+    struct SeenEntry
+    {
+        std::uint32_t epochCount = 0;
+        std::vector<bool> present;
+    };
+    std::map<std::pair<std::uint64_t, std::uint32_t>, SeenEntry> seen;
+    std::size_t ordinal = 0;
+    for (const store::ScanRecord &rec : scan.records) {
+        ++ordinal;
+        const auto version = store::recordPayloadVersion(rec.payload);
+        if (version && *version != store::storeSchemaVersion) {
+            report.add("store-version", path, ordinal,
+                       Severity::Error,
+                       str("record payload schema version ", *version,
+                           " (this build reads ",
+                           store::storeSchemaVersion, ")"));
+            continue;
+        }
+        const Result<store::StoredCell> cell =
+            store::decodeStoreRecord(rec.payload);
+        if (!cell.isOk()) {
+            report.add("store-key", path, ordinal, Severity::Error,
+                       cell.message());
+            continue;
+        }
+        const store::RecordKey &key = cell.value().key;
+        if (expected_salt != 0 && key.simSalt != expected_salt) {
+            report.add("store-salt", path, ordinal, Severity::Warning,
+                       str("record keyed by simulator salt ",
+                           key.simSalt, ", not this build's ",
+                           expected_salt,
+                           " (ignored at run time; compact() drops "
+                           "it)"));
+            continue;
+        }
+        if (key.epochCount == 0 ||
+            key.epochIndex >= key.epochCount) {
+            report.add("store-key", path, ordinal, Severity::Error,
+                       str("epoch index ", key.epochIndex,
+                           " out of range for epoch count ",
+                           key.epochCount));
+            continue;
+        }
+        SeenEntry &entry =
+            seen[{key.fingerprint, key.configCode}];
+        if (entry.epochCount == 0) {
+            entry.epochCount = key.epochCount;
+            entry.present.assign(key.epochCount, false);
+        } else if (entry.epochCount != key.epochCount) {
+            report.add("store-key", path, ordinal, Severity::Error,
+                       str("record claims ", key.epochCount,
+                           " epochs where earlier records of the "
+                           "same result claim ", entry.epochCount));
+            continue;
+        }
+        if (entry.present[key.epochIndex]) {
+            report.add("store-key", path, ordinal, Severity::Warning,
+                       str("duplicate cell for epoch ",
+                           key.epochIndex,
+                           " of one result (latest wins at run "
+                           "time; compact() deduplicates)"));
+        }
+        entry.present[key.epochIndex] = true;
+    }
+    return report;
+}
+
+} // namespace sadapt::analysis

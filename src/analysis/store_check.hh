@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Validator for persistent epoch-store files (store/epoch_store.hh).
+ *
+ * A store is consulted before re-simulating, so a damaged one must
+ * fail loudly here rather than silently costing (or worse, serving)
+ * anything at run time. The checker is strictly read-only — unlike
+ * EpochStore::open() it never truncates a torn tail — and reports:
+ *
+ *   store-io         unreadable file
+ *   store-magic      missing/foreign file header
+ *   store-version    unsupported container or payload schema version
+ *   store-crc        CRC-mismatch record frames (skipped at run time)
+ *   store-torn-tail  incomplete bytes after the last intact frame
+ *                    (warning: open() recovers this case by design)
+ *   store-key        undecodable payloads or inconsistent keys
+ *                    (epoch index out of range, epoch-count conflicts
+ *                    between records of one result, duplicate cells)
+ *   store-salt       records keyed by a different simulator salt
+ *                    (warning: ignored at run time, compact() drops
+ *                    them)
+ */
+
+#ifndef SADAPT_ANALYSIS_STORE_CHECK_HH
+#define SADAPT_ANALYSIS_STORE_CHECK_HH
+
+#include <string>
+
+#include "analysis/finding.hh"
+
+namespace sadapt::analysis {
+
+/**
+ * Read and validate a store file. Salt mismatches are only reported
+ * when `expected_salt` is non-zero (the CLI usually cannot know the
+ * salt of the build that will consume the store).
+ */
+Report checkStoreFile(const std::string &path,
+                      std::uint64_t expected_salt = 0);
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_STORE_CHECK_HH

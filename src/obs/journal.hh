@@ -23,6 +23,12 @@
  *   watchdog  a degraded-mode state transition: from, to
  *             (normal|reverted), streak/held context
  *   fault     an injected fault: kind, detail
+ *   store     a persistent epoch-store lifecycle point: op
+ *             (open|flush) plus cumulative hit/miss/record stats
+ *
+ * Benchmarks deliberately do not journal store events (their journals
+ * must stay byte-identical across cold- and warm-store runs); the
+ * interactive CLI does.
  *
  * The journal is an *observer*: attaching or detaching a writer must
  * never change a single control decision (the determinism guard test

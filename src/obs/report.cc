@@ -194,6 +194,103 @@ renderMetricRollups(const std::vector<MetricSample> &metrics,
     }
 }
 
+bool
+renderStoreSection(const std::vector<JournalEvent> &events,
+                   const std::vector<MetricSample> &metrics,
+                   std::ostream &out)
+{
+    // Prefer the journal's cumulative store events (the CLI journals
+    // them); fall back to store/ metric samples (benchmarks export
+    // metrics only, to keep their journals store-independent).
+    const JournalEvent *open_ev = nullptr;
+    const JournalEvent *last_ev = nullptr;
+    for (const JournalEvent &ev : events) {
+        if (ev.type != "store")
+            continue;
+        last_ev = &ev;
+        const FieldValue *op = ev.field("op");
+        if (op != nullptr &&
+            std::holds_alternative<std::string>(*op) &&
+            std::get<std::string>(*op) == "open")
+            open_ev = &ev;
+    }
+
+    std::map<std::string, const MetricSample *> store_metrics;
+    for (const MetricSample &m : metrics) {
+        if (m.name.rfind("store/", 0) == 0)
+            store_metrics[m.name] = &m;
+    }
+
+    if (last_ev == nullptr && store_metrics.empty())
+        return false;
+
+    out << "== epoch store ==\n";
+    if (last_ev != nullptr) {
+        if (open_ev != nullptr) {
+            out << "file: " << fieldOr(*open_ev, "file", "?") << " ("
+                << fieldOr(*open_ev, "disk_results", "0")
+                << " results / "
+                << fieldOr(*open_ev, "disk_records", "0")
+                << " records at open)\n";
+            const auto recovered = [&](const char *key) {
+                const FieldValue *v = open_ev->field(key);
+                return v != nullptr &&
+                       std::holds_alternative<std::int64_t>(*v) &&
+                       std::get<std::int64_t>(*v) > 0;
+            };
+            if (recovered("stale_records") ||
+                recovered("corrupt_records") ||
+                recovered("torn_tail_bytes")) {
+                out << "recovered: "
+                    << fieldOr(*open_ev, "stale_records", "0")
+                    << " stale, "
+                    << fieldOr(*open_ev, "corrupt_records", "0")
+                    << " corrupt record(s), "
+                    << fieldOr(*open_ev, "torn_tail_bytes", "0")
+                    << " torn tail byte(s)\n";
+            }
+        }
+        if (last_ev != open_ev) {
+            out << "traffic: " << fieldOr(*last_ev, "hits", "0")
+                << " hits, " << fieldOr(*last_ev, "misses", "0")
+                << " misses, "
+                << fieldOr(*last_ev, "put_records", "0")
+                << " record(s) written (now "
+                << fieldOr(*last_ev, "disk_results", "0")
+                << " results / "
+                << fieldOr(*last_ev, "disk_records", "0")
+                << " records on disk)\n";
+        }
+        return true;
+    }
+
+    const auto counter = [&](const char *name) -> std::uint64_t {
+        const auto it = store_metrics.find(name);
+        if (it == store_metrics.end())
+            return 0;
+        if (it->second->kind == MetricKind::Gauge)
+            return static_cast<std::uint64_t>(
+                it->second->gaugeValue);
+        return it->second->counterValue;
+    };
+    out << "traffic: " << counter("store/hits") << " hits, "
+        << counter("store/misses") << " misses, "
+        << counter("store/put_records") << " record(s) written, "
+        << counter("store/evictions") << " eviction(s), "
+        << counter("store/served_cells") << " epoch cell(s) served\n";
+    out << "on disk: " << counter("store/disk_results")
+        << " results / " << counter("store/disk_records")
+        << " records";
+    if (counter("store/corrupt_records") > 0 ||
+        counter("store/stale_records") > 0) {
+        out << " (" << counter("store/corrupt_records")
+            << " corrupt, " << counter("store/stale_records")
+            << " stale skipped)";
+    }
+    out << '\n';
+    return true;
+}
+
 void
 renderReport(const std::vector<JournalEvent> &events,
              const std::vector<MetricSample> &metrics,
@@ -213,6 +310,8 @@ renderReport(const std::vector<JournalEvent> &events,
     out << '\n';
     renderReconfigSummary(events, out);
     out << '\n';
+    if (renderStoreSection(events, metrics, out))
+        out << '\n';
     renderMetricRollups(metrics, out);
 }
 

@@ -38,6 +38,17 @@ void renderMetricRollups(const std::vector<MetricSample> &metrics,
                          std::ostream &out);
 
 /**
+ * Epoch-store cache statistics, rendered from "store" journal events
+ * when present and from store/ metric samples otherwise. Returns
+ * whether anything was rendered: a run without a store (no store
+ * events, no store/ metrics) produces no section at all, keeping
+ * store-less reports byte-identical to pre-store builds.
+ */
+bool renderStoreSection(const std::vector<JournalEvent> &events,
+                        const std::vector<MetricSample> &metrics,
+                        std::ostream &out);
+
+/**
  * The full report: run header, timeline, reconfiguration summary and
  * metric roll-ups. Either input may be empty.
  */

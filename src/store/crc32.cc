@@ -1,0 +1,39 @@
+#include "store/crc32.hh"
+
+#include <array>
+
+namespace sadapt::store {
+
+namespace {
+
+/** The reflected IEEE polynomial table, built once at first use. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const auto &table = crcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace sadapt::store

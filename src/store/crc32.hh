@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, reflected) used to frame records in
+ * the persistent epoch-result store. Every record payload is hashed on
+ * append and re-verified on every read, so a flipped bit anywhere in a
+ * payload is detected before the record can be served as a cache hit.
+ */
+
+#ifndef SADAPT_STORE_CRC32_HH
+#define SADAPT_STORE_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sadapt::store {
+
+/** CRC-32 of a byte buffer (initial value 0, standard final XOR). */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** CRC-32 of a string payload. */
+inline std::uint32_t
+crc32(std::string_view payload)
+{
+    return crc32(payload.data(), payload.size());
+}
+
+} // namespace sadapt::store
+
+#endif // SADAPT_STORE_CRC32_HH

@@ -1,0 +1,254 @@
+#include "store/record_log.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <istream>
+
+#include "common/logging.hh"
+#include "store/crc32.hh"
+
+namespace sadapt::store {
+
+namespace {
+
+constexpr std::size_t headerBytes = sizeof(recordLogMagic) + 4;
+constexpr std::size_t frameHeaderBytes = 12; //!< magic + length + crc
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out += static_cast<char>(v & 0xffu);
+    out += static_cast<char>((v >> 8) & 0xffu);
+    out += static_cast<char>((v >> 16) & 0xffu);
+    out += static_cast<char>((v >> 24) & 0xffu);
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    const auto *b = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<std::uint32_t>(b[0]) |
+        (static_cast<std::uint32_t>(b[1]) << 8) |
+        (static_cast<std::uint32_t>(b[2]) << 16) |
+        (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+/**
+ * Records larger than this are rejected as frame desynchronization: a
+ * single epoch cell is a few hundred bytes, so a length field claiming
+ * more than this came from corrupted framing, not a real record.
+ */
+constexpr std::uint32_t maxPayloadBytes = 64u * 1024u * 1024u;
+
+} // namespace
+
+ScanResult
+scanRecordStream(std::istream &in)
+{
+    ScanResult out;
+
+    char header[headerBytes];
+    in.read(header, static_cast<std::streamsize>(headerBytes));
+    if (in.gcount() != static_cast<std::streamsize>(headerBytes) ||
+        std::memcmp(header, recordLogMagic,
+                    sizeof(recordLogMagic)) != 0)
+        return out; // headerOk stays false
+    out.formatVersion = getU32(header + sizeof(recordLogMagic));
+    if (out.formatVersion != recordLogFormatVersion)
+        return out;
+    out.headerOk = true;
+    out.validEnd = headerBytes;
+
+    std::uint64_t offset = headerBytes;
+    char frame[frameHeaderBytes];
+    for (;;) {
+        in.read(frame, static_cast<std::streamsize>(frameHeaderBytes));
+        const std::streamsize got = in.gcount();
+        if (got == 0)
+            break; // clean EOF at a frame boundary
+        if (got < static_cast<std::streamsize>(frameHeaderBytes)) {
+            out.tornTailBytes += static_cast<std::uint64_t>(got);
+            break; // partial frame header: torn tail
+        }
+        const std::uint32_t magic = getU32(frame);
+        const std::uint32_t length = getU32(frame + 4);
+        const std::uint32_t crc = getU32(frame + 8);
+        if (magic != recordFrameMagic || length > maxPayloadBytes) {
+            // Desynchronized framing: count the rest of the stream as
+            // unrecoverable tail.
+            out.tornTailBytes += frameHeaderBytes;
+            char sink[4096];
+            while (in.read(sink, sizeof(sink)) || in.gcount() > 0) {
+                out.tornTailBytes +=
+                    static_cast<std::uint64_t>(in.gcount());
+                if (in.gcount() < static_cast<std::streamsize>(
+                                      sizeof(sink)))
+                    break;
+            }
+            break;
+        }
+        std::string payload(length, '\0');
+        in.read(payload.data(), static_cast<std::streamsize>(length));
+        if (in.gcount() < static_cast<std::streamsize>(length)) {
+            out.tornTailBytes += frameHeaderBytes +
+                static_cast<std::uint64_t>(in.gcount());
+            break; // payload cut short: torn tail
+        }
+        const std::uint64_t next =
+            offset + frameHeaderBytes + length;
+        if (crc32(payload) != crc) {
+            ++out.corruptRecords;
+        } else {
+            out.records.push_back(
+                ScanRecord{offset, std::move(payload)});
+        }
+        // A CRC-mismatch frame is still structurally sound, so the
+        // bytes after it stay scannable and later records survive.
+        offset = next;
+        out.validEnd = next;
+    }
+    return out;
+}
+
+Status
+RecordLog::open(const std::string &path, ScanResult &scan)
+{
+    close();
+    pathV = path;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const bool exists = fs::exists(path, ec) && !ec &&
+        fs::file_size(path, ec) > 0 && !ec;
+
+    if (!exists) {
+        // Fresh log: write the header through a write-only stream.
+        std::ofstream create(path, std::ios::binary | std::ios::trunc);
+        if (!create)
+            return Status::error("store: cannot create " + path);
+        std::string header(recordLogMagic, sizeof(recordLogMagic));
+        putU32(header, recordLogFormatVersion);
+        create.write(header.data(),
+                     static_cast<std::streamsize>(header.size()));
+        create.flush();
+        if (!create)
+            return Status::error("store: cannot write header of " +
+                                 path);
+        scan = ScanResult{};
+        scan.headerOk = true;
+        scan.formatVersion = recordLogFormatVersion;
+        scan.validEnd = headerBytes;
+    } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return Status::error("store: cannot open " + path);
+        scan = scanRecordStream(in);
+        if (!scan.headerOk) {
+            return Status::error(
+                str("store: ", path,
+                    " is not a sadapt store log (bad magic or "
+                    "unsupported format version ", scan.formatVersion,
+                    ", expected ", recordLogFormatVersion, ")"));
+        }
+        in.close();
+        const std::uint64_t size = fs::file_size(path, ec);
+        if (!ec && size > scan.validEnd) {
+            // Torn tail (or desynchronized framing): drop the damaged
+            // suffix so the next append starts at a frame boundary.
+            fs::resize_file(path, scan.validEnd, ec);
+            if (ec)
+                return Status::error("store: cannot truncate torn "
+                                     "tail of " + path + ": " +
+                                     ec.message());
+            warn(str("store: ", path, ": recovered torn tail (",
+                     size - scan.validEnd, " bytes truncated)"));
+        }
+        if (scan.corruptRecords > 0)
+            warn(str("store: ", path, ": skipped ",
+                     scan.corruptRecords,
+                     " CRC-mismatch record(s); run sadapt_check "
+                     "store / compact() to drop them"));
+    }
+
+    streamV.open(path, std::ios::binary | std::ios::in |
+                     std::ios::out | std::ios::ate);
+    if (!streamV.is_open())
+        return Status::error("store: cannot reopen " + path);
+    endV = scan.validEnd;
+    return Status::ok();
+}
+
+std::uint64_t
+RecordLog::append(std::string_view payload)
+{
+    SADAPT_ASSERT(isOpen(), "append() on a closed RecordLog");
+    SADAPT_ASSERT(payload.size() <= maxPayloadBytes,
+                  "store record payload exceeds the frame limit");
+    const std::uint64_t offset = endV;
+    std::string frame;
+    frame.reserve(frameHeaderBytes + payload.size());
+    putU32(frame, recordFrameMagic);
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU32(frame, crc32(payload));
+    frame.append(payload.data(), payload.size());
+    streamV.clear();
+    streamV.seekp(static_cast<std::streamoff>(endV));
+    streamV.write(frame.data(),
+                  static_cast<std::streamsize>(frame.size()));
+    SADAPT_ASSERT(static_cast<bool>(streamV),
+                  "store append failed (disk full or file removed?)");
+    endV += frame.size();
+    return offset;
+}
+
+void
+RecordLog::flush()
+{
+    if (isOpen())
+        streamV.flush();
+}
+
+Result<std::string>
+RecordLog::readAt(std::uint64_t offset)
+{
+    SADAPT_ASSERT(isOpen(), "readAt() on a closed RecordLog");
+    if (offset + frameHeaderBytes > endV)
+        return Status::error("store: record offset out of range");
+    streamV.flush(); // make pending appends visible to the read side
+    streamV.clear();
+    streamV.seekg(static_cast<std::streamoff>(offset));
+    char frame[frameHeaderBytes];
+    streamV.read(frame,
+                 static_cast<std::streamsize>(frameHeaderBytes));
+    if (streamV.gcount() !=
+        static_cast<std::streamsize>(frameHeaderBytes))
+        return Status::error("store: short read of record frame");
+    if (getU32(frame) != recordFrameMagic)
+        return Status::error("store: bad frame magic on re-read");
+    const std::uint32_t length = getU32(frame + 4);
+    const std::uint32_t crc = getU32(frame + 8);
+    if (offset + frameHeaderBytes + length > endV ||
+        length > maxPayloadBytes)
+        return Status::error("store: record length out of range");
+    std::string payload(length, '\0');
+    streamV.read(payload.data(),
+                 static_cast<std::streamsize>(length));
+    if (streamV.gcount() != static_cast<std::streamsize>(length))
+        return Status::error("store: short read of record payload");
+    if (crc32(payload) != crc)
+        return Status::error("store: record CRC mismatch on re-read");
+    return payload;
+}
+
+void
+RecordLog::close()
+{
+    if (streamV.is_open()) {
+        streamV.flush();
+        streamV.close();
+    }
+    streamV.clear();
+    pathV.clear();
+    endV = 0;
+}
+
+} // namespace sadapt::store

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The append-only framed record log under the epoch-result store.
+ *
+ * A log file is a fixed header followed by a sequence of frames:
+ *
+ *   header:  8-byte magic "sadaptst", u32 format version
+ *   frame:   u32 frame magic, u32 payload length, u32 crc32(payload),
+ *            payload bytes
+ *
+ * All integers are little-endian. The log is append-only: a writer
+ * never seeks back into committed bytes, so a crash can only damage
+ * the tail. On open the whole file is scanned:
+ *
+ *  - a frame whose payload CRC mismatches is *skipped* (never served)
+ *    and counted, with a logged warning — compact() rewrites the log
+ *    without it;
+ *  - an incomplete final frame (torn append: the writing process died
+ *    mid-write) is truncated away, same spirit as the journal's
+ *    torn-tail recovery, and the log continues from the last good
+ *    frame;
+ *  - a frame with a bad magic or an impossible length mid-file cannot
+ *    be resynchronized reliably, so everything from that offset on is
+ *    treated as a torn tail.
+ *
+ * This file (and its .cc) is the ONLY place in src/store that touches
+ * raw file streams; the lint-store-raw-io check enforces that every
+ * other store file goes through RecordLog.
+ */
+
+#ifndef SADAPT_STORE_RECORD_LOG_HH
+#define SADAPT_STORE_RECORD_LOG_HH
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace sadapt::store {
+
+/** Log file format version (the container framing, not the payload). */
+inline constexpr std::uint32_t recordLogFormatVersion = 1;
+
+/** 8-byte file magic at offset 0. */
+inline constexpr char recordLogMagic[8] = {'s', 'a', 'd', 'a',
+                                           'p', 't', 's', 't'};
+
+/** Per-frame marker guarding against mid-file desynchronization. */
+inline constexpr std::uint32_t recordFrameMagic = 0x5adafeedu;
+
+/** One intact record recovered by a scan. */
+struct ScanRecord
+{
+    std::uint64_t offset = 0; //!< file offset of the frame header
+    std::string payload;
+};
+
+/** Outcome of scanning a log stream (pure; never mutates the file). */
+struct ScanResult
+{
+    std::vector<ScanRecord> records;
+
+    /** Header magic/version were valid (false fails the open). */
+    bool headerOk = false;
+    std::uint32_t formatVersion = 0;
+
+    /** CRC-mismatch frames skipped (structurally intact, bad bytes). */
+    std::uint64_t corruptRecords = 0;
+
+    /**
+     * Bytes of unrecoverable tail (incomplete final frame, or a
+     * desynchronized frame header); RecordLog::open truncates them.
+     */
+    std::uint64_t tornTailBytes = 0;
+
+    /** File offset where the valid prefix ends. */
+    std::uint64_t validEnd = 0;
+};
+
+/**
+ * Scan a log stream from its current position. Validates the header,
+ * then walks frames until EOF or tail damage. Read-only: validators
+ * (sadapt_check store) use this without repairing anything.
+ */
+ScanResult scanRecordStream(std::istream &in);
+
+/** Append-only handle on one log file. */
+class RecordLog
+{
+  public:
+    RecordLog() = default;
+
+    /**
+     * Open (creating if missing) and scan the log. Recovers a torn
+     * tail by truncating the file to the last intact frame. Fails on
+     * an unreadable path or a foreign/newer file header; scan receives
+     * the surviving records.
+     */
+    [[nodiscard]] Status open(const std::string &path,
+                              ScanResult &scan);
+
+    bool isOpen() const { return streamV.is_open(); }
+    const std::string &path() const { return pathV; }
+
+    /** Append one framed record; returns the frame's file offset. */
+    std::uint64_t append(std::string_view payload);
+
+    /** Flush buffered appends to the operating system. */
+    void flush();
+
+    /**
+     * Re-read the record whose frame starts at `offset` (as reported
+     * by a scan or an append), re-verifying the CRC.
+     */
+    [[nodiscard]] Result<std::string> readAt(std::uint64_t offset);
+
+    /** Offset one past the last committed frame. */
+    std::uint64_t endOffset() const { return endV; }
+
+    void close();
+
+  private:
+    std::string pathV;
+    std::fstream streamV;
+    std::uint64_t endV = 0;
+};
+
+} // namespace sadapt::store
+
+#endif // SADAPT_STORE_RECORD_LOG_HH

@@ -1,0 +1,17 @@
+// Lint fixture: raw file I/O inside store/ (outside record_log) must
+// trip lint-store-raw-io. Never compiled.
+#include <cstdio>
+#include <fstream>
+
+namespace sadapt::store {
+
+void
+sneakOutOfBandWrite(const char *path)
+{
+    std::ofstream out(path); // lint-store-raw-io (ofstream)
+    out << "unframed bytes";
+    FILE *f = fopen(path, "ab"); // lint-store-raw-io (fopen/FILE)
+    fwrite("x", 1, 1, f); // lint-store-raw-io (fwrite)
+}
+
+} // namespace sadapt::store

@@ -146,6 +146,38 @@ TEST(Lint, CheckedStatusNotFlagged)
     EXPECT_FALSE(hasCheck(r, "lint-unchecked-status"));
 }
 
+TEST(Lint, StoreRawIoFlaggedInStore)
+{
+    const Report r = lintSource(
+        "std::ofstream out(path, std::ios::binary);\n"
+        "FILE *f = fopen(path.c_str(), \"wb\");\n"
+        "fwrite(buf, 1, n, f);\n",
+        "src/store/epoch_store.cc");
+    // ofstream; FILE and fopen; fwrite.
+    EXPECT_EQ(r.errorCount(), 4u);
+    EXPECT_TRUE(hasCheck(r, "lint-store-raw-io"));
+}
+
+TEST(Lint, StoreRawIoAllowedInRecordLog)
+{
+    // record_log is the single framed-writer home; raw streams are
+    // its whole job.
+    const Report r = lintSource("std::fstream s(path);\n"
+                                "std::ifstream in(path);\n",
+                                "src/store/record_log.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-store-raw-io"));
+}
+
+TEST(Lint, StoreRawIoScopedToStoreOnly)
+{
+    // Other subsystems (journal writer, trace loader, ...) may use
+    // raw streams; the rule protects only the store's crash-safety
+    // contract.
+    const Report r = lintSource("std::ofstream out(path);\n",
+                                "src/obs/journal.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-store-raw-io"));
+}
+
 TEST(Lint, FixtureFileTripsEveryRule)
 {
     const Report r = lintFile(

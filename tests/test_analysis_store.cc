@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Store-validator tests: checkStoreFile() against freshly generated
+ * good, corrupt, torn and mis-keyed store files. Files are built with
+ * the real store library (fixed salt, synthetic epochs) so the
+ * validator is exercised on exactly the bytes EpochStore writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analysis/store_check.hh"
+#include "sim/counters.hh"
+#include "store/epoch_store.hh"
+#include "store/record_log.hh"
+
+using namespace sadapt;
+using namespace sadapt::analysis;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t fixtureSalt = 0x5ad7;
+
+bool
+hasCheck(const Report &r, const std::string &check_id)
+{
+    for (const auto &f : r.findings())
+        if (f.checkId == check_id)
+            return true;
+    return false;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    fs::remove(path);
+    return path;
+}
+
+/** A synthetic but fully decodable epoch cell. */
+EpochRecord
+syntheticEpoch(std::uint32_t index)
+{
+    EpochRecord ep;
+    ep.index = index;
+    ep.phase = 0;
+    ep.cycles = 1000 + index;
+    ep.seconds = 1e-6 * (index + 1);
+    ep.flops = 100.0;
+    ep.energy.core = 1.0;
+    ep.telemetryValid = true;
+    return ep;
+}
+
+store::RecordKey
+cellKey(std::uint32_t epoch_index, std::uint32_t epoch_count)
+{
+    store::RecordKey key;
+    key.simSalt = fixtureSalt;
+    key.fingerprint = 0xabcu;
+    key.configCode = 5;
+    key.epochIndex = epoch_index;
+    key.epochCount = epoch_count;
+    return key;
+}
+
+/** Write a log whose record payloads are given verbatim. */
+void
+writeLog(const std::string &path,
+         const std::vector<std::string> &payloads)
+{
+    store::RecordLog log;
+    store::ScanResult scan;
+    ASSERT_TRUE(log.open(path, scan).isOk());
+    for (const std::string &p : payloads)
+        log.append(p);
+    log.flush();
+}
+
+std::vector<std::string>
+goodPayloads()
+{
+    return {
+        store::encodeStoreRecord(cellKey(0, 2), syntheticEpoch(0)),
+        store::encodeStoreRecord(cellKey(1, 2), syntheticEpoch(1)),
+    };
+}
+
+} // namespace
+
+TEST(StoreCheck, MissingFileIsAnIoError)
+{
+    const Report r = checkStoreFile("/nonexistent/path.store");
+    EXPECT_EQ(r.errorCount(), 1u);
+    EXPECT_TRUE(hasCheck(r, "store-io"));
+}
+
+TEST(StoreCheck, GoodFileIsClean)
+{
+    const std::string path = tempPath("check_good.store");
+    writeLog(path, goodPayloads());
+    const Report r = checkStoreFile(path);
+    EXPECT_EQ(r.errorCount(), 0u);
+    EXPECT_EQ(r.warningCount(), 0u);
+}
+
+TEST(StoreCheck, ForeignHeaderIsMagicError)
+{
+    const std::string path = tempPath("check_foreign.store");
+    std::ofstream(path, std::ios::binary)
+        << "definitely not a store";
+    const Report r = checkStoreFile(path);
+    EXPECT_TRUE(hasCheck(r, "store-magic"));
+}
+
+TEST(StoreCheck, CorruptPayloadIsCrcError)
+{
+    const std::string path = tempPath("check_crc.store");
+    writeLog(path, goodPayloads());
+    {
+        // Flip a byte inside the last record's payload.
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        f.seekp(-8, std::ios::end);
+        f.put('\x7f');
+    }
+    const Report r = checkStoreFile(path);
+    EXPECT_TRUE(hasCheck(r, "store-crc"));
+    EXPECT_GT(r.errorCount(), 0u);
+}
+
+TEST(StoreCheck, TornTailIsAWarningOnly)
+{
+    const std::string path = tempPath("check_torn.store");
+    writeLog(path, goodPayloads());
+    fs::resize_file(path, fs::file_size(path) - 9);
+    const Report r = checkStoreFile(path);
+    EXPECT_EQ(r.errorCount(), 0u);
+    EXPECT_TRUE(hasCheck(r, "store-torn-tail"));
+}
+
+TEST(StoreCheck, UnsupportedPayloadVersionReported)
+{
+    const std::string path = tempPath("check_version.store");
+    store::RecordKey key = cellKey(0, 1);
+    key.schemaVersion = 99;
+    writeLog(path, {store::encodeStoreRecord(key, syntheticEpoch(0))});
+    const Report r = checkStoreFile(path);
+    EXPECT_TRUE(hasCheck(r, "store-version"));
+    EXPECT_GT(r.errorCount(), 0u);
+}
+
+TEST(StoreCheck, SaltMismatchOnlyWhenExpectedSaltGiven)
+{
+    const std::string path = tempPath("check_salt.store");
+    writeLog(path, goodPayloads());
+    // Without an expected salt the file is clean...
+    EXPECT_EQ(checkStoreFile(path).warningCount(), 0u);
+    // ...against the matching salt too...
+    EXPECT_EQ(checkStoreFile(path, fixtureSalt).warningCount(), 0u);
+    // ...but a different build's salt flags every record.
+    const Report r = checkStoreFile(path, fixtureSalt + 1);
+    EXPECT_TRUE(hasCheck(r, "store-salt"));
+    EXPECT_EQ(r.errorCount(), 0u);
+    EXPECT_EQ(r.warningCount(), 2u);
+}
+
+TEST(StoreCheck, EpochIndexOutOfRangeIsKeyError)
+{
+    const std::string path = tempPath("check_range.store");
+    writeLog(path,
+             {store::encodeStoreRecord(cellKey(3, 2), syntheticEpoch(3))});
+    const Report r = checkStoreFile(path);
+    EXPECT_TRUE(hasCheck(r, "store-key"));
+    EXPECT_GT(r.errorCount(), 0u);
+}
+
+TEST(StoreCheck, EpochCountConflictIsKeyError)
+{
+    const std::string path = tempPath("check_conflict.store");
+    writeLog(path,
+             {store::encodeStoreRecord(cellKey(0, 2), syntheticEpoch(0)),
+              store::encodeStoreRecord(cellKey(1, 3), syntheticEpoch(1))});
+    const Report r = checkStoreFile(path);
+    EXPECT_TRUE(hasCheck(r, "store-key"));
+    EXPECT_GT(r.errorCount(), 0u);
+}
+
+TEST(StoreCheck, DuplicateCellIsAWarning)
+{
+    const std::string path = tempPath("check_dup.store");
+    const std::string cell =
+        store::encodeStoreRecord(cellKey(0, 2), syntheticEpoch(0));
+    writeLog(path, {cell, cell});
+    const Report r = checkStoreFile(path);
+    EXPECT_EQ(r.errorCount(), 0u);
+    EXPECT_TRUE(hasCheck(r, "store-key"));
+    EXPECT_EQ(r.warningCount(), 1u);
+}
+
+TEST(StoreCheck, TruncatedPayloadIsKeyError)
+{
+    const std::string path = tempPath("check_short.store");
+    const std::string cell =
+        store::encodeStoreRecord(cellKey(0, 1), syntheticEpoch(0));
+    writeLog(path, {cell.substr(0, cell.size() / 2)});
+    const Report r = checkStoreFile(path);
+    EXPECT_TRUE(hasCheck(r, "store-key"));
+    EXPECT_GT(r.errorCount(), 0u);
+}

@@ -50,6 +50,53 @@ TEST(EpochDb, EpochCountsAlign)
     EXPECT_EQ(db.epochs(bestAvgConfig(MemType::Cache)).size(), n);
 }
 
+TEST(EpochDb, EnsureDeduplicatesWithinOneBatch)
+{
+    // A candidate batch routinely names the same configuration more
+    // than once (e.g. the incumbent plus sampled neighbors); ensure()
+    // must replay each distinct configuration exactly once, in any
+    // jobs mode.
+    Workload wl = smallWorkload();
+    for (unsigned jobs : {1u, 4u}) {
+        EpochDb db(wl);
+        db.setJobs(jobs);
+        const std::vector<HwConfig> batch = {
+            baselineConfig(), maxConfig(), baselineConfig(),
+            maxConfig(),      baselineConfig()};
+        db.ensure(batch);
+        EXPECT_EQ(db.simulatedConfigs(), 2u) << "jobs=" << jobs;
+    }
+}
+
+TEST(EpochDb, InterleavedEnsureAndResultCalls)
+{
+    // Mixing direct result() lookups with ensure() batches (the real
+    // sweep pattern: oracle prefetch, then per-epoch queries) must
+    // neither re-simulate nor diverge from the pure-serial database.
+    Workload wl = smallWorkload();
+    EpochDb serial(wl);
+
+    EpochDb db(wl);
+    db.setJobs(4);
+    db.result(baselineConfig()); // cached before the batch arrives
+    const std::vector<HwConfig> batch = {
+        baselineConfig(), maxConfig(), bestAvgConfig(MemType::Cache)};
+    db.ensure(batch);
+    EXPECT_EQ(db.simulatedConfigs(), 3u);
+
+    const SimResult &mid = db.result(maxConfig());
+    EXPECT_DOUBLE_EQ(mid.totalSeconds(),
+                     serial.result(maxConfig()).totalSeconds());
+    EXPECT_DOUBLE_EQ(mid.totalEnergy(),
+                     serial.result(maxConfig()).totalEnergy());
+
+    db.ensure(batch); // fully cached: a no-op, not a re-simulation
+    EXPECT_EQ(db.simulatedConfigs(), 3u);
+    EXPECT_DOUBLE_EQ(
+        db.result(baselineConfig()).totalFlops(),
+        serial.result(baselineConfig()).totalFlops());
+}
+
 TEST(Schedule, UniformAndSwitchCount)
 {
     Schedule s = Schedule::uniform(baselineConfig(), 5);

@@ -173,10 +173,10 @@ TEST(Journal, MissingEnvelopeKeyRejected)
 TEST(Journal, EventTypeListIsStable)
 {
     const auto &types = journalEventTypes();
-    ASSERT_EQ(types.size(), 8u);
+    ASSERT_EQ(types.size(), 9u);
     EXPECT_EQ(types.front(), "run");
     for (const char *t : {"epoch", "prediction", "policy", "reconfig",
-                          "guard", "watchdog", "fault"}) {
+                          "guard", "watchdog", "fault", "store"}) {
         EXPECT_NE(std::find(types.begin(), types.end(), t),
                   types.end())
             << t;

@@ -19,7 +19,7 @@ cmake -B "$build_dir" -S "$repo_root" \
 echo "== build"
 cmake --build "$build_dir" -j > /dev/null
 
-echo "== sadapt_check: sources, models, traces, specs, journals"
+echo "== sadapt_check: sources, models, traces, specs, journals, stores"
 "$build_dir/tools/sadapt_check" all \
     --root "$repo_root" \
     --src "$repo_root/src" \
@@ -27,10 +27,18 @@ echo "== sadapt_check: sources, models, traces, specs, journals"
     --trace "$repo_root/tests/data/analysis/good.trace" \
     --specs "$repo_root/tests/data/analysis/good_specs.txt" \
     --journal "$repo_root/tests/data/analysis/good.journal" \
+    --store "$repo_root/tests/data/analysis/good.store" \
     --baseline "$repo_root/tools/sadapt_check.baseline"
 
 echo "== ctest -L analysis|obs"
 ctest --test-dir "$build_dir" -L 'analysis|obs' --output-on-failure \
+    -j "$(nproc)"
+
+# Persistent-store gate: the record-log crash-recovery, EpochStore
+# cache-contract and warm-start determinism suite, under the same
+# sanitized build.
+echo "== ctest -L store"
+ctest --test-dir "$build_dir" -L store --output-on-failure \
     -j "$(nproc)"
 
 # ThreadSanitizer gate for the parallel sweep engine: TSan excludes

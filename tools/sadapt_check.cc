@@ -16,6 +16,8 @@
  */
 
 #include <cstdio>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -27,6 +29,7 @@
 #include "analysis/lint.hh"
 #include "analysis/model_check.hh"
 #include "analysis/spec_check.hh"
+#include "analysis/store_check.hh"
 #include "analysis/trace_check.hh"
 
 using namespace sadapt;
@@ -46,6 +49,7 @@ usage()
         "  trace <file>...    validate operation trace files\n"
         "  specs <file>...    validate config/fault spec-list files\n"
         "  journal <file>...  validate observability event journals\n"
+        "  store <file>...    validate persistent epoch-store files\n"
         "  config-space       self-check the config space encoding\n"
         "  lint <path>...     lint .cc/.hh files or directories\n"
         "  all                run everything (see options)\n"
@@ -59,7 +63,11 @@ usage()
         "  --specs <file>     (all) validate this spec list; "
         "repeatable\n"
         "  --journal <file>   (all) validate this journal; "
-        "repeatable\n");
+        "repeatable\n"
+        "  --store <file>     (all) validate this store; "
+        "repeatable\n"
+        "  --salt <n>         (store) expected simulator salt; 0\n"
+        "                     (default) skips salt checks\n");
     std::exit(2);
 }
 
@@ -74,6 +82,8 @@ struct Options
     std::vector<std::string> traces;
     std::vector<std::string> specs;
     std::vector<std::string> journals;
+    std::vector<std::string> stores;
+    std::uint64_t salt = 0;
 };
 
 Options
@@ -104,6 +114,10 @@ parseArgs(int argc, char **argv)
             o.specs.push_back(need(i));
         else if (arg == "--journal")
             o.journals.push_back(need(i));
+        else if (arg == "--store")
+            o.stores.push_back(need(i));
+        else if (arg == "--salt")
+            o.salt = std::strtoull(need(i), nullptr, 0);
         else if (arg.rfind("--", 0) == 0)
             usage();
         else
@@ -154,6 +168,11 @@ main(int argc, char **argv)
             usage();
         for (const auto &f : o.args)
             report.merge(checkJournalFile(f));
+    } else if (o.subcommand == "store") {
+        if (o.args.empty())
+            usage();
+        for (const auto &f : o.args)
+            report.merge(checkStoreFile(f, o.salt));
     } else if (o.subcommand == "config-space") {
         report.merge(checkConfigSpaceInvariants());
     } else if (o.subcommand == "lint") {
@@ -171,6 +190,8 @@ main(int argc, char **argv)
             report.merge(checkSpecFile(f));
         for (const auto &f : o.journals)
             report.merge(checkJournalFile(f));
+        for (const auto &f : o.stores)
+            report.merge(checkStoreFile(f, o.salt));
     } else {
         usage();
     }

@@ -2,8 +2,9 @@
  * @file
  * sadapt-report: render observability artifacts produced by a
  * sparseadapt_cli / bench run into the per-epoch decision timeline,
- * the reconfiguration summary, metric roll-ups and an optional
- * Chrome-trace (Perfetto) JSON export.
+ * the reconfiguration summary, epoch-store cache statistics (when the
+ * run used --store), metric roll-ups and an optional Chrome-trace
+ * (Perfetto) JSON export.
  *
  *   sadapt_report --journal run.jsonl
  *   sadapt_report --journal run.jsonl --metrics run.metrics \

@@ -30,6 +30,7 @@
 #include "sparse/io.hh"
 #include "sparse/stats.hh"
 #include "sparse/suite.hh"
+#include "store/epoch_store.hh"
 
 using namespace sadapt;
 
@@ -46,6 +47,7 @@ struct CliOptions
     std::string staticConfig;
     std::string journalFile;
     std::string metricsFile;
+    std::string storeFile; //!< --store, or $SPARSEADAPT_STORE
     double tolerance = 0.4;
     double scale = 0.25;
     double bandwidth = 1e9;
@@ -86,6 +88,11 @@ usage(const char *argv0)
         "journal\n"
         "  --metrics <file>           write the metrics registry "
         "snapshot\n"
+        "  --store <file>             persistent epoch-result store:\n"
+        "                             sweeps warm-start from it and\n"
+        "                             checkpoint into it (default\n"
+        "                             $SPARSEADAPT_STORE; results are\n"
+        "                             identical with or without it)\n"
         "  --seed <n>                 RNG seed (default 1)\n"
         "  --jobs <n>                 parallel sweep replays (default\n"
         "                             $SPARSEADAPT_JOBS or all cores;\n"
@@ -139,6 +146,8 @@ parse(int argc, char **argv)
             o.journalFile = need(i);
         } else if (arg == "--metrics") {
             o.metricsFile = need(i);
+        } else if (arg == "--store") {
+            o.storeFile = need(i);
         } else if (arg == "--jobs") {
             o.jobs = std::atoi(need(i));
         } else if (arg == "--seed") {
@@ -146,6 +155,11 @@ parse(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+    if (o.storeFile.empty()) {
+        const char *env = std::getenv("SPARSEADAPT_STORE");
+        if (env != nullptr)
+            o.storeFile = env;
     }
     return o;
 }
@@ -240,6 +254,23 @@ main(int argc, char **argv)
                        {"seed", static_cast<std::int64_t>(o.seed)}});
     }
 
+    // Interactive tool: attach the *full* observer (store journal
+    // events included) — unlike the bench harness, which exports
+    // store counters only to keep its journals byte-identical across
+    // cold and warm runs.
+    store::EpochStore epochStore;
+    if (!o.storeFile.empty()) {
+        if (observing)
+            epochStore.attachObserver(&observer);
+        const Status st = epochStore.open(o.storeFile);
+        if (!st.isOk())
+            fatal("--store: " + st.message());
+        std::printf("epoch store: %s (%llu results on disk)\n",
+                    o.storeFile.c_str(),
+                    static_cast<unsigned long long>(
+                        epochStore.stats().diskResults));
+    }
+
     ComparisonOptions co;
     co.mode = o.mode;
     co.oracleSamples = o.samples;
@@ -247,6 +278,7 @@ main(int argc, char **argv)
     co.seed = o.seed;
     co.jobs = o.jobs;
     co.observer = observing ? &observer : nullptr;
+    co.store = epochStore.isOpen() ? &epochStore : nullptr;
     Comparison cmp(wl, pred ? &*pred : nullptr, co);
 
     Table table;
@@ -306,6 +338,18 @@ main(int argc, char **argv)
     if (!pred)
         std::printf("\n(no --model given: SparseAdapt row skipped; "
                     "train one with the bench harness)\n");
+
+    if (epochStore.isOpen()) {
+        epochStore.flush();
+        const store::StoreStats &ss = epochStore.stats();
+        std::printf("\nepoch store: %llu hits, %llu misses, %llu "
+                    "records written (%llu results on disk; inspect "
+                    "with sadapt_check store)\n",
+                    static_cast<unsigned long long>(ss.hits),
+                    static_cast<unsigned long long>(ss.misses),
+                    static_cast<unsigned long long>(ss.putRecords),
+                    static_cast<unsigned long long>(ss.diskResults));
+    }
 
     if (!o.metricsFile.empty()) {
         std::ofstream out(o.metricsFile);
