@@ -1,6 +1,7 @@
 #include "bench/bench_common.hh"
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/threading.hh"
+#include "fabric/fabric.hh"
 #include "sparse/suite.hh"
 
 namespace sadapt::bench {
@@ -22,6 +24,36 @@ envDouble(const char *name, double fallback)
 {
     const char *v = std::getenv(name);
     return v != nullptr ? std::atof(v) : fallback;
+}
+
+/**
+ * Store flushed on SIGTERM/SIGINT so an interrupted bench keeps every
+ * replayed configuration it finished. EpochStore::flush is not
+ * async-signal-safe (it allocates and does buffered I/O); this is an
+ * accepted risk: the handler fires once on the way out of a process
+ * that is otherwise idle-at-a-syscall or mid-simulation, the store's
+ * CRC framing makes a torn flush detectable and truncatable on the
+ * next open, and the alternative (losing the whole sweep) is strictly
+ * worse.
+ */
+store::EpochStore *signalStore = nullptr;
+
+extern "C" void
+onBenchTermSignal(int sig)
+{
+    if (signalStore != nullptr)
+        signalStore->flush();
+    // Restore the default disposition and re-raise so the parent still
+    // observes death-by-signal (exit status, shell ^C semantics).
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+unsigned
+fabricWorkers()
+{
+    return static_cast<unsigned>(
+        std::max(1.0, envDouble("SPARSEADAPT_FABRIC", 1)));
 }
 
 std::string
@@ -104,6 +136,32 @@ prefetchConfigs(Comparison &cmp, std::span<const HwConfig> cfgs,
 {
     const std::size_t before = cmp.db().simulatedConfigs();
     const auto start = std::chrono::steady_clock::now();
+    // SPARSEADAPT_FABRIC=N replays the missing cells of this batch
+    // through N crash-tolerant worker processes before the in-process
+    // sweep. The fabric merges deterministically, so ensure() below
+    // then serves every cell from the store and the results are
+    // byte-identical to the serial path; any fabric error just falls
+    // back to that serial path.
+    const unsigned fabric_workers = fabricWorkers();
+    store::EpochStore *st = cmp.db().epochStore();
+    if (fabric_workers > 1 && st != nullptr &&
+        !cmp.db().pendingConfigs(cfgs).empty()) {
+        fabric::FabricOptions fo;
+        fo.workers = fabric_workers;
+        fo.dir = st->stats().path + ".fabric.d";
+        if (obs::RunObserver *observer = benchObserver())
+            fo.metrics = &observer->metrics();
+        fabric::SweepFabric fab(cmp.db().workload(), *st, fo);
+        const Status ran = fab.runPhase(cfgs);
+        if (ran.isOk()) {
+            if (report != nullptr)
+                report->noteFabric(fabric_workers,
+                                   fab.stats().leasesReclaimed);
+        } else {
+            warn(str("SPARSEADAPT_FABRIC: ", ran.message(),
+                     " -- falling back to the serial sweep"));
+        }
+    }
     cmp.db().ensure(cfgs);
     // Sweep phase boundary: make every replay of this batch durable,
     // so a killed bench resumes with only the missing cells.
@@ -254,6 +312,11 @@ benchStore()
                        epoch_store.stats().diskResults,
                        " results on disk)"));
             active = true;
+            // From here on, an interrupted bench flushes what it has
+            // before dying (see onBenchTermSignal above).
+            signalStore = &epoch_store;
+            std::signal(SIGTERM, onBenchTermSignal);
+            std::signal(SIGINT, onBenchTermSignal);
         }
     }
     return active ? &epoch_store : nullptr;
@@ -347,6 +410,13 @@ BenchReport::noteSweep(double wall_seconds, std::uint64_t configs)
 }
 
 void
+BenchReport::noteFabric(unsigned workers, std::uint64_t leases_reclaimed)
+{
+    fabricWorkersV = std::max(fabricWorkersV, workers);
+    fabricLeasesReclaimedV += leases_reclaimed;
+}
+
+void
 BenchReport::write() const
 {
     std::filesystem::create_directories("bench_results");
@@ -372,6 +442,9 @@ BenchReport::write() const
     out << "  \"scale\": " << datasetScale() << ",\n";
     out << "  \"samples\": " << sampleCount() << ",\n";
     out << "  \"jobs\": " << benchJobs() << ",\n";
+    out << "  \"fabric_workers\": " << fabricWorkersV << ",\n";
+    out << "  \"fabric_leases_reclaimed\": " << fabricLeasesReclaimedV
+        << ",\n";
     out << "  \"sweep_wall_seconds\": " << sweepSecondsV << ",\n";
     out << "  \"configs_simulated\": " << configsSimulatedV << ",\n";
     {

@@ -23,6 +23,15 @@
  *    config sweeps warm-start from it and checkpoint into it, so a
  *    re-run (or a run killed mid-sweep) replays only missing
  *    configurations. Results are bit-identical with or without it.
+ *    When a store is open the bench also flushes it from a
+ *    SIGTERM/SIGINT handler, so an interrupted run keeps every
+ *    finished replay.
+ *  - SPARSEADAPT_FABRIC       worker-process count (>1) for the
+ *    crash-tolerant sweep fabric (src/fabric). Requires
+ *    SPARSEADAPT_STORE; prefetched batches are then replayed by N
+ *    forked workers with lease-based crash recovery, and the merged
+ *    store — and therefore every result — is byte-identical to the
+ *    serial path. Off (serial) by default.
  */
 
 #ifndef SADAPT_BENCH_BENCH_COMMON_HH
@@ -149,6 +158,14 @@ class BenchReport
      */
     void noteSweep(double wall_seconds, std::uint64_t configs);
 
+    /**
+     * Account one fabric-backed sweep: worker count used and leases
+     * reclaimed from crashed workers. Reported as "fabric_workers"
+     * (max over sweeps; 0 = fabric never used) and
+     * "fabric_leases_reclaimed" (summed).
+     */
+    void noteFabric(unsigned workers, std::uint64_t leases_reclaimed);
+
     /** Write bench_results/BENCH_<name>.json. */
     void write() const;
 
@@ -166,6 +183,8 @@ class BenchReport
     std::chrono::steady_clock::time_point startV;
     double sweepSecondsV = 0.0;
     std::uint64_t configsSimulatedV = 0;
+    unsigned fabricWorkersV = 0;
+    std::uint64_t fabricLeasesReclaimedV = 0;
 };
 
 /**

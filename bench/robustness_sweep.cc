@@ -124,6 +124,10 @@ main()
         Comparison cmp(wl, &pred,
                        defaultComparison(OptMode::EnergyEfficient,
                                          PolicyKind::Hybrid, 0.4));
+        // Batch the candidate replays up front (and through the sweep
+        // fabric when SPARSEADAPT_FABRIC asks for it) so the per-rate
+        // evaluations below only serve cache hits.
+        prefetchConfigs(cmp, cmp.candidates(), &report);
 
         Table table;
         table.header({"Rate", "Guarded GF/W", "Ret.", "Unguarded GF/W",

@@ -1,0 +1,145 @@
+#include "analysis/lease_check.hh"
+
+#include <fstream>
+#include <map>
+
+#include "common/logging.hh"
+#include "store/lease_record.hh"
+#include "store/record_log.hh"
+
+namespace sadapt::analysis {
+
+Report
+checkLeaseFile(const std::string &path, std::uint64_t expected_salt)
+{
+    Report report;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.add("lease-io", path, 0, Severity::Error,
+                   "cannot open lease file");
+        return report;
+    }
+
+    // Pure scan, like the store validator: judging a file must never
+    // repair it.
+    const store::ScanResult scan = store::scanRecordStream(in);
+    if (!scan.headerOk) {
+        if (scan.formatVersion != 0 &&
+            scan.formatVersion != store::recordLogFormatVersion) {
+            report.add("lease-version", path, 0, Severity::Error,
+                       str("container format version ",
+                           scan.formatVersion, " (this build reads ",
+                           store::recordLogFormatVersion, ")"));
+        } else {
+            report.add("lease-magic", path, 0, Severity::Error,
+                       "not a sadapt record file (bad header magic)");
+        }
+        return report;
+    }
+    if (scan.corruptRecords > 0) {
+        report.add("lease-crc", path, 0, Severity::Error,
+                   str(scan.corruptRecords,
+                       " record(s) fail their payload CRC (skipped "
+                       "at run time)"));
+    }
+    if (scan.tornTailBytes > 0) {
+        report.add("lease-torn-tail", path, scan.records.size() + 1,
+                   Severity::Warning,
+                   str(scan.tornTailBytes,
+                       " trailing byte(s) after the last intact "
+                       "frame (torn append; the scan recovers this "
+                       "case by design)"));
+    }
+
+    // Single-writer discipline across the surviving records: one
+    // writer id, strictly increasing seq, non-decreasing ticks, and
+    // claim pairing per cell (the heartbeat sentinel is exempt, as
+    // are Reclaim/Quarantine, which describe *other* writers' cells).
+    bool haveWriter = false;
+    std::uint32_t writer = 0;
+    bool haveSeq = false;
+    std::uint64_t lastSeq = 0;
+    std::uint64_t lastTick = 0;
+    std::map<std::uint32_t, bool> claimOpen;
+    std::size_t ordinal = 0;
+    for (const store::ScanRecord &rec : scan.records) {
+        ++ordinal;
+        const auto version = store::leasePayloadVersion(rec.payload);
+        if (version && *version != store::leaseSchemaVersion) {
+            report.add("lease-version", path, ordinal,
+                       Severity::Error,
+                       str("lease payload schema version ", *version,
+                           " (this build reads ",
+                           store::leaseSchemaVersion, ")"));
+            continue;
+        }
+        const Result<store::LeaseRecord> decoded =
+            store::decodeLeaseRecord(rec.payload);
+        if (!decoded.isOk()) {
+            report.add("lease-key", path, ordinal, Severity::Error,
+                       decoded.message());
+            continue;
+        }
+        const store::LeaseRecord &lease = decoded.value();
+        if (expected_salt != 0 && lease.simSalt != expected_salt) {
+            report.add("lease-salt", path, ordinal, Severity::Warning,
+                       str("record keyed by simulator salt ",
+                           lease.simSalt, ", not the expected ",
+                           expected_salt, " (ignored at run time)"));
+            continue;
+        }
+        if (!haveWriter) {
+            haveWriter = true;
+            writer = lease.workerId;
+        } else if (lease.workerId != writer) {
+            report.add("lease-order", path, ordinal, Severity::Error,
+                       str("worker id ", lease.workerId,
+                           " in a file owned by worker ", writer,
+                           " (single-writer discipline violated)"));
+            continue;
+        }
+        if (haveSeq && lease.seq <= lastSeq) {
+            report.add("lease-order", path, ordinal, Severity::Error,
+                       str("sequence number ", lease.seq,
+                           " does not increase past ", lastSeq));
+        }
+        haveSeq = true;
+        lastSeq = lease.seq;
+        if (lease.tickMs < lastTick) {
+            report.add("lease-order", path, ordinal, Severity::Error,
+                       str("monotonic tick ", lease.tickMs,
+                           " goes backwards past ", lastTick));
+        }
+        lastTick = std::max(lastTick, lease.tickMs);
+
+        if (lease.configCode == store::leaseHeartbeatConfig)
+            continue;
+        bool &open = claimOpen[lease.configCode];
+        switch (lease.op) {
+        case store::LeaseOp::Claim:
+            open = true;
+            break;
+        case store::LeaseOp::Renew:
+        case store::LeaseOp::Release:
+        case store::LeaseOp::Complete:
+            if (!open) {
+                report.add(
+                    "lease-order", path, ordinal, Severity::Error,
+                    str(store::leaseOpName(lease.op), " on cell ",
+                        lease.configCode,
+                        " with no Claim open in this file"));
+            }
+            if (lease.op != store::LeaseOp::Renew)
+                open = false;
+            break;
+        case store::LeaseOp::Reclaim:
+        case store::LeaseOp::Quarantine:
+            // Coordinator bookkeeping about cells other writers hold;
+            // no pairing requirement in the writer's own file.
+            break;
+        }
+    }
+    return report;
+}
+
+} // namespace sadapt::analysis

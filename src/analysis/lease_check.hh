@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Validator for fabric lease-log files (store/lease_record.hh).
+ *
+ * A lease log is the only cross-process channel of the sweep fabric,
+ * so a malformed one can stall a phase (a claim nobody made), redo
+ * work (a Complete nobody can trust) or skip cells (a phantom
+ * Quarantine). The checker is strictly read-only and reports:
+ *
+ *   lease-io         unreadable file
+ *   lease-magic      missing/foreign file header
+ *   lease-version    unsupported container or lease schema version
+ *   lease-crc        CRC-mismatch record frames (skipped at run time)
+ *   lease-torn-tail  incomplete bytes after the last intact frame
+ *                    (warning: a crash mid-append leaves this by
+ *                    design; the scan recovers it)
+ *   lease-key        undecodable payloads
+ *   lease-salt       records keyed by a different simulator salt
+ *                    (warning: ignored at run time)
+ *   lease-order      single-writer discipline violations — sequence
+ *                    numbers not strictly increasing, ticks going
+ *                    backwards, more than one writer id in one file,
+ *                    or a Renew/Release/Complete with no Claim open
+ *                    on that cell (the heartbeat sentinel is exempt:
+ *                    idle Renews and the graceful-goodbye Release
+ *                    pair with no Claim)
+ */
+
+#ifndef SADAPT_ANALYSIS_LEASE_CHECK_HH
+#define SADAPT_ANALYSIS_LEASE_CHECK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/finding.hh"
+
+namespace sadapt::analysis {
+
+/**
+ * Read and validate one lease-log file. Salt mismatches are only
+ * reported when `expected_salt` is non-zero.
+ */
+Report checkLeaseFile(const std::string &path,
+                      std::uint64_t expected_salt = 0);
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_LEASE_CHECK_HH

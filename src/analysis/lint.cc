@@ -208,6 +208,9 @@ lintSource(const std::string &source, const std::string &rel_path)
     // framed, CRC-guarded appends.
     const bool store_raw_io_scope = underDir(rel_path, "store") &&
         rel_path.find("store/record_log") == std::string::npos;
+    // src/fabric is the one home allowed to fork/exec/signal/reap;
+    // everywhere else process control is banned outright.
+    const bool fabric_home = underDir(rel_path, "fabric");
 
     auto tok = [&](std::size_t i) -> const Token * {
         return i < toks.size() ? &toks[i] : nullptr;
@@ -284,6 +287,37 @@ lintSource(const std::string &source, const std::string &rel_path)
                 "lint-store-raw-io", rel_path, t.line, Severity::Error,
                 str(t.text, ": store files are written only through "
                             "store/record_log's framed CRC records"));
+        }
+
+        // lint-fabric-process: process control outside src/fabric,
+        // the one home allowed to fork, signal and reap. Anywhere
+        // else a stray fork duplicates open record-log buffers and a
+        // stray kill/waitpid races the fabric coordinator's
+        // bookkeeping.
+        if (!fabric_home && t.kind == Token::Kind::Ident &&
+            (t.text == "fork" || t.text == "vfork" ||
+             t.text == "execv" || t.text == "execve" ||
+             t.text == "execvp" || t.text == "execl" ||
+             t.text == "execlp" || t.text == "execle" ||
+             t.text == "kill" || t.text == "waitpid" ||
+             t.text == "posix_spawn")) {
+            const Token *next = tok(i + 1);
+            const Token *prev = i > 0 ? &toks[i - 1] : nullptr;
+            // Member calls (task.kill()) and class-qualified statics
+            // are fine; bare and ::-qualified calls are not.
+            bool member = prev != nullptr &&
+                (prev->text == "." || prev->text == "->");
+            if (prev != nullptr && prev->text == "::" && i >= 2 &&
+                toks[i - 2].kind == Token::Kind::Ident)
+                member = true;
+            if (next && next->text == "(" && !member) {
+                report.add(
+                    "lint-fabric-process", rel_path, t.line,
+                    Severity::Error,
+                    str("call to ", t.text, "(): process control "
+                        "(fork/exec/kill/wait) lives only in "
+                        "src/fabric's sweep fabric"));
+            }
         }
 
         // lint-naked-new: any new-expression.

@@ -25,6 +25,11 @@
  *    std fstream family) in store/ outside store/record_log — every
  *    byte of a store file must pass through the framed, CRC-guarded
  *    record writer, or crash-safety silently evaporates.
+ *  - lint-fabric-process: no fork/vfork/exec-family/kill/waitpid/
+ *    posix_spawn outside src/fabric — the sweep fabric's coordinator
+ *    owns every child process; a stray fork elsewhere duplicates open
+ *    record-log buffers, and stray signaling races the fabric's
+ *    lease bookkeeping.
  *
  * Findings are keyed by file:line relative to the lint root, so the
  * baseline file stays stable across checkouts.

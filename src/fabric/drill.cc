@@ -1,0 +1,285 @@
+#include "fabric/drill.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "adapt/epoch_db.hh"
+#include "adapt/workload.hh"
+#include "analysis/lease_check.hh"
+#include "analysis/store_check.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sparse/generators.hh"
+#include "store/epoch_store.hh"
+#include "store/fingerprint.hh"
+
+namespace sadapt::fabric {
+namespace {
+
+/** The drill workload is fixed: byte-identity needs determinism. */
+constexpr std::uint64_t drillWorkloadSeed = 0x5ada0d11u;
+
+} // namespace
+
+Workload
+builtinDrillWorkload(const CrashDrillOptions &opts)
+{
+    Rng rng(drillWorkloadSeed);
+    const CsrMatrix a =
+        makeUniformRandom(opts.matrixDim, opts.matrixNnz, rng);
+    const SparseVector x =
+        SparseVector::random(opts.matrixDim, 0.5, rng);
+    WorkloadOptions wopts;
+    wopts.epochFpOps = 400; // several epochs even at this small size
+    return makeSpMSpVWorkload("fabric-drill", a, x, wopts);
+}
+
+std::vector<HwConfig>
+builtinDrillCandidates(const Workload &wl, std::size_t sampled)
+{
+    Rng rng(drillWorkloadSeed ^ 0xc0ffee);
+    std::vector<HwConfig> cfgs;
+    cfgs.push_back(baselineConfig(wl.l1Type));
+    std::unordered_set<std::uint32_t> seen{cfgs.front().encode()};
+    for (const HwConfig &cfg :
+         ConfigSpace(wl.l1Type).sample(sampled * 2, rng)) {
+        if (cfgs.size() >= sampled + 1)
+            break;
+        if (seen.insert(cfg.encode()).second)
+            cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
+
+namespace {
+
+Result<std::string>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Result<std::string>::error(
+            str("cannot read ", path));
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return bytes.str();
+}
+
+/**
+ * Derived-artifact fingerprint of a store: serve every candidate and
+ * fold the epoch observables into text, the way a results CSV would.
+ * Wall-clock and worker-count provenance never enter a store, so this
+ * is exactly the "minus volatile fields" comparison of the gate.
+ */
+Result<std::string>
+storeSummary(const std::string &path, std::uint64_t salt,
+             const Workload &wl, std::span<const HwConfig> cfgs)
+{
+    store::EpochStore st;
+    store::StoreOptions sopts;
+    sopts.simSalt = salt;
+    Status opened = st.open(path, sopts);
+    if (!opened.isOk())
+        return Result<std::string>::error(opened.message());
+    const std::uint64_t fp =
+        store::workloadFingerprint(wl.trace, wl.params, wl.l1Type);
+    std::ostringstream out;
+    for (const HwConfig &cfg : cfgs) {
+        const std::optional<SimResult> res = st.get(fp, cfg);
+        if (!res.has_value())
+            return Result<std::string>::error(
+                str("store ", path, " has no complete result for ",
+                    cfg.label()));
+        out << "config=" << cfg.encode()
+            << " epochs=" << res->epochs.size();
+        for (const EpochRecord &e : res->epochs)
+            out << " " << e.flops << "/" << e.seconds << "/"
+                << e.totalEnergy();
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+accumulate(FabricStats &into, const FabricStats &s)
+{
+    into.workersSpawned += s.workersSpawned;
+    into.workerDeaths += s.workerDeaths;
+    into.gracefulExits += s.gracefulExits;
+    into.respawns += s.respawns;
+    into.leasesReclaimed += s.leasesReclaimed;
+    into.drillInjections += s.drillInjections;
+    into.inProcessRetries += s.inProcessRetries;
+    into.cellsMerged += s.cellsMerged;
+    into.duplicateCells += s.duplicateCells;
+    into.mergeRepairs += s.mergeRepairs;
+    into.cellsQuarantined += s.cellsQuarantined;
+}
+
+} // namespace
+
+Result<DrillSpec::Kind>
+parseDrillKind(const std::string &name)
+{
+    if (name == "kill9")
+        return DrillSpec::Kind::Kill9;
+    if (name == "sigstop")
+        return DrillSpec::Kind::SigStop;
+    if (name == "torn-write")
+        return DrillSpec::Kind::TornWrite;
+    return Result<DrillSpec::Kind>::error(
+        str("unknown drill '", name,
+            "' (expected kill9, sigstop or torn-write)"));
+}
+
+std::string
+drillKindName(DrillSpec::Kind kind)
+{
+    switch (kind) {
+    case DrillSpec::Kind::None:
+        return "none";
+    case DrillSpec::Kind::Kill9:
+        return "kill9";
+    case DrillSpec::Kind::SigStop:
+        return "sigstop";
+    case DrillSpec::Kind::TornWrite:
+        return "torn-write";
+    }
+    return "?";
+}
+
+Result<CrashDrillReport>
+runCrashDrill(const CrashDrillOptions &opts)
+{
+    namespace fs = std::filesystem;
+    if (opts.scratchDir.empty())
+        return Result<CrashDrillReport>::error(
+            "crash drill needs a scratch directory");
+    std::error_code ec;
+    fs::create_directories(opts.scratchDir, ec);
+    if (ec)
+        return Result<CrashDrillReport>::error(
+            str("cannot create ", opts.scratchDir, ": ",
+                ec.message()));
+
+    const Workload wl = builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        builtinDrillCandidates(wl, opts.sampledConfigs);
+
+    // Ground truth: the same sweep, one process, jobs=1.
+    const std::string refPath = opts.scratchDir + "/ref.store";
+    fs::remove(refPath, ec);
+    {
+        store::EpochStore ref;
+        store::StoreOptions sopts;
+        sopts.simSalt = opts.simSalt;
+        Status opened = ref.open(refPath, sopts);
+        if (!opened.isOk())
+            return Result<CrashDrillReport>::error(opened.message());
+        EpochDb db(wl);
+        db.attachStore(&ref);
+        db.ensure(cfgs);
+        ref.flush();
+        ref.close();
+    }
+    const Result<std::string> refBytes = fileBytes(refPath);
+    if (!refBytes.isOk())
+        return Result<CrashDrillReport>::error(refBytes.message());
+    const Result<std::string> refSummary =
+        storeSummary(refPath, opts.simSalt, wl, cfgs);
+    if (!refSummary.isOk())
+        return Result<CrashDrillReport>::error(refSummary.message());
+
+    CrashDrillReport report;
+    for (unsigned t = 0; t < opts.trials; ++t) {
+        const std::string trialDir =
+            str(opts.scratchDir, "/trial", t);
+        fs::remove_all(trialDir, ec);
+        fs::create_directories(trialDir, ec);
+        if (ec)
+            return Result<CrashDrillReport>::error(
+                str("cannot create ", trialDir, ": ", ec.message()));
+        const std::string mainPath = trialDir + "/main.store";
+
+        bool failed = false;
+        const auto flag = [&](std::string msg) {
+            report.messages.push_back(
+                str("trial ", t, ": ", std::move(msg)));
+            failed = true;
+        };
+
+        {
+            store::EpochStore main;
+            store::StoreOptions sopts;
+            sopts.simSalt = opts.simSalt;
+            Status opened = main.open(mainPath, sopts);
+            if (!opened.isOk())
+                return Result<CrashDrillReport>::error(
+                    opened.message());
+
+            FabricOptions fopts;
+            fopts.workers = opts.workers;
+            fopts.leaseMs = opts.leaseMs;
+            fopts.pollMs = 5;
+            fopts.dir = trialDir + "/fabric.d";
+            fopts.drill.kind = opts.kind;
+            fopts.drill.seed = opts.seed + t;
+            SweepFabric fab(wl, main, fopts);
+            const Status ran = fab.runPhase(cfgs);
+            if (!ran.isOk())
+                flag(str("phase failed: ", ran.message()));
+            if (fab.stats().cellsQuarantined > 0)
+                flag(str(fab.stats().cellsQuarantined,
+                         " cells quarantined"));
+            accumulate(report.totals, fab.stats());
+            main.close();
+
+            // Lease-log validator over every worker log of the trial.
+            for (fs::directory_iterator it(fab.dir(), ec), end;
+                 it != end && !ec; it.increment(ec)) {
+                if (!it->is_regular_file() ||
+                    it->path().extension() != ".lease")
+                    continue;
+                const analysis::Report leases =
+                    analysis::checkLeaseFile(it->path().string(),
+                                             opts.simSalt);
+                if (!leases.clean())
+                    flag(str("lease log ", it->path().string(),
+                             " has ", leases.errorCount(),
+                             " validator errors"));
+            }
+        }
+
+        const analysis::Report stored =
+            analysis::checkStoreFile(mainPath, opts.simSalt);
+        if (!stored.clean())
+            flag(str("merged store has ", stored.errorCount(),
+                     " validator errors"));
+
+        const Result<std::string> bytes = fileBytes(mainPath);
+        if (!bytes.isOk())
+            flag(bytes.message());
+        else if (bytes.value() != refBytes.value())
+            flag(str("merged store differs from jobs=1 reference (",
+                     bytes.value().size(), " vs ",
+                     refBytes.value().size(), " bytes)"));
+
+        const Result<std::string> summary =
+            storeSummary(mainPath, opts.simSalt, wl, cfgs);
+        if (!summary.isOk())
+            flag(summary.message());
+        else if (summary.value() != refSummary.value())
+            flag("derived result summary differs from reference");
+
+        ++report.trials;
+        if (failed)
+            ++report.failures;
+        else
+            fs::remove_all(trialDir, ec); // keep failures for triage
+    }
+    return report;
+}
+
+} // namespace sadapt::fabric

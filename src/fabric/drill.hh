@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Built-in crash drills: repeatable end-to-end proof that the fabric
+ * loses no completed cell, serves nothing stale or torn, and merges
+ * to bytes identical to a single-process run.
+ *
+ * One drill run builds a small deterministic SpMSpV workload, sweeps
+ * a fixed candidate set serially into a reference store (the jobs=1
+ * ground truth), then repeats the same sweep through a SweepFabric
+ * under an injected failure (kill -9, SIGSTOP past lease expiry, or a
+ * torn shard write) for N independent trials. Every trial must end
+ * with (a) a main store byte-identical to the reference, (b) a clean
+ * store-validator report, (c) clean lease-log validator reports for
+ * every worker log, and (d) a derived result summary identical to the
+ * reference's — the CSV/JSON-level equivalence the acceptance gate
+ * asks for, minus wall-clock fields.
+ */
+
+#ifndef SADAPT_FABRIC_DRILL_HH
+#define SADAPT_FABRIC_DRILL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "fabric/fabric.hh"
+
+namespace sadapt::fabric {
+
+/** Parameters of one crash-drill campaign. */
+struct CrashDrillOptions
+{
+    DrillSpec::Kind kind = DrillSpec::Kind::Kill9;
+    unsigned trials = 20;
+    unsigned workers = 4;
+    std::uint64_t leaseMs = 200;
+    std::uint64_t seed = 1; //!< trial t injects with seed `seed + t`
+
+    /** Scratch root; the drill owns and overwrites trial<N>/ under it. */
+    std::string scratchDir;
+
+    /** Fixed salt so reference and trial files are byte-comparable. */
+    std::uint64_t simSalt = 0x5ad7;
+
+    /** Random candidates swept beyond the baseline config. */
+    std::size_t sampledConfigs = 5;
+
+    std::uint32_t matrixDim = 384;
+    std::uint64_t matrixNnz = 12000;
+};
+
+/** Outcome of a crash-drill campaign. */
+struct CrashDrillReport
+{
+    unsigned trials = 0;
+    unsigned failures = 0;
+    FabricStats totals; //!< summed over all trials
+
+    /** One diagnostic per failed check, "trial N: ..." */
+    std::vector<std::string> messages;
+
+    bool
+    passed() const
+    {
+        return trials > 0 && failures == 0;
+    }
+};
+
+/**
+ * The drill's built-in deterministic workload (a small uniform-random
+ * SpMSpV with short epochs) and its candidate configuration set.
+ * Exposed so sadapt_fabric's sweep mode and the tests run the same
+ * bytes the drills compare against.
+ */
+Workload builtinDrillWorkload(const CrashDrillOptions &opts);
+std::vector<HwConfig>
+builtinDrillCandidates(const Workload &wl, std::size_t sampled);
+
+/**
+ * Run a drill campaign. An error Result means the drill could not be
+ * set up (I/O trouble, bad options); a completed campaign with failed
+ * trials returns OK with report.failures > 0.
+ */
+[[nodiscard]] Result<CrashDrillReport>
+runCrashDrill(const CrashDrillOptions &opts);
+
+/** Parse a CLI drill name: "kill9", "sigstop" or "torn-write". */
+[[nodiscard]] Result<DrillSpec::Kind>
+parseDrillKind(const std::string &name);
+
+/** Human-readable drill name (inverse of parseDrillKind). */
+std::string drillKindName(DrillSpec::Kind kind);
+
+} // namespace sadapt::fabric
+
+#endif // SADAPT_FABRIC_DRILL_HH

@@ -1,0 +1,782 @@
+#include "fabric/fabric.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "adapt/epoch_db.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fabric/lease_log.hh"
+#include "store/fingerprint.hh"
+
+namespace sadapt::fabric {
+namespace {
+
+void
+sleepMs(std::uint64_t ms)
+{
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+    ::nanosleep(&ts, nullptr);
+}
+
+std::string
+workerPath(const std::string &dir, std::uint32_t id, const char *ext)
+{
+    return dir + "/w" + std::to_string(id) + ext;
+}
+
+// ---- worker process ------------------------------------------------
+
+// Written only by the signal handler of a *worker* (each child gets
+// its own copy across fork); the coordinator never installs these
+// handlers, so its flag stays untouched.
+volatile std::sig_atomic_t stopRequested = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    stopRequested = 1;
+}
+
+struct WorkerCtx
+{
+    const Workload *wl = nullptr;
+    std::vector<HwConfig> cfgs; //!< canonical (request-order) work list
+    std::vector<std::uint32_t> codes;
+    std::string dir;
+    std::uint32_t id = 0;
+    unsigned workerCount = 1;
+    std::uint64_t salt = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t leaseMs = 500;
+    std::uint64_t pollMs = 10;
+    std::int64_t poisonConfig = -1;
+    unsigned poisonFailures = 0;
+};
+
+/**
+ * The body of one worker process: claim → simulate → fsync shard →
+ * advertise Complete, until no cell is pending or a stop signal
+ * arrives. Runs between fork() and _Exit(); it must never return into
+ * the coordinator's stack-up (the caller _Exits with our result).
+ */
+int
+workerMain(const WorkerCtx &ctx)
+{
+    // Flush-and-release on SIGTERM/SIGINT: the flag is polled between
+    // cells, the shard is fsynced after every cell, and no lease is
+    // held while idle, so acting on the flag leaves nothing to leak.
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+
+    LeaseLog lease;
+    Status st = lease.open(workerPath(ctx.dir, ctx.id, ".lease"),
+                           ctx.id, ctx.salt, ctx.fingerprint);
+    if (!st.isOk()) {
+        warn(str("fabric worker ", ctx.id, ": ", st.message()));
+        return 3;
+    }
+    store::EpochStore shard;
+    store::StoreOptions sopts;
+    sopts.simSalt = ctx.salt;
+    st = shard.open(workerPath(ctx.dir, ctx.id, ".store"), sopts);
+    if (!st.isOk()) {
+        warn(str("fabric worker ", ctx.id, ": ", st.message()));
+        return 3;
+    }
+
+    Transmuter sim(ctx.wl->params);
+    std::uint64_t lastBeat = 0;
+    while (stopRequested == 0) {
+        const std::uint64_t now = leaseNowMs();
+        const LeaseView view =
+            scanLeaseDir(ctx.dir, ctx.fingerprint, ctx.salt);
+
+        std::vector<std::size_t> pendingIdx;
+        std::vector<bool> claimedMask;
+        for (std::size_t i = 0; i < ctx.codes.size(); ++i) {
+            const CellLease *c = view.cell(ctx.codes[i]);
+            if (c != nullptr && (c->completed || c->quarantined))
+                continue;
+            pendingIdx.push_back(i);
+            claimedMask.push_back(
+                view.liveClaim(ctx.codes[i], now, ctx.leaseMs));
+        }
+        if (pendingIdx.empty())
+            break; // phase drained: exit cleanly
+
+        const std::vector<std::size_t> order = scheduleSweepCells(
+            pendingIdx.size(), claimedMask, ctx.id,
+            std::max(1u, ctx.workerCount));
+        std::size_t pick = pendingIdx.size();
+        for (const std::size_t o : order)
+            if (!claimedMask[o]) {
+                pick = o;
+                break;
+            }
+        if (pick == pendingIdx.size()) {
+            // Everything pending is live-claimed elsewhere: prove
+            // liveness and re-scan shortly (an expired claim frees
+            // its cell on a later pass).
+            if (now - lastBeat >=
+                std::max<std::uint64_t>(1, ctx.leaseMs / 2)) {
+                lease.heartbeat();
+                lastBeat = now;
+            }
+            sleepMs(ctx.pollMs);
+            continue;
+        }
+
+        const std::size_t wi = pendingIdx[pick];
+        const std::uint32_t code = ctx.codes[wi];
+        const CellLease *before = view.cell(code);
+        lease.append(store::LeaseOp::Claim, code);
+        if (ctx.poisonConfig >= 0 &&
+            static_cast<std::uint32_t>(ctx.poisonConfig) == code) {
+            // Poisoned-cell drill: die exactly like a cell-induced
+            // crash would, while the claim history is still short.
+            const std::uint32_t claims =
+                (before != nullptr ? before->claimCount : 0) + 1;
+            if (claims <= ctx.poisonFailures)
+                std::abort();
+        }
+
+        const SimResult res = sim.run(ctx.wl->trace, ctx.cfgs[wi]);
+        shard.put(ctx.fingerprint, ctx.cfgs[wi], res);
+        // Durability before advertisement: a Complete record must
+        // never outrun the cells it promises.
+        shard.flush();
+        lease.append(store::LeaseOp::Complete, code);
+        lastBeat = leaseNowMs();
+    }
+
+    if (stopRequested != 0) {
+        // Graceful-goodbye marker on the sentinel cell; the lease
+        // validator exempts the sentinel from claim pairing.
+        lease.append(store::LeaseOp::Release,
+                     store::leaseHeartbeatConfig);
+    }
+    shard.flush();
+    shard.close();
+    lease.close();
+    return 0;
+}
+
+void
+damageShardTail(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec)
+        return;
+    // Flip one byte inside the first frame's payload: a completed,
+    // advertised cell now fails its CRC, forcing the merge to repair
+    // it rather than serve damaged bytes.
+    constexpr std::uintmax_t off = 12 + 12 + 2;
+    if (size > off + 8) {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        if (f) {
+            f.seekg(static_cast<std::streamoff>(off));
+            char b = 0;
+            f.read(&b, 1);
+            f.seekp(static_cast<std::streamoff>(off));
+            b = static_cast<char>(b ^ 0x5a);
+            f.write(&b, 1);
+        }
+    }
+    // Tear the tail mid-frame and smear junk after it, imitating a
+    // power cut during an append.
+    if (size > 24)
+        fs::resize_file(path, size - 5, ec);
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    if (app)
+        app.write("\x5a\xda\xff", 3);
+}
+
+} // namespace
+
+SweepFabric::SweepFabric(const Workload &workload,
+                         store::EpochStore &main, FabricOptions opts)
+    : wl(workload), mainV(main), optsV(std::move(opts))
+{
+    SADAPT_ASSERT(mainV.isOpen(),
+                  "SweepFabric needs an open main store");
+    saltV = mainV.simSalt();
+    fingerprintV =
+        store::workloadFingerprint(wl.trace, wl.params, wl.l1Type);
+    dirV = optsV.dir.empty() ? mainV.path() + ".fabric.d" : optsV.dir;
+    optsV.workers = std::max(1u, optsV.workers);
+    optsV.leaseMs = std::max<std::uint64_t>(1, optsV.leaseMs);
+    optsV.pollMs = std::max<std::uint64_t>(1, optsV.pollMs);
+}
+
+std::vector<SweepFabric::WorkItem>
+SweepFabric::buildWorkList(std::span<const HwConfig> cfgs) const
+{
+    // Deduplicated, in request order, store-complete configs skipped:
+    // the exact set and order a jobs=1 EpochDb::ensure() would append
+    // in — the merge replays this order, which is what makes the main
+    // store byte-identical to the single-process run.
+    std::vector<WorkItem> work;
+    std::unordered_set<std::uint32_t> queued;
+    for (const HwConfig &cfg : cfgs) {
+        SADAPT_ASSERT(cfg.l1Type == wl.l1Type,
+                      "config L1 memory type must match the workload");
+        const std::uint32_t code = cfg.encode();
+        if (!queued.insert(code).second)
+            continue;
+        if (mainV.contains(fingerprintV, cfg))
+            continue;
+        work.push_back(WorkItem{cfg, code});
+    }
+    return work;
+}
+
+void
+SweepFabric::emitEvent(
+    const std::string &op,
+    std::vector<std::pair<std::string, obs::FieldValue>> fields)
+{
+    if (optsV.observer == nullptr)
+        return;
+    fields.insert(fields.begin(), {"op", op});
+    optsV.observer->emit(dirV, "fabric", std::move(fields));
+}
+
+void
+SweepFabric::bumpMetric(const std::string &name, std::uint64_t delta)
+{
+    if (optsV.metrics != nullptr && delta > 0)
+        optsV.metrics->counter(name).add(delta);
+}
+
+Status
+SweepFabric::runPhase(std::span<const HwConfig> cfgs)
+{
+    if (!mainV.isOpen())
+        return Status::error("fabric: main store is not open");
+    const std::vector<WorkItem> work = buildWorkList(cfgs);
+    if (work.empty())
+        return Status::ok();
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dirV, ec);
+    if (ec)
+        return Status::error(str("fabric: cannot create ", dirV, ": ",
+                                 ec.message()));
+
+    // Resume awareness: leftover lease files from a crashed phase fix
+    // the worker-id floor (ids are never reused across coordinator
+    // incarnations, except the coordinator's own id 0, whose file is
+    // reopened append-only) and carry forward quarantine verdicts.
+    const LeaseView bootView =
+        scanLeaseDir(dirV, fingerprintV, saltV);
+    std::uint32_t nextId = bootView.maxWorkerId + 1;
+    std::set<std::uint32_t> quarantinedCodes;
+    for (const HwConfig &cfg : quarantinedV)
+        quarantinedCodes.insert(cfg.encode());
+    for (const WorkItem &w : work) {
+        const CellLease *c = bootView.cell(w.code);
+        if (c != nullptr && c->quarantined &&
+            quarantinedCodes.insert(w.code).second) {
+            quarantinedV.push_back(w.cfg);
+            // Counts toward this phase's stats (the cell is skipped
+            // here too, and callers key their exit status on it), but
+            // not toward the fabric/ metrics: the quarantining phase
+            // already exported the telemetry.
+            ++statsV.cellsQuarantined;
+        }
+    }
+
+    LeaseLog lease;
+    SADAPT_TRY_STATUS(lease.open(workerPath(dirV, 0, ".lease"), 0,
+                                 saltV, fingerprintV));
+    store::EpochStore coordShard;
+    store::StoreOptions sopts;
+    sopts.simSalt = saltV;
+    SADAPT_TRY_STATUS(
+        coordShard.open(workerPath(dirV, 0, ".store"), sopts));
+    std::optional<Transmuter> coordSim;
+
+    // Runs one cell inside the coordinator (the in-process retry of a
+    // poisoned cell, or pool-exhausted fallback). Returns false when
+    // the cell had to be quarantined.
+    const auto runCellHere = [&](const WorkItem &w,
+                                 const LeaseView &view) -> bool {
+        const CellLease *c = view.cell(w.code);
+        const std::uint32_t claims =
+            (c != nullptr ? c->claimCount : 0) + 1;
+        // Claiming first makes the cell live, deterring workers from
+        // racing the retry.
+        lease.append(store::LeaseOp::Claim, w.code);
+        const bool poisoned = optsV.poisonConfig >= 0 &&
+            static_cast<std::uint32_t>(optsV.poisonConfig) == w.code &&
+            claims <= optsV.poisonFailures;
+        if (poisoned) {
+            // The retry failed too (recoverably, in-process): record
+            // fault telemetry and quarantine the cell.
+            bumpMetric("fabric/retry_faults", 1);
+            emitEvent("retry-fault",
+                      {{"config", static_cast<std::int64_t>(w.code)},
+                       {"claims",
+                        static_cast<std::int64_t>(claims)}});
+            lease.append(store::LeaseOp::Quarantine, w.code);
+            if (quarantinedCodes.insert(w.code).second)
+                quarantinedV.push_back(w.cfg);
+            ++statsV.cellsQuarantined;
+            bumpMetric("fabric/cells_quarantined", 1);
+            emitEvent("quarantine",
+                      {{"config", static_cast<std::int64_t>(w.code)},
+                       {"crashes",
+                        static_cast<std::int64_t>(
+                            crashCountV[w.code])}});
+            warn(str("fabric: quarantined cell config=", w.code,
+                     " after ", crashCountV[w.code],
+                     " crashed claims and a failed in-process retry"));
+            return false;
+        }
+        if (!coordSim.has_value())
+            coordSim.emplace(wl.params);
+        const SimResult res = coordSim->run(wl.trace, w.cfg);
+        coordShard.put(fingerprintV, w.cfg, res);
+        coordShard.flush();
+        lease.append(store::LeaseOp::Complete, w.code);
+        return true;
+    };
+
+    WorkerCtx baseCtx;
+    baseCtx.wl = &wl;
+    baseCtx.cfgs.reserve(work.size());
+    baseCtx.codes.reserve(work.size());
+    for (const WorkItem &w : work) {
+        baseCtx.cfgs.push_back(w.cfg);
+        baseCtx.codes.push_back(w.code);
+    }
+    baseCtx.dir = dirV;
+    baseCtx.workerCount = optsV.workers;
+    baseCtx.salt = saltV;
+    baseCtx.fingerprint = fingerprintV;
+    baseCtx.leaseMs = optsV.leaseMs;
+    baseCtx.pollMs = optsV.pollMs;
+    baseCtx.poisonConfig = optsV.poisonConfig;
+    baseCtx.poisonFailures = optsV.poisonFailures;
+
+    std::vector<Child> children;
+    const auto spawn = [&]() {
+        const std::uint32_t id = nextId++;
+        // Flush stdio so buffered output is not duplicated into the
+        // child; the child replaces its stack with workerMain and
+        // leaves via _Exit (no atexit, no parent-stream flushing).
+        std::fflush(nullptr);
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            warn("fabric: fork failed; continuing with fewer workers");
+            return;
+        }
+        if (pid == 0) {
+            WorkerCtx ctx = baseCtx;
+            ctx.id = id;
+            std::_Exit(workerMain(ctx));
+        }
+        children.push_back(Child{static_cast<int>(pid), id});
+        ++statsV.workersSpawned;
+        bumpMetric("fabric/workers_spawned", 1);
+        emitEvent("spawn", {{"worker", static_cast<std::int64_t>(id)},
+                            {"pid", static_cast<std::int64_t>(pid)}});
+    };
+
+    // Reap every exited child without blocking; dead (non-clean) ones
+    // are appended to `died` for lease reclamation.
+    const auto reap = [&](std::vector<Child> &died) {
+        for (auto it = children.begin(); it != children.end();) {
+            int status = 0;
+            const pid_t r = ::waitpid(it->pid, &status, WNOHANG);
+            if (r == 0) {
+                ++it;
+                continue;
+            }
+            const bool clean = r == it->pid && WIFEXITED(status) &&
+                WEXITSTATUS(status) == 0;
+            if (clean) {
+                ++statsV.gracefulExits;
+            } else {
+                ++statsV.workerDeaths;
+                bumpMetric("fabric/worker_deaths", 1);
+                emitEvent(
+                    "death",
+                    {{"worker", static_cast<std::int64_t>(it->id)},
+                     {"signal",
+                      static_cast<std::int64_t>(
+                          WIFSIGNALED(status) ? WTERMSIG(status)
+                                              : 0)}});
+                died.push_back(*it);
+            }
+            it = children.erase(it);
+        }
+    };
+
+    Rng drillRng(optsV.drill.seed);
+    const bool drillActive =
+        optsV.drill.kind != DrillSpec::Kind::None;
+    const std::uint64_t drillTrigger =
+        drillActive ? drillRng.below(work.size()) : 0;
+    bool drillInjected = false;
+    int stoppedPid = 0;
+    std::uint64_t stopTick = 0;
+    std::uint32_t tornVictim = 0;
+    bool tornPending = false;
+
+    unsigned respawnsUsed = 0;
+    std::vector<std::uint64_t> respawnAt;
+    // One Reclaim record per observed (worker, cell, claim tick).
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+        reclaimedClaims;
+    std::set<std::uint32_t> retriedCodes;
+
+    const std::uint64_t phaseStart = leaseNowMs();
+    for (unsigned i = 0; i < optsV.workers; ++i)
+        spawn();
+
+    Status failure = Status::ok();
+    for (;;) {
+        std::vector<Child> died;
+        reap(died);
+
+        const std::uint64_t now = leaseNowMs();
+        const LeaseView view = scanLeaseDir(dirV, fingerprintV, saltV);
+
+        // Reclaim the claims a dead worker took to its grave and
+        // schedule a replacement with capped exponential backoff.
+        for (const Child &dead : died) {
+            if (tornPending && dead.id == tornVictim) {
+                damageShardTail(workerPath(dirV, dead.id, ".store"));
+                tornPending = false;
+            }
+            for (const auto &[code, cell] : view.cells) {
+                if (cell.completed || cell.quarantined)
+                    continue;
+                for (const ClaimInfo &ci : cell.active) {
+                    if (ci.worker != dead.id)
+                        continue;
+                    if (!reclaimedClaims
+                             .insert({ci.worker, code, ci.tickMs})
+                             .second)
+                        continue;
+                    ++crashCountV[code];
+                    lease.append(store::LeaseOp::Reclaim, code,
+                                 dead.id);
+                    ++statsV.leasesReclaimed;
+                    bumpMetric("fabric/leases_reclaimed", 1);
+                    emitEvent(
+                        "reclaim",
+                        {{"worker",
+                          static_cast<std::int64_t>(dead.id)},
+                         {"config",
+                          static_cast<std::int64_t>(code)}});
+                }
+            }
+            if (respawnsUsed < optsV.maxRespawns) {
+                const std::uint64_t shift =
+                    std::min<std::uint64_t>(respawnsUsed, 20);
+                const std::uint64_t backoff = std::min(
+                    optsV.backoffCapMs, optsV.backoffBaseMs << shift);
+                respawnAt.push_back(now + backoff);
+                ++respawnsUsed;
+            }
+        }
+
+        // Expired claims of live-but-stalled workers (e.g. SIGSTOP):
+        // advisory Reclaim records; workers already treat the cells
+        // as free.
+        for (const auto &[code, cell] : view.cells) {
+            if (cell.completed || cell.quarantined)
+                continue;
+            for (const ClaimInfo &ci : cell.active) {
+                if (ci.worker == 0 ||
+                    now <= ci.tickMs + optsV.leaseMs)
+                    continue;
+                const bool alive = std::any_of(
+                    children.begin(), children.end(),
+                    [&](const Child &c) { return c.id == ci.worker; });
+                if (!alive)
+                    continue;
+                if (!reclaimedClaims
+                         .insert({ci.worker, code, ci.tickMs})
+                         .second)
+                    continue;
+                lease.append(store::LeaseOp::Reclaim, code,
+                             ci.worker);
+                ++statsV.leasesReclaimed;
+                bumpMetric("fabric/leases_reclaimed", 1);
+                emitEvent("reclaim",
+                          {{"worker",
+                            static_cast<std::int64_t>(ci.worker)},
+                           {"config",
+                            static_cast<std::int64_t>(code)}});
+            }
+        }
+
+        // Poisoned-cell policy: two crashed claims buy one in-process
+        // retry; a cell whose retry also faults is quarantined.
+        for (const WorkItem &w : work) {
+            const CellLease *c = view.cell(w.code);
+            if (c != nullptr && (c->completed || c->quarantined))
+                continue;
+            const auto crashed = crashCountV.find(w.code);
+            if (crashed == crashCountV.end() || crashed->second < 2)
+                continue;
+            if (!retriedCodes.insert(w.code).second)
+                continue;
+            ++statsV.inProcessRetries;
+            bumpMetric("fabric/in_process_retries", 1);
+            emitEvent("retry",
+                      {{"config", static_cast<std::int64_t>(w.code)},
+                       {"crashes",
+                        static_cast<std::int64_t>(crashed->second)}});
+            runCellHere(w, view);
+        }
+
+        std::size_t done = 0;
+        for (const WorkItem &w : work) {
+            const CellLease *c = view.cell(w.code);
+            if ((c != nullptr && (c->completed || c->quarantined)) ||
+                quarantinedCodes.contains(w.code))
+                ++done;
+        }
+
+        if (drillActive && !drillInjected && done >= drillTrigger &&
+            !children.empty()) {
+            const Child victim =
+                children[drillRng.below(children.size())];
+            switch (optsV.drill.kind) {
+            case DrillSpec::Kind::Kill9:
+                ::kill(victim.pid, SIGKILL);
+                break;
+            case DrillSpec::Kind::TornWrite:
+                ::kill(victim.pid, SIGKILL);
+                tornVictim = victim.id;
+                tornPending = true;
+                break;
+            case DrillSpec::Kind::SigStop:
+                ::kill(victim.pid, SIGSTOP);
+                stoppedPid = victim.pid;
+                stopTick = now;
+                break;
+            case DrillSpec::Kind::None:
+                break;
+            }
+            drillInjected = true;
+            ++statsV.drillInjections;
+            bumpMetric("fabric/drill_injections", 1);
+            emitEvent(
+                "drill",
+                {{"worker", static_cast<std::int64_t>(victim.id)},
+                 {"kind",
+                  static_cast<std::int64_t>(
+                      static_cast<int>(optsV.drill.kind))}});
+        }
+        if (stoppedPid != 0 && now > stopTick + 3 * optsV.leaseMs) {
+            // The stall outlived the lease (its claims were reclaimed
+            // above); resume the worker and ask it to leave cleanly.
+            ::kill(stoppedPid, SIGCONT);
+            ::kill(stoppedPid, SIGTERM);
+            stoppedPid = 0;
+        }
+
+        if (done >= work.size())
+            break;
+
+        for (auto it = respawnAt.begin(); it != respawnAt.end();) {
+            if (*it <= now) {
+                spawn();
+                ++statsV.respawns;
+                bumpMetric("fabric/respawns", 1);
+                it = respawnAt.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (children.empty() && respawnAt.empty()) {
+            // The pool is gone and the respawn budget is spent: the
+            // coordinator degenerates to a jobs=1 worker and finishes
+            // the phase itself.
+            for (const WorkItem &w : work) {
+                const LeaseView v2 =
+                    scanLeaseDir(dirV, fingerprintV, saltV);
+                const CellLease *c = v2.cell(w.code);
+                if ((c != nullptr &&
+                     (c->completed || c->quarantined)) ||
+                    quarantinedCodes.contains(w.code))
+                    continue;
+                runCellHere(w, v2);
+            }
+            break;
+        }
+
+        if (optsV.phaseTimeoutMs > 0 &&
+            now - phaseStart > optsV.phaseTimeoutMs) {
+            failure = Status::error(
+                str("fabric: phase timed out after ",
+                    optsV.phaseTimeoutMs, " ms"));
+            break;
+        }
+        sleepMs(optsV.pollMs);
+    }
+
+    // Phase barrier: stop the pool (graceful first), then merge.
+    if (stoppedPid != 0)
+        ::kill(stoppedPid, SIGCONT);
+    for (const Child &c : children)
+        ::kill(c.pid, SIGTERM);
+    const std::uint64_t grace = leaseNowMs() + 2000;
+    while (!children.empty() && leaseNowMs() < grace) {
+        std::vector<Child> died;
+        reap(died);
+        if (!children.empty())
+            sleepMs(5);
+    }
+    for (const Child &c : children)
+        ::kill(c.pid, SIGKILL);
+    for (const Child &c : children) {
+        int status = 0;
+        ::waitpid(c.pid, &status, 0);
+        ++statsV.workerDeaths;
+    }
+    children.clear();
+
+    coordShard.close();
+    lease.close();
+
+    const Status merged = mergeShards(work);
+    emitEvent(
+        "phase-done",
+        {{"cells", static_cast<std::int64_t>(work.size())},
+         {"deaths", static_cast<std::int64_t>(statsV.workerDeaths)},
+         {"reclaimed",
+          static_cast<std::int64_t>(statsV.leasesReclaimed)},
+         {"merged", static_cast<std::int64_t>(statsV.cellsMerged)},
+         {"duplicates",
+          static_cast<std::int64_t>(statsV.duplicateCells)},
+         {"repairs", static_cast<std::int64_t>(statsV.mergeRepairs)},
+         {"quarantined",
+          static_cast<std::int64_t>(statsV.cellsQuarantined)}});
+    if (!failure.isOk())
+        return failure;
+    return merged;
+}
+
+Status
+SweepFabric::mergeShards(const std::vector<WorkItem> &work)
+{
+    namespace fs = std::filesystem;
+    if (work.empty())
+        return Status::ok();
+
+    // First-seen wins per (config, epoch): duplicated claims produce
+    // bit-identical cells, so which copy survives is immaterial; CRC,
+    // schema, salt and fingerprint filters guarantee nothing torn or
+    // stale gets in.
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             store::StoredCell>
+        cells;
+    std::uint32_t epochCount = 0;
+
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(dirV, ec), end; it != end && !ec;
+         it.increment(ec)) {
+        if (it->is_regular_file() &&
+            it->path().extension() == ".store")
+            files.push_back(it->path().string());
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string &path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            continue;
+        const store::ScanResult scan = store::scanRecordStream(in);
+        for (const store::ScanRecord &rec : scan.records) {
+            const Result<store::StoredCell> decoded =
+                store::decodeStoreRecord(rec.payload);
+            if (!decoded.isOk())
+                continue;
+            const store::StoredCell &cell = decoded.value();
+            if (cell.key.simSalt != saltV ||
+                cell.key.fingerprint != fingerprintV)
+                continue;
+            const auto k = std::make_pair(cell.key.configCode,
+                                          cell.key.epochIndex);
+            if (!cells.emplace(k, cell).second) {
+                ++statsV.duplicateCells;
+                bumpMetric("fabric/duplicate_cells", 1);
+                continue;
+            }
+            epochCount = std::max(epochCount, cell.key.epochCount);
+        }
+    }
+
+    std::set<std::uint32_t> quarantinedCodes;
+    for (const HwConfig &cfg : quarantinedV)
+        quarantinedCodes.insert(cfg.encode());
+
+    // Replay into the main store in canonical request order, epoch
+    // index order within each config — exactly the append order of a
+    // jobs=1 ensure() loop, so the merged bytes match it. A config
+    // with any unusable cell (a shard damaged *after* advertising
+    // Complete) is repaired by re-simulating; determinism makes the
+    // repaired bytes identical to the lost ones.
+    std::optional<Transmuter> repairSim;
+    for (const WorkItem &w : work) {
+        if (quarantinedCodes.contains(w.code))
+            continue;
+        bool whole = epochCount > 0;
+        for (std::uint32_t e = 0; whole && e < epochCount; ++e)
+            whole = cells.contains({w.code, e});
+        if (!whole) {
+            if (!repairSim.has_value())
+                repairSim.emplace(wl.params);
+            const SimResult res = repairSim->run(wl.trace, w.cfg);
+            mainV.put(fingerprintV, w.cfg, res);
+            statsV.cellsMerged += res.epochs.size();
+            ++statsV.mergeRepairs;
+            bumpMetric("fabric/merge_repairs", 1);
+            emitEvent("merge-repair",
+                      {{"config",
+                        static_cast<std::int64_t>(w.code)}});
+            warn(str("fabric: merge re-simulated config ", w.code,
+                     " (cells missing or damaged in every shard)"));
+            if (epochCount == 0)
+                epochCount =
+                    static_cast<std::uint32_t>(res.epochs.size());
+            continue;
+        }
+        for (std::uint32_t e = 0; e < epochCount; ++e) {
+            mainV.putCell(cells.at({w.code, e}));
+            ++statsV.cellsMerged;
+        }
+    }
+    mainV.flush();
+    bumpMetric("fabric/cells_merged", statsV.cellsMerged);
+    return Status::ok();
+}
+
+} // namespace sadapt::fabric

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The crash-tolerant multi-process sweep fabric.
+ *
+ * A SweepFabric runs one phase of a config sweep — the canonical
+ * request-order candidate list of one workload — across N forked
+ * worker processes. Every process owns exactly two files in the
+ * fabric directory (single-writer append discipline):
+ *
+ *   w<id>.lease   its lease log (framed LeaseRecords, src/store)
+ *   w<id>.store   its shard EpochStore (completed cells, fsynced)
+ *
+ * A *cell* here is one full-config replay: the Transmuter replays a
+ * trace end to end, so the natural unit of claiming is the config,
+ * and each completed config contributes all of its epoch cells to the
+ * shard at once. Workers claim unclaimed cells (scheduleSweepCells
+ * rotates scan origins so claims rarely collide), renew liveness via
+ * heartbeat records between cells, and advertise Complete only after
+ * the shard holding the result is fsynced — so a Complete record is a
+ * durable promise, never an intention.
+ *
+ * The coordinator (worker id 0) reclaims expired leases of dead or
+ * stalled workers, respawns replacements with capped exponential
+ * backoff, quarantines poisoned cells (two crashed claims → one
+ * in-process retry with fault telemetry → journaled skip), and at the
+ * phase barrier merges shards into the main store *in canonical
+ * request order* — which makes the merged file byte-identical to what
+ * a jobs=1 single-process run writes, regardless of worker deaths,
+ * duplicated claims, or restart order (DESIGN.md section 11 carries
+ * the proof obligation).
+ *
+ * This directory is the only place in the tree allowed to fork, exec,
+ * signal or reap processes (enforced by lint-fabric-process).
+ */
+
+#ifndef SADAPT_FABRIC_FABRIC_HH
+#define SADAPT_FABRIC_FABRIC_HH
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adapt/workload.hh"
+#include "common/status.hh"
+#include "obs/metrics.hh"
+#include "obs/observer.hh"
+#include "store/epoch_store.hh"
+
+namespace sadapt::fabric {
+
+/** Built-in crash drill injected by the coordinator mid-phase. */
+struct DrillSpec
+{
+    enum class Kind
+    {
+        None,
+        Kill9,     //!< SIGKILL a worker at a seeded random point
+        SigStop,   //!< SIGSTOP a worker past lease expiry, then resume
+        TornWrite, //!< SIGKILL a worker, then damage its shard tail
+    };
+
+    Kind kind = Kind::None;
+    std::uint64_t seed = 1; //!< selects victim and injection point
+};
+
+/** Tuning knobs of one fabric phase. */
+struct FabricOptions
+{
+    unsigned workers = 4;
+
+    /** Claim lifetime: an older Claim/Renew is treated as expired. */
+    std::uint64_t leaseMs = 500;
+
+    /** Coordinator poll (and worker idle rescan) period. */
+    std::uint64_t pollMs = 10;
+
+    /** Total worker respawns allowed per phase. */
+    unsigned maxRespawns = 8;
+
+    /** Respawn backoff: min(cap, base << deaths), per DESIGN.md. */
+    std::uint64_t backoffBaseMs = 25;
+    std::uint64_t backoffCapMs = 1000;
+
+    /** Abort a wedged phase after this long (0 = never). */
+    std::uint64_t phaseTimeoutMs = 10u * 60u * 1000u;
+
+    /** Lease/shard directory; empty = "<main store path>.fabric.d". */
+    std::string dir;
+
+    /**
+     * Journal fabric events (spawn/death/reclaim/quarantine/merge)
+     * and export fabric/ metrics. Benches pass only `metrics` so
+     * journal bytes stay identical across fabric and jobs=1 runs.
+     */
+    obs::RunObserver *observer = nullptr;
+    obs::MetricRegistry *metrics = nullptr;
+
+    DrillSpec drill;
+
+    /**
+     * Poisoned-cell drill hook: while the total number of Claim
+     * records for this config code is <= poisonFailures, any worker
+     * that claims it aborts, and the coordinator's in-process retry
+     * reports a recoverable fault instead of simulating. -1 disables.
+     */
+    std::int64_t poisonConfig = -1;
+    unsigned poisonFailures = 0;
+};
+
+/** Cumulative statistics of one SweepFabric instance. */
+struct FabricStats
+{
+    std::uint64_t workersSpawned = 0;
+    std::uint64_t workerDeaths = 0;   //!< nonzero exit or signal
+    std::uint64_t gracefulExits = 0;  //!< clean exit-0 workers
+    std::uint64_t respawns = 0;
+    std::uint64_t leasesReclaimed = 0;
+    std::uint64_t drillInjections = 0;
+    std::uint64_t inProcessRetries = 0;
+    std::uint64_t cellsMerged = 0;     //!< epoch cells appended to main
+    std::uint64_t duplicateCells = 0;  //!< identical cells in >1 shard
+    std::uint64_t mergeRepairs = 0;    //!< cells re-simulated at merge
+    std::uint64_t cellsQuarantined = 0; //!< configs journaled + skipped
+};
+
+/** One fabric over one (workload, main store) pair. */
+class SweepFabric
+{
+  public:
+    /**
+     * The main store must be open; its salt keys every lease and
+     * shard record of the phase. The workload outlives the fabric
+     * (workers inherit it copy-on-write across fork).
+     */
+    SweepFabric(const Workload &workload, store::EpochStore &main,
+                FabricOptions opts);
+
+    /**
+     * Run one phase: simulate every configuration of `cfgs` not
+     * already complete in the main store across the worker pool, then
+     * merge the shards into the main store in canonical request order
+     * and flush it. Safe to call repeatedly (later phases skip
+     * completed work) and safe to re-run after a coordinator crash
+     * (leftover shards are merged, not resimulated). Returns an error
+     * only when the phase cannot complete (I/O failure, timeout);
+     * quarantined cells do NOT fail the phase — callers inspect
+     * stats().cellsQuarantined / quarantined() and exit nonzero.
+     */
+    [[nodiscard]] Status runPhase(std::span<const HwConfig> cfgs);
+
+    const FabricStats &stats() const { return statsV; }
+
+    /** Configs quarantined across all phases, in request order. */
+    const std::vector<HwConfig> &quarantined() const
+    {
+        return quarantinedV;
+    }
+
+    /** The fabric scratch directory in use. */
+    const std::string &dir() const { return dirV; }
+
+  private:
+    struct WorkItem
+    {
+        HwConfig cfg;
+        std::uint32_t code = 0;
+    };
+
+    struct Child
+    {
+        int pid = 0;
+        std::uint32_t id = 0;
+    };
+
+    std::vector<WorkItem> buildWorkList(std::span<const HwConfig> cfgs)
+        const;
+    Status mergeShards(const std::vector<WorkItem> &work);
+    void emitEvent(const std::string &op,
+                   std::vector<std::pair<std::string,
+                                         obs::FieldValue>> fields);
+    void bumpMetric(const std::string &name, std::uint64_t delta);
+
+    const Workload &wl;
+    store::EpochStore &mainV;
+    FabricOptions optsV;
+    std::string dirV;
+    std::uint64_t saltV = 0;
+    std::uint64_t fingerprintV = 0;
+    FabricStats statsV;
+    std::vector<HwConfig> quarantinedV;
+    std::map<std::uint32_t, unsigned> crashCountV; //!< by config code
+};
+
+} // namespace sadapt::fabric
+
+#endif // SADAPT_FABRIC_FABRIC_HH

@@ -1,0 +1,180 @@
+#include "fabric/lease_log.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace sadapt::fabric {
+
+std::uint64_t
+leaseNowMs()
+{
+    // steady_clock is CLOCK_MONOTONIC on Linux, which is system-wide,
+    // so ticks written by one fabric process are comparable against
+    // "now" in another. Lease math only ever *differences* ticks.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Status
+LeaseLog::open(const std::string &path, std::uint32_t worker_id,
+               std::uint64_t sim_salt, std::uint64_t fingerprint)
+{
+    workerIdV = worker_id;
+    saltV = sim_salt;
+    fingerprintV = fingerprint;
+    store::ScanResult scan;
+    SADAPT_TRY_STATUS(log.open(path, scan));
+    seqV = 0;
+    for (const store::ScanRecord &rec : scan.records) {
+        const Result<store::LeaseRecord> lease =
+            store::decodeLeaseRecord(rec.payload);
+        if (lease.isOk() && lease.value().seq >= seqV)
+            seqV = lease.value().seq + 1;
+    }
+    return Status::ok();
+}
+
+void
+LeaseLog::append(store::LeaseOp op, std::uint32_t config_code,
+                 std::uint32_t peer)
+{
+    SADAPT_ASSERT(isOpen(), "append() on a closed LeaseLog");
+    store::LeaseRecord rec;
+    rec.op = op;
+    rec.workerId = workerIdV;
+    rec.pid = static_cast<std::uint32_t>(::getpid());
+    rec.peer = peer;
+    rec.seq = seqV++;
+    rec.tickMs = leaseNowMs();
+    rec.simSalt = saltV;
+    rec.fingerprint = fingerprintV;
+    rec.configCode = config_code;
+    log.append(store::encodeLeaseRecord(rec));
+    if (op == store::LeaseOp::Renew) {
+        // Heartbeats only prove liveness; losing one to a crash is
+        // indistinguishable from having died a tick earlier, so they
+        // get pushed to the OS (visible to the directory scan) but
+        // not all the way to stable storage.
+        log.flush();
+    } else {
+        const Status synced = log.sync();
+        if (!synced.isOk())
+            warn(str("fabric: lease append not durable: ",
+                     synced.message()));
+    }
+}
+
+void
+LeaseLog::heartbeat()
+{
+    append(store::LeaseOp::Renew, store::leaseHeartbeatConfig);
+}
+
+void
+LeaseLog::close()
+{
+    log.close();
+    seqV = 0;
+}
+
+bool
+LeaseView::liveClaim(std::uint32_t config_code, std::uint64_t now_ms,
+                     std::uint64_t lease_ms) const
+{
+    const CellLease *c = cell(config_code);
+    if (c == nullptr)
+        return false;
+    return std::any_of(
+        c->active.begin(), c->active.end(), [&](const ClaimInfo &ci) {
+            return now_ms <= ci.tickMs + lease_ms;
+        });
+}
+
+const CellLease *
+LeaseView::cell(std::uint32_t config_code) const
+{
+    const auto it = cells.find(config_code);
+    return it != cells.end() ? &it->second : nullptr;
+}
+
+LeaseView
+scanLeaseDir(const std::string &dir, std::uint64_t fingerprint,
+             std::uint64_t sim_salt)
+{
+    namespace fs = std::filesystem;
+    LeaseView view;
+
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; it != end && !ec;
+         it.increment(ec)) {
+        if (it->is_regular_file() &&
+            it->path().extension() == ".lease")
+            files.push_back(it->path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            continue;
+        const store::ScanResult scan = store::scanRecordStream(in);
+        ++view.files;
+        view.corruptRecords += scan.corruptRecords;
+        view.tornTailBytes += scan.tornTailBytes;
+
+        // Last op per cell *within this file*: file order is the
+        // writer's program order (seq is validated separately by the
+        // analysis-suite lease checker).
+        std::map<std::uint32_t, store::LeaseRecord> last;
+        for (const store::ScanRecord &rec : scan.records) {
+            const Result<store::LeaseRecord> decoded =
+                store::decodeLeaseRecord(rec.payload);
+            if (!decoded.isOk()) {
+                ++view.staleRecords;
+                continue;
+            }
+            const store::LeaseRecord &lease = decoded.value();
+            if (lease.simSalt != sim_salt ||
+                lease.fingerprint != fingerprint) {
+                ++view.staleRecords;
+                continue;
+            }
+            view.maxWorkerId =
+                std::max(view.maxWorkerId, lease.workerId);
+            auto &tick = view.lastTick[lease.workerId];
+            tick = std::max(tick, lease.tickMs);
+            if (lease.configCode == store::leaseHeartbeatConfig)
+                continue;
+            CellLease &cell = view.cells[lease.configCode];
+            if (lease.op == store::LeaseOp::Claim)
+                ++cell.claimCount;
+            if (lease.op == store::LeaseOp::Complete)
+                cell.completed = true;
+            if (lease.op == store::LeaseOp::Quarantine)
+                cell.quarantined = true;
+            // Reclaim records are coordinator bookkeeping about
+            // *other* writers; they never change this file's claim
+            // state machine.
+            if (lease.op != store::LeaseOp::Reclaim)
+                last[lease.configCode] = lease;
+        }
+        for (const auto &[code, lease] : last) {
+            if (lease.op == store::LeaseOp::Claim ||
+                lease.op == store::LeaseOp::Renew)
+                view.cells[code].active.push_back(
+                    ClaimInfo{lease.workerId, lease.tickMs});
+        }
+    }
+    return view;
+}
+
+} // namespace sadapt::fabric

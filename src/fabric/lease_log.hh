@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-worker lease logs and the directory-wide claim view.
+ *
+ * Single-writer append discipline: every fabric process (coordinator
+ * id 0, workers 1..N) appends lease records only to its own
+ * `w<id>.lease` file, so no two processes ever write one file and
+ * the record log's torn-tail recovery applies cleanly per file. The
+ * directory scan is the only cross-process channel — there is no
+ * shared memory and no locking. Claims are liveness *hints*, not
+ * mutual exclusion: two workers that race to claim one cell both
+ * simulate it, produce bit-identical payloads, and the phase-barrier
+ * merge deduplicates. What the protocol guarantees is that a cell
+ * advertised Complete is durable in its writer's shard store (the
+ * shard is fsynced before the Complete record is appended).
+ */
+
+#ifndef SADAPT_FABRIC_LEASE_LOG_HH
+#define SADAPT_FABRIC_LEASE_LOG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "store/lease_record.hh"
+#include "store/record_log.hh"
+
+namespace sadapt::fabric {
+
+/** Milliseconds on the system-wide monotonic clock (lease ticks). */
+std::uint64_t leaseNowMs();
+
+/** Append-only handle on one fabric process's own lease file. */
+class LeaseLog
+{
+  public:
+    /**
+     * Open (creating or resuming) this process's lease file. The
+     * sequence number continues after any surviving records, so seq
+     * stays strictly increasing across a worker restart that reuses
+     * an id.
+     */
+    [[nodiscard]] Status open(const std::string &path,
+                              std::uint32_t worker_id,
+                              std::uint64_t sim_salt,
+                              std::uint64_t fingerprint);
+
+    bool isOpen() const { return log.isOpen(); }
+    std::uint32_t workerId() const { return workerIdV; }
+
+    /**
+     * Append one op for a cell (config code), stamped with the next
+     * sequence number and the current monotonic tick. Commitment ops
+     * (everything except Renew heartbeats) are fsynced so a crash
+     * directly after the append cannot un-advertise them.
+     */
+    void append(store::LeaseOp op, std::uint32_t config_code,
+                std::uint32_t peer = 0);
+
+    /** Heartbeat: a Renew on the idle-liveness sentinel cell. */
+    void heartbeat();
+
+    void close();
+
+  private:
+    store::RecordLog log;
+    std::uint32_t workerIdV = 0;
+    std::uint64_t saltV = 0;
+    std::uint64_t fingerprintV = 0;
+    std::uint64_t seqV = 0;
+};
+
+/** One outstanding (not released/completed) claim on a cell. */
+struct ClaimInfo
+{
+    std::uint32_t worker = 0;
+    std::uint64_t tickMs = 0; //!< tick of the claim's latest Claim/Renew
+};
+
+/** Reduced lease state of one cell across every log in a directory. */
+struct CellLease
+{
+    bool completed = false;   //!< some shard holds the durable result
+    bool quarantined = false; //!< coordinator poisoned the cell
+    std::uint32_t claimCount = 0; //!< Claim records ever appended
+    std::vector<ClaimInfo> active; //!< claims not yet released
+};
+
+/** Directory-wide lease view (one scan of every `*.lease` file). */
+struct LeaseView
+{
+    std::map<std::uint32_t, CellLease> cells; //!< by config code
+
+    /** Latest tick seen per writer (stall detection). */
+    std::map<std::uint32_t, std::uint64_t> lastTick;
+
+    std::uint32_t maxWorkerId = 0;
+    std::uint64_t files = 0;
+    std::uint64_t corruptRecords = 0; //!< CRC-skipped lease frames
+    std::uint64_t staleRecords = 0;   //!< undecodable/foreign payloads
+    std::uint64_t tornTailBytes = 0;
+
+    /**
+     * True when some claim on `config_code` was claimed or renewed
+     * within the last `lease_ms` (as of `now_ms`). Expired claims are
+     * treated exactly like absent ones: the claimer is presumed dead
+     * or stalled and the cell is up for grabs.
+     */
+    bool liveClaim(std::uint32_t config_code, std::uint64_t now_ms,
+                   std::uint64_t lease_ms) const;
+
+    const CellLease *cell(std::uint32_t config_code) const;
+};
+
+/**
+ * Scan every `*.lease` file under `dir` (sorted by name, read-only)
+ * and reduce it to per-cell claim state, keeping only records keyed
+ * by this phase's (fingerprint, salt). Corrupt frames and torn tails
+ * are counted and skipped, mirroring the store scan's guarantees.
+ */
+LeaseView scanLeaseDir(const std::string &dir,
+                       std::uint64_t fingerprint,
+                       std::uint64_t sim_salt);
+
+} // namespace sadapt::fabric
+
+#endif // SADAPT_FABRIC_LEASE_LOG_HH

@@ -467,7 +467,7 @@ journalEventTypes()
     static const std::vector<std::string> types = {
         "run",      "epoch",    "prediction", "policy",
         "reconfig", "guard",    "watchdog",   "fault",
-        "store",
+        "store",    "fabric",
     };
     return types;
 }

@@ -1,0 +1,177 @@
+#include "store/lease_record.hh"
+
+namespace sadapt::store {
+
+namespace {
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xffu);
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xffu);
+}
+
+/** Bounds-checked little-endian reader (mirrors the cell codec's). */
+class LeaseReader
+{
+  public:
+    explicit LeaseReader(std::string_view payload)
+        : data(payload)
+    {
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (pos + 4 > data.size())
+            return failed = true, false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                << (8 * i);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (pos + 8 > data.size())
+            return failed = true, false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    u8(std::uint8_t &v)
+    {
+        if (pos + 1 > data.size())
+            return failed = true, false;
+        v = static_cast<unsigned char>(data[pos++]);
+        return true;
+    }
+
+    bool ok() const { return !failed; }
+    bool atEnd() const { return pos == data.size(); }
+
+  private:
+    std::string_view data;
+    std::size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+std::string
+leaseOpName(LeaseOp op)
+{
+    switch (op) {
+    case LeaseOp::Claim:
+        return "claim";
+    case LeaseOp::Renew:
+        return "renew";
+    case LeaseOp::Release:
+        return "release";
+    case LeaseOp::Complete:
+        return "complete";
+    case LeaseOp::Reclaim:
+        return "reclaim";
+    case LeaseOp::Quarantine:
+        return "quarantine";
+    }
+    return "unknown";
+}
+
+std::string
+encodeLeaseRecord(const LeaseRecord &rec)
+{
+    std::string out;
+    out.reserve(4 + 4 + 1 + 3 * 4 + 4 * 8 + 4);
+    putU32(out, leaseRecordMagic);
+    putU32(out, leaseSchemaVersion);
+    out += static_cast<char>(rec.op);
+    putU32(out, rec.workerId);
+    putU32(out, rec.pid);
+    putU32(out, rec.peer);
+    putU64(out, rec.seq);
+    putU64(out, rec.tickMs);
+    putU64(out, rec.simSalt);
+    putU64(out, rec.fingerprint);
+    putU32(out, rec.configCode);
+    return out;
+}
+
+bool
+isLeasePayload(std::string_view payload)
+{
+    LeaseReader in(payload);
+    std::uint32_t magic = 0;
+    return in.u32(magic) && magic == leaseRecordMagic;
+}
+
+std::optional<std::uint32_t>
+leasePayloadVersion(std::string_view payload)
+{
+    LeaseReader in(payload);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    if (!in.u32(magic) || magic != leaseRecordMagic ||
+        !in.u32(version))
+        return std::nullopt;
+    return version;
+}
+
+Result<LeaseRecord>
+decodeLeaseRecord(std::string_view payload)
+{
+    LeaseReader in(payload);
+    std::uint32_t magic = 0;
+    if (!in.u32(magic))
+        return Status::error("lease: record payload too short");
+    if (magic != leaseRecordMagic)
+        return Status::error(
+            "lease: payload does not lead with the lease magic (an "
+            "epoch-cell record in a lease file?)");
+    std::uint32_t version = 0;
+    if (!in.u32(version))
+        return Status::error("lease: record payload too short");
+    if (version != leaseSchemaVersion)
+        return Status::error(
+            str("lease: unsupported lease schema version ", version,
+                " (expected ", leaseSchemaVersion, ")"));
+
+    LeaseRecord rec;
+    std::uint8_t op = 0;
+    in.u8(op);
+    in.u32(rec.workerId);
+    in.u32(rec.pid);
+    in.u32(rec.peer);
+    in.u64(rec.seq);
+    in.u64(rec.tickMs);
+    in.u64(rec.simSalt);
+    in.u64(rec.fingerprint);
+    in.u32(rec.configCode);
+    if (!in.ok() || !in.atEnd())
+        return Status::error(
+            "lease: malformed lease payload (size mismatch)");
+    if (op > static_cast<std::uint8_t>(LeaseOp::Quarantine))
+        return Status::error(
+            str("lease: unknown lease op ", unsigned(op)));
+    rec.op = static_cast<LeaseOp>(op);
+    return rec;
+}
+
+} // namespace sadapt::store

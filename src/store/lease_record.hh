@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lease records: the wire format of the sweep fabric's per-worker
+ * lease logs (src/fabric).
+ *
+ * A lease file reuses the store's framed RecordLog container (same
+ * 8-byte file magic, CRC-guarded frames, torn-tail recovery); each
+ * payload is one LeaseRecord, distinguished from epoch-cell payloads
+ * by a leading magic word that no store schema version collides with,
+ * so a validator pointed at the wrong file kind reports a clean
+ * version error instead of misparsing.
+ *
+ * The codec lives in src/store — not src/fabric — so the analysis
+ * suite can validate lease files without linking the process-spawning
+ * fabric library, and so the payload discipline (bounds-checked
+ * little-endian fields, explicit versioning) stays next to the
+ * epoch-cell codec it mirrors.
+ *
+ * Protocol summary (full treatment in DESIGN.md section 11): every
+ * fabric process appends only to its own lease file (single-writer
+ * append discipline), Claim/Renew records carry a monotonic-clock
+ * tick that readers compare against the lease duration, and claims
+ * are liveness *hints*, not locks — a duplicated claim costs
+ * duplicated bit-identical simulation, never a wrong result.
+ */
+
+#ifndef SADAPT_STORE_LEASE_RECORD_HH
+#define SADAPT_STORE_LEASE_RECORD_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hh"
+
+namespace sadapt::store {
+
+/**
+ * Leading magic word of a lease payload. Chosen so its low 32 bits
+ * can never equal a supported store schema version (those count up
+ * from 1), which is what keeps the two payload kinds distinguishable
+ * inside the shared container format.
+ */
+inline constexpr std::uint32_t leaseRecordMagic = 0x5ada1ea5u;
+
+/** Version of the lease payload layout after the magic word. */
+inline constexpr std::uint32_t leaseSchemaVersion = 1;
+
+/**
+ * Sentinel config code of a pure heartbeat Renew (an idle worker
+ * proving liveness without holding any cell). Far outside the dense
+ * ConfigSpace encoding, so it can never collide with a real cell.
+ */
+inline constexpr std::uint32_t leaseHeartbeatConfig = 0xffffffffu;
+
+/** Operations a fabric process may append to its lease log. */
+enum class LeaseOp : std::uint8_t
+{
+    Claim = 0,  //!< writer starts (re)simulating a cell
+    Renew,      //!< heartbeat: refresh a claim (or prove idle liveness)
+    Release,    //!< writer gives a cell up without completing it
+    Complete,   //!< cell is durable in the writer's shard store
+    Reclaim,    //!< coordinator observed an expired/abandoned claim
+    Quarantine, //!< coordinator poisoned the cell after repeated crashes
+};
+
+/** Human-readable op name ("claim", "renew", ...). */
+std::string leaseOpName(LeaseOp op);
+
+/** One decoded lease-log record. */
+struct LeaseRecord
+{
+    LeaseOp op = LeaseOp::Claim;
+    std::uint32_t workerId = 0; //!< writer of the record (0 = coordinator)
+    std::uint32_t pid = 0;      //!< writer's process id (diagnostics)
+    std::uint32_t peer = 0;     //!< Reclaim: worker whose lease expired
+    std::uint64_t seq = 0;      //!< per-writer strictly increasing
+    std::uint64_t tickMs = 0;   //!< monotonic-clock milliseconds
+    std::uint64_t simSalt = 0;  //!< buildSimSalt() of the writer
+    std::uint64_t fingerprint = 0; //!< workloadFingerprint() of the phase
+    std::uint32_t configCode = 0;  //!< cell = one full config replay
+};
+
+/** Serialize one lease record into a RecordLog payload. */
+std::string encodeLeaseRecord(const LeaseRecord &rec);
+
+/**
+ * Parse a lease payload. A wrong magic, an unsupported version, an
+ * out-of-range op or a size mismatch is a recoverable error; the
+ * sadapt_check lease validator reports them without repairing.
+ */
+[[nodiscard]] Result<LeaseRecord>
+decodeLeaseRecord(std::string_view payload);
+
+/** True when the payload leads with leaseRecordMagic (cheap sniff). */
+bool isLeasePayload(std::string_view payload);
+
+/**
+ * The schema version field of a lease payload, readable even when the
+ * version is unsupported (so validators can report it by name); null
+ * when the payload lacks the lease magic or is shorter than the field.
+ */
+std::optional<std::uint32_t>
+leasePayloadVersion(std::string_view payload);
+
+} // namespace sadapt::store
+
+#endif // SADAPT_STORE_LEASE_RECORD_HH

@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <istream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "store/crc32.hh"
 
@@ -40,7 +43,37 @@ getU32(const char *p)
  */
 constexpr std::uint32_t maxPayloadBytes = 64u * 1024u * 1024u;
 
+/**
+ * fsync a path through a short-lived descriptor. std::fstream exposes
+ * no file descriptor, and POSIX lets any descriptor of a file carry
+ * the fsync, so once the stream's buffers are flushed an O_RDONLY
+ * open is enough to push the data to stable storage.
+ */
+Status
+syncPath(const std::string &path, int flags)
+{
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0)
+        return Status::error("store: cannot open " + path +
+                             " for fsync");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+        return Status::error("store: fsync of " + path + " failed");
+    return Status::ok();
+}
+
 } // namespace
+
+Status
+syncParentDir(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::string dir = fs::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    return syncPath(dir, O_RDONLY | O_DIRECTORY);
+}
 
 ScanResult
 scanRecordStream(std::istream &in)
@@ -205,6 +238,18 @@ RecordLog::flush()
 {
     if (isOpen())
         streamV.flush();
+}
+
+Status
+RecordLog::sync()
+{
+    if (!isOpen())
+        return Status::ok();
+    streamV.flush();
+    if (!streamV)
+        return Status::error("store: flush of " + pathV +
+                             " failed before fsync");
+    return syncPath(pathV, O_RDONLY);
 }
 
 Result<std::string>

@@ -88,6 +88,14 @@ struct ScanResult
  */
 ScanResult scanRecordStream(std::istream &in);
 
+/**
+ * fsync the directory containing `path`, making a just-renamed or
+ * just-created entry durable against power loss (fsync of the file
+ * itself covers its bytes, not its directory entry — compact()'s
+ * rename needs both).
+ */
+[[nodiscard]] Status syncParentDir(const std::string &path);
+
 /** Append-only handle on one log file. */
 class RecordLog
 {
@@ -111,6 +119,13 @@ class RecordLog
 
     /** Flush buffered appends to the operating system. */
     void flush();
+
+    /**
+     * Durability barrier: flush() plus fsync(2), so committed frames
+     * survive power loss rather than only process death. A no-op on a
+     * closed log; a kernel refusal is a recoverable error.
+     */
+    [[nodiscard]] Status sync();
 
     /**
      * Re-read the record whose frame starts at `offset` (as reported

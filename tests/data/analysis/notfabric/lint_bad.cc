@@ -1,0 +1,21 @@
+// Lint fixture: process control outside src/fabric must trip
+// lint-fabric-process. Never compiled.
+#include <csignal>
+#include <unistd.h>
+#include <sys/wait.h>
+
+namespace sadapt::adapt {
+
+int
+sneakChildProcess()
+{
+    const int pid = fork(); // lint-fabric-process (fork)
+    if (pid == 0)
+        execl("/bin/true", "true", nullptr); // lint-fabric-process (exec)
+    ::kill(pid, SIGTERM); // lint-fabric-process (kill)
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0); // lint-fabric-process (waitpid)
+    return wstatus;
+}
+
+} // namespace sadapt::adapt

@@ -178,6 +178,47 @@ TEST(Lint, StoreRawIoScopedToStoreOnly)
     EXPECT_FALSE(hasCheck(r, "lint-store-raw-io"));
 }
 
+TEST(Lint, FabricProcessControlFlaggedOutsideFabric)
+{
+    const Report r = lintSource("const int pid = fork();\n"
+                                "execl(\"/bin/true\", \"true\");\n"
+                                "::kill(pid, 9);\n"
+                                "waitpid(pid, nullptr, 0);\n",
+                                "src/adapt/runner.cc");
+    EXPECT_EQ(r.errorCount(), 4u);
+    EXPECT_TRUE(hasCheck(r, "lint-fabric-process"));
+}
+
+TEST(Lint, FabricProcessControlAllowedInFabric)
+{
+    const Report r = lintSource("const int pid = fork();\n"
+                                "::kill(pid, 9);\n"
+                                "waitpid(pid, nullptr, 0);\n",
+                                "src/fabric/fabric.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-fabric-process"));
+}
+
+TEST(Lint, FabricProcessControlExclusions)
+{
+    // Member calls, class-qualified statics and bare mentions are not
+    // process control; "notfabric" is not the fabric directory.
+    const Report r = lintSource("task.kill();\n"
+                                "Watchdog::kill(token);\n"
+                                "int fork = 3; fork += 1;\n",
+                                "src/notfabric/x.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-fabric-process"));
+}
+
+TEST(Lint, FixtureFileTripsFabricRule)
+{
+    const Report r = lintFile(
+        std::string(SADAPT_TEST_DATA_DIR) +
+            "/analysis/notfabric/lint_bad.cc",
+        SADAPT_TEST_DATA_DIR);
+    EXPECT_TRUE(hasCheck(r, "lint-fabric-process"));
+    EXPECT_GE(r.errorCount(), 4u);
+}
+
 TEST(Lint, FixtureFileTripsEveryRule)
 {
     const Report r = lintFile(

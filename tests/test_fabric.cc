@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Sweep-fabric tests: the lease-record codec, the per-worker lease
+ * logs and directory-wide claim view, the worker cell scheduler, and
+ * the SweepFabric end-to-end contracts — a clean multi-worker phase
+ * merges byte-identical to a jobs=1 run, the built-in crash drills
+ * pass, and the poisoned-cell policy heals via retry or quarantines
+ * after repeated crashes (DESIGN.md section 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adapt/epoch_db.hh"
+#include "analysis/lease_check.hh"
+#include "fabric/drill.hh"
+#include "fabric/fabric.hh"
+#include "fabric/lease_log.hh"
+#include "store/epoch_store.hh"
+#include "store/fingerprint.hh"
+#include "store/lease_record.hh"
+
+using namespace sadapt;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t testSalt = 0x5ad7;
+
+/** Fresh directory under the test temp root. */
+std::string
+tempFabricDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/**
+ * A deliberately tiny drill setup so the end-to-end tests stay fast;
+ * the CLI's defaults (larger matrix, 20 trials) are the real gate.
+ */
+fabric::CrashDrillOptions
+smallDrill(const std::string &scratch)
+{
+    fabric::CrashDrillOptions o;
+    o.matrixDim = 96;
+    o.matrixNnz = 800;
+    o.sampledConfigs = 3;
+    o.workers = 3;
+    o.leaseMs = 100;
+    o.scratchDir = scratch;
+    o.simSalt = testSalt;
+    return o;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Serial jobs=1 ground-truth sweep into `path`. */
+void
+serialSweep(const Workload &wl, std::span<const HwConfig> cfgs,
+            const std::string &path)
+{
+    store::EpochStore ref;
+    store::StoreOptions so;
+    so.simSalt = testSalt;
+    ASSERT_TRUE(ref.open(path, so).isOk());
+    EpochDb db(wl);
+    db.attachStore(&ref);
+    db.ensure(cfgs);
+    ref.flush();
+    ref.close();
+}
+
+} // namespace
+
+// ---------------------------------------------------------- lease codec
+
+TEST(LeaseRecord, RoundTripsEveryField)
+{
+    store::LeaseRecord rec;
+    rec.op = store::LeaseOp::Reclaim;
+    rec.workerId = 3;
+    rec.pid = 4242;
+    rec.peer = 7;
+    rec.seq = 0x1122334455667788ull;
+    rec.tickMs = 0x8877665544332211ull;
+    rec.simSalt = testSalt;
+    rec.fingerprint = 0xfeedface;
+    rec.configCode = 0x5a5a;
+
+    const std::string payload = store::encodeLeaseRecord(rec);
+    EXPECT_TRUE(store::isLeasePayload(payload));
+    ASSERT_EQ(store::leasePayloadVersion(payload),
+              store::leaseSchemaVersion);
+
+    const auto back = store::decodeLeaseRecord(payload);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value().op, rec.op);
+    EXPECT_EQ(back.value().workerId, rec.workerId);
+    EXPECT_EQ(back.value().pid, rec.pid);
+    EXPECT_EQ(back.value().peer, rec.peer);
+    EXPECT_EQ(back.value().seq, rec.seq);
+    EXPECT_EQ(back.value().tickMs, rec.tickMs);
+    EXPECT_EQ(back.value().simSalt, rec.simSalt);
+    EXPECT_EQ(back.value().fingerprint, rec.fingerprint);
+    EXPECT_EQ(back.value().configCode, rec.configCode);
+}
+
+TEST(LeaseRecord, RejectsForeignAndDamagedPayloads)
+{
+    EXPECT_FALSE(store::isLeasePayload(""));
+    EXPECT_FALSE(store::isLeasePayload("not a lease"));
+    EXPECT_FALSE(store::decodeLeaseRecord("").isOk());
+    EXPECT_FALSE(store::decodeLeaseRecord("epoch cell bytes").isOk());
+    EXPECT_EQ(store::leasePayloadVersion("xy"), std::nullopt);
+
+    std::string payload =
+        store::encodeLeaseRecord(store::LeaseRecord{});
+    // Truncation after the header is a size mismatch, not a crash.
+    EXPECT_FALSE(
+        store::decodeLeaseRecord(
+            std::string_view(payload).substr(0, payload.size() - 3))
+            .isOk());
+    // A future schema version decodes to an error but still reports
+    // its version for the validator's diagnostics.
+    payload[4] = 9;
+    EXPECT_FALSE(store::decodeLeaseRecord(payload).isOk());
+    EXPECT_EQ(store::leasePayloadVersion(payload), 9u);
+    // An out-of-range op byte is rejected too.
+    std::string bad_op =
+        store::encodeLeaseRecord(store::LeaseRecord{});
+    bad_op[8] = 17;
+    EXPECT_FALSE(store::decodeLeaseRecord(bad_op).isOk());
+}
+
+// ------------------------------------------------- lease log + dir scan
+
+TEST(LeaseLog, ScanReducesClaimsAndHeartbeats)
+{
+    const std::string dir = tempFabricDir("lease_scan");
+    const std::uint64_t fp = 0xabcd;
+    {
+        fabric::LeaseLog log;
+        ASSERT_TRUE(
+            log.open(dir + "/w1.lease", 1, testSalt, fp).isOk());
+        log.append(store::LeaseOp::Claim, 5);
+        log.append(store::LeaseOp::Complete, 5);
+        log.append(store::LeaseOp::Claim, 7);
+        log.append(store::LeaseOp::Release, 7);
+        log.append(store::LeaseOp::Claim, 9);
+        log.heartbeat();
+        log.close();
+    }
+    {
+        fabric::LeaseLog log;
+        ASSERT_TRUE(
+            log.open(dir + "/w2.lease", 2, testSalt, fp).isOk());
+        log.append(store::LeaseOp::Claim, 9); // racing duplicate claim
+        log.close();
+    }
+
+    const fabric::LeaseView view =
+        fabric::scanLeaseDir(dir, fp, testSalt);
+    EXPECT_EQ(view.files, 2u);
+    EXPECT_EQ(view.maxWorkerId, 2u);
+    EXPECT_EQ(view.corruptRecords, 0u);
+    EXPECT_EQ(view.tornTailBytes, 0u);
+
+    const fabric::CellLease *done = view.cell(5);
+    ASSERT_NE(done, nullptr);
+    EXPECT_TRUE(done->completed);
+    EXPECT_TRUE(done->active.empty());
+
+    const fabric::CellLease *released = view.cell(7);
+    ASSERT_NE(released, nullptr);
+    EXPECT_FALSE(released->completed);
+    EXPECT_TRUE(released->active.empty());
+
+    const fabric::CellLease *raced = view.cell(9);
+    ASSERT_NE(raced, nullptr);
+    EXPECT_EQ(raced->claimCount, 2u);
+    EXPECT_EQ(raced->active.size(), 2u);
+
+    // The heartbeat sentinel is liveness only, never a cell.
+    EXPECT_EQ(view.cell(store::leaseHeartbeatConfig), nullptr);
+    EXPECT_EQ(view.lastTick.count(1), 1u);
+    EXPECT_EQ(view.lastTick.count(2), 1u);
+
+    // Records keyed by a different phase are invisible.
+    const fabric::LeaseView other =
+        fabric::scanLeaseDir(dir, fp + 1, testSalt);
+    EXPECT_TRUE(other.cells.empty());
+    EXPECT_EQ(other.staleRecords, 7u); // all six w1 records + w2's
+}
+
+TEST(LeaseLog, SeqStaysStrictlyIncreasingAcrossReopen)
+{
+    const std::string dir = tempFabricDir("lease_reopen");
+    const std::string path = dir + "/w1.lease";
+    for (int round = 0; round < 3; ++round) {
+        fabric::LeaseLog log;
+        ASSERT_TRUE(log.open(path, 1, testSalt, 0xabcd).isOk());
+        log.append(store::LeaseOp::Claim, 5);
+        log.append(store::LeaseOp::Release, 5);
+        log.close();
+    }
+    // The validator owns the single-writer rules (strictly increasing
+    // seq, claim pairing); a restart that resumes the file must pass.
+    const analysis::Report report =
+        analysis::checkLeaseFile(path, testSalt);
+    EXPECT_TRUE(report.clean()) << report.errorCount() << " errors";
+}
+
+TEST(LeaseView, LiveClaimHonorsExpiry)
+{
+    fabric::LeaseView view;
+    view.cells[9].active.push_back(fabric::ClaimInfo{2, 1000});
+    EXPECT_TRUE(view.liveClaim(9, 1000, 500));
+    EXPECT_TRUE(view.liveClaim(9, 1500, 500));
+    EXPECT_FALSE(view.liveClaim(9, 1501, 500)); // expired = absent
+    EXPECT_FALSE(view.liveClaim(8, 1000, 500)); // unknown cell
+    view.cells[4].completed = true;
+    EXPECT_FALSE(view.liveClaim(4, 0, 500)); // done, nothing to hold
+}
+
+// ------------------------------------------------------- cell scheduler
+
+TEST(ScheduleSweepCells, RotatesAndPrefersUnclaimed)
+{
+    const std::vector<bool> claimed = {false, true, false, false};
+    // Worker 1 of 2 starts half-way round; unclaimed cells come first.
+    const std::vector<std::size_t> order =
+        scheduleSweepCells(4, claimed, 1, 2);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 0u);
+    EXPECT_EQ(order[3], 1u); // claimed straggler visited last
+
+    // Every index appears exactly once for any rotation.
+    for (unsigned w = 0; w < 4; ++w) {
+        std::vector<std::size_t> o =
+            scheduleSweepCells(4, claimed, w, 4);
+        std::sort(o.begin(), o.end());
+        EXPECT_EQ(o, (std::vector<std::size_t>{0, 1, 2, 3}));
+    }
+}
+
+TEST(EpochDb, PendingConfigsIsAPureQuery)
+{
+    const fabric::CrashDrillOptions opts = smallDrill("unused");
+    const Workload wl = fabric::builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, 3);
+
+    const std::string dir = tempFabricDir("pending_pure");
+    store::EpochStore st;
+    store::StoreOptions so;
+    so.simSalt = testSalt;
+    ASSERT_TRUE(st.open(dir + "/main.store", so).isOk());
+    EpochDb db(wl);
+    db.attachStore(&st);
+    db.ensure(std::span(cfgs.data(), 1));
+    const auto hits_before = st.stats().hits;
+    const auto misses_before = st.stats().misses;
+
+    const std::vector<HwConfig> pending = db.pendingConfigs(cfgs);
+    ASSERT_EQ(pending.size(), cfgs.size() - 1);
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        EXPECT_EQ(pending[i].encode(), cfgs[i + 1].encode());
+
+    // Pure: no simulation, no LRU/hit-miss perturbation, stable.
+    EXPECT_EQ(db.simulatedConfigs(), 1u);
+    EXPECT_EQ(st.stats().hits, hits_before);
+    EXPECT_EQ(st.stats().misses, misses_before);
+    EXPECT_EQ(db.pendingConfigs(cfgs).size(), pending.size());
+}
+
+// ------------------------------------------------- fabric, end to end
+
+TEST(SweepFabric, CleanPhaseMatchesSerialBytes)
+{
+    const std::string dir = tempFabricDir("fabric_clean");
+    const fabric::CrashDrillOptions opts = smallDrill(dir);
+    const Workload wl = fabric::builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, opts.sampledConfigs);
+
+    serialSweep(wl, cfgs, dir + "/ref.store");
+
+    store::EpochStore main;
+    store::StoreOptions so;
+    so.simSalt = testSalt;
+    ASSERT_TRUE(main.open(dir + "/main.store", so).isOk());
+    fabric::FabricOptions fo;
+    fo.workers = 2;
+    fo.leaseMs = 200;
+    fo.pollMs = 2;
+    fo.dir = dir + "/fabric.d";
+    fabric::SweepFabric fab(wl, main, fo);
+    ASSERT_TRUE(fab.runPhase(cfgs).isOk());
+    main.close();
+
+    EXPECT_EQ(fileBytes(dir + "/main.store"),
+              fileBytes(dir + "/ref.store"));
+    EXPECT_EQ(fab.stats().cellsQuarantined, 0u);
+    EXPECT_GE(fab.stats().workersSpawned, 2u);
+
+    // Every worker's lease log obeys the single-writer protocol.
+    unsigned lease_files = 0;
+    for (const auto &entry : fs::directory_iterator(fo.dir)) {
+        if (entry.path().extension() != ".lease")
+            continue;
+        ++lease_files;
+        EXPECT_TRUE(
+            analysis::checkLeaseFile(entry.path().string(), testSalt)
+                .clean())
+            << entry.path();
+    }
+    EXPECT_GE(lease_files, 1u);
+
+    // A second phase over the same candidates is a durable no-op.
+    store::EpochStore again;
+    ASSERT_TRUE(again.open(dir + "/main.store", so).isOk());
+    fabric::SweepFabric fab2(wl, again, fo);
+    ASSERT_TRUE(fab2.runPhase(cfgs).isOk());
+    again.close();
+    EXPECT_EQ(fileBytes(dir + "/main.store"),
+              fileBytes(dir + "/ref.store"));
+}
+
+TEST(SweepFabric, Kill9DrillPasses)
+{
+    fabric::CrashDrillOptions opts =
+        smallDrill(tempFabricDir("fabric_kill9"));
+    opts.kind = fabric::DrillSpec::Kind::Kill9;
+    opts.trials = 3;
+    const auto report = fabric::runCrashDrill(opts);
+    ASSERT_TRUE(report.isOk()) << report.message();
+    for (const std::string &msg : report.value().messages)
+        ADD_FAILURE() << msg;
+    EXPECT_TRUE(report.value().passed());
+    EXPECT_EQ(report.value().totals.drillInjections, 3u);
+}
+
+TEST(SweepFabric, TornWriteDrillPasses)
+{
+    fabric::CrashDrillOptions opts =
+        smallDrill(tempFabricDir("fabric_torn"));
+    opts.kind = fabric::DrillSpec::Kind::TornWrite;
+    opts.trials = 2;
+    const auto report = fabric::runCrashDrill(opts);
+    ASSERT_TRUE(report.isOk()) << report.message();
+    for (const std::string &msg : report.value().messages)
+        ADD_FAILURE() << msg;
+    EXPECT_TRUE(report.value().passed());
+}
+
+TEST(SweepFabric, PoisonedCellHealsViaRetry)
+{
+    const std::string dir = tempFabricDir("fabric_heal");
+    const fabric::CrashDrillOptions opts = smallDrill(dir);
+    const Workload wl = fabric::builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, opts.sampledConfigs);
+
+    serialSweep(wl, cfgs, dir + "/ref.store");
+
+    store::EpochStore main;
+    store::StoreOptions so;
+    so.simSalt = testSalt;
+    ASSERT_TRUE(main.open(dir + "/main.store", so).isOk());
+    fabric::FabricOptions fo;
+    fo.workers = 2;
+    fo.leaseMs = 100;
+    fo.pollMs = 2;
+    fo.dir = dir + "/fabric.d";
+    // Two claims crash; the third claimer (a respawned worker or the
+    // coordinator's in-process retry) succeeds — no quarantine.
+    fo.poisonConfig = cfgs[1].encode();
+    fo.poisonFailures = 2;
+    fabric::SweepFabric fab(wl, main, fo);
+    ASSERT_TRUE(fab.runPhase(cfgs).isOk());
+    main.close();
+
+    EXPECT_EQ(fab.stats().cellsQuarantined, 0u);
+    EXPECT_TRUE(fab.quarantined().empty());
+    EXPECT_GE(fab.stats().workerDeaths, 2u);
+    EXPECT_EQ(fileBytes(dir + "/main.store"),
+              fileBytes(dir + "/ref.store"));
+}
+
+TEST(SweepFabric, PoisonedCellQuarantinesAfterRetry)
+{
+    const std::string dir = tempFabricDir("fabric_poison");
+    const fabric::CrashDrillOptions opts = smallDrill(dir);
+    const Workload wl = fabric::builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, opts.sampledConfigs);
+
+    store::EpochStore main;
+    store::StoreOptions so;
+    so.simSalt = testSalt;
+    ASSERT_TRUE(main.open(dir + "/main.store", so).isOk());
+    fabric::FabricOptions fo;
+    fo.workers = 2;
+    fo.leaseMs = 100;
+    fo.pollMs = 2;
+    fo.dir = dir + "/fabric.d";
+    // Every claim of this cell crashes, including the in-process
+    // retry: the coordinator must quarantine it and finish the phase.
+    fo.poisonConfig = cfgs[1].encode();
+    fo.poisonFailures = 1000;
+    fabric::SweepFabric fab(wl, main, fo);
+    ASSERT_TRUE(fab.runPhase(cfgs).isOk()); // quarantine != failure
+
+    EXPECT_EQ(fab.stats().cellsQuarantined, 1u);
+    ASSERT_EQ(fab.quarantined().size(), 1u);
+    EXPECT_EQ(fab.quarantined()[0].encode(), cfgs[1].encode());
+    EXPECT_GE(fab.stats().inProcessRetries, 1u);
+
+    // Everything else was swept and is served from the main store.
+    const std::uint64_t fp =
+        store::workloadFingerprint(wl.trace, wl.params, wl.l1Type);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const bool expected_present = i != 1;
+        EXPECT_EQ(main.get(fp, cfgs[i]).has_value(), expected_present)
+            << "config " << i;
+    }
+    main.close();
+
+    // A resumed phase remembers the quarantine instead of re-crashing
+    // through the whole policy again.
+    store::EpochStore again;
+    ASSERT_TRUE(again.open(dir + "/main.store", so).isOk());
+    fabric::FabricOptions fo2 = fo;
+    fo2.poisonConfig = -1; // even with the fault gone, stay skipped
+    fabric::SweepFabric fab2(wl, again, fo2);
+    ASSERT_TRUE(fab2.runPhase(cfgs).isOk());
+    EXPECT_EQ(fab2.stats().cellsQuarantined, 1u);
+    again.close();
+}

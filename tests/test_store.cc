@@ -9,11 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "adapt/epoch_db.hh"
 #include "common/rng.hh"
@@ -498,4 +503,101 @@ TEST(EpochDbStore, ResultConsultsStoreOnCacheMiss)
     EXPECT_EQ(st.stats().hits, 1u);
     EXPECT_EQ(st.stats().putRecords,
               db.result(baselineConfig()).epochs.size());
+}
+
+// -------------------------------------------------- crash durability
+
+TEST(EpochStoreCrash, FlushedResultsSurviveAnImmediateReader)
+{
+    // flush() fsyncs the record log, so a second process (here, a
+    // second handle over the same file) sees every flushed cell even
+    // while the writer stays open.
+    const std::string path = tempStorePath("store_flush_dur.store");
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    const SimResult res = db.result(baselineConfig());
+    const std::uint64_t fp =
+        store::workloadFingerprint(wl.trace, wl.params, wl.l1Type);
+
+    store::EpochStore writer;
+    ASSERT_TRUE(writer.open(path, testOptions()).isOk());
+    writer.put(fp, baselineConfig(), res);
+    writer.flush();
+
+    store::EpochStore reader;
+    ASSERT_TRUE(reader.open(path, testOptions()).isOk());
+    EXPECT_EQ(reader.stats().diskResults, 1u);
+    EXPECT_EQ(reader.stats().tornTailBytes, 0u);
+    const auto hit = reader.get(fp, baselineConfig());
+    ASSERT_TRUE(hit.has_value());
+    expectResultsEqual(*hit, res);
+}
+
+/**
+ * Fork a child that compacts the store in a tight loop and SIGKILL it
+ * at a sweep of delays, so the kill lands before, inside and after the
+ * rewrite-rename-dirsync window. Whatever the timing, a reopen must
+ * serve every result bit-exactly: compact() builds the replacement in
+ * a scratch file and installs it with an atomic rename, so readers
+ * only ever see the old file or the new file, both fully intact.
+ * (Tests may fork; lint-fabric-process scopes src/ only.)
+ */
+TEST(EpochStoreCrash, Kill9MidCompactLosesNothing)
+{
+    const std::string path = tempStorePath("store_kill9.store");
+    Workload wl = smallWorkload();
+    EpochDb db(wl);
+    const SimResult r0 = db.result(baselineConfig());
+    const SimResult r1 = db.result(maxConfig());
+    const std::uint64_t fp =
+        store::workloadFingerprint(wl.trace, wl.params, wl.l1Type);
+    {
+        store::EpochStore st;
+        ASSERT_TRUE(st.open(path, testOptions()).isOk());
+        st.put(fp, baselineConfig(), r0);
+        st.put(fp, maxConfig(), r1);
+        st.flush();
+        ASSERT_TRUE(st.compact().isOk()); // canonical byte layout
+    }
+    const std::string canonical = fileBytes(path);
+
+    for (unsigned trial = 0; trial < 12; ++trial) {
+        std::fflush(nullptr); // no duplicated stdio buffers in the child
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: compact forever until killed. _Exit codes mark
+            // setup errors; SIGKILL is the expected way out.
+            for (;;) {
+                store::EpochStore st;
+                if (!st.open(path, testOptions()).isOk())
+                    std::_Exit(2);
+                if (!st.compact().isOk())
+                    std::_Exit(3);
+                st.close();
+            }
+        }
+        ::usleep(150 * trial); // sweep the kill across the window
+        ASSERT_EQ(::kill(pid, SIGKILL), 0);
+        int wstatus = 0;
+        ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+        ASSERT_TRUE(WIFSIGNALED(wstatus))
+            << "child exited with " << WEXITSTATUS(wstatus);
+
+        // Old or new file — never a blend, never a loss.
+        store::EpochStore st;
+        ASSERT_TRUE(st.open(path, testOptions()).isOk());
+        EXPECT_EQ(st.stats().corruptRecords, 0u) << "trial " << trial;
+        EXPECT_EQ(st.stats().tornTailBytes, 0u) << "trial " << trial;
+        EXPECT_EQ(st.stats().diskResults, 2u) << "trial " << trial;
+        const auto h0 = st.get(fp, baselineConfig());
+        const auto h1 = st.get(fp, maxConfig());
+        ASSERT_TRUE(h0.has_value()) << "trial " << trial;
+        ASSERT_TRUE(h1.has_value()) << "trial " << trial;
+        expectResultsEqual(*h0, r0);
+        expectResultsEqual(*h1, r1);
+        EXPECT_EQ(fileBytes(path), canonical) << "trial " << trial;
+        st.close();
+        fs::remove(path + ".compact"); // scratch a kill may leave
+    }
 }

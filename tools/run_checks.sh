@@ -19,7 +19,7 @@ cmake -B "$build_dir" -S "$repo_root" \
 echo "== build"
 cmake --build "$build_dir" -j > /dev/null
 
-echo "== sadapt_check: sources, models, traces, specs, journals, stores"
+echo "== sadapt_check: sources, models, traces, specs, journals, stores, leases"
 "$build_dir/tools/sadapt_check" all \
     --root "$repo_root" \
     --src "$repo_root/src" \
@@ -28,6 +28,7 @@ echo "== sadapt_check: sources, models, traces, specs, journals, stores"
     --specs "$repo_root/tests/data/analysis/good_specs.txt" \
     --journal "$repo_root/tests/data/analysis/good.journal" \
     --store "$repo_root/tests/data/analysis/good.store" \
+    --lease "$repo_root/tests/data/analysis/good.lease" \
     --baseline "$repo_root/tools/sadapt_check.baseline"
 
 echo "== ctest -L analysis|obs"
@@ -40,6 +41,20 @@ ctest --test-dir "$build_dir" -L 'analysis|obs' --output-on-failure \
 echo "== ctest -L store"
 ctest --test-dir "$build_dir" -L store --output-on-failure \
     -j "$(nproc)"
+
+# Sweep-fabric gate: the lease/merge/drill unit suite plus the CLI
+# crash drills — 20 kill -9 trials and 10 torn-write trials must lose
+# no completed cell and merge byte-identical to a jobs=1 sweep, under
+# the same sanitized build.
+echo "== ctest -L fabric"
+ctest --test-dir "$build_dir" -L fabric --output-on-failure \
+    -j "$(nproc)"
+
+echo "== sadapt_fabric crash drills (kill9, torn-write)"
+"$build_dir/tools/sadapt_fabric" --drill kill9 \
+    --dir "$build_dir/fabric-drill-kill9.d"
+"$build_dir/tools/sadapt_fabric" --drill torn-write --trials 10 \
+    --dir "$build_dir/fabric-drill-torn.d"
 
 # ThreadSanitizer gate for the parallel sweep engine: TSan excludes
 # ASan, so it gets its own build tree, and only the threading-labeled

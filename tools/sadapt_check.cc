@@ -26,6 +26,7 @@
 
 #include "analysis/finding.hh"
 #include "analysis/journal_check.hh"
+#include "analysis/lease_check.hh"
 #include "analysis/lint.hh"
 #include "analysis/model_check.hh"
 #include "analysis/spec_check.hh"
@@ -50,6 +51,7 @@ usage()
         "  specs <file>...    validate config/fault spec-list files\n"
         "  journal <file>...  validate observability event journals\n"
         "  store <file>...    validate persistent epoch-store files\n"
+        "  lease <file>...    validate fabric lease-log files\n"
         "  config-space       self-check the config space encoding\n"
         "  lint <path>...     lint .cc/.hh files or directories\n"
         "  all                run everything (see options)\n"
@@ -66,7 +68,10 @@ usage()
         "repeatable\n"
         "  --store <file>     (all) validate this store; "
         "repeatable\n"
-        "  --salt <n>         (store) expected simulator salt; 0\n"
+        "  --lease <file>     (all) validate this lease log; "
+        "repeatable\n"
+        "  --salt <n>         (store/lease) expected simulator\n"
+        "                     salt; 0\n"
         "                     (default) skips salt checks\n");
     std::exit(2);
 }
@@ -83,6 +88,7 @@ struct Options
     std::vector<std::string> specs;
     std::vector<std::string> journals;
     std::vector<std::string> stores;
+    std::vector<std::string> leases;
     std::uint64_t salt = 0;
 };
 
@@ -116,6 +122,8 @@ parseArgs(int argc, char **argv)
             o.journals.push_back(need(i));
         else if (arg == "--store")
             o.stores.push_back(need(i));
+        else if (arg == "--lease")
+            o.leases.push_back(need(i));
         else if (arg == "--salt")
             o.salt = std::strtoull(need(i), nullptr, 0);
         else if (arg.rfind("--", 0) == 0)
@@ -173,6 +181,11 @@ main(int argc, char **argv)
             usage();
         for (const auto &f : o.args)
             report.merge(checkStoreFile(f, o.salt));
+    } else if (o.subcommand == "lease") {
+        if (o.args.empty())
+            usage();
+        for (const auto &f : o.args)
+            report.merge(checkLeaseFile(f, o.salt));
     } else if (o.subcommand == "config-space") {
         report.merge(checkConfigSpaceInvariants());
     } else if (o.subcommand == "lint") {
@@ -192,6 +205,8 @@ main(int argc, char **argv)
             report.merge(checkJournalFile(f));
         for (const auto &f : o.stores)
             report.merge(checkStoreFile(f, o.salt));
+        for (const auto &f : o.leases)
+            report.merge(checkLeaseFile(f, o.salt));
     } else {
         usage();
     }

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * sadapt-fabric: run the crash-tolerant multi-process sweep fabric,
+ * either as a sweep (merge the built-in drill workload's candidate
+ * sweep into a store through N worker processes) or as a crash-drill
+ * campaign that proves the fabric's guarantees end to end.
+ *
+ *   sadapt_fabric --drill kill9 --trials 20 --workers 4 \
+ *                 --dir /tmp/fabric-drill
+ *   sadapt_fabric --store sweep.store --workers 4 --lease-ms 500 \
+ *                 --csv sweep.csv --journal sweep.jsonl
+ *
+ * Drill mode repeats the sweep under an injected failure (kill -9,
+ * SIGSTOP past lease expiry, or a torn shard write) and checks that
+ * every trial's merged store is byte-identical to a jobs=1 reference,
+ * that the validators stay clean, and that derived results match.
+ *
+ * Exit code: 0 on success, 1 when a drill trial fails or any cell was
+ * quarantined, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fabric/drill.hh"
+#include "fabric/fabric.hh"
+#include "obs/observer.hh"
+#include "store/epoch_store.hh"
+#include "store/fingerprint.hh"
+
+using namespace sadapt;
+
+namespace {
+
+struct Options
+{
+    std::string drillName; //!< empty = sweep mode
+    std::string storePath;
+    std::string dir;
+    std::string csvPath;
+    std::string journalPath;
+    std::string metricsPath;
+    unsigned workers = 4;
+    unsigned trials = 20;
+    std::uint64_t leaseMs = 200;
+    std::uint64_t seed = 1;
+    std::uint64_t salt = 0x5ad7;
+    std::size_t configs = 5;
+    std::int64_t poisonConfig = -1;
+    unsigned poisonFailures = 0;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workers <n>          worker processes (default 4)\n"
+        "  --lease-ms <ms>        claim lifetime (default 200)\n"
+        "  --drill <name>         drill mode: kill9 | sigstop | "
+        "torn-write\n"
+        "  --trials <n>           drill trials (default 20)\n"
+        "  --seed <n>             drill injection seed (default 1)\n"
+        "  --dir <dir>            scratch directory (drills) or "
+        "lease/shard\n"
+        "                         directory (sweeps; default "
+        "<store>.fabric.d)\n"
+        "  --store <file>         (sweep) merged main store path\n"
+        "  --csv <file>           (sweep) write per-epoch results "
+        "CSV\n"
+        "  --journal <file.jsonl> (sweep) write fabric event "
+        "journal\n"
+        "  --metrics <file>       (sweep) write metrics snapshot\n"
+        "  --configs <n>          sampled candidate configs "
+        "(default 5)\n"
+        "  --salt <n>             simulator salt keying all records "
+        "(default\n"
+        "                         0x5ad7, byte-stable across "
+        "builds)\n"
+        "  --poison-config <c>    poisoned-cell hook: config code "
+        "that\n"
+        "                         crashes its claimers\n"
+        "  --poison-failures <n>  claims that fail before the cell "
+        "heals\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workers")
+            o.workers = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+        else if (arg == "--lease-ms")
+            o.leaseMs = std::strtoull(need(i), nullptr, 0);
+        else if (arg == "--drill")
+            o.drillName = need(i);
+        else if (arg == "--trials")
+            o.trials = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+        else if (arg == "--seed")
+            o.seed = std::strtoull(need(i), nullptr, 0);
+        else if (arg == "--dir")
+            o.dir = need(i);
+        else if (arg == "--store")
+            o.storePath = need(i);
+        else if (arg == "--csv")
+            o.csvPath = need(i);
+        else if (arg == "--journal")
+            o.journalPath = need(i);
+        else if (arg == "--metrics")
+            o.metricsPath = need(i);
+        else if (arg == "--configs")
+            o.configs = std::strtoull(need(i), nullptr, 0);
+        else if (arg == "--salt")
+            o.salt = std::strtoull(need(i), nullptr, 0);
+        else if (arg == "--poison-config")
+            o.poisonConfig = std::strtoll(need(i), nullptr, 0);
+        else if (arg == "--poison-failures")
+            o.poisonFailures = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+        else
+            usage(argv[0]);
+    }
+    if (o.drillName.empty() && o.storePath.empty())
+        usage(argv[0]);
+    return o;
+}
+
+int
+runDrill(const Options &o)
+{
+    const Result<fabric::DrillSpec::Kind> kind =
+        fabric::parseDrillKind(o.drillName);
+    if (!kind.isOk()) {
+        std::fprintf(stderr, "sadapt_fabric: %s\n",
+                     kind.message().c_str());
+        return 2;
+    }
+    fabric::CrashDrillOptions opts;
+    opts.kind = kind.value();
+    opts.trials = o.trials;
+    opts.workers = o.workers;
+    opts.leaseMs = o.leaseMs;
+    opts.seed = o.seed;
+    opts.scratchDir =
+        o.dir.empty() ? std::string("fabric-drill.d") : o.dir;
+    opts.simSalt = o.salt;
+    opts.sampledConfigs = o.configs;
+    const Result<fabric::CrashDrillReport> ran =
+        fabric::runCrashDrill(opts);
+    if (!ran.isOk()) {
+        std::fprintf(stderr, "sadapt_fabric: %s\n",
+                     ran.message().c_str());
+        return 1;
+    }
+    const fabric::CrashDrillReport &report = ran.value();
+    for (const std::string &msg : report.messages)
+        std::fprintf(stderr, "sadapt_fabric: FAIL %s\n", msg.c_str());
+    std::printf(
+        "drill=%s trials=%u failures=%u deaths=%llu reclaimed=%llu "
+        "duplicates=%llu repairs=%llu injections=%llu\n",
+        fabric::drillKindName(opts.kind).c_str(), report.trials,
+        report.failures,
+        static_cast<unsigned long long>(report.totals.workerDeaths),
+        static_cast<unsigned long long>(
+            report.totals.leasesReclaimed),
+        static_cast<unsigned long long>(
+            report.totals.duplicateCells),
+        static_cast<unsigned long long>(report.totals.mergeRepairs),
+        static_cast<unsigned long long>(
+            report.totals.drillInjections));
+    std::printf("%s\n", report.passed() ? "PASS" : "FAIL");
+    return report.passed() ? 0 : 1;
+}
+
+int
+runSweep(const Options &o)
+{
+    fabric::CrashDrillOptions wlopts;
+    wlopts.sampledConfigs = o.configs;
+    const Workload wl = fabric::builtinDrillWorkload(wlopts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, o.configs);
+
+    obs::RunObserver observer;
+    if (!o.journalPath.empty()) {
+        const Status journal = observer.openJournal(o.journalPath);
+        if (!journal.isOk())
+            fatal(journal.message());
+    }
+
+    store::EpochStore main;
+    store::StoreOptions sopts;
+    sopts.simSalt = o.salt;
+    const Status opened = main.open(o.storePath, sopts);
+    if (!opened.isOk())
+        fatal(opened.message());
+
+    fabric::FabricOptions fopts;
+    fopts.workers = o.workers;
+    fopts.leaseMs = o.leaseMs;
+    fopts.dir = o.dir;
+    fopts.observer =
+        o.journalPath.empty() && o.metricsPath.empty() ? nullptr
+                                                       : &observer;
+    fopts.metrics = &observer.metrics();
+    fopts.poisonConfig = o.poisonConfig;
+    fopts.poisonFailures = o.poisonFailures;
+    fabric::SweepFabric fab(wl, main, fopts);
+    const Status ran = fab.runPhase(cfgs);
+    if (!ran.isOk())
+        fatal(ran.message());
+
+    if (!o.csvPath.empty()) {
+        const std::uint64_t fp = store::workloadFingerprint(
+            wl.trace, wl.params, wl.l1Type);
+        std::ofstream csv(o.csvPath);
+        if (!csv)
+            fatal(str("cannot write ", o.csvPath));
+        csv << "config,epoch,flops,seconds,energy\n";
+        for (const HwConfig &cfg : cfgs) {
+            const std::optional<SimResult> res = main.get(fp, cfg);
+            if (!res.has_value())
+                continue; // quarantined cells stay absent
+            for (std::size_t e = 0; e < res->epochs.size(); ++e) {
+                const EpochRecord &rec = res->epochs[e];
+                csv << cfg.encode() << "," << e << "," << rec.flops
+                    << "," << rec.seconds << ","
+                    << rec.totalEnergy() << "\n";
+            }
+        }
+    }
+    main.flush();
+    main.close();
+    if (!o.metricsPath.empty()) {
+        std::ofstream metrics(o.metricsPath);
+        if (!metrics)
+            fatal(str("cannot write ", o.metricsPath));
+        observer.metrics().writeText(metrics);
+    }
+
+    const fabric::FabricStats &s = fab.stats();
+    std::printf(
+        "{\"fabric\": {\"workers\": %u, \"lease_ms\": %llu, "
+        "\"cells\": %zu, \"workers_spawned\": %llu, "
+        "\"worker_deaths\": %llu, \"leases_reclaimed\": %llu, "
+        "\"respawns\": %llu, \"cells_merged\": %llu, "
+        "\"duplicate_cells\": %llu, \"merge_repairs\": %llu, "
+        "\"in_process_retries\": %llu, \"quarantined\": %zu}}\n",
+        o.workers, static_cast<unsigned long long>(o.leaseMs),
+        cfgs.size(),
+        static_cast<unsigned long long>(s.workersSpawned),
+        static_cast<unsigned long long>(s.workerDeaths),
+        static_cast<unsigned long long>(s.leasesReclaimed),
+        static_cast<unsigned long long>(s.respawns),
+        static_cast<unsigned long long>(s.cellsMerged),
+        static_cast<unsigned long long>(s.duplicateCells),
+        static_cast<unsigned long long>(s.mergeRepairs),
+        static_cast<unsigned long long>(s.inProcessRetries),
+        fab.quarantined().size());
+    if (!fab.quarantined().empty()) {
+        for (const HwConfig &cfg : fab.quarantined())
+            std::fprintf(stderr,
+                         "sadapt_fabric: quarantined config %u (%s)\n",
+                         cfg.encode(), cfg.label().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    return o.drillName.empty() ? runSweep(o) : runDrill(o);
+}
