@@ -1,0 +1,461 @@
+#include "analysis/determinism_check.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/symbols.hh"
+#include "common/logging.hh"
+
+namespace sadapt::analysis {
+
+namespace {
+
+/**
+ * Deterministic-output sinks reached through a member or qualified
+ * call: writing any of these bakes the current value into an
+ * artifact the determinism contract covers.
+ */
+const std::map<std::string, std::string> &
+memberSinks()
+{
+    static const std::map<std::string, std::string> sinks = {
+        {"emit", "RunObserver::emit"},
+        {"put", "EpochStore::put"},
+        {"putCell", "EpochStore::putCell"},
+        {"write", "JournalWriter::write"},
+        {"writeText", "MetricRegistry::writeText"},
+        {"noteSweep", "BenchReport::noteSweep"},
+        {"noteFabric", "BenchReport::noteFabric"},
+        {"add", "BenchReport::add"},
+        {"append", "RecordLog::append"},
+    };
+    return sinks;
+}
+
+/** Free-function sinks, matched by unqualified name. */
+const std::set<std::string> &
+freeSinks()
+{
+    static const std::set<std::string> sinks = {
+        "writeMetricsText",
+        "writeBenchJson",
+        "writeObserverOutputs",
+    };
+    return sinks;
+}
+
+/** Sink label for a call site, or empty when it is not a sink. */
+std::string
+sinkLabel(const CallSite &c)
+{
+    if (freeSinks().contains(c.name))
+        return c.name;
+    auto it = memberSinks().find(c.name);
+    if (it == memberSinks().end())
+        return {};
+    // Member-map names need a receiver or written qualifier: a bare
+    // `put(x)` is some local helper, `store.put(x)` is the sink.
+    if (c.member || !c.qual.empty())
+        return it->second;
+    return {};
+}
+
+/** The lint rule an allowance must name to permit a taint kind. */
+std::string
+kindRule(TaintKind k)
+{
+    switch (k) {
+      case TaintKind::WallClock: return "lint-wallclock";
+      case TaintKind::MutableGlobal: return "lint-mutable-global";
+      case TaintKind::UnorderedIter: return "lint-unordered-iter";
+      case TaintKind::PointerOrder: return "lint-pointer-order";
+      case TaintKind::RawRandom: return "lint-banned-call";
+      case TaintKind::ThreadId: return {};
+    }
+    panic("bad TaintKind");
+}
+
+bool
+allowed(const std::string &rule, const std::string &rel_path)
+{
+    if (rule.empty())
+        return false;
+    for (const RuleAllowance &a : determinismAllowances())
+        if (a.rule == rule &&
+            rel_path.find(a.pathPrefix) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** How a taint kind arrived at a function. */
+struct TaintOrigin
+{
+    bool direct = false;
+    SourceMark mark;              //!< when direct
+    std::size_t via = SIZE_MAX;   //!< callee index when not direct
+    std::uint64_t edgeLine = 0;   //!< line of the call to `via`
+};
+
+/** How a sink is reached from a function. */
+struct SinkPath
+{
+    std::size_t via = SIZE_MAX; //!< callee index; SIZE_MAX = direct
+};
+
+} // namespace
+
+const std::vector<RuleAllowance> &
+determinismAllowances()
+{
+    static const std::vector<RuleAllowance> table = {
+        {"lint-wallclock", "obs/prof",
+         "host profiling timers behind SADAPT_PROF; results go to "
+         "stderr diagnostics, never into deterministic artifacts"},
+        {"lint-mutable-global", "obs/prof",
+         "process-wide profiling accumulator behind SADAPT_PROF; "
+         "diagnostics only"},
+        {"lint-wallclock", "fabric/lease_log",
+         "lease heartbeat ticks are per-run crash-detection scratch; "
+         "the merged store is rebuilt in canonical order (DESIGN "
+         "S11)"},
+        {"lint-mutable-global", "fabric/fabric",
+         "volatile sig_atomic_t stop flag written by worker signal "
+         "handlers; a stopped worker's work is redone and the "
+         "merged store is rebuilt in canonical order (DESIGN S11)"},
+        {"lint-mutable-global", "common/logging",
+         "process-wide log-level cache; stderr diagnostics only, "
+         "never a deterministic artifact"},
+        {"lint-banned-call", "common/rng",
+         "the one home of randomness; every stream is seeded from "
+         "the run config so draws are reproducible"},
+    };
+    return table;
+}
+
+Report
+checkDeterminism(
+    const std::vector<std::pair<std::string, std::string>> &files)
+{
+    Report report;
+
+    std::vector<std::pair<std::string, std::string>> sorted = files;
+    std::sort(sorted.begin(), sorted.end());
+
+    Program prog;
+    for (const auto &[rel, content] : sorted)
+        prog.addTu(parseTu(content, rel));
+    prog.link();
+
+    // ---- symbol-aware lint rules ---------------------------------
+
+    for (const TuSymbols &tu : prog.tus()) {
+        if (!allowed("lint-wallclock", tu.file)) {
+            for (const RuleSite &s : tu.wallclockSites)
+                report.add(
+                    "lint-wallclock", tu.file, s.line,
+                    Severity::Error,
+                    str("wall-clock read (", s.detail,
+                        "): use the simulated clock, or add a scoped "
+                        "allowance with a justification"));
+        }
+        if (!allowed("lint-pointer-order", tu.file)) {
+            for (const RuleSite &s : tu.pointerOrderSites)
+                report.add(
+                    "lint-pointer-order", tu.file, s.line,
+                    Severity::Error,
+                    str(s.detail, ": key or sort by a stable id "
+                                  "instead of an address"));
+        }
+    }
+
+    for (const GlobalVar &g : prog.globals()) {
+        if (g.isConst || allowed("lint-mutable-global", g.file))
+            continue;
+        report.add(
+            "lint-mutable-global", g.file, g.line, Severity::Error,
+            str("mutable ", g.storage, " state '", g.name,
+                "': thread the value through explicit parameters, "
+                "or add a scoped allowance with a justification"));
+    }
+
+    const auto &fns = prog.functions();
+    const std::size_t n = fns.size();
+
+    for (const FunctionDef &f : fns) {
+        if (allowed("lint-unordered-iter", f.file))
+            continue;
+        for (const UnorderedLoop &loop : f.unorderedLoops) {
+            bool sinky = false;
+            std::string sink;
+            for (const CallSite &c : loop.bodyCalls) {
+                sink = sinkLabel(c);
+                if (!sink.empty()) {
+                    sinky = true;
+                    break;
+                }
+            }
+            if (!sinky && !loop.accumulatesFloat)
+                continue;
+            // Canonicalize-then-sort: an explicit sort after the
+            // loop restores a deterministic order, so collecting
+            // into a container and sorting it is fine.
+            bool sortedAfter = false;
+            for (const CallSite &c : f.calls)
+                if ((c.name == "sort" || c.name == "stable_sort") &&
+                    c.line >= loop.line)
+                    sortedAfter = true;
+            if (sortedAfter)
+                continue;
+            report.add(
+                "lint-unordered-iter", f.file, loop.line,
+                Severity::Error,
+                str("iteration over unordered container '", loop.var,
+                    "' ",
+                    sinky ? str("writes to sink ", sink)
+                          : std::string(
+                                "accumulates floating-point values"),
+                    " in hash order: iterate a sorted view or sort "
+                    "before emitting"));
+        }
+    }
+
+    // ---- cross-TU taint pass -------------------------------------
+
+    // Seed taint from source marks, minus allowance-covered sites.
+    std::vector<std::map<TaintKind, TaintOrigin>> taint(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const SourceMark &m : fns[i].sources) {
+            if (allowed(kindRule(m.kind), fns[i].file) ||
+                allowed("det-taint-" + taintKindSlug(m.kind),
+                        fns[i].file))
+                continue;
+            // Canonicalize-then-sort also defuses the taint seed: an
+            // explicit sort after an unordered iteration restores a
+            // deterministic order before anything can sink it.
+            if (m.kind == TaintKind::UnorderedIter) {
+                bool sortedAfter = false;
+                for (const CallSite &c : fns[i].calls)
+                    if ((c.name == "sort" ||
+                         c.name == "stable_sort") &&
+                        c.line >= m.line)
+                        sortedAfter = true;
+                if (sortedAfter)
+                    continue;
+            }
+            if (!taint[i].contains(m.kind))
+                taint[i][m.kind] =
+                    TaintOrigin{true, m, SIZE_MAX, m.line};
+        }
+    }
+
+    // Line of the first call from i that resolves to callee c.
+    auto edgeLine = [&](std::size_t i, std::size_t c) {
+        std::uint64_t best = 0;
+        for (const CallSite &s : fns[i].calls)
+            if (s.name == fns[c].name &&
+                (best == 0 || s.line < best))
+                best = s.line;
+        return best;
+    };
+
+    // Callee→caller propagation to a fixed point. Deterministic:
+    // functions are visited in index order and callee lists are
+    // sorted, and a kind is only recorded once per function.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t c : prog.callees(i)) {
+                for (const auto &[kind, origin] : taint[c]) {
+                    if (taint[i].contains(kind))
+                        continue;
+                    taint[i][kind] = TaintOrigin{
+                        false, {}, c, edgeLine(i, c)};
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Direct sink calls per function, in line order.
+    std::vector<std::vector<std::pair<std::string, std::uint64_t>>>
+        directSinks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const CallSite &c : fns[i].calls) {
+            const std::string label = sinkLabel(c);
+            if (!label.empty())
+                directSinks[i].push_back({label, c.line});
+        }
+        std::sort(directSinks[i].begin(), directSinks[i].end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second < b.second;
+                  });
+    }
+
+    // Sink reachability, also callee→caller to a fixed point.
+    std::vector<std::optional<SinkPath>> sinkReach(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!directSinks[i].empty())
+            sinkReach[i] = SinkPath{SIZE_MAX};
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (sinkReach[i])
+                continue;
+            for (std::size_t c : prog.callees(i)) {
+                if (sinkReach[c]) {
+                    sinkReach[i] = SinkPath{c};
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Walk a taint origin back to its direct source mark, collecting
+    // the function path origin→...→junction.
+    auto sourceChain = [&](std::size_t junction, TaintKind kind) {
+        std::vector<std::size_t> path{junction};
+        std::size_t cur = junction;
+        while (!taint[cur].at(kind).direct)
+            path.push_back(cur = taint[cur].at(kind).via);
+        std::reverse(path.begin(), path.end());
+        return path;
+    };
+
+    // Walk a sink path down to the function with the direct call;
+    // returns (intermediate function indices, sink label).
+    auto sinkChain = [&](std::size_t from) {
+        std::vector<std::size_t> path;
+        std::size_t cur = from;
+        while (directSinks[cur].empty()) {
+            cur = sinkReach[cur]->via;
+            path.push_back(cur);
+        }
+        return std::pair{path, directSinks[cur].front().first};
+    };
+
+    // Junction findings: a tainted input meeting a sink output
+    // through different edges is a new flow; the same callee on both
+    // sides was already reported at (or below) that callee.
+    std::set<std::string> emitted;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (taint[i].empty())
+            continue;
+
+        // Outputs: direct sink calls, then sink-reaching callees.
+        std::vector<std::pair<std::size_t, std::string>> outputs;
+        if (!directSinks[i].empty())
+            outputs.push_back({SIZE_MAX, directSinks[i].front().first});
+        for (std::size_t c : prog.callees(i))
+            if (sinkReach[c])
+                outputs.push_back({c, {}});
+
+        for (const auto &[kind, origin] : taint[i]) {
+            for (const auto &[outVia, outLabel] : outputs) {
+                if (!origin.direct && outVia != SIZE_MAX &&
+                    origin.via == outVia)
+                    continue; // same edge: reported below already
+
+                // Build the chain: source path up to here, then the
+                // sink path down, then the sink itself.
+                std::vector<std::string> chain;
+                for (std::size_t fi : sourceChain(i, kind))
+                    chain.push_back(fns[fi].qualified);
+                std::string label;
+                if (outVia == SIZE_MAX) {
+                    label = outLabel;
+                } else {
+                    auto [mids, l] = sinkChain(outVia);
+                    chain.push_back(fns[outVia].qualified);
+                    for (std::size_t fi : mids)
+                        chain.push_back(fns[fi].qualified);
+                    label = l;
+                }
+                chain.push_back(label);
+
+                // Origin detail: the direct mark at the chain head.
+                std::size_t head = i;
+                while (!taint[head].at(kind).direct)
+                    head = taint[head].at(kind).via;
+                const SourceMark &m = taint[head].at(kind).mark;
+
+                Finding f;
+                f.checkId = "det-taint-" + taintKindSlug(kind);
+                f.file = fns[i].file;
+                f.line = origin.direct ? origin.mark.line
+                                       : origin.edgeLine;
+                f.severity = Severity::Error;
+                f.message =
+                    str("nondeterminism (", m.detail,
+                        ") reaches deterministic output ", label);
+                f.chain = chain;
+                if (emitted.insert(f.key() + " " + label).second)
+                    report.add(std::move(f));
+            }
+        }
+    }
+
+    report.sort();
+    return report;
+}
+
+Report
+checkDeterminismTree(const std::vector<std::string> &dirs,
+                     const std::string &root)
+{
+    namespace fs = std::filesystem;
+    Report report;
+    std::vector<std::pair<std::string, std::string>> files;
+    auto addFile = [&](const std::string &path) {
+        std::ifstream in(path);
+        if (!in) {
+            report.add("lint-io", path, 0, Severity::Error,
+                       "cannot open source file");
+            return;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string rel = path;
+        const std::string prefix = root.empty() || root == "."
+            ? std::string()
+            : (root.back() == '/' ? root : root + "/");
+        if (!prefix.empty() && rel.rfind(prefix, 0) == 0)
+            rel = rel.substr(prefix.size());
+        files.push_back({rel, buf.str()});
+    };
+    for (const std::string &dir : dirs) {
+        std::error_code ec;
+        if (!fs::is_directory(dir, ec)) {
+            addFile(dir);
+            continue;
+        }
+        for (fs::recursive_directory_iterator it(dir, ec), end;
+             it != end && !ec; it.increment(ec)) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext =
+                it->path().extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
+                ext != ".h")
+                continue;
+            addFile(it->path().string());
+        }
+        if (ec) {
+            report.add("lint-io", dir, 0, Severity::Error,
+                       "cannot walk directory: " + ec.message());
+            return report;
+        }
+    }
+    report.merge(checkDeterminism(files));
+    report.sort();
+    return report;
+}
+
+} // namespace sadapt::analysis

@@ -25,8 +25,17 @@ Finding::format() const
     std::string loc = file;
     if (line > 0)
         loc += str(":", line);
-    return str(loc, ": [", severityName(severity), "] ", checkId,
-               ": ", message);
+    std::string text = str(loc, ": [", severityName(severity), "] ",
+                           checkId, ": ", message);
+    if (!chain.empty()) {
+        text += "; chain: ";
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+            if (i > 0)
+                text += " -> ";
+            text += chain[i];
+        }
+    }
+    return text;
 }
 
 std::string
@@ -43,7 +52,7 @@ Report::add(std::string check_id, std::string file, std::uint64_t line,
             Severity severity, std::string message)
 {
     add(Finding{std::move(check_id), std::move(file), line, severity,
-                std::move(message)});
+                std::move(message), {}});
 }
 
 std::size_t
@@ -72,6 +81,29 @@ Report::applyBaseline(const std::vector<std::string> &baseline_keys)
         return keys.contains(f.key());
     });
     suppressedV += before - findingsV.size();
+}
+
+std::vector<BaselineEntry>
+Report::applyBaseline(const std::vector<BaselineEntry> &entries)
+{
+    std::unordered_set<std::string> used;
+    for (const Finding &f : findingsV)
+        used.insert(f.key());
+
+    std::unordered_set<std::string> keys;
+    std::vector<BaselineEntry> stale;
+    for (const BaselineEntry &e : entries) {
+        keys.insert(e.key);
+        if (!used.contains(e.key))
+            stale.push_back(e);
+    }
+
+    const std::size_t before = findingsV.size();
+    std::erase_if(findingsV, [&](const Finding &f) {
+        return keys.contains(f.key());
+    });
+    suppressedV += before - findingsV.size();
+    return stale;
 }
 
 void
@@ -107,21 +139,88 @@ Report::print(std::ostream &out) const
     out << '\n';
 }
 
-Result<std::vector<std::string>>
-loadBaseline(const std::string &path)
+void
+Report::printJson(std::ostream &out) const
+{
+    auto esc = [](const std::string &s) {
+        std::string r;
+        r.reserve(s.size() + 2);
+        for (char c : s) {
+            switch (c) {
+              case '"': r += "\\\""; break;
+              case '\\': r += "\\\\"; break;
+              case '\n': r += "\\n"; break;
+              case '\t': r += "\\t"; break;
+              case '\r': r += "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char hex[] = "0123456789abcdef";
+                    r += "\\u00";
+                    r += hex[(c >> 4) & 0xF];
+                    r += hex[c & 0xF];
+                } else {
+                    r += c;
+                }
+            }
+        }
+        return r;
+    };
+
+    out << "{\n"
+        << "  \"version\": 1,\n"
+        << "  \"errors\": " << errorCount() << ",\n"
+        << "  \"warnings\": " << warningCount() << ",\n"
+        << "  \"suppressed\": " << suppressedV << ",\n"
+        << "  \"findings\": [";
+    for (std::size_t i = 0; i < findingsV.size(); ++i) {
+        const Finding &f = findingsV[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"rule\": \"" << esc(f.checkId)
+            << "\", \"file\": \"" << esc(f.file)
+            << "\", \"line\": " << f.line << ", \"severity\": \""
+            << severityName(f.severity) << "\", \"message\": \""
+            << esc(f.message) << "\", \"chain\": [";
+        for (std::size_t j = 0; j < f.chain.size(); ++j) {
+            if (j > 0)
+                out << ", ";
+            out << '"' << esc(f.chain[j]) << '"';
+        }
+        out << "]}";
+    }
+    out << (findingsV.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+Result<std::vector<BaselineEntry>>
+loadBaselineEntries(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         return Status::error("cannot open baseline file: " + path);
-    std::vector<std::string> keys;
+    std::vector<BaselineEntry> entries;
     std::string line;
+    std::uint64_t lineno = 0;
     while (std::getline(in, line)) {
+        ++lineno;
         const auto start = line.find_first_not_of(" \t\r");
         if (start == std::string::npos || line[start] == '#')
             continue;
         const auto end = line.find_last_not_of(" \t\r");
-        keys.push_back(line.substr(start, end - start + 1));
+        entries.push_back(
+            {line.substr(start, end - start + 1), lineno});
     }
+    return entries;
+}
+
+Result<std::vector<std::string>>
+loadBaseline(const std::string &path)
+{
+    auto entries = loadBaselineEntries(path);
+    if (!entries.isOk())
+        return entries.status();
+    std::vector<std::string> keys;
+    keys.reserve(entries.value().size());
+    for (const BaselineEntry &e : entries.value())
+        keys.push_back(e.key);
     return keys;
 }
 

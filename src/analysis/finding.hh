@@ -30,6 +30,13 @@ enum class Severity : std::uint8_t
 /** Human-readable severity name. */
 std::string severityName(Severity s);
 
+/** One baseline-file suppression entry with its file line number. */
+struct BaselineEntry
+{
+    std::string key;        //!< "check-id file:line"
+    std::uint64_t line = 0; //!< 1-based line in the baseline file
+};
+
 /** One diagnostic produced by a checker. */
 struct Finding
 {
@@ -38,8 +45,15 @@ struct Finding
     std::uint64_t line = 0; //!< 1-based; 0 when not line-addressable
     Severity severity = Severity::Error;
     std::string message;
+    /**
+     * Source→sink call chain for taint findings ("nowNs" →
+     * "recordEpoch" → "RunObserver::emit"); empty for plain lint
+     * findings. Not part of key(), so baselining a taint finding
+     * survives chain wording changes.
+     */
+    std::vector<std::string> chain;
 
-    /** "file:line: [severity] check-id: message". */
+    /** "file:line: [severity] check-id: message[; chain: a -> b]". */
     std::string format() const;
 
     /** The baseline key: "check-id file:line". */
@@ -83,6 +97,15 @@ class Report
      */
     void applyBaseline(const std::vector<std::string> &baseline_keys);
 
+    /**
+     * Baseline suppression with stale-entry detection: entries that
+     * matched no finding are returned so the caller can turn them
+     * into errors (a stale baseline hides future regressions behind
+     * dead suppressions).
+     */
+    std::vector<BaselineEntry>
+    applyBaseline(const std::vector<BaselineEntry> &entries);
+
     /** Sort by (file, line, checkId) for stable output. */
     void sort();
 
@@ -91,6 +114,14 @@ class Report
 
     /** Print all findings plus a one-line summary. */
     void print(std::ostream &out) const;
+
+    /**
+     * Machine-readable dump: one JSON object with summary counts and
+     * a findings array (rule, file, line, severity, message, chain).
+     * Key order and formatting are fixed so output is byte-stable
+     * and golden-file testable.
+     */
+    void printJson(std::ostream &out) const;
 
   private:
     std::vector<Finding> findingsV;
@@ -103,6 +134,10 @@ class Report
  */
 [[nodiscard]] Result<std::vector<std::string>>
 loadBaseline(const std::string &path);
+
+/** loadBaseline(), keeping each entry's baseline-file line number. */
+[[nodiscard]] Result<std::vector<BaselineEntry>>
+loadBaselineEntries(const std::string &path);
 
 } // namespace sadapt::analysis
 

@@ -1,164 +1,16 @@
 #include "analysis/lint.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <unordered_set>
 
+#include "analysis/lexer.hh"
 #include "common/logging.hh"
 
 namespace sadapt::analysis {
 
 namespace {
-
-struct Token
-{
-    enum class Kind
-    {
-        Ident,  //!< identifier or keyword
-        Number, //!< numeric literal (verbatim text)
-        Punct,  //!< operator/punctuator, longest-match
-    };
-
-    Kind kind;
-    std::string text;
-    std::uint64_t line;
-};
-
-/** Multi-char punctuators the checks care about; rest lex per-char. */
-bool
-isPunctPair(char a, char b)
-{
-    static const std::unordered_set<std::string> pairs = {
-        "==", "!=", "<=", ">=", "->", "::", "&&", "||", "<<", ">>",
-        "+=", "-=", "*=", "/=", "++", "--",
-    };
-    return pairs.contains(std::string{a, b});
-}
-
-/**
- * Lex C++ source into a token stream with line numbers, discarding
- * comments, string literals (including raw strings) and character
- * literals. Good enough for token-level rules; not a full lexer.
- */
-std::vector<Token>
-lex(const std::string &src)
-{
-    std::vector<Token> out;
-    std::uint64_t line = 1;
-    std::size_t i = 0;
-    const std::size_t n = src.size();
-    auto bump = [&](char c) {
-        if (c == '\n')
-            ++line;
-    };
-    while (i < n) {
-        const char c = src[i];
-        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
-            bump(c);
-            ++i;
-            continue;
-        }
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            while (i < n && src[i] != '\n')
-                ++i;
-            continue;
-        }
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            i += 2;
-            while (i + 1 < n &&
-                   !(src[i] == '*' && src[i + 1] == '/')) {
-                bump(src[i]);
-                ++i;
-            }
-            i = std::min(n, i + 2);
-            continue;
-        }
-        // Raw string literal: R"delim( ... )delim"
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-            std::size_t j = i + 2;
-            std::string delim;
-            while (j < n && src[j] != '(')
-                delim += src[j++];
-            const std::string close = ")" + delim + "\"";
-            std::size_t end = src.find(close, j);
-            if (end == std::string::npos)
-                end = n;
-            else
-                end += close.size();
-            for (std::size_t k = i; k < end && k < n; ++k)
-                bump(src[k]);
-            i = end;
-            continue;
-        }
-        if (c == '"' || c == '\'') {
-            const char quote = c;
-            ++i;
-            while (i < n && src[i] != quote) {
-                if (src[i] == '\\' && i + 1 < n)
-                    ++i;
-                bump(src[i]);
-                ++i;
-            }
-            ++i; // closing quote
-            continue;
-        }
-        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-            std::size_t j = i;
-            while (j < n &&
-                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
-                    src[j] == '_'))
-                ++j;
-            out.push_back(
-                {Token::Kind::Ident, src.substr(i, j - i), line});
-            i = j;
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c)) ||
-            (c == '.' && i + 1 < n &&
-             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
-            std::size_t j = i;
-            while (j < n &&
-                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
-                    src[j] == '.' || src[j] == '\'' ||
-                    ((src[j] == '+' || src[j] == '-') && j > i &&
-                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
-                ++j;
-            out.push_back(
-                {Token::Kind::Number, src.substr(i, j - i), line});
-            i = j;
-            continue;
-        }
-        if (i + 1 < n && isPunctPair(c, src[i + 1])) {
-            out.push_back(
-                {Token::Kind::Punct, src.substr(i, 2), line});
-            i += 2;
-            continue;
-        }
-        out.push_back({Token::Kind::Punct, std::string(1, c), line});
-        ++i;
-    }
-    return out;
-}
-
-/** True for numeric-literal text with floating-point type. */
-bool
-isFloatLiteral(const std::string &text)
-{
-    if (text.size() > 1 && (text[1] == 'x' || text[1] == 'X')) {
-        // Hex: floating only with a p-exponent (0x1.8p3).
-        return text.find('p') != std::string::npos ||
-            text.find('P') != std::string::npos;
-    }
-    if (text.back() == 'f' || text.back() == 'F' ||
-        text.find('.') != std::string::npos)
-        return true;
-    return text.find('e') != std::string::npos ||
-        text.find('E') != std::string::npos;
-}
 
 /**
  * Functions whose Status/Result return value must never be discarded.

@@ -2,8 +2,10 @@
  * @file
  * Token-based source lint for repo-specific C++ rules.
  *
- * A small hand-rolled lexer (no libclang dependency) strips comments
- * and literals and checks the token stream for the repo's rules:
+ * The shared analysis lexer (analysis/lexer — no libclang dependency,
+ * also the tokenizer behind the determinism analyzer's symbol parser)
+ * strips comments and literals; the lint checks its token stream for
+ * the repo's rules:
  *
  *  - lint-banned-call: no rand()/srand()/time() in src/ — all
  *    randomness goes through common/rng (deterministic, seedable)

@@ -1,0 +1,1172 @@
+#include "analysis/symbols.hh"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+#include "analysis/lexer.hh"
+#include "common/logging.hh"
+
+namespace sadapt::analysis {
+
+namespace {
+
+const std::unordered_set<std::string> &
+keywords()
+{
+    static const std::unordered_set<std::string> kw = {
+        "if",           "else",        "for",
+        "while",        "do",          "switch",
+        "case",         "default",     "return",
+        "break",        "continue",    "goto",
+        "sizeof",       "alignof",     "alignas",
+        "decltype",     "noexcept",    "static_assert",
+        "new",          "delete",      "throw",
+        "try",          "catch",       "const_cast",
+        "static_cast",  "dynamic_cast", "reinterpret_cast",
+        "co_await",     "co_yield",    "co_return",
+        "requires",     "concept",     "class",
+        "struct",       "union",       "enum",
+        "namespace",    "template",    "typename",
+        "using",        "typedef",     "friend",
+        "public",       "private",     "protected",
+        "operator",     "this",        "nullptr",
+        "true",         "false",       "auto",
+        "void",         "bool",        "char",
+        "short",        "int",         "long",
+        "float",        "double",      "signed",
+        "unsigned",     "const",       "constexpr",
+        "consteval",    "constinit",   "volatile",
+        "mutable",      "static",      "extern",
+        "inline",       "virtual",     "explicit",
+        "override",     "final",       "thread_local",
+        "and",          "or",          "not",
+        "defined",      "wchar_t",     "char8_t",
+        "char16_t",     "char32_t",
+    };
+    return kw;
+}
+
+bool
+isKeyword(const std::string &t)
+{
+    return keywords().contains(t);
+}
+
+bool
+isUnorderedContainer(const std::string &t)
+{
+    return t == "unordered_map" || t == "unordered_set" ||
+        t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+bool
+isOrderedAssoc(const std::string &t)
+{
+    return t == "map" || t == "set" || t == "multimap" ||
+        t == "multiset";
+}
+
+bool
+isClockName(const std::string &t)
+{
+    return t == "steady_clock" || t == "system_clock" ||
+        t == "high_resolution_clock";
+}
+
+/** The per-TU scope/declaration parser. One instance per buffer. */
+class TuParser
+{
+  public:
+    TuParser(std::string source, std::string rel_path)
+        : toks(lex(source)), out()
+    {
+        out.file = std::move(rel_path);
+    }
+
+    TuSymbols
+    run()
+    {
+        std::size_t i = 0;
+        while (i < toks.size())
+            i = step(i);
+        return std::move(out);
+    }
+
+  private:
+    struct Frame
+    {
+        enum class Kind
+        {
+            Namespace,
+            Class,
+            Function,
+            Block, //!< braces inside a function body
+            Decl,  //!< declarative block at namespace scope
+            Skip,  //!< enum bodies and other ignored regions
+        };
+        Kind kind = Kind::Block;
+        std::string name;
+        std::size_t func = SIZE_MAX; //!< FunctionDef index, if any
+    };
+
+    // ---- token helpers -------------------------------------------
+
+    const Token *
+    tok(std::size_t i) const
+    {
+        return i < toks.size() ? &toks[i] : nullptr;
+    }
+
+    bool
+    is(std::size_t i, const char *text) const
+    {
+        return i < toks.size() && toks[i].text == text;
+    }
+
+    bool
+    isIdent(std::size_t i) const
+    {
+        return i < toks.size() && toks[i].kind == Token::Kind::Ident;
+    }
+
+    /** Skip a balanced (...) / {...} / [...] group from its opener. */
+    std::size_t
+    skipGroup(std::size_t i) const
+    {
+        const std::string &open = toks[i].text;
+        const std::string close =
+            open == "(" ? ")" : (open == "{" ? "}" : "]");
+        int depth = 0;
+        for (; i < toks.size(); ++i) {
+            if (toks[i].text == open)
+                ++depth;
+            else if (toks[i].text == close && --depth == 0)
+                return i + 1;
+        }
+        return toks.size();
+    }
+
+    /**
+     * Skip a balanced template-argument group from its '<'. The
+     * lexer emits ">>" as one token, which closes two levels.
+     * Returns the index just past the closing '>' — or `i + 1`
+     * when no balanced close exists in the next few hundred tokens
+     * (then it was a less-than, not a template bracket).
+     */
+    std::size_t
+    skipAngles(std::size_t i) const
+    {
+        int depth = 0;
+        const std::size_t limit =
+            std::min(toks.size(), i + 512); // less-than heuristic cap
+        for (std::size_t j = i; j < limit; ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "<")
+                ++depth;
+            else if (t == ">") {
+                if (--depth == 0)
+                    return j + 1;
+            } else if (t == ">>") {
+                depth -= 2;
+                if (depth <= 0)
+                    return j + 1;
+            } else if (t == ";" || t == "{" || t == "}")
+                break; // statement ended: it was a comparison
+        }
+        return i + 1;
+    }
+
+    bool
+    inFunction() const
+    {
+        return currentFunc() != SIZE_MAX;
+    }
+
+    std::size_t
+    currentFunc() const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+            if (it->kind == Frame::Kind::Function)
+                return it->func;
+        return SIZE_MAX;
+    }
+
+    /** True when the innermost scope accepts declarations. */
+    bool
+    declarativeScope() const
+    {
+        if (scopes.empty())
+            return true;
+        switch (scopes.back().kind) {
+          case Frame::Kind::Namespace:
+          case Frame::Kind::Class:
+          case Frame::Kind::Decl: return true;
+          default: return false;
+        }
+    }
+
+    bool
+    classScope() const
+    {
+        return !scopes.empty() &&
+            scopes.back().kind == Frame::Kind::Class;
+    }
+
+    /** Scope qualifier, e.g. "sadapt::obs::MetricRegistry". */
+    std::string
+    scopeQual() const
+    {
+        std::string q;
+        for (const Frame &f : scopes) {
+            if (f.kind != Frame::Kind::Namespace &&
+                f.kind != Frame::Kind::Class)
+                continue;
+            if (f.name.empty())
+                continue;
+            if (!q.empty())
+                q += "::";
+            q += f.name;
+        }
+        return q;
+    }
+
+    // ---- main dispatch -------------------------------------------
+
+    std::size_t
+    step(std::size_t i)
+    {
+        const Token &t = toks[i];
+
+        // Inside a Skip region, only track brace nesting.
+        if (!scopes.empty() &&
+            scopes.back().kind == Frame::Kind::Skip) {
+            if (t.text == "{")
+                scopes.push_back({Frame::Kind::Skip, "", SIZE_MAX});
+            else if (t.text == "}")
+                scopes.pop_back();
+            return i + 1;
+        }
+
+        if (t.text == "{") {
+            scopes.push_back(takePending());
+            return i + 1;
+        }
+        if (t.text == "}") {
+            if (!scopes.empty())
+                scopes.pop_back();
+            return i + 1;
+        }
+        if (t.text == "#")
+            return skipDirective(i);
+        if (t.kind == Token::Kind::Ident) {
+            // Access specifiers must not start a declaration scan:
+            // `private: struct X {` would otherwise swallow the
+            // struct keyword and lose the Class frame.
+            if ((t.text == "public" || t.text == "private" ||
+                 t.text == "protected") &&
+                is(i + 1, ":"))
+                return i + 2;
+            if (t.text == "template" && is(i + 1, "<"))
+                return skipAngles(i + 1);
+            if (t.text == "namespace")
+                return parseNamespaceHead(i);
+            if (t.text == "class" || t.text == "struct" ||
+                t.text == "union")
+                return parseClassHead(i);
+            if (t.text == "enum")
+                return parseEnumHead(i);
+            if (t.text == "using" || t.text == "typedef")
+                return skipStatement(i);
+        }
+
+        if (inFunction())
+            return bodyToken(i);
+        if (declarativeScope())
+            return parseDeclaration(i);
+        return i + 1;
+    }
+
+    Frame
+    takePending()
+    {
+        Frame f = pending.value_or(
+            Frame{inFunction() || !declarativeScope()
+                      ? Frame::Kind::Block
+                      : Frame::Kind::Decl,
+                  "", SIZE_MAX});
+        pending.reset();
+        return f;
+    }
+
+    /** Skip one preprocessor directive (splice-aware). */
+    std::size_t
+    skipDirective(std::size_t i) const
+    {
+        const std::uint64_t logical = toks[i].logicalLine;
+        while (i < toks.size() && toks[i].logicalLine == logical)
+            ++i;
+        return i;
+    }
+
+    /** Skip to just past the next top-level ';' (groups skipped). */
+    std::size_t
+    skipStatement(std::size_t i) const
+    {
+        while (i < toks.size()) {
+            const std::string &t = toks[i].text;
+            if (t == ";")
+                return i + 1;
+            if (t == "(" || t == "{" || t == "[") {
+                i = skipGroup(i);
+                continue;
+            }
+            if (t == "}")
+                return i; // let the scope tracker see it
+            ++i;
+        }
+        return i;
+    }
+
+    // ---- heads ----------------------------------------------------
+
+    std::size_t
+    parseNamespaceHead(std::size_t i)
+    {
+        // namespace A::B { ... } | namespace { | namespace X = ...;
+        std::size_t j = i + 1;
+        std::string name;
+        while (isIdent(j) || is(j, "::")) {
+            if (!name.empty() || toks[j].text == "::")
+                name += toks[j].text;
+            else
+                name = toks[j].text;
+            ++j;
+        }
+        if (is(j, "=")) // namespace alias
+            return skipStatement(j);
+        if (is(j, "{")) {
+            pending = Frame{Frame::Kind::Namespace, name, SIZE_MAX};
+            return j; // the '{' handler pushes it
+        }
+        return j;
+    }
+
+    std::size_t
+    parseClassHead(std::size_t i)
+    {
+        // class [attrs] Name [final] [: bases] { ... } | fwd decl ';'
+        // An elaborated-type use inside a function body ("struct tm
+        // t;") lands here too: then no '{' follows before the ';'.
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < toks.size()) {
+            const std::string &t = toks[j].text;
+            if (t == "[") {
+                j = skipGroup(j);
+                continue;
+            }
+            if (toks[j].kind == Token::Kind::Ident && !isKeyword(t)) {
+                name = t;
+                ++j;
+                continue;
+            }
+            if (t == "final" || t == "::") {
+                ++j;
+                continue;
+            }
+            if (t == "<") { // specialization args
+                j = skipAngles(j);
+                continue;
+            }
+            break;
+        }
+        if (is(j, ";"))
+            return j + 1; // forward declaration
+        if (is(j, ":")) { // base clause: scan to the body '{'
+            ++j;
+            while (j < toks.size() && !is(j, "{") && !is(j, ";")) {
+                if (is(j, "<")) {
+                    j = skipAngles(j);
+                    continue;
+                }
+                ++j;
+            }
+        }
+        if (is(j, "{")) {
+            pending = Frame{Frame::Kind::Class, name, SIZE_MAX};
+            return j;
+        }
+        return j; // `struct X x;`-style use: resume normal scanning
+    }
+
+    std::size_t
+    parseEnumHead(std::size_t i)
+    {
+        std::size_t j = i + 1;
+        while (j < toks.size() && !is(j, "{") && !is(j, ";"))
+            ++j;
+        if (is(j, "{")) {
+            pending = Frame{Frame::Kind::Skip, "", SIZE_MAX};
+            return j;
+        }
+        return j + 1;
+    }
+
+    // ---- declarations at namespace/class scope -------------------
+
+    /**
+     * Parse one statement at declarative scope: a function
+     * definition (body scanned afterwards via the scope stack), a
+     * function declaration (skipped), or a variable declaration
+     * (recorded as a GlobalVar when it is static-storage mutable
+     * state).
+     */
+    std::size_t
+    parseDeclaration(std::size_t i)
+    {
+        // Find the first structural delimiter at top level.
+        std::size_t j = i;
+        std::size_t parenAt = SIZE_MAX;
+        std::size_t eqAt = SIZE_MAX;
+        while (j < toks.size()) {
+            const std::string &t = toks[j].text;
+            if (t == "(") {
+                parenAt = j;
+                break;
+            }
+            if (t == "=") {
+                eqAt = j;
+                break;
+            }
+            if (t == ";" || t == "{" || t == "}")
+                break;
+            if (t == "<") {
+                j = skipAngles(j);
+                continue;
+            }
+            if (t == "[") {
+                j = skipGroup(j);
+                continue;
+            }
+            if (t == "#")
+                return skipDirective(j);
+            ++j;
+        }
+        if (j >= toks.size())
+            return toks.size();
+
+        if (parenAt != SIZE_MAX)
+            return parseFunctionHead(i, parenAt);
+        if (eqAt != SIZE_MAX || is(j, ";"))
+            return parseVariable(i, j, eqAt != SIZE_MAX);
+        if (is(j, "{") || is(j, "}"))
+            return j; // let the scope tracker handle the brace
+        return j + 1;
+    }
+
+    /**
+     * The declarator name directly before the parameter-list '(',
+     * with its written qualifier ("A::B"). Handles operators,
+     * destructors and constructors; empty name means "not a
+     * function head".
+     */
+    std::size_t
+    parseFunctionHead(std::size_t stmtBegin, std::size_t parenAt)
+    {
+        std::string name;
+        std::string qual;
+        std::uint64_t nameLine = toks[parenAt].line;
+
+        std::size_t k = parenAt;
+        if (k > stmtBegin && isIdent(k - 1) &&
+            !isKeyword(toks[k - 1].text)) {
+            name = toks[k - 1].text;
+            nameLine = toks[k - 1].line;
+            k -= 1;
+            // ~Dtor
+            if (k > stmtBegin && is(k - 1, "~"))
+                k -= 1;
+            // Written qualifier chain A::B::name
+            while (k >= stmtBegin + 2 && is(k - 1, "::") &&
+                   isIdent(k - 2)) {
+                qual = qual.empty()
+                    ? toks[k - 2].text
+                    : toks[k - 2].text + "::" + qual;
+                k -= 2;
+            }
+        } else {
+            // operator==( ... ) / operator()( ... ) / operator bool(
+            for (std::size_t b = parenAt;
+                 b > stmtBegin && b + 3 > parenAt; --b) {
+                if (isIdent(b - 1) && toks[b - 1].text == "operator") {
+                    name = "operator";
+                    nameLine = toks[b - 1].line;
+                    break;
+                }
+            }
+            if (name.empty())
+                return parenAt + 1; // not a function head; move on
+        }
+
+        // `operator()` has its empty parens before the param list.
+        std::size_t params = parenAt;
+        if (name == "operator" && is(parenAt + 1, ")") &&
+            is(parenAt + 2, "("))
+            params = parenAt + 2;
+
+        std::size_t j = skipGroup(params); // past ')'
+
+        // Trailing part: const/noexcept/trailing-return/ctor-inits,
+        // ending in '{' (definition), ';' (declaration) or '=' with
+        // default/delete (no body).
+        while (j < toks.size()) {
+            const std::string &t = toks[j].text;
+            if (t == ";")
+                return j + 1; // declaration only
+            if (t == "{")
+                break; // definition body
+            if (t == "=")
+                return skipStatement(j); // = default / = delete / = 0
+            if (t == ":") {              // ctor-init list
+                j = skipCtorInits(j + 1);
+                break;
+            }
+            if (t == "(" || t == "[") {
+                j = skipGroup(j);
+                continue;
+            }
+            if (t == "<") {
+                j = skipAngles(j);
+                continue;
+            }
+            if (t == "}")
+                return j; // mismatched: bail to scope tracker
+            ++j;
+        }
+        if (!is(j, "{"))
+            return j;
+
+        FunctionDef fn;
+        fn.name = name;
+        const std::string sq = scopeQual();
+        fn.qualified = sq.empty() ? std::string() : sq + "::";
+        if (!qual.empty())
+            fn.qualified += qual + "::";
+        fn.qualified += name;
+        fn.file = out.file;
+        fn.line = nameLine;
+        out.functions.push_back(std::move(fn));
+        const std::size_t fnIndex = out.functions.size() - 1;
+
+        // Parameter declarations feed the body's variable tables.
+        funcLocals = VarTables{};
+        scanDecls(params + 1, skipGroup(params) - 1, funcLocals);
+
+        pending = Frame{Frame::Kind::Function, name, fnIndex};
+        return j; // the '{' handler pushes the function scope
+    }
+
+    /** Skip a constructor-initializer list; returns the body '{'. */
+    std::size_t
+    skipCtorInits(std::size_t j) const
+    {
+        while (j < toks.size()) {
+            const std::string &t = toks[j].text;
+            if (t == "(" || t == "[") {
+                j = skipGroup(j);
+                continue;
+            }
+            if (t == "<") {
+                j = skipAngles(j);
+                continue;
+            }
+            if (t == "{") {
+                // Brace-init of a member, or the body? A body brace
+                // follows either ')' / '}' of an init or the list
+                // head; a member brace-init follows an identifier.
+                if (j > 0 && isIdent(j - 1)) {
+                    j = skipGroup(j);
+                    continue;
+                }
+                return j;
+            }
+            if (t == ";" || t == "}")
+                return j;
+            ++j;
+        }
+        return j;
+    }
+
+    std::size_t
+    parseVariable(std::size_t stmtBegin, std::size_t delim,
+                  bool hasInit)
+    {
+        const std::size_t end =
+            hasInit ? skipStatement(delim) : delim + 1;
+
+        // Reject non-variable statements.
+        bool sawStatic = false, sawConst = false, sawExtern = false;
+        for (std::size_t k = stmtBegin; k < delim; ++k) {
+            const std::string &t = toks[k].text;
+            if (t == "static" || t == "thread_local")
+                sawStatic = true;
+            else if (t == "const" || t == "constexpr" ||
+                     t == "constinit")
+                sawConst = true;
+            else if (t == "extern")
+                sawExtern = true;
+            else if (t == "friend" || t == "using" ||
+                     t == "typedef" || t == "operator" ||
+                     t == "return" || t == "requires" ||
+                     t == "static_assert" || t == "throw")
+                return end;
+        }
+        if (sawExtern && !hasInit)
+            return end; // pure declaration; flag the definition
+
+        // Declarator name: last identifier before the delimiter,
+        // stepping back over array brackets.
+        std::size_t k = delim;
+        while (k > stmtBegin && (is(k - 1, "]") || is(k - 1, "[") ||
+                                 toks[k - 1].kind ==
+                                     Token::Kind::Number))
+            --k;
+        if (k == stmtBegin || !isIdent(k - 1) ||
+            isKeyword(toks[k - 1].text))
+            return end;
+        const Token &nameTok = toks[k - 1];
+
+        // Class-scope: only static data members are global state;
+        // plain members are per-object.
+        if (classScope() && !sawStatic)
+            return end;
+
+        GlobalVar g;
+        g.name = nameTok.text;
+        g.file = out.file;
+        g.line = nameTok.line;
+        g.isConst = sawConst;
+        g.storage = classScope() ? "class-static" : "namespace-scope";
+        out.globals.push_back(std::move(g));
+
+        // The declared type may itself matter to the rules
+        // (unordered containers, pointer-keyed maps).
+        VarTables scratch;
+        scanDecls(stmtBegin, delim, scratch);
+        tuUnordered.insert(scratch.unordered.begin(),
+                           scratch.unordered.end());
+        return end;
+    }
+
+    // ---- variable-declaration facts ------------------------------
+
+    struct VarTables
+    {
+        std::set<std::string> unordered; //!< unordered containers
+        std::set<std::string> floats;    //!< float/double scalars
+        std::set<std::string> pointers;  //!< pointer-typed names
+    };
+
+    /**
+     * Scan [begin, end) for variable declarations the rules care
+     * about, filling `tables`. Also records pointer-keyed
+     * associative containers as pointer-order sites.
+     */
+    void
+    scanDecls(std::size_t begin, std::size_t end, VarTables &tables)
+    {
+        for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+            const Token &t = toks[k];
+            if (t.kind != Token::Kind::Ident)
+                continue;
+            if (isUnorderedContainer(t.text) ||
+                isOrderedAssoc(t.text)) {
+                if (!is(k + 1, "<"))
+                    continue;
+                const bool unordered =
+                    isUnorderedContainer(t.text);
+                const bool ptrKey = pointerKeyed(k + 1);
+                const std::size_t close = skipAngles(k + 1);
+                if (ptrKey)
+                    notePointerOrder(
+                        t.line,
+                        str(t.text, " keyed by pointer value "
+                                    "(ASLR-dependent order)"));
+                // Declared name: first identifier after the
+                // template args, past cv/ref tokens.
+                std::size_t v = close;
+                while (v < end &&
+                       (is(v, "&") || is(v, "*") ||
+                        is(v, "const") || is(v, "...")))
+                    ++v;
+                if (unordered && v < end && isIdent(v) &&
+                    !isKeyword(toks[v].text))
+                    tables.unordered.insert(toks[v].text);
+                k = close > k ? close - 1 : k;
+                continue;
+            }
+            if (t.text == "double" || t.text == "float") {
+                std::size_t v = k + 1;
+                while (v < end && (is(v, "&") || is(v, "const")))
+                    ++v;
+                if (v < end && isIdent(v) &&
+                    !isKeyword(toks[v].text))
+                    tables.floats.insert(toks[v].text);
+                continue;
+            }
+            // `T *name` followed by , ) ; = — a pointer variable.
+            if (is(k + 1, "*")) {
+                std::size_t v = k + 2;
+                while (v < end && (is(v, "*") || is(v, "const")))
+                    ++v;
+                if (v < end && isIdent(v) &&
+                    !isKeyword(toks[v].text) &&
+                    (is(v + 1, ",") || is(v + 1, ")") ||
+                     is(v + 1, ";") || is(v + 1, "=")))
+                    tables.pointers.insert(toks[v].text);
+            }
+        }
+        // `auto x = 0.0;` — a float accumulator in the making.
+        for (std::size_t k = begin; k + 3 < end; ++k) {
+            if (toks[k].text == "auto" && isIdent(k + 1) &&
+                is(k + 2, "=") &&
+                toks[k + 3].kind == Token::Kind::Number &&
+                isFloatLiteral(toks[k + 3].text))
+                tables.floats.insert(toks[k + 1].text);
+        }
+    }
+
+    /** True when the template args from '<' key on a pointer type. */
+    bool
+    pointerKeyed(std::size_t angleAt) const
+    {
+        int depth = 0;
+        for (std::size_t j = angleAt; j < toks.size(); ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "<")
+                ++depth;
+            else if (t == ">" || t == ">>") {
+                depth -= t == ">" ? 1 : 2;
+                if (depth <= 0)
+                    return false;
+            } else if (t == "," && depth == 1)
+                return false; // key type ended without '*'
+            else if (t == "*" && depth == 1)
+                return true;
+            else if (t == ";" || t == "{")
+                return false;
+        }
+        return false;
+    }
+
+    // ---- function bodies -----------------------------------------
+
+    std::size_t
+    bodyToken(std::size_t i)
+    {
+        const std::size_t fi = currentFunc();
+        FunctionDef &fn = out.functions[fi];
+        const Token &t = toks[i];
+
+        if (t.text == "#")
+            return skipDirective(i);
+
+        // Local declarations feed the local variable tables.
+        if (t.kind == Token::Kind::Ident &&
+            (isUnorderedContainer(t.text) ||
+             isOrderedAssoc(t.text) || t.text == "double" ||
+             t.text == "float" || t.text == "auto" ||
+             t.text == "hash")) {
+            if (t.text == "hash" && is(i + 1, "<") &&
+                pointerKeyed(i + 1))
+                notePointerOrder(t.line,
+                                 "std::hash over a pointer value "
+                                 "(ASLR-dependent)");
+            const std::size_t stmtEnd = statementEnd(i);
+            scanDecls(i, stmtEnd, funcLocals);
+            if (isUnorderedContainer(t.text) ||
+                isOrderedAssoc(t.text))
+                return is(i + 1, "<") ? skipAngles(i + 1) : i + 1;
+            return i + 1;
+        }
+
+        // Function-local static state.
+        if (t.text == "static" &&
+            (i == 0 || is(i - 1, ";") || is(i - 1, "{") ||
+             is(i - 1, "}"))) {
+            return parseLocalStatic(i, fn);
+        }
+
+        // Lambda introducer: parse its parameters as locals.
+        if (t.text == "[" && i > 0 &&
+            (toks[i - 1].kind == Token::Kind::Punct &&
+             toks[i - 1].text != "]" && toks[i - 1].text != ")")) {
+            const std::size_t close = skipGroup(i);
+            if (is(close, "("))
+                scanDecls(close + 1, skipGroup(close) - 1,
+                          funcLocals);
+            return close;
+        }
+
+        // Range-for over an unordered container.
+        if (t.text == "for" && is(i + 1, "("))
+            return parseFor(i, fn);
+
+        // Wall-clock reads.
+        if (t.kind == Token::Kind::Ident && isClockName(t.text) &&
+            is(i + 1, "::") && is(i + 2, "now")) {
+            noteWallclock(fn, t.line, t.text + "::now()");
+            return i + 3;
+        }
+        if (t.kind == Token::Kind::Ident &&
+            (t.text == "clock_gettime" || t.text == "gettimeofday" ||
+             t.text == "timespec_get" ||
+             (t.text == "time" && bareCall(i))) &&
+            is(i + 1, "(")) {
+            noteWallclock(fn, t.line, t.text + "()");
+            return i + 1;
+        }
+
+        // Raw randomness.
+        if (t.kind == Token::Kind::Ident &&
+            ((t.text == "rand" || t.text == "srand" ||
+              t.text == "random" || t.text == "drand48") &&
+             bareCall(i) && is(i + 1, "("))) {
+            fn.sources.push_back(
+                {TaintKind::RawRandom, t.line, t.text + "()"});
+            return i + 1;
+        }
+        if (t.text == "random_device") {
+            fn.sources.push_back(
+                {TaintKind::RawRandom, t.line, "std::random_device"});
+            return i + 1;
+        }
+
+        // Thread identity.
+        if (t.text == "this_thread" && is(i + 1, "::") &&
+            is(i + 2, "get_id")) {
+            fn.sources.push_back({TaintKind::ThreadId, t.line,
+                                  "this_thread::get_id()"});
+            return i + 3;
+        }
+        if ((t.text == "pthread_self" || t.text == "gettid") &&
+            is(i + 1, "(")) {
+            fn.sources.push_back(
+                {TaintKind::ThreadId, t.line, t.text + "()"});
+            return i + 1;
+        }
+
+        // Pointer-valued comparison between two pointer locals.
+        if ((t.text == "<" || t.text == ">") && i > 0 &&
+            isIdent(i - 1) && isIdent(i + 1) &&
+            funcLocals.pointers.contains(toks[i - 1].text) &&
+            funcLocals.pointers.contains(toks[i + 1].text)) {
+            notePointerOrder(
+                t.line,
+                str("ordering pointers '", toks[i - 1].text, "' ",
+                    t.text, " '", toks[i + 1].text,
+                    "' (ASLR-dependent)"));
+            fn.sources.push_back(
+                {TaintKind::PointerOrder, t.line,
+                 "pointer-value comparison"});
+            return i + 1;
+        }
+
+        // Calls and identifier uses.
+        if (t.kind == Token::Kind::Ident && !isKeyword(t.text)) {
+            if (is(i + 1, "(")) {
+                fn.calls.push_back(callSiteAt(i));
+                return i + 1;
+            }
+            const bool memberAccess =
+                i > 0 && (is(i - 1, ".") || is(i - 1, "->"));
+            if (!memberAccess)
+                fn.identUses.push_back({t.text, t.line});
+            return i + 1;
+        }
+        return i + 1;
+    }
+
+    /** True when ident i is called bare (not x.f(), not A::f()). */
+    bool
+    bareCall(std::size_t i) const
+    {
+        if (i == 0)
+            return true;
+        if (is(i - 1, ".") || is(i - 1, "->"))
+            return false;
+        if (is(i - 1, "::") && i >= 2 && isIdent(i - 2) &&
+            toks[i - 2].text != "std")
+            return false;
+        return true;
+    }
+
+    CallSite
+    callSiteAt(std::size_t i) const
+    {
+        CallSite c;
+        c.name = toks[i].text;
+        c.line = toks[i].line;
+        std::size_t k = i;
+        while (k >= 2 && is(k - 1, "::") && isIdent(k - 2) &&
+               toks[k - 2].text != "std") {
+            c.qual = c.qual.empty()
+                ? toks[k - 2].text
+                : toks[k - 2].text + "::" + c.qual;
+            k -= 2;
+        }
+        c.member = k > 0 && (is(k - 1, ".") || is(k - 1, "->"));
+        return c;
+    }
+
+    std::size_t
+    parseLocalStatic(std::size_t i, FunctionDef &fn)
+    {
+        const std::size_t end = statementEnd(i);
+        bool isConst = false;
+        std::size_t nameAt = SIZE_MAX;
+        for (std::size_t k = i; k < end; ++k) {
+            const std::string &t = toks[k].text;
+            if (t == "const" || t == "constexpr")
+                isConst = true;
+            if (t == "(")
+                break; // `static T f(...)` or init parens: name first
+            if (isIdent(k) && !isKeyword(t) &&
+                (is(k + 1, "=") || is(k + 1, ";") ||
+                 is(k + 1, "{") || is(k + 1, "(")))
+                nameAt = k;
+        }
+        if (nameAt != SIZE_MAX && !isConst) {
+            GlobalVar g;
+            g.name = toks[nameAt].text;
+            g.file = out.file;
+            g.line = toks[nameAt].line;
+            g.isConst = false;
+            g.storage = "function-local static";
+            out.globals.push_back(g);
+            fn.sources.push_back(
+                {TaintKind::MutableGlobal, toks[nameAt].line,
+                 str("function-local static '", g.name, "'")});
+        }
+        return i + 1; // rescan the statement for decls/calls
+    }
+
+    /** End of the statement starting at i (top-level ';'). */
+    std::size_t
+    statementEnd(std::size_t i) const
+    {
+        while (i < toks.size()) {
+            const std::string &t = toks[i].text;
+            if (t == ";" || t == "{" || t == "}")
+                return i;
+            if (t == "(" || t == "[") {
+                i = skipGroup(i);
+                continue;
+            }
+            ++i;
+        }
+        return i;
+    }
+
+    std::size_t
+    parseFor(std::size_t i, FunctionDef &fn)
+    {
+        // Range-for: `for ( decl : range )` with no ';' before ':'.
+        const std::size_t open = i + 1;
+        const std::size_t close = skipGroup(open) - 1;
+        std::size_t colon = SIZE_MAX;
+        int depth = 0;
+        for (std::size_t j = open; j <= close && j < toks.size();
+             ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "(" || t == "[" || t == "{")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}")
+                --depth;
+            else if (t == ";" && depth == 1)
+                return i + 1; // classic for
+            else if (t == ":" && depth == 1) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon == SIZE_MAX)
+            return i + 1;
+
+        // Does the range expression name an unordered container?
+        std::string hit;
+        for (std::size_t j = colon + 1; j <= close; ++j) {
+            if (!isIdent(j) || isKeyword(toks[j].text))
+                continue;
+            if (funcLocals.unordered.contains(toks[j].text) ||
+                tuUnordered.contains(toks[j].text)) {
+                hit = toks[j].text;
+                break;
+            }
+        }
+        if (hit.empty())
+            return i + 1;
+
+        fn.sources.push_back(
+            {TaintKind::UnorderedIter, toks[i].line,
+             str("range-for over unordered container '", hit, "'")});
+
+        UnorderedLoop loop;
+        loop.line = toks[i].line;
+        loop.var = hit;
+
+        // Loop-body extent: a brace block or a single statement.
+        std::size_t b0 = close + 1;
+        std::size_t b1;
+        if (is(b0, "{")) {
+            b1 = skipGroup(b0);
+            ++b0;
+        } else {
+            b1 = statementEnd(b0);
+        }
+        for (std::size_t j = b0; j < b1 && j < toks.size(); ++j) {
+            if (isIdent(j) && !isKeyword(toks[j].text) &&
+                is(j + 1, "("))
+                loop.bodyCalls.push_back(callSiteAt(j));
+            if ((is(j, "+=") || is(j, "-=")) && j > 0 &&
+                isIdent(j - 1) &&
+                funcLocals.floats.contains(toks[j - 1].text))
+                loop.accumulatesFloat = true;
+        }
+        fn.unorderedLoops.push_back(std::move(loop));
+        return i + 1; // body tokens are still scanned normally
+    }
+
+    void
+    noteWallclock(FunctionDef &fn, std::uint64_t line,
+                  std::string detail)
+    {
+        fn.sources.push_back({TaintKind::WallClock, line, detail});
+        out.wallclockSites.push_back({line, std::move(detail)});
+    }
+
+    void
+    notePointerOrder(std::uint64_t line, std::string detail)
+    {
+        out.pointerOrderSites.push_back({line, std::move(detail)});
+    }
+
+    std::vector<Token> toks;
+    TuSymbols out;
+    std::vector<Frame> scopes;
+    std::optional<Frame> pending;
+    VarTables funcLocals; //!< rebuilt at each function head
+    std::set<std::string> tuUnordered; //!< members/globals by name
+};
+
+} // namespace
+
+std::string
+taintKindSlug(TaintKind k)
+{
+    switch (k) {
+      case TaintKind::WallClock: return "wallclock";
+      case TaintKind::RawRandom: return "random";
+      case TaintKind::ThreadId: return "thread-id";
+      case TaintKind::UnorderedIter: return "unordered-iter";
+      case TaintKind::PointerOrder: return "pointer-order";
+      case TaintKind::MutableGlobal: return "mutable-global";
+    }
+    panic("bad TaintKind");
+}
+
+TuSymbols
+parseTu(const std::string &source, const std::string &rel_path)
+{
+    return TuParser(source, rel_path).run();
+}
+
+void
+Program::addTu(TuSymbols tu)
+{
+    tusV.push_back(std::move(tu));
+}
+
+void
+Program::link()
+{
+    functionsV.clear();
+    globalsV.clear();
+    for (const TuSymbols &tu : tusV) {
+        for (const FunctionDef &f : tu.functions)
+            functionsV.push_back(f);
+        for (const GlobalVar &g : tu.globals)
+            globalsV.push_back(g);
+    }
+
+    nameIndexV.clear();
+    for (std::size_t i = 0; i < functionsV.size(); ++i)
+        nameIndexV[functionsV[i].name].push_back(i);
+
+    // Mutable-global name set; function-local statics already carry
+    // their source mark and are scoped, so they do not match by name.
+    std::map<std::string, const GlobalVar *> mutableGlobals;
+    for (const GlobalVar &g : globalsV)
+        if (!g.isConst && g.storage != "function-local static")
+            mutableGlobals.emplace(g.name, &g);
+
+    calleesV.assign(functionsV.size(), {});
+    for (std::size_t i = 0; i < functionsV.size(); ++i) {
+        FunctionDef &f = functionsV[i];
+        std::set<std::size_t> edges;
+        for (const CallSite &c : f.calls) {
+            auto it = nameIndexV.find(c.name);
+            if (it == nameIndexV.end())
+                continue;
+            for (std::size_t cand : it->second) {
+                if (cand == i)
+                    continue; // self-recursion adds nothing
+                if (!c.qual.empty()) {
+                    const std::string suffix =
+                        c.qual + "::" + c.name;
+                    const std::string &q =
+                        functionsV[cand].qualified;
+                    if (q != suffix &&
+                        (q.size() <= suffix.size() ||
+                         q.compare(q.size() - suffix.size() - 2, 2,
+                                   "::") != 0 ||
+                         q.compare(q.size() - suffix.size(),
+                                   suffix.size(), suffix) != 0))
+                        continue;
+                }
+                edges.insert(cand);
+            }
+        }
+        calleesV[i].assign(edges.begin(), edges.end());
+
+        // Identifier uses of known mutable globals become source
+        // marks (first use per global per function).
+        std::set<std::string> seen;
+        for (const auto &[name, line] : f.identUses) {
+            auto g = mutableGlobals.find(name);
+            if (g == mutableGlobals.end() || !seen.insert(name).second)
+                continue;
+            if (g->second->file == f.file && g->second->line == line)
+                continue; // the declaration itself
+            f.sources.push_back(
+                {TaintKind::MutableGlobal, line,
+                 str("access to mutable ", g->second->storage,
+                     " state '", name, "' (", g->second->file, ":",
+                     g->second->line, ")")});
+        }
+        f.identUses.clear();
+        f.identUses.shrink_to_fit();
+    }
+}
+
+std::vector<std::size_t>
+Program::byName(const std::string &name) const
+{
+    auto it = nameIndexV.find(name);
+    return it == nameIndexV.end() ? std::vector<std::size_t>{}
+                                  : it->second;
+}
+
+} // namespace sadapt::analysis

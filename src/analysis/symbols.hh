@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Symbol tables and a cross-TU call graph for the determinism
+ * analyzer, built on the shared analysis lexer (analysis/lexer) — no
+ * libclang, no preprocessor.
+ *
+ * parseTu() runs a lightweight declaration/scope parser over one
+ * source buffer: it tracks namespace/class/function brace scopes,
+ * recognizes function definitions (including out-of-class member
+ * definitions, constructors with init lists, and operators), records
+ * every call site inside each body, and collects the declaration
+ * facts the determinism rules need — mutable namespace-scope /
+ * class-static / function-local-static variables, unordered-container
+ * variables, pointer-typed locals, float accumulators — plus the
+ * nondeterminism *source marks* observed in each body (wall-clock
+ * reads, raw randomness, thread ids, unordered-container iteration,
+ * pointer-order dependence, mutable-global access).
+ *
+ * Program merges per-TU tables and resolves call sites by name into a
+ * call graph (an over-approximation: an unqualified or member call
+ * resolves to every known function of that name). The taint pass in
+ * analysis/determinism_check walks this graph from source marks to
+ * deterministic-output sinks.
+ *
+ * The parser is forgiving by construction: unrecognized constructs
+ * are skipped, never fatal, so it degrades to fewer facts rather than
+ * wrong ones.
+ */
+
+#ifndef SADAPT_ANALYSIS_SYMBOLS_HH
+#define SADAPT_ANALYSIS_SYMBOLS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sadapt::analysis {
+
+/** The nondeterminism source classes the taint pass seeds from. */
+enum class TaintKind : std::uint8_t
+{
+    WallClock,     //!< chrono clock now(), time(), gettimeofday, ...
+    RawRandom,     //!< rand()/srand()/random_device outside common/rng
+    ThreadId,      //!< this_thread::get_id, pthread_self, gettid
+    UnorderedIter, //!< iteration over an unordered container
+    PointerOrder,  //!< pointer-valued comparison / pointer-keyed maps
+    MutableGlobal, //!< access to non-const static-storage state
+};
+
+/** Stable slug for check ids: "wallclock", "pointer-order", ... */
+std::string taintKindSlug(TaintKind k);
+
+/** One nondeterminism source observed inside a function body. */
+struct SourceMark
+{
+    TaintKind kind;
+    std::uint64_t line = 0;
+    std::string detail; //!< e.g. "steady_clock::now()"
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string name;    //!< unqualified callee name
+    std::string qual;    //!< written qualifier ("A::B"), or empty
+    bool member = false; //!< obj.name(...) / obj->name(...)
+    std::uint64_t line = 0;
+};
+
+/** A range-for over an unordered container, for lint-unordered-iter. */
+struct UnorderedLoop
+{
+    std::uint64_t line = 0;
+    std::string var; //!< the container variable iterated
+    std::vector<CallSite> bodyCalls;
+    bool accumulatesFloat = false; //!< +=/-= on a float variable
+};
+
+/** One function definition (body seen) in one TU. */
+struct FunctionDef
+{
+    std::string name;      //!< unqualified
+    std::string qualified; //!< Namespace::Class::name as scoped
+    std::string file;
+    std::uint64_t line = 0;
+    std::vector<CallSite> calls;
+    std::vector<SourceMark> sources;
+    std::vector<UnorderedLoop> unorderedLoops;
+    /**
+     * Identifier uses (not calls, not member accesses) — matched
+     * against the program's mutable globals by Program::link(),
+     * which appends MutableGlobal source marks and then drops this.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> identUses;
+};
+
+/** A non-const static-storage-duration variable. */
+struct GlobalVar
+{
+    std::string name;
+    std::string file;
+    std::uint64_t line = 0;
+    bool isConst = false;
+    /** "namespace-scope", "class-static", "function-local static". */
+    std::string storage;
+};
+
+/** A site for a location-addressed rule outside any taint walk. */
+struct RuleSite
+{
+    std::uint64_t line = 0;
+    std::string detail;
+};
+
+/** Everything parseTu() extracts from one translation unit. */
+struct TuSymbols
+{
+    std::string file;
+    std::vector<FunctionDef> functions;
+    std::vector<GlobalVar> globals;
+    std::vector<RuleSite> wallclockSites;    //!< for lint-wallclock
+    std::vector<RuleSite> pointerOrderSites; //!< for lint-pointer-order
+};
+
+/** Parse one source buffer; `rel_path` becomes the symbol file. */
+TuSymbols parseTu(const std::string &source,
+                  const std::string &rel_path);
+
+/**
+ * The merged cross-TU program model. addTu() in deterministic (path)
+ * order, then link() once; afterwards functions(), globals() and
+ * callees() are stable across runs and machines.
+ */
+class Program
+{
+  public:
+    void addTu(TuSymbols tu);
+
+    /**
+     * Resolve call sites into call-graph edges by name (qualified
+     * calls require a matching qualifier suffix; unqualified and
+     * member calls match every function of that name) and convert
+     * identifier uses of known mutable globals into MutableGlobal
+     * source marks.
+     */
+    void link();
+
+    const std::vector<FunctionDef> &
+    functions() const
+    {
+        return functionsV;
+    }
+
+    const std::vector<GlobalVar> &
+    globals() const
+    {
+        return globalsV;
+    }
+
+    const std::vector<TuSymbols> &
+    tus() const
+    {
+        return tusV;
+    }
+
+    /** Call-graph edges of functions()[i], sorted, deduplicated. */
+    const std::vector<std::size_t> &
+    callees(std::size_t i) const
+    {
+        return calleesV[i];
+    }
+
+    /** Indices of functions named `name` (unqualified), sorted. */
+    std::vector<std::size_t> byName(const std::string &name) const;
+
+  private:
+    std::vector<TuSymbols> tusV; //!< per-TU sites for the lint rules
+    std::vector<FunctionDef> functionsV;
+    std::vector<GlobalVar> globalsV;
+    std::vector<std::vector<std::size_t>> calleesV;
+    std::map<std::string, std::vector<std::size_t>> nameIndexV;
+};
+
+} // namespace sadapt::analysis
+
+#endif // SADAPT_ANALYSIS_SYMBOLS_HH

@@ -1,0 +1,39 @@
+// Negative fixture: deterministic patterns that must NOT be flagged.
+// Unordered containers used for membership only, iteration output
+// canonicalized by an explicit sort, const globals, and a
+// lambda-local accumulation over an ordered container.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace fix {
+
+const std::uint64_t kMagic = 0x5ADA;
+
+struct Store
+{
+    void put(const std::string &key, double value);
+};
+
+bool
+isKnown(const std::unordered_set<std::string> &seen,
+        const std::string &key)
+{
+    return seen.contains(key);
+}
+
+void
+flushSorted(Store &store,
+            const std::unordered_set<std::string> &keys)
+{
+    std::vector<std::string> ordered;
+    for (const auto &k : keys)
+        ordered.push_back(k);
+    std::sort(ordered.begin(), ordered.end());
+    for (const auto &k : ordered)
+        store.put(k, 1.0);
+}
+
+} // namespace fix

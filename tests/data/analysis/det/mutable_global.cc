@@ -1,0 +1,23 @@
+// Seeded fixture: mutable namespace-scope state flows into the
+// observability journal. The counter's value depends on call history
+// (and, under threads, interleaving), so emitting it breaks the
+// byte-identical-journal contract.
+#include <cstdint>
+
+namespace fix {
+
+std::uint64_t epochCounter = 0;
+
+struct Obs
+{
+    void emit(const char *name, double value);
+};
+
+void
+recordEpoch(Obs &obs, double energy)
+{
+    ++epochCounter;
+    obs.emit("epoch.energy", energy * static_cast<double>(epochCounter));
+}
+
+} // namespace fix

@@ -1,0 +1,22 @@
+// Seeded fixture: a thread id baked into a journal event. Thread
+// ids are assigned by the OS scheduler and differ across runs.
+#include <functional>
+#include <thread>
+
+namespace fix {
+
+struct Obs
+{
+    void emit(const char *name, double value);
+};
+
+void
+tagEvent(Obs &obs)
+{
+    const auto id = std::this_thread::get_id();
+    obs.emit("worker.id",
+             static_cast<double>(
+                 std::hash<std::thread::id>{}(id)));
+}
+
+} // namespace fix

@@ -1,0 +1,24 @@
+// Seeded fixture: iterating an unordered_map and writing each entry
+// to the epoch store in hash order. Key insertion order into the
+// store's record log then depends on the hash seed / load factor.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+struct Store
+{
+    void put(const std::string &key, double value);
+};
+
+void
+flushCells(Store &store,
+           const std::unordered_map<std::string, double> &cells)
+{
+    for (const auto &kv : cells) {
+        store.put(kv.first, kv.second);
+    }
+}
+
+} // namespace fix

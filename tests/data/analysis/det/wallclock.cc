@@ -1,0 +1,28 @@
+// Seeded fixture: a wall-clock read reaching epoch telemetry through
+// a helper, so the finding must carry the multi-hop source->sink
+// chain nowNs -> recordEpoch -> RunObserver::emit.
+#include <chrono>
+#include <cstdint>
+
+namespace fix {
+
+struct Obs
+{
+    void emit(const char *name, double value);
+};
+
+std::uint64_t
+nowNs()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        t.time_since_epoch().count());
+}
+
+void
+recordEpoch(Obs &obs)
+{
+    obs.emit("epoch.stamp", static_cast<double>(nowNs()));
+}
+
+} // namespace fix

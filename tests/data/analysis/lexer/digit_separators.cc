@@ -1,0 +1,7 @@
+// Adversarial lexer fixture: digit separators must stay inside one
+// pp-number token (1'000'000 is not three numbers and two chars) and
+// must not re-open character-literal skipping.
+int big = 1'000'000;
+unsigned hex = 0xFF'FF'FFu;
+double small = 1'000.000'1e-1'0;
+int after = 2;

@@ -1,0 +1,9 @@
+// Adversarial lexer fixture: phase-2 line splices. The identifier
+// split across lines is ONE token reported at its first line; the
+// spliced // comment swallows its continuation line, so the time(
+// call written there must not produce tokens.
+int spli\
+ced_name = 3;
+// a spliced comment hides the next line \
+int time_bomb = time(nullptr);
+int after = 4;

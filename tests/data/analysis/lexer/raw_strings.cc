@@ -1,0 +1,9 @@
+// Adversarial lexer fixture: raw string literals, including
+// encoding-prefixed forms and delimiters, must lex as (discarded)
+// literals -- the banned call spelled inside them must not leak
+// tokens.
+const char *a = R"(rand( inside raw )";
+const char *b = R"xy(time( with )" delimiter )xy";
+const char8_t *c = u8R"(srand( prefixed raw )";
+const wchar_t *d = LR"(fork( wide raw )";
+int after = 1;

@@ -1,0 +1,9 @@
+// Adversarial lexer fixture: user-defined literals. A numeric UDL is
+// one Number token whose suffix must not make isFloatLiteral lie
+// (10_cells contains 'e' but is integral); string/char UDL suffixes
+// belong to the discarded literal, not the identifier stream.
+int cells = 10_cells;
+double km = 12.5_km;
+auto s = "abc"_sv;
+auto ch = 'x'_code;
+int after = 5;

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the declaration/scope parser and cross-TU program
+ * model under the determinism analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/symbols.hh"
+
+using namespace sadapt::analysis;
+
+namespace {
+
+const FunctionDef *
+findFn(const TuSymbols &tu, const std::string &name)
+{
+    for (const FunctionDef &f : tu.functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+const GlobalVar *
+findGlobal(const TuSymbols &tu, const std::string &name)
+{
+    for (const GlobalVar &g : tu.globals)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Symbols, FunctionDefsGetQualifiedNames)
+{
+    const TuSymbols tu = parseTu(
+        "namespace a { namespace b {\n"
+        "void free() { helper(); }\n"
+        "struct C {\n"
+        "    void method() { free(); }\n"
+        "};\n"
+        "void C::outOfLine() { method(); }\n"
+        "}} // namespaces\n",
+        "src/x.cc");
+    ASSERT_EQ(tu.functions.size(), 3u);
+    EXPECT_EQ(tu.functions[0].qualified, "a::b::free");
+    EXPECT_EQ(tu.functions[1].qualified, "a::b::C::method");
+    EXPECT_EQ(tu.functions[2].qualified, "a::b::C::outOfLine");
+    ASSERT_EQ(tu.functions[0].calls.size(), 1u);
+    EXPECT_EQ(tu.functions[0].calls[0].name, "helper");
+}
+
+TEST(Symbols, NestedStructAfterAccessSpecifier)
+{
+    // Regression: `private: struct X {` must still open a Class
+    // scope, or X's members masquerade as namespace-scope globals.
+    const TuSymbols tu = parseTu(
+        "class Outer {\n"
+        "  public:\n"
+        "    void run();\n"
+        "  private:\n"
+        "    struct Inner\n"
+        "    {\n"
+        "        int counter = 0;\n"
+        "        double value = 0.0;\n"
+        "    };\n"
+        "    int memberV = 0;\n"
+        "};\n",
+        "src/x.hh");
+    EXPECT_EQ(tu.globals.size(), 0u);
+}
+
+TEST(Symbols, GlobalVariableStorageClasses)
+{
+    const TuSymbols tu = parseTu(
+        "int mutableGlobal = 0;\n"
+        "const int constGlobal = 1;\n"
+        "extern int externDecl;\n"
+        "struct S { static int classStatic; int member = 0; };\n"
+        "void f()\n"
+        "{\n"
+        "    static int localStatic = 0;\n"
+        "    static const int localConst = 1;\n"
+        "    ++localStatic;\n"
+        "}\n",
+        "src/x.cc");
+
+    const GlobalVar *g = findGlobal(tu, "mutableGlobal");
+    ASSERT_NE(g, nullptr);
+    EXPECT_FALSE(g->isConst);
+    EXPECT_EQ(g->storage, "namespace-scope");
+
+    const GlobalVar *c = findGlobal(tu, "constGlobal");
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->isConst);
+
+    EXPECT_EQ(findGlobal(tu, "externDecl"), nullptr);
+    EXPECT_EQ(findGlobal(tu, "member"), nullptr);
+
+    const GlobalVar *cs = findGlobal(tu, "classStatic");
+    ASSERT_NE(cs, nullptr);
+    EXPECT_EQ(cs->storage, "class-static");
+
+    const GlobalVar *ls = findGlobal(tu, "localStatic");
+    ASSERT_NE(ls, nullptr);
+    EXPECT_EQ(ls->storage, "function-local static");
+    EXPECT_EQ(findGlobal(tu, "localConst"), nullptr);
+
+    // The function carries the MutableGlobal mark for its static.
+    const FunctionDef *f = findFn(tu, "f");
+    ASSERT_NE(f, nullptr);
+    bool marked = false;
+    for (const SourceMark &m : f->sources)
+        marked |= m.kind == TaintKind::MutableGlobal;
+    EXPECT_TRUE(marked);
+}
+
+TEST(Symbols, SourceMarksForClocksRandomAndThreads)
+{
+    const TuSymbols tu = parseTu(
+        "void f()\n"
+        "{\n"
+        "    auto t = std::chrono::steady_clock::now();\n"
+        "    int r = rand();\n"
+        "    auto id = std::this_thread::get_id();\n"
+        "}\n",
+        "src/x.cc");
+    const FunctionDef *f = findFn(tu, "f");
+    ASSERT_NE(f, nullptr);
+    bool clock = false, random = false, tid = false;
+    for (const SourceMark &m : f->sources) {
+        clock |= m.kind == TaintKind::WallClock;
+        random |= m.kind == TaintKind::RawRandom;
+        tid |= m.kind == TaintKind::ThreadId;
+    }
+    EXPECT_TRUE(clock);
+    EXPECT_TRUE(random);
+    EXPECT_TRUE(tid);
+    ASSERT_EQ(tu.wallclockSites.size(), 1u);
+    EXPECT_EQ(tu.wallclockSites[0].line, 3u);
+}
+
+TEST(Symbols, RangeForOverUnorderedContainer)
+{
+    const TuSymbols tu = parseTu(
+        "void f(const std::unordered_map<std::string, double> &m)\n"
+        "{\n"
+        "    for (const auto &kv : m) {\n"
+        "        sink.put(kv.first, kv.second);\n"
+        "    }\n"
+        "    std::vector<int> v;\n"
+        "    for (int x : v) { use(x); }\n"
+        "}\n",
+        "src/x.cc");
+    const FunctionDef *f = findFn(tu, "f");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(f->unorderedLoops.size(), 1u);
+    EXPECT_EQ(f->unorderedLoops[0].var, "m");
+    EXPECT_EQ(f->unorderedLoops[0].line, 3u);
+    ASSERT_GE(f->unorderedLoops[0].bodyCalls.size(), 1u);
+    EXPECT_EQ(f->unorderedLoops[0].bodyCalls[0].name, "put");
+    EXPECT_TRUE(f->unorderedLoops[0].bodyCalls[0].member);
+}
+
+TEST(Symbols, ClassicForAndMembershipLookupNotLoops)
+{
+    const TuSymbols tu = parseTu(
+        "void f(const std::unordered_set<int> &s)\n"
+        "{\n"
+        "    for (int i = 0; i < 4; ++i) { use(i); }\n"
+        "    if (s.contains(3)) { use(3); }\n"
+        "}\n",
+        "src/x.cc");
+    const FunctionDef *f = findFn(tu, "f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->unorderedLoops.size(), 0u);
+}
+
+TEST(Symbols, PointerOrderSites)
+{
+    const TuSymbols tu = parseTu(
+        "void f(Row *a, Row *b)\n"
+        "{\n"
+        "    if (a < b) { use(a); }\n"
+        "}\n"
+        "std::map<Node *, int> byAddr;\n",
+        "src/x.cc");
+    EXPECT_EQ(tu.pointerOrderSites.size(), 2u);
+    const FunctionDef *f = findFn(tu, "f");
+    ASSERT_NE(f, nullptr);
+    bool marked = false;
+    for (const SourceMark &m : f->sources)
+        marked |= m.kind == TaintKind::PointerOrder;
+    EXPECT_TRUE(marked);
+}
+
+TEST(Symbols, TemplateHeadsAndDirectivesSkipped)
+{
+    const TuSymbols tu = parseTu(
+        "#include <vector>\n"
+        "#define HELPER(x) \\\n"
+        "    do { time(nullptr); } while (0)\n"
+        "template <typename T, std::size_t N>\n"
+        "void generic(T t) { t.step(); }\n",
+        "src/x.cc");
+    // The spliced macro body is part of the directive: no wallclock
+    // site, and the template function still parses.
+    EXPECT_EQ(tu.wallclockSites.size(), 0u);
+    const FunctionDef *f = findFn(tu, "generic");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(f->calls.size(), 1u);
+    EXPECT_EQ(f->calls[0].name, "step");
+}
+
+TEST(Symbols, ProgramLinksCallsAndGlobalUses)
+{
+    Program prog;
+    prog.addTu(parseTu("int counter = 0;\n"
+                       "void leafFn() { ++counter; }\n",
+                       "src/a.cc"));
+    prog.addTu(parseTu("void caller() { leafFn(); }\n", "src/b.cc"));
+    prog.link();
+
+    ASSERT_EQ(prog.functions().size(), 2u);
+    const auto leaf = prog.byName("leafFn");
+    const auto caller = prog.byName("caller");
+    ASSERT_EQ(leaf.size(), 1u);
+    ASSERT_EQ(caller.size(), 1u);
+    ASSERT_EQ(prog.callees(caller[0]).size(), 1u);
+    EXPECT_EQ(prog.callees(caller[0])[0], leaf[0]);
+
+    // leafFn's use of the mutable global became a source mark.
+    bool marked = false;
+    for (const SourceMark &m : prog.functions()[leaf[0]].sources)
+        marked |= m.kind == TaintKind::MutableGlobal;
+    EXPECT_TRUE(marked);
+}
+
+TEST(Symbols, TaintKindSlugsAreStable)
+{
+    EXPECT_EQ(taintKindSlug(TaintKind::WallClock), "wallclock");
+    EXPECT_EQ(taintKindSlug(TaintKind::RawRandom), "random");
+    EXPECT_EQ(taintKindSlug(TaintKind::ThreadId), "thread-id");
+    EXPECT_EQ(taintKindSlug(TaintKind::UnorderedIter),
+              "unordered-iter");
+    EXPECT_EQ(taintKindSlug(TaintKind::PointerOrder),
+              "pointer-order");
+    EXPECT_EQ(taintKindSlug(TaintKind::MutableGlobal),
+              "mutable-global");
+}

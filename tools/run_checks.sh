@@ -12,14 +12,14 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-checks}"
 
-echo "== configure ($build_dir: SADAPT_SANITIZE=ON SADAPT_WERROR=ON)"
+echo "== configure ($build_dir: SADAPT_SANITIZE=address,undefined SADAPT_WERROR=ON)"
 cmake -B "$build_dir" -S "$repo_root" \
-    -DSADAPT_SANITIZE=ON -DSADAPT_WERROR=ON > /dev/null
+    -DSADAPT_SANITIZE=address,undefined -DSADAPT_WERROR=ON > /dev/null
 
-echo "== build"
+echo "== build (ASan+UBSan)"
 cmake --build "$build_dir" -j > /dev/null
 
-echo "== sadapt_check: sources, models, traces, specs, journals, stores, leases"
+echo "== sadapt_check: sources (lint + determinism), models, traces, specs, journals, stores, leases"
 "$build_dir/tools/sadapt_check" all \
     --root "$repo_root" \
     --src "$repo_root/src" \
@@ -31,7 +31,9 @@ echo "== sadapt_check: sources, models, traces, specs, journals, stores, leases"
     --lease "$repo_root/tests/data/analysis/good.lease" \
     --baseline "$repo_root/tools/sadapt_check.baseline"
 
-echo "== ctest -L analysis|obs"
+# The analysis suite (including the determinism analyzer's own
+# tests) and the obs suite run under the ASan+UBSan build above.
+echo "== ctest -L analysis|obs (ASan+UBSan)"
 ctest --test-dir "$build_dir" -L 'analysis|obs' --output-on-failure \
     -j "$(nproc)"
 

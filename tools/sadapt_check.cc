@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/determinism_check.hh"
 #include "analysis/finding.hh"
 #include "analysis/journal_check.hh"
 #include "analysis/lease_check.hh"
@@ -54,10 +55,14 @@ usage()
         "  lease <file>...    validate fabric lease-log files\n"
         "  config-space       self-check the config space encoding\n"
         "  lint <path>...     lint .cc/.hh files or directories\n"
+        "  determinism <dir>...\n"
+        "                     cross-TU nondeterminism taint analysis\n"
         "  all                run everything (see options)\n"
         "\n"
         "options:\n"
-        "  --baseline <file>  suppress findings listed in <file>\n"
+        "  --baseline <file>  suppress findings listed in <file>;\n"
+        "                     entries matching no finding are errors\n"
+        "  --format=json      machine-readable findings on stdout\n"
         "  --root <dir>       report lint paths relative to <dir>\n"
         "  --src <dir>        (all) lint this directory; repeatable\n"
         "  --model <file>     (all) verify this model; repeatable\n"
@@ -90,6 +95,7 @@ struct Options
     std::vector<std::string> stores;
     std::vector<std::string> leases;
     std::uint64_t salt = 0;
+    bool json = false;
 };
 
 Options
@@ -126,6 +132,8 @@ parseArgs(int argc, char **argv)
             o.leases.push_back(need(i));
         else if (arg == "--salt")
             o.salt = std::strtoull(need(i), nullptr, 0);
+        else if (arg == "--format=json" || arg == "--json")
+            o.json = true;
         else if (arg.rfind("--", 0) == 0)
             usage();
         else
@@ -192,9 +200,15 @@ main(int argc, char **argv)
         if (o.args.empty())
             usage();
         report.merge(runLint(o, o.args));
+    } else if (o.subcommand == "determinism") {
+        if (o.args.empty())
+            usage();
+        report.merge(checkDeterminismTree(o.args, o.root));
     } else if (o.subcommand == "all") {
         report.merge(checkConfigSpaceInvariants());
         report.merge(runLint(o, o.srcDirs));
+        if (!o.srcDirs.empty())
+            report.merge(checkDeterminismTree(o.srcDirs, o.root));
         for (const auto &f : o.models)
             report.merge(checkModelFile(f));
         for (const auto &f : o.traces)
@@ -212,16 +226,26 @@ main(int argc, char **argv)
     }
 
     if (!o.baseline.empty()) {
-        auto keys = loadBaseline(o.baseline);
-        if (!keys) {
+        auto entries = loadBaselineEntries(o.baseline);
+        if (!entries) {
             std::fprintf(stderr, "sadapt_check: %s\n",
-                         keys.message().c_str());
+                         entries.message().c_str());
             return 2;
         }
-        report.applyBaseline(keys.value());
+        // A baseline entry that matches no finding is dead: it
+        // would silently mask the next regression at that site.
+        for (const BaselineEntry &e :
+             report.applyBaseline(entries.value()))
+            report.add("baseline-stale", o.baseline, e.line,
+                       Severity::Error,
+                       str("baseline entry '", e.key,
+                           "' matches no finding; remove it"));
     }
 
     report.sort();
-    report.print(std::cout);
+    if (o.json)
+        report.printJson(std::cout);
+    else
+        report.print(std::cout);
     return report.clean() ? 0 : 1;
 }
