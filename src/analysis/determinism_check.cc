@@ -1,6 +1,7 @@
 #include "analysis/determinism_check.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -18,21 +19,46 @@ namespace {
 /**
  * Deterministic-output sinks reached through a member or qualified
  * call: writing any of these bakes the current value into an
- * artifact the determinism contract covers.
+ * artifact the determinism contract covers. Method names like `add`
+ * or `write` are too common to trust alone, so each sink carries the
+ * sink class (matched against a written qualifier) and receiver-name
+ * hints (matched against the call's receiver identifier).
  */
-const std::map<std::string, std::string> &
+struct MemberSink
+{
+    std::string label;  //!< Class::method reported in findings
+    std::string klass;  //!< sink class, matched inside c.qual
+    std::vector<std::string> recvHints;
+};
+
+const std::map<std::string, MemberSink> &
 memberSinks()
 {
-    static const std::map<std::string, std::string> sinks = {
-        {"emit", "RunObserver::emit"},
-        {"put", "EpochStore::put"},
-        {"putCell", "EpochStore::putCell"},
-        {"write", "JournalWriter::write"},
-        {"writeText", "MetricRegistry::writeText"},
-        {"noteSweep", "BenchReport::noteSweep"},
-        {"noteFabric", "BenchReport::noteFabric"},
-        {"add", "BenchReport::add"},
-        {"append", "RecordLog::append"},
+    static const std::map<std::string, MemberSink> sinks = {
+        {"emit",
+         {"RunObserver::emit", "RunObserver", {"o", "obs", "observer"}}},
+        {"put",
+         {"EpochStore::put", "EpochStore",
+          {"store", "shard", "db", "main"}}},
+        {"putCell",
+         {"EpochStore::putCell", "EpochStore",
+          {"store", "shard", "db", "main"}}},
+        {"write",
+         {"JournalWriter::write", "JournalWriter",
+          {"writer", "journal"}}},
+        {"writeText",
+         {"MetricRegistry::writeText", "MetricRegistry",
+          {"reg", "registry", "metric"}}},
+        {"noteSweep",
+         {"BenchReport::noteSweep", "BenchReport",
+          {"report", "bench"}}},
+        {"noteFabric",
+         {"BenchReport::noteFabric", "BenchReport",
+          {"report", "bench"}}},
+        {"add",
+         {"BenchReport::add", "BenchReport", {"report", "bench"}}},
+        {"append",
+         {"RecordLog::append", "RecordLog", {"log", "lease"}}},
     };
     return sinks;
 }
@@ -49,6 +75,24 @@ freeSinks()
     return sinks;
 }
 
+/**
+ * True when the receiver identifier suggests the sink object: an
+ * exact match for short hints, a substring match for descriptive
+ * ones ("epochStore" matches "store", "obsV" matches "obs").
+ */
+bool
+recvMatchesHint(const std::string &recv, const MemberSink &sink)
+{
+    std::string r = recv;
+    std::transform(r.begin(), r.end(), r.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    for (const std::string &h : sink.recvHints)
+        if (h.size() < 3 ? r == h : r.find(h) != std::string::npos)
+            return true;
+    return false;
+}
+
 /** Sink label for a call site, or empty when it is not a sink. */
 std::string
 sinkLabel(const CallSite &c)
@@ -58,10 +102,15 @@ sinkLabel(const CallSite &c)
     auto it = memberSinks().find(c.name);
     if (it == memberSinks().end())
         return {};
-    // Member-map names need a receiver or written qualifier: a bare
-    // `put(x)` is some local helper, `store.put(x)` is the sink.
-    if (c.member || !c.qual.empty())
-        return it->second;
+    // Method names need corroboration: a bare `put(x)` is some local
+    // helper, `cache.add(x)` is someone else's add — only a receiver
+    // that names the sink object (`store.put`) or a written qualifier
+    // naming the sink class (`EpochStore::put`) counts.
+    if (!c.qual.empty() &&
+        c.qual.find(it->second.klass) != std::string::npos)
+        return it->second.label;
+    if (c.member && recvMatchesHint(c.recv, it->second))
+        return it->second.label;
     return {};
 }
 
@@ -80,6 +129,26 @@ kindRule(TaintKind k)
     panic("bad TaintKind");
 }
 
+/**
+ * True when `pathPrefix` matches `rel_path` anchored at a path
+ * component boundary: at the start of the path or right after a '/'.
+ * A bare substring match would let "obs/prof" silence rules in any
+ * file whose path merely contains it (e.g. "myobs/profiler_x.cc").
+ */
+bool
+prefixAtComponent(const std::string &rel_path,
+                  const std::string &pathPrefix)
+{
+    for (std::size_t pos = 0;;) {
+        if (rel_path.compare(pos, pathPrefix.size(), pathPrefix) == 0)
+            return true;
+        pos = rel_path.find('/', pos);
+        if (pos == std::string::npos)
+            return false;
+        ++pos;
+    }
+}
+
 bool
 allowed(const std::string &rule, const std::string &rel_path)
 {
@@ -87,8 +156,30 @@ allowed(const std::string &rule, const std::string &rel_path)
         return false;
     for (const RuleAllowance &a : determinismAllowances())
         if (a.rule == rule &&
-            rel_path.find(a.pathPrefix) != std::string::npos)
+            prefixAtComponent(rel_path, a.pathPrefix))
             return true;
+    return false;
+}
+
+/**
+ * Canonicalize-then-sort: an explicit sort AFTER the loop body, of a
+ * container the body touched, restores a deterministic order before
+ * anything can sink it. A sort inside the body, or of an unrelated
+ * container, defuses nothing.
+ */
+bool
+sortedAfterLoop(const FunctionDef &f, const UnorderedLoop &loop)
+{
+    for (const CallSite &c : f.calls) {
+        if (c.name != "sort" && c.name != "stable_sort")
+            continue;
+        if (c.line <= loop.endLine)
+            continue;
+        for (const std::string &a : c.argIdents)
+            if (std::binary_search(loop.bodyIdents.begin(),
+                                   loop.bodyIdents.end(), a))
+                return true;
+    }
     return false;
 }
 
@@ -201,15 +292,9 @@ checkDeterminism(
             }
             if (!sinky && !loop.accumulatesFloat)
                 continue;
-            // Canonicalize-then-sort: an explicit sort after the
-            // loop restores a deterministic order, so collecting
-            // into a container and sorting it is fine.
-            bool sortedAfter = false;
-            for (const CallSite &c : f.calls)
-                if ((c.name == "sort" || c.name == "stable_sort") &&
-                    c.line >= loop.line)
-                    sortedAfter = true;
-            if (sortedAfter)
+            // Collecting into a container and sorting it afterwards
+            // is fine — see sortedAfterLoop().
+            if (sortedAfterLoop(f, loop))
                 continue;
             report.add(
                 "lint-unordered-iter", f.file, loop.line,
@@ -234,17 +319,16 @@ checkDeterminism(
                 allowed("det-taint-" + taintKindSlug(m.kind),
                         fns[i].file))
                 continue;
-            // Canonicalize-then-sort also defuses the taint seed: an
-            // explicit sort after an unordered iteration restores a
-            // deterministic order before anything can sink it.
+            // Canonicalize-then-sort also defuses the taint seed,
+            // under the same conditions as the lint rule.
             if (m.kind == TaintKind::UnorderedIter) {
-                bool sortedAfter = false;
-                for (const CallSite &c : fns[i].calls)
-                    if ((c.name == "sort" ||
-                         c.name == "stable_sort") &&
-                        c.line >= m.line)
-                        sortedAfter = true;
-                if (sortedAfter)
+                bool defused = false;
+                for (const UnorderedLoop &loop :
+                     fns[i].unorderedLoops)
+                    if (loop.line == m.line &&
+                        sortedAfterLoop(fns[i], loop))
+                        defused = true;
+                if (defused)
                     continue;
             }
             if (!taint[i].contains(m.kind))
@@ -253,14 +337,11 @@ checkDeterminism(
         }
     }
 
-    // Line of the first call from i that resolves to callee c.
+    // Junction line of an edge, as resolved during Program::link();
+    // a by-name re-derivation here could pick the wrong call site
+    // when a function calls two same-named callees.
     auto edgeLine = [&](std::size_t i, std::size_t c) {
-        std::uint64_t best = 0;
-        for (const CallSite &s : fns[i].calls)
-            if (s.name == fns[c].name &&
-                (best == 0 || s.line < best))
-                best = s.line;
-        return best;
+        return prog.edgeLine(i, c);
     };
 
     // Callee→caller propagation to a fixed point. Deterministic:

@@ -918,6 +918,14 @@ class TuParser
             k -= 2;
         }
         c.member = k > 0 && (is(k - 1, ".") || is(k - 1, "->"));
+        if (c.member && k >= 2 && isIdent(k - 2))
+            c.recv = toks[k - 2].text;
+        if (is(i + 1, "(")) {
+            const std::size_t end = skipGroup(i + 1);
+            for (std::size_t j = i + 2; j + 1 < end; ++j)
+                if (isIdent(j) && !isKeyword(toks[j].text))
+                    c.argIdents.push_back(toks[j].text);
+        }
         return c;
     }
 
@@ -1026,15 +1034,21 @@ class TuParser
         } else {
             b1 = statementEnd(b0);
         }
+        loop.endLine = loop.line;
+        std::set<std::string> bodyIdents;
         for (std::size_t j = b0; j < b1 && j < toks.size(); ++j) {
-            if (isIdent(j) && !isKeyword(toks[j].text) &&
-                is(j + 1, "("))
-                loop.bodyCalls.push_back(callSiteAt(j));
+            loop.endLine = std::max(loop.endLine, toks[j].line);
+            if (isIdent(j) && !isKeyword(toks[j].text)) {
+                bodyIdents.insert(toks[j].text);
+                if (is(j + 1, "("))
+                    loop.bodyCalls.push_back(callSiteAt(j));
+            }
             if ((is(j, "+=") || is(j, "-=")) && j > 0 &&
                 isIdent(j - 1) &&
                 funcLocals.floats.contains(toks[j - 1].text))
                 loop.accumulatesFloat = true;
         }
+        loop.bodyIdents.assign(bodyIdents.begin(), bodyIdents.end());
         fn.unorderedLoops.push_back(std::move(loop));
         return i + 1; // body tokens are still scanned normally
     }
@@ -1113,6 +1127,7 @@ Program::link()
             mutableGlobals.emplace(g.name, &g);
 
     calleesV.assign(functionsV.size(), {});
+    edgeLinesV.assign(functionsV.size(), {});
     for (std::size_t i = 0; i < functionsV.size(); ++i) {
         FunctionDef &f = functionsV[i];
         std::set<std::size_t> edges;
@@ -1124,19 +1139,24 @@ Program::link()
                 if (cand == i)
                     continue; // self-recursion adds nothing
                 if (!c.qual.empty()) {
-                    const std::string suffix =
-                        c.qual + "::" + c.name;
+                    // Match the written qualifier as a whole-component
+                    // suffix of the candidate's qualified name: B::f
+                    // matches B::f and A::B::f, never AB::f.
+                    const std::string tail =
+                        "::" + c.qual + "::" + c.name;
                     const std::string &q =
                         functionsV[cand].qualified;
-                    if (q != suffix &&
-                        (q.size() <= suffix.size() ||
-                         q.compare(q.size() - suffix.size() - 2, 2,
-                                   "::") != 0 ||
-                         q.compare(q.size() - suffix.size(),
-                                   suffix.size(), suffix) != 0))
+                    if (q != tail.substr(2) &&
+                        (q.size() < tail.size() ||
+                         q.compare(q.size() - tail.size(),
+                                   tail.size(), tail) != 0))
                         continue;
                 }
                 edges.insert(cand);
+                auto [el, fresh] =
+                    edgeLinesV[i].emplace(cand, c.line);
+                if (!fresh && c.line < el->second)
+                    el->second = c.line;
             }
         }
         calleesV[i].assign(edges.begin(), edges.end());
@@ -1167,6 +1187,13 @@ Program::byName(const std::string &name) const
     auto it = nameIndexV.find(name);
     return it == nameIndexV.end() ? std::vector<std::size_t>{}
                                   : it->second;
+}
+
+std::uint64_t
+Program::edgeLine(std::size_t i, std::size_t c) const
+{
+    auto it = edgeLinesV[i].find(c);
+    return it == edgeLinesV[i].end() ? 0 : it->second;
 }
 
 } // namespace sadapt::analysis

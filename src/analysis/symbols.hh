@@ -64,16 +64,22 @@ struct CallSite
 {
     std::string name;    //!< unqualified callee name
     std::string qual;    //!< written qualifier ("A::B"), or empty
+    std::string recv;    //!< receiver identifier of a member call
     bool member = false; //!< obj.name(...) / obj->name(...)
     std::uint64_t line = 0;
+    /** Identifiers appearing in the argument list, in order. */
+    std::vector<std::string> argIdents;
 };
 
 /** A range-for over an unordered container, for lint-unordered-iter. */
 struct UnorderedLoop
 {
     std::uint64_t line = 0;
+    std::uint64_t endLine = 0; //!< last line of the loop body
     std::string var; //!< the container variable iterated
     std::vector<CallSite> bodyCalls;
+    /** Identifiers the body mentions (sorted, deduplicated). */
+    std::vector<std::string> bodyIdents;
     bool accumulatesFloat = false; //!< +=/-= on a float variable
 };
 
@@ -174,11 +180,19 @@ class Program
     /** Indices of functions named `name` (unqualified), sorted. */
     std::vector<std::size_t> byName(const std::string &name) const;
 
+    /**
+     * Line of the first call site in functions()[i] that resolved to
+     * callee c during link(), or 0 when no such edge exists. Unlike a
+     * by-name lookup this cannot confuse two same-named callees.
+     */
+    std::uint64_t edgeLine(std::size_t i, std::size_t c) const;
+
   private:
     std::vector<TuSymbols> tusV; //!< per-TU sites for the lint rules
     std::vector<FunctionDef> functionsV;
     std::vector<GlobalVar> globalsV;
     std::vector<std::vector<std::size_t>> calleesV;
+    std::vector<std::map<std::size_t, std::uint64_t>> edgeLinesV;
     std::map<std::string, std::vector<std::size_t>> nameIndexV;
 };
 

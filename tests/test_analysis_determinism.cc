@@ -176,6 +176,85 @@ TEST(Determinism, SortAfterIterationIsCanonicalization)
     EXPECT_TRUE(r.clean());
 }
 
+TEST(Determinism, AllowanceAnchorsAtPathComponentBoundary)
+{
+    // "obs/prof" is a component-anchored prefix: it must not silence
+    // a file whose path merely contains it as a substring.
+    const std::string clockCode =
+        "void tick()\n"
+        "{\n"
+        "    auto t = std::chrono::steady_clock::now();\n"
+        "    use(t);\n"
+        "}\n";
+    const Report r = checkDeterminism(
+        {{"src/myobs/profiler_x.cc", clockCode}});
+    EXPECT_NE(findCheck(r, "lint-wallclock"), nullptr);
+}
+
+TEST(Determinism, UnrelatedMemberCallsAreNotSinks)
+{
+    // cache.add() is someone else's add, not BenchReport::add: the
+    // clock read is still linted, but no taint finding claims the
+    // value reaches a deterministic artifact.
+    const Report r = checkDeterminism(
+        {{"src/sim/x.cc",
+          "void stamp(Cache &cache)\n"
+          "{\n"
+          "    const auto t = std::chrono::steady_clock::now();\n"
+          "    cache.add(t.time_since_epoch().count());\n"
+          "}\n"}});
+    EXPECT_NE(findCheck(r, "lint-wallclock"), nullptr);
+    EXPECT_EQ(findCheck(r, "det-taint-wallclock"), nullptr);
+}
+
+TEST(Determinism, QualifiedSinkCallStillCounts)
+{
+    const Report r = checkDeterminism(
+        {{"src/sim/x.cc",
+          "void stamp(BenchReport &report)\n"
+          "{\n"
+          "    const auto t = std::chrono::steady_clock::now();\n"
+          "    BenchReport::add(t.time_since_epoch().count());\n"
+          "}\n"}});
+    EXPECT_NE(findCheck(r, "det-taint-wallclock"), nullptr);
+}
+
+TEST(Determinism, SortOfUnrelatedContainerDoesNotDefuse)
+{
+    // The sort after the loop touches a different container, so the
+    // hash-order write to the store is still a finding.
+    const Report r = checkDeterminism(
+        {{"src/sim/x.cc",
+          "void flush(Store &store, Idx &other,\n"
+          "           const std::unordered_map<std::string, double>"
+          " &cells)\n"
+          "{\n"
+          "    for (const auto &kv : cells)\n"
+          "        store.put(kv.first, kv.second);\n"
+          "    std::sort(other.begin(), other.end());\n"
+          "}\n"}});
+    EXPECT_NE(findCheck(r, "lint-unordered-iter"), nullptr);
+    EXPECT_NE(findCheck(r, "det-taint-unordered-iter"), nullptr);
+}
+
+TEST(Determinism, SortInsideLoopBodyDoesNotDefuse)
+{
+    // A sort inside the body sorts per-entry data; the iteration
+    // order feeding the store is still hash order.
+    const Report r = checkDeterminism(
+        {{"src/sim/x.cc",
+          "void flush(Store &store,\n"
+          "           std::unordered_map<std::string, Cell> &cells)\n"
+          "{\n"
+          "    for (auto &kv : cells) {\n"
+          "        std::sort(kv.second.ids.begin(),"
+          " kv.second.ids.end());\n"
+          "        store.put(kv.first, kv.second.ids.front());\n"
+          "    }\n"
+          "}\n"}});
+    EXPECT_NE(findCheck(r, "lint-unordered-iter"), nullptr);
+}
+
 TEST(Determinism, StaleBaselineEntriesReported)
 {
     Report r;

@@ -237,6 +237,101 @@ TEST(Symbols, ProgramLinksCallsAndGlobalUses)
     EXPECT_TRUE(marked);
 }
 
+TEST(Symbols, QualifiedCallMatchesWholeComponentsOnly)
+{
+    // Regression: with AB::f defined, a call written B::f() made the
+    // suffix compare in link() underflow (q.size()-suffix.size()-2
+    // wrapped) and std::string::compare threw std::out_of_range.
+    Program prog;
+    prog.addTu(parseTu(
+        "namespace AB { void f() { } }\n"
+        "namespace A { namespace B { void f() { } } }\n"
+        "void caller() { B::f(); }\n",
+        "src/a.cc"));
+    prog.link();
+
+    const auto caller = prog.byName("caller");
+    ASSERT_EQ(caller.size(), 1u);
+    // B::f resolves to A::B::f only; AB::f is not a component match.
+    ASSERT_EQ(prog.callees(caller[0]).size(), 1u);
+    const std::size_t callee = prog.callees(caller[0])[0];
+    EXPECT_EQ(prog.functions()[callee].qualified, "A::B::f");
+    EXPECT_EQ(prog.edgeLine(caller[0], callee), 3u);
+}
+
+TEST(Symbols, EdgeLineRecordsTheResolvedCallSite)
+{
+    // Two same-named callees: each edge must carry its own call
+    // line, not the first line where the shared name appears.
+    Program prog;
+    prog.addTu(parseTu(
+        "namespace A { void f() { } }\n"
+        "namespace B { void f() { } }\n"
+        "void caller()\n"
+        "{\n"
+        "    A::f();\n"
+        "    B::f();\n"
+        "}\n",
+        "src/a.cc"));
+    prog.link();
+
+    const auto caller = prog.byName("caller");
+    const auto fs = prog.byName("f");
+    ASSERT_EQ(caller.size(), 1u);
+    ASSERT_EQ(fs.size(), 2u);
+    ASSERT_EQ(prog.callees(caller[0]).size(), 2u);
+    for (std::size_t c : prog.callees(caller[0])) {
+        const std::uint64_t expect =
+            prog.functions()[c].qualified == "A::f" ? 5u : 6u;
+        EXPECT_EQ(prog.edgeLine(caller[0], c), expect)
+            << prog.functions()[c].qualified;
+    }
+}
+
+TEST(Symbols, CallSitesCarryReceiverAndArgumentIdents)
+{
+    const TuSymbols tu = parseTu(
+        "void flush(Store &store)\n"
+        "{\n"
+        "    store.put(key, value);\n"
+        "    std::sort(v.begin(), v.end());\n"
+        "}\n",
+        "src/a.cc");
+    const FunctionDef *fn = findFn(tu, "flush");
+    ASSERT_NE(fn, nullptr);
+    ASSERT_GE(fn->calls.size(), 2u);
+    EXPECT_EQ(fn->calls[0].name, "put");
+    EXPECT_TRUE(fn->calls[0].member);
+    EXPECT_EQ(fn->calls[0].recv, "store");
+    EXPECT_EQ(fn->calls[0].argIdents,
+              (std::vector<std::string>{"key", "value"}));
+    EXPECT_EQ(fn->calls[1].name, "sort");
+    EXPECT_EQ(fn->calls[1].argIdents,
+              (std::vector<std::string>{"v", "begin", "v", "end"}));
+}
+
+TEST(Symbols, UnorderedLoopRecordsBodyExtentAndIdents)
+{
+    const TuSymbols tu = parseTu(
+        "void flush(const std::unordered_set<std::string> &keys)\n"
+        "{\n"
+        "    std::vector<std::string> v;\n"
+        "    for (const auto &k : keys) {\n"
+        "        v.push_back(k);\n"
+        "    }\n"
+        "    std::sort(v.begin(), v.end());\n"
+        "}\n",
+        "src/a.cc");
+    const FunctionDef *fn = findFn(tu, "flush");
+    ASSERT_NE(fn, nullptr);
+    ASSERT_EQ(fn->unorderedLoops.size(), 1u);
+    const UnorderedLoop &loop = fn->unorderedLoops[0];
+    EXPECT_EQ(loop.line, 4u);
+    EXPECT_EQ(loop.endLine, 6u);
+    EXPECT_EQ(loop.bodyIdents,
+              (std::vector<std::string>{"k", "push_back", "v"}));
+}
+
 TEST(Symbols, TaintKindSlugsAreStable)
 {
     EXPECT_EQ(taintKindSlug(TaintKind::WallClock), "wallclock");
