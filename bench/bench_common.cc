@@ -149,8 +149,14 @@ prefetchConfigs(Comparison &cmp, std::span<const HwConfig> cfgs,
         fabric::FabricOptions fo;
         fo.workers = fabric_workers;
         fo.dir = st->stats().path + ".fabric.d";
-        if (obs::RunObserver *observer = benchObserver())
+        if (obs::RunObserver *observer = benchObserver()) {
             fo.metrics = &observer->metrics();
+            // Deterministic worker telemetry lands in the same
+            // registry the serial sweep exports into, so a fabric
+            // bench run's sim/ and profile/ metrics match a cold
+            // jobs=1 run of the same batch byte for byte.
+            fo.telemetry = &observer->metrics();
+        }
         fabric::SweepFabric fab(cmp.db().workload(), *st, fo);
         const Status ran = fab.runPhase(cfgs);
         if (ran.isOk()) {

@@ -7,10 +7,12 @@
 
 #include "adapt/epoch_db.hh"
 #include "adapt/workload.hh"
+#include "analysis/journal_check.hh"
 #include "analysis/lease_check.hh"
 #include "analysis/store_check.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/observer.hh"
 #include "sparse/generators.hh"
 #include "store/epoch_store.hh"
 #include "store/fingerprint.hh"
@@ -193,6 +195,11 @@ runCrashDrill(const CrashDrillOptions &opts)
         return Result<CrashDrillReport>::error(refSummary.message());
 
     CrashDrillReport report;
+    // Merged-telemetry reference bytes, captured from trial 0: every
+    // later trial must reproduce them exactly (the observability
+    // merge is part of the byte-identity contract, DESIGN.md §12).
+    std::string refJournal;
+    std::string refTelemetry;
     for (unsigned t = 0; t < opts.trials; ++t) {
         const std::string trialDir =
             str(opts.scratchDir, "/trial", t);
@@ -210,6 +217,8 @@ runCrashDrill(const CrashDrillOptions &opts)
             failed = true;
         };
 
+        const std::string journalPath = trialDir + "/merged.jsonl";
+        std::ostringstream telemetryText;
         {
             store::EpochStore main;
             store::StoreOptions sopts;
@@ -219,6 +228,12 @@ runCrashDrill(const CrashDrillOptions &opts)
                 return Result<CrashDrillReport>::error(
                     opened.message());
 
+            obs::RunObserver tobs;
+            Status jopen = tobs.openJournal(journalPath);
+            if (!jopen.isOk())
+                return Result<CrashDrillReport>::error(
+                    jopen.message());
+
             FabricOptions fopts;
             fopts.workers = opts.workers;
             fopts.leaseMs = opts.leaseMs;
@@ -226,6 +241,8 @@ runCrashDrill(const CrashDrillOptions &opts)
             fopts.dir = trialDir + "/fabric.d";
             fopts.drill.kind = opts.kind;
             fopts.drill.seed = opts.seed + t;
+            fopts.telemetry = &tobs.metrics();
+            fopts.telemetryObserver = &tobs;
             SweepFabric fab(wl, main, fopts);
             const Status ran = fab.runPhase(cfgs);
             if (!ran.isOk())
@@ -234,6 +251,8 @@ runCrashDrill(const CrashDrillOptions &opts)
                 flag(str(fab.stats().cellsQuarantined,
                          " cells quarantined"));
             accumulate(report.totals, fab.stats());
+            tobs.flush();
+            tobs.metrics().writeText(telemetryText);
             main.close();
 
             // Lease-log validator over every worker log of the trial.
@@ -272,6 +291,34 @@ runCrashDrill(const CrashDrillOptions &opts)
             flag(summary.message());
         else if (summary.value() != refSummary.value())
             flag("derived result summary differs from reference");
+
+        // Merged telemetry journal: must parse clean under the
+        // journal validator and be byte-identical across trials —
+        // crashes may change *which* worker replayed a cell, never
+        // the merged observability the coordinator re-emits.
+        const analysis::Report journal =
+            analysis::checkJournalFile(journalPath);
+        if (!journal.clean())
+            flag(str("merged journal has ", journal.errorCount(),
+                     " validator errors"));
+        const Result<std::string> journalBytes =
+            fileBytes(journalPath);
+        if (!journalBytes.isOk())
+            flag(journalBytes.message());
+        else if (journalBytes.value().empty())
+            flag("merged journal is empty");
+        if (t == 0) {
+            if (journalBytes.isOk())
+                refJournal = journalBytes.value();
+            refTelemetry = telemetryText.str();
+        } else {
+            if (journalBytes.isOk() &&
+                journalBytes.value() != refJournal)
+                flag("merged journal differs across trials");
+            if (telemetryText.str() != refTelemetry)
+                flag("merged telemetry metrics differ across "
+                     "trials");
+        }
 
         ++report.trials;
         if (failed)

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <tuple>
 #include <unordered_set>
 
@@ -38,6 +39,137 @@ std::string
 workerPath(const std::string &dir, std::uint32_t id, const char *ext)
 {
     return dir + "/w" + std::to_string(id) + ext;
+}
+
+// ---- telemetry shards ----------------------------------------------
+
+/**
+ * Deterministic per-cell journal payload: every field is a pure
+ * function of the cell's (workload, config) pair, so the copy a
+ * worker journals and the copy a merge-time repair synthesizes are
+ * byte-identical. Worker ids deliberately stay out — attribution
+ * lives in the lease logs, which sadapt_report renders separately.
+ */
+std::vector<std::pair<std::string, obs::FieldValue>>
+cellEventFields(std::uint32_t code, const SimResult &res)
+{
+    return {
+        {"op", std::string("cell")},
+        {"config", static_cast<std::int64_t>(code)},
+        {"cfg", res.config.toSpec()},
+        {"epochs", static_cast<std::int64_t>(res.epochs.size())},
+        {"seconds", res.totalSeconds()},
+        {"flops", res.totalFlops()},
+        {"energy_j", res.totalEnergy()},
+    };
+}
+
+/**
+ * Append one completed cell to a worker's telemetry shard: a
+ * "cell <code>" section header followed by the cell's full metric
+ * snapshot in the metrics shard, and one "cell" event in the journal
+ * shard. Flushed before the caller advertises Complete, so a
+ * Complete'd cell normally has intact telemetry; a torn tail (the
+ * writer died mid-append) is detected at merge by the snapshot's
+ * missing "end" terminator / the journal's truncated-line recovery,
+ * and repaired by re-simulation.
+ */
+void
+appendTelemetryCell(std::ostream &met, obs::RunObserver &journal,
+                    std::uint32_t code, const obs::MetricRegistry &reg,
+                    const SimResult &res)
+{
+    met << "cell " << code << '\n';
+    reg.writeText(met);
+    met.flush();
+    journal.emit("fabric/cell", "fabric", cellEventFields(code, res));
+    journal.flush();
+}
+
+/** First-seen winning telemetry per config code, across all shards. */
+struct TelemetryShards
+{
+    std::map<std::uint32_t, std::vector<obs::MetricSample>> metrics;
+    std::map<std::uint32_t, obs::JournalEvent> events;
+};
+
+/**
+ * Scan every telemetry shard in the fabric directory in sorted-name
+ * order, keeping the first parseable copy of each cell's snapshot and
+ * journal event. Duplicated claims produce bit-identical telemetry,
+ * so which copy wins is immaterial; torn sections and truncated
+ * journal tails are silently skipped (the merge repairs those cells).
+ */
+TelemetryShards
+scanTelemetryShards(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    TelemetryShards out;
+    std::vector<std::string> metFiles, jourFiles;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; it != end && !ec;
+         it.increment(ec)) {
+        if (!it->is_regular_file())
+            continue;
+        if (it->path().extension() == ".tmetrics")
+            metFiles.push_back(it->path().string());
+        else if (it->path().extension() == ".tjournal")
+            jourFiles.push_back(it->path().string());
+    }
+    std::sort(metFiles.begin(), metFiles.end());
+    std::sort(jourFiles.begin(), jourFiles.end());
+
+    for (const std::string &path : metFiles) {
+        std::ifstream in(path);
+        if (!in)
+            continue;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.rfind("cell ", 0) != 0)
+                continue;
+            std::uint32_t code = 0;
+            try {
+                code = static_cast<std::uint32_t>(
+                    std::stoul(line.substr(5)));
+            } catch (const std::exception &) {
+                continue;
+            }
+            std::string section;
+            bool terminated = false;
+            while (std::getline(in, line)) {
+                section += line;
+                section += '\n';
+                if (line == "end") {
+                    terminated = true;
+                    break;
+                }
+            }
+            if (!terminated)
+                break; // torn tail: drop the partial section
+            std::istringstream sec(section);
+            Result<std::vector<obs::MetricSample>> parsed =
+                obs::readMetricsText(sec);
+            if (!parsed.isOk())
+                continue;
+            out.metrics.emplace(code, std::move(parsed.value()));
+        }
+    }
+    for (const std::string &path : jourFiles) {
+        const Result<obs::JournalRead> read =
+            obs::readJournalFile(path);
+        if (!read.isOk())
+            continue;
+        for (const obs::JournalEvent &ev : read.value().events) {
+            if (ev.type != "fabric")
+                continue;
+            const auto op = ev.strField("op");
+            const auto code = ev.intField("config");
+            if (!op || *op != "cell" || !code || *code < 0)
+                continue;
+            out.events.emplace(static_cast<std::uint32_t>(*code), ev);
+        }
+    }
+    return out;
 }
 
 // ---- worker process ------------------------------------------------
@@ -100,6 +232,16 @@ workerMain(const WorkerCtx &ctx)
         return 3;
     }
 
+    // Telemetry shard: per-cell metric snapshots and journal events,
+    // merged (first-seen, canonical order) at the phase barrier.
+    std::ofstream tmet(workerPath(ctx.dir, ctx.id, ".tmetrics"),
+                       std::ios::app);
+    std::ofstream tjour(workerPath(ctx.dir, ctx.id, ".tjournal"),
+                        std::ios::app);
+    obs::RunObserver tobs;
+    if (tjour)
+        tobs.attachJournal(tjour);
+
     Transmuter sim(ctx.wl->params);
     std::uint64_t lastBeat = 0;
     while (stopRequested == 0) {
@@ -156,11 +298,16 @@ workerMain(const WorkerCtx &ctx)
                 std::abort();
         }
 
+        obs::MetricRegistry cellReg;
+        sim.setMetrics(&cellReg);
         const SimResult res = sim.run(ctx.wl->trace, ctx.cfgs[wi]);
+        sim.setMetrics(nullptr);
         shard.put(ctx.fingerprint, ctx.cfgs[wi], res);
         // Durability before advertisement: a Complete record must
         // never outrun the cells it promises.
         shard.flush();
+        if (tmet)
+            appendTelemetryCell(tmet, tobs, code, cellReg, res);
         lease.append(store::LeaseOp::Complete, code);
         lastBeat = leaseNowMs();
     }
@@ -316,6 +463,17 @@ SweepFabric::runPhase(std::span<const HwConfig> cfgs)
         coordShard.open(workerPath(dirV, 0, ".store"), sopts));
     std::optional<Transmuter> coordSim;
 
+    // The coordinator's own telemetry shard (in-process retries and
+    // pool-exhausted fallback cells land here). Append mode: id 0 is
+    // the one id reused across phases and incarnations.
+    std::ofstream coordTmet(workerPath(dirV, 0, ".tmetrics"),
+                            std::ios::app);
+    std::ofstream coordTjour(workerPath(dirV, 0, ".tjournal"),
+                             std::ios::app);
+    obs::RunObserver coordTobs;
+    if (coordTjour)
+        coordTobs.attachJournal(coordTjour);
+
     // Runs one cell inside the coordinator (the in-process retry of a
     // poisoned cell, or pool-exhausted fallback). Returns false when
     // the cell had to be quarantined.
@@ -355,9 +513,15 @@ SweepFabric::runPhase(std::span<const HwConfig> cfgs)
         }
         if (!coordSim.has_value())
             coordSim.emplace(wl.params);
+        obs::MetricRegistry cellReg;
+        coordSim->setMetrics(&cellReg);
         const SimResult res = coordSim->run(wl.trace, w.cfg);
+        coordSim->setMetrics(nullptr);
         coordShard.put(fingerprintV, w.cfg, res);
         coordShard.flush();
+        if (coordTmet)
+            appendTelemetryCell(coordTmet, coordTobs, w.code, cellReg,
+                                res);
         lease.append(store::LeaseOp::Complete, w.code);
         return true;
     };
@@ -664,6 +828,8 @@ SweepFabric::runPhase(std::span<const HwConfig> cfgs)
     children.clear();
 
     coordShard.close();
+    coordTmet.close();
+    coordTjour.close();
     lease.close();
 
     const Status merged = mergeShards(work);
@@ -738,23 +904,81 @@ SweepFabric::mergeShards(const std::vector<WorkItem> &work)
     for (const HwConfig &cfg : quarantinedV)
         quarantinedCodes.insert(cfg.encode());
 
+    const bool wantTelemetry = optsV.telemetry != nullptr ||
+        optsV.telemetryObserver != nullptr;
+    TelemetryShards shards;
+    if (wantTelemetry)
+        shards = scanTelemetryShards(dirV);
+
+    // Fold one cell's telemetry into the deterministic sinks: the
+    // metric snapshot merges shard-style (counters add, gauges
+    // last-write-win), the journal event is re-emitted through the
+    // caller's observer. Called once per non-quarantined work item,
+    // in canonical request order.
+    const auto deliverTelemetry =
+        [&](const std::vector<obs::MetricSample> &samples,
+            const obs::JournalEvent &ev) {
+            if (optsV.telemetry != nullptr)
+                optsV.telemetry->mergeSamples(samples);
+            if (optsV.telemetryObserver != nullptr)
+                optsV.telemetryObserver->emit(ev.path, ev.type,
+                                              ev.fields);
+        };
+
     // Replay into the main store in canonical request order, epoch
     // index order within each config — exactly the append order of a
     // jobs=1 ensure() loop, so the merged bytes match it. A config
     // with any unusable cell (a shard damaged *after* advertising
     // Complete) is repaired by re-simulating; determinism makes the
-    // repaired bytes identical to the lost ones.
+    // repaired bytes identical to the lost ones. The same discipline
+    // covers telemetry: a cell whose snapshot or journal event died
+    // with its writer is re-simulated against a fresh registry, which
+    // reproduces the lost telemetry bit for bit.
     std::optional<Transmuter> repairSim;
     for (const WorkItem &w : work) {
         if (quarantinedCodes.contains(w.code))
             continue;
+        const auto tmetIt = shards.metrics.find(w.code);
+        const auto tjourIt = shards.events.find(w.code);
+        const bool telemetryWhole = !wantTelemetry ||
+            (tmetIt != shards.metrics.end() &&
+             tjourIt != shards.events.end());
         bool whole = epochCount > 0;
         for (std::uint32_t e = 0; whole && e < epochCount; ++e)
             whole = cells.contains({w.code, e});
-        if (!whole) {
+        if (!whole || !telemetryWhole) {
             if (!repairSim.has_value())
                 repairSim.emplace(wl.params);
+            obs::MetricRegistry cellReg;
+            if (wantTelemetry)
+                repairSim->setMetrics(&cellReg);
             const SimResult res = repairSim->run(wl.trace, w.cfg);
+            repairSim->setMetrics(nullptr);
+            if (wantTelemetry) {
+                obs::JournalEvent ev;
+                ev.path = "fabric/cell";
+                ev.type = "fabric";
+                ev.fields = cellEventFields(w.code, res);
+                std::ostringstream snap;
+                cellReg.writeText(snap);
+                std::istringstream back(snap.str());
+                Result<std::vector<obs::MetricSample>> samples =
+                    obs::readMetricsText(back);
+                SADAPT_ASSERT(samples.isOk(),
+                              "metric snapshot must round-trip");
+                deliverTelemetry(samples.value(), ev);
+            }
+            if (whole) {
+                // Only the telemetry was lost; the store cells from
+                // the shards are intact and still win.
+                ++statsV.telemetryRepairs;
+                bumpMetric("fabric/telemetry_repairs", 1);
+                for (std::uint32_t e = 0; e < epochCount; ++e) {
+                    mainV.putCell(cells.at({w.code, e}));
+                    ++statsV.cellsMerged;
+                }
+                continue;
+            }
             mainV.put(fingerprintV, w.cfg, res);
             statsV.cellsMerged += res.epochs.size();
             ++statsV.mergeRepairs;
@@ -769,6 +993,10 @@ SweepFabric::mergeShards(const std::vector<WorkItem> &work)
                     static_cast<std::uint32_t>(res.epochs.size());
             continue;
         }
+        if (wantTelemetry) {
+            deliverTelemetry(tmetIt->second, tjourIt->second);
+            ++statsV.telemetryCellsMerged;
+        }
         for (std::uint32_t e = 0; e < epochCount; ++e) {
             mainV.putCell(cells.at({w.code, e}));
             ++statsV.cellsMerged;
@@ -776,6 +1004,7 @@ SweepFabric::mergeShards(const std::vector<WorkItem> &work)
     }
     mainV.flush();
     bumpMetric("fabric/cells_merged", statsV.cellsMerged);
+    bumpMetric("fabric/telemetry_cells", statsV.telemetryCellsMerged);
     return Status::ok();
 }
 

@@ -93,9 +93,27 @@ struct FabricOptions
      * Journal fabric events (spawn/death/reclaim/quarantine/merge)
      * and export fabric/ metrics. Benches pass only `metrics` so
      * journal bytes stay identical across fabric and jobs=1 runs.
+     * These are *operational* sinks: their content legitimately
+     * varies with worker count, crashes and drill injections.
      */
     obs::RunObserver *observer = nullptr;
     obs::MetricRegistry *metrics = nullptr;
+
+    /**
+     * Deterministic merged worker telemetry. Every worker replays its
+     * cells against a private per-cell metric registry and appends
+     * the snapshot (plus one "cell" journal event) to its telemetry
+     * shard (w<id>.tmetrics / w<id>.tjournal); at the phase barrier
+     * the coordinator folds the winning copy of each cell's telemetry
+     * into these sinks in canonical request order, re-simulating any
+     * cell whose telemetry was lost with its writer. Unlike the
+     * operational sinks above, everything delivered here is a pure
+     * function of the work list: merged bytes are identical across
+     * worker counts and crash drills, and match what a serial jobs=1
+     * sweep would have exported (DESIGN.md section 12).
+     */
+    obs::MetricRegistry *telemetry = nullptr;
+    obs::RunObserver *telemetryObserver = nullptr;
 
     DrillSpec drill;
 
@@ -123,6 +141,8 @@ struct FabricStats
     std::uint64_t duplicateCells = 0;  //!< identical cells in >1 shard
     std::uint64_t mergeRepairs = 0;    //!< cells re-simulated at merge
     std::uint64_t cellsQuarantined = 0; //!< configs journaled + skipped
+    std::uint64_t telemetryCellsMerged = 0; //!< configs with shard telemetry
+    std::uint64_t telemetryRepairs = 0; //!< telemetry re-simulated at merge
 };
 
 /** One fabric over one (workload, main store) pair. */

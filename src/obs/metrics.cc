@@ -36,6 +36,55 @@ Histogram::bucketLo(std::size_t bucket)
     return std::uint64_t{1} << (bucket - 1);
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (countV == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double rank = q * static_cast<double>(countV);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < numBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const std::uint64_t below = cum;
+        cum += buckets[b];
+        if (static_cast<double>(cum) < rank)
+            continue;
+        if (b == 0)
+            return 0.0;
+        const double lo = static_cast<double>(bucketLo(b));
+        // The last bucket (b == 64) covers [2^63, 2^64); its upper
+        // edge is exactly 2 * lo, same as every other power-of-two
+        // bucket, so no special case is needed.
+        const double hi = 2.0 * lo;
+        const double frac = (rank - static_cast<double>(below)) /
+                            static_cast<double>(buckets[b]);
+        return lo + (hi - lo) * frac;
+    }
+    // rank <= count always lands inside the loop; keep the compiler
+    // happy with the top edge of the occupied range.
+    return static_cast<double>(bucketLo(numBuckets - 1));
+}
+
+void
+Histogram::addParsed(
+    std::uint64_t count, std::uint64_t sum,
+    const std::vector<std::pair<std::size_t, std::uint64_t>>
+        &bucket_counts)
+{
+    for (const auto &[bucket, n] : bucket_counts) {
+        SADAPT_ASSERT(bucket < numBuckets,
+                      "parsed histogram bucket out of range");
+        buckets[bucket] += n;
+    }
+    countV += count;
+    sumV += sum;
+}
+
 MetricRegistry::Entry &
 MetricRegistry::entry(const std::string &name, MetricKind kind)
 {
@@ -86,6 +135,25 @@ MetricRegistry::merge(const MetricRegistry &other)
             break;
           case MetricKind::Histogram:
             histogram(e.name).merge(e.histV);
+            break;
+        }
+    }
+}
+
+void
+MetricRegistry::mergeSamples(const std::vector<MetricSample> &samples)
+{
+    for (const MetricSample &s : samples) {
+        switch (s.kind) {
+          case MetricKind::Counter:
+            counter(s.name).add(s.counterValue);
+            break;
+          case MetricKind::Gauge:
+            gauge(s.name).set(s.gaugeValue);
+            break;
+          case MetricKind::Histogram:
+            histogram(s.name).addParsed(s.histCount, s.histSum,
+                                        s.histBuckets);
             break;
         }
     }
@@ -143,7 +211,13 @@ MetricRegistry::writeText(std::ostream &out) const
           case MetricKind::Histogram: {
             const Histogram &h = e->histV;
             out << "hist " << name << " count " << h.count() << " sum "
-                << h.sum() << " buckets";
+                << h.sum();
+            if (h.count() != 0) {
+                out << " p50 " << formatDouble(h.quantile(0.50))
+                    << " p90 " << formatDouble(h.quantile(0.90))
+                    << " p99 " << formatDouble(h.quantile(0.99));
+            }
+            out << " buckets";
             for (std::size_t b = 0; b < Histogram::numBuckets; ++b) {
                 if (h.bucketCount(b) != 0)
                     out << ' ' << b << ':' << h.bucketCount(b);
@@ -198,7 +272,17 @@ readMetricsText(std::istream &in)
             std::string kw;
             if (!(ls >> kw) || kw != "count" || !(ls >> s.histCount) ||
                 !(ls >> kw) || kw != "sum" || !(ls >> s.histSum) ||
-                !(ls >> kw) || kw != "buckets")
+                !(ls >> kw))
+                return fail("bad histogram line");
+            // Optional quantile summary (emitted when count > 0).
+            if (kw == "p50") {
+                s.histHasQuantiles = true;
+                if (!(ls >> s.histP50) || !(ls >> kw) || kw != "p90" ||
+                    !(ls >> s.histP90) || !(ls >> kw) || kw != "p99" ||
+                    !(ls >> s.histP99) || !(ls >> kw))
+                    return fail("bad histogram quantiles");
+            }
+            if (kw != "buckets")
                 return fail("bad histogram line");
             std::string pair;
             while (ls >> pair) {

@@ -91,6 +91,28 @@ class Histogram
     std::uint64_t sum() const { return sumV; }
     std::uint64_t bucketCount(std::size_t b) const { return buckets[b]; }
 
+    /**
+     * Deterministic quantile estimate (q in [0, 1], clamped). The
+     * rank q*count is located in the cumulative bucket counts and
+     * interpolated linearly inside the containing bucket's [lo, hi)
+     * edge range, assuming samples spread uniformly within a bucket.
+     * Bucket 0 holds only the value 0, so ranks landing there return
+     * exactly 0. Returns 0 for an empty histogram. Pure arithmetic on
+     * the bucket counts: snapshots stay bit-identical across runs.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Accumulate data parsed back from a text snapshot: total count
+     * and sum plus sparse (bucket, count) pairs. The dual of the
+     * writeText() hist line, used when merging per-worker snapshot
+     * shards whose live Histogram objects are gone.
+     */
+    void addParsed(
+        std::uint64_t count, std::uint64_t sum,
+        const std::vector<std::pair<std::size_t, std::uint64_t>>
+            &bucket_counts);
+
     /** Bucket-wise accumulate another histogram into this one. */
     void
     merge(const Histogram &other)
@@ -106,6 +128,8 @@ class Histogram
     std::uint64_t countV = 0;
     std::uint64_t sumV = 0;
 };
+
+struct MetricSample;
 
 /**
  * Owns every instrument of one run, keyed by hierarchical name.
@@ -135,6 +159,15 @@ class MetricRegistry
      * deterministic merge points (DESIGN.md section 9).
      */
     void merge(const MetricRegistry &other);
+
+    /**
+     * merge(), but from samples parsed out of a text snapshot
+     * (readMetricsText): counters add, gauges take the sample's value,
+     * histograms accumulate the sample's bucket counts. Merging worker
+     * shards in canonical order reproduces the registry a single
+     * serial run would have built (DESIGN.md section 12).
+     */
+    void mergeSamples(const std::vector<MetricSample> &samples);
 
     std::size_t size() const { return entries.size(); }
 
@@ -173,6 +206,8 @@ struct MetricSample
     std::uint64_t counterValue = 0;                //!< Counter
     double gaugeValue = 0.0;                       //!< Gauge
     std::uint64_t histCount = 0, histSum = 0;      //!< Histogram
+    bool histHasQuantiles = false; //!< p50/p90/p99 present on the line
+    double histP50 = 0.0, histP90 = 0.0, histP99 = 0.0;
     std::vector<std::pair<std::size_t, std::uint64_t>> histBuckets;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -18,6 +19,26 @@ num(double v)
 {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Shortest round-trip decimal for the JSON report (byte-stable). */
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) {
+        for (int prec = 1; prec <= 16; ++prec) {
+            char s[64];
+            std::snprintf(s, sizeof(s), "%.*g", prec, v);
+            std::sscanf(s, "%lf", &back);
+            if (back == v)
+                return s;
+        }
+    }
     return buf;
 }
 
@@ -291,10 +312,258 @@ renderStoreSection(const std::vector<JournalEvent> &events,
     return true;
 }
 
+namespace {
+
+/**
+ * Lease records in deterministic render order: by tick, then writer,
+ * then the writer's own sequence number. Ticks come from one host's
+ * monotonic clock, so ordering across writers is meaningful within
+ * one fabric run.
+ */
+std::vector<const LeaseEntry *>
+sortedLeases(const std::vector<LeaseEntry> &leases)
+{
+    std::vector<const LeaseEntry *> sorted;
+    sorted.reserve(leases.size());
+    for (const LeaseEntry &l : leases)
+        sorted.push_back(&l);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const LeaseEntry *a, const LeaseEntry *b) {
+                         if (a->tickMs != b->tickMs)
+                             return a->tickMs < b->tickMs;
+                         if (a->worker != b->worker)
+                             return a->worker < b->worker;
+                         return a->seq < b->seq;
+                     });
+    return sorted;
+}
+
+/** Per-worker roll-up accumulated from lease records. */
+struct WorkerTally
+{
+    std::uint64_t claims = 0;
+    std::uint64_t completes = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t reclaims = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t heartbeats = 0; //!< renews + sentinel heartbeats
+    std::uint64_t firstTick = ~std::uint64_t{0};
+    std::uint64_t lastTick = 0;
+    std::uint64_t busyMs = 0; //!< summed claim -> complete/release
+    std::map<std::uint32_t, std::uint64_t> openClaims; //!< cell->tick
+};
+
+std::map<std::uint32_t, WorkerTally>
+tallyWorkers(const std::vector<const LeaseEntry *> &sorted)
+{
+    std::map<std::uint32_t, WorkerTally> workers;
+    for (const LeaseEntry *l : sorted) {
+        WorkerTally &w = workers[l->worker];
+        w.firstTick = std::min(w.firstTick, l->tickMs);
+        w.lastTick = std::max(w.lastTick, l->tickMs);
+        if (l->heartbeat || l->op == "renew") {
+            ++w.heartbeats;
+            continue;
+        }
+        if (l->op == "claim") {
+            ++w.claims;
+            w.openClaims[l->config] = l->tickMs;
+        } else if (l->op == "complete" || l->op == "release") {
+            ++(l->op == "complete" ? w.completes : w.releases);
+            const auto it = w.openClaims.find(l->config);
+            if (it != w.openClaims.end()) {
+                w.busyMs += l->tickMs - it->second;
+                w.openClaims.erase(it);
+            }
+        } else if (l->op == "reclaim") {
+            ++w.reclaims;
+        } else if (l->op == "quarantine") {
+            ++w.quarantines;
+        }
+    }
+    return workers;
+}
+
+} // namespace
+
+bool
+renderFabricSection(const std::vector<LeaseEntry> &leases,
+                    std::ostream &out)
+{
+    if (leases.empty())
+        return false;
+    const std::vector<const LeaseEntry *> sorted = sortedLeases(leases);
+    const std::uint64_t t0 = sorted.front()->tickMs;
+
+    // Per-cell lease timeline, cells in config-code order, records in
+    // tick order with ticks relative to the phase's first record.
+    std::map<std::uint32_t, std::vector<const LeaseEntry *>> cells;
+    for (const LeaseEntry *l : sorted) {
+        if (!l->heartbeat)
+            cells[l->config].push_back(l);
+    }
+    out << "== fabric leases ==\n";
+    if (cells.empty())
+        out << "(heartbeats only)\n";
+    for (const auto &[code, recs] : cells) {
+        out << "cell " << code << ":";
+        bool first = true;
+        for (const LeaseEntry *l : recs) {
+            out << (first ? " " : "; ") << '+'
+                << (l->tickMs - t0) << "ms w" << l->worker << ' '
+                << l->op;
+            if (l->op == "reclaim")
+                out << "(w" << l->peer << ')';
+            first = false;
+        }
+        out << '\n';
+    }
+
+    out << "\n== fabric workers ==\n";
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-8s %7s %9s %8s %10s %8s %8s %6s\n", "worker",
+                  "claims", "completes", "reclaims", "heartbeats",
+                  "busy-ms", "span-ms", "util");
+    out << line;
+    for (const auto &[id, w] : tallyWorkers(sorted)) {
+        const std::uint64_t span =
+            w.lastTick >= w.firstTick ? w.lastTick - w.firstTick : 0;
+        const std::string util = span == 0
+            ? std::string("-")
+            : num(100.0 * static_cast<double>(w.busyMs) /
+                  static_cast<double>(span)) +
+                "%";
+        std::snprintf(
+            line, sizeof(line),
+            "w%-7u %7llu %9llu %8llu %10llu %8llu %8llu %6s\n", id,
+            static_cast<unsigned long long>(w.claims),
+            static_cast<unsigned long long>(w.completes),
+            static_cast<unsigned long long>(w.reclaims),
+            static_cast<unsigned long long>(w.heartbeats),
+            static_cast<unsigned long long>(w.busyMs),
+            static_cast<unsigned long long>(span), util.c_str());
+        out << line;
+    }
+    return true;
+}
+
+bool
+renderProfileSection(const std::vector<MetricSample> &metrics,
+                     std::ostream &out)
+{
+    std::map<std::string, const MetricSample *> prof;
+    for (const MetricSample &m : metrics) {
+        if (m.name.rfind("profile/", 0) == 0)
+            prof[m.name] = &m;
+    }
+    if (prof.empty())
+        return false;
+
+    const auto counterOf = [&](const std::string &name) {
+        const auto it = prof.find(name);
+        return it == prof.end() ? std::uint64_t{0}
+                                : it->second->counterValue;
+    };
+    const std::uint64_t total = counterOf("profile/total_ops");
+    const auto share = [&](std::uint64_t v) {
+        return total == 0
+            ? std::string("-")
+            : num(100.0 * static_cast<double>(v) /
+                  static_cast<double>(total)) +
+                "%";
+    };
+
+    out << "== replay profile ==\n";
+    out << "total ops: " << total << '\n';
+
+    // One table per attribution axis. Kind names are flat
+    // ("profile/op/<kind>"); component and phase tallies end in
+    // "/ops" ("profile/component/<c>/ops"), their siblings are
+    // rendered as detail lines below.
+    const auto table = [&](const char *title, const std::string &prefix,
+                           const std::string &suffix) {
+        bool any = false;
+        for (const auto &[name, m] : prof) {
+            if (name.rfind(prefix, 0) != 0)
+                continue;
+            std::string label = name.substr(prefix.size());
+            if (suffix.empty()) {
+                if (label.find('/') != std::string::npos)
+                    continue;
+            } else {
+                if (label.size() <= suffix.size() ||
+                    label.compare(label.size() - suffix.size(),
+                                  suffix.size(), suffix) != 0)
+                    continue;
+                label.resize(label.size() - suffix.size());
+            }
+            if (!any) {
+                out << title << ":\n";
+                any = true;
+            }
+            char line[128];
+            std::snprintf(line, sizeof(line), "  %-16s %14llu  %s\n",
+                          label.c_str(),
+                          static_cast<unsigned long long>(
+                              m->counterValue),
+                          share(m->counterValue).c_str());
+            out << line;
+        }
+    };
+    table("ops by kind", "profile/op/", "");
+    table("ops by component", "profile/component/", "/ops");
+    table("ops by phase", "profile/phase/", "/ops");
+
+    bool any_detail = false;
+    for (const auto &[name, m] : prof) {
+        if (name.rfind("profile/component/", 0) != 0 ||
+            name.size() < 4 ||
+            name.compare(name.size() - 4, 4, "/ops") == 0)
+            continue;
+        if (!any_detail) {
+            out << "component detail:\n";
+            any_detail = true;
+        }
+        out << "  " << name.substr(sizeof("profile/component/") - 1)
+            << " = " << m->counterValue << '\n';
+    }
+
+    // Attribution coverage: every executed op lands in exactly one
+    // op-kind counter, so kinds summing to total_ops means 100%.
+    std::uint64_t attributed = 0;
+    for (const auto &[name, m] : prof) {
+        if (name.rfind("profile/op/", 0) == 0 &&
+            name.find('/', sizeof("profile/op/") - 1) ==
+                std::string::npos)
+            attributed += m->counterValue;
+    }
+    out << "attributed: " << attributed << " of " << total << " ops";
+    if (total != 0)
+        out << " (" << share(attributed) << ')';
+    out << '\n';
+
+    const auto hist = prof.find("profile/epoch_ops");
+    if (hist != prof.end() &&
+        hist->second->kind == MetricKind::Histogram &&
+        hist->second->histCount > 0) {
+        const MetricSample &h = *hist->second;
+        out << "epochs: " << h.histCount << " (mean ops "
+            << num(static_cast<double>(h.histSum) /
+                   static_cast<double>(h.histCount));
+        if (h.histHasQuantiles)
+            out << ", p50 " << num(h.histP50) << ", p90 "
+                << num(h.histP90) << ", p99 " << num(h.histP99);
+        out << ")\n";
+    }
+    return true;
+}
+
 void
 renderReport(const std::vector<JournalEvent> &events,
              const std::vector<MetricSample> &metrics,
-             std::ostream &out)
+             const std::vector<LeaseEntry> &leases,
+             const ReportOptions &opts, std::ostream &out)
 {
     out << "sadapt-report\n";
     for (const JournalEvent &ev : events) {
@@ -312,7 +581,19 @@ renderReport(const std::vector<JournalEvent> &events,
     out << '\n';
     if (renderStoreSection(events, metrics, out))
         out << '\n';
+    if (renderFabricSection(leases, out))
+        out << '\n';
+    if (opts.profile && renderProfileSection(metrics, out))
+        out << '\n';
     renderMetricRollups(metrics, out);
+}
+
+void
+renderReport(const std::vector<JournalEvent> &events,
+             const std::vector<MetricSample> &metrics,
+             std::ostream &out)
+{
+    renderReport(events, metrics, {}, ReportOptions{}, out);
 }
 
 namespace {
@@ -334,6 +615,7 @@ appendTraceString(std::string &out, const std::string &s)
 
 void
 writeChromeTrace(const std::vector<JournalEvent> &events,
+                 const std::vector<LeaseEntry> &leases,
                  std::ostream &out)
 {
     // One virtual process, two tracks: epochs (tid 0) as duration
@@ -389,7 +671,377 @@ writeChromeTrace(const std::vector<JournalEvent> &events,
         }
         out << ",\n" << line;
     }
+
+    // Fabric worker tracks: one virtual process (pid 2), one thread
+    // per worker, claim-to-completion slices per cell plus instants
+    // for reclaims and quarantines. The timebase is the lease tick
+    // clock (milliseconds since the phase's first record), distinct
+    // from the simulated-time tracks above.
+    if (!leases.empty()) {
+        const std::vector<const LeaseEntry *> sorted =
+            sortedLeases(leases);
+        const std::uint64_t t0 = sorted.front()->tickMs;
+        const auto tickUs = [&](std::uint64_t tick) {
+            return static_cast<double>(tick - t0) * 1e3;
+        };
+
+        out << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+               "\"tid\":0,\"args\":{\"name\":\"fabric\"}}";
+        std::set<std::uint32_t> workers;
+        for (const LeaseEntry *l : sorted)
+            workers.insert(l->worker);
+        for (const std::uint32_t id : workers) {
+            out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                   "\"pid\":2,\"tid\":"
+                << id << ",\"args\":{\"name\":";
+            std::string name;
+            appendTraceString(name, "worker " + std::to_string(id));
+            out << name << "}}";
+        }
+
+        std::map<std::pair<std::uint32_t, std::uint32_t>,
+                 std::uint64_t>
+            open; // (worker, cell) -> claim tick
+        for (const LeaseEntry *l : sorted) {
+            if (l->heartbeat || l->op == "renew")
+                continue;
+            std::string line;
+            if (l->op == "claim") {
+                open[{l->worker, l->config}] = l->tickMs;
+                continue;
+            }
+            if (l->op == "complete" || l->op == "release") {
+                const auto it = open.find({l->worker, l->config});
+                if (it == open.end())
+                    continue;
+                line += "{\"name\":";
+                appendTraceString(
+                    line, "cell " + std::to_string(l->config));
+                line += ",\"cat\":\"lease\",\"ph\":\"X\",\"ts\":";
+                line += num(tickUs(it->second));
+                line += ",\"dur\":";
+                line += num(tickUs(l->tickMs) - tickUs(it->second));
+                line += ",\"pid\":2,\"tid\":";
+                line += std::to_string(l->worker);
+                line += ",\"args\":{\"op\":";
+                appendTraceString(line, l->op);
+                line += "}}";
+                open.erase(it);
+            } else if (l->op == "reclaim" ||
+                       l->op == "quarantine") {
+                line += "{\"name\":";
+                appendTraceString(
+                    line,
+                    l->op + " cell " + std::to_string(l->config));
+                line += ",\"cat\":\"lease\",\"ph\":\"i\",\"s\":\"t\","
+                        "\"ts\":";
+                line += num(tickUs(l->tickMs));
+                line += ",\"pid\":2,\"tid\":";
+                line += std::to_string(l->worker);
+                line += ",\"args\":{\"peer\":";
+                line += std::to_string(l->peer);
+                line += "}}";
+            } else {
+                continue;
+            }
+            out << ",\n" << line;
+        }
+    }
     out << "\n]}\n";
+}
+
+void
+writeChromeTrace(const std::vector<JournalEvent> &events,
+                 std::ostream &out)
+{
+    writeChromeTrace(events, {}, out);
+}
+
+namespace {
+
+/** JSON string escaping (same dialect as sadapt_check's JSON mode). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': r += "\\\""; break;
+          case '\\': r += "\\\\"; break;
+          case '\n': r += "\\n"; break;
+          case '\t': r += "\\t"; break;
+          case '\r': r += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                r += "\\u00";
+                r += hex[(c >> 4) & 0xF];
+                r += hex[c & 0xF];
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
+
+std::string
+jsonValue(const FieldValue &v)
+{
+    if (std::holds_alternative<std::int64_t>(v))
+        return std::to_string(std::get<std::int64_t>(v));
+    if (std::holds_alternative<double>(v))
+        return jsonNum(std::get<double>(v));
+    if (std::holds_alternative<bool>(v))
+        return std::get<bool>(v) ? "true" : "false";
+    return '"' + jsonEscape(std::get<std::string>(v)) + '"';
+}
+
+void
+jsonFields(const JournalEvent &ev, std::string &out)
+{
+    out += '{';
+    bool first = true;
+    for (const auto &[k, v] : ev.fields) {
+        if (!first)
+            out += ", ";
+        out += '"' + jsonEscape(k) + "\": " + jsonValue(v);
+        first = false;
+    }
+    out += '}';
+}
+
+} // namespace
+
+void
+renderReportJson(const std::vector<JournalEvent> &events,
+                 const std::vector<MetricSample> &metrics,
+                 const std::vector<LeaseEntry> &leases,
+                 const ReportOptions &opts, std::ostream &out)
+{
+    out << "{\n  \"version\": 1,\n";
+
+    const JournalEvent *run = nullptr;
+    for (const JournalEvent &ev : events) {
+        if (ev.type == "run") {
+            run = &ev;
+            break;
+        }
+    }
+    out << "  \"run\": ";
+    if (run != nullptr) {
+        std::string fields;
+        jsonFields(*run, fields);
+        out << fields;
+    } else {
+        out << "null";
+    }
+    out << ",\n  \"events\": " << events.size() << ",\n";
+
+    out << "  \"timeline\": [";
+    bool first = true;
+    for (const JournalEvent &ev : events) {
+        if (ev.type == "run")
+            continue;
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"seq\": " << ev.seq << ", \"epoch\": "
+            << ev.epoch << ", \"t\": " << jsonNum(ev.simTime)
+            << ", \"path\": \"" << jsonEscape(ev.path)
+            << "\", \"type\": \"" << jsonEscape(ev.type)
+            << "\", \"fields\": ";
+        std::string fields;
+        jsonFields(ev, fields);
+        out << fields << '}';
+    }
+    out << (first ? "],\n" : "\n  ],\n");
+
+    // Reconfiguration summary, same tallies as the text renderer.
+    struct ParamTally
+    {
+        std::uint64_t proposed = 0, accepted = 0, vetoed = 0;
+    };
+    std::map<std::string, ParamTally> per_param;
+    std::uint64_t applied = 0;
+    double cost_s = 0.0, cost_j = 0.0;
+    for (const JournalEvent &ev : events) {
+        if (ev.type == "policy") {
+            ParamTally &t = per_param[fieldOr(ev, "param", "?")];
+            ++t.proposed;
+            ++(ev.boolField("accepted").value_or(false) ? t.accepted
+                                                        : t.vetoed);
+        } else if (ev.type == "reconfig") {
+            ++applied;
+            cost_s += ev.numField("cost_s").value_or(0.0);
+            cost_j += ev.numField("cost_j").value_or(0.0);
+        }
+    }
+    out << "  \"reconfig\": {\"applied\": " << applied
+        << ", \"cost_s\": " << jsonNum(cost_s) << ", \"cost_j\": "
+        << jsonNum(cost_j) << ", \"params\": [";
+    first = true;
+    for (const auto &[param, t] : per_param) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"param\": \"" << jsonEscape(param)
+            << "\", \"proposed\": " << t.proposed
+            << ", \"accepted\": " << t.accepted << ", \"vetoed\": "
+            << t.vetoed << '}';
+    }
+    out << (first ? "]},\n" : "\n  ]},\n");
+
+    // Metrics, name-sorted like the text snapshot.
+    std::vector<const MetricSample *> sorted_metrics;
+    sorted_metrics.reserve(metrics.size());
+    for (const MetricSample &m : metrics)
+        sorted_metrics.push_back(&m);
+    std::stable_sort(sorted_metrics.begin(), sorted_metrics.end(),
+                     [](const MetricSample *a, const MetricSample *b) {
+                         return a->name < b->name;
+                     });
+    out << "  \"metrics\": [";
+    first = true;
+    for (const MetricSample *m : sorted_metrics) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"name\": \"" << jsonEscape(m->name) << "\", ";
+        switch (m->kind) {
+          case MetricKind::Counter:
+            out << "\"kind\": \"counter\", \"value\": "
+                << m->counterValue;
+            break;
+          case MetricKind::Gauge:
+            out << "\"kind\": \"gauge\", \"value\": "
+                << jsonNum(m->gaugeValue);
+            break;
+          case MetricKind::Histogram:
+            out << "\"kind\": \"hist\", \"count\": " << m->histCount
+                << ", \"sum\": " << m->histSum;
+            if (m->histHasQuantiles)
+                out << ", \"p50\": " << jsonNum(m->histP50)
+                    << ", \"p90\": " << jsonNum(m->histP90)
+                    << ", \"p99\": " << jsonNum(m->histP99);
+            out << ", \"buckets\": [";
+            for (std::size_t i = 0; i < m->histBuckets.size(); ++i) {
+                if (i > 0)
+                    out << ", ";
+                out << '[' << m->histBuckets[i].first << ", "
+                    << m->histBuckets[i].second << ']';
+            }
+            out << ']';
+            break;
+        }
+        out << '}';
+    }
+    out << (first ? "],\n" : "\n  ],\n");
+
+    // Fabric sections (null without lease records).
+    out << "  \"fabric\": ";
+    if (leases.empty()) {
+        out << "null,\n";
+    } else {
+        const std::vector<const LeaseEntry *> sorted =
+            sortedLeases(leases);
+        const std::uint64_t t0 = sorted.front()->tickMs;
+        std::map<std::uint32_t, std::vector<const LeaseEntry *>> cells;
+        for (const LeaseEntry *l : sorted) {
+            if (!l->heartbeat)
+                cells[l->config].push_back(l);
+        }
+        out << "{\n    \"cells\": [";
+        first = true;
+        for (const auto &[code, recs] : cells) {
+            out << (first ? "\n" : ",\n");
+            first = false;
+            out << "      {\"config\": " << code << ", \"records\": [";
+            for (std::size_t i = 0; i < recs.size(); ++i) {
+                if (i > 0)
+                    out << ", ";
+                out << "{\"t_ms\": " << (recs[i]->tickMs - t0)
+                    << ", \"worker\": " << recs[i]->worker
+                    << ", \"op\": \"" << jsonEscape(recs[i]->op)
+                    << "\", \"peer\": " << recs[i]->peer << '}';
+            }
+            out << "]}";
+        }
+        out << (first ? "],\n" : "\n    ],\n");
+        out << "    \"workers\": [";
+        first = true;
+        for (const auto &[id, w] : tallyWorkers(sorted)) {
+            const std::uint64_t span = w.lastTick >= w.firstTick
+                ? w.lastTick - w.firstTick
+                : 0;
+            out << (first ? "\n" : ",\n");
+            first = false;
+            out << "      {\"worker\": " << id << ", \"claims\": "
+                << w.claims << ", \"completes\": " << w.completes
+                << ", \"reclaims\": " << w.reclaims
+                << ", \"heartbeats\": " << w.heartbeats
+                << ", \"busy_ms\": " << w.busyMs << ", \"span_ms\": "
+                << span << '}';
+        }
+        out << (first ? "]\n  },\n" : "\n    ]\n  },\n");
+    }
+
+    // Profile roll-up (null unless requested and present).
+    bool have_profile = false;
+    if (opts.profile) {
+        for (const MetricSample &m : metrics) {
+            if (m.name.rfind("profile/", 0) == 0) {
+                have_profile = true;
+                break;
+            }
+        }
+    }
+    out << "  \"profile\": ";
+    if (!have_profile) {
+        out << "null\n";
+    } else {
+        std::uint64_t total = 0, attributed = 0;
+        const auto axis = [&](const std::string &prefix,
+                              const std::string &suffix) {
+            std::string body = "{";
+            bool axis_first = true;
+            for (const MetricSample *m : sorted_metrics) {
+                const std::string &name = m->name;
+                if (name.rfind(prefix, 0) != 0)
+                    continue;
+                std::string label = name.substr(prefix.size());
+                if (suffix.empty()) {
+                    if (label.find('/') != std::string::npos)
+                        continue;
+                } else {
+                    if (label.size() <= suffix.size() ||
+                        label.compare(label.size() - suffix.size(),
+                                      suffix.size(), suffix) != 0)
+                        continue;
+                    label.resize(label.size() - suffix.size());
+                }
+                if (!axis_first)
+                    body += ", ";
+                body += '"' + jsonEscape(label) +
+                    "\": " + std::to_string(m->counterValue);
+                axis_first = false;
+            }
+            body += '}';
+            return body;
+        };
+        for (const MetricSample *m : sorted_metrics) {
+            if (m->name == "profile/total_ops")
+                total = m->counterValue;
+            else if (m->name.rfind("profile/op/", 0) == 0 &&
+                     m->name.find('/', sizeof("profile/op/") - 1) ==
+                         std::string::npos)
+                attributed += m->counterValue;
+        }
+        out << "{\"total_ops\": " << total << ", \"attributed_ops\": "
+            << attributed << ", \"ops\": " << axis("profile/op/", "")
+            << ", \"components\": "
+            << axis("profile/component/", "/ops") << ", \"phases\": "
+            << axis("profile/phase/", "/ops") << "}\n";
+    }
+    out << "}\n";
 }
 
 } // namespace sadapt::obs

@@ -1,6 +1,7 @@
 #include "sim/transmuter.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <queue>
 
@@ -113,6 +114,12 @@ struct Engine
         std::uint64_t gpeOps = 0, gpeFpOps = 0;
         std::uint64_t lcpOps = 0, lcpFpOps = 0;
         Joules coreE = 0.0, cacheE = 0.0, xbarE = 0.0, dramE = 0.0;
+
+        // Deterministic replay profile: every executed op tallied by
+        // kind, and DRAM line transfers by direction. Pure counts of
+        // simulated events — no wall clock anywhere near these.
+        std::array<std::uint64_t, 9> opKind{};
+        std::uint64_t memLineReads = 0, memLineWrites = 0;
     } ac;
 
     /** Phase each core is currently executing (per program order). */
@@ -121,6 +128,10 @@ struct Engine
     /** FP-ops executed per phase within the current epoch; the epoch is
      * attributed to the phase where most of its FP work happened. */
     std::vector<double> epochFpByPhase;
+
+    /** All ops (GPE + LCP) executed per trace phase this epoch, for
+     * the phase-attributed replay profile. */
+    std::vector<std::uint64_t> epochOpsByPhase;
 
     Engine(const RunParams &rp_, const HwConfig &cfg_,
            const DvfsModel &dvfs_, const Trace &trace_)
@@ -153,6 +164,7 @@ struct Engine
         corePhase.assign(numCores, 0);
         epochFpByPhase.assign(
             std::max<std::size_t>(1, trace.phaseNames().size()), 0.0);
+        epochOpsByPhase.assign(epochFpByPhase.size(), 0);
     }
 
     Watts
@@ -248,9 +260,11 @@ struct Engine
             const Seconds done = mem.transfer(t_req, lineSize, false);
             lat += static_cast<Cycles>(
                 std::ceil((done - t_req) * freq));
+            ++ac.memLineReads;
             ac.dramE += lineSize * rp.energy.dramPerByte;
             if (res.writeback) {
                 mem.transfer(t_req, lineSize, true);
+                ++ac.memLineWrites;
                 ac.dramE += lineSize * rp.energy.dramPerByte;
             }
         }
@@ -265,9 +279,11 @@ struct Engine
                 ac.cacheE += sram.writeEnergy(cfg.l2CapBytes(), false);
                 const Seconds t_pf = now * secPerCycle;
                 mem.transfer(t_pf, lineSize, false);
+                ++ac.memLineReads;
                 ac.dramE += lineSize * rp.energy.dramPerByte;
                 if (fill.writeback) {
                     mem.transfer(t_pf, lineSize, true);
+                    ++ac.memLineWrites;
                     ac.dramE += lineSize * rp.energy.dramPerByte;
                 }
             }
@@ -364,6 +380,9 @@ struct Engine
         const EnergyParams &ep = rp.energy;
         auto &ops = is_gpe ? ac.gpeOps : ac.lcpOps;
         auto &fp_ops = is_gpe ? ac.gpeFpOps : ac.lcpFpOps;
+
+        ++ac.opKind[static_cast<std::size_t>(op.kind)];
+        ++epochOpsByPhase[corePhase[core]];
 
         switch (op.kind) {
           case OpKind::Phase:
@@ -494,6 +513,8 @@ struct Engine
         // Reset accumulators for the next epoch.
         ac = Accum{};
         std::fill(epochFpByPhase.begin(), epochFpByPhase.end(), 0.0);
+        std::fill(epochOpsByPhase.begin(), epochOpsByPhase.end(),
+                  std::uint64_t{0});
         for (auto &x : l1Xbar)
             x.resetStats();
         l2Xbar.resetStats();
@@ -526,6 +547,77 @@ struct Engine
         m.counter("sim/core/lcp_ops").add(ac.lcpOps);
         m.histogram("sim/epoch_cycles").observe(rec.cycles);
         m.gauge("sim/dvfs/clock_norm").set(rec.counters.clockNorm);
+
+        exportProfile(m);
+    }
+
+    /**
+     * The deterministic replay profile (profile/ namespace). Every
+     * executed op is attributed to exactly one op kind, one hardware
+     * component and one trace phase, so the three views each account
+     * for 100% of the replay's executed ops; auxiliary interconnect /
+     * memory / prefetcher event tallies ride alongside. Pure counts of
+     * simulated events — bit-identical whether or not anyone reads
+     * them, and independent of SADAPT_PROF.
+     */
+    void
+    exportProfile(obs::MetricRegistry &m)
+    {
+        auto kindCount = [&](OpKind k) {
+            return ac.opKind[static_cast<std::size_t>(k)];
+        };
+        std::uint64_t total_ops = 0;
+        for (std::size_t k = 0; k < ac.opKind.size(); ++k) {
+            total_ops += ac.opKind[k];
+            if (ac.opKind[k] != 0)
+                m.counter(str("profile/op/",
+                              opKindName(static_cast<OpKind>(k))))
+                    .add(ac.opKind[k]);
+        }
+
+        const std::uint64_t mem_ops =
+            kindCount(OpKind::Load) + kindCount(OpKind::Store) +
+            kindCount(OpKind::FpLoad) + kindCount(OpKind::FpStore);
+        // In cache mode every GPE mem-kind op is an L1 demand access
+        // (ac.l1Acc); the remainder (LCP traffic, and all GPE mem ops
+        // in SPM mode) goes straight to the L2 layer.
+        const std::uint64_t l1_ops = spmMode ? 0 : ac.l1Acc;
+        m.counter("profile/component/core/ops")
+            .add(kindCount(OpKind::IntOp) + kindCount(OpKind::FpOp));
+        m.counter("profile/component/barrier/ops")
+            .add(kindCount(OpKind::Phase));
+        m.counter("profile/component/spm/ops")
+            .add(kindCount(OpKind::SpmLoad) +
+                 kindCount(OpKind::SpmStore));
+        m.counter("profile/component/l1/ops").add(l1_ops);
+        m.counter("profile/component/l2/ops").add(mem_ops - l1_ops);
+        m.counter("profile/total_ops").add(total_ops);
+
+        std::uint64_t l1_xbar = 0;
+        for (const auto &x : l1Xbar)
+            l1_xbar += x.accesses();
+        m.counter("profile/component/xbar/requests")
+            .add(l1_xbar + l2Xbar.accesses());
+        m.counter("profile/component/mem/line_reads")
+            .add(ac.memLineReads);
+        m.counter("profile/component/mem/line_writes")
+            .add(ac.memLineWrites);
+        m.counter("profile/component/prefetcher/issued")
+            .add(ac.l1PfIssued + ac.l2PfIssued);
+
+        const auto &names = trace.phaseNames();
+        for (std::size_t p = 0; p < epochOpsByPhase.size(); ++p) {
+            if (epochOpsByPhase[p] == 0)
+                continue;
+            std::string name =
+                p < names.size() ? names[p] : str("p", p);
+            for (char &ch : name)
+                if (ch == ' ' || ch == '\t' || ch == '/')
+                    ch = '_';
+            m.counter(str("profile/phase/", name, "/ops"))
+                .add(epochOpsByPhase[p]);
+        }
+        m.histogram("profile/epoch_ops").observe(total_ops);
     }
 };
 

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Telemetry shard-merge determinism: a fabric phase with the
+ * telemetry sinks attached folds the per-worker metric/journal shards
+ * into exactly the registry a serial jobs=1 sweep exports — byte for
+ * byte, for any worker count and across crash drills — and the merged
+ * telemetry journal is identical across those runs too (DESIGN.md
+ * section 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adapt/epoch_db.hh"
+#include "fabric/drill.hh"
+#include "fabric/fabric.hh"
+#include "obs/metrics.hh"
+#include "obs/observer.hh"
+#include "store/epoch_store.hh"
+
+using namespace sadapt;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t testSalt = 0x5ad7;
+
+/** Fresh directory under the test temp root. */
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Same tiny workload the fabric end-to-end tests use. */
+fabric::CrashDrillOptions
+smallDrill(const std::string &scratch)
+{
+    fabric::CrashDrillOptions o;
+    o.matrixDim = 96;
+    o.matrixNnz = 800;
+    o.sampledConfigs = 3;
+    o.workers = 3;
+    o.leaseMs = 100;
+    o.scratchDir = scratch;
+    o.simSalt = testSalt;
+    return o;
+}
+
+struct FabricRun
+{
+    std::string metricsText;
+    std::string journalText;
+    std::string storeBytes;
+    fabric::FabricStats stats;
+};
+
+/** One fabric phase with telemetry sinks attached, into `dir`. */
+FabricRun
+runTelemetryPhase(const Workload &wl, const std::vector<HwConfig> &cfgs,
+                  const std::string &dir, unsigned workers,
+                  fabric::DrillSpec::Kind drill)
+{
+    FabricRun out;
+    store::EpochStore main;
+    store::StoreOptions so;
+    so.simSalt = testSalt;
+    EXPECT_TRUE(main.open(dir + "/main.store", so).isOk());
+
+    obs::MetricRegistry telemetry;
+    obs::RunObserver tobs;
+    std::ostringstream journal;
+    tobs.attachJournal(journal);
+
+    fabric::FabricOptions fo;
+    fo.workers = workers;
+    fo.leaseMs = 200;
+    fo.pollMs = 2;
+    fo.dir = dir + "/fabric.d";
+    fo.telemetry = &telemetry;
+    fo.telemetryObserver = &tobs;
+    fo.drill.kind = drill;
+    fabric::SweepFabric fab(wl, main, fo);
+    EXPECT_TRUE(fab.runPhase(cfgs).isOk());
+    main.close();
+
+    std::ostringstream met;
+    telemetry.writeText(met);
+    out.metricsText = met.str();
+    out.journalText = journal.str();
+    out.storeBytes = fileBytes(dir + "/main.store");
+    out.stats = fab.stats();
+    return out;
+}
+
+} // namespace
+
+TEST(FabricTelemetry, MergeMatchesSerialAcrossWorkerCountsAndDrills)
+{
+    const std::string root = tempDir("telemetry_merge");
+    const fabric::CrashDrillOptions opts = smallDrill(root);
+    const Workload wl = fabric::builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, opts.sampledConfigs);
+
+    // Serial jobs=1 ground truth: one registry attached across the
+    // whole sweep, every config simulated (the store starts empty).
+    obs::MetricRegistry refReg;
+    const std::string refStore = root + "/ref.store";
+    {
+        store::EpochStore ref;
+        store::StoreOptions so;
+        so.simSalt = testSalt;
+        ASSERT_TRUE(ref.open(refStore, so).isOk());
+        EpochDb db(wl);
+        db.attachMetrics(&refReg);
+        db.attachStore(&ref);
+        db.ensure(cfgs);
+        ref.flush();
+        ref.close();
+    }
+    std::ostringstream refMet;
+    refReg.writeText(refMet);
+    const std::string refText = refMet.str();
+    ASSERT_NE(refText, "sadapt-metrics v1\nend\n");
+
+    const FabricRun two =
+        runTelemetryPhase(wl, cfgs, tempDir("telemetry_w2"), 2,
+                          fabric::DrillSpec::Kind::None);
+    const FabricRun four =
+        runTelemetryPhase(wl, cfgs, tempDir("telemetry_w4"), 4,
+                          fabric::DrillSpec::Kind::None);
+    const FabricRun kill9 =
+        runTelemetryPhase(wl, cfgs, tempDir("telemetry_kill9"), 3,
+                          fabric::DrillSpec::Kind::Kill9);
+
+    // Merged metrics reproduce the serial registry byte for byte.
+    EXPECT_EQ(two.metricsText, refText);
+    EXPECT_EQ(four.metricsText, refText);
+    EXPECT_EQ(kill9.metricsText, refText);
+
+    // Merged telemetry journals agree across worker counts and the
+    // kill drill (cell events in canonical request order).
+    EXPECT_FALSE(two.journalText.empty());
+    EXPECT_EQ(four.journalText, two.journalText);
+    EXPECT_EQ(kill9.journalText, two.journalText);
+
+    // The store contract is unchanged by telemetry collection.
+    EXPECT_EQ(two.storeBytes, fileBytes(refStore));
+    EXPECT_EQ(four.storeBytes, two.storeBytes);
+    EXPECT_EQ(kill9.storeBytes, two.storeBytes);
+
+    // Every cell's telemetry was either merged from a shard or
+    // repaired by re-simulation — never silently dropped.
+    EXPECT_EQ(two.stats.telemetryCellsMerged +
+                  two.stats.telemetryRepairs,
+              cfgs.size());
+    EXPECT_EQ(kill9.stats.telemetryCellsMerged +
+                  kill9.stats.telemetryRepairs,
+              cfgs.size());
+    EXPECT_GE(kill9.stats.drillInjections, 1u);
+}
+
+TEST(FabricTelemetry, RepairsTornTelemetryShard)
+{
+    // Run a clean phase, then truncate one worker's telemetry shard
+    // mid-section and re-merge from scratch: the torn cell is
+    // re-simulated and the merged registry still matches serial.
+    const std::string root = tempDir("telemetry_torn");
+    const fabric::CrashDrillOptions opts = smallDrill(root);
+    const Workload wl = fabric::builtinDrillWorkload(opts);
+    const std::vector<HwConfig> cfgs =
+        fabric::builtinDrillCandidates(wl, opts.sampledConfigs);
+
+    obs::MetricRegistry refReg;
+    {
+        store::EpochStore ref;
+        store::StoreOptions so;
+        so.simSalt = testSalt;
+        ASSERT_TRUE(ref.open(root + "/ref.store", so).isOk());
+        EpochDb db(wl);
+        db.attachMetrics(&refReg);
+        db.attachStore(&ref);
+        db.ensure(cfgs);
+        ref.flush();
+        ref.close();
+    }
+    std::ostringstream refMet;
+    refReg.writeText(refMet);
+
+    const std::string dir = tempDir("telemetry_torn_run");
+    {
+        // First phase populates the fabric dir (telemetry shards
+        // included) — telemetry sinks not attached, which must not
+        // stop workers from writing their shards.
+        store::EpochStore main;
+        store::StoreOptions so;
+        so.simSalt = testSalt;
+        ASSERT_TRUE(main.open(dir + "/main.store", so).isOk());
+        fabric::FabricOptions fo;
+        fo.workers = 2;
+        fo.leaseMs = 200;
+        fo.pollMs = 2;
+        fo.dir = dir + "/fabric.d";
+        fabric::SweepFabric fab(wl, main, fo);
+        ASSERT_TRUE(fab.runPhase(cfgs).isOk());
+        main.close();
+    }
+
+    // Tear the tail off every telemetry metrics shard: drop the final
+    // "end" terminator so the last section in each shard is partial.
+    unsigned torn = 0;
+    for (const auto &entry : fs::directory_iterator(dir + "/fabric.d")) {
+        if (entry.path().extension() != ".tmetrics")
+            continue;
+        const std::string bytes = fileBytes(entry.path().string());
+        if (bytes.size() < 8)
+            continue;
+        std::ofstream out(entry.path(),
+                          std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() - 8);
+        ++torn;
+    }
+    ASSERT_GE(torn, 1u);
+
+    // Re-merge into a fresh main store with telemetry attached. The
+    // torn cells fall back to deterministic re-simulation.
+    const FabricRun again = [&] {
+        FabricRun out;
+        store::EpochStore main;
+        store::StoreOptions so;
+        so.simSalt = testSalt;
+        EXPECT_TRUE(main.open(dir + "/main2.store", so).isOk());
+        obs::MetricRegistry telemetry;
+        obs::RunObserver tobs;
+        std::ostringstream journal;
+        tobs.attachJournal(journal);
+        fabric::FabricOptions fo;
+        fo.workers = 2;
+        fo.leaseMs = 200;
+        fo.pollMs = 2;
+        fo.dir = dir + "/fabric.d";
+        fo.telemetry = &telemetry;
+        fo.telemetryObserver = &tobs;
+        fabric::SweepFabric fab(wl, main, fo);
+        EXPECT_TRUE(fab.runPhase(cfgs).isOk());
+        main.close();
+        std::ostringstream met;
+        telemetry.writeText(met);
+        out.metricsText = met.str();
+        out.journalText = journal.str();
+        out.stats = fab.stats();
+        return out;
+    }();
+
+    EXPECT_EQ(again.metricsText, refMet.str());
+    EXPECT_FALSE(again.journalText.empty());
+    EXPECT_GE(again.stats.telemetryRepairs, 1u);
+    EXPECT_EQ(again.stats.telemetryCellsMerged +
+                  again.stats.telemetryRepairs,
+              cfgs.size());
+}

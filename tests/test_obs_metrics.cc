@@ -102,6 +102,79 @@ TEST(Metrics, HistogramBucketEdges)
     }
 }
 
+TEST(Metrics, QuantileInterpolationIsPinned)
+{
+    Histogram h;
+    // Empty histogram: quantiles defined as exactly 0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+
+    // 10 samples of 12 all land in bucket 4 ([8, 16)). rank = q * 10
+    // interpolates linearly across the bucket's edge range.
+    for (int i = 0; i < 10; ++i)
+        h.observe(12);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 8.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 12.0);  // 8 + 8 * (5/10)
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 16.0);
+
+    // Two occupied buckets: 4 samples in bucket 1 ([1, 2)), 4 in
+    // bucket 3 ([4, 8)). p50 has rank 4, the top of bucket 1; p75
+    // has rank 6, halfway into bucket 3's count.
+    Histogram h2;
+    for (int i = 0; i < 4; ++i) {
+        h2.observe(1);
+        h2.observe(5);
+    }
+    EXPECT_DOUBLE_EQ(h2.quantile(0.50), 2.0);
+    EXPECT_DOUBLE_EQ(h2.quantile(0.75), 6.0);  // 4 + 4 * (2/4)
+    EXPECT_DOUBLE_EQ(h2.quantile(1.00), 8.0);
+
+    // Ranks landing in bucket 0 return exactly 0.
+    Histogram h3;
+    h3.observe(0);
+    h3.observe(0);
+    h3.observe(100);
+    EXPECT_DOUBLE_EQ(h3.quantile(0.5), 0.0);
+    EXPECT_GT(h3.quantile(0.99), 64.0);
+
+    // Out-of-range q is clamped.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Metrics, SnapshotCarriesQuantileSummary)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("sim/epoch_cycles");
+    for (int i = 0; i < 10; ++i)
+        h.observe(12);
+    reg.histogram("sim/empty");
+
+    std::ostringstream out;
+    reg.writeText(out);
+    const std::string text = out.str();
+    // rank = q * 10 inside bucket 4's [8, 16): p50 -> 8 + 8 * 0.5,
+    // p90 -> 8 + 8 * 0.9, p99 -> 8 + 8 * 0.99.
+    EXPECT_NE(text.find("hist sim/epoch_cycles count 10 sum 120 "
+                        "p50 12 p90 15.2 p99 15.92 buckets 4:10"),
+              std::string::npos)
+        << text;
+    // Empty histograms keep the quantile-free form.
+    EXPECT_NE(text.find("hist sim/empty count 0 sum 0 buckets"),
+              std::string::npos)
+        << text;
+
+    std::istringstream in(text);
+    const auto parsed = readMetricsText(in);
+    ASSERT_TRUE(parsed.isOk()) << parsed.message();
+    const auto &samples = parsed.value();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_FALSE(samples[0].histHasQuantiles);
+    ASSERT_TRUE(samples[1].histHasQuantiles);
+    EXPECT_DOUBLE_EQ(samples[1].histP50, 12.0);
+    EXPECT_DOUBLE_EQ(samples[1].histP90, 15.2);
+    EXPECT_DOUBLE_EQ(samples[1].histP99, 15.92);
+}
+
 TEST(Metrics, TextSnapshotIsSortedAndRoundTrips)
 {
     MetricRegistry reg;

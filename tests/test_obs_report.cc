@@ -122,11 +122,84 @@ sampleMetrics()
             counter("sim/l1/misses", 512)};
 }
 
+/** Deterministic profile/ samples, attribution summing to total. */
+std::vector<MetricSample>
+sampleProfileMetrics()
+{
+    auto counter = [](const char *name, std::uint64_t v) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricKind::Counter;
+        s.counterValue = v;
+        return s;
+    };
+    MetricSample hist;
+    hist.name = "profile/epoch_ops";
+    hist.kind = MetricKind::Histogram;
+    hist.histCount = 4;
+    hist.histSum = 1000;
+    hist.histHasQuantiles = true;
+    hist.histP50 = 256.0;
+    hist.histP90 = 460.8;
+    hist.histP99 = 506.88;
+    hist.histBuckets = {{9, 4}};
+    return {counter("profile/component/barrier/ops", 20),
+            counter("profile/component/core/ops", 900),
+            counter("profile/component/l1/ops", 60),
+            counter("profile/component/l2/ops", 20),
+            counter("profile/component/mem/line_reads", 12),
+            counter("profile/component/xbar/requests", 90),
+            hist,
+            counter("profile/op/fp", 300),
+            counter("profile/op/int", 600),
+            counter("profile/op/ld", 80),
+            counter("profile/op/phase", 20),
+            counter("profile/phase/spmspv/ops", 1000),
+            counter("profile/total_ops", 1000)};
+}
+
+/** A small fabric lease history: claims, a reclaim, a quarantine. */
+std::vector<LeaseEntry>
+sampleLeases()
+{
+    auto add = [](std::uint32_t worker, const char *op,
+                  std::uint32_t config, std::uint64_t seq,
+                  std::uint64_t tick, std::uint32_t peer = 0,
+                  bool heartbeat = false) {
+        LeaseEntry e;
+        e.worker = worker;
+        e.op = op;
+        e.config = config;
+        e.peer = peer;
+        e.seq = seq;
+        e.tickMs = tick;
+        e.heartbeat = heartbeat;
+        return e;
+    };
+    return {
+        add(1, "claim", 7, 1, 10),
+        add(2, "claim", 9, 1, 12),
+        add(1, "complete", 7, 2, 25),
+        add(2, "renew", 0xffffffffu, 2, 300, 0, true),
+        add(0, "reclaim", 9, 1, 640, 2),
+        add(1, "claim", 9, 3, 650),
+        add(1, "complete", 9, 4, 700),
+        add(0, "quarantine", 11, 2, 800),
+    };
+}
+
 std::string
 goldenPath()
 {
     return std::string(SADAPT_TEST_DATA_DIR) +
         "/obs/report_golden.txt";
+}
+
+std::string
+jsonGoldenPath()
+{
+    return std::string(SADAPT_TEST_DATA_DIR) +
+        "/obs/report_json_golden.json";
 }
 
 } // namespace
@@ -182,6 +255,136 @@ TEST(Report, EmptyInputsRenderGracefully)
     std::ostringstream out;
     renderReport({}, {}, out);
     EXPECT_NE(out.str().find("no events"), std::string::npos);
+}
+
+TEST(Report, ProfileSectionBreaksDownCosts)
+{
+    std::ostringstream out;
+    ASSERT_TRUE(renderProfileSection(sampleProfileMetrics(), out));
+    const std::string text = out.str();
+    EXPECT_NE(text.find("== replay profile =="), std::string::npos);
+    EXPECT_NE(text.find("total ops: 1000"), std::string::npos);
+    // Every op kind is attributed: coverage is exactly 100%.
+    EXPECT_NE(text.find("attributed: 1000 of 1000 ops (100%)"),
+              std::string::npos)
+        << text;
+    for (const char *needle :
+         {"ops by kind", "ops by component", "ops by phase", "spmspv",
+          "core", "mem/line_reads = 12",
+          "epochs: 4 (mean ops 250, p50 256, p90 460.8, p99 506.88)"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+
+    // No profile/ samples -> no section at all.
+    std::ostringstream none;
+    EXPECT_FALSE(renderProfileSection(sampleMetrics(), none));
+    EXPECT_TRUE(none.str().empty());
+}
+
+TEST(Report, FabricSectionRendersTimelineAndWorkers)
+{
+    std::ostringstream out;
+    ASSERT_TRUE(renderFabricSection(sampleLeases(), out));
+    const std::string text = out.str();
+    // Cell 9's history: claimed by w2, reclaimed by the coordinator
+    // (naming the expired peer), re-claimed and completed by w1.
+    EXPECT_NE(
+        text.find("cell 9: +2ms w2 claim; +630ms w0 reclaim(w2); "
+                  "+640ms w1 claim; +690ms w1 complete"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cell 7: +0ms w1 claim; +15ms w1 complete"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("+790ms w0 quarantine"), std::string::npos);
+    // The sentinel heartbeat never appears as a cell.
+    EXPECT_EQ(text.find("4294967295"), std::string::npos);
+    // Worker roll-up: w1 was busy (25-10) + (700-650) = 65ms over a
+    // 10..700 span.
+    EXPECT_NE(text.find("== fabric workers =="), std::string::npos);
+    std::istringstream lines(text);
+    std::string line;
+    bool found_w1 = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind("w1", 0) != 0)
+            continue;
+        found_w1 = true;
+        EXPECT_NE(line.find("65"), std::string::npos) << line;
+        EXPECT_NE(line.find("690"), std::string::npos) << line;
+    }
+    EXPECT_TRUE(found_w1) << text;
+
+    std::ostringstream none;
+    EXPECT_FALSE(renderFabricSection({}, none));
+    EXPECT_TRUE(none.str().empty());
+}
+
+TEST(Report, GoldenReportJson)
+{
+    std::vector<MetricSample> metrics = sampleMetrics();
+    const std::vector<MetricSample> prof = sampleProfileMetrics();
+    metrics.insert(metrics.end(), prof.begin(), prof.end());
+    ReportOptions opts;
+    opts.profile = true;
+    std::ostringstream out;
+    renderReportJson(sampleEvents(), metrics, sampleLeases(), opts,
+                     out);
+    const std::string got = out.str();
+
+    if (std::getenv("SADAPT_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream f(jsonGoldenPath());
+        ASSERT_TRUE(f.is_open()) << jsonGoldenPath();
+        f << got;
+        GTEST_SKIP() << "golden regenerated: " << jsonGoldenPath();
+    }
+
+    std::ifstream f(jsonGoldenPath());
+    ASSERT_TRUE(f.is_open())
+        << jsonGoldenPath()
+        << " missing; regenerate with SADAPT_UPDATE_GOLDEN=1";
+    std::ostringstream want;
+    want << f.rdbuf();
+    EXPECT_EQ(got, want.str());
+
+    // Byte-stability: rendering the same inputs twice is identical.
+    std::ostringstream again;
+    renderReportJson(sampleEvents(), metrics, sampleLeases(), opts,
+                     again);
+    EXPECT_EQ(got, again.str());
+}
+
+TEST(Report, JsonRendersEmptyInputs)
+{
+    std::ostringstream out;
+    renderReportJson({}, {}, {}, ReportOptions{}, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"run\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"fabric\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"profile\": null"), std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Report, ChromeTraceHasFabricWorkerTracks)
+{
+    std::ostringstream out;
+    writeChromeTrace(sampleEvents(), sampleLeases(), out);
+    const std::string text = out.str();
+    auto count = [&](const std::string &needle) {
+        std::size_t n = 0;
+        for (std::size_t pos = text.find(needle);
+             pos != std::string::npos;
+             pos = text.find(needle, pos + 1))
+            ++n;
+        return n;
+    };
+    // Process meta + three worker thread metas (w0, w1, w2).
+    EXPECT_NE(text.find("\"name\":\"fabric\""), std::string::npos);
+    EXPECT_EQ(count("\"name\":\"worker "), 3u) << text;
+    // Two completed claims -> two lease slices; reclaim + quarantine
+    // -> two lease instants.
+    EXPECT_EQ(count("\"cat\":\"lease\",\"ph\":\"X\""), 2u) << text;
+    EXPECT_EQ(count("\"cat\":\"lease\",\"ph\":\"i\""), 2u) << text;
+    EXPECT_EQ(count("{"), count("}"));
 }
 
 TEST(Report, ChromeTraceHasSlicesAndInstants)

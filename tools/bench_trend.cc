@@ -1,0 +1,271 @@
+/**
+ * @file
+ * bench_trend: track host-side bench performance across runs and gate
+ * regressions against a committed baseline.
+ *
+ * Reads BENCH_<name>.json reports (bench/bench_common.hh) from the
+ * given files or directories, groups them by bench name, prints a
+ * trajectory table per bench (one row per run, best-of-N marked), and
+ * — when --baseline points at a directory of committed reports —
+ * compares each bench's best run against its baseline.
+ *
+ *   bench_trend bench_results/
+ *   bench_trend run1/ run2/ run3/ --baseline bench/baselines
+ *   bench_trend --baseline bench/baselines --threshold 50 results/
+ *
+ * Only comparable runs are trended or gated: the bench name and the
+ * scale knobs (scale, samples) must match the baseline; other runs
+ * are listed but skipped with a note. The gate is wall-clock only —
+ * simulated GFLOPS are deterministic, so a baseline mismatch there is
+ * reported as result drift (a model change needing a baseline
+ * refresh), not a performance regression.
+ *
+ * Exit codes: 0 OK, 1 regression (or drift) against the baseline,
+ * 2 usage or parse errors.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.hh"
+
+using namespace sadapt;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> inputs;
+    std::string baselineDir;
+    double thresholdPct = 25.0;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] <file-or-dir>...\n"
+        "  <file-or-dir>        BENCH_*.json report, or a directory\n"
+        "                       scanned for them (recursively)\n"
+        "  --baseline <dir>     committed baseline reports to gate\n"
+        "                       against\n"
+        "  --threshold <pct>    allowed wall-clock slowdown vs the\n"
+        "                       baseline before failing (default "
+        "25)\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--baseline")
+            o.baselineDir = need(i);
+        else if (arg == "--threshold")
+            o.thresholdPct = std::atof(need(i));
+        else if (!arg.empty() && arg[0] == '-')
+            usage(argv[0]);
+        else
+            o.inputs.push_back(arg);
+    }
+    if (o.inputs.empty())
+        usage(argv[0]);
+    if (o.thresholdPct < 0)
+        usage(argv[0]);
+    return o;
+}
+
+bool
+looksLikeBenchReport(const std::filesystem::path &p)
+{
+    const std::string name = p.filename().string();
+    return name.size() > 11 && name.rfind("BENCH_", 0) == 0 &&
+           name.substr(name.size() - 5) == ".json";
+}
+
+/** Expand files/directories into a sorted list of report paths. */
+std::vector<std::string>
+collectReportFiles(const std::vector<std::string> &inputs, bool *ok)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const std::string &input : inputs) {
+        std::error_code ec;
+        if (fs::is_directory(input, ec)) {
+            for (fs::recursive_directory_iterator it(input, ec), end;
+                 it != end && !ec; it.increment(ec)) {
+                if (it->is_regular_file() &&
+                    looksLikeBenchReport(it->path()))
+                    files.push_back(it->path().string());
+            }
+        } else if (fs::is_regular_file(input, ec)) {
+            files.push_back(input);
+        } else {
+            std::fprintf(stderr, "bench_trend: no such input: %s\n",
+                         input.c_str());
+            *ok = false;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::map<std::string, std::vector<obs::BenchRun>>
+loadRuns(const std::vector<std::string> &files, bool *ok)
+{
+    std::map<std::string, std::vector<obs::BenchRun>> byBench;
+    for (const std::string &path : files) {
+        Result<obs::BenchRun> run = obs::readBenchJsonFile(path);
+        if (!run.isOk()) {
+            std::fprintf(stderr, "bench_trend: %s\n",
+                         run.message().c_str());
+            *ok = false;
+            continue;
+        }
+        byBench[run.value().bench].push_back(
+            std::move(run.value()));
+    }
+    return byBench;
+}
+
+void
+printTrajectory(const std::string &bench,
+                const std::vector<obs::BenchRun> &runs)
+{
+    const std::size_t best = obs::bestRunIndex(runs);
+    std::printf("\n== %s (%zu run%s) ==\n", bench.c_str(),
+                runs.size(), runs.size() == 1 ? "" : "s");
+    std::printf("  %-10s %7s %7s %9s %8s %12s  %s\n", "rev",
+                "scale", "samples", "wall-s", "configs",
+                "geomean-GF", "source");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const obs::BenchRun &r = runs[i];
+        std::printf("  %-10s %7.3g %7llu %9.3f %8llu %12.4g  %s%s\n",
+                    r.gitRev.substr(0, 10).c_str(), r.scale,
+                    static_cast<unsigned long long>(r.samples),
+                    obs::benchWallSeconds(r),
+                    static_cast<unsigned long long>(
+                        r.configsSimulated),
+                    obs::benchGeomeanGflops(r),
+                    r.sourcePath.c_str(),
+                    i == best ? "  <- best" : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    bool inputsOk = true;
+    const std::vector<std::string> files =
+        collectReportFiles(o.inputs, &inputsOk);
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "bench_trend: no BENCH_*.json reports found\n");
+        return 2;
+    }
+    const std::map<std::string, std::vector<obs::BenchRun>> byBench =
+        loadRuns(files, &inputsOk);
+    if (!inputsOk)
+        return 2;
+
+    for (const auto &[bench, runs] : byBench)
+        printTrajectory(bench, runs);
+
+    if (o.baselineDir.empty())
+        return 0;
+
+    bool baselineOk = true;
+    const std::vector<std::string> baseFiles =
+        collectReportFiles({o.baselineDir}, &baselineOk);
+    const std::map<std::string, std::vector<obs::BenchRun>> baseline =
+        loadRuns(baseFiles, &baselineOk);
+    if (!baselineOk || baseline.empty()) {
+        std::fprintf(stderr,
+                     "bench_trend: no usable baseline under %s\n",
+                     o.baselineDir.c_str());
+        return 2;
+    }
+
+    std::printf("\n== baseline gate (threshold +%.0f%%) ==\n",
+                o.thresholdPct);
+    int regressions = 0;
+    int gated = 0;
+    for (const auto &[bench, runs] : byBench) {
+        const auto baseIt = baseline.find(bench);
+        if (baseIt == baseline.end()) {
+            std::printf("  %-28s no baseline, skipped\n",
+                        bench.c_str());
+            continue;
+        }
+        const obs::BenchRun &cur =
+            runs[obs::bestRunIndex(runs)];
+        const obs::BenchRun &base =
+            baseIt->second[obs::bestRunIndex(baseIt->second)];
+        if (!obs::benchComparable(cur, base)) {
+            std::printf("  %-28s scale mismatch (run %.3g/%llu vs "
+                        "baseline %.3g/%llu), skipped\n",
+                        bench.c_str(), cur.scale,
+                        static_cast<unsigned long long>(cur.samples),
+                        base.scale,
+                        static_cast<unsigned long long>(
+                            base.samples));
+            continue;
+        }
+        ++gated;
+        const double curWall = obs::benchWallSeconds(cur);
+        const double baseWall = obs::benchWallSeconds(base);
+        const double limit =
+            baseWall * (1.0 + o.thresholdPct / 100.0);
+        const double ratio =
+            baseWall > 0.0 ? curWall / baseWall : 1.0;
+        const bool slow = curWall > limit;
+
+        const double curGf = obs::benchGeomeanGflops(cur);
+        const double baseGf = obs::benchGeomeanGflops(base);
+        const double gfDrift =
+            baseGf > 0.0 ? std::abs(curGf - baseGf) / baseGf : 0.0;
+        // Simulated results are deterministic at fixed scale knobs;
+        // any drift means the model changed and the baseline needs a
+        // refresh, which should be an explicit commit.
+        const bool drift = gfDrift > 1e-9;
+
+        std::printf("  %-28s %8.3fs vs %8.3fs (%.2fx)  %s\n",
+                    bench.c_str(), curWall, baseWall, ratio,
+                    slow    ? "REGRESSION"
+                    : drift ? "RESULT DRIFT"
+                            : "ok");
+        if (drift && !slow)
+            std::printf(
+                "  %-28s geomean %.6g GF vs baseline %.6g GF — "
+                "refresh bench/baselines\n",
+                "", curGf, baseGf);
+        if (slow || drift)
+            ++regressions;
+    }
+    if (gated == 0) {
+        std::fprintf(stderr,
+                     "bench_trend: nothing comparable to the "
+                     "baseline was gated\n");
+        return 2;
+    }
+    return regressions == 0 ? 0 : 1;
+}

@@ -58,6 +58,58 @@ echo "== sadapt_fabric crash drills (kill9, torn-write)"
 "$build_dir/tools/sadapt_fabric" --drill torn-write --trials 10 \
     --dir "$build_dir/fabric-drill-torn.d"
 
+# Profiler-build gate: the wall-clock sampling profiler behind
+# SADAPT_PROF is compiled out of default builds, so a dedicated tree
+# makes sure the gated code keeps building warning-free and that the
+# obs suite (deterministic counters, shard-merge determinism, report
+# rendering) still passes with sampling compiled in.
+prof_dir="${SADAPT_PROF_BUILD_DIR:-$repo_root/build-prof}"
+echo "== configure ($prof_dir: SADAPT_PROF=ON SADAPT_WERROR=ON)"
+cmake -B "$prof_dir" -S "$repo_root" \
+    -DSADAPT_PROF=ON -DSADAPT_WERROR=ON > /dev/null
+
+echo "== build sadapt_obs_tests + bench_trend (SADAPT_PROF)"
+cmake --build "$prof_dir" -j --target sadapt_obs_tests bench_trend \
+    > /dev/null
+
+echo "== ctest -L obs (SADAPT_PROF)"
+ctest --test-dir "$prof_dir" -L obs --output-on-failure \
+    -j "$(nproc)"
+
+# Perf-regression gate (opt-in: SADAPT_BENCH_TREND=1). Re-measures
+# the replay hot path at the committed baseline's pinned scale knobs
+# (best-of-3 runs) and gates it against bench/baselines with
+# bench_trend. Sanitizers and SADAPT_PROF sampling both skew timing,
+# so the measurement gets its own plain-flags tree. The
+# byte-deterministic parts of the gate (baseline self-check,
+# slowed-fixture rejection) always run via the obs-labeled ctest
+# stages above.
+if [[ "${SADAPT_BENCH_TREND:-0}" != "0" ]]; then
+    bench_dir="${SADAPT_BENCH_BUILD_DIR:-$repo_root/build-bench}"
+    echo "== configure ($bench_dir: plain flags for timing)"
+    cmake -B "$bench_dir" -S "$repo_root" > /dev/null
+    echo "== build replay_speed + bench_trend"
+    cmake --build "$bench_dir" -j --target replay_speed bench_trend \
+        > /dev/null
+    trend_dir="$bench_dir/bench-trend"
+    rm -rf "$trend_dir"
+    mkdir -p "$trend_dir/models"
+    echo "== replay_speed x3 (pinned scale: 1.0 / 8 samples / 5 reps)"
+    for i in 1 2 3; do
+        mkdir -p "$trend_dir/run$i"
+        (cd "$trend_dir/run$i" &&
+            SPARSEADAPT_BENCH_SCALE=1.0 SPARSEADAPT_SAMPLES=8 \
+            SPARSEADAPT_JOBS=1 SPARSEADAPT_REPS=5 \
+            SPARSEADAPT_MODEL_DIR="$trend_dir/models" \
+            "$bench_dir/bench/replay_speed" > /dev/null)
+    done
+    echo "== bench_trend vs bench/baselines"
+    "$bench_dir/tools/bench_trend" \
+        --baseline "$repo_root/bench/baselines" \
+        --threshold "${SADAPT_BENCH_THRESHOLD:-50}" \
+        "$trend_dir"
+fi
+
 # ThreadSanitizer gate for the parallel sweep engine: TSan excludes
 # ASan, so it gets its own build tree, and only the threading-labeled
 # suite (thread pool units + jobs=N determinism) needs rebuilding.
