@@ -423,6 +423,18 @@ BenchReport::noteFabric(unsigned workers, std::uint64_t leases_reclaimed)
 }
 
 void
+BenchReport::noteTraceDecode(double wall_seconds)
+{
+    traceDecodeSecondsV += wall_seconds;
+}
+
+void
+BenchReport::setTraceFormat(std::string format)
+{
+    traceFormatV = std::move(format);
+}
+
+void
 BenchReport::write() const
 {
     std::filesystem::create_directories("bench_results");
@@ -453,6 +465,10 @@ BenchReport::write() const
         << ",\n";
     out << "  \"sweep_wall_seconds\": " << sweepSecondsV << ",\n";
     out << "  \"configs_simulated\": " << configsSimulatedV << ",\n";
+    out << "  \"trace_format\": \"" << jsonEscape(traceFormatV)
+        << "\",\n";
+    out << "  \"trace_decode_seconds\": " << traceDecodeSecondsV
+        << ",\n";
     {
         // Store provenance: zeros and an empty path when no store is
         // attached, so the schema is stable either way.

@@ -166,6 +166,23 @@ class BenchReport
      */
     void noteFabric(unsigned workers, std::uint64_t leases_reclaimed);
 
+    /**
+     * Account host seconds spent decoding a serialized trace into the
+     * replay-ready SoA form (text parse + conversion, or columnar
+     * mmap load). Accumulated into "trace_decode_seconds", reported
+     * separately from sweep_wall_seconds so decode cost never
+     * pollutes the replay trend gate.
+     */
+    void noteTraceDecode(double wall_seconds);
+
+    /**
+     * The trace format the bench replayed from, reported as
+     * "trace_format". Defaults to "columnar" (every replay runs from
+     * the columnar SoA view); tools/bench_trend refuses to compare
+     * runs recorded under different formats.
+     */
+    void setTraceFormat(std::string format);
+
     /** Write bench_results/BENCH_<name>.json. */
     void write() const;
 
@@ -185,6 +202,8 @@ class BenchReport
     std::uint64_t configsSimulatedV = 0;
     unsigned fabricWorkersV = 0;
     std::uint64_t fabricLeasesReclaimedV = 0;
+    double traceDecodeSecondsV = 0.0;
+    std::string traceFormatV = "columnar";
 };
 
 /**

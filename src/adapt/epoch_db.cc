@@ -11,7 +11,8 @@
 namespace sadapt {
 
 EpochDb::EpochDb(const Workload &workload)
-    : wl(workload), sim(workload.params)
+    : wl(workload), soa(ColumnarTrace::fromTrace(workload.trace)),
+      sim(workload.params)
 {
 }
 
@@ -54,7 +55,7 @@ EpochDb::attachStore(store::EpochStore *epoch_store)
 const SimResult &
 EpochDb::simulateAndCommit(std::uint64_t key, const HwConfig &cfg)
 {
-    SimResult res = sim.run(wl.trace, cfg);
+    SimResult res = sim.run(soa.view(), cfg);
     if (storeV != nullptr)
         storeV->put(fingerprintV, cfg, res);
     return commit(key, std::move(res));
@@ -137,7 +138,7 @@ EpochDb::ensure(std::span<const HwConfig> cfgs)
         Transmuter task_sim(wl.params);
         if (metricsV != nullptr)
             task_sim.setMetrics(&shards[i]);
-        results[i] = task_sim.run(wl.trace, pending[missing[i]].cfg);
+        results[i] = task_sim.run(soa.view(), pending[missing[i]].cfg);
     });
 
     // Barrier passed: commit store hits and fresh replays interleaved

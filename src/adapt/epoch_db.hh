@@ -28,6 +28,7 @@
 #include "adapt/workload.hh"
 #include "sim/reconfig.hh"
 #include "sim/schedule.hh"
+#include "sim/trace_columnar.hh"
 #include "store/epoch_store.hh"
 
 namespace sadapt {
@@ -132,6 +133,14 @@ class EpochDb
 
   private:
     const Workload &wl;
+    /**
+     * The workload trace converted once to the columnar SoA layout;
+     * every replay (serial or parallel) runs from this shared
+     * immutable view, keeping the per-configuration conversion cost
+     * out of the sweep inner loop. Results are bit-identical to
+     * replaying the AoS trace directly.
+     */
+    ColumnarTrace soa;
     Transmuter sim;
     unsigned jobsV = 1;
     obs::MetricRegistry *metricsV = nullptr;

@@ -26,6 +26,8 @@ statusRegistry()
         "tryReadMatrixMarketFile",
         "readTraceText",
         "readTraceTextFile",
+        "readTraceColumnarFile",
+        "writeTraceColumnarFile",
         "tryPushGpe",
         "tryPushLcp",
         "loadBaseline",
@@ -63,6 +65,12 @@ lintSource(const std::string &source, const std::string &rel_path)
     // src/fabric is the one home allowed to fork/exec/signal/reap;
     // everywhere else process control is banned outright.
     const bool fabric_home = underDir(rel_path, "fabric");
+    // sim/trace_columnar.{hh,cc} is the one home allowed to mmap and
+    // touch raw file descriptors (the zero-copy trace loader); the
+    // same single-owner discipline store/record_log applies to raw
+    // streams.
+    const bool trace_mmap_home =
+        rel_path.find("sim/trace_columnar") != std::string::npos;
 
     auto tok = [&](std::size_t i) -> const Token * {
         return i < toks.size() ? &toks[i] : nullptr;
@@ -169,6 +177,33 @@ lintSource(const std::string &source, const std::string &rel_path)
                     str("call to ", t.text, "(): process control "
                         "(fork/exec/kill/wait) lives only in "
                         "src/fabric's sweep fabric"));
+            }
+        }
+
+        // lint-trace-raw-mmap: memory mapping and raw-descriptor
+        // I/O outside the columnar trace loader. A stray mmap
+        // elsewhere creates a second lifetime authority for mapped
+        // bytes; TraceView validity depends on exactly one.
+        if (!trace_mmap_home && t.kind == Token::Kind::Ident &&
+            (t.text == "mmap" || t.text == "munmap" ||
+             t.text == "madvise" || t.text == "mremap" ||
+             t.text == "pread" || t.text == "pwrite")) {
+            const Token *next = tok(i + 1);
+            const Token *prev = i > 0 ? &toks[i - 1] : nullptr;
+            // Member calls (m.mmap()) and class-qualified statics
+            // are fine; bare and ::-qualified calls are not.
+            bool member = prev != nullptr &&
+                (prev->text == "." || prev->text == "->");
+            if (prev != nullptr && prev->text == "::" && i >= 2 &&
+                toks[i - 2].kind == Token::Kind::Ident)
+                member = true;
+            if (next && next->text == "(" && !member) {
+                report.add(
+                    "lint-trace-raw-mmap", rel_path, t.line,
+                    Severity::Error,
+                    str("call to ", t.text, "(): memory mapping and "
+                        "raw-descriptor I/O live only in "
+                        "sim/trace_columnar's mmap loader"));
             }
         }
 

@@ -32,6 +32,10 @@
  *    owns every child process; a stray fork elsewhere duplicates open
  *    record-log buffers, and stray signaling races the fabric's
  *    lease bookkeeping.
+ *  - lint-trace-raw-mmap: no mmap/munmap/madvise/mremap/pread/pwrite
+ *    outside sim/trace_columnar — the columnar loader is the single
+ *    lifetime authority for mapped trace bytes, and every TraceView's
+ *    validity contract depends on that ownership staying in one TU.
  *
  * Findings are keyed by file:line relative to the lint root, so the
  * baseline file stays stable across checkouts.

@@ -68,17 +68,19 @@ emitIteration(Trace &trace, const GraphLayout &lay, const CscMatrix &at,
         const auto g = static_cast<std::uint32_t>(e % num_gpes);
         const std::uint32_t tile = g / shape.gpesPerTile;
         const std::uint32_t j = frontier[e];
-        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
-        trace.pushLcp(tile, {lay.workq + (e % 64) * wordSize,
-                             PcLcpDispatch, OpKind::Store});
-        trace.pushGpe(g, {lay.frontier + e * 2 * wordSize, PcFrontier,
-                          OpKind::Load});
-        trace.pushGpe(g, {lay.frontier + e * 2 * wordSize + wordSize,
-                          PcFrontier, OpKind::FpLoad});
-        trace.pushGpe(g, {lay.colPtr + j * wordSize, PcColPtr,
-                          OpKind::Load});
-        trace.pushGpe(g, {lay.colPtr + (j + 1) * wordSize, PcColPtr,
-                          OpKind::Load});
+        auto lcp = trace.lcpWriter(tile);
+        lcp.push({0, 0, OpKind::IntOp});
+        lcp.push({lay.workq + (e % 64) * wordSize,
+                  PcLcpDispatch, OpKind::Store});
+        // One bounds check per frontier entry, not per emitted op.
+        auto gpe = trace.gpeWriter(g);
+        gpe.push({lay.frontier + e * 2 * wordSize, PcFrontier,
+                  OpKind::Load});
+        gpe.push({lay.frontier + e * 2 * wordSize + wordSize,
+                  PcFrontier, OpKind::FpLoad});
+        gpe.push({lay.colPtr + j * wordSize, PcColPtr, OpKind::Load});
+        gpe.push({lay.colPtr + (j + 1) * wordSize, PcColPtr,
+                  OpKind::Load});
         auto rows = at.colRows(j);
         auto vals = at.colVals(j);
         const std::uint64_t p0 = at.colPtr()[j];
@@ -88,31 +90,29 @@ emitIteration(Trace &trace, const GraphLayout &lay, const CscMatrix &at,
             const std::uint64_t lines =
                 (bytes + lineSize - 1) / lineSize;
             for (std::uint64_t l = 0; l < lines; ++l) {
-                trace.pushGpe(g, {lay.aRows + p0 * wordSize +
-                                      l * lineSize,
-                                  PcSpmStage, OpKind::Load});
-                trace.pushGpe(g, {l * lineSize, 0, OpKind::SpmStore});
-                trace.pushGpe(g, {0, 0, OpKind::IntOp});
+                gpe.push({lay.aRows + p0 * wordSize + l * lineSize,
+                          PcSpmStage, OpKind::Load});
+                gpe.push({l * lineSize, 0, OpKind::SpmStore});
+                gpe.push({0, 0, OpKind::IntOp});
             }
         }
         for (std::size_t p = 0; p < rows.size(); ++p) {
             const std::uint32_t i = rows[p];
             if (spm) {
-                trace.pushGpe(g, {p * wordSize, 0, OpKind::SpmLoad});
-                trace.pushGpe(g, {2048 + p * wordSize, 0,
-                                  OpKind::SpmLoad});
+                gpe.push({p * wordSize, 0, OpKind::SpmLoad});
+                gpe.push({2048 + p * wordSize, 0, OpKind::SpmLoad});
             } else {
-                trace.pushGpe(g, {lay.aRows + (p0 + p) * wordSize,
-                                  PcARows, OpKind::Load});
-                trace.pushGpe(g, {lay.aVals + (p0 + p) * wordSize,
-                                  PcAVals, OpKind::FpLoad});
+                gpe.push({lay.aRows + (p0 + p) * wordSize,
+                          PcARows, OpKind::Load});
+                gpe.push({lay.aVals + (p0 + p) * wordSize,
+                          PcAVals, OpKind::FpLoad});
             }
-            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // relax compute
-            trace.pushGpe(g, {lay.state + i * wordSize, PcStateLd,
-                              OpKind::FpLoad});
-            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // compare/update
-            trace.pushGpe(g, {lay.state + i * wordSize, PcStateSt,
-                              OpKind::FpStore});
+            gpe.push({0, 0, OpKind::FpOp}); // relax compute
+            gpe.push({lay.state + i * wordSize, PcStateLd,
+                      OpKind::FpLoad});
+            gpe.push({0, 0, OpKind::FpOp}); // compare/update
+            gpe.push({lay.state + i * wordSize, PcStateSt,
+                      OpKind::FpStore});
             if (relax(j, i, vals[p]) && !changed_flag[i]) {
                 changed_flag[i] = true;
                 changed.push_back(i);
@@ -127,17 +127,16 @@ emitIteration(Trace &trace, const GraphLayout &lay, const CscMatrix &at,
         const std::uint32_t lo = g * chunk;
         const std::uint32_t hi =
             std::min<std::uint32_t>(at.rows(), lo + chunk);
+        auto gpe = trace.gpeWriter(g);
         for (std::uint32_t i = lo; i < hi; ++i) {
-            trace.pushGpe(g, {lay.state + i * wordSize, PcGather,
-                              OpKind::FpLoad});
-            trace.pushGpe(g, {0, 0, OpKind::IntOp});
+            gpe.push({lay.state + i * wordSize, PcGather,
+                      OpKind::FpLoad});
+            gpe.push({0, 0, OpKind::IntOp});
             if (changed_flag[i]) {
-                trace.pushGpe(g, {lay.out + out_cursor * 2 * wordSize,
-                                  PcOutW, OpKind::Store});
-                trace.pushGpe(g, {lay.out +
-                                      out_cursor * 2 * wordSize +
-                                      wordSize, PcOutW,
-                                  OpKind::FpStore});
+                gpe.push({lay.out + out_cursor * 2 * wordSize,
+                          PcOutW, OpKind::Store});
+                gpe.push({lay.out + out_cursor * 2 * wordSize +
+                              wordSize, PcOutW, OpKind::FpStore});
                 ++out_cursor;
             }
         }

@@ -46,26 +46,28 @@ buildConv2d(const std::vector<double> &image, std::uint32_t height,
         const std::uint32_t g = y % num_gpes;
         const std::uint32_t tile = g / shape.gpesPerTile;
         trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        // One bounds check per output row, not one per emitted op.
+        auto gpe = trace.gpeWriter(g);
         for (std::uint32_t x = 0; x < ow; ++x) {
             double acc = 0.0;
             for (std::uint32_t fy = 0; fy < fsize; ++fy)
                 for (std::uint32_t fx = 0; fx < fsize; ++fx) {
                     const std::size_t ii =
                         std::size_t(y + fy) * width + (x + fx);
-                    trace.pushGpe(g, {img + ii * wordSize, PcImage,
-                                      OpKind::FpLoad});
-                    trace.pushGpe(g, {flt +
-                                          (std::size_t(fy) * fsize +
-                                           fx) * wordSize,
-                                      PcFilter, OpKind::FpLoad});
-                    trace.pushGpe(g, {0, 0, OpKind::FpOp});
+                    gpe.push({img + ii * wordSize, PcImage,
+                              OpKind::FpLoad});
+                    gpe.push({flt +
+                                  (std::size_t(fy) * fsize + fx) *
+                                      wordSize,
+                              PcFilter, OpKind::FpLoad});
+                    gpe.push({0, 0, OpKind::FpOp});
                     flops += 3;
                     acc += image[ii] *
                         filter[std::size_t(fy) * fsize + fx];
                 }
-            trace.pushGpe(g, {out_base +
-                                  (std::size_t(y) * ow + x) * wordSize,
-                              PcOut, OpKind::FpStore});
+            gpe.push({out_base +
+                          (std::size_t(y) * ow + x) * wordSize,
+                      PcOut, OpKind::FpStore});
             flops += 1;
             out[std::size_t(y) * ow + x] = acc;
         }

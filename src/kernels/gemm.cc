@@ -41,31 +41,29 @@ buildGemm(const std::vector<double> &a, const std::vector<double> &b,
         const std::uint32_t g = i % num_gpes;
         const std::uint32_t tile = g / shape.gpesPerTile;
         trace.pushLcp(tile, {0, 0, OpKind::IntOp});
+        // One bounds check per output row, not one per emitted op.
+        auto gpe = trace.gpeWriter(g);
         for (std::uint32_t j0 = 0; j0 < n; j0 += block) {
             const std::uint32_t j1 = std::min(n, j0 + block);
             for (std::uint32_t p = 0; p < k; ++p) {
-                trace.pushGpe(g, {a_base +
-                                      (std::size_t(i) * k + p) *
-                                          wordSize,
-                                  PcA, OpKind::FpLoad});
+                gpe.push({a_base + (std::size_t(i) * k + p) * wordSize,
+                          PcA, OpKind::FpLoad});
                 flops += 1;
                 const double av = a[std::size_t(i) * k + p];
                 for (std::uint32_t j = j0; j < j1; ++j) {
-                    trace.pushGpe(g, {b_base +
-                                          (std::size_t(p) * n + j) *
-                                              wordSize,
-                                      PcB, OpKind::FpLoad});
-                    trace.pushGpe(g, {0, 0, OpKind::FpOp});
+                    gpe.push({b_base +
+                                  (std::size_t(p) * n + j) * wordSize,
+                              PcB, OpKind::FpLoad});
+                    gpe.push({0, 0, OpKind::FpOp});
                     flops += 2;
                     c[std::size_t(i) * n + j] +=
                         av * b[std::size_t(p) * n + j];
                 }
             }
             for (std::uint32_t j = j0; j < j1; ++j) {
-                trace.pushGpe(g, {c_base +
-                                      (std::size_t(i) * n + j) *
-                                          wordSize,
-                                  PcC, OpKind::FpStore});
+                gpe.push({c_base +
+                              (std::size_t(i) * n + j) * wordSize,
+                          PcC, OpKind::FpStore});
                 flops += 1;
             }
         }

@@ -62,13 +62,15 @@ buildInnerSpGemm(const CsrMatrix &a, const CscMatrix &b,
     for (std::uint32_t i = 0; i < a.rows(); ++i) {
         const std::uint32_t g = i % num_gpes;
         const std::uint32_t tile = g / shape.gpesPerTile;
-        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
-        trace.pushLcp(tile, {workq + (i % 64) * wordSize,
-                             PcLcpDispatch, OpKind::Store});
-        trace.pushGpe(g, {a_rowptr + i * wordSize, PcARowPtr,
-                          OpKind::Load});
-        trace.pushGpe(g, {a_rowptr + (i + 1) * wordSize, PcARowPtr,
-                          OpKind::Load});
+        auto lcp = trace.lcpWriter(tile);
+        lcp.push({0, 0, OpKind::IntOp});
+        lcp.push({workq + (i % 64) * wordSize,
+                  PcLcpDispatch, OpKind::Store});
+        // One bounds check per row, not one per emitted op.
+        auto gpe = trace.gpeWriter(g);
+        gpe.push({a_rowptr + i * wordSize, PcARowPtr, OpKind::Load});
+        gpe.push({a_rowptr + (i + 1) * wordSize, PcARowPtr,
+                  OpKind::Load});
         auto arow_cols = a.rowCols(i);
         auto arow_vals = a.rowVals(i);
         if (arow_cols.empty())
@@ -80,11 +82,10 @@ buildInnerSpGemm(const CsrMatrix &a, const CscMatrix &b,
                 arow_cols.size() * 2 * wordSize;
             for (std::uint64_t l = 0;
                  l < (bytes + lineSize - 1) / lineSize; ++l) {
-                trace.pushGpe(g, {a_cols + ap0 * wordSize +
-                                      l * lineSize, PcSpmStage,
-                                  OpKind::Load});
-                trace.pushGpe(g, {l * lineSize, 0, OpKind::SpmStore});
-                trace.pushGpe(g, {0, 0, OpKind::IntOp});
+                gpe.push({a_cols + ap0 * wordSize + l * lineSize,
+                          PcSpmStage, OpKind::Load});
+                gpe.push({l * lineSize, 0, OpKind::SpmStore});
+                gpe.push({0, 0, OpKind::IntOp});
             }
         }
         for (std::uint32_t j = 0; j < b.cols(); ++j) {
@@ -92,8 +93,8 @@ buildInnerSpGemm(const CsrMatrix &a, const CscMatrix &b,
             auto bcol_vals = b.colVals(j);
             if (bcol_rows.empty())
                 continue;
-            trace.pushGpe(g, {b_colptr + j * wordSize, PcBColPtr,
-                              OpKind::Load});
+            gpe.push({b_colptr + j * wordSize, PcBColPtr,
+                      OpKind::Load});
             // Sorted-list intersection: every comparison step touches
             // one element of either list.
             const std::uint64_t bp0 = b.colPtr()[j];
@@ -101,28 +102,26 @@ buildInnerSpGemm(const CsrMatrix &a, const CscMatrix &b,
             double acc = 0.0;
             bool any = false;
             while (p < arow_cols.size() && q < bcol_rows.size()) {
-                trace.pushGpe(g, {0, 0, OpKind::IntOp}); // compare
+                gpe.push({0, 0, OpKind::IntOp}); // compare
                 if (arow_cols[p] < bcol_rows[q]) {
                     if (spm) {
-                        trace.pushGpe(g, {p * wordSize, 0,
-                                          OpKind::SpmLoad});
+                        gpe.push({p * wordSize, 0, OpKind::SpmLoad});
                         flops += 1;
                     } else {
-                        trace.pushGpe(g, {a_cols + (ap0 + p) *
-                                              wordSize, PcACols,
-                                          OpKind::Load});
+                        gpe.push({a_cols + (ap0 + p) * wordSize,
+                                  PcACols, OpKind::Load});
                     }
                     ++p;
                 } else if (arow_cols[p] > bcol_rows[q]) {
-                    trace.pushGpe(g, {b_rows + (bp0 + q) * wordSize,
-                                      PcBRows, OpKind::Load});
+                    gpe.push({b_rows + (bp0 + q) * wordSize,
+                              PcBRows, OpKind::Load});
                     ++q;
                 } else {
-                    trace.pushGpe(g, {a_vals + (ap0 + p) * wordSize,
-                                      PcAVals, OpKind::FpLoad});
-                    trace.pushGpe(g, {b_vals + (bp0 + q) * wordSize,
-                                      PcBVals, OpKind::FpLoad});
-                    trace.pushGpe(g, {0, 0, OpKind::FpOp});
+                    gpe.push({a_vals + (ap0 + p) * wordSize,
+                              PcAVals, OpKind::FpLoad});
+                    gpe.push({b_vals + (bp0 + q) * wordSize,
+                              PcBVals, OpKind::FpLoad});
+                    gpe.push({0, 0, OpKind::FpOp});
                     flops += 3;
                     acc += arow_vals[p] * bcol_vals[q];
                     any = true;
@@ -131,11 +130,10 @@ buildInnerSpGemm(const CsrMatrix &a, const CscMatrix &b,
                 }
             }
             if (any && acc != 0.0) {
-                trace.pushGpe(g, {c_out + out_cursor * 2 * wordSize,
-                                  PcCColsW, OpKind::Store});
-                trace.pushGpe(g, {c_out + out_cursor * 2 * wordSize +
-                                      wordSize, PcCValsW,
-                                  OpKind::FpStore});
+                gpe.push({c_out + out_cursor * 2 * wordSize,
+                          PcCColsW, OpKind::Store});
+                gpe.push({c_out + out_cursor * 2 * wordSize + wordSize,
+                          PcCValsW, OpKind::FpStore});
                 flops += 1;
                 ++out_cursor;
                 c.add(i, j, acc);

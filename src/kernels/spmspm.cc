@@ -55,16 +55,26 @@ struct Builder
 
     double multiplyFlops = 0, mergeFlops = 0;
 
+    // Pre-validated append handles, one per stream: the build only
+    // appends (never reshapes the trace), so the writers stay valid
+    // for its whole lifetime and every emit skips the per-op bounds
+    // check of pushGpe/pushLcp.
+    std::vector<Trace::StreamWriter> gpeW, lcpW;
+
     Builder(const CscMatrix &a_, const CsrMatrix &b_, SystemShape sh,
             bool spm_)
         : a(a_), b(b_), shape(sh), spm(spm_), trace(sh)
     {
+        for (std::uint32_t g = 0; g < sh.numGpes(); ++g)
+            gpeW.push_back(trace.gpeWriter(g));
+        for (std::uint32_t t = 0; t < sh.tiles; ++t)
+            lcpW.push_back(trace.lcpWriter(t));
     }
 
     void
     gpe(std::uint32_t g, Addr addr, std::uint16_t pc, OpKind kind)
     {
-        trace.pushGpe(g, {addr, pc, kind});
+        gpeW[g].push({addr, pc, kind});
     }
 
     /** LCP work dispatch for one task assigned to gpe g. */
@@ -72,10 +82,9 @@ struct Builder
     dispatch(std::uint32_t g, std::uint64_t task)
     {
         const std::uint32_t tile = g / shape.gpesPerTile;
-        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
-        trace.pushLcp(tile,
-                      {workQueue + (task % 64) * wordSize,
-                       PcLcpDispatch, OpKind::Store});
+        lcpW[tile].push({0, 0, OpKind::IntOp});
+        lcpW[tile].push({workQueue + (task % 64) * wordSize,
+                         PcLcpDispatch, OpKind::Store});
     }
 
     void

@@ -52,9 +52,10 @@ buildSpMSpV(const CscMatrix &a, const SparseVector &x, SystemShape shape,
 
     auto dispatch = [&](std::uint32_t g, std::uint64_t task) {
         const std::uint32_t tile = g / shape.gpesPerTile;
-        trace.pushLcp(tile, {0, 0, OpKind::IntOp});
-        trace.pushLcp(tile, {workq + (task % 64) * wordSize,
-                             PcLcpDispatch, OpKind::Store});
+        auto lcp = trace.lcpWriter(tile);
+        lcp.push({0, 0, OpKind::IntOp});
+        lcp.push({workq + (task % 64) * wordSize,
+                  PcLcpDispatch, OpKind::Store});
     };
 
     // Multiply+merge in tandem: one task per nonzero of x.
@@ -66,15 +67,16 @@ buildSpMSpV(const CscMatrix &a, const SparseVector &x, SystemShape shape,
         const std::uint32_t j = entries[e].index;
         const double xv = entries[e].value;
         dispatch(g, e);
-        trace.pushGpe(g, {x_tuples + e * 2 * wordSize, PcXTuple,
-                          OpKind::Load});
-        trace.pushGpe(g, {x_tuples + e * 2 * wordSize + wordSize,
-                          PcXTuple, OpKind::FpLoad});
+        // One bounds check per task, not one per emitted op.
+        auto gpe = trace.gpeWriter(g);
+        gpe.push({x_tuples + e * 2 * wordSize, PcXTuple,
+                  OpKind::Load});
+        gpe.push({x_tuples + e * 2 * wordSize + wordSize,
+                  PcXTuple, OpKind::FpLoad});
         flops += 1;
-        trace.pushGpe(g, {col_ptr + j * wordSize, PcColPtr,
-                          OpKind::Load});
-        trace.pushGpe(g, {col_ptr + (j + 1) * wordSize, PcColPtr,
-                          OpKind::Load});
+        gpe.push({col_ptr + j * wordSize, PcColPtr, OpKind::Load});
+        gpe.push({col_ptr + (j + 1) * wordSize, PcColPtr,
+                  OpKind::Load});
         auto rows = a.colRows(j);
         auto vals = a.colVals(j);
         const std::uint64_t p0 = a.colPtr()[j];
@@ -84,33 +86,30 @@ buildSpMSpV(const CscMatrix &a, const SparseVector &x, SystemShape shape,
             const std::uint64_t lines =
                 (bytes + lineSize - 1) / lineSize;
             for (std::uint64_t l = 0; l < lines; ++l) {
-                trace.pushGpe(g, {a_rows + p0 * wordSize + l * lineSize,
-                                  PcSpmStage, OpKind::Load});
-                trace.pushGpe(g, {l * lineSize, 0, OpKind::SpmStore});
-                trace.pushGpe(g, {0, 0, OpKind::IntOp});
+                gpe.push({a_rows + p0 * wordSize + l * lineSize,
+                          PcSpmStage, OpKind::Load});
+                gpe.push({l * lineSize, 0, OpKind::SpmStore});
+                gpe.push({0, 0, OpKind::IntOp});
             }
         }
         for (std::size_t p = 0; p < rows.size(); ++p) {
             const std::uint32_t i = rows[p];
             if (spm) {
-                trace.pushGpe(g, {p * wordSize, 0, OpKind::SpmLoad});
-                trace.pushGpe(g, {2048 + p * wordSize, 0,
-                                  OpKind::SpmLoad});
+                gpe.push({p * wordSize, 0, OpKind::SpmLoad});
+                gpe.push({2048 + p * wordSize, 0, OpKind::SpmLoad});
                 flops += 2;
             } else {
-                trace.pushGpe(g, {a_rows + (p0 + p) * wordSize, PcARows,
-                                  OpKind::Load});
-                trace.pushGpe(g, {a_vals + (p0 + p) * wordSize, PcAVals,
-                                  OpKind::FpLoad});
+                gpe.push({a_rows + (p0 + p) * wordSize, PcARows,
+                          OpKind::Load});
+                gpe.push({a_vals + (p0 + p) * wordSize, PcAVals,
+                          OpKind::FpLoad});
                 flops += 1;
             }
-            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // a * x
+            gpe.push({0, 0, OpKind::FpOp}); // a * x
             // Read-modify-write of the dense accumulator.
-            trace.pushGpe(g, {acc + i * wordSize, PcAccLd,
-                              OpKind::FpLoad});
-            trace.pushGpe(g, {0, 0, OpKind::FpOp}); // accumulate
-            trace.pushGpe(g, {acc + i * wordSize, PcAccSt,
-                              OpKind::FpStore});
+            gpe.push({acc + i * wordSize, PcAccLd, OpKind::FpLoad});
+            gpe.push({0, 0, OpKind::FpOp}); // accumulate
+            gpe.push({acc + i * wordSize, PcAccSt, OpKind::FpStore});
             flops += 4; // mul, acc load, add, acc store
             dense[i] += vals[p] * xv;
             touched[i] = true;
@@ -127,17 +126,16 @@ buildSpMSpV(const CscMatrix &a, const SparseVector &x, SystemShape shape,
         const std::uint32_t lo = g * chunk;
         const std::uint32_t hi =
             std::min<std::uint32_t>(a.rows(), lo + chunk);
+        auto gpe = trace.gpeWriter(g);
         for (std::uint32_t i = lo; i < hi; ++i) {
-            trace.pushGpe(g, {acc + i * wordSize, PcGather,
-                              OpKind::FpLoad});
+            gpe.push({acc + i * wordSize, PcGather, OpKind::FpLoad});
             flops += 1;
-            trace.pushGpe(g, {0, 0, OpKind::IntOp}); // zero test
+            gpe.push({0, 0, OpKind::IntOp}); // zero test
             if (touched[i] && dense[i] != 0.0) {
-                trace.pushGpe(g, {out + out_cursor * 2 * wordSize,
-                                  PcOutW, OpKind::Store});
-                trace.pushGpe(g,
-                              {out + out_cursor * 2 * wordSize +
-                                   wordSize, PcOutW, OpKind::FpStore});
+                gpe.push({out + out_cursor * 2 * wordSize,
+                          PcOutW, OpKind::Store});
+                gpe.push({out + out_cursor * 2 * wordSize + wordSize,
+                          PcOutW, OpKind::FpStore});
                 flops += 1;
                 ++out_cursor;
                 result.push_back({i, dense[i]});

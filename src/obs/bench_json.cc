@@ -328,6 +328,9 @@ parseBenchJson(std::string_view text)
     run.scale = numberOr(root, "scale", 0.0);
     run.samples = countOr(root, "samples", 0);
     run.jobs = countOr(root, "jobs", 0);
+    run.traceFormat = stringOr(root, "trace_format", "columnar");
+    run.traceDecodeSeconds =
+        numberOr(root, "trace_decode_seconds", 0.0);
     run.fabricWorkers = countOr(root, "fabric_workers", 0);
     run.fabricLeasesReclaimed =
         countOr(root, "fabric_leases_reclaimed", 0);
@@ -410,7 +413,7 @@ bool
 benchComparable(const BenchRun &a, const BenchRun &b)
 {
     return a.bench == b.bench && a.scale == b.scale &&
-           a.samples == b.samples;
+           a.samples == b.samples && a.traceFormat == b.traceFormat;
 }
 
 } // namespace sadapt::obs

@@ -49,6 +49,15 @@ struct BenchRun
     std::uint64_t samples = 0;
     std::uint64_t jobs = 0;
 
+    /**
+     * Trace pipeline provenance: the format replayed from and the
+     * host seconds spent decoding it to the replay-ready form.
+     * Reports predating the knob read as "columnar" — the format
+     * every replay has used since the SoA engine landed.
+     */
+    std::string traceFormat = "columnar";
+    double traceDecodeSeconds = 0.0;
+
     /** Fabric / store provenance. */
     std::uint64_t fabricWorkers = 0;
     std::uint64_t fabricLeasesReclaimed = 0;
@@ -85,10 +94,11 @@ double benchGeomeanGflops(const BenchRun &run);
 std::size_t bestRunIndex(const std::vector<BenchRun> &runs);
 
 /**
- * Whether two runs measure the same thing: same bench name and same
- * scale knobs (scale and sample count). Comparing wall seconds across
- * different scales is meaningless, so bench_trend only trends and
- * gates comparable runs.
+ * Whether two runs measure the same thing: same bench name, same
+ * scale knobs (scale and sample count) and same trace format.
+ * Comparing wall seconds across different scales — or across trace
+ * pipelines with different decode cost profiles — is meaningless, so
+ * bench_trend only trends and gates comparable runs.
  */
 bool benchComparable(const BenchRun &a, const BenchRun &b);
 

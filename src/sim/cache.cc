@@ -19,85 +19,13 @@ CacheBank::rebuild()
     const std::uint32_t num_lines = capacityBytes / lineSize;
     SADAPT_ASSERT(num_lines % assocV == 0, "lines not divisible by assoc");
     numSets = num_lines / assocV;
-    lines.assign(num_lines, Line{});
+    SADAPT_ASSERT((numSets & (numSets - 1)) == 0,
+                  "set count must be a power of two (mask set index)");
+    setMask = numSets - 1;
+    tags.assign(num_lines, invalidTag);
+    useTick.assign(num_lines, 0);
+    dirtyB.assign(num_lines, 0);
     tick = 0;
-}
-
-std::uint32_t
-CacheBank::setIndex(Addr line_addr) const
-{
-    return static_cast<std::uint32_t>(line_addr % numSets);
-}
-
-CacheBank::AccessResult
-CacheBank::access(Addr addr, bool write)
-{
-    const Addr line_addr = addr / lineSize;
-    const std::uint32_t set = setIndex(line_addr);
-    ++tick;
-    for (std::uint32_t w = 0; w < assocV; ++w) {
-        Line &l = lines[set * assocV + w];
-        if (l.valid && l.tag == line_addr) {
-            l.lastUse = tick;
-            l.dirty = l.dirty || write;
-            return {true, false, 0};
-        }
-    }
-    return fill(line_addr, write);
-}
-
-CacheBank::AccessResult
-CacheBank::fill(Addr line_addr, bool dirty)
-{
-    const std::uint32_t set = setIndex(line_addr);
-    std::uint32_t victim = 0;
-    std::uint64_t oldest = ~0ull;
-    for (std::uint32_t w = 0; w < assocV; ++w) {
-        Line &l = lines[set * assocV + w];
-        if (!l.valid) {
-            victim = w;
-            oldest = 0;
-            break;
-        }
-        if (l.lastUse < oldest) {
-            oldest = l.lastUse;
-            victim = w;
-        }
-    }
-    Line &v = lines[set * assocV + victim];
-    AccessResult res;
-    res.hit = false;
-    res.writeback = v.valid && v.dirty;
-    res.writebackAddr = v.tag * lineSize;
-    v.valid = true;
-    v.dirty = dirty;
-    v.tag = line_addr;
-    v.lastUse = tick;
-    return res;
-}
-
-CacheBank::AccessResult
-CacheBank::install(Addr addr)
-{
-    const Addr line_addr = addr / lineSize;
-    ++tick;
-    if (contains(addr)) {
-        return {true, false, 0};
-    }
-    return fill(line_addr, false);
-}
-
-bool
-CacheBank::contains(Addr addr) const
-{
-    const Addr line_addr = addr / lineSize;
-    const std::uint32_t set = setIndex(line_addr);
-    for (std::uint32_t w = 0; w < assocV; ++w) {
-        const Line &l = lines[set * assocV + w];
-        if (l.valid && l.tag == line_addr)
-            return true;
-    }
-    return false;
 }
 
 void
@@ -110,28 +38,28 @@ CacheBank::setCapacity(std::uint32_t capacity_bytes)
 void
 CacheBank::invalidateAll()
 {
-    for (auto &l : lines) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    for (auto &t : tags)
+        t = invalidTag;
+    for (auto &d : dirtyB)
+        d = 0;
 }
 
 double
 CacheBank::occupancy() const
 {
     std::uint64_t valid = 0;
-    for (const auto &l : lines)
-        valid += l.valid;
-    return lines.empty() ? 0.0
-        : static_cast<double>(valid) / lines.size();
+    for (const auto &t : tags)
+        valid += t != invalidTag;
+    return tags.empty() ? 0.0
+        : static_cast<double>(valid) / tags.size();
 }
 
 std::uint64_t
 CacheBank::dirtyLines() const
 {
     std::uint64_t dirty = 0;
-    for (const auto &l : lines)
-        dirty += l.valid && l.dirty;
+    for (const auto &d : dirtyB)
+        dirty += d;
     return dirty;
 }
 

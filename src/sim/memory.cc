@@ -1,28 +1,14 @@
 #include "sim/memory.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace sadapt {
 
 MainMemory::MainMemory(double bytes_per_sec, Seconds access_latency)
-    : bw(bytes_per_sec), latency(access_latency)
+    : bw(bytes_per_sec), latency(access_latency),
+      lineXfer(static_cast<double>(lineSize) / bytes_per_sec)
 {
     SADAPT_ASSERT(bw > 0.0, "memory bandwidth must be positive");
-}
-
-Seconds
-MainMemory::transfer(Seconds now, std::uint32_t bytes, bool write)
-{
-    const Seconds start = std::max(now, busy);
-    const Seconds xfer = static_cast<double>(bytes) / bw;
-    busy = start + xfer;
-    if (write)
-        writtenBytes += bytes;
-    else
-        readBytes += bytes;
-    return busy + latency;
 }
 
 void

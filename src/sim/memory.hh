@@ -13,6 +13,7 @@
 #ifndef SADAPT_SIM_MEMORY_HH
 #define SADAPT_SIM_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -35,12 +36,45 @@ class MainMemory
     /**
      * Transfer `bytes` starting no earlier than `now`.
      *
+     * Inline: called on every cache miss and prefetch fill in the
+     * replay inner loop (no LTO across libraries).
+     *
      * @param now earliest start time (seconds).
      * @param bytes transfer size.
      * @param write true for writes (writebacks), false for reads.
      * @return completion time (seconds) including fixed latency.
      */
-    Seconds transfer(Seconds now, std::uint32_t bytes, bool write);
+    Seconds
+    transfer(Seconds now, std::uint32_t bytes, bool write)
+    {
+        const Seconds start = std::max(now, busy);
+        const Seconds xfer = static_cast<double>(bytes) / bw;
+        busy = start + xfer;
+        if (write)
+            writtenBytes += bytes;
+        else
+            readBytes += bytes;
+        return busy + latency;
+    }
+
+    /**
+     * Transfer one cache line (lineSize bytes). Identical to
+     * transfer(now, lineSize, write): dividing the same two operands
+     * always yields the same double, so the quotient is computed once
+     * at construction instead of on every miss, writeback and
+     * prefetch fill of the replay inner loop.
+     */
+    Seconds
+    transferLine(Seconds now, bool write)
+    {
+        const Seconds start = std::max(now, busy);
+        busy = start + lineXfer;
+        if (write)
+            writtenBytes += lineSize;
+        else
+            readBytes += lineSize;
+        return busy + latency;
+    }
 
     double bandwidth() const { return bw; }
 
@@ -55,6 +89,7 @@ class MainMemory
   private:
     double bw;
     Seconds latency;
+    Seconds lineXfer; //!< lineSize / bw, the per-line transfer time
     Seconds busy = 0.0;
     std::uint64_t readBytes = 0;
     std::uint64_t writtenBytes = 0;

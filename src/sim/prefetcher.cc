@@ -1,48 +1,18 @@
 #include "sim/prefetcher.hh"
 
+#include "common/logging.hh"
+
 namespace sadapt {
 
 StridePrefetcher::StridePrefetcher(std::uint32_t degree,
                                    std::uint32_t table_entries)
-    : degreeV(degree), table(table_entries)
+    : degreeV(degree), idxMask(table_entries - 1), table(table_entries)
 {
-}
-
-void
-StridePrefetcher::observe(std::uint16_t pc, Addr addr,
-                          std::vector<Addr> &out)
-{
-    Entry &e = table[pc % table.size()];
-    if (!e.valid || e.pc != pc) {
-        e = {pc, true, addr, 0, 0};
-        return;
-    }
-    const std::int64_t stride = static_cast<std::int64_t>(addr) -
-        static_cast<std::int64_t>(e.lastAddr);
-    if (stride == e.stride && stride != 0) {
-        if (e.confidence < 4)
-            ++e.confidence;
-    } else {
-        e.stride = stride;
-        e.confidence = 0;
-    }
-    e.lastAddr = addr;
-    if (degreeV == 0 || e.confidence < 2)
-        return;
-    // Confirmed stride: prefetch `degree` lines ahead. Strides smaller
-    // than a line still advance by whole lines.
-    const std::int64_t line_stride =
-        e.stride > 0
-            ? std::max<std::int64_t>(e.stride, lineSize)
-            : std::min<std::int64_t>(e.stride, -std::int64_t(lineSize));
-    for (std::uint32_t d = 1; d <= degreeV; ++d) {
-        const std::int64_t target = static_cast<std::int64_t>(addr) +
-            line_stride * static_cast<std::int64_t>(d);
-        if (target < 0)
-            break;
-        out.push_back(static_cast<Addr>(target));
-        ++issuedCount;
-    }
+    SADAPT_ASSERT(table_entries > 0 &&
+                  (table_entries & (table_entries - 1)) == 0,
+                  "prefetcher table size must be a power of two "
+                  "(index is masked, identical to the historical "
+                  "modulo)");
 }
 
 } // namespace sadapt

@@ -8,6 +8,7 @@
 #ifndef SADAPT_SIM_PREFETCHER_HH
 #define SADAPT_SIM_PREFETCHER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -32,11 +33,49 @@ class StridePrefetcher
      * Observe a demand access. If the entry for this PC has a confirmed
      * stride, appends up to degree prefetch target addresses to out.
      *
+     * Inline: called once per cache access in the replay inner loop
+     * (no LTO, so cross-TU it would never inline).
+     *
      * @param pc static identifier of the access site.
      * @param addr accessed byte address.
      * @param out receives prefetch target addresses (byte granularity).
      */
-    void observe(std::uint16_t pc, Addr addr, std::vector<Addr> &out);
+    void
+    observe(std::uint16_t pc, Addr addr, std::vector<Addr> &out)
+    {
+        Entry &e = table[pc & idxMask];
+        if (!e.valid || e.pc != pc) {
+            e = {pc, true, addr, 0, 0};
+            return;
+        }
+        const std::int64_t stride = static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(e.lastAddr);
+        if (stride == e.stride && stride != 0) {
+            if (e.confidence < 4)
+                ++e.confidence;
+        } else {
+            e.stride = stride;
+            e.confidence = 0;
+        }
+        e.lastAddr = addr;
+        if (degreeV == 0 || e.confidence < 2)
+            return;
+        // Confirmed stride: prefetch `degree` lines ahead. Strides
+        // smaller than a line still advance by whole lines.
+        const std::int64_t line_stride =
+            e.stride > 0
+                ? std::max<std::int64_t>(e.stride, lineSize)
+                : std::min<std::int64_t>(e.stride,
+                                         -std::int64_t(lineSize));
+        for (std::uint32_t d = 1; d <= degreeV; ++d) {
+            const std::int64_t target = static_cast<std::int64_t>(addr) +
+                line_stride * static_cast<std::int64_t>(d);
+            if (target < 0)
+                break;
+            out.push_back(static_cast<Addr>(target));
+            ++issuedCount;
+        }
+    }
 
     /** Change the prefetch degree at runtime. */
     void setDegree(std::uint32_t degree) { degreeV = degree; }
@@ -59,6 +98,7 @@ class StridePrefetcher
     };
 
     std::uint32_t degreeV;
+    std::uint32_t idxMask; //!< table_entries - 1 (power of two)
     std::vector<Entry> table;
     std::uint64_t issuedCount = 0;
 };

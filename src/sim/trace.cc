@@ -150,9 +150,6 @@ opKindFromName(const std::string &name)
 
 namespace {
 
-/** Max GPE count accepted from a trace header (Figure 12 tops at 64). */
-constexpr std::uint64_t maxTraceGpes = 4096;
-
 Status
 traceError(std::uint64_t line, const std::string &what)
 {

@@ -74,6 +74,12 @@ struct SystemShape
 };
 
 /**
+ * Sanity cap on deserialized system shapes (shared by the text parser
+ * and the columnar loader): tiles * gpesPerTile may not exceed this.
+ */
+inline constexpr std::uint64_t maxTraceGpes = 4096;
+
+/**
  * A complete device program trace: one op stream per GPE and one per
  * LCP, plus named phases.
  */
@@ -109,6 +115,46 @@ class Trace
 
     /** As pushLcp, but a bad tile id is a recoverable error. */
     [[nodiscard]] Status tryPushLcp(std::uint32_t tile, TraceOp op);
+
+    /**
+     * Pre-validated append handle for one stream. pushGpe/pushLcp
+     * bounds-check the core id on every op, which shows up in release
+     * builds inside per-nonzero kernel emit loops; a writer checks the
+     * id once at construction and appends unchecked after that. The
+     * handle is invalidated by anything that reshapes the trace
+     * (append(), construction) — fetch, emit, drop.
+     */
+    class StreamWriter
+    {
+      public:
+        void push(TraceOp op) { streamV->push_back(op); }
+
+      private:
+        friend class Trace;
+        explicit StreamWriter(std::vector<TraceOp> *stream)
+            : streamV(stream)
+        {
+        }
+        std::vector<TraceOp> *streamV;
+    };
+
+    /** Writer for one GPE stream (asserts the id once, not per op). */
+    StreamWriter
+    gpeWriter(std::uint32_t gpe)
+    {
+        SADAPT_ASSERT(gpe < gpeStreams.size(),
+                      "gpe index out of range");
+        return StreamWriter(&gpeStreams[gpe]);
+    }
+
+    /** Writer for one LCP stream (asserts the id once, not per op). */
+    StreamWriter
+    lcpWriter(std::uint32_t tile)
+    {
+        SADAPT_ASSERT(tile < lcpStreams.size(),
+                      "tile index out of range");
+        return StreamWriter(&lcpStreams[tile]);
+    }
 
     /**
      * Mark the start of a new named explicit phase on every core.

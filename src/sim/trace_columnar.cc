@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Columnar trace serialization: SoA conversion, the CRC32-framed
+ * writer, and the mmap-backed loader. This is the only TU in the tree
+ * that may call mmap/munmap or touch raw file descriptors
+ * (lint-trace-raw-mmap); everything else goes through the TraceView /
+ * ColumnarTrace interface.
+ */
+
+#include "sim/trace_columnar.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+#include "store/crc32.hh"
+
+namespace sadapt {
+namespace {
+
+constexpr std::size_t fileHeaderBytes = 16;
+constexpr std::size_t frameHeaderBytes = 24;
+constexpr std::size_t streamHeaderBytes = 24;
+constexpr std::uint32_t streamKindGpe = 0;
+constexpr std::uint32_t streamKindLcp = 1;
+constexpr std::uint8_t maxOpKindByte =
+    static_cast<std::uint8_t>(OpKind::Phase);
+
+std::size_t
+pad8(std::size_t n)
+{
+    return (n + 7) & ~std::size_t{7};
+}
+
+/** Little-endian scalar append (the file format is LE-defined). */
+template <typename T>
+void
+putLe(std::string &out, T value)
+{
+    auto v = static_cast<std::uint64_t>(value);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+template <typename T>
+T
+getLe(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return static_cast<T>(v);
+}
+
+/**
+ * Address deltas are computed mod 2^64 and zigzag-folded, so every
+ * u64 address round-trips exactly no matter how wildly consecutive
+ * addresses jump (Phase markers drop phase ids into the same chain).
+ */
+std::uint64_t
+zigzag(std::uint64_t delta)
+{
+    const auto s = static_cast<std::int64_t>(delta);
+    return (delta << 1) ^ static_cast<std::uint64_t>(s >> 63);
+}
+
+std::uint64_t
+unzigzag(std::uint64_t z)
+{
+    return (z >> 1) ^ (0 - (z & 1));
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/** Encode one stream's three columns as a STREAM section payload. */
+std::string
+encodeStreamPayload(std::uint32_t core_kind, std::uint32_t id,
+                    const std::vector<TraceOp> &ops)
+{
+    std::string addr_col;
+    addr_col.reserve(ops.size() * 2);
+    Addr prev = 0;
+    for (const TraceOp &op : ops) {
+        putVarint(addr_col, zigzag(op.addr - prev));
+        prev = op.addr;
+    }
+
+    std::string payload;
+    payload.reserve(streamHeaderBytes + pad8(ops.size()) +
+                    pad8(2 * ops.size()) + addr_col.size());
+    putLe<std::uint32_t>(payload, core_kind);
+    putLe<std::uint32_t>(payload, id);
+    putLe<std::uint64_t>(payload, ops.size());
+    putLe<std::uint64_t>(payload, addr_col.size());
+    for (const TraceOp &op : ops)
+        payload.push_back(static_cast<char>(op.kind));
+    payload.resize(pad8(payload.size()), '\0');
+    for (const TraceOp &op : ops)
+        putLe<std::uint16_t>(payload, op.pc);
+    payload.resize(pad8(payload.size()), '\0');
+    payload += addr_col;
+    return payload;
+}
+
+void
+appendFrame(std::string &out, TraceSection kind,
+            const std::string &payload)
+{
+    putLe<std::uint32_t>(out, traceColumnarFrameMagic);
+    putLe<std::uint32_t>(out, static_cast<std::uint32_t>(kind));
+    putLe<std::uint64_t>(out, payload.size());
+    putLe<std::uint32_t>(out, store::crc32(payload));
+    putLe<std::uint32_t>(out, 0);
+    out += payload;
+    out.append(pad8(payload.size()) - payload.size(), '\0');
+}
+
+Status
+columnarError(const std::string &path, const std::string &what)
+{
+    return Status::error("columnar trace " + path + ": " + what);
+}
+
+/** An open mmap (or heap-copy fallback) of a whole file. */
+struct Mapping
+{
+    std::shared_ptr<void> owner;
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+};
+
+Result<Mapping>
+mapFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return columnarError(path, "cannot open file");
+    struct ::stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return columnarError(path, "cannot stat file");
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    Mapping m;
+    m.size = size;
+    if (size > 0) {
+        void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p != MAP_FAILED) {
+            m.data = static_cast<const std::uint8_t *>(p);
+            m.owner = std::shared_ptr<void>(
+                p, [size](void *q) { ::munmap(q, size); });
+        } else {
+            // Fall back to a heap copy; the view interface does not
+            // care where the bytes live.
+            auto buf = std::make_shared<std::vector<std::uint8_t>>(size);
+            std::size_t got = 0;
+            while (got < size) {
+                const ::ssize_t n =
+                    ::read(fd, buf->data() + got, size - got);
+                if (n <= 0)
+                    break;
+                got += static_cast<std::size_t>(n);
+            }
+            if (got != size) {
+                ::close(fd);
+                return columnarError(path, "short read");
+            }
+            m.data = buf->data();
+            m.owner = std::move(buf);
+        }
+    }
+    ::close(fd);
+    return m;
+}
+
+/** One parsed frame: section kind plus a CRC-verified payload span. */
+struct Frame
+{
+    TraceSection kind;
+    const std::uint8_t *payload;
+    std::size_t size;
+};
+
+Result<Frame>
+parseFrame(const std::string &path, const Mapping &m, std::size_t &off)
+{
+    if (m.size - off < frameHeaderBytes)
+        return columnarError(path, "torn tail: truncated frame header");
+    const std::uint8_t *h = m.data + off;
+    if (getLe<std::uint32_t>(h) != traceColumnarFrameMagic)
+        return columnarError(path, "bad frame magic");
+    const auto kind = getLe<std::uint32_t>(h + 4);
+    const auto len = getLe<std::uint64_t>(h + 8);
+    const auto crc = getLe<std::uint32_t>(h + 16);
+    if (kind < static_cast<std::uint32_t>(TraceSection::Meta) ||
+        kind > static_cast<std::uint32_t>(TraceSection::End))
+        return columnarError(path, "unknown section kind");
+    const std::size_t body = m.size - off - frameHeaderBytes;
+    if (len > body || pad8(len) > body)
+        return columnarError(path, "torn tail: truncated payload");
+    const std::uint8_t *payload = h + frameHeaderBytes;
+    if (store::crc32(payload, len) != crc)
+        return columnarError(path, "payload CRC mismatch");
+    off += frameHeaderBytes + pad8(len);
+    return Frame{static_cast<TraceSection>(kind), payload, len};
+}
+
+/** Cursor over a payload with bounds-checked LE reads. */
+struct PayloadReader
+{
+    const std::uint8_t *p;
+    std::size_t size;
+    std::size_t off = 0;
+
+    template <typename T>
+    bool
+    read(T &out)
+    {
+        if (size - off < sizeof(T))
+            return false;
+        out = getLe<T>(p + off);
+        off += sizeof(T);
+        return true;
+    }
+};
+
+} // namespace
+
+ColumnarTrace
+ColumnarTrace::fromTrace(const Trace &trace, std::uint64_t footprint,
+                         std::uint64_t epoch_fpops,
+                         std::uint64_t declared_epochs)
+{
+    ColumnarTrace ct;
+    ct.shapeV = trace.shape();
+    ct.footprintV = footprint;
+    ct.epochFpOpsV = epoch_fpops;
+    ct.declaredEpochsV = declared_epochs;
+    ct.phasesV = trace.phaseNames();
+
+    const std::uint32_t num_gpes = ct.shapeV.numGpes();
+    const std::uint32_t num_streams = num_gpes + ct.shapeV.tiles;
+    std::size_t total = 0;
+    for (std::uint32_t g = 0; g < num_gpes; ++g)
+        total += trace.gpeStream(g).size();
+    for (std::uint32_t t = 0; t < ct.shapeV.tiles; ++t)
+        total += trace.lcpStream(t).size();
+
+    ct.kindsV.resize(total);
+    ct.pcsV.resize(total);
+    ct.addrsV.resize(total);
+    ct.streamsV.resize(num_streams);
+    ct.totalOpsV = total;
+
+    std::size_t off = 0;
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        const bool is_gpe = s < num_gpes;
+        const std::vector<TraceOp> &ops =
+            is_gpe ? trace.gpeStream(s) : trace.lcpStream(s - num_gpes);
+        StreamView &sv = ct.streamsV[s];
+        sv.kind = ct.kindsV.data() + off;
+        sv.pc = ct.pcsV.data() + off;
+        sv.addr = ct.addrsV.data() + off;
+        sv.size = ops.size();
+        for (const TraceOp &op : ops) {
+            ct.kindsV[off] = static_cast<std::uint8_t>(op.kind);
+            ct.pcsV[off] = op.pc;
+            ct.addrsV[off] = op.addr;
+            if (is_gpe && isFpKind(op.kind))
+                ++ct.totalFpOpsV;
+            ++off;
+        }
+    }
+    return ct;
+}
+
+Trace
+ColumnarTrace::toTrace() const
+{
+    Trace trace(shapeV);
+    for (const std::string &name : phasesV)
+        trace.registerPhase(name);
+    const std::uint32_t num_gpes = shapeV.numGpes();
+    const TraceView v = view();
+    for (std::uint32_t s = 0; s < streamsV.size(); ++s) {
+        const StreamView &sv = v.streams[s];
+        for (std::size_t i = 0; i < sv.size; ++i) {
+            const TraceOp op{sv.addr[i], sv.pc[i],
+                             static_cast<OpKind>(sv.kind[i])};
+            if (s < num_gpes)
+                trace.pushGpe(s, op);
+            else
+                trace.pushLcp(s - num_gpes, op);
+        }
+    }
+    return trace;
+}
+
+TraceView
+ColumnarTrace::view() const
+{
+    TraceView v;
+    v.shape = shapeV;
+    v.streams = streamsV;
+    v.phases = phasesV;
+    v.totalFpOps = totalFpOpsV;
+    v.totalOps = totalOpsV;
+    return v;
+}
+
+Status
+writeTraceColumnarFile(const Trace &trace, const std::string &path,
+                       std::uint64_t footprint,
+                       std::uint64_t epoch_fpops,
+                       std::uint64_t declared_epochs)
+{
+    const SystemShape &shape = trace.shape();
+    const std::vector<std::string> &phases = trace.phaseNames();
+
+    std::uint64_t total_fpops = 0;
+    std::uint64_t total_ops = 0;
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g) {
+        for (const TraceOp &op : trace.gpeStream(g))
+            if (isFpKind(op.kind))
+                ++total_fpops;
+        total_ops += trace.gpeStream(g).size();
+    }
+    for (std::uint32_t t = 0; t < shape.tiles; ++t)
+        total_ops += trace.lcpStream(t).size();
+
+    std::string meta;
+    putLe<std::uint32_t>(meta, shape.tiles);
+    putLe<std::uint32_t>(meta, shape.gpesPerTile);
+    putLe<std::uint64_t>(meta, footprint);
+    putLe<std::uint64_t>(meta, epoch_fpops);
+    putLe<std::uint64_t>(meta, declared_epochs);
+    putLe<std::uint64_t>(meta, total_fpops);
+    putLe<std::uint64_t>(meta, total_ops);
+    putLe<std::uint32_t>(meta, static_cast<std::uint32_t>(phases.size()));
+    for (const std::string &name : phases) {
+        putLe<std::uint32_t>(meta, static_cast<std::uint32_t>(name.size()));
+        meta += name;
+    }
+
+    std::string out;
+    out.append(traceColumnarMagic, sizeof traceColumnarMagic);
+    putLe<std::uint32_t>(out, traceColumnarVersion);
+    putLe<std::uint32_t>(out, 0);
+    appendFrame(out, TraceSection::Meta, meta);
+    for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
+        appendFrame(out, TraceSection::Stream,
+                    encodeStreamPayload(streamKindGpe, g,
+                                        trace.gpeStream(g)));
+    for (std::uint32_t t = 0; t < shape.tiles; ++t)
+        appendFrame(out, TraceSection::Stream,
+                    encodeStreamPayload(streamKindLcp, t,
+                                        trace.lcpStream(t)));
+    appendFrame(out, TraceSection::End, std::string());
+
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return columnarError(path, "cannot open for writing");
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f)
+        return columnarError(path, "write failed");
+    return Status::ok();
+}
+
+Result<ColumnarTrace>
+readTraceColumnarFile(const std::string &path)
+{
+    Result<Mapping> mapped = mapFile(path);
+    if (!mapped.isOk())
+        return mapped.status();
+    const Mapping &m = mapped.value();
+
+    if (m.size < fileHeaderBytes ||
+        std::memcmp(m.data, traceColumnarMagic,
+                    sizeof traceColumnarMagic) != 0)
+        return columnarError(path, "bad file magic");
+    const auto version = getLe<std::uint32_t>(m.data + 8);
+    if (version != traceColumnarVersion)
+        return columnarError(path, "unsupported version " +
+                                       std::to_string(version));
+
+    std::size_t off = fileHeaderBytes;
+    Result<Frame> meta_frame = parseFrame(path, m, off);
+    if (!meta_frame.isOk())
+        return meta_frame.status();
+    if (meta_frame.value().kind != TraceSection::Meta)
+        return columnarError(path, "first section is not meta");
+
+    ColumnarTrace ct;
+    {
+        PayloadReader r{meta_frame.value().payload,
+                        meta_frame.value().size};
+        std::uint32_t tiles = 0, gpes_per_tile = 0, nphases = 0;
+        if (!r.read(tiles) || !r.read(gpes_per_tile) ||
+            !r.read(ct.footprintV) || !r.read(ct.epochFpOpsV) ||
+            !r.read(ct.declaredEpochsV) || !r.read(ct.totalFpOpsV) ||
+            !r.read(ct.totalOpsV) || !r.read(nphases))
+            return columnarError(path, "truncated meta section");
+        if (tiles == 0 || gpes_per_tile == 0 ||
+            tiles > maxTraceGpes || gpes_per_tile > maxTraceGpes ||
+            std::uint64_t{tiles} * gpes_per_tile > maxTraceGpes)
+            return columnarError(path, "implausible system shape");
+        ct.shapeV = SystemShape{tiles, gpes_per_tile};
+        ct.phasesV.reserve(nphases);
+        for (std::uint32_t i = 0; i < nphases; ++i) {
+            std::uint32_t len = 0;
+            if (!r.read(len) || r.size - r.off < len)
+                return columnarError(path, "truncated phase name");
+            ct.phasesV.emplace_back(
+                reinterpret_cast<const char *>(r.p + r.off), len);
+            r.off += len;
+        }
+        if (r.off != r.size)
+            return columnarError(path, "trailing bytes in meta section");
+    }
+
+    const std::uint32_t num_gpes = ct.shapeV.numGpes();
+    const std::uint32_t num_streams = num_gpes + ct.shapeV.tiles;
+    ct.streamsV.resize(num_streams);
+    ct.addrsV.resize(ct.totalOpsV);
+    // Zero-copy is only sound when the file's LE u16 pc column matches
+    // the host layout; a big-endian host decodes into owned storage.
+    const bool host_le = std::endian::native == std::endian::little;
+    if (!host_le)
+        ct.pcsV.resize(ct.totalOpsV);
+
+    std::uint64_t seen_ops = 0;
+    std::uint64_t seen_fpops = 0;
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        Result<Frame> frame = parseFrame(path, m, off);
+        if (!frame.isOk())
+            return frame.status();
+        if (frame.value().kind != TraceSection::Stream)
+            return columnarError(path, "missing stream section");
+        PayloadReader r{frame.value().payload, frame.value().size};
+        std::uint32_t core_kind = 0, id = 0;
+        std::uint64_t nops = 0, addr_bytes = 0;
+        if (!r.read(core_kind) || !r.read(id) || !r.read(nops) ||
+            !r.read(addr_bytes))
+            return columnarError(path, "truncated stream header");
+        const bool is_gpe = s < num_gpes;
+        const std::uint32_t want_kind =
+            is_gpe ? streamKindGpe : streamKindLcp;
+        const std::uint32_t want_id = is_gpe ? s : s - num_gpes;
+        if (core_kind != want_kind || id != want_id)
+            return columnarError(path,
+                                 "stream sections out of canonical order");
+        if (nops > ct.totalOpsV - seen_ops)
+            return columnarError(path, "column length disagreement: "
+                                       "stream op counts exceed meta total");
+        const std::size_t kind_off = r.off;
+        const std::size_t pc_off = kind_off + pad8(nops);
+        const std::size_t addr_off = pc_off + pad8(2 * nops);
+        if (addr_off > r.size || r.size - addr_off != addr_bytes)
+            return columnarError(path, "column length disagreement: "
+                                       "payload size vs declared columns");
+
+        const std::uint8_t *kind_col = r.p + kind_off;
+        for (std::uint64_t i = 0; i < nops; ++i) {
+            if (kind_col[i] > maxOpKindByte)
+                return columnarError(path, "invalid op kind byte");
+            if (is_gpe &&
+                isFpKind(static_cast<OpKind>(kind_col[i])))
+                ++seen_fpops;
+        }
+        StreamView &sv = ct.streamsV[s];
+        sv.size = nops;
+        sv.kind = kind_col;
+        if (host_le) {
+            sv.pc = reinterpret_cast<const std::uint16_t *>(r.p + pc_off);
+        } else {
+            std::uint16_t *dst = ct.pcsV.data() + seen_ops;
+            for (std::uint64_t i = 0; i < nops; ++i)
+                dst[i] = getLe<std::uint16_t>(r.p + pc_off + 2 * i);
+            sv.pc = dst;
+        }
+
+        // Single streaming pass: delta-varint decode into the owned
+        // address buffer, validating Phase markers as they appear.
+        Addr *addr_dst = ct.addrsV.data() + seen_ops;
+        sv.addr = addr_dst;
+        const std::uint8_t *ap = r.p + addr_off;
+        const std::uint8_t *aend = ap + addr_bytes;
+        Addr prev = 0;
+        for (std::uint64_t i = 0; i < nops; ++i) {
+            std::uint64_t z = 0;
+            int shift = 0;
+            while (true) {
+                if (ap >= aend || shift > 63)
+                    return columnarError(path,
+                                         "column length disagreement: "
+                                         "truncated address varint");
+                const std::uint8_t b = *ap++;
+                z |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+                if (!(b & 0x80))
+                    break;
+                shift += 7;
+            }
+            prev += unzigzag(z);
+            addr_dst[i] = prev;
+            if (static_cast<OpKind>(kind_col[i]) == OpKind::Phase &&
+                prev >= ct.phasesV.size())
+                return columnarError(path,
+                                     "phase op references undeclared phase");
+        }
+        if (ap != aend)
+            return columnarError(path, "column length disagreement: "
+                                       "unused address column bytes");
+        seen_ops += nops;
+    }
+    if (seen_ops != ct.totalOpsV)
+        return columnarError(path, "column length disagreement: "
+                                   "stream op counts below meta total");
+    if (seen_fpops != ct.totalFpOpsV)
+        return columnarError(path,
+                             "meta fp-op total disagrees with streams");
+
+    Result<Frame> end_frame = parseFrame(path, m, off);
+    if (!end_frame.isOk())
+        return end_frame.status();
+    if (end_frame.value().kind != TraceSection::End ||
+        end_frame.value().size != 0)
+        return columnarError(path, "missing end section");
+    if (off != m.size)
+        return columnarError(path, "trailing bytes after end section");
+
+    ct.mappingV = m.owner;
+    return ct;
+}
+
+bool
+traceFileIsColumnar(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    char magic[sizeof traceColumnarMagic] = {};
+    f.read(magic, sizeof magic);
+    return f.gcount() == sizeof magic &&
+           std::memcmp(magic, traceColumnarMagic, sizeof magic) == 0;
+}
+
+} // namespace sadapt

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
-#include <queue>
 
 #include "common/logging.hh"
 #include "obs/prof.hh"
@@ -78,7 +78,7 @@ struct Engine
     const RunParams &rp;
     HwConfig cfg;
     const DvfsModel &dvfs;
-    const Trace &trace;
+    const TraceView &trace;
 
     /** Optional per-epoch metric export target (pure observer). */
     obs::MetricRegistry *metrics = nullptr;
@@ -88,11 +88,36 @@ struct Engine
     std::uint32_t gpesPerTile;
     std::uint32_t numCores; //!< GPEs then LCPs
 
+    // Shape-derived strength reductions: practical shapes use
+    // power-of-two tile/GPE counts, where the per-access `% tiles`,
+    // `% gpesPerTile` and `/ gpesPerTile` reduce to a mask or shift
+    // with the identical result; the flags keep arbitrary shapes
+    // exact through the div/mod fallback.
+    bool tilesPow2;
+    std::uint32_t tilesMask;  //!< tiles - 1 (valid when tilesPow2)
+    bool gptPow2;
+    std::uint32_t gptMask;    //!< gpesPerTile - 1 (valid when gptPow2)
+    std::uint32_t gptShift;   //!< log2(gpesPerTile) (valid when gptPow2)
+
     bool spmMode;
     Hertz freq;
     Seconds secPerCycle;
     double dynScale;
     Watts backgroundPower;
+
+    // Per-configuration constants hoisted out of the per-op path
+    // (refreshed by hoistConfig() whenever cfg changes). Each is the
+    // exact double the old per-access computation produced — the
+    // SramModel energies in particular hide a sqrt per call.
+    bool l1Shared = false;       //!< cfg.l1Sharing == Shared
+    bool l2Shared = false;       //!< cfg.l2Sharing == Shared
+    std::uint32_t pfDegree = 0;  //!< cfg.prefetchDegree()
+    Joules l1ReadE = 0.0, l1WriteE = 0.0;
+    Joules l2ReadE = 0.0, l2WriteE = 0.0;
+    Joules spmReadE = 0.0, spmWriteE = 0.0;
+    Joules l2XbarReqE = 0.0;    //!< traversal (+ arbitration if shared)
+    Joules l1XbarSharedE = 0.0; //!< traversal + arbitration
+    Joules dramLineE = 0.0;     //!< lineSize * dramPerByte
 
     SramModel sram;
     std::vector<CacheBank> l1;
@@ -134,12 +159,18 @@ struct Engine
     std::vector<std::uint64_t> epochOpsByPhase;
 
     Engine(const RunParams &rp_, const HwConfig &cfg_,
-           const DvfsModel &dvfs_, const Trace &trace_)
+           const DvfsModel &dvfs_, const TraceView &trace_)
         : rp(rp_), cfg(cfg_), dvfs(dvfs_), trace(trace_),
           numGpes(rp_.shape.numGpes()),
           tiles(rp_.shape.tiles),
           gpesPerTile(rp_.shape.gpesPerTile),
           numCores(numGpes + tiles),
+          tilesPow2((tiles & (tiles - 1)) == 0),
+          tilesMask(tiles - 1),
+          gptPow2((gpesPerTile & (gpesPerTile - 1)) == 0),
+          gptMask(gpesPerTile - 1),
+          gptShift(static_cast<std::uint32_t>(
+              std::countr_zero(gpesPerTile))),
           spmMode(cfg_.l1Type == MemType::Spm),
           freq(cfg_.clockHz()),
           secPerCycle(1.0 / cfg_.clockHz()),
@@ -161,10 +192,33 @@ struct Engine
             cfg.l1Sharing == SharingMode::Shared ? 1 : 0;
         l1Xbar.assign(tiles, Crossbar(gpesPerTile, l1_arb));
         backgroundPower = computeBackgroundPower();
+        hoistConfig();
         corePhase.assign(numCores, 0);
         epochFpByPhase.assign(
-            std::max<std::size_t>(1, trace.phaseNames().size()), 0.0);
+            std::max<std::size_t>(1, trace.phases.size()), 0.0);
         epochOpsByPhase.assign(epochFpByPhase.size(), 0);
+    }
+
+    /** Refresh the hoisted per-configuration constants from cfg. */
+    void
+    hoistConfig()
+    {
+        l1Shared = cfg.l1Sharing == SharingMode::Shared;
+        l2Shared = cfg.l2Sharing == SharingMode::Shared;
+        pfDegree = cfg.prefetchDegree();
+        if (!spmMode) {
+            l1ReadE = sram.readEnergy(cfg.l1CapBytes(), false);
+            l1WriteE = sram.writeEnergy(cfg.l1CapBytes(), false);
+        }
+        l2ReadE = sram.readEnergy(cfg.l2CapBytes(), false);
+        l2WriteE = sram.writeEnergy(cfg.l2CapBytes(), false);
+        spmReadE = sram.readEnergy(spmBankBytes, true);
+        spmWriteE = sram.writeEnergy(spmBankBytes, true);
+        l2XbarReqE = rp.energy.xbarTraversal +
+            (l2Shared ? rp.energy.xbarArbitration : 0.0);
+        l1XbarSharedE = rp.energy.xbarTraversal +
+            rp.energy.xbarArbitration;
+        dramLineE = lineSize * rp.energy.dramPerByte;
     }
 
     Watts
@@ -224,6 +278,7 @@ struct Engine
         secPerCycle = 1.0 / freq;
         dynScale = dvfs.dynamicScale(freq);
         backgroundPower = computeBackgroundPower();
+        hoistConfig();
         return freq / old_freq;
     }
 
@@ -240,51 +295,46 @@ struct Engine
              Cycles now, bool allow_prefetch)
     {
         const Addr line = addr / lineSize;
-        const std::uint32_t bank =
-            cfg.l2Sharing == SharingMode::Shared
-                ? static_cast<std::uint32_t>(line % tiles)
-                : tile;
+        const std::uint32_t bank = !l2Shared ? tile
+            : tilesPow2 ? (static_cast<std::uint32_t>(line) & tilesMask)
+                        : static_cast<std::uint32_t>(line % tiles);
         const Cycles xdelay = l2Xbar.request(bank, now, 2);
-        ac.xbarE += rp.energy.xbarTraversal +
-            (cfg.l2Sharing == SharingMode::Shared
-                 ? rp.energy.xbarArbitration : 0.0);
+        ac.xbarE += l2XbarReqE;
         ++ac.l2Acc;
-        ac.cacheE += write
-            ? sram.writeEnergy(cfg.l2CapBytes(), false)
-            : sram.readEnergy(cfg.l2CapBytes(), false);
+        ac.cacheE += write ? l2WriteE : l2ReadE;
         auto res = l2[bank].access(addr, write);
         Cycles lat = xdelay + l2HitCycles;
         if (!res.hit) {
             ++ac.l2Miss;
             const Seconds t_req = (now + lat) * secPerCycle;
-            const Seconds done = mem.transfer(t_req, lineSize, false);
+            const Seconds done = mem.transferLine(t_req, false);
             lat += static_cast<Cycles>(
                 std::ceil((done - t_req) * freq));
             ++ac.memLineReads;
-            ac.dramE += lineSize * rp.energy.dramPerByte;
+            ac.dramE += dramLineE;
             if (res.writeback) {
-                mem.transfer(t_req, lineSize, true);
+                mem.transferLine(t_req, true);
                 ++ac.memLineWrites;
-                ac.dramE += lineSize * rp.energy.dramPerByte;
+                ac.dramE += dramLineE;
             }
         }
-        if (allow_prefetch && cfg.prefetchDegree() > 0) {
+        if (allow_prefetch && pfDegree > 0) {
             pfBuf.clear();
             l2Pf[bank].observe(pc, addr, pfBuf);
             for (Addr a : pfBuf) {
                 ++ac.l2PfIssued;
                 if (l2[bank].contains(a))
                     continue;
-                auto fill = l2[bank].install(a);
-                ac.cacheE += sram.writeEnergy(cfg.l2CapBytes(), false);
+                auto fill = l2[bank].installAbsent(a);
+                ac.cacheE += l2WriteE;
                 const Seconds t_pf = now * secPerCycle;
-                mem.transfer(t_pf, lineSize, false);
+                mem.transferLine(t_pf, false);
                 ++ac.memLineReads;
-                ac.dramE += lineSize * rp.energy.dramPerByte;
+                ac.dramE += dramLineE;
                 if (fill.writeback) {
-                    mem.transfer(t_pf, lineSize, true);
+                    mem.transferLine(t_pf, true);
                     ++ac.memLineWrites;
-                    ac.dramE += lineSize * rp.energy.dramPerByte;
+                    ac.dramE += dramLineE;
                 }
             }
         }
@@ -296,25 +346,24 @@ struct Engine
     accessL1(std::uint32_t gpe, Addr addr, bool write, std::uint16_t pc,
              Cycles now)
     {
-        const std::uint32_t tile = gpe / gpesPerTile;
+        const std::uint32_t tile =
+            gptPow2 ? gpe >> gptShift : gpe / gpesPerTile;
         const Addr line = addr / lineSize;
         std::uint32_t bank;
         Cycles lat = 1;
-        if (cfg.l1Sharing == SharingMode::Shared) {
-            const auto local =
-                static_cast<std::uint32_t>(line % gpesPerTile);
+        if (l1Shared) {
+            const std::uint32_t local = gptPow2
+                ? (static_cast<std::uint32_t>(line) & gptMask)
+                : static_cast<std::uint32_t>(line % gpesPerTile);
             lat += l1Xbar[tile].request(local, now, 1);
-            ac.xbarE += rp.energy.xbarTraversal +
-                rp.energy.xbarArbitration;
+            ac.xbarE += l1XbarSharedE;
             bank = tile * gpesPerTile + local;
         } else {
             bank = gpe;
             ac.xbarE += rp.energy.xbarTraversal;
         }
         ++ac.l1Acc;
-        ac.cacheE += write
-            ? sram.writeEnergy(cfg.l1CapBytes(), false)
-            : sram.readEnergy(cfg.l1CapBytes(), false);
+        ac.cacheE += write ? l1WriteE : l1ReadE;
         auto res = l1[bank].access(addr, write);
         if (res.writeback) {
             // Dirty victim drains to L2 through a write buffer: state,
@@ -326,7 +375,7 @@ struct Engine
             lat += accessL2(tile, addr, false, pc, now + lat, true);
         }
         // L1 stride prefetcher: fills are non-blocking.
-        if (cfg.prefetchDegree() > 0) {
+        if (pfDegree > 0) {
             pfBuf.clear();
             l1Pf[bank].observe(pc, addr, pfBuf);
             // Iterating pfBuf directly is safe: the accessL2() calls
@@ -335,8 +384,8 @@ struct Engine
                 ++ac.l1PfIssued;
                 if (l1[bank].contains(a))
                     continue;
-                auto fill = l1[bank].install(a);
-                ac.cacheE += sram.writeEnergy(cfg.l1CapBytes(), false);
+                auto fill = l1[bank].installAbsent(a);
+                ac.cacheE += l1WriteE;
                 if (fill.writeback)
                     accessL2(tile, fill.writebackAddr, true, 0, now,
                              false);
@@ -350,88 +399,23 @@ struct Engine
     Cycles
     spmAccess(std::uint32_t gpe, Addr addr, bool write, Cycles now)
     {
-        const std::uint32_t tile = gpe / gpesPerTile;
+        const std::uint32_t tile =
+            gptPow2 ? gpe >> gptShift : gpe / gpesPerTile;
         Cycles lat = 1;
         std::uint32_t bank = gpe;
-        if (cfg.l1Sharing == SharingMode::Shared) {
-            const auto local = static_cast<std::uint32_t>(
-                (addr / lineSize) % gpesPerTile);
+        if (l1Shared) {
+            const std::uint32_t local = gptPow2
+                ? (static_cast<std::uint32_t>(addr / lineSize) & gptMask)
+                : static_cast<std::uint32_t>(
+                      (addr / lineSize) % gpesPerTile);
             lat += l1Xbar[tile].request(local, now, 1);
-            ac.xbarE += rp.energy.xbarTraversal +
-                rp.energy.xbarArbitration;
+            ac.xbarE += l1XbarSharedE;
             bank = tile * gpesPerTile + local;
         }
         spm[bank].access();
         ++ac.l1Acc;
-        ac.cacheE += write
-            ? sram.writeEnergy(spmBankBytes, true)
-            : sram.readEnergy(spmBankBytes, true);
+        ac.cacheE += write ? spmWriteE : spmReadE;
         return lat;
-    }
-
-    /**
-     * Execute one op for a core; returns its latency in cycles.
-     * Core ids < numGpes are GPEs; the rest are LCPs.
-     */
-    Cycles
-    execute(std::uint32_t core, const TraceOp &op, Cycles now)
-    {
-        const bool is_gpe = core < numGpes;
-        const EnergyParams &ep = rp.energy;
-        auto &ops = is_gpe ? ac.gpeOps : ac.lcpOps;
-        auto &fp_ops = is_gpe ? ac.gpeFpOps : ac.lcpFpOps;
-
-        ++ac.opKind[static_cast<std::size_t>(op.kind)];
-        ++epochOpsByPhase[corePhase[core]];
-
-        switch (op.kind) {
-          case OpKind::Phase:
-            corePhase[core] = static_cast<int>(op.addr);
-            return 0;
-          case OpKind::IntOp:
-            ++ops;
-            ac.coreE += ep.intOpEnergy;
-            return 1;
-          case OpKind::FpOp:
-            ++ops;
-            ++fp_ops;
-            if (is_gpe)
-                epochFpByPhase[corePhase[core]] += 1.0;
-            ac.coreE += ep.fpOpEnergy;
-            return 2;
-          case OpKind::SpmLoad:
-          case OpKind::SpmStore: {
-            SADAPT_ASSERT(spmMode && is_gpe,
-                          "SPM op outside SPM mode GPE stream");
-            ++ops;
-            ++fp_ops; // SPM ops move FP words (counted per Table 2)
-            epochFpByPhase[corePhase[core]] += 1.0;
-            ac.coreE += ep.intOpEnergy;
-            return spmAccess(core, op.addr,
-                             op.kind == OpKind::SpmStore, now);
-          }
-          case OpKind::Load:
-          case OpKind::Store:
-          case OpKind::FpLoad:
-          case OpKind::FpStore: {
-            ++ops;
-            if (isFpKind(op.kind)) {
-                ++fp_ops;
-                if (is_gpe)
-                    epochFpByPhase[corePhase[core]] += 1.0;
-            }
-            ac.coreE += ep.intOpEnergy;
-            const bool write =
-                op.kind == OpKind::Store || op.kind == OpKind::FpStore;
-            if (is_gpe && !spmMode)
-                return accessL1(core, op.addr, write, op.pc, now);
-            // LCPs, and GPEs in SPM mode, access the L2 layer directly.
-            const std::uint32_t tile =
-                is_gpe ? core / gpesPerTile : core - numGpes;
-            return accessL2(tile, op.addr, write, op.pc, now, true);
-          }
-        }
-        panic("bad OpKind");
     }
 
     /** Build the Table 2 counter sample and close the epoch. */
@@ -605,7 +589,7 @@ struct Engine
         m.counter("profile/component/prefetcher/issued")
             .add(ac.l1PfIssued + ac.l2PfIssued);
 
-        const auto &names = trace.phaseNames();
+        const auto &names = trace.phases;
         for (std::size_t p = 0; p < epochOpsByPhase.size(); ++p) {
             if (epochOpsByPhase[p] == 0)
                 continue;
@@ -626,11 +610,30 @@ struct Engine
 SimResult
 Transmuter::run(const Trace &trace, const HwConfig &cfg) const
 {
+    const ColumnarTrace soa = ColumnarTrace::fromTrace(trace);
+    return runImpl(soa.view(), cfg, nullptr, nullptr, true, nullptr);
+}
+
+SimResult
+Transmuter::run(const TraceView &trace, const HwConfig &cfg) const
+{
     return runImpl(trace, cfg, nullptr, nullptr, true, nullptr);
 }
 
 SimResult
 Transmuter::runSchedule(const Trace &trace, const Schedule &schedule,
+                        const ReconfigCostModel &cost_model,
+                        bool energy_efficient_mode,
+                        FaultInjector *faults) const
+{
+    SADAPT_ASSERT(!schedule.configs.empty(), "empty schedule");
+    const ColumnarTrace soa = ColumnarTrace::fromTrace(trace);
+    return runImpl(soa.view(), schedule.configs.front(), &schedule,
+                   &cost_model, energy_efficient_mode, faults);
+}
+
+SimResult
+Transmuter::runSchedule(const TraceView &trace, const Schedule &schedule,
                         const ReconfigCostModel &cost_model,
                         bool energy_efficient_mode,
                         FaultInjector *faults) const
@@ -662,16 +665,108 @@ injectTelemetryFaults(FaultInjector *faults, EpochRecord &rec)
     }
 }
 
+/**
+ * Flat four-ary min-heap of (cycle, core) events. The replay
+ * contract only depends on the pop order — the strict total order on
+ * the pairs (core ids are unique, so no two entries compare equal) —
+ * and every correct heap yields that same sequence; arity changes
+ * sift depth, not order. Four children per node halve the tree depth
+ * a binary heap would need for the core counts involved, and each
+ * sift step compares one contiguous group of four 16-byte entries.
+ */
+struct EventHeap
+{
+    using Entry = std::pair<Cycles, std::uint32_t>;
+
+    std::vector<Entry> v;
+
+    bool empty() const { return v.empty(); }
+    const Entry &top() const { return v.front(); }
+    void reserve(std::size_t n) { v.reserve(n); }
+
+    void
+    push(Entry e)
+    {
+        std::size_t i = v.size();
+        v.push_back(e);
+        while (i > 0) {
+            const std::size_t p = (i - 1) >> 2;
+            if (!(e < v[p]))
+                break;
+            v[i] = v[p];
+            i = p;
+        }
+        v[i] = e;
+    }
+
+    void
+    pop()
+    {
+        const Entry last = v.back();
+        v.pop_back();
+        const std::size_t n = v.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t c0 = 4 * i + 1;
+            if (c0 >= n)
+                break;
+            std::size_t m = c0;
+            const std::size_t c_end = std::min(c0 + 4, n);
+            for (std::size_t c = c0 + 1; c < c_end; ++c)
+                if (v[c] < v[m])
+                    m = c;
+            if (!(v[m] < last))
+                break;
+            v[i] = v[m];
+            i = m;
+        }
+        v[i] = last;
+    }
+};
+
 } // namespace
 
+/*
+ * The replay loop below is the SoA rewrite of the historical
+ * pop-execute-push event loop, and must stay *bit-identical* to it:
+ * same global op execution order, hence the same integer timing and
+ * the same floating-point accumulation order. The old loop popped
+ * (cycle, core) from the min-heap, executed ONE op, and pushed the
+ * core back. This one pops a core and keeps executing its ops inline
+ * — a "run" — for as long as the core provably remains the earliest
+ * event, i.e. while (t, core) < heap.top() under the exact heap pair
+ * ordering (core ids are unique, so full ties are impossible and the
+ * comparison reproduces the heap's pop order precisely). Within a run
+ * the op columns are consumed as maximal same-kind segments so the
+ * kind dispatch, the per-op bounds asserts, the stream lookups and
+ * the heap traffic are all hoisted out of the per-op path.
+ *
+ * Exactness invariants the run structure relies on:
+ *  - t is monotone non-decreasing within a run, so max_cycle can be
+ *    flushed once at every run exit instead of per op.
+ *  - The epoch-close predicate (ac.gpeFpOps >= target) only changes
+ *    when a GPE executes an FP-kind or SPM op, and the old loop
+ *    closed the epoch immediately at the crossing op; checking after
+ *    exactly those ops is therefore equivalent to checking after
+ *    every op. Phase ops skipped the check in the old loop (its
+ *    `continue`) and still do.
+ *  - At an epoch close the old loop had already pushed the core back
+ *    into the heap; the run path pushes (t, core) BEFORE closing so a
+ *    reconfiguration rescales an identical heap.
+ *  - corePhase[core] only changes on Phase ops and Phase ops end the
+ *    run, so the per-phase accumulator references hoisted at run
+ *    start stay correct for the whole run.
+ */
 SimResult
-Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
+Transmuter::runImpl(const TraceView &trace, const HwConfig &cfg,
                     const Schedule *schedule,
                     const ReconfigCostModel *cost_model,
                     bool energy_efficient_mode,
                     FaultInjector *faults) const
 {
-    SADAPT_ASSERT(trace.shape() == paramsV.shape,
+    SADAPT_ASSERT(trace.shape == paramsV.shape,
                   "trace shape does not match simulator shape");
     SADAPT_PROF_SCOPE("sim/replay/run");
     Engine eng(paramsV, cfg, dvfs, trace);
@@ -681,26 +776,22 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
     result.config = cfg;
     if (paramsV.epochFpOps > 0) {
         result.epochs.reserve(static_cast<std::size_t>(
-            trace.totalFlops() /
+            double(trace.totalFpOps) /
                 double(paramsV.epochFpOps * eng.numGpes)) + 2);
     }
 
     const std::uint32_t num_cores = eng.numCores;
+    const std::uint32_t num_gpes = eng.numGpes;
+    const StreamView *streams = trace.streams.data();
     std::vector<std::size_t> cursor(num_cores, 0);
     std::vector<Cycles> core_cycle(num_cores, 0);
 
-    auto stream = [&](std::uint32_t core) -> const std::vector<TraceOp> & {
-        return core < eng.numGpes
-            ? trace.gpeStream(core)
-            : trace.lcpStream(core - eng.numGpes);
-    };
-
-    using HeapEntry = std::pair<Cycles, std::uint32_t>;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>> heap;
+    using HeapEntry = EventHeap::Entry;
+    EventHeap heap;
+    heap.reserve(num_cores);
     std::uint32_t participants = 0;
     for (std::uint32_t c = 0; c < num_cores; ++c) {
-        if (!stream(c).empty()) {
+        if (streams[c].size != 0) {
             heap.push({0, c});
             ++participants;
         }
@@ -709,7 +800,7 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
     // Phase markers are barriers: merge cannot start before every
     // producer finished multiplying. A core arriving at a marker parks
     // until all participating cores arrive.
-    const std::size_t num_phases = trace.phaseNames().size();
+    const std::size_t num_phases = trace.phases.size();
     std::vector<std::uint32_t> barrier_arrivals(num_phases, 0);
     std::vector<std::vector<std::uint32_t>> barrier_waiters(num_phases);
     std::vector<Cycles> barrier_time(num_phases, 0);
@@ -722,80 +813,252 @@ Transmuter::runImpl(const Trace &trace, const HwConfig &cfg,
     Cycles max_cycle = 0;
 
     while (!heap.empty()) {
-        const auto [now, core] = heap.top();
+        const Cycles start_t = heap.top().first;
+        const std::uint32_t core = heap.top().second;
         heap.pop();
-        const auto &ops = stream(core);
-        const TraceOp &op = ops[cursor[core]++];
-        const Cycles lat = eng.execute(core, op, now);
-        core_cycle[core] = now + lat;
-        max_cycle = std::max(max_cycle, core_cycle[core]);
-        if (op.kind == OpKind::Phase) {
-            const auto pid = static_cast<std::size_t>(op.addr);
-            barrier_time[pid] = std::max(barrier_time[pid], now);
-            if (++barrier_arrivals[pid] == participants) {
-                const Cycles release = barrier_time[pid];
-                max_cycle = std::max(max_cycle, release);
-                core_cycle[core] = release;
-                if (cursor[core] < ops.size())
-                    heap.push({release, core});
-                for (std::uint32_t w : barrier_waiters[pid]) {
-                    core_cycle[w] = release;
-                    if (cursor[w] < stream(w).size())
-                        heap.push({release, w});
+        const StreamView &sv = streams[core];
+        const std::uint8_t *kinds = sv.kind;
+        const Addr *addrs = sv.addr;
+        const std::uint16_t *pcs = sv.pc;
+        const std::size_t n = sv.size;
+        std::size_t i = cursor[core];
+        Cycles t = start_t;
+        const bool is_gpe = core < num_gpes;
+        const bool gpe_cache = is_gpe && !eng.spmMode;
+        const std::uint32_t tile =
+            is_gpe ? core / eng.gpesPerTile : core - num_gpes;
+        std::uint64_t &ops_ctr = is_gpe ? eng.ac.gpeOps : eng.ac.lcpOps;
+        std::uint64_t &fp_ctr =
+            is_gpe ? eng.ac.gpeFpOps : eng.ac.lcpFpOps;
+        std::uint64_t &phase_ops =
+            eng.epochOpsByPhase[eng.corePhase[core]];
+        double &phase_fp = eng.epochFpByPhase[eng.corePhase[core]];
+        const Joules int_e = eng.rp.energy.intOpEnergy;
+        const Joules fp_e = eng.rp.energy.fpOpEnergy;
+
+        // Register-carried per-run accumulators. The kind column is
+        // uint8_t, which may alias anything, so without these locals
+        // the compiler must spill and reload every accumulator around
+        // each kinds[i] load. The double chains below append to them
+        // op by op in the original order (never n*e at once), so the
+        // write-back at the run exit is bit-identical to updating the
+        // members directly. Nothing inside the run loop reads the
+        // member copies (closeEpoch runs only after the write-back).
+        double ce = eng.ac.coreE;
+        double pf = phase_fp;
+        std::uint64_t fpc = fp_ctr;
+
+        // The heap is untouched for the entire run (popped above,
+        // pushed again only at the run exit or inside the Phase
+        // branch, which leaves immediately), so the rival entry is a
+        // run constant and still_min() compares against registers.
+        const bool rivals = !heap.empty();
+        const Cycles rival_t = rivals ? heap.top().first : 0;
+        const std::uint32_t rival_core =
+            rivals ? heap.top().second : 0;
+        auto still_min = [&](Cycles tt) {
+            return !rivals || tt < rival_t ||
+                (tt == rival_t && core < rival_core);
+        };
+
+        bool do_close = false;
+        bool at_barrier = false;
+        for (;;) {
+            const std::uint8_t kb = kinds[i];
+            const OpKind kind = static_cast<OpKind>(kb);
+            if (kind == OpKind::Phase) {
+                ++eng.ac.opKind[kb];
+                ++phase_ops;
+                const auto pid = static_cast<std::size_t>(addrs[i]);
+                eng.corePhase[core] = static_cast<int>(addrs[i]);
+                ++i;
+                cursor[core] = i;
+                core_cycle[core] = t;
+                max_cycle = std::max(max_cycle, t);
+                barrier_time[pid] = std::max(barrier_time[pid], t);
+                if (++barrier_arrivals[pid] == participants) {
+                    const Cycles release = barrier_time[pid];
+                    max_cycle = std::max(max_cycle, release);
+                    core_cycle[core] = release;
+                    if (i < n)
+                        heap.push({release, core});
+                    for (std::uint32_t w : barrier_waiters[pid]) {
+                        core_cycle[w] = release;
+                        if (cursor[w] < streams[w].size)
+                            heap.push({release, w});
+                    }
+                } else {
+                    barrier_waiters[pid].push_back(core);
                 }
+                at_barrier = true;
+                break;
+            }
+            if (kind == OpKind::IntOp) {
+                // IntOps never advance gpeFpOps, so no epoch check.
+                const std::size_t seg = i;
+                do {
+                    ce += int_e;
+                    t += 1;
+                    ++i;
+                } while (i < n && kinds[i] == kb && still_min(t));
+                const std::uint64_t k = i - seg;
+                eng.ac.opKind[kb] += k;
+                phase_ops += k;
+                ops_ctr += k;
+            } else if (kind == OpKind::FpOp) {
+                const std::size_t seg = i;
+                do {
+                    ++fpc;
+                    if (is_gpe)
+                        pf += 1.0;
+                    ce += fp_e;
+                    t += 2;
+                    ++i;
+                    if (is_gpe && fpc >= epoch_fp_target) {
+                        do_close = true;
+                        break;
+                    }
+                } while (i < n && kinds[i] == kb && still_min(t));
+                const std::uint64_t k = i - seg;
+                eng.ac.opKind[kb] += k;
+                phase_ops += k;
+                ops_ctr += k;
+                if (do_close)
+                    break;
+            } else if (kind == OpKind::SpmLoad ||
+                       kind == OpKind::SpmStore) {
+                SADAPT_ASSERT(eng.spmMode && is_gpe,
+                              "SPM op outside SPM mode GPE stream");
+                const bool write = kind == OpKind::SpmStore;
+                const std::size_t seg = i;
+                do {
+                    ++fpc; // SPM ops move FP words (Table 2)
+                    pf += 1.0;
+                    ce += int_e;
+                    t += eng.spmAccess(core, addrs[i], write, t);
+                    ++i;
+                    if (fpc >= epoch_fp_target) {
+                        do_close = true;
+                        break;
+                    }
+                } while (i < n && kinds[i] == kb && still_min(t));
+                const std::uint64_t k = i - seg;
+                eng.ac.opKind[kb] += k;
+                phase_ops += k;
+                ops_ctr += k;
+                if (do_close)
+                    break;
             } else {
-                barrier_waiters[pid].push_back(core);
-            }
-            continue;
-        }
-        if (cursor[core] < ops.size())
-            heap.push({core_cycle[core], core});
-
-        if (eng.ac.gpeFpOps >= epoch_fp_target) {
-            result.epochs.push_back(eng.closeEpoch(
-                epoch_index++, epoch_start, core_cycle[core]));
-            injectTelemetryFaults(faults, result.epochs.back());
-            epoch_start = core_cycle[core];
-
-            HwConfig next = eng.cfg;
-            if (schedule && epoch_index < schedule->configs.size()) {
-                next = schedule->configs[epoch_index];
-                if (faults != nullptr)
-                    next = faults->applyCommand(epoch_index, eng.cfg,
-                                                next);
-            }
-            if (!(next == eng.cfg)) {
-                // Live reconfiguration at the epoch boundary: charge
-                // the penalty as a global stall, rescale core-local
-                // cycle counts into the new clock domain, and rebuild
-                // the event heap. (Background power during the stall
-                // is charged by both the cost model and the epoch
-                // window — a small, documented overlap.)
-                const ReconfigCost rc = cost_model->cost(
-                    eng.cfg, next, energy_efficient_mode);
-                const double ratio = eng.reconfigure(
-                    next, rc.flushL1, rc.flushL2);
-                eng.pendingPenaltyEnergy += rc.energy;
-                const auto penalty = static_cast<Cycles>(
-                    std::ceil(rc.seconds * eng.freq));
-                auto rescale = [&](Cycles t) {
-                    return static_cast<Cycles>(
-                        std::llround(double(t) * ratio));
-                };
-                rescaled.clear();
-                while (!heap.empty()) {
-                    rescaled.push_back(heap.top());
-                    heap.pop();
+                // Load / Store / FpLoad / FpStore.
+                const bool write = kind == OpKind::Store ||
+                    kind == OpKind::FpStore;
+                const bool fp = isFpKind(kind);
+                const std::size_t seg = i;
+                if (gpe_cache) {
+                    do {
+                        if (fp) {
+                            ++fpc;
+                            pf += 1.0;
+                        }
+                        ce += int_e;
+                        t += eng.accessL1(core, addrs[i], write, pcs[i],
+                                          t);
+                        ++i;
+                        if (fp && fpc >= epoch_fp_target) {
+                            do_close = true;
+                            break;
+                        }
+                    } while (i < n && kinds[i] == kb && still_min(t));
+                } else {
+                    // LCPs, and GPEs in SPM mode, go straight to L2.
+                    do {
+                        if (fp) {
+                            ++fpc;
+                            if (is_gpe)
+                                pf += 1.0;
+                        }
+                        ce += int_e;
+                        t += eng.accessL2(tile, addrs[i], write, pcs[i],
+                                          t, true);
+                        ++i;
+                        if (is_gpe && fp &&
+                            fpc >= epoch_fp_target) {
+                            do_close = true;
+                            break;
+                        }
+                    } while (i < n && kinds[i] == kb && still_min(t));
                 }
-                for (auto &[t, c] : rescaled)
-                    heap.push({rescale(t) + penalty, c});
-                for (auto &t : core_cycle)
-                    t = rescale(t) + penalty;
-                for (auto &t : barrier_time)
-                    t = rescale(t);
-                epoch_start = rescale(epoch_start);
-                max_cycle = rescale(max_cycle) + penalty;
+                const std::uint64_t k = i - seg;
+                eng.ac.opKind[kb] += k;
+                phase_ops += k;
+                ops_ctr += k;
+                if (do_close)
+                    break;
             }
+            if (i < n && still_min(t))
+                continue; // dispatch the next same-core segment
+            break;
+        }
+        // Write the register-carried accumulators back before anything
+        // (closeEpoch, the next run) can observe the members.
+        eng.ac.coreE = ce;
+        fp_ctr = fpc;
+        phase_fp = pf;
+        if (at_barrier)
+            continue;
+
+        // Run exit: flush the deferred per-op state exactly once.
+        cursor[core] = i;
+        core_cycle[core] = t;
+        max_cycle = std::max(max_cycle, t);
+        if (i < n)
+            heap.push({t, core});
+        if (!do_close)
+            continue;
+
+        result.epochs.push_back(eng.closeEpoch(
+            epoch_index++, epoch_start, core_cycle[core]));
+        injectTelemetryFaults(faults, result.epochs.back());
+        epoch_start = core_cycle[core];
+
+        HwConfig next = eng.cfg;
+        if (schedule && epoch_index < schedule->configs.size()) {
+            next = schedule->configs[epoch_index];
+            if (faults != nullptr)
+                next = faults->applyCommand(epoch_index, eng.cfg,
+                                            next);
+        }
+        if (!(next == eng.cfg)) {
+            // Live reconfiguration at the epoch boundary: charge
+            // the penalty as a global stall, rescale core-local
+            // cycle counts into the new clock domain, and rebuild
+            // the event heap. (Background power during the stall
+            // is charged by both the cost model and the epoch
+            // window — a small, documented overlap.)
+            const ReconfigCost rc = cost_model->cost(
+                eng.cfg, next, energy_efficient_mode);
+            const double ratio = eng.reconfigure(
+                next, rc.flushL1, rc.flushL2);
+            eng.pendingPenaltyEnergy += rc.energy;
+            const auto penalty = static_cast<Cycles>(
+                std::ceil(rc.seconds * eng.freq));
+            auto rescale = [&](Cycles tt) {
+                return static_cast<Cycles>(
+                    std::llround(double(tt) * ratio));
+            };
+            rescaled.clear();
+            while (!heap.empty()) {
+                rescaled.push_back(heap.top());
+                heap.pop();
+            }
+            for (auto &[tt, c] : rescaled)
+                heap.push({rescale(tt) + penalty, c});
+            for (auto &tt : core_cycle)
+                tt = rescale(tt) + penalty;
+            for (auto &tt : barrier_time)
+                tt = rescale(tt);
+            epoch_start = rescale(epoch_start);
+            max_cycle = rescale(max_cycle) + penalty;
         }
     }
     if (eng.ac.gpeFpOps > 0 || result.epochs.empty()) {

@@ -22,6 +22,7 @@
 #include "sim/reconfig.hh"
 #include "sim/schedule.hh"
 #include "sim/trace.hh"
+#include "sim/trace_columnar.hh"
 
 namespace sadapt {
 
@@ -122,10 +123,19 @@ class Transmuter
     /**
      * Replay a trace under a configuration.
      *
+     * The engine consumes columnar SoA spans; the Trace overload
+     * converts first (one pass over the ops) and is bit-identical to
+     * replaying the equivalent TraceView. Sweeps that replay the same
+     * trace many times should convert once (ColumnarTrace::fromTrace
+     * or a columnar file) and pass the view.
+     *
      * @param trace functional trace (shape must match RunParams).
      * @param cfg the hardware configuration to model.
      */
     SimResult run(const Trace &trace, const HwConfig &cfg) const;
+
+    /** As run(Trace), but over a pre-converted columnar view. */
+    SimResult run(const TraceView &trace, const HwConfig &cfg) const;
 
     /**
      * Live dynamic execution: replay the trace while switching to
@@ -149,6 +159,13 @@ class Transmuter
                           bool energy_efficient_mode,
                           FaultInjector *faults = nullptr) const;
 
+    /** As runSchedule(Trace), but over a pre-converted columnar view. */
+    SimResult runSchedule(const TraceView &trace,
+                          const Schedule &schedule,
+                          const ReconfigCostModel &cost_model,
+                          bool energy_efficient_mode,
+                          FaultInjector *faults = nullptr) const;
+
     const RunParams &params() const { return paramsV; }
 
     /**
@@ -168,7 +185,7 @@ class Transmuter
     DvfsModel dvfs;
     obs::MetricRegistry *metricsV = nullptr;
 
-    SimResult runImpl(const Trace &trace, const HwConfig &cfg,
+    SimResult runImpl(const TraceView &trace, const HwConfig &cfg,
                       const Schedule *schedule,
                       const ReconfigCostModel *cost_model,
                       bool energy_efficient_mode,

@@ -10,20 +10,6 @@ Crossbar::Crossbar(std::uint32_t num_ports, Cycles arb_cycles)
     SADAPT_ASSERT(num_ports > 0, "crossbar needs at least one port");
 }
 
-Cycles
-Crossbar::request(std::uint32_t port, Cycles now, Cycles service)
-{
-    SADAPT_ASSERT(port < busyUntil.size(), "crossbar port out of range");
-    ++accessCount;
-    Cycles start = now;
-    if (busyUntil[port] > now) {
-        ++contentionCount;
-        start = busyUntil[port];
-    }
-    busyUntil[port] = start + service;
-    return (start - now) + arbCycles;
-}
-
 double
 Crossbar::contentionRatio() const
 {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace sadapt {
@@ -33,9 +34,25 @@ class Crossbar
      * Request a traversal to an output port starting no earlier than
      * `now`, occupying the port for `service` cycles.
      *
+     * Inline: every L1/L2 access in the replay inner loop traverses a
+     * crossbar (no LTO across libraries).
+     *
      * @return the total added latency (arbitration + queuing delay).
      */
-    Cycles request(std::uint32_t port, Cycles now, Cycles service);
+    Cycles
+    request(std::uint32_t port, Cycles now, Cycles service)
+    {
+        SADAPT_ASSERT(port < busyUntil.size(),
+                      "crossbar port out of range");
+        ++accessCount;
+        Cycles start = now;
+        if (busyUntil[port] > now) {
+            ++contentionCount;
+            start = busyUntil[port];
+        }
+        busyUntil[port] = start + service;
+        return (start - now) + arbCycles;
+    }
 
     std::uint64_t accesses() const { return accessCount; }
     std::uint64_t contentions() const { return contentionCount; }

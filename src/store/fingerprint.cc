@@ -23,6 +23,18 @@ hashStream(Fnv1a &h, const std::vector<TraceOp> &stream)
     }
 }
 
+/** Columnar twin of hashStream(): same fields, same fold order. */
+void
+hashStream(Fnv1a &h, const StreamView &stream)
+{
+    h.u64(stream.size);
+    for (std::size_t i = 0; i < stream.size; ++i) {
+        h.u64(stream.addr[i]);
+        h.u64(stream.pc[i]);
+        h.u64(stream.kind[i]);
+    }
+}
+
 void
 hashEnergyParams(Fnv1a &h, const EnergyParams &e)
 {
@@ -40,11 +52,17 @@ hashEnergyParams(Fnv1a &h, const EnergyParams &e)
     h.f64(e.dramPerByte);
 }
 
-} // namespace
-
+/**
+ * Shared fingerprint body: both trace representations expose shape(),
+ * per-core streams and phase names, and hashStream() folds an AoS
+ * stream and a column-view stream identically, so one template keeps
+ * the two public overloads colliding exactly on equal content.
+ */
+template <typename TraceLike, typename Phases>
 std::uint64_t
-workloadFingerprint(const Trace &trace, const RunParams &params,
-                    MemType l1_type)
+fingerprintImpl(const TraceLike &trace, const SystemShape &shape,
+                const Phases &phase_names, const RunParams &params,
+                MemType l1_type)
 {
     Fnv1a h;
     h.u64(static_cast<std::uint64_t>(l1_type));
@@ -54,17 +72,34 @@ workloadFingerprint(const Trace &trace, const RunParams &params,
     h.u64(params.epochFpOps);
     hashEnergyParams(h, params.energy);
 
-    const SystemShape &shape = trace.shape();
     h.u64(shape.tiles);
     h.u64(shape.gpesPerTile);
     for (std::uint32_t g = 0; g < shape.numGpes(); ++g)
         hashStream(h, trace.gpeStream(g));
     for (std::uint32_t t = 0; t < shape.tiles; ++t)
         hashStream(h, trace.lcpStream(t));
-    h.u64(trace.phaseNames().size());
-    for (const std::string &name : trace.phaseNames())
+    h.u64(phase_names.size());
+    for (const std::string &name : phase_names)
         h.str(name);
     return h.value();
+}
+
+} // namespace
+
+std::uint64_t
+workloadFingerprint(const Trace &trace, const RunParams &params,
+                    MemType l1_type)
+{
+    return fingerprintImpl(trace, trace.shape(), trace.phaseNames(),
+                           params, l1_type);
+}
+
+std::uint64_t
+workloadFingerprint(const TraceView &trace, const RunParams &params,
+                    MemType l1_type)
+{
+    return fingerprintImpl(trace, trace.shape, trace.phases, params,
+                           l1_type);
 }
 
 std::uint64_t

@@ -209,6 +209,40 @@ TEST(Lint, FabricProcessControlExclusions)
     EXPECT_FALSE(hasCheck(r, "lint-fabric-process"));
 }
 
+TEST(Lint, TraceMmapFlaggedOutsideColumnarLoader)
+{
+    const Report r = lintSource(
+        "void *p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);\n"
+        "munmap(p, n);\n"
+        "madvise(p, n, MADV_SEQUENTIAL);\n"
+        "pread(fd, buf, n, 0);\n",
+        "src/sparse/io.cc");
+    EXPECT_EQ(r.errorCount(), 4u);
+    EXPECT_TRUE(hasCheck(r, "lint-trace-raw-mmap"));
+}
+
+TEST(Lint, TraceMmapAllowedInColumnarLoader)
+{
+    // trace_columnar is the one lifetime authority for mapped trace
+    // bytes; the loader's mmap/munmap are its whole job.
+    const Report r = lintSource(
+        "void *p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);\n"
+        "munmap(p, n);\n",
+        "src/sim/trace_columnar.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-trace-raw-mmap"));
+}
+
+TEST(Lint, TraceMmapExclusions)
+{
+    // Member calls and class-qualified statics are not raw mapping;
+    // bare mentions without a call are fine too.
+    const Report r = lintSource("mapper.mmap();\n"
+                                "Mapping::munmap(region);\n"
+                                "int mmap = 3; mmap += 1;\n",
+                                "src/sim/cache.cc");
+    EXPECT_FALSE(hasCheck(r, "lint-trace-raw-mmap"));
+}
+
 TEST(Lint, FixtureFileTripsFabricRule)
 {
     const Report r = lintFile(

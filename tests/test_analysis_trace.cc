@@ -284,6 +284,58 @@ TEST(TraceCheck, FileEntryPointReportsParseErrors)
     EXPECT_TRUE(hasCheck(rep, "trace-parse"));
 }
 
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(SADAPT_TEST_DATA_DIR) + "/analysis/" + name;
+}
+
+} // namespace
+
+TEST(TraceCheck, ColumnarGoodFixtureIsClean)
+{
+    // good.ctrace is good.trace converted by sadapt_tracec: same
+    // semantic content, sniffed and validated via the columnar path.
+    const Report rep = checkTraceFile(fixture("good.ctrace"));
+    EXPECT_TRUE(rep.clean()) << rep.findings().size();
+}
+
+TEST(TraceCheck, ColumnarSeededCorruptionsAreFlagged)
+{
+    // Each fixture is good.ctrace with one seeded defect. A flipped
+    // file magic stops the file sniffing as columnar at all, so it
+    // falls back to (and fails) the text parser; the rest fail the
+    // columnar framing validation with their specific defect.
+    {
+        const Report rep = checkTraceFile(fixture("bad_magic.ctrace"));
+        EXPECT_FALSE(rep.clean());
+        EXPECT_TRUE(hasCheck(rep, "trace-parse"));
+    }
+    const struct
+    {
+        const char *file;
+        const char *needle;
+    } cases[] = {
+        {"bad_version.ctrace", "unsupported version"},
+        {"bad_crc.ctrace", "CRC mismatch"},
+        {"torn_tail.ctrace", "torn tail"},
+        {"bad_columns.ctrace", "column length disagreement"},
+    };
+    for (const auto &c : cases) {
+        const Report rep = checkTraceFile(fixture(c.file));
+        ASSERT_FALSE(rep.clean()) << c.file;
+        ASSERT_TRUE(hasCheck(rep, "trace-columnar-framing")) << c.file;
+        bool found = false;
+        for (const auto &f : rep.findings())
+            if (f.message.find(c.needle) != std::string::npos)
+                found = true;
+        EXPECT_TRUE(found) << c.file << ": expected '" << c.needle
+                           << "' in findings";
+    }
+}
+
 TEST(Trace, TryPushRejectsOutOfRangeIds)
 {
     Trace trace(SystemShape{1, 2});

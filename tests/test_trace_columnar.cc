@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the binary columnar trace format and its SoA view:
+ * AoS/SoA conversion is an exact inverse pair, the file round trip
+ * preserves streams and metadata byte-for-byte, the delta-varint
+ * address column survives extreme 64-bit addresses and jumps in both
+ * directions, and format sniffing tells the two formats apart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "sim/trace_columnar.hh"
+
+using namespace sadapt;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh path under the test temp dir (removed if left over). */
+std::string
+tempTracePath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    fs::remove(path);
+    return path;
+}
+
+/**
+ * A small trace that stresses the encoder: every op kind, pc ids at
+ * both u16 extremes, and an address walk that forces maximal-length
+ * varints and sign flips in the zigzag delta stream (0 -> u64 max ->
+ * 1 -> alternating high/low).
+ */
+Trace
+extremeTrace()
+{
+    constexpr Addr kMax = std::numeric_limits<Addr>::max();
+    Trace t(SystemShape{2, 2});
+    t.beginPhase("stress");
+    t.pushGpe(0, {0, 0, OpKind::Load});
+    t.pushGpe(0, {kMax, 0xffff, OpKind::Store});      // +max delta
+    t.pushGpe(0, {1, 1, OpKind::FpLoad});             // -max-ish delta
+    t.pushGpe(0, {kMax / 2, 7, OpKind::FpStore});
+    t.pushGpe(0, {kMax / 2 + 1, 7, OpKind::FpOp});    // +1 delta
+    t.pushGpe(1, {0x8000000000000000ull, 2, OpKind::SpmLoad});
+    t.pushGpe(1, {0x7fffffffffffffffull, 3, OpKind::SpmStore});
+    t.pushGpe(2, {42, 4, OpKind::IntOp});
+    // GPE 3 stays empty: zero-length columns must round-trip too.
+    t.beginPhase("tail");
+    t.pushLcp(0, {kMax - 1, 0xfffe, OpKind::Load});
+    t.pushLcp(1, {0, 0, OpKind::IntOp});
+    return t;
+}
+
+void
+expectTracesEqual(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.shape().tiles, b.shape().tiles);
+    ASSERT_EQ(a.shape().gpesPerTile, b.shape().gpesPerTile);
+    EXPECT_EQ(a.phaseNames(), b.phaseNames());
+    auto expect_stream = [](const std::vector<TraceOp> &x,
+                            const std::vector<TraceOp> &y,
+                            const std::string &core) {
+        ASSERT_EQ(x.size(), y.size()) << core;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            EXPECT_EQ(x[i].addr, y[i].addr) << core << " op " << i;
+            EXPECT_EQ(x[i].pc, y[i].pc) << core << " op " << i;
+            EXPECT_EQ(x[i].kind, y[i].kind) << core << " op " << i;
+        }
+    };
+    for (std::uint32_t g = 0; g < a.shape().numGpes(); ++g)
+        expect_stream(a.gpeStream(g), b.gpeStream(g),
+                      "gpe " + std::to_string(g));
+    for (std::uint32_t t = 0; t < a.shape().tiles; ++t)
+        expect_stream(a.lcpStream(t), b.lcpStream(t),
+                      "lcp " + std::to_string(t));
+}
+
+} // namespace
+
+TEST(ColumnarTrace, ConversionRoundTripIsExact)
+{
+    const Trace t = extremeTrace();
+    const ColumnarTrace soa = ColumnarTrace::fromTrace(t);
+    expectTracesEqual(soa.toTrace(), t);
+}
+
+TEST(ColumnarTrace, ViewMatchesSourceStreams)
+{
+    const Trace t = extremeTrace();
+    const ColumnarTrace soa = ColumnarTrace::fromTrace(t);
+    const TraceView view = soa.view();
+    EXPECT_EQ(view.shape, t.shape());
+    ASSERT_EQ(view.streams.size(),
+              t.shape().numGpes() + t.shape().tiles);
+    EXPECT_EQ(view.totalOps, t.totalOps());
+    EXPECT_EQ(static_cast<double>(view.totalFpOps), t.totalFlops());
+    for (std::uint32_t g = 0; g < t.shape().numGpes(); ++g) {
+        const StreamView &s = view.gpeStream(g);
+        const auto &ops = t.gpeStream(g);
+        ASSERT_EQ(s.size, ops.size()) << "gpe " << g;
+        for (std::size_t i = 0; i < s.size; ++i) {
+            EXPECT_EQ(s.addr[i], ops[i].addr);
+            EXPECT_EQ(s.pc[i], ops[i].pc);
+            EXPECT_EQ(static_cast<OpKind>(s.kind[i]), ops[i].kind);
+        }
+    }
+    const StreamView &lcp = view.lcpStream(1);
+    ASSERT_EQ(lcp.size, t.lcpStream(1).size());
+    EXPECT_EQ(lcp.addr[0], t.lcpStream(1)[0].addr);
+}
+
+TEST(ColumnarTrace, FileRoundTripPreservesStreamsAndMetadata)
+{
+    const std::string path = tempTracePath("columnar_roundtrip.ctrace");
+    const Trace t = extremeTrace();
+    ASSERT_TRUE(
+        writeTraceColumnarFile(t, path, /*footprint=*/1 << 20,
+                               /*epoch_fpops=*/500,
+                               /*declared_epochs=*/3)
+            .isOk());
+
+    Result<ColumnarTrace> loaded = readTraceColumnarFile(path);
+    ASSERT_TRUE(loaded.isOk()) << loaded.message();
+    const ColumnarTrace &ct = loaded.value();
+    EXPECT_EQ(ct.footprint(), std::uint64_t{1} << 20);
+    EXPECT_EQ(ct.epochFpOps(), 500u);
+    EXPECT_EQ(ct.declaredEpochs(), 3u);
+    expectTracesEqual(ct.toTrace(), t);
+    fs::remove(path);
+}
+
+TEST(ColumnarTrace, EmptyTraceRoundTrips)
+{
+    const std::string path = tempTracePath("columnar_empty.ctrace");
+    const Trace t(SystemShape{1, 1});
+    ASSERT_TRUE(writeTraceColumnarFile(t, path).isOk());
+    Result<ColumnarTrace> loaded = readTraceColumnarFile(path);
+    ASSERT_TRUE(loaded.isOk()) << loaded.message();
+    EXPECT_EQ(loaded.value().view().totalOps, 0u);
+    expectTracesEqual(loaded.value().toTrace(), t);
+    fs::remove(path);
+}
+
+TEST(ColumnarTrace, FormatSniffingTellsFormatsApart)
+{
+    const std::string cpath = tempTracePath("columnar_sniff.ctrace");
+    const std::string tpath = tempTracePath("columnar_sniff.trace");
+    const Trace t = extremeTrace();
+    ASSERT_TRUE(writeTraceColumnarFile(t, cpath).isOk());
+    {
+        std::ofstream out(tpath);
+        writeTraceText(t, out);
+    }
+    EXPECT_TRUE(traceFileIsColumnar(cpath));
+    EXPECT_FALSE(traceFileIsColumnar(tpath));
+    EXPECT_FALSE(traceFileIsColumnar(tempTracePath("absent.ctrace")));
+    fs::remove(cpath);
+    fs::remove(tpath);
+}
+
+TEST(ColumnarTrace, TextAndColumnarDecodeToTheSameTrace)
+{
+    const std::string cpath = tempTracePath("columnar_cross.ctrace");
+    const std::string tpath = tempTracePath("columnar_cross.trace");
+    const Trace t = extremeTrace();
+    ASSERT_TRUE(writeTraceColumnarFile(t, cpath).isOk());
+    {
+        std::ofstream out(tpath);
+        writeTraceText(t, out);
+    }
+    Result<TraceText> text = readTraceTextFile(tpath);
+    ASSERT_TRUE(text.isOk()) << text.message();
+    Result<ColumnarTrace> col = readTraceColumnarFile(cpath);
+    ASSERT_TRUE(col.isOk()) << col.message();
+    expectTracesEqual(text.value().trace, col.value().toTrace());
+    fs::remove(cpath);
+    fs::remove(tpath);
+}

@@ -52,6 +52,13 @@ echo "== ctest -L fabric"
 ctest --test-dir "$build_dir" -L fabric --output-on-failure \
     -j "$(nproc)"
 
+# Trace-format + jobs=N determinism gate: text vs columnar replay must
+# be byte-identical (EpochDb, metrics, journal, store files) under the
+# sanitized build too; the same suite reruns under TSan below.
+echo "== ctest -L threading (ASan+UBSan)"
+ctest --test-dir "$build_dir" -L threading --output-on-failure \
+    -j "$(nproc)"
+
 echo "== sadapt_fabric crash drills (kill9, torn-write)"
 "$build_dir/tools/sadapt_fabric" --drill kill9 \
     --dir "$build_dir/fabric-drill-kill9.d"
