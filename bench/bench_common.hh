@@ -176,6 +176,19 @@ class BenchReport
     void noteTraceDecode(double wall_seconds);
 
     /**
+     * Account one control-server traffic replay (bench/serve_traffic):
+     * script size, pinned serve dataset scale, and the run's
+     * throughput/latency figures. Reported as "serve_sessions",
+     * "serve_scale", "sessions_per_second", "decision_p50_ms",
+     * "decision_p99_ms" and "serve_epochs_per_second"; the first two
+     * gate trend comparability like the scale knobs. The best rep
+     * (highest sessions/s) wins, mirroring best-of-N wall trending.
+     */
+    void noteServe(std::uint64_t sessions, double serve_scale,
+                   double sessions_per_second, double p50_ms,
+                   double p99_ms, double epochs_per_second);
+
+    /**
      * The trace format the bench replayed from, reported as
      * "trace_format". Defaults to "columnar" (every replay runs from
      * the columnar SoA view); tools/bench_trend refuses to compare
@@ -204,6 +217,12 @@ class BenchReport
     std::uint64_t fabricLeasesReclaimedV = 0;
     double traceDecodeSecondsV = 0.0;
     std::string traceFormatV = "columnar";
+    std::uint64_t serveSessionsV = 0;
+    double serveScaleV = 0.0;
+    double sessionsPerSecondV = 0.0;
+    double decisionP50MsV = 0.0;
+    double decisionP99MsV = 0.0;
+    double serveEpochsPerSecondV = 0.0;
 };
 
 /**

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Traffic-replay bench for the adaptation-as-a-service layer: replay
+ * a fixed 16-session arrival script (fig05 synthetic SpMSpV, fig08
+ * real-world SpMSpM and table6 graph SpMSpV families with seeded
+ * arrival jitter) through the multi-tenant control server and measure
+ * host-side serving throughput and decision latency.
+ *
+ * The script, the predictor recipe and the serve dataset scale are
+ * all pinned — independent of SPARSEADAPT_BENCH_SCALE — so reports
+ * trend against bench/baselines across revisions. Repeated
+ * SPARSEADAPT_REPS times; the best rep (highest sessions/s) is
+ * reported, and the merged journal is asserted byte-identical across
+ * reps on the spot (the serving-label tests prove the full contract).
+ *
+ * Writes bench_results/BENCH_serve_traffic.json with the serve keys
+ * ("sessions_per_second", "decision_p50_ms", "decision_p99_ms",
+ * "serve_epochs_per_second") consumed by tools/bench_trend.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "adapt/trainer.hh"
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "serve/server.hh"
+#include "serve/traffic.hh"
+
+using namespace sadapt;
+using namespace sadapt::bench;
+
+namespace {
+
+/** Pinned replay shape: the trend baseline depends on these. */
+constexpr std::size_t kSessions = 16;
+constexpr std::uint64_t kScriptSeed = 7;
+constexpr double kServeScale = 0.05;
+constexpr unsigned kWindow = 4; //!< concurrently open sessions
+
+unsigned
+repCount()
+{
+    const char *env = std::getenv("SPARSEADAPT_REPS");
+    if (env == nullptr)
+        return 3;
+    const long v = std::atol(env);
+    return v >= 1 ? static_cast<unsigned>(v) : 1;
+}
+
+/**
+ * The CLI's built-in mini-model recipe (tools/sadapt_serve.cc):
+ * deterministic and fast to train, so the bench needs no model file
+ * and its decisions are identical on every host.
+ */
+Predictor
+servePredictor()
+{
+    TrainerOptions opts;
+    opts.mode = OptMode::EnergyEfficient;
+    opts.includeSpMSpM = false;
+    opts.spmspvDims = {256};
+    opts.densities = {0.01, 0.04};
+    opts.bandwidths = {1e9};
+    opts.search.randomSamples = 10;
+    opts.search.neighborCap = 12;
+    opts.seed = 5;
+    Predictor p;
+    Rng rng(13);
+    p.train(buildTrainingSet(opts), rng);
+    return p;
+}
+
+std::uint64_t
+wallNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("serve_traffic",
+                "multi-tenant control-server replay (runtime "
+                "control loop of Sections 4-5 served N-way)");
+
+    const serve::TrafficScript script =
+        serve::makeTrafficScript(kSessions, kScriptSeed);
+    const Predictor pred = servePredictor();
+    const unsigned reps = repCount();
+    const unsigned jobs = benchJobs();
+
+    BenchReport report("serve_traffic");
+    std::string firstJournal;
+    serve::ServeResult best;
+    double bestSps = -1.0;
+
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        serve::ServeOptions so;
+        so.sessions = kWindow;
+        so.jobs = jobs;
+        so.scale = kServeScale;
+        so.predictor = &pred;
+        so.nowNs = wallNowNs;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = serve::runServe(script, so);
+        if (!r.isOk())
+            fatal("serve_traffic: " + r.message());
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        serve::ServeResult res = std::move(r.value());
+
+        if (rep == 0)
+            firstJournal = res.journalText;
+        else if (res.journalText != firstJournal)
+            fatal("serve_traffic: merged journal drifted across "
+                  "reps (determinism contract violated)");
+
+        const double sps =
+            wall > 0.0 ? static_cast<double>(kSessions) / wall : 0.0;
+        const double eps =
+            wall > 0.0
+                ? static_cast<double>(res.epochsServed) / wall
+                : 0.0;
+        report.noteServe(kSessions, kServeScale, sps,
+                         res.decisionP50Ms, res.decisionP99Ms, eps);
+        report.noteSweep(wall, 0);
+        std::printf("rep %u: %.2f sessions/s, %.0f epochs/s, "
+                    "decision p50 %.3f ms p99 %.3f ms "
+                    "(%llu epochs, %llu ticks, %.2fs wall)\n",
+                    rep + 1, sps, eps, res.decisionP50Ms,
+                    res.decisionP99Ms,
+                    static_cast<unsigned long long>(
+                        res.epochsServed),
+                    static_cast<unsigned long long>(res.ticks),
+                    wall);
+        if (sps > bestSps) {
+            bestSps = sps;
+            best = std::move(res);
+        }
+    }
+
+    // Per-session rows: the simulated outcomes are identical on every
+    // rep (and on every host), so any drift here flags a real bug.
+    for (const serve::SessionOutcome &s : best.outcomes)
+        report.add(s.kernel,
+                   str("session", s.id, ":", s.dataset), s.gflops,
+                   s.metricValue);
+
+    std::printf("\nbest of %u reps: %.2f sessions/s at window %u, "
+                "jobs %u\n",
+                reps, bestSps, kWindow, jobs);
+    report.write();
+    writeObserverOutputs();
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "adapt/session.hh"
 #include "adapt/telemetry.hh"
 #include "common/logging.hh"
 
@@ -252,88 +253,6 @@ oracleSchedule(EpochDb &db, std::span<const HwConfig> candidates,
     return oraclePowerPerf(db, candidates, cost_model, initial);
 }
 
-namespace {
-
-/**
- * Journaling hooks of the SparseAdapt loops. Every function is a
- * no-op on a null observer; none of them feeds anything back into the
- * control flow, so an attached observer cannot change a decision.
- */
-
-void
-emitEpochEvent(obs::RunObserver *o, std::size_t epoch, double t_now,
-               const HwConfig &cfg, const EpochRecord &rec,
-               OptMode mode)
-{
-    if (o == nullptr)
-        return;
-    o->beginEpoch(epoch, t_now);
-    o->emit("adapt/controller", "epoch",
-            {{"cfg", cfg.toSpec()},
-             {"seconds", rec.seconds},
-             {"flops", rec.flops},
-             {"energy_j", rec.totalEnergy()},
-             {"metric", metricValue(mode, rec.flops, rec.seconds,
-                                    rec.totalEnergy())}});
-    o->metrics().counter("adapt/controller/epochs").add();
-}
-
-void
-emitPrediction(obs::RunObserver *o, const HwConfig &predicted)
-{
-    if (o == nullptr)
-        return;
-    std::vector<std::pair<std::string, obs::FieldValue>> fields;
-    fields.emplace_back("cfg", predicted.toSpec());
-    for (Param p : allParams())
-        fields.emplace_back(
-            paramName(p),
-            static_cast<std::int64_t>(paramValue(predicted, p)));
-    o->emit("adapt/predictor", "prediction", std::move(fields));
-}
-
-void
-emitPolicyDecisions(obs::RunObserver *o, const PolicyOutcome &outcome)
-{
-    if (o == nullptr)
-        return;
-    for (const PolicyDecision &d : outcome.decisions) {
-        o->emit("adapt/policy", "policy",
-                {{"param", paramName(d.param)},
-                 {"from", static_cast<std::int64_t>(d.from)},
-                 {"to", static_cast<std::int64_t>(d.to)},
-                 {"accepted", d.accepted},
-                 {"cost_s", d.cost.seconds},
-                 {"cost_j", d.cost.energy},
-                 {"flush", d.cost.flushL1 || d.cost.flushL2}});
-        o->metrics().counter("adapt/policy/proposed").add();
-        o->metrics()
-            .counter(d.accepted ? "adapt/policy/accepted"
-                                : "adapt/policy/vetoed")
-            .add();
-    }
-}
-
-void
-emitReconfig(obs::RunObserver *o, const HwConfig &from,
-             const HwConfig &to, const ReconfigCostModel &cost_model,
-             bool ee)
-{
-    if (o == nullptr || from == to)
-        return;
-    const ReconfigCost rc = cost_model.cost(from, to, ee);
-    o->emit("adapt/controller", "reconfig",
-            {{"from", from.toSpec()},
-             {"to", to.toSpec()},
-             {"cost_s", rc.seconds},
-             {"cost_j", rc.energy},
-             {"flush_l1", rc.flushL1},
-             {"flush_l2", rc.flushL2}});
-    o->metrics().counter("adapt/controller/reconfigs").add();
-}
-
-} // namespace
-
 Schedule
 sparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
                     const Policy &policy, OptMode mode,
@@ -341,68 +260,19 @@ sparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
                     const HwConfig &initial,
                     obs::RunObserver *observer)
 {
-    const bool ee = mode == OptMode::EnergyEfficient;
+    SessionContext ctx;
+    ctx.predictor = &predictor;
+    ctx.policy = &policy;
+    ctx.mode = mode;
+    ctx.costModel = &cost_model;
+    ctx.observer = observer;
+    SessionState s = makeSessionState(initial, ctx);
     const std::size_t num_epochs = db.numEpochs();
-    Schedule schedule;
-    schedule.configs.reserve(num_epochs);
-    HwConfig current = initial;
-    double t_now = 0.0;
-    for (std::size_t e = 0; e < num_epochs; ++e) {
-        schedule.configs.push_back(current);
-        // Telemetry of the epoch that just ran under `current`.
-        const EpochRecord &rec = db.epochs(current)[e];
-        emitEpochEvent(observer, e, t_now, current, rec, mode);
-        const HwConfig predicted =
-            predictor.predict(current, rec.counters);
-        emitPrediction(observer, predicted);
-        const PolicyOutcome outcome = policy.applyDetailed(
-            current, predicted, rec.seconds, cost_model, ee);
-        emitPolicyDecisions(observer, outcome);
-        emitReconfig(observer, current, outcome.config, cost_model,
-                     ee);
-        t_now += rec.seconds;
-        if (!(outcome.config == current))
-            t_now += cost_model.cost(current, outcome.config, ee)
-                         .seconds;
-        current = outcome.config;
-    }
-    return schedule;
+    s.schedule.configs.reserve(num_epochs);
+    for (std::size_t e = 0; e < num_epochs; ++e)
+        stepEpoch(s, ctx, db.epochs(s.current)[e]);
+    return std::move(s.schedule);
 }
-
-namespace {
-
-/** Journal "fault" events appended to the injector log this epoch. */
-void
-emitNewFaultEvents(obs::RunObserver *o, FaultInjector *faults,
-                   std::size_t &seen)
-{
-    if (faults == nullptr)
-        return;
-    const std::vector<FaultEvent> &log = faults->events();
-    if (o != nullptr) {
-        for (std::size_t i = seen; i < log.size(); ++i) {
-            o->emit("sim/faults", "fault",
-                    {{"kind", faultKindName(log[i].kind)},
-                     {"detail", log[i].detail}});
-            o->metrics().counter("sim/faults/injected").add();
-        }
-    }
-    seen = log.size();
-}
-
-void
-emitGuardEvent(obs::RunObserver *o, const std::string &verdict,
-               std::size_t flagged)
-{
-    if (o == nullptr)
-        return;
-    o->emit("adapt/guard", "guard",
-            {{"verdict", verdict},
-             {"flagged", static_cast<std::int64_t>(flagged)}});
-    o->metrics().counter("adapt/guard/" + verdict).add();
-}
-
-} // namespace
 
 RobustAdaptResult
 robustSparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
@@ -413,104 +283,24 @@ robustSparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
                           const RobustAdaptOptions &opts,
                           obs::RunObserver *observer)
 {
-    const bool ee = mode == OptMode::EnergyEfficient;
+    SessionContext ctx;
+    ctx.predictor = &predictor;
+    ctx.policy = &policy;
+    ctx.mode = mode;
+    ctx.costModel = &cost_model;
+    ctx.faults = faults;
+    ctx.robust = true;
+    ctx.useGuard = opts.useGuard;
+    ctx.observer = observer;
+    SessionState s =
+        makeSessionState(initial, ctx, opts.guard, opts.watchdog);
     const std::size_t num_epochs = db.numEpochs();
-    const HwConfig safe = baselineConfig(initial.l1Type);
-
-    TelemetryGuard guard(opts.guard);
-    Watchdog watchdog(opts.watchdog);
-    watchdog.attachObserver(observer);
-    std::size_t faults_seen =
-        faults != nullptr ? faults->events().size() : 0;
+    s.schedule.configs.reserve(num_epochs);
+    for (std::size_t e = 0; e < num_epochs; ++e)
+        stepEpoch(s, ctx, db.epochs(s.current)[e]);
 
     RobustAdaptResult out;
-    out.schedule.configs.reserve(num_epochs);
-    HwConfig current = initial;
-    double t_now = 0.0;
-    for (std::size_t e = 0; e < num_epochs; ++e) {
-        out.schedule.configs.push_back(current);
-        const EpochRecord &rec = db.epochs(current)[e];
-        const auto epoch = static_cast<std::uint32_t>(e);
-        emitEpochEvent(observer, e, t_now, current, rec, mode);
-
-        std::optional<PerfCounterSample> received = faults
-            ? faults->filterSample(epoch, rec.counters)
-            : std::optional<PerfCounterSample>(rec.counters);
-
-        HwConfig commanded = current;
-        if (!opts.useGuard) {
-            // Naive loop: a missing sample reads as all-zero counters
-            // (stuck telemetry register); corruption feeds the
-            // predictor verbatim.
-            const PerfCounterSample sample =
-                received.value_or(PerfCounterSample{});
-            const HwConfig predicted =
-                predictor.predict(current, sample);
-            emitPrediction(observer, predicted);
-            const PolicyOutcome outcome = policy.applyDetailed(
-                current, predicted, rec.seconds, cost_model, ee);
-            emitPolicyDecisions(observer, outcome);
-            commanded = outcome.config;
-        } else {
-            PerfCounterSample sample;
-            bool usable = false;
-            if (!received) {
-                guard.recordMissing();
-                emitGuardEvent(observer, "missing", 0);
-            } else {
-                sample = *received;
-                const GuardReport report = guard.inspect(sample);
-                emitGuardEvent(observer,
-                               sampleVerdictName(report.verdict),
-                               report.flagged.size());
-                if (report.verdict == SampleVerdict::Bad) {
-                    // Discard; fall back to last-known-good features.
-                    if (guard.lastKnownGood()) {
-                        sample = *guard.lastKnownGood();
-                        usable = true;
-                    }
-                } else {
-                    usable = true;
-                }
-            }
-
-            const double realized = metricValue(
-                mode, rec.flops, rec.seconds, rec.totalEnergy());
-            const Watchdog::Decision wd =
-                watchdog.observe(realized, usable);
-            if (observer != nullptr)
-                observer->metrics()
-                    .gauge("adapt/watchdog/reference")
-                    .set(watchdog.reference());
-            if (wd.revert) {
-                commanded = safe;
-            } else if (wd.hold || !usable) {
-                commanded = current;
-            } else {
-                const HwConfig predicted =
-                    predictor.predict(current, sample);
-                emitPrediction(observer, predicted);
-                const PolicyOutcome outcome = policy.applyDetailed(
-                    current, predicted, rec.seconds, cost_model, ee);
-                emitPolicyDecisions(observer, outcome);
-                commanded = outcome.config;
-            }
-        }
-
-        current = faults
-            ? faults->applyCommand(epoch, current, commanded)
-            : commanded;
-        emitNewFaultEvents(observer, faults, faults_seen);
-        emitReconfig(observer, out.schedule.configs.back(), current,
-                     cost_model, ee);
-        t_now += rec.seconds;
-        if (!(current == out.schedule.configs.back()))
-            t_now += cost_model
-                         .cost(out.schedule.configs.back(), current,
-                               ee)
-                         .seconds;
-    }
-
+    out.schedule = std::move(s.schedule);
     if (faults) {
         out.faults = faults->stats();
         if (observer != nullptr) {
@@ -519,9 +309,9 @@ robustSparseAdaptSchedule(EpochDb &db, const Predictor &predictor,
                 .add(out.faults.samplesDropped);
         }
     }
-    out.guard = guard.stats();
-    out.watchdogReverts = watchdog.reverts();
-    out.watchdogHeldEpochs = watchdog.heldEpochs();
+    out.guard = s.guard.stats();
+    out.watchdogReverts = s.watchdog.reverts();
+    out.watchdogHeldEpochs = s.watchdog.heldEpochs();
     if (observer != nullptr) {
         observer->metrics()
             .counter("adapt/watchdog/reverts")

@@ -239,10 +239,14 @@ namespace {
 ScheduleEval
 stitch(EpochDb &db, const Schedule &schedule,
        const ReconfigCostModel &cost_model, OptMode mode,
-       const HwConfig &initial, int phase_filter)
+       const HwConfig &initial, int phase_filter, bool prefix)
 {
-    SADAPT_ASSERT(schedule.configs.size() == db.numEpochs(),
-                  "schedule length must equal epoch count");
+    if (prefix)
+        SADAPT_ASSERT(schedule.configs.size() <= db.numEpochs(),
+                      "schedule prefix longer than epoch count");
+    else
+        SADAPT_ASSERT(schedule.configs.size() == db.numEpochs(),
+                      "schedule length must equal epoch count");
     const bool ee = mode == OptMode::EnergyEfficient;
     ScheduleEval ev;
     HwConfig current = initial;
@@ -274,7 +278,16 @@ evaluateSchedule(EpochDb &db, const Schedule &schedule,
                  const ReconfigCostModel &cost_model, OptMode mode,
                  const HwConfig &initial)
 {
-    return stitch(db, schedule, cost_model, mode, initial, -1);
+    return stitch(db, schedule, cost_model, mode, initial, -1,
+                  false);
+}
+
+ScheduleEval
+evaluateSchedulePrefix(EpochDb &db, const Schedule &schedule,
+                       const ReconfigCostModel &cost_model,
+                       OptMode mode, const HwConfig &initial)
+{
+    return stitch(db, schedule, cost_model, mode, initial, -1, true);
 }
 
 ScheduleEval
@@ -283,7 +296,8 @@ evaluateScheduleForPhase(EpochDb &db, const Schedule &schedule,
                          OptMode mode, const HwConfig &initial,
                          int phase)
 {
-    return stitch(db, schedule, cost_model, mode, initial, phase);
+    return stitch(db, schedule, cost_model, mode, initial, phase,
+                  false);
 }
 
 } // namespace sadapt

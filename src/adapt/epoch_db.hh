@@ -195,6 +195,18 @@ ScheduleEval evaluateSchedule(EpochDb &db, const Schedule &schedule,
                               OptMode mode, const HwConfig &initial);
 
 /**
+ * evaluateSchedule() for a schedule covering only the first
+ * `schedule.configs.size()` epochs (<= the workload's epoch count):
+ * epochs past the prefix contribute nothing. The serve layer uses it
+ * for sessions closed early by their traffic-script epoch budget.
+ */
+ScheduleEval evaluateSchedulePrefix(EpochDb &db,
+                                    const Schedule &schedule,
+                                    const ReconfigCostModel &cost_model,
+                                    OptMode mode,
+                                    const HwConfig &initial);
+
+/**
  * Stitch a schedule restricted to the epochs of one explicit phase
  * (others contribute nothing); used to compute per-phase metrics.
  */

@@ -1,0 +1,256 @@
+#include "adapt/session.hh"
+
+#include "adapt/metrics.hh"
+#include "adapt/telemetry.hh"
+
+namespace sadapt {
+
+namespace {
+
+/**
+ * Journaling hooks of the per-epoch step. Every function is a no-op on
+ * a null observer; none of them feeds anything back into the control
+ * flow, so an attached observer cannot change a decision.
+ */
+
+void
+emitEpochEvent(obs::RunObserver *o, std::size_t epoch, double t_now,
+               const HwConfig &cfg, const EpochRecord &rec,
+               OptMode mode)
+{
+    if (o == nullptr)
+        return;
+    o->beginEpoch(epoch, t_now);
+    o->emit("adapt/controller", "epoch",
+            {{"cfg", cfg.toSpec()},
+             {"seconds", rec.seconds},
+             {"flops", rec.flops},
+             {"energy_j", rec.totalEnergy()},
+             {"metric", metricValue(mode, rec.flops, rec.seconds,
+                                    rec.totalEnergy())}});
+    o->metrics().counter("adapt/controller/epochs").add();
+}
+
+void
+emitPrediction(obs::RunObserver *o, const HwConfig &predicted)
+{
+    if (o == nullptr)
+        return;
+    std::vector<std::pair<std::string, obs::FieldValue>> fields;
+    fields.emplace_back("cfg", predicted.toSpec());
+    for (Param p : allParams())
+        fields.emplace_back(
+            paramName(p),
+            static_cast<std::int64_t>(paramValue(predicted, p)));
+    o->emit("adapt/predictor", "prediction", std::move(fields));
+}
+
+void
+emitPolicyDecisions(obs::RunObserver *o, const PolicyOutcome &outcome)
+{
+    if (o == nullptr)
+        return;
+    for (const PolicyDecision &d : outcome.decisions) {
+        o->emit("adapt/policy", "policy",
+                {{"param", paramName(d.param)},
+                 {"from", static_cast<std::int64_t>(d.from)},
+                 {"to", static_cast<std::int64_t>(d.to)},
+                 {"accepted", d.accepted},
+                 {"cost_s", d.cost.seconds},
+                 {"cost_j", d.cost.energy},
+                 {"flush", d.cost.flushL1 || d.cost.flushL2}});
+        o->metrics().counter("adapt/policy/proposed").add();
+        o->metrics()
+            .counter(d.accepted ? "adapt/policy/accepted"
+                                : "adapt/policy/vetoed")
+            .add();
+    }
+}
+
+void
+emitReconfig(obs::RunObserver *o, const HwConfig &from,
+             const HwConfig &to, const ReconfigCostModel &cost_model,
+             bool ee)
+{
+    if (o == nullptr || from == to)
+        return;
+    const ReconfigCost rc = cost_model.cost(from, to, ee);
+    o->emit("adapt/controller", "reconfig",
+            {{"from", from.toSpec()},
+             {"to", to.toSpec()},
+             {"cost_s", rc.seconds},
+             {"cost_j", rc.energy},
+             {"flush_l1", rc.flushL1},
+             {"flush_l2", rc.flushL2}});
+    o->metrics().counter("adapt/controller/reconfigs").add();
+}
+
+/** Journal "fault" events appended to the injector log this epoch. */
+void
+emitNewFaultEvents(obs::RunObserver *o, FaultInjector *faults,
+                   std::size_t &seen)
+{
+    if (faults == nullptr)
+        return;
+    const std::vector<FaultEvent> &log = faults->events();
+    if (o != nullptr) {
+        for (std::size_t i = seen; i < log.size(); ++i) {
+            o->emit("sim/faults", "fault",
+                    {{"kind", faultKindName(log[i].kind)},
+                     {"detail", log[i].detail}});
+            o->metrics().counter("sim/faults/injected").add();
+        }
+    }
+    seen = log.size();
+}
+
+void
+emitGuardEvent(obs::RunObserver *o, const std::string &verdict,
+               std::size_t flagged)
+{
+    if (o == nullptr)
+        return;
+    o->emit("adapt/guard", "guard",
+            {{"verdict", verdict},
+             {"flagged", static_cast<std::int64_t>(flagged)}});
+    o->metrics().counter("adapt/guard/" + verdict).add();
+}
+
+/** The robust loop body: fault channel, guard, watchdog, policy. */
+void
+stepEpochRobust(SessionState &s, const SessionContext &ctx,
+                const EpochRecord &rec)
+{
+    const bool ee = ctx.mode == OptMode::EnergyEfficient;
+    obs::RunObserver *observer = ctx.observer;
+    const auto epoch = static_cast<std::uint32_t>(s.epoch);
+
+    std::optional<PerfCounterSample> received = ctx.faults
+        ? ctx.faults->filterSample(epoch, rec.counters)
+        : std::optional<PerfCounterSample>(rec.counters);
+
+    HwConfig commanded = s.current;
+    if (!ctx.useGuard) {
+        // Naive loop: a missing sample reads as all-zero counters
+        // (stuck telemetry register); corruption feeds the
+        // predictor verbatim.
+        const PerfCounterSample sample =
+            received.value_or(PerfCounterSample{});
+        const HwConfig predicted =
+            ctx.predictor->predict(s.current, sample);
+        emitPrediction(observer, predicted);
+        const PolicyOutcome outcome = ctx.policy->applyDetailed(
+            s.current, predicted, rec.seconds, *ctx.costModel, ee);
+        emitPolicyDecisions(observer, outcome);
+        commanded = outcome.config;
+    } else {
+        PerfCounterSample sample;
+        bool usable = false;
+        if (!received) {
+            s.guard.recordMissing();
+            emitGuardEvent(observer, "missing", 0);
+        } else {
+            sample = *received;
+            const GuardReport report = s.guard.inspect(sample);
+            emitGuardEvent(observer,
+                           sampleVerdictName(report.verdict),
+                           report.flagged.size());
+            if (report.verdict == SampleVerdict::Bad) {
+                // Discard; fall back to last-known-good features.
+                if (s.guard.lastKnownGood()) {
+                    sample = *s.guard.lastKnownGood();
+                    usable = true;
+                }
+            } else {
+                usable = true;
+            }
+        }
+
+        const double realized = metricValue(
+            ctx.mode, rec.flops, rec.seconds, rec.totalEnergy());
+        const Watchdog::Decision wd =
+            s.watchdog.observe(realized, usable);
+        if (observer != nullptr)
+            observer->metrics()
+                .gauge("adapt/watchdog/reference")
+                .set(s.watchdog.reference());
+        if (wd.revert) {
+            commanded = s.safe;
+        } else if (wd.hold || !usable) {
+            commanded = s.current;
+        } else {
+            const HwConfig predicted =
+                ctx.predictor->predict(s.current, sample);
+            emitPrediction(observer, predicted);
+            const PolicyOutcome outcome = ctx.policy->applyDetailed(
+                s.current, predicted, rec.seconds, *ctx.costModel,
+                ee);
+            emitPolicyDecisions(observer, outcome);
+            commanded = outcome.config;
+        }
+    }
+
+    s.current = ctx.faults
+        ? ctx.faults->applyCommand(epoch, s.current, commanded)
+        : commanded;
+    emitNewFaultEvents(observer, ctx.faults, s.faultsSeen);
+    emitReconfig(observer, s.schedule.configs.back(), s.current,
+                 *ctx.costModel, ee);
+    s.tNow += rec.seconds;
+    if (!(s.current == s.schedule.configs.back()))
+        s.tNow += ctx.costModel
+                      ->cost(s.schedule.configs.back(), s.current, ee)
+                      .seconds;
+}
+
+} // namespace
+
+SessionState
+makeSessionState(const HwConfig &initial, const SessionContext &ctx,
+                 const GuardOptions &guard_opts,
+                 const WatchdogOptions &watchdog_opts)
+{
+    SessionState s;
+    s.current = initial;
+    s.safe = baselineConfig(initial.l1Type);
+    s.guard = TelemetryGuard(guard_opts);
+    s.watchdog = Watchdog(watchdog_opts);
+    s.watchdog.attachObserver(ctx.observer);
+    s.faultsSeen =
+        ctx.faults != nullptr ? ctx.faults->events().size() : 0;
+    return s;
+}
+
+void
+stepEpoch(SessionState &s, const SessionContext &ctx,
+          const EpochRecord &rec, const HwConfig *predicted_hint)
+{
+    obs::RunObserver *observer = ctx.observer;
+    s.schedule.configs.push_back(s.current);
+    // Telemetry of the epoch that just ran under `s.current`.
+    emitEpochEvent(observer, s.epoch, s.tNow, s.current, rec,
+                   ctx.mode);
+    if (ctx.robust) {
+        stepEpochRobust(s, ctx, rec);
+        ++s.epoch;
+        return;
+    }
+    const bool ee = ctx.mode == OptMode::EnergyEfficient;
+    const HwConfig predicted = predicted_hint != nullptr
+        ? *predicted_hint
+        : ctx.predictor->predict(s.current, rec.counters);
+    emitPrediction(observer, predicted);
+    const PolicyOutcome outcome = ctx.policy->applyDetailed(
+        s.current, predicted, rec.seconds, *ctx.costModel, ee);
+    emitPolicyDecisions(observer, outcome);
+    emitReconfig(observer, s.current, outcome.config, *ctx.costModel,
+                 ee);
+    s.tNow += rec.seconds;
+    if (!(outcome.config == s.current))
+        s.tNow += ctx.costModel->cost(s.current, outcome.config, ee)
+                      .seconds;
+    s.current = outcome.config;
+    ++s.epoch;
+}
+
+} // namespace sadapt

@@ -149,6 +149,17 @@ prefixAtComponent(const std::string &rel_path,
     }
 }
 
+/**
+ * True for files inside the serve layer: a path component literally
+ * named "serve". The trailing slash in the probe keeps neighbours
+ * like "server/" or "serve_utils.cc" from matching.
+ */
+bool
+underServeDir(const std::string &rel_path)
+{
+    return prefixAtComponent(rel_path, "serve/");
+}
+
 bool
 allowed(const std::string &rule, const std::string &rel_path)
 {
@@ -265,7 +276,24 @@ checkDeterminism(
     }
 
     for (const GlobalVar &g : prog.globals()) {
-        if (g.isConst || allowed("lint-mutable-global", g.file))
+        if (g.isConst)
+            continue;
+        // The serve layer gets the stricter, separately-named rule:
+        // a mutable global there is shared across tenant sessions,
+        // which breaks session isolation outright.
+        if (underServeDir(g.file)) {
+            if (allowed("lint-serve-session-state", g.file))
+                continue;
+            report.add(
+                "lint-serve-session-state", g.file, g.line,
+                Severity::Error,
+                str("mutable ", g.storage, " state '", g.name,
+                    "' in the serve layer: sessions may share the "
+                    "store/pool/registry only via handles injected "
+                    "through ServeOptions (DESIGN S15)"));
+            continue;
+        }
+        if (allowed("lint-mutable-global", g.file))
             continue;
         report.add(
             "lint-mutable-global", g.file, g.line, Severity::Error,

@@ -17,6 +17,13 @@
  *      lint-pointer-order   ordering or keying by pointer value
  *      lint-wallclock       chrono/time reads outside the profiling
  *                           and lease-heartbeat allowances
+ *      lint-serve-session-state  non-const static-storage state
+ *                           anywhere under a serve/ component: the
+ *                           multi-tenant server may share state
+ *                           across sessions only via handles injected
+ *                           through ServeOptions (DESIGN §15), so a
+ *                           serve-layer global is a cross-session
+ *                           leak, not merely a determinism risk
  *
  * 2. A cross-TU taint pass (det-taint-<kind>): nondeterminism
  *    sources (wall clock, raw randomness, thread ids, unordered

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 
 #include "common/logging.hh"
 #include "sim/config.hh"
@@ -131,6 +132,62 @@ checkStoreEvent(Report &report, const obs::JournalEvent &ev,
     }
 }
 
+/**
+ * Schema-v2 'session' lifecycle marker: op open|close|decision plus a
+ * non-negative integer session id, with open/close strictly paired
+ * (decisions only inside an open session, no double-open).
+ */
+void
+checkSessionEvent(Report &report, const obs::JournalEvent &ev,
+                  const std::string &name,
+                  std::set<std::int64_t> &open_sessions)
+{
+    const auto op = ev.strField("op");
+    if (!op) {
+        report.add("journal-missing-field", name, ev.seq + 1,
+                   Severity::Error,
+                   "'session' event lacks string field 'op'");
+        return;
+    }
+    if (*op != "open" && *op != "close" && *op != "decision") {
+        report.add("journal-bad-session-op", name, ev.seq + 1,
+                   Severity::Error,
+                   "'session' event op '" + *op +
+                       "' is not one of 'open', 'close', 'decision'");
+        return;
+    }
+    const auto id = ev.intField("session");
+    if (!id) {
+        report.add("journal-missing-field", name, ev.seq + 1,
+                   Severity::Error,
+                   "'session' event lacks integer field 'session'");
+        return;
+    }
+    if (*id < 0) {
+        report.add("journal-bad-session-id", name, ev.seq + 1,
+                   Severity::Error,
+                   str("'session' event id ", *id, " is negative"));
+        return;
+    }
+    if (*op == "open") {
+        if (!open_sessions.insert(*id).second) {
+            report.add("journal-session-reopen", name, ev.seq + 1,
+                       Severity::Error,
+                       str("session ", *id,
+                           " opened while already open"));
+        }
+    } else {
+        if (open_sessions.count(*id) == 0) {
+            report.add("journal-session-unopened", name, ev.seq + 1,
+                       Severity::Error,
+                       str("'", *op, "' for session ", *id,
+                           ", which is not open"));
+        }
+        if (*op == "close")
+            open_sessions.erase(*id);
+    }
+}
+
 } // namespace
 
 Report
@@ -144,6 +201,7 @@ checkJournalEvents(const std::vector<obs::JournalEvent> &events,
     std::uint64_t last_epoch = 0;
     double segment_t = 0.0;
     bool first = true;
+    std::set<std::int64_t> open_sessions;
     for (const obs::JournalEvent &ev : events) {
         if (ev.seq != expect_seq) {
             report.add("journal-seq-gap", name, ev.seq + 1,
@@ -163,9 +221,13 @@ checkJournalEvents(const std::vector<obs::JournalEvent> &events,
 
         // Epoch ids are monotone within a control-loop segment; a
         // reset to 0 starts a new segment (one journal may hold
-        // several loops).
-        const bool new_segment = !first && ev.epoch == 0 &&
-            last_epoch > 0;
+        // several loops). A serve-layer session open also brackets a
+        // fresh per-tenant stream whose epoch ids and sim-time restart
+        // at zero — even when the previous stream never left epoch 0.
+        const bool session_open = ev.type == "session" &&
+            ev.strField("op").value_or("") == "open";
+        const bool new_segment = !first &&
+            ((ev.epoch == 0 && last_epoch > 0) || session_open);
         if (new_segment)
             segment_t = 0.0;
         if (!first && !new_segment && ev.epoch < last_epoch) {
@@ -199,7 +261,16 @@ checkJournalEvents(const std::vector<obs::JournalEvent> &events,
             checkPredictionEvent(report, ev, name);
         } else if (ev.type == "store") {
             checkStoreEvent(report, ev, name);
+        } else if (ev.type == "session") {
+            checkSessionEvent(report, ev, name, open_sessions);
         }
+    }
+    // A live server's journal legitimately ends before its tenants
+    // finish, so an unclosed session is a warning, not an error.
+    for (const std::int64_t id : open_sessions) {
+        report.add("journal-session-unclosed", name, events.size(),
+                   Severity::Warning,
+                   str("session ", id, " never closed"));
     }
     return report;
 }

@@ -54,6 +54,30 @@ ThreadPool::submit(std::function<void()> task)
 }
 
 void
+ThreadPool::submitBatch(std::span<std::function<void()>> tasks)
+{
+    std::size_t i = 0;
+    while (i < tasks.size()) {
+        std::size_t pushed = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvSpace.wait(lock,
+                         [this] { return queue.size() < queueCap; });
+            while (i < tasks.size() && queue.size() < queueCap) {
+                queue.push_back(std::move(tasks[i]));
+                ++inFlight;
+                ++i;
+                ++pushed;
+            }
+        }
+        if (pushed == 1)
+            cvTask.notify_one();
+        else if (pushed > 1)
+            cvTask.notify_all();
+    }
+}
+
+void
 ThreadPool::wait()
 {
     std::exception_ptr err;

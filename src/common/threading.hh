@@ -28,6 +28,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,17 @@ class ThreadPool
 
     /** Enqueue one task; blocks while the queue is at capacity. */
     void submit(std::function<void()> task);
+
+    /**
+     * Enqueue a batch of tasks in order, moving from `tasks`. Fills
+     * the queue in chunks as space frees up, so the batch may exceed
+     * the queue capacity; blocks until the last task is enqueued (not
+     * until it runs — pair with wait()). Equivalent to submit() in a
+     * loop, but takes the queue lock once per chunk instead of once
+     * per task — the serve layer's batched-inference stage pushes one
+     * prediction task per pending session through here every tick.
+     */
+    void submitBatch(std::span<std::function<void()>> tasks);
 
     /**
      * Block until every submitted task has finished, then rethrow the

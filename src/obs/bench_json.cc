@@ -331,6 +331,14 @@ parseBenchJson(std::string_view text)
     run.traceFormat = stringOr(root, "trace_format", "columnar");
     run.traceDecodeSeconds =
         numberOr(root, "trace_decode_seconds", 0.0);
+    run.serveSessions = countOr(root, "serve_sessions", 0);
+    run.serveScale = numberOr(root, "serve_scale", 0.0);
+    run.sessionsPerSecond =
+        numberOr(root, "sessions_per_second", 0.0);
+    run.decisionP50Ms = numberOr(root, "decision_p50_ms", 0.0);
+    run.decisionP99Ms = numberOr(root, "decision_p99_ms", 0.0);
+    run.serveEpochsPerSecond =
+        numberOr(root, "serve_epochs_per_second", 0.0);
     run.fabricWorkers = countOr(root, "fabric_workers", 0);
     run.fabricLeasesReclaimed =
         countOr(root, "fabric_leases_reclaimed", 0);
@@ -413,7 +421,9 @@ bool
 benchComparable(const BenchRun &a, const BenchRun &b)
 {
     return a.bench == b.bench && a.scale == b.scale &&
-           a.samples == b.samples && a.traceFormat == b.traceFormat;
+           a.samples == b.samples && a.traceFormat == b.traceFormat &&
+           a.serveSessions == b.serveSessions &&
+           a.serveScale == b.serveScale;
 }
 
 } // namespace sadapt::obs

@@ -58,6 +58,20 @@ struct BenchRun
     std::string traceFormat = "columnar";
     double traceDecodeSeconds = 0.0;
 
+    /**
+     * Serve provenance (bench/serve_traffic only, zero elsewhere):
+     * the traffic-script size and pinned serve dataset scale the run
+     * replayed, and its throughput/latency figures. Like the scale
+     * knobs, the first two gate comparability; the rest are the
+     * trended measurements.
+     */
+    std::uint64_t serveSessions = 0;
+    double serveScale = 0.0;
+    double sessionsPerSecond = 0.0;
+    double decisionP50Ms = 0.0;
+    double decisionP99Ms = 0.0;
+    double serveEpochsPerSecond = 0.0;
+
     /** Fabric / store provenance. */
     std::uint64_t fabricWorkers = 0;
     std::uint64_t fabricLeasesReclaimed = 0;
@@ -95,7 +109,8 @@ std::size_t bestRunIndex(const std::vector<BenchRun> &runs);
 
 /**
  * Whether two runs measure the same thing: same bench name, same
- * scale knobs (scale and sample count) and same trace format.
+ * scale knobs (scale and sample count), same trace format and — for
+ * serve benches — the same traffic-script size and serve scale.
  * Comparing wall seconds across different scales — or across trace
  * pipelines with different decode cost profiles — is meaningless, so
  * bench_trend only trends and gates comparable runs.

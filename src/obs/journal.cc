@@ -365,11 +365,14 @@ parseEventLine(const std::string &line, JournalEvent &ev)
         if (k == "v") {
             if (!std::holds_alternative<std::int64_t>(v))
                 return Status::error("'v' must be an integer");
-            if (std::get<std::int64_t>(v) != journalSchemaVersion)
+            const std::int64_t got = std::get<std::int64_t>(v);
+            if (got < journalMinSchemaVersion ||
+                got > journalSchemaVersion)
                 return Status::error(
-                    str("unsupported schema version ",
-                        std::get<std::int64_t>(v), " (expected ",
+                    str("unsupported schema version ", got,
+                        " (supported ", journalMinSchemaVersion, "..",
                         journalSchemaVersion, ")"));
+            ev.schemaVersion = got;
             saw_v = true;
         } else if (k == "seq") {
             if (!std::holds_alternative<std::int64_t>(v) ||
@@ -467,7 +470,7 @@ journalEventTypes()
     static const std::vector<std::string> types = {
         "run",      "epoch",    "prediction", "policy",
         "reconfig", "guard",    "watchdog",   "fault",
-        "store",    "fabric",
+        "store",    "fabric",   "session",
     };
     return types;
 }

@@ -26,6 +26,15 @@
  *   store     a persistent epoch-store lifecycle point: op
  *             (open|flush) plus cumulative hit/miss/record stats
  *
+ * Schema v2 adds one event type (readers accept v1 and v2 lines; the
+ * writer stamps v2):
+ *
+ *   session   a serve-layer session lifecycle point: op
+ *             (open|close|decision) plus the integer session id —
+ *             open/close bracket one tenant's event stream inside a
+ *             merged multi-session journal, decision marks one
+ *             reconfiguration answer returned to that tenant
+ *
  * Benchmarks deliberately do not journal store events (their journals
  * must stay byte-identical across cold- and warm-store runs); the
  * interactive CLI does.
@@ -51,8 +60,11 @@
 
 namespace sadapt::obs {
 
-/** Version stamped into (and required of) every journal event. */
-inline constexpr std::int64_t journalSchemaVersion = 1;
+/** Version stamped into every journal event the writer emits. */
+inline constexpr std::int64_t journalSchemaVersion = 2;
+
+/** Oldest schema version readJournal() still accepts. */
+inline constexpr std::int64_t journalMinSchemaVersion = 1;
 
 /** One payload field value; integers stay exact through round-trips. */
 using FieldValue =
@@ -61,6 +73,8 @@ using FieldValue =
 /** One journal event: envelope plus ordered payload fields. */
 struct JournalEvent
 {
+    /** Schema version the line carried (writer restamps on write). */
+    std::int64_t schemaVersion = journalSchemaVersion;
     std::uint64_t seq = 0;
     std::uint64_t epoch = 0;
     double simTime = 0.0; //!< seconds of simulated time ("t")
@@ -127,7 +141,7 @@ struct JournalRead
 [[nodiscard]] Result<JournalRead>
 readJournalFile(const std::string &path);
 
-/** The schema v1 event types, for validators and tooling. */
+/** The schema v2 event types, for validators and tooling. */
 const std::vector<std::string> &journalEventTypes();
 
 } // namespace sadapt::obs

@@ -1,0 +1,269 @@
+#include "serve/server.hh"
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "adapt/epoch_db.hh"
+#include "adapt/session.hh"
+#include "common/logging.hh"
+#include "common/threading.hh"
+#include "obs/journal.hh"
+#include "obs/metrics.hh"
+#include "obs/observer.hh"
+#include "sim/config.hh"
+#include "sparse/suite.hh"
+
+namespace sadapt::serve {
+
+namespace {
+
+/**
+ * One tenant's isolated pipeline: workload, epoch database, cost
+ * model, policy, journal shard and metric registry. Nothing in here
+ * is shared with another session except the injected ServeOptions
+ * handles (predictor, store) — which is exactly the boundary the
+ * lint-serve-session-state rule enforces for this directory.
+ */
+struct ServeSession
+{
+    SessionSpec spec;
+    Workload workload;
+    EpochDb db;
+    ReconfigCostModel cost;
+    HwConfig initial;
+    Policy policy;
+    std::ostringstream journalBuf; //!< this session's journal shard
+    obs::RunObserver observer;
+    SessionContext ctx;
+    SessionState state;
+    std::size_t epochsTotal = 0;  //!< epochs this session will serve
+    const EpochRecord *rec = nullptr; //!< this tick's telemetry
+    HwConfig hint;                //!< batched-prediction slot
+
+    ServeSession(const SessionSpec &sp, const ServeOptions &opt)
+        : spec(sp),
+          workload(buildSessionWorkload(sp, opt.scale)),
+          db(workload),
+          cost(workload.params.shape, workload.params.memBandwidth,
+               workload.params.energy),
+          initial(baselineConfig(workload.l1Type)),
+          policy(opt.policy, opt.tolerance),
+          ctx{opt.predictor, &policy,  opt.mode, &cost,
+              nullptr,       false,    true,     &observer},
+          state(makeSessionState(initial, ctx))
+    {
+        // Shard journaling starts empty; the server emits the open
+        // event right after construction, so it is the first line.
+        observer.attachJournal(journalBuf);
+        db.setJobs(1);
+        if (opt.store != nullptr)
+            db.attachStore(opt.store);
+        epochsTotal = db.numEpochs();
+        if (spec.maxEpochs > 0 && spec.maxEpochs < epochsTotal)
+            epochsTotal = spec.maxEpochs;
+        state.schedule.configs.reserve(epochsTotal);
+    }
+};
+
+/** The dataset ids the traffic families can name. */
+std::set<std::string>
+knownDatasets()
+{
+    std::set<std::string> known;
+    for (const std::string &id : syntheticIds())
+        known.insert(id);
+    for (const std::string &id : spmspmRealWorldIds())
+        known.insert(id);
+    for (const std::string &id : spmspvRealWorldIds())
+        known.insert(id);
+    return known;
+}
+
+/** Close one session: final evaluation, close event, outcome row. */
+void
+closeSession(ServeSession &s, const ServeOptions &opt,
+             obs::RunObserver &server, SessionOutcome &row)
+{
+    const ScheduleEval ev = evaluateSchedulePrefix(
+        s.db, s.state.schedule, s.cost, opt.mode, s.initial);
+    s.observer.beginEpoch(s.state.epoch, s.state.tNow);
+    s.observer.emit(
+        "serve/session", "session",
+        {{"op", std::string("close")},
+         {"session", static_cast<std::int64_t>(s.spec.id)},
+         {"epochs", static_cast<std::int64_t>(s.state.epoch)},
+         {"gflops", ev.gflops()}});
+    server.metrics().counter("serve/sessions_closed").add();
+
+    row.id = s.spec.id;
+    row.dataset = s.spec.dataset;
+    row.kernel = s.spec.kernel;
+    row.epochs = s.state.epoch;
+    row.reconfigs = ev.reconfigCount;
+    row.seconds = ev.seconds;
+    row.gflops = ev.gflops();
+    row.metricValue = ev.metric(opt.mode);
+}
+
+} // namespace
+
+Result<ServeResult>
+runServe(const TrafficScript &script, const ServeOptions &opt)
+{
+    if (opt.predictor == nullptr)
+        return Status::error("runServe: a predictor is required");
+    const std::set<std::string> known = knownDatasets();
+    for (const SessionSpec &sp : script.sessions)
+        if (known.count(sp.dataset) == 0)
+            return Status::error(str("runServe: unknown dataset '",
+                                     sp.dataset, "' (session ",
+                                     sp.id, ")"));
+
+    const unsigned jobs = opt.jobs > 0 ? opt.jobs : 1;
+    const std::size_t window = opt.sessions;
+
+    ServeResult out;
+    out.outcomes.resize(script.sessions.size());
+
+    std::ostringstream serverBuf;
+    obs::RunObserver server;
+    server.attachJournal(serverBuf);
+    // Run metadata carries only replay-invariant knobs: the window
+    // and jobs settings must not leak into the merged artifacts.
+    server.emit(
+        "serve/server", "run",
+        {{"sessions",
+          static_cast<std::int64_t>(script.sessions.size())},
+         {"scale", opt.scale},
+         {"mode", optModeName(opt.mode)},
+         {"policy", policyKindName(opt.policy)}});
+
+    std::vector<std::unique_ptr<ServeSession>> all(
+        script.sessions.size());
+    std::vector<std::size_t> active; //!< open sessions, id order
+    std::size_t nextArrival = 0;
+    std::uint64_t tick = 0;
+    obs::Histogram latency; //!< wall ns; never merged or journaled
+    std::unique_ptr<ThreadPool> pool;
+    if (jobs > 1)
+        pool = std::make_unique<ThreadPool>(jobs);
+
+    while (nextArrival < all.size() || !active.empty()) {
+        // Idle fast-forward to the next arrival.
+        if (active.empty() &&
+            script.sessions[nextArrival].arrivalTick > tick)
+            tick = script.sessions[nextArrival].arrivalTick;
+
+        // Admit due arrivals, in id order, while the window has room.
+        while (nextArrival < all.size() &&
+               script.sessions[nextArrival].arrivalTick <= tick &&
+               (window == 0 || active.size() < window)) {
+            auto s = std::make_unique<ServeSession>(
+                script.sessions[nextArrival], opt);
+            s->observer.beginEpoch(0, 0.0);
+            s->observer.emit(
+                "serve/session", "session",
+                {{"op", std::string("open")},
+                 {"session",
+                  static_cast<std::int64_t>(s->spec.id)},
+                 {"dataset", s->spec.dataset},
+                 {"kernel", s->spec.kernel}});
+            server.metrics().counter("serve/sessions_opened").add();
+            active.push_back(nextArrival);
+            all[nextArrival] = std::move(s);
+            ++nextArrival;
+        }
+
+        const std::uint64_t t0 = opt.nowNs ? opt.nowNs() : 0;
+
+        // Stage 1 (serial, session id order): fetch the telemetry of
+        // the epoch each open session just finished. EpochDb and the
+        // shared store are not thread-safe; every cache miss replays
+        // here, in a deterministic order.
+        for (std::size_t i : active) {
+            ServeSession &s = *all[i];
+            s.rec = &s.db.epochs(s.state.current)[s.state.epoch];
+        }
+
+        // Stage 2: coalesce the tick's pending predictions into one
+        // pool batch. predict() is const and pure in (config,
+        // counters), so each hint equals what stepEpoch() would have
+        // computed inline; jobs <= 1 skips the stage entirely (exact
+        // serial path).
+        if (pool != nullptr) {
+            std::vector<std::function<void()>> tasks;
+            tasks.reserve(active.size());
+            for (std::size_t i : active) {
+                ServeSession *s = all[i].get();
+                const Predictor *p = opt.predictor;
+                tasks.push_back([s, p] {
+                    s->hint =
+                        p->predict(s->state.current, s->rec->counters);
+                });
+            }
+            pool->submitBatch(tasks);
+            pool->wait();
+        }
+
+        // Stage 3 (serial, session id order): advance each session
+        // one epoch and answer with its next configuration.
+        std::vector<std::size_t> still;
+        still.reserve(active.size());
+        for (std::size_t i : active) {
+            ServeSession &s = *all[i];
+            stepEpoch(s.state, s.ctx, *s.rec,
+                      pool != nullptr ? &s.hint : nullptr);
+            s.observer.emit(
+                "serve/session", "session",
+                {{"op", std::string("decision")},
+                 {"session",
+                  static_cast<std::int64_t>(s.spec.id)},
+                 {"cfg", s.state.current.toSpec()}});
+            server.metrics().counter("serve/decisions").add();
+            server.metrics().counter("serve/epochs_served").add();
+            ++out.decisions;
+            ++out.epochsServed;
+            if (opt.nowNs)
+                latency.observe(opt.nowNs() - t0);
+            if (s.state.epoch >= s.epochsTotal)
+                closeSession(s, opt, server, out.outcomes[i]);
+            else
+                still.push_back(i);
+        }
+        active.swap(still);
+        ++tick;
+        ++out.ticks;
+    }
+
+    // Merge: re-emit every shard in session id order through the
+    // server journal (restamping sequence numbers) and fold the
+    // per-session registries in. The result is independent of the
+    // admission schedule, window and jobs — the shards themselves
+    // already are, by stepEpoch()'s re-entrancy contract.
+    for (std::unique_ptr<ServeSession> &sp : all) {
+        ServeSession &s = *sp;
+        s.observer.flush();
+        std::istringstream in(s.journalBuf.str());
+        Result<obs::JournalRead> shard = obs::readJournal(in);
+        if (!shard.isOk())
+            return Status::error("runServe: bad journal shard: " +
+                                 shard.message());
+        for (obs::JournalEvent &ev : shard.value().events)
+            server.journal()->write(std::move(ev));
+        server.metrics().merge(s.observer.metrics());
+    }
+    server.flush();
+    out.journalText = serverBuf.str();
+    std::ostringstream metrics;
+    server.metrics().writeText(metrics);
+    out.metricsText = metrics.str();
+    if (opt.nowNs) {
+        out.decisionP50Ms = latency.quantile(0.5) / 1e6;
+        out.decisionP99Ms = latency.quantile(0.99) / 1e6;
+    }
+    return out;
+}
+
+} // namespace sadapt::serve

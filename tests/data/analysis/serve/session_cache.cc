@@ -1,0 +1,29 @@
+// Seeded fixture: mutable namespace-scope state inside a serve/
+// component. A "last decision" cache shared at static storage leaks
+// one tenant's control decision into another tenant's request path —
+// the serve layer may share state across sessions only via handles
+// injected through ServeOptions.
+#include <cstdint>
+
+namespace fix {
+
+std::uint64_t lastDecisionEpoch = 0;
+
+struct Decision
+{
+    std::uint64_t epoch;
+    int configIndex;
+};
+
+Decision
+answerRequest(std::uint64_t epoch, int predicted)
+{
+    // Skips re-prediction when any session already answered this
+    // epoch number — correct for one tenant, wrong for many.
+    if (epoch == lastDecisionEpoch)
+        return {epoch, 0};
+    lastDecisionEpoch = epoch;
+    return {epoch, predicted};
+}
+
+} // namespace fix

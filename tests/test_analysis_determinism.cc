@@ -105,6 +105,42 @@ TEST(Determinism, ThreadIdFixtureFlagged)
     EXPECT_EQ(taint->chain.back(), "RunObserver::emit");
 }
 
+TEST(Determinism, ServeSessionStateRuleConfinesServeGlobals)
+{
+    const std::string globalCode =
+        "int pendingSessions = 0;\n"
+        "void bump()\n"
+        "{\n"
+        "    ++pendingSessions;\n"
+        "}\n";
+    // Inside a serve/ component the stricter session-isolation rule
+    // fires (and the generic rule does not double-report).
+    {
+        const Report r = checkDeterminism(
+            {{"src/serve/server.cc", globalCode}});
+        const Finding *f = findCheck(r, "lint-serve-session-state");
+        ASSERT_NE(f, nullptr);
+        EXPECT_NE(f->message.find("pendingSessions"),
+                  std::string::npos);
+        EXPECT_EQ(findCheck(r, "lint-mutable-global"), nullptr);
+    }
+    // Only a component literally named "serve" qualifies: neighbours
+    // keep the generic mutable-global rule.
+    for (const char *path :
+         {"src/server/server.cc", "src/sim/serve_utils.cc"}) {
+        const Report r = checkDeterminism({{path, globalCode}});
+        EXPECT_EQ(findCheck(r, "lint-serve-session-state"), nullptr)
+            << path;
+        EXPECT_NE(findCheck(r, "lint-mutable-global"), nullptr)
+            << path;
+    }
+    const Report fixture = checkDeterminismTree(
+        {std::string(SADAPT_TEST_DATA_DIR) + "/analysis/serve"},
+        std::string(SADAPT_TEST_DATA_DIR) + "/analysis");
+    EXPECT_NE(findCheck(fixture, "lint-serve-session-state"),
+              nullptr);
+}
+
 TEST(Determinism, CleanFixtureStaysQuiet)
 {
     const Report r = checkFixture("clean.cc");

@@ -182,6 +182,137 @@ TEST(JournalCheck, PredictionFieldsRangeChecked)
                            "journal-bad-param-value"));
 }
 
+TEST(JournalCheck, SessionLifecycleValidated)
+{
+    {
+        // A well-paired session stream is clean.
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("open")},
+                   {"session", std::int64_t{0}}}),
+            event(1, 0, 0.0, "session",
+                  {{"op", std::string("decision")},
+                   {"session", std::int64_t{0}}}),
+            event(2, 0, 0.1, "session",
+                  {{"op", std::string("close")},
+                   {"session", std::int64_t{0}}}),
+        };
+        const Report r = checkJournalEvents(events, "mem");
+        EXPECT_TRUE(r.clean());
+        EXPECT_TRUE(r.findings().empty());
+    }
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("resume")},
+                   {"session", std::int64_t{0}}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-bad-session-op"));
+    }
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("open")},
+                   {"session", std::int64_t{-1}}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-bad-session-id"));
+    }
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("open")}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-missing-field"));
+    }
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("open")},
+                   {"session", std::int64_t{4}}}),
+            event(1, 0, 0.0, "session",
+                  {{"op", std::string("open")},
+                   {"session", std::int64_t{4}}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-session-reopen"));
+    }
+    {
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("decision")},
+                   {"session", std::int64_t{9}}}),
+        };
+        EXPECT_TRUE(hasFinding(checkJournalEvents(events, "mem"),
+                               "journal-session-unopened"));
+    }
+    {
+        // A live server journal may simply end mid-session: warning.
+        std::vector<JournalEvent> events = {
+            event(0, 0, 0.0, "session",
+                  {{"op", std::string("open")},
+                   {"session", std::int64_t{1}}}),
+        };
+        const Report r = checkJournalEvents(events, "mem");
+        EXPECT_TRUE(hasFinding(r, "journal-session-unclosed"));
+        EXPECT_TRUE(r.clean());
+    }
+}
+
+TEST(JournalCheck, SessionOpenStartsANewSegment)
+{
+    // Session 0 closes at epoch 0 with sim-time advanced; session 1's
+    // open resets the segment even though the epoch id never left 0,
+    // so its restarted clock is not a time regression.
+    std::vector<JournalEvent> events = {
+        event(0, 0, 0.0, "session",
+              {{"op", std::string("open")},
+               {"session", std::int64_t{0}}}),
+        event(1, 0, 0.5, "session",
+              {{"op", std::string("close")},
+               {"session", std::int64_t{0}}}),
+        event(2, 0, 0.0, "session",
+              {{"op", std::string("open")},
+               {"session", std::int64_t{1}}}),
+        event(3, 0, 0.0, "epoch", {{"cfg", std::string(kGoodSpec)}}),
+        event(4, 0, 0.1, "session",
+              {{"op", std::string("close")},
+               {"session", std::int64_t{1}}}),
+    };
+    const Report r = checkJournalEvents(events, "mem");
+    for (const Finding &f : r.findings())
+        ADD_FAILURE() << f.checkId << ": " << f.message;
+    EXPECT_TRUE(r.findings().empty());
+}
+
+TEST(JournalCheck, SessionFixtures)
+{
+    {
+        const Report r =
+            checkJournalFile(fixture("session_good.journal"));
+        for (const Finding &f : r.findings())
+            ADD_FAILURE() << f.checkId << ": " << f.message;
+        EXPECT_TRUE(r.clean());
+    }
+    {
+        const Report r =
+            checkJournalFile(fixture("session_bad_op.journal"));
+        EXPECT_FALSE(r.clean());
+        EXPECT_TRUE(hasFinding(r, "journal-bad-session-op"));
+        EXPECT_TRUE(hasFinding(r, "journal-bad-session-id"));
+    }
+    {
+        const Report r =
+            checkJournalFile(fixture("session_bad_pairing.journal"));
+        EXPECT_FALSE(r.clean());
+        EXPECT_TRUE(hasFinding(r, "journal-session-unopened"));
+        EXPECT_TRUE(hasFinding(r, "journal-session-reopen"));
+        EXPECT_TRUE(hasFinding(r, "journal-session-unclosed"));
+    }
+}
+
 TEST(JournalCheck, GoodFixtureIsClean)
 {
     const Report r = checkJournalFile(fixture("good.journal"));

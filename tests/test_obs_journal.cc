@@ -42,7 +42,7 @@ TEST(Journal, WriterStampsVersionAndSequence)
     EXPECT_EQ(w.eventsWritten(), 2u);
 
     const std::string text = out.str();
-    EXPECT_NE(text.find("\"v\":1"), std::string::npos);
+    EXPECT_NE(text.find("\"v\":2"), std::string::npos);
     EXPECT_NE(text.find("\"seq\":0"), std::string::npos);
     EXPECT_NE(text.find("\"seq\":1"), std::string::npos);
     // One JSON object per line, newline-terminated.
@@ -173,13 +173,32 @@ TEST(Journal, MissingEnvelopeKeyRejected)
 TEST(Journal, EventTypeListIsStable)
 {
     const auto &types = journalEventTypes();
-    ASSERT_EQ(types.size(), 10u);
+    ASSERT_EQ(types.size(), 11u);
     EXPECT_EQ(types.front(), "run");
     for (const char *t : {"epoch", "prediction", "policy", "reconfig",
                           "guard", "watchdog", "fault", "store",
-                          "fabric"}) {
+                          "fabric", "session"}) {
         EXPECT_NE(std::find(types.begin(), types.end(), t),
                   types.end())
             << t;
     }
+}
+
+TEST(Journal, ReaderAcceptsBothSchemaVersions)
+{
+    // v1 journals written before the session event stay readable; the
+    // carried version is surfaced per event.
+    std::istringstream in(
+        "{\"v\":1,\"seq\":0,\"epoch\":0,\"t\":0,"
+        "\"path\":\"x\",\"type\":\"run\"}\n"
+        "{\"v\":2,\"seq\":1,\"epoch\":0,\"t\":0,"
+        "\"path\":\"serve/session\",\"type\":\"session\","
+        "\"op\":\"open\",\"session\":0}\n");
+    const auto read = readJournal(in);
+    ASSERT_TRUE(read.isOk()) << read.message();
+    ASSERT_EQ(read.value().events.size(), 2u);
+    EXPECT_EQ(read.value().events[0].schemaVersion, 1);
+    EXPECT_EQ(read.value().events[1].schemaVersion, 2);
+    EXPECT_EQ(read.value().events[1].strField("op"), "open");
+    EXPECT_EQ(read.value().events[1].intField("session"), 0);
 }

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -135,4 +137,86 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork)
         // No wait(): the destructor must finish the queue first.
     }
     EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SubmitBatchRunsEveryTask)
+{
+    std::atomic<int> done{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 64; ++i)
+        tasks.emplace_back([&] { ++done; });
+    ThreadPool pool(4);
+    pool.submitBatch(tasks);
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SubmitBatchLargerThanQueueCapCompletes)
+{
+    // The batch must chunk through a queue it cannot fit into at once.
+    std::atomic<int> done{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 200; ++i)
+        tasks.emplace_back([&] { ++done; });
+    ThreadPool pool(2, /*queue_cap=*/3);
+    pool.submitBatch(tasks);
+    pool.wait();
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, SubmitBatchEmptyIsANoOp)
+{
+    ThreadPool pool(2);
+    std::vector<std::function<void()>> tasks;
+    pool.submitBatch(tasks);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, SubmitBatchPropagatesFirstException)
+{
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i)
+        tasks.emplace_back([i] {
+            if (i == 7)
+                throw std::runtime_error("boom");
+        });
+    ThreadPool pool(3);
+    pool.submitBatch(tasks);
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownWhileBatchQueuedDrainsEverything)
+{
+    // The server drain path: the pool is destroyed while a just-
+    // submitted batch is still mostly queued. Slow tasks keep the
+    // queue full so the destructor runs with work outstanding; every
+    // task must still execute exactly once.
+    std::atomic<int> done{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 48; ++i)
+        tasks.emplace_back([&] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            ++done;
+        });
+    {
+        ThreadPool pool(2, /*queue_cap=*/4);
+        pool.submitBatch(tasks);
+        // No wait(): destruction races the queued batch.
+    }
+    EXPECT_EQ(done.load(), 48);
+}
+
+TEST(ThreadPool, SubmitBatchInterleavesWithSubmit)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(3, /*queue_cap=*/2);
+    for (int round = 0; round < 5; ++round) {
+        pool.submit([&] { ++done; });
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 10; ++i)
+            tasks.emplace_back([&] { ++done; });
+        pool.submitBatch(tasks);
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 55);
 }

@@ -52,6 +52,14 @@ echo "== ctest -L fabric"
 ctest --test-dir "$build_dir" -L fabric --output-on-failure \
     -j "$(nproc)"
 
+# Serving gate: the multi-tenant control server's contract — merged
+# journal/metrics/compacted store byte-identical at any
+# --sessions/--jobs, the session-interleaving regression, and the
+# kill-9-mid-replay drill — under the same sanitized build.
+echo "== ctest -L serving"
+ctest --test-dir "$build_dir" -L serving --output-on-failure \
+    -j "$(nproc)"
+
 # Trace-format + jobs=N determinism gate: text vs columnar replay must
 # be byte-identical (EpochDb, metrics, journal, store files) under the
 # sanitized build too; the same suite reruns under TSan below.
@@ -95,13 +103,13 @@ if [[ "${SADAPT_BENCH_TREND:-0}" != "0" ]]; then
     bench_dir="${SADAPT_BENCH_BUILD_DIR:-$repo_root/build-bench}"
     echo "== configure ($bench_dir: plain flags for timing)"
     cmake -B "$bench_dir" -S "$repo_root" > /dev/null
-    echo "== build replay_speed + bench_trend"
-    cmake --build "$bench_dir" -j --target replay_speed bench_trend \
-        > /dev/null
+    echo "== build replay_speed + serve_traffic + bench_trend"
+    cmake --build "$bench_dir" -j \
+        --target replay_speed serve_traffic bench_trend > /dev/null
     trend_dir="$bench_dir/bench-trend"
     rm -rf "$trend_dir"
     mkdir -p "$trend_dir/models"
-    echo "== replay_speed x3 (pinned scale: 1.0 / 8 samples / 5 reps)"
+    echo "== replay_speed + serve_traffic x3 (pinned scale: 1.0 / 8 samples / 5 reps)"
     for i in 1 2 3; do
         mkdir -p "$trend_dir/run$i"
         (cd "$trend_dir/run$i" &&
@@ -109,6 +117,11 @@ if [[ "${SADAPT_BENCH_TREND:-0}" != "0" ]]; then
             SPARSEADAPT_JOBS=1 SPARSEADAPT_REPS=5 \
             SPARSEADAPT_MODEL_DIR="$trend_dir/models" \
             "$bench_dir/bench/replay_speed" > /dev/null)
+        (cd "$trend_dir/run$i" &&
+            SPARSEADAPT_BENCH_SCALE=1.0 SPARSEADAPT_SAMPLES=8 \
+            SPARSEADAPT_JOBS=1 SPARSEADAPT_REPS=5 \
+            SPARSEADAPT_MODEL_DIR="$trend_dir/models" \
+            "$bench_dir/bench/serve_traffic" > /dev/null)
     done
     echo "== bench_trend vs bench/baselines"
     "$bench_dir/tools/bench_trend" \
